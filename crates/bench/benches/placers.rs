@@ -1,0 +1,124 @@
+//! Criterion timing benchmarks, one group per reproduced experiment.
+//!
+//! These measure the *stages* whose runtimes the paper reports:
+//! global placement, detailed placement (ILP vs two-stage LP), annealing
+//! moves, GNN inference vs gradient, and the substrate solvers. The
+//! table/figure regeneration binaries live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use analog_netlist::{testcases, Placement};
+use eplace::{legalize, DetailedConfig, GlobalConfig, GlobalPlacer};
+use placer_gnn::{CircuitGraph, Network};
+use placer_numeric::{Grid, PoissonSolver};
+use placer_sa::{anneal, SaConfig};
+use placer_xu19::{legalize_two_stage, run_global, Xu19GlobalConfig};
+
+/// Table III columns: global placement runtime of ePlace-A vs \[11\].
+fn bench_global_placement(c: &mut Criterion) {
+    let circuit = testcases::cc_ota();
+    let mut group = c.benchmark_group("table3_global_placement");
+    group.sample_size(10);
+    group.bench_function("eplace_a_gp_cc_ota", |b| {
+        b.iter(|| GlobalPlacer::new(GlobalConfig::default()).run(black_box(&circuit)))
+    });
+    group.bench_function("xu19_gp_cc_ota", |b| {
+        b.iter(|| run_global(black_box(&circuit), &Xu19GlobalConfig::default()))
+    });
+    group.finish();
+}
+
+/// Table IV: detailed placement runtime, ILP (ePlace-A) vs two-stage LP.
+fn bench_detailed_placement(c: &mut Criterion) {
+    let circuit = testcases::cc_ota();
+    let (gp, _) = GlobalPlacer::new(GlobalConfig::default()).run(&circuit);
+    let mut group = c.benchmark_group("table4_detailed_placement");
+    group.sample_size(10);
+    group.bench_function("eplace_a_ilp_dp", |b| {
+        b.iter(|| legalize(black_box(&circuit), black_box(&gp), &DetailedConfig::default()))
+    });
+    group.bench_function("xu19_two_stage_lp", |b| {
+        b.iter(|| legalize_two_stage(black_box(&circuit), black_box(&gp)))
+    });
+    group.finish();
+}
+
+/// Table III: annealing cost per fixed move budget (the SA column).
+fn bench_annealing(c: &mut Criterion) {
+    let circuit = testcases::cc_ota();
+    let config = SaConfig {
+        temperatures: 10,
+        moves_per_temperature: 100,
+        ..SaConfig::default()
+    };
+    let mut group = c.benchmark_group("table3_simulated_annealing");
+    group.sample_size(10);
+    group.bench_function("sa_1000_moves_cc_ota", |b| {
+        b.iter(|| anneal(black_box(&circuit), &config, None))
+    });
+    group.finish();
+}
+
+/// Table VII: GNN inference (SA cost term) vs position gradient (AP term) —
+/// the asymmetry that shrinks the analytical runtime advantage.
+fn bench_gnn(c: &mut Criterion) {
+    let circuit = testcases::cm_ota1();
+    let placement = Placement::new(circuit.num_devices());
+    let graph = CircuitGraph::new(&circuit, &placement, 20.0);
+    let network = Network::default_config(7);
+    let mut group = c.benchmark_group("table7_gnn_terms");
+    group.bench_function("phi_inference", |b| {
+        b.iter(|| network.predict(black_box(&graph)))
+    });
+    group.bench_function("phi_position_gradient", |b| {
+        b.iter(|| network.position_gradient(black_box(&graph)))
+    });
+    group.finish();
+}
+
+/// Substrate: the spectral Poisson solve at the GP's default grid size.
+fn bench_poisson(c: &mut Criterion) {
+    let solver = PoissonSolver::new(32, 32, 1.0, 1.0);
+    let mut rho = Grid::new(32, 32);
+    for i in 0..32 {
+        for j in 0..32 {
+            rho.set(i, j, ((i * 7 + j * 3) % 13) as f64 * 0.1);
+        }
+    }
+    c.bench_function("substrate_poisson_32x32", |b| {
+        b.iter(|| solver.solve(black_box(&rho)))
+    });
+}
+
+/// Substrate: one detailed-placement-sized MILP (Table I/III/IV backbone).
+fn bench_milp(c: &mut Criterion) {
+    use placer_mathopt::{ConstraintOp, MilpOptions, Model};
+    let mut group = c.benchmark_group("substrate_milp");
+    group.sample_size(10);
+    group.bench_function("milp_20_int_vars", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let xs: Vec<_> = (0..20)
+                .map(|i| m.add_int_var(format!("x{i}"), 0.0, 50.0, 1.0))
+                .collect();
+            for w in xs.windows(2) {
+                m.add_constraint(vec![(w[0], 1.0), (w[1], -1.0)], ConstraintOp::Le, -2.0);
+            }
+            m.add_constraint(vec![(xs[0], 1.0)], ConstraintOp::Ge, 1.0);
+            m.solve_milp(&MilpOptions::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_global_placement,
+    bench_detailed_placement,
+    bench_annealing,
+    bench_gnn,
+    bench_poisson,
+    bench_milp
+);
+criterion_main!(benches);

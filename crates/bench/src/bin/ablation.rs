@@ -1,0 +1,59 @@
+//! Ablation study for §IV-C's three explanations of ePlace-A's quality
+//! edge over \[11\]:
+//!
+//! 1. explicit area optimization (η·Area(v) in GP; Fig. 2 has the sweep),
+//! 2. WA instead of LSE wirelength smoothing,
+//! 3. device flipping in detailed placement (Table IV has the head-to-head).
+//!
+//! This binary toggles each knob inside ePlace-A itself, holding everything
+//! else fixed.
+
+use eplace::{PlacerConfig, Smoothing};
+use placer_bench::{paper_circuits, print_row, run_eplace_a_with};
+
+fn main() {
+    let widths = [8usize, 16, 10, 10];
+    print_row(
+        &[
+            "Design".into(),
+            "variant".into(),
+            "area".into(),
+            "hpwl".into(),
+        ],
+        &widths,
+    );
+    for circuit in paper_circuits() {
+        let variants: Vec<(&str, PlacerConfig)> = vec![
+            ("baseline", PlacerConfig::default()),
+            ("no-area-term", {
+                let mut c = PlacerConfig::default();
+                c.global.eta_scale = 0.0;
+                c
+            }),
+            ("lse-smoothing", {
+                let mut c = PlacerConfig::default();
+                c.global.smoothing = Smoothing::Lse;
+                c
+            }),
+            ("no-flipping", {
+                let mut c = PlacerConfig::default();
+                c.detailed.flipping = false;
+                c
+            }),
+        ];
+        for (name, config) in variants {
+            let run = run_eplace_a_with(&circuit, config);
+            print_row(
+                &[
+                    circuit.name().to_string(),
+                    name.to_string(),
+                    format!("{:.1}", run.area),
+                    format!("{:.1}", run.hpwl),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+    println!("(each knob off should cost quality relative to the baseline)");
+}

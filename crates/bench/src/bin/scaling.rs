@@ -1,0 +1,64 @@
+//! Scaling sweep (beyond the paper's tables): runtime and quality of
+//! ePlace-A vs. simulated annealing as circuit size grows.
+//!
+//! The paper's motivating claim for analytical placement is scalability —
+//! but it also concedes that "ILP does not scale well for large problems"
+//! and leans on analog circuits being small. This sweep (gain-cell arrays
+//! of 14–50 devices, single restart, structure-preserving DP) makes both
+//! effects visible: the Nesterov global placement scales gracefully while
+//! the ILP legalization becomes the bottleneck as symmetry groups multiply,
+//! and SA's wall time grows with its `moves ∝ n` budget times O(n²) packing.
+
+use analog_netlist::testcases::scalable_array;
+use eplace::{EPlaceA, PlacerConfig};
+use placer_bench::print_row;
+use placer_sa::{SaConfig, SaPlacer};
+
+fn main() {
+    let widths = [8usize, 8, 10, 10, 9, 10, 10, 9];
+    print_row(
+        &[
+            "stages".into(),
+            "devices".into(),
+            "eA area".into(),
+            "eA hpwl".into(),
+            "eA s".into(),
+            "SA area".into(),
+            "SA hpwl".into(),
+            "SA s".into(),
+        ],
+        &widths,
+    );
+    for stages in [2usize, 4, 6, 8] {
+        let circuit = scalable_array(stages);
+        // Single restart, structure-preserving DP: the sweep probes how the
+        // *stages* scale, not the restart machinery.
+        let mut config = PlacerConfig::default();
+        config.restarts = 1;
+        config.preserve_gp = true;
+        let ea = EPlaceA::new(config)
+            .place(&circuit)
+            .expect("ePlace-A failed");
+        let sa = SaPlacer::new(SaConfig {
+            temperatures: 360,
+            moves_per_temperature: 200 * circuit.num_devices(),
+            ..SaConfig::default()
+        })
+        .place(&circuit)
+        .expect("SA failed");
+        print_row(
+            &[
+                format!("{stages}"),
+                format!("{}", circuit.num_devices()),
+                format!("{:.1}", ea.area),
+                format!("{:.1}", ea.hpwl),
+                format!("{:.2}", ea.gp_seconds + ea.dp_seconds),
+                format!("{:.1}", sa.area),
+                format!("{:.1}", sa.hpwl),
+                format!("{:.2}", sa.anneal_seconds + sa.repair_seconds),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(SA budget ∝ n as usual; watch the wall-time growth of each column)");
+}

@@ -1,0 +1,85 @@
+//! Table III: main comparison for the conventional (performance-oblivious)
+//! formulation — simulated annealing vs. the ISPD'19 analytical placer \[11\]
+//! vs. ePlace-A, on all ten circuits.
+//!
+//! Paper shape: both analytical methods are ≈50× faster than SA; ePlace-A
+//! beats SA on area (≈1.11×) and HPWL (≈1.14×) while \[11\] is *worse* than
+//! SA on quality (≈1.25×/1.24×).
+
+use placer_bench::{geomean_ratio, paper_circuits, print_row, run_eplace_a, run_sa, run_xu19};
+
+fn main() {
+    let widths = [8usize, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+    print_row(
+        &[
+            "Design".into(),
+            "SA area".into(),
+            "SA hpwl".into(),
+            "SA s".into(),
+            "[11]area".into(),
+            "[11]hpwl".into(),
+            "[11] s".into(),
+            "eA area".into(),
+            "eA hpwl".into(),
+            "eA s".into(),
+        ],
+        &widths,
+    );
+    let mut sa_area = Vec::new();
+    let mut sa_hpwl = Vec::new();
+    let mut sa_time = Vec::new();
+    let mut xu_area = Vec::new();
+    let mut xu_hpwl = Vec::new();
+    let mut xu_time = Vec::new();
+    let mut ea_area = Vec::new();
+    let mut ea_hpwl = Vec::new();
+    let mut ea_time = Vec::new();
+
+    for circuit in paper_circuits() {
+        let sa = run_sa(&circuit);
+        let xu = run_xu19(&circuit);
+        let ea = run_eplace_a(&circuit);
+        print_row(
+            &[
+                circuit.name().to_string(),
+                format!("{:.1}", sa.area),
+                format!("{:.1}", sa.hpwl),
+                format!("{:.2}", sa.seconds),
+                format!("{:.1}", xu.area),
+                format!("{:.1}", xu.hpwl),
+                format!("{:.2}", xu.seconds),
+                format!("{:.1}", ea.area),
+                format!("{:.1}", ea.hpwl),
+                format!("{:.2}", ea.seconds),
+            ],
+            &widths,
+        );
+        sa_area.push(sa.area);
+        sa_hpwl.push(sa.hpwl);
+        sa_time.push(sa.seconds.max(1e-4));
+        xu_area.push(xu.area);
+        xu_hpwl.push(xu.hpwl);
+        xu_time.push(xu.seconds.max(1e-4));
+        ea_area.push(ea.area);
+        ea_hpwl.push(ea.hpwl);
+        ea_time.push(ea.seconds.max(1e-4));
+    }
+
+    println!();
+    print_row(
+        &[
+            "Avg(X)".into(),
+            format!("{:.2}", geomean_ratio(&sa_area, &ea_area)),
+            format!("{:.2}", geomean_ratio(&sa_hpwl, &ea_hpwl)),
+            format!("{:.2}", geomean_ratio(&sa_time, &ea_time)),
+            format!("{:.2}", geomean_ratio(&xu_area, &ea_area)),
+            format!("{:.2}", geomean_ratio(&xu_hpwl, &ea_hpwl)),
+            format!("{:.2}", geomean_ratio(&xu_time, &ea_time)),
+            "1.00".into(),
+            "1.00".into(),
+            "1.00".into(),
+        ],
+        &widths,
+    );
+    println!("\n(ratios are geometric means vs. ePlace-A; paper: SA 1.11/1.14/55.2, [11] 1.25/1.24/0.80)");
+}

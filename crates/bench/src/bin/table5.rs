@@ -1,0 +1,70 @@
+//! Table V: FOM comparison among the three methods, each in conventional
+//! and performance-driven form (Perf* = our extension of \[11\]).
+//!
+//! Paper shape: performance-driven variants lift FOM for every method;
+//! the analytical ones gain more than SA; ePlace-AP is best (≈0.90 avg).
+
+use placer_bench::{
+    fom_of, paper_circuits, print_row, run_eplace_a, run_eplace_ap, run_sa, run_sa_perf,
+    run_xu19, run_xu19_perf, train_model,
+};
+
+fn main() {
+    let widths = [8usize, 8, 8, 8, 8, 8, 8];
+    print_row(
+        &[
+            "Design".into(),
+            "SA conv".into(),
+            "SA perf".into(),
+            "[11]cnv".into(),
+            "[11]prf".into(),
+            "eA conv".into(),
+            "eAP prf".into(),
+        ],
+        &widths,
+    );
+    let mut sums = [0.0f64; 6];
+    let mut count = 0.0;
+    for circuit in paper_circuits() {
+        let model = train_model(&circuit);
+        let ev = &model.evaluator;
+        let foms = [
+            fom_of(&circuit, ev, &run_sa(&circuit)),
+            fom_of(&circuit, ev, &run_sa_perf(&circuit, &model)),
+            fom_of(&circuit, ev, &run_xu19(&circuit)),
+            fom_of(&circuit, ev, &run_xu19_perf(&circuit, &model)),
+            fom_of(&circuit, ev, &run_eplace_a(&circuit)),
+            fom_of(&circuit, ev, &run_eplace_ap(&circuit, &model)),
+        ];
+        for (s, f) in sums.iter_mut().zip(&foms) {
+            *s += f;
+        }
+        count += 1.0;
+        print_row(
+            &[
+                circuit.name().to_string(),
+                format!("{:.2}", foms[0]),
+                format!("{:.2}", foms[1]),
+                format!("{:.2}", foms[2]),
+                format!("{:.2}", foms[3]),
+                format!("{:.2}", foms[4]),
+                format!("{:.2}", foms[5]),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    print_row(
+        &[
+            "Avg.".into(),
+            format!("{:.2}", sums[0] / count),
+            format!("{:.2}", sums[1] / count),
+            format!("{:.2}", sums[2] / count),
+            format!("{:.2}", sums[3] / count),
+            format!("{:.2}", sums[4] / count),
+            format!("{:.2}", sums[5] / count),
+        ],
+        &widths,
+    );
+    println!("\n(paper averages: SA 0.81/0.87, [11] 0.81/0.88, ePlace 0.81/0.90)");
+}

@@ -1,0 +1,178 @@
+//! Configuration of the ePlace-A / ePlace-AP pipeline.
+
+use placer_mathopt::MilpOptions;
+
+/// How symmetry constraints are treated during **global** placement
+/// (Table I of the paper compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymmetryMode {
+    /// Quadratic penalty term `τ·Sym(v)` (the paper's default).
+    Soft,
+    /// Exact projection onto the symmetry-feasible set after every step.
+    Hard,
+}
+
+/// Which smooth HPWL approximation global placement uses. The paper
+/// credits part of ePlace-A's quality to WA over LSE (§IV-C, reason 2);
+/// this switch makes that ablatable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Smoothing {
+    /// Weighted-average smoothing (Eq. 2; ePlace-A's default).
+    Wa,
+    /// Log-sum-exponential smoothing (NTUplace3 / \[11\]).
+    Lse,
+}
+
+/// Global placement parameters (Eq. 3/5 of the paper).
+#[derive(Debug, Clone)]
+pub struct GlobalConfig {
+    /// Density grid dimension (power of two).
+    pub grid: usize,
+    /// Target utilization of the placement region (device area / region area).
+    pub utilization: f64,
+    /// Maximum Nesterov iterations.
+    pub max_iters: usize,
+    /// Stop when density overflow falls below this fraction.
+    pub overflow_target: f64,
+    /// Relative weight of the density term versus wirelength (λ scale; the
+    /// absolute λ is normalized from the initial gradient ratio).
+    pub lambda_scale: f64,
+    /// Multiplier applied to λ while overflow exceeds the target.
+    pub lambda_growth: f64,
+    /// Relative weight of the symmetry penalty (τ scale).
+    pub tau_scale: f64,
+    /// Relative weight of the area term (η scale); set 0 to ablate (Fig. 2).
+    pub eta_scale: f64,
+    /// Symmetry handling mode (Table I).
+    pub symmetry: SymmetryMode,
+    /// WA smoothing parameter γ as a multiple of the bin size.
+    pub gamma_bins: f64,
+    /// HPWL smoothing function (WA default; LSE for the ablation).
+    pub smoothing: Smoothing,
+    /// Seed for the deterministic initial spread.
+    pub seed: u64,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        Self {
+            grid: 32,
+            utilization: 0.35,
+            max_iters: 500,
+            overflow_target: 0.08,
+            lambda_scale: 1.0,
+            lambda_growth: 1.05,
+            tau_scale: 0.6,
+            eta_scale: 0.35,
+            symmetry: SymmetryMode::Soft,
+            gamma_bins: 2.0,
+            smoothing: Smoothing::Wa,
+            seed: 1,
+        }
+    }
+}
+
+/// Detailed placement (integrated legalization) parameters (Eq. 4).
+#[derive(Debug, Clone)]
+pub struct DetailedConfig {
+    /// HPWL-vs-area weighting factor μ in Eq. 4a.
+    pub mu: f64,
+    /// Chip-area utilization factor ζ defining W̃ = H̃ = √(Σsᵢ/ζ).
+    pub zeta: f64,
+    /// Placement grid pitch in µm (coordinates become integers on this grid).
+    pub grid_step: f64,
+    /// Whether device flipping (binary fₓ/f_y variables) is enabled.
+    pub flipping: bool,
+    /// Branch-and-bound options per axis solve.
+    pub milp: MilpOptions,
+    /// Maximum cutting-plane rounds for residual-overlap separation.
+    pub max_refinement_rounds: usize,
+}
+
+impl Default for DetailedConfig {
+    fn default() -> Self {
+        Self {
+            mu: 2.0,
+            zeta: 0.7,
+            grid_step: 0.25,
+            flipping: true,
+            milp: MilpOptions {
+                max_nodes: 10_000,
+                absolute_gap: 1e-6,
+                relative_gap: 0.001,
+                time_limit: Some(1.5),
+            },
+            max_refinement_rounds: 12,
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PlacerConfig {
+    /// Global placement stage.
+    pub global: GlobalConfig,
+    /// Detailed placement stage.
+    pub detailed: DetailedConfig,
+    /// Number of GP+DP restarts with different seeds; the best result by
+    /// area·HPWL product is kept. Still far cheaper than annealing.
+    pub restarts: usize,
+    /// When true, detailed placement preserves the global placement's
+    /// relative structure (no reassignment passes). Used by ePlace-AP and
+    /// by ablation studies that measure global-placement effects.
+    pub preserve_gp: bool,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            global: GlobalConfig::default(),
+            detailed: DetailedConfig::default(),
+            restarts: 4,
+            preserve_gp: false,
+        }
+    }
+}
+
+/// Performance-driven extension parameters (ePlace-AP, Eq. 5).
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Weight α of the GNN term Φ(G).
+    pub alpha: f64,
+    /// Coordinate normalization scale the model was trained with (µm).
+    pub scale: f64,
+}
+
+impl PerfConfig {
+    /// Creates a performance configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and `alpha` nonnegative.
+    pub fn new(alpha: f64, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(alpha >= 0.0, "alpha must be nonnegative");
+        Self { alpha, scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PlacerConfig::default();
+        assert!(c.global.grid.is_power_of_two());
+        assert!(c.global.utilization > 0.0 && c.global.utilization < 1.0);
+        assert!(c.detailed.zeta > 0.0 && c.detailed.zeta <= 1.0);
+        assert!(c.detailed.flipping);
+        assert_eq!(c.global.symmetry, SymmetryMode::Soft);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn perf_config_validates_scale() {
+        let _ = PerfConfig::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Global placement of ePlace-A (Eq. 3) and ePlace-AP (Eq. 5).
+//!
+//! Minimizes `W(v) + λN(v) + τSym(v) + ηArea(v) [+ αΦ(G)]` with Nesterov
+//! accelerated gradient descent and Lipschitz step estimation, exactly the
+//! solver structure of ePlace \[15\]: the density weight λ grows while the
+//! overflow is above target, the WA smoothing γ anneals, and (for Table I's
+//! hard-constraint variant) positions are projected onto the
+//! symmetry-feasible set after every step.
+
+use analog_netlist::{Circuit, Placement};
+use placer_numeric::NesterovState;
+
+use crate::area::area_term;
+use crate::density::DensityGrid;
+use crate::symmetry::{project_symmetry, symmetry_penalty};
+use crate::wirelength::{exact_hpwl, smoothed_wirelength};
+use crate::{GlobalConfig, SymmetryMode};
+
+/// Statistics of a global placement run.
+#[derive(Debug, Clone)]
+pub struct GlobalStats {
+    /// Nesterov iterations executed.
+    pub iterations: usize,
+    /// Final density overflow.
+    pub overflow: f64,
+    /// Exact HPWL of the result (µm).
+    pub hpwl: f64,
+    /// Side length of the placement region (µm).
+    pub region_side: f64,
+}
+
+/// Extra objective hook: given positions, accumulate an additional gradient
+/// (already weighted) into `grad` (`[dx…, dy…]`) and return the term value.
+/// ePlace-AP plugs the GNN gradient in through this.
+pub type ExtraGradientFn<'a> = dyn FnMut(&[(f64, f64)], &mut [f64]) -> f64 + 'a;
+
+/// The ePlace-A global placement engine.
+#[derive(Debug, Clone)]
+pub struct GlobalPlacer {
+    config: GlobalConfig,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: GlobalConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs global placement (conventional formulation, Eq. 3).
+    pub fn run(&self, circuit: &Circuit) -> (Placement, GlobalStats) {
+        self.run_with_extra(circuit, None)
+    }
+
+    /// Runs global placement with an optional extra gradient term (Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no devices.
+    pub fn run_with_extra(
+        &self,
+        circuit: &Circuit,
+        mut extra: Option<&mut ExtraGradientFn<'_>>,
+    ) -> (Placement, GlobalStats) {
+        let n = circuit.num_devices();
+        assert!(n > 0, "cannot place an empty circuit");
+        let cfg = &self.config;
+        let total_area = circuit.total_device_area();
+        let side = (total_area / cfg.utilization).sqrt();
+        let density = DensityGrid::new((0.0, 0.0), (side, side), cfg.grid, cfg.utilization);
+        let (bin_x, _) = density.bin_size();
+
+        // Deterministic golden-angle spiral seed around the region center.
+        let mut v0 = vec![0.0; 2 * n];
+        let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+        for i in 0..n {
+            let r = side * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+            let theta = golden * (i as f64 + cfg.seed as f64);
+            v0[i] = side / 2.0 + r * theta.cos();
+            v0[n + i] = side / 2.0 + r * theta.sin();
+        }
+        let clamp_positions = |v: &mut [f64]| {
+            for (i, d) in circuit.devices().iter().enumerate() {
+                let hw = (d.width / 2.0).min(side / 2.0);
+                let hh = (d.height / 2.0).min(side / 2.0);
+                v[i] = v[i].clamp(hw, side - hw);
+                v[n + i] = v[n + i].clamp(hh, side - hh);
+            }
+        };
+        clamp_positions(&mut v0);
+        if cfg.symmetry == SymmetryMode::Hard {
+            let mut pts = to_points(&v0, n);
+            project_symmetry(circuit, &mut pts);
+            from_points(&pts, &mut v0);
+        }
+
+        // --- Weight normalization from initial gradient magnitudes. -------
+        let mut gamma = cfg.gamma_bins * bin_x;
+        let pts0 = to_points(&v0, n);
+        let mut g_wl = vec![0.0; 2 * n];
+        smoothed_wirelength(circuit, &pts0, gamma, &mut g_wl, cfg.smoothing);
+        let eval0 = density.evaluate(circuit, &pts0);
+        let mut g_sym = vec![0.0; 2 * n];
+        symmetry_penalty(circuit, &pts0, 1.0, &mut g_sym);
+        let mut g_area = vec![0.0; 2 * n];
+        area_term(circuit, &pts0, gamma, 1.0, &mut g_area);
+        let mean_area = total_area / n as f64;
+        let l1 = |g: &[f64]| g.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+        let wl_norm = l1(&g_wl);
+        let mut lambda = cfg.lambda_scale * wl_norm / l1(&eval0.grad);
+        let mut tau = cfg.tau_scale * wl_norm / l1(&g_sym);
+        let eta = cfg.eta_scale * wl_norm / l1(&g_area);
+
+        // --- Nesterov loop. -------------------------------------------------
+        let mut state = NesterovState::new(v0, bin_x * 0.25);
+        state.set_max_step(side * 0.1);
+        let mut grad = vec![0.0; 2 * n];
+        let mut overflow = eval0.overflow;
+        let mut iterations = 0;
+        let gamma_min = 0.25 * bin_x;
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            let pts = to_points(state.reference(), n);
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            smoothed_wirelength(circuit, &pts, gamma, &mut grad, cfg.smoothing);
+            let eval = density.evaluate(circuit, &pts);
+            for (g, dg) in grad.iter_mut().zip(&eval.grad) {
+                *g += lambda * dg;
+            }
+            symmetry_penalty(circuit, &pts, tau, &mut grad);
+            if eta > 0.0 {
+                area_term(circuit, &pts, gamma, eta, &mut grad);
+            }
+            if let Some(hook) = extra.as_deref_mut() {
+                hook(&pts, &mut grad);
+            }
+            // Jacobi preconditioning (as in ePlace): normalize each
+            // device's gradient by its charge (area), so large passives do
+            // not dominate the step direction.
+            for (i, d) in circuit.devices().iter().enumerate() {
+                let q = (d.area() / mean_area).max(0.25);
+                grad[i] /= q;
+                grad[n + i] /= q;
+            }
+            state.step(&grad);
+            clamp_positions(state.reference_mut());
+            if cfg.symmetry == SymmetryMode::Hard {
+                let mut pts = to_points(state.reference(), n);
+                project_symmetry(circuit, &mut pts);
+                from_points(&pts, state.reference_mut());
+            }
+            overflow = eval.overflow;
+            if overflow > cfg.overflow_target {
+                lambda *= cfg.lambda_growth;
+                state.notify_objective_change();
+            }
+            // Anneal the soft symmetry penalty upward so the GP converges
+            // to a near-feasible symmetric structure (legalization then
+            // needs only small moves) while staying explorative early on.
+            tau *= 1.02;
+            gamma = (gamma * 0.995).max(gamma_min);
+            if overflow < cfg.overflow_target && iter > 60 {
+                break;
+            }
+        }
+
+        let mut solution = state.solution().to_vec();
+        clamp_positions(&mut solution);
+        let mut pts = to_points(&solution, n);
+        if cfg.symmetry == SymmetryMode::Hard {
+            project_symmetry(circuit, &mut pts);
+        }
+        let hpwl = exact_hpwl(circuit, &pts);
+        (
+            Placement::from_positions(pts),
+            GlobalStats {
+                iterations,
+                overflow,
+                hpwl,
+                region_side: side,
+            },
+        )
+    }
+}
+
+pub(crate) fn to_points(flat: &[f64], n: usize) -> Vec<(f64, f64)> {
+    (0..n).map(|i| (flat[i], flat[n + i])).collect()
+}
+
+pub(crate) fn from_points(points: &[(f64, f64)], flat: &mut [f64]) {
+    let n = points.len();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        flat[i] = x;
+        flat[n + i] = y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    fn run(circuit: &Circuit, cfg: GlobalConfig) -> (Placement, GlobalStats) {
+        GlobalPlacer::new(cfg).run(circuit)
+    }
+
+    #[test]
+    fn global_placement_spreads_devices() {
+        let c = testcases::cc_ota();
+        let (p, stats) = run(&c, GlobalConfig::default());
+        // Overlap should be far below the fully-stacked initial state.
+        let stacked = Placement::new(c.num_devices());
+        assert!(p.overlap_area(&c) < 0.5 * stacked.overlap_area(&c));
+        assert!(stats.overflow < 0.5, "overflow {}", stats.overflow);
+        assert!(stats.hpwl > 0.0);
+    }
+
+    #[test]
+    fn devices_stay_inside_region() {
+        let c = testcases::comp2();
+        let (p, stats) = run(&c, GlobalConfig::default());
+        for (i, d) in c.devices().iter().enumerate() {
+            let (x, y) = p.positions[i];
+            assert!(x >= d.width / 2.0 - 1e-6 && x <= stats.region_side - d.width / 2.0 + 1e-6);
+            assert!(y >= d.height / 2.0 - 1e-6 && y <= stats.region_side - d.height / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn soft_symmetry_keeps_violation_small() {
+        let c = testcases::cc_ota();
+        let (p, _) = run(&c, GlobalConfig::default());
+        let side = (c.total_device_area() / 0.35).sqrt();
+        assert!(
+            p.symmetry_violation(&c) < 0.25 * side,
+            "violation {} vs side {side}",
+            p.symmetry_violation(&c)
+        );
+    }
+
+    #[test]
+    fn hard_symmetry_is_exact() {
+        let c = testcases::cc_ota();
+        let cfg = GlobalConfig {
+            symmetry: SymmetryMode::Hard,
+            ..GlobalConfig::default()
+        };
+        let (p, _) = run(&c, cfg);
+        assert!(p.symmetry_violation(&c) < 1e-9);
+    }
+
+    #[test]
+    fn area_term_reduces_bounding_box() {
+        let c = testcases::cm_ota1();
+        let with_area = run(
+            &c,
+            GlobalConfig {
+                seed: 3,
+                ..GlobalConfig::default()
+            },
+        )
+        .0;
+        let without_area = run(
+            &c,
+            GlobalConfig {
+                eta_scale: 0.0,
+                seed: 3,
+                ..GlobalConfig::default()
+            },
+        )
+        .0;
+        assert!(
+            with_area.area(&c) < 1.3 * without_area.area(&c),
+            "area term should not blow up the bounding box: {} vs {}",
+            with_area.area(&c),
+            without_area.area(&c)
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = testcases::adder();
+        let a = run(&c, GlobalConfig::default()).0;
+        let b = run(&c, GlobalConfig::default()).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extra_gradient_hook_is_invoked() {
+        let c = testcases::adder();
+        let mut calls = 0usize;
+        let mut hook = |_pts: &[(f64, f64)], _grad: &mut [f64]| -> f64 {
+            calls += 1;
+            0.0
+        };
+        let placer = GlobalPlacer::new(GlobalConfig {
+            max_iters: 10,
+            ..GlobalConfig::default()
+        });
+        let _ = placer.run_with_extra(&c, Some(&mut hook));
+        assert!(calls >= 10);
+    }
+}

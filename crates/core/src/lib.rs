@@ -1,0 +1,60 @@
+//! # eplace
+//!
+//! **ePlace-A** and **ePlace-AP**: analytical analog IC placement, the core
+//! contribution of *"Are Analytical Techniques Worthwhile for Analog IC
+//! Placement?"* (DATE 2022).
+//!
+//! - [`GlobalPlacer`] minimizes `W(v) + λN(v) + τSym(v) + ηArea(v)` (Eq. 3)
+//!   with WA wirelength smoothing, ePlace electrostatic density, a soft (or
+//!   hard, Table I) symmetry penalty and a smoothed bounding-box area term,
+//!   solved by Nesterov descent with Lipschitz step estimation.
+//! - [`DetailedPlacer`] performs integrated legalization + detailed
+//!   placement as an ILP (Eq. 4a–4j) with device flipping, hard symmetry,
+//!   alignment and ordering constraints on an integer grid.
+//! - [`EPlaceAP`] adds the GNN performance term `α·Φ(G)` (Eq. 5) through an
+//!   analytic input-gradient hook.
+//!
+//! # Examples
+//!
+//! ```
+//! use analog_netlist::testcases;
+//! use eplace::{EPlaceA, PlacerConfig};
+//!
+//! # fn main() -> Result<(), eplace::DetailedError> {
+//! let circuit = testcases::cc_ota();
+//! let result = EPlaceA::new(PlacerConfig::default()).place(&circuit)?;
+//! println!(
+//!     "area {:.1} µm², HPWL {:.1} µm in {:.2}s",
+//!     result.area,
+//!     result.hpwl,
+//!     result.gp_seconds + result.dp_seconds,
+//! );
+//! assert!(result.placement.is_legal(&circuit, 1e-6));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod config;
+mod density;
+mod detailed;
+mod global;
+mod perf;
+mod pipeline;
+mod proptests;
+pub mod sepplan;
+mod symmetry;
+pub mod wirelength;
+
+pub use area::{area_term, exact_area};
+pub use config::{DetailedConfig, GlobalConfig, PerfConfig, PlacerConfig, Smoothing, SymmetryMode};
+pub use density::{DensityEval, DensityGrid};
+pub use detailed::{legalize, DetailedError, DetailedPlacer, DetailedStats};
+pub use global::{GlobalPlacer, GlobalStats};
+pub use perf::run_perf_global;
+pub use pipeline::{EPlaceA, EPlaceAP, PlacementResult};
+pub use sepplan::{SepEdge, SeparationPlanner};
+pub use symmetry::{project_symmetry, symmetry_penalty};

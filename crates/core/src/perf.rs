@@ -1,0 +1,99 @@
+//! ePlace-AP: GNN-guided performance-driven global placement (Eq. 5).
+//!
+//! The only difference from ePlace-A is the extra objective term `α·Φ(G)`;
+//! its gradient `∂Φ/∂v` comes from the GNN's reverse pass
+//! ([`Network::position_gradient`]) — the role TensorFlow's autodiff plays
+//! in the paper.
+
+use analog_netlist::{Circuit, Placement};
+use placer_gnn::{CircuitGraph, Network};
+
+use crate::global::{GlobalPlacer, GlobalStats};
+use crate::{GlobalConfig, PerfConfig};
+
+/// Runs performance-driven global placement: ePlace-A's engine with the
+/// GNN gradient hook plugged in.
+///
+/// `α` is normalized against the wirelength gradient magnitude on the first
+/// call so `PerfConfig::alpha` acts as a relative weight, mirroring how the
+/// other weights in Eq. 5 are balanced.
+pub fn run_perf_global(
+    circuit: &Circuit,
+    global_config: &GlobalConfig,
+    perf: &PerfConfig,
+    network: &Network,
+) -> (Placement, GlobalStats) {
+    let n = circuit.num_devices();
+    let mut graph: Option<CircuitGraph> = None;
+    let mut alpha_abs: Option<f64> = None;
+    let mut hook = |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 {
+        let placement = Placement::from_positions(pts.to_vec());
+        let g = match graph.as_mut() {
+            Some(g) => {
+                g.update_positions(&placement);
+                g
+            }
+            None => {
+                graph = Some(CircuitGraph::new(circuit, &placement, perf.scale));
+                graph.as_mut().expect("just inserted")
+            }
+        };
+        let (phi, pos_grad) = network.position_gradient(g);
+        // Normalize α once, against the initial wirelength-dominated grad
+        // (re-normalizing every iteration amplifies a saturated Φ gradient
+        // into noise — measured to hurt).
+        let alpha = *alpha_abs.get_or_insert_with(|| {
+            let g_norm: f64 = grad.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+            let phi_norm: f64 = pos_grad
+                .iter()
+                .map(|(gx, gy)| gx.abs() + gy.abs())
+                .sum::<f64>()
+                .max(1e-12);
+            perf.alpha * g_norm / phi_norm
+        });
+        for (i, &(gx, gy)) in pos_grad.iter().enumerate() {
+            grad[i] += alpha * gx;
+            grad[n + i] += alpha * gy;
+        }
+        alpha * phi
+    };
+    GlobalPlacer::new(global_config.clone()).run_with_extra(circuit, Some(&mut hook))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+    use placer_gnn::Network;
+
+    #[test]
+    fn perf_global_runs_and_is_deterministic() {
+        let c = testcases::adder();
+        let net = Network::default_config(4);
+        let cfg = GlobalConfig {
+            max_iters: 60,
+            ..GlobalConfig::default()
+        };
+        let perf = PerfConfig::new(0.5, 20.0);
+        let (p1, s1) = run_perf_global(&c, &cfg, &perf, &net);
+        let (p2, _) = run_perf_global(&c, &cfg, &perf, &net);
+        assert_eq!(p1, p2);
+        assert!(s1.hpwl > 0.0);
+    }
+
+    #[test]
+    fn alpha_zero_matches_conventional_run() {
+        let c = testcases::adder();
+        let net = Network::default_config(4);
+        let cfg = GlobalConfig {
+            max_iters: 40,
+            ..GlobalConfig::default()
+        };
+        let perf = PerfConfig::new(0.0, 20.0);
+        let (p_perf, _) = run_perf_global(&c, &cfg, &perf, &net);
+        let (p_conv, _) = crate::GlobalPlacer::new(cfg).run(&c);
+        for (a, b) in p_perf.positions.iter().zip(&p_conv.positions) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+}

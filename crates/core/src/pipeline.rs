@@ -1,0 +1,266 @@
+//! End-to-end placement pipelines: ePlace-A and ePlace-AP.
+
+use std::time::Instant;
+
+use analog_netlist::{Circuit, Placement};
+use placer_gnn::Network;
+
+use crate::detailed::{legalize, DetailedError};
+use crate::global::GlobalPlacer;
+use crate::perf::run_perf_global;
+use crate::{PerfConfig, PlacerConfig};
+
+/// The result of a full placement run.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The final (legal) placement.
+    pub placement: Placement,
+    /// Exact HPWL (µm), flips included.
+    pub hpwl: f64,
+    /// Bounding-box area (µm²).
+    pub area: f64,
+    /// Global placement wall time (s).
+    pub gp_seconds: f64,
+    /// Detailed placement wall time (s).
+    pub dp_seconds: f64,
+    /// Global placement iterations.
+    pub gp_iterations: usize,
+}
+
+/// The ePlace-A analog placer (conventional, performance-oblivious).
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::testcases;
+/// use eplace::{EPlaceA, PlacerConfig};
+///
+/// # fn main() -> Result<(), eplace::DetailedError> {
+/// let circuit = testcases::adder();
+/// let placer = EPlaceA::new(PlacerConfig::default());
+/// let result = placer.place(&circuit)?;
+/// assert!(result.placement.is_legal(&circuit, 1e-6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EPlaceA {
+    config: PlacerConfig,
+}
+
+impl EPlaceA {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: PlacerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Runs global then detailed placement, keeping the best of
+    /// `restarts` seeded attempts (by area·HPWL product).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DetailedError`] from the legalization ILP when every
+    /// restart fails; a single successful restart suffices.
+    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+        let mut best: Option<PlacementResult> = None;
+        let mut last_err: Option<DetailedError> = None;
+        let attempts = self.config.restarts.max(1);
+        // Restarts vary both the seed and the GP region utilization — the
+        // best region density is circuit-dependent.
+        let util_ladder = [1.0, 1.0, 1.0, 1.5];
+        for k in 0..attempts {
+            let mut global_cfg = self.config.global.clone();
+            global_cfg.seed = self.config.global.seed + k as u64;
+            global_cfg.utilization =
+                (global_cfg.utilization * util_ladder[k % util_ladder.len()]).min(0.8);
+            let t0 = Instant::now();
+            let (gp, stats) = GlobalPlacer::new(global_cfg).run(circuit);
+            let gp_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let dp_result = if self.config.preserve_gp {
+                crate::DetailedPlacer::new(self.config.detailed.clone())
+                    .run_preserving(circuit, &gp)
+            } else {
+                legalize(circuit, &gp, &self.config.detailed)
+            };
+            match dp_result {
+                Ok((placement, dstats)) => {
+                    let candidate = PlacementResult {
+                        placement,
+                        hpwl: dstats.hpwl,
+                        area: dstats.area,
+                        gp_seconds: best.as_ref().map_or(0.0, |b| b.gp_seconds) + gp_seconds,
+                        dp_seconds: best.as_ref().map_or(0.0, |b| b.dp_seconds)
+                            + t1.elapsed().as_secs_f64(),
+                        gp_iterations: stats.iterations,
+                    };
+                    let score = |r: &PlacementResult| r.area * r.hpwl;
+                    best = match best {
+                        Some(prev) if score(&prev) <= score(&candidate) => Some(PlacementResult {
+                            gp_seconds: candidate.gp_seconds,
+                            dp_seconds: candidate.dp_seconds,
+                            ..prev
+                        }),
+                        _ => Some(candidate),
+                    };
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match best {
+            Some(result) => Ok(result),
+            None => Err(last_err.expect("at least one attempt ran")),
+        }
+    }
+
+    /// Runs only global placement (for Table IV's shared-GP comparison).
+    pub fn global_only(&self, circuit: &Circuit) -> Placement {
+        GlobalPlacer::new(self.config.global.clone()).run(circuit).0
+    }
+}
+
+/// The ePlace-AP performance-driven placer: ePlace-A plus the GNN term.
+#[derive(Debug, Clone)]
+pub struct EPlaceAP {
+    config: PlacerConfig,
+    perf: PerfConfig,
+    network: Network,
+}
+
+impl EPlaceAP {
+    /// Creates a performance-driven placer around a trained model.
+    pub fn new(config: PlacerConfig, perf: PerfConfig, network: Network) -> Self {
+        Self {
+            config,
+            perf,
+            network,
+        }
+    }
+
+    /// Runs performance-driven global placement then the (identical)
+    /// detailed placement of ePlace-A, keeping the best of `restarts`
+    /// seeded attempts. The selection score multiplies area·HPWL by the
+    /// model's predicted failure probability Φ of the final placement, so
+    /// the restart machinery optimizes the same blend as the objective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DetailedError`] from the legalization ILP when every
+    /// restart fails.
+    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+        let mut best: Option<(f64, PlacementResult)> = None;
+        let mut last_err: Option<DetailedError> = None;
+        let mut total_gp = 0.0;
+        let mut total_dp = 0.0;
+        let attempts = self.config.restarts.max(1);
+        let util_ladder = [1.0, 1.0, 1.0, 1.5];
+        // Restarts also sweep the GNN weight α: how hard to lean on the
+        // performance model is itself a hyperparameter worth exploring. The
+        // α = 0 attempt keeps the conventional solution in the candidate
+        // pool, so a poorly-calibrated model cannot make things worse than
+        // plain ePlace-A under the same selection score.
+        let alpha_ladder = [1.0, 0.5, 2.0, 0.0];
+        let mut graph: Option<placer_gnn::CircuitGraph> = None;
+        for k in 0..attempts {
+            let mut global_cfg = self.config.global.clone();
+            global_cfg.seed = self.config.global.seed + k as u64;
+            global_cfg.utilization =
+                (global_cfg.utilization * util_ladder[k % util_ladder.len()]).min(0.8);
+            let mut perf_cfg = self.perf.clone();
+            perf_cfg.alpha *= alpha_ladder[k % alpha_ladder.len()];
+            let t0 = Instant::now();
+            let (gp, stats) = run_perf_global(circuit, &global_cfg, &perf_cfg, &self.network);
+            total_gp += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            // Structure-preserving legalization: the GNN guidance lives in
+            // the GP's relative ordering, which the reassignment passes of
+            // the conventional flow would discard.
+            let dp = crate::DetailedPlacer::new(self.config.detailed.clone());
+            match dp.run_preserving(circuit, &gp) {
+                Ok((placement, dstats)) => {
+                    total_dp += t1.elapsed().as_secs_f64();
+                    let g = match graph.as_mut() {
+                        Some(g) => {
+                            g.update_positions(&placement);
+                            g
+                        }
+                        None => {
+                            graph = Some(placer_gnn::CircuitGraph::new(
+                                circuit,
+                                &placement,
+                                self.perf.scale,
+                            ));
+                            graph.as_mut().expect("just inserted")
+                        }
+                    };
+                    let phi = self.network.predict(g);
+                    let score = dstats.area * dstats.hpwl * (0.3 + phi);
+                    let candidate = PlacementResult {
+                        placement,
+                        hpwl: dstats.hpwl,
+                        area: dstats.area,
+                        gp_seconds: total_gp,
+                        dp_seconds: total_dp,
+                        gp_iterations: stats.iterations,
+                    };
+                    best = match best {
+                        Some((best_score, prev)) if best_score <= score => {
+                            Some((best_score, prev))
+                        }
+                        _ => Some((score, candidate)),
+                    };
+                }
+                Err(e) => {
+                    total_dp += t1.elapsed().as_secs_f64();
+                    last_err = Some(e);
+                }
+            }
+        }
+        match best {
+            Some((_, mut result)) => {
+                result.gp_seconds = total_gp;
+                result.dp_seconds = total_dp;
+                Ok(result)
+            }
+            None => Err(last_err.expect("at least one attempt ran")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn eplace_a_produces_legal_placements() {
+        for circuit in [testcases::adder(), testcases::cc_ota()] {
+            let result = EPlaceA::new(PlacerConfig::default()).place(&circuit).unwrap();
+            assert!(
+                result.placement.is_legal(&circuit, 1e-6),
+                "{} produced illegal placement",
+                circuit.name()
+            );
+            assert!(result.area >= circuit.total_device_area() * 0.99);
+            assert!(result.hpwl > 0.0);
+        }
+    }
+
+    #[test]
+    fn eplace_ap_produces_legal_placements() {
+        let circuit = testcases::adder();
+        let network = Network::default_config(2);
+        let placer = EPlaceAP::new(
+            PlacerConfig::default(),
+            PerfConfig::new(0.5, 20.0),
+            network,
+        );
+        let result = placer.place(&circuit).unwrap();
+        assert!(result.placement.is_legal(&circuit, 1e-6));
+    }
+}

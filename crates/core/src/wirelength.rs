@@ -1,0 +1,311 @@
+//! Weighted-average (WA) wirelength smoothing (Eq. 2 of the paper).
+//!
+//! `WA_e(x) = Σxᵢ·e^{xᵢ/γ}/Σe^{xᵢ/γ} − Σxᵢ·e^{−xᵢ/γ}/Σe^{−xᵢ/γ}` smoothly
+//! approximates `max xᵢ − min xᵢ`; the paper adopts it over the LSE function
+//! for its smaller estimation error \[23\].
+
+use analog_netlist::Circuit;
+
+/// One axis of WA smoothing over a coordinate set: returns the smoothed
+/// spread and fills `grads` (∂WA/∂xᵢ aligned with `coords`).
+///
+/// Numerically stabilized by subtracting the max/min before exponentiation.
+pub fn wa_spread_with_grad(coords: &[f64], gamma: f64, grads: &mut [f64]) -> f64 {
+    debug_assert_eq!(coords.len(), grads.len());
+    if coords.len() < 2 {
+        grads.iter_mut().for_each(|g| *g = 0.0);
+        return 0.0;
+    }
+    let xmax = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let xmin = coords.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Max-side: weights e^{(x−xmax)/γ}.
+    let mut s1 = 0.0; // Σ e
+    let mut s1x = 0.0; // Σ x·e
+    // Min-side: weights e^{(xmin−x)/γ}.
+    let mut s2 = 0.0;
+    let mut s2x = 0.0;
+    for &x in coords {
+        let ep = ((x - xmax) / gamma).exp();
+        let em = ((xmin - x) / gamma).exp();
+        s1 += ep;
+        s1x += x * ep;
+        s2 += em;
+        s2x += x * em;
+    }
+    let wa_max = s1x / s1;
+    let wa_min = s2x / s2;
+
+    for (g, &x) in grads.iter_mut().zip(coords) {
+        let ep = ((x - xmax) / gamma).exp();
+        let em = ((xmin - x) / gamma).exp();
+        // d(wa_max)/dx = e/s1 · (1 + (x − wa_max)/γ)
+        let dmax = ep / s1 * (1.0 + (x - wa_max) / gamma);
+        // d(wa_min)/dx = e/s2 · (1 − (x − wa_min)/γ)
+        let dmin = em / s2 * (1.0 - (x - wa_min) / gamma);
+        *g = dmax - dmin;
+    }
+    wa_max - wa_min
+}
+
+/// Smoothed total wirelength `W(v)` and its gradient over device centers.
+///
+/// Pin offsets are honored (unflipped orientation — flips are a detailed
+/// placement decision); each pin's gradient accumulates onto its device.
+///
+/// Returns the smoothed HPWL; `grad` receives `(∂W/∂x, ∂W/∂y)` interleaved
+/// as `[dx0, …, dxn−1, dy0, …, dyn−1]`.
+///
+/// # Panics
+///
+/// Panics if `positions`/`grad` sizes do not match the circuit.
+pub fn wa_wirelength(
+    circuit: &Circuit,
+    positions: &[(f64, f64)],
+    gamma: f64,
+    grad: &mut [f64],
+) -> f64 {
+    let n = circuit.num_devices();
+    assert_eq!(positions.len(), n, "positions length mismatch");
+    assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
+    grad.iter_mut().for_each(|g| *g = 0.0);
+
+    let mut total = 0.0;
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut gx: Vec<f64> = Vec::new();
+    let mut gy: Vec<f64> = Vec::new();
+    for net in circuit.nets() {
+        if net.pins.len() < 2 {
+            continue;
+        }
+        xs.clear();
+        ys.clear();
+        for p in &net.pins {
+            let d = circuit.device(p.device);
+            let (cx, cy) = positions[p.device.index()];
+            let (ox, oy) = d.pins[p.pin.index()].offset;
+            xs.push(cx - d.width / 2.0 + ox);
+            ys.push(cy - d.height / 2.0 + oy);
+        }
+        gx.resize(xs.len(), 0.0);
+        gy.resize(ys.len(), 0.0);
+        let wx = wa_spread_with_grad(&xs, gamma, &mut gx);
+        let wy = wa_spread_with_grad(&ys, gamma, &mut gy);
+        total += net.weight * (wx + wy);
+        for (k, p) in net.pins.iter().enumerate() {
+            grad[p.device.index()] += net.weight * gx[k];
+            grad[n + p.device.index()] += net.weight * gy[k];
+        }
+    }
+    total
+}
+
+
+/// One axis of log-sum-exponential (LSE) smoothing (NTUplace3 \[10\]):
+/// `γ·lnΣe^{xᵢ/γ} + γ·lnΣe^{−xᵢ/γ}` over-approximates the spread. Kept
+/// alongside WA so the smoothing choice (§IV-C reason 2) can be ablated.
+pub fn lse_spread_with_grad(coords: &[f64], gamma: f64, grads: &mut [f64]) -> f64 {
+    debug_assert_eq!(coords.len(), grads.len());
+    if coords.len() < 2 {
+        grads.iter_mut().for_each(|g| *g = 0.0);
+        return 0.0;
+    }
+    let xmax = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let xmin = coords.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut s_max = 0.0;
+    let mut s_min = 0.0;
+    for &x in coords {
+        s_max += ((x - xmax) / gamma).exp();
+        s_min += ((xmin - x) / gamma).exp();
+    }
+    let value = xmax + gamma * s_max.ln() - xmin + gamma * s_min.ln();
+    for (g, &x) in grads.iter_mut().zip(coords) {
+        let p_max = ((x - xmax) / gamma).exp() / s_max;
+        let p_min = ((xmin - x) / gamma).exp() / s_min;
+        *g = p_max - p_min;
+    }
+    value
+}
+
+/// Smoothed total wirelength with a selectable smoother.
+///
+/// # Panics
+///
+/// Panics on size mismatches (see [`wa_wirelength`]).
+pub fn smoothed_wirelength(
+    circuit: &Circuit,
+    positions: &[(f64, f64)],
+    gamma: f64,
+    grad: &mut [f64],
+    smoothing: crate::Smoothing,
+) -> f64 {
+    let n = circuit.num_devices();
+    assert_eq!(positions.len(), n, "positions length mismatch");
+    assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    let spread = match smoothing {
+        crate::Smoothing::Wa => wa_spread_with_grad,
+        crate::Smoothing::Lse => lse_spread_with_grad,
+    };
+    let mut total = 0.0;
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut gx: Vec<f64> = Vec::new();
+    let mut gy: Vec<f64> = Vec::new();
+    for net in circuit.nets() {
+        if net.pins.len() < 2 {
+            continue;
+        }
+        xs.clear();
+        ys.clear();
+        for p in &net.pins {
+            let d = circuit.device(p.device);
+            let (cx, cy) = positions[p.device.index()];
+            let (ox, oy) = d.pins[p.pin.index()].offset;
+            xs.push(cx - d.width / 2.0 + ox);
+            ys.push(cy - d.height / 2.0 + oy);
+        }
+        gx.resize(xs.len(), 0.0);
+        gy.resize(ys.len(), 0.0);
+        let wx = spread(&xs, gamma, &mut gx);
+        let wy = spread(&ys, gamma, &mut gy);
+        total += net.weight * (wx + wy);
+        for (k, p) in net.pins.iter().enumerate() {
+            grad[p.device.index()] += net.weight * gx[k];
+            grad[n + p.device.index()] += net.weight * gy[k];
+        }
+    }
+    total
+}
+
+/// Exact HPWL with the same pin model as [`wa_wirelength`] (for tests and
+/// convergence reporting).
+pub fn exact_hpwl(circuit: &Circuit, positions: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for net in circuit.nets() {
+        if net.pins.len() < 2 {
+            continue;
+        }
+        let mut xmin = f64::INFINITY;
+        let mut xmax = f64::NEG_INFINITY;
+        let mut ymin = f64::INFINITY;
+        let mut ymax = f64::NEG_INFINITY;
+        for p in &net.pins {
+            let d = circuit.device(p.device);
+            let (cx, cy) = positions[p.device.index()];
+            let (ox, oy) = d.pins[p.pin.index()].offset;
+            let x = cx - d.width / 2.0 + ox;
+            let y = cy - d.height / 2.0 + oy;
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        total += net.weight * ((xmax - xmin) + (ymax - ymin));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn wa_spread_approaches_exact_as_gamma_shrinks() {
+        let coords = [0.0, 3.0, 7.5, 1.2];
+        let exact = 7.5;
+        let mut grads = vec![0.0; 4];
+        let loose = wa_spread_with_grad(&coords, 5.0, &mut grads);
+        let tight = wa_spread_with_grad(&coords, 0.05, &mut grads);
+        assert!((tight - exact).abs() < 1e-3);
+        assert!((tight - exact).abs() < (loose - exact).abs());
+    }
+
+    #[test]
+    fn wa_spread_underestimates_exact() {
+        // The WA max underestimates max and the WA min overestimates min.
+        let coords = [0.0, 1.0, 2.0, 10.0];
+        let mut grads = vec![0.0; 4];
+        let wa = wa_spread_with_grad(&coords, 1.0, &mut grads);
+        assert!(wa <= 10.0 + 1e-12);
+        assert!(wa > 0.0);
+    }
+
+    #[test]
+    fn wa_gradient_matches_finite_differences() {
+        let coords = vec![0.3, 2.7, -1.2, 5.0, 4.9];
+        let gamma = 0.8;
+        let mut grads = vec![0.0; coords.len()];
+        wa_spread_with_grad(&coords, gamma, &mut grads);
+        let eps = 1e-6;
+        for i in 0..coords.len() {
+            let mut plus = coords.clone();
+            plus[i] += eps;
+            let mut minus = coords.clone();
+            minus[i] -= eps;
+            let mut scratch = vec![0.0; coords.len()];
+            let fp = wa_spread_with_grad(&plus, gamma, &mut scratch);
+            let fm = wa_spread_with_grad(&minus, gamma, &mut scratch);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grads[i]).abs() < 1e-5,
+                "coord {i}: numeric {numeric} vs analytic {}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_wirelength_gradient_matches_finite_differences() {
+        let c = testcases::adder();
+        let n = c.num_devices();
+        let mut positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 3) as f64 * 2.3, (i / 3) as f64 * 1.7))
+            .collect();
+        let gamma = 1.0;
+        let mut grad = vec![0.0; 2 * n];
+        wa_wirelength(&c, &positions, gamma, &mut grad);
+        let eps = 1e-6;
+        let mut scratch = vec![0.0; 2 * n];
+        for dev in [0usize, n / 2, n - 1] {
+            let orig = positions[dev];
+            positions[dev] = (orig.0 + eps, orig.1);
+            let fp = wa_wirelength(&c, &positions, gamma, &mut scratch);
+            positions[dev] = (orig.0 - eps, orig.1);
+            let fm = wa_wirelength(&c, &positions, gamma, &mut scratch);
+            positions[dev] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[dev]).abs() < 1e-4,
+                "device {dev}: numeric {numeric} vs analytic {}",
+                grad[dev]
+            );
+        }
+    }
+
+    #[test]
+    fn wa_upper_bounds_track_exact_hpwl() {
+        let c = testcases::cc_ota();
+        let n = c.num_devices();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 4) as f64 * 4.0, (i / 4) as f64 * 3.0))
+            .collect();
+        let exact = exact_hpwl(&c, &positions);
+        let mut grad = vec![0.0; 2 * n];
+        let smooth = wa_wirelength(&c, &positions, 0.05, &mut grad);
+        assert!(
+            (smooth - exact).abs() / exact < 0.02,
+            "smooth {smooth} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn single_pin_nets_contribute_nothing() {
+        let coords = [4.2];
+        let mut grads = [1.0];
+        assert_eq!(wa_spread_with_grad(&coords, 1.0, &mut grads), 0.0);
+        assert_eq!(grads[0], 0.0);
+    }
+}

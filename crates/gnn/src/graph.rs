@@ -1,0 +1,218 @@
+//! Circuit-to-graph feature extraction.
+//!
+//! Mirrors the input encoding of the ICCAD'20 GNN performance model \[19\]:
+//! node = device, features = type one-hot ⊕ normalized position ⊕ log-size,
+//! edges = shared nets weighted by `1/(|net|−1)`, symmetrically normalized
+//! with self-loops (`Â = D^{-1/2}(A+I)D^{-1/2}`).
+
+use analog_netlist::{Circuit, DeviceKind, Placement};
+
+use crate::Matrix;
+
+/// Number of device-kind slots in the one-hot encoding.
+pub const KIND_SLOTS: usize = 6;
+/// Total node feature width: kind one-hot, x, y, log-area, criticality.
+pub const FEATURES: usize = KIND_SLOTS + 4;
+/// Column index of the normalized x coordinate in the feature matrix.
+pub const FEATURE_X: usize = KIND_SLOTS;
+/// Column index of the normalized y coordinate in the feature matrix.
+pub const FEATURE_Y: usize = KIND_SLOTS + 1;
+/// Column index of the log-area feature.
+pub const FEATURE_AREA: usize = KIND_SLOTS + 2;
+/// Column index of the critical-net involvement feature (fraction of the
+/// device's pins on performance-critical nets).
+pub const FEATURE_CRITICAL: usize = KIND_SLOTS + 3;
+
+fn kind_slot(kind: DeviceKind) -> usize {
+    match kind {
+        DeviceKind::Nmos => 0,
+        DeviceKind::Pmos => 1,
+        DeviceKind::Capacitor => 2,
+        DeviceKind::Resistor => 3,
+        DeviceKind::Inductor => 4,
+        DeviceKind::Diode => 5,
+    }
+}
+
+/// A circuit graph ready for GNN inference: normalized adjacency (fixed by
+/// connectivity) plus node features (position-dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitGraph {
+    /// Normalized adjacency `Â`, `n × n`.
+    pub adjacency: Matrix,
+    /// Node features, `n × FEATURES`.
+    pub features: Matrix,
+    /// Position normalization scale (µm) used for the x/y features.
+    pub scale: f64,
+}
+
+impl CircuitGraph {
+    /// Builds the graph for a circuit and placement.
+    ///
+    /// `scale` normalizes coordinates into roughly `[0, 1]`; pass the
+    /// placement region extent. The adjacency depends only on connectivity,
+    /// so [`update_positions`](Self::update_positions) can cheaply refresh
+    /// the features as devices move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive or the placement size mismatches.
+    pub fn new(circuit: &Circuit, placement: &Placement, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert_eq!(
+            placement.len(),
+            circuit.num_devices(),
+            "placement size mismatch"
+        );
+        let n = circuit.num_devices();
+        // Raw adjacency with self-loops.
+        let mut a = Matrix::identity(n);
+        for net in circuit.nets() {
+            // Skip huge nets (rails): they carry no placement signal and
+            // would densify the graph, as in [19]'s preprocessing.
+            if net.pins.len() < 2 || net.pins.len() > 16 {
+                continue;
+            }
+            let w = 1.0 / (net.pins.len() as f64 - 1.0);
+            for i in 0..net.pins.len() {
+                for j in (i + 1)..net.pins.len() {
+                    let (di, dj) = (net.pins[i].device.index(), net.pins[j].device.index());
+                    if di == dj {
+                        continue;
+                    }
+                    a.add_at(di, dj, w);
+                    a.add_at(dj, di, w);
+                }
+            }
+        }
+        // Symmetric normalization.
+        let mut degree = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                degree[i] += a.get(i, j);
+            }
+        }
+        let mut adjacency = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let d = (degree[i] * degree[j]).sqrt();
+                if d > 0.0 {
+                    adjacency.set(i, j, a.get(i, j) / d);
+                }
+            }
+        }
+
+        let mut graph = Self {
+            adjacency,
+            features: Matrix::zeros(n, FEATURES),
+            scale,
+        };
+        graph.fill_static_features(circuit);
+        graph.update_positions(placement);
+        graph
+    }
+
+    fn fill_static_features(&mut self, circuit: &Circuit) {
+        for (i, d) in circuit.devices().iter().enumerate() {
+            self.features.set(i, kind_slot(d.kind), 1.0);
+            self.features.set(i, FEATURE_AREA, (1.0 + d.area()).ln());
+            let critical = if d.pins.is_empty() {
+                0.0
+            } else {
+                d.pins
+                    .iter()
+                    .filter(|p| circuit.net(p.net).critical)
+                    .count() as f64
+                    / d.pins.len() as f64
+            };
+            self.features.set(i, FEATURE_CRITICAL, critical);
+        }
+    }
+
+    /// Refreshes the position features from a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement has the wrong number of devices.
+    pub fn update_positions(&mut self, placement: &Placement) {
+        assert_eq!(
+            placement.len(),
+            self.features.rows(),
+            "placement size mismatch"
+        );
+        for (i, &(x, y)) in placement.positions.iter().enumerate() {
+            self.features.set(i, FEATURE_X, x / self.scale);
+            self.features.set(i, FEATURE_Y, y / self.scale);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn graph_shape_matches_circuit() {
+        let c = testcases::cc_ota();
+        let p = Placement::new(c.num_devices());
+        let g = CircuitGraph::new(&c, &p, 10.0);
+        assert_eq!(g.num_nodes(), c.num_devices());
+        assert_eq!(g.features.cols(), FEATURES);
+        assert_eq!(g.adjacency.rows(), c.num_devices());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_normalized() {
+        let c = testcases::comp1();
+        let p = Placement::new(c.num_devices());
+        let g = CircuitGraph::new(&c, &p, 10.0);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((g.adjacency.get(i, j) - g.adjacency.get(j, i)).abs() < 1e-12);
+            }
+            assert!(g.adjacency.get(i, i) > 0.0, "self loop missing at {i}");
+        }
+        // Symmetric normalization bounds the spectral radius by 1; row sums
+        // can slightly exceed 1 but must stay well-bounded.
+        for i in 0..n {
+            let sum: f64 = (0..n).map(|j| g.adjacency.get(i, j)).sum();
+            assert!(sum <= 2.0, "row {i} sum {sum}");
+            assert!(sum > 0.0);
+        }
+    }
+
+    #[test]
+    fn one_hot_kind_features() {
+        let c = testcases::vco1();
+        let p = Placement::new(c.num_devices());
+        let g = CircuitGraph::new(&c, &p, 10.0);
+        for (i, d) in c.devices().iter().enumerate() {
+            let hot: f64 = (0..KIND_SLOTS).map(|k| g.features.get(i, k)).sum();
+            assert_eq!(hot, 1.0, "device {} one-hot broken", d.name);
+        }
+    }
+
+    #[test]
+    fn update_positions_changes_only_xy() {
+        let c = testcases::adder();
+        let mut p = Placement::new(c.num_devices());
+        let mut g = CircuitGraph::new(&c, &p, 10.0);
+        let before = g.features.clone();
+        p.positions[0] = (5.0, 2.5);
+        g.update_positions(&p);
+        assert_eq!(g.features.get(0, FEATURE_X), 0.5);
+        assert_eq!(g.features.get(0, FEATURE_Y), 0.25);
+        for j in 0..FEATURES {
+            if j != FEATURE_X && j != FEATURE_Y {
+                assert_eq!(g.features.get(0, j), before.get(0, j));
+            }
+        }
+    }
+}

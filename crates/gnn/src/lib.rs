@@ -1,0 +1,42 @@
+//! # placer-gnn
+//!
+//! A small message-passing graph neural network with hand-written
+//! backpropagation, reproducing the role of the ICCAD'20 GNN performance
+//! model for analog placement: given a circuit graph (devices, connectivity,
+//! positions), predict the probability that the placed circuit's figure of
+//! merit misses its specification.
+//!
+//! Two consumers exist in this workspace:
+//!
+//! - the **simulated-annealing** placer calls [`Network::predict`] for its
+//!   cost function (inference only, as in \[19\]);
+//! - **ePlace-AP** calls [`Network::position_gradient`] for the analytical
+//!   gradient `−∂Φ/∂v` the paper obtains from TensorFlow autodiff — here it
+//!   is an explicit reverse pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use analog_netlist::{testcases, Placement};
+//! use placer_gnn::{CircuitGraph, Network};
+//!
+//! let circuit = testcases::cc_ota();
+//! let placement = Placement::new(circuit.num_devices());
+//! let graph = CircuitGraph::new(&circuit, &placement, 10.0);
+//! let network = Network::default_config(42);
+//! let phi = network.predict(&graph);
+//! assert!(phi > 0.0 && phi < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod graph;
+mod matrix;
+mod network;
+mod train;
+
+pub use graph::{CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS};
+pub use matrix::Matrix;
+pub use network::{Forward, Network, ParamGrads};
+pub use train::{TrainOptions, Trainer, TrainingSample};

@@ -1,0 +1,564 @@
+//! The message-passing network Φ(G) with hand-written backprop.
+//!
+//! Architecture (matching the role of the ICCAD'20 model \[19\]):
+//!
+//! ```text
+//! H1 = tanh(Â X W1 + X W2 + b1)        (graph conv 1)
+//! H2 = tanh(Â H1 W3 + H1 W4 + b2)      (graph conv 2)
+//! g  = mean over nodes of H2           (readout)
+//! h3 = tanh(g W5 + b3)                 (dense)
+//! Φ  = sigmoid(h3 W6 + b4)             (probability FOM < threshold)
+//! ```
+//!
+//! Because the solver of ePlace-AP needs `−∂Φ/∂v`, the backward pass exposes
+//! both parameter gradients (for training) and **input-feature gradients**
+//! (for placement), flowing through the position columns of `X`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CircuitGraph, Matrix, FEATURES, FEATURE_X, FEATURE_Y};
+
+fn tanh_prime_from_t(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// The trainable parameters and architecture of the performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    hidden: usize,
+    dense: usize,
+    w1: Matrix,
+    w2: Matrix,
+    b1: Vec<f64>,
+    w3: Matrix,
+    w4: Matrix,
+    b2: Vec<f64>,
+    w5: Matrix,
+    b3: Vec<f64>,
+    w6: Matrix,
+    b4: f64,
+}
+
+/// All intermediate activations of one forward pass, kept for backprop.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    x: Matrix,
+    ax: Matrix,
+    h1: Matrix,
+    ah1: Matrix,
+    h2: Matrix,
+    g: Vec<f64>,
+    h3: Vec<f64>,
+    /// The network output Φ ∈ (0, 1).
+    pub phi: f64,
+}
+
+/// Gradients with respect to every parameter (same shapes as the network).
+#[derive(Debug, Clone)]
+pub struct ParamGrads {
+    pub(crate) w1: Matrix,
+    pub(crate) w2: Matrix,
+    pub(crate) b1: Vec<f64>,
+    pub(crate) w3: Matrix,
+    pub(crate) w4: Matrix,
+    pub(crate) b2: Vec<f64>,
+    pub(crate) w5: Matrix,
+    pub(crate) b3: Vec<f64>,
+    pub(crate) w6: Matrix,
+    pub(crate) b4: f64,
+}
+
+impl Network {
+    /// Creates a network with Xavier-style random initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` or `dense` is zero.
+    pub fn new(hidden: usize, dense: usize, seed: u64) -> Self {
+        assert!(hidden > 0 && dense > 0, "layer widths must be nonzero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut init = |rows: usize, cols: usize| {
+            let s = (6.0 / (rows + cols) as f64).sqrt();
+            let data = (0..rows * cols).map(|_| rng.gen_range(-s..s)).collect();
+            Matrix::from_vec(rows, cols, data)
+        };
+        Self {
+            hidden,
+            dense,
+            w1: init(FEATURES, hidden),
+            w2: init(FEATURES, hidden),
+            b1: vec![0.0; hidden],
+            w3: init(hidden, hidden),
+            w4: init(hidden, hidden),
+            b2: vec![0.0; hidden],
+            w5: init(hidden, dense),
+            b3: vec![0.0; dense],
+            w6: init(dense, 1),
+            b4: 0.0,
+        }
+    }
+
+    /// Default configuration used throughout the reproduction.
+    pub fn default_config(seed: u64) -> Self {
+        Self::new(16, 8, seed)
+    }
+
+    /// Hidden (graph conv) width.
+    pub fn hidden_width(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the forward pass, returning all cached activations.
+    pub fn forward(&self, graph: &CircuitGraph) -> Forward {
+        let x = graph.features.clone();
+        let ax = graph.adjacency.matmul(&x);
+        let z1 = ax
+            .matmul(&self.w1)
+            .add(&x.matmul(&self.w2))
+            .add_row_broadcast(&self.b1);
+        let h1 = z1.map(f64::tanh);
+        let ah1 = graph.adjacency.matmul(&h1);
+        let z2 = ah1
+            .matmul(&self.w3)
+            .add(&h1.matmul(&self.w4))
+            .add_row_broadcast(&self.b2);
+        let h2 = z2.map(f64::tanh);
+        let g = h2.column_mean();
+        let mut h3 = vec![0.0; self.dense];
+        for j in 0..self.dense {
+            let mut z = self.b3[j];
+            for k in 0..self.hidden {
+                z += g[k] * self.w5.get(k, j);
+            }
+            h3[j] = z.tanh();
+        }
+        let mut z4 = self.b4;
+        for j in 0..self.dense {
+            z4 += h3[j] * self.w6.get(j, 0);
+        }
+        let phi = 1.0 / (1.0 + (-z4).exp());
+        Forward {
+            x,
+            ax,
+            h1,
+            ah1,
+            h2,
+            g,
+            h3,
+            phi,
+        }
+    }
+
+    /// Convenience: forward pass returning only Φ.
+    pub fn predict(&self, graph: &CircuitGraph) -> f64 {
+        self.forward(graph).phi
+    }
+
+    /// Backward pass from a scalar seed `dL/dz4` (the logit gradient).
+    ///
+    /// Returns parameter gradients and the gradient w.r.t. the input
+    /// feature matrix.
+    fn backward(&self, graph: &CircuitGraph, fwd: &Forward, dz4: f64) -> (ParamGrads, Matrix) {
+        let n = fwd.x.rows();
+        // Dense head.
+        let mut dw6 = Matrix::zeros(self.dense, 1);
+        let mut dh3 = vec![0.0; self.dense];
+        for j in 0..self.dense {
+            dw6.set(j, 0, dz4 * fwd.h3[j]);
+            dh3[j] = dz4 * self.w6.get(j, 0);
+        }
+        let db4 = dz4;
+        let mut dz3 = vec![0.0; self.dense];
+        for j in 0..self.dense {
+            dz3[j] = dh3[j] * tanh_prime_from_t(fwd.h3[j]);
+        }
+        let mut dw5 = Matrix::zeros(self.hidden, self.dense);
+        let mut dg = vec![0.0; self.hidden];
+        for k in 0..self.hidden {
+            for j in 0..self.dense {
+                dw5.set(k, j, fwd.g[k] * dz3[j]);
+                dg[k] += self.w5.get(k, j) * dz3[j];
+            }
+        }
+        let db3 = dz3;
+
+        // Readout: g = mean rows of H2.
+        let mut dh2 = Matrix::zeros(n, self.hidden);
+        for i in 0..n {
+            for k in 0..self.hidden {
+                dh2.set(i, k, dg[k] / n as f64);
+            }
+        }
+        // Layer 2.
+        let dz2 = dh2.hadamard(&fwd.h2.map(tanh_prime_from_t));
+        let dw3 = fwd.ah1.transpose().matmul(&dz2);
+        let dw4 = fwd.h1.transpose().matmul(&dz2);
+        let db2 = dz2.column_sum();
+        let at = graph.adjacency.transpose();
+        let dh1 = at
+            .matmul(&dz2.matmul(&self.w3.transpose()))
+            .add(&dz2.matmul(&self.w4.transpose()));
+        // Layer 1.
+        let dz1 = dh1.hadamard(&fwd.h1.map(tanh_prime_from_t));
+        let dw1 = fwd.ax.transpose().matmul(&dz1);
+        let dw2 = fwd.x.transpose().matmul(&dz1);
+        let db1 = dz1.column_sum();
+        let dx = at
+            .matmul(&dz1.matmul(&self.w1.transpose()))
+            .add(&dz1.matmul(&self.w2.transpose()));
+
+        (
+            ParamGrads {
+                w1: dw1,
+                w2: dw2,
+                b1: db1,
+                w3: dw3,
+                w4: dw4,
+                b2: db2,
+                w5: dw5,
+                b3: db3,
+                w6: dw6,
+                b4: db4,
+            },
+            dx,
+        )
+    }
+
+    /// Parameter gradients of the binary cross-entropy loss
+    /// `−y ln Φ − (1−y) ln(1−Φ)` for one labeled graph. Returns
+    /// `(loss, grads)`.
+    pub fn loss_gradients(&self, graph: &CircuitGraph, label: f64) -> (f64, ParamGrads) {
+        let fwd = self.forward(graph);
+        let eps = 1e-12;
+        let loss = -(label * (fwd.phi + eps).ln() + (1.0 - label) * (1.0 - fwd.phi + eps).ln());
+        // dL/dz4 = Φ − y for sigmoid + CE.
+        let (grads, _) = self.backward(graph, &fwd, fwd.phi - label);
+        (loss, grads)
+    }
+
+    /// Gradient of Φ itself with respect to each device's normalized
+    /// position: returns `(phi, Vec<(dΦ/dx, dΦ/dy)>)` in **µm⁻¹** units
+    /// (the chain rule through the `1/scale` feature normalization is
+    /// applied here).
+    pub fn position_gradient(&self, graph: &CircuitGraph) -> (f64, Vec<(f64, f64)>) {
+        let fwd = self.forward(graph);
+        // dΦ/dz4 = Φ(1−Φ).
+        let (_, dx) = self.backward(graph, &fwd, fwd.phi * (1.0 - fwd.phi));
+        let grads = (0..dx.rows())
+            .map(|i| {
+                (
+                    dx.get(i, FEATURE_X) / graph.scale,
+                    dx.get(i, FEATURE_Y) / graph.scale,
+                )
+            })
+            .collect();
+        (fwd.phi, grads)
+    }
+
+    /// Applies a scaled gradient step `p ← p − lr·g` (plain SGD; the Adam
+    /// trainer lives in [`crate::Trainer`]).
+    pub fn apply_grads(&mut self, grads: &ParamGrads, lr: f64) {
+        let step = |m: &mut Matrix, g: &Matrix| {
+            for (p, gv) in m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *p -= lr * gv;
+            }
+        };
+        step(&mut self.w1, &grads.w1);
+        step(&mut self.w2, &grads.w2);
+        step(&mut self.w3, &grads.w3);
+        step(&mut self.w4, &grads.w4);
+        step(&mut self.w5, &grads.w5);
+        step(&mut self.w6, &grads.w6);
+        for (p, g) in self.b1.iter_mut().zip(&grads.b1) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.b2.iter_mut().zip(&grads.b2) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.b3.iter_mut().zip(&grads.b3) {
+            *p -= lr * g;
+        }
+        self.b4 -= lr * grads.b4;
+    }
+
+    /// Iterator-free flat views used by the Adam trainer.
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut f64> {
+        let mut out: Vec<&mut f64> = Vec::new();
+        out.extend(self.w1.as_mut_slice().iter_mut());
+        out.extend(self.w2.as_mut_slice().iter_mut());
+        out.extend(self.b1.iter_mut());
+        out.extend(self.w3.as_mut_slice().iter_mut());
+        out.extend(self.w4.as_mut_slice().iter_mut());
+        out.extend(self.b2.iter_mut());
+        out.extend(self.w5.as_mut_slice().iter_mut());
+        out.extend(self.b3.iter_mut());
+        out.extend(self.w6.as_mut_slice().iter_mut());
+        out.push(&mut self.b4);
+        out
+    }
+}
+
+impl ParamGrads {
+    /// Flattens the gradients in the same order as `Network::params_mut`.
+    pub(crate) fn flatten(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        out.extend_from_slice(self.w1.as_slice());
+        out.extend_from_slice(self.w2.as_slice());
+        out.extend_from_slice(&self.b1);
+        out.extend_from_slice(self.w3.as_slice());
+        out.extend_from_slice(self.w4.as_slice());
+        out.extend_from_slice(&self.b2);
+        out.extend_from_slice(self.w5.as_slice());
+        out.extend_from_slice(&self.b3);
+        out.extend_from_slice(self.w6.as_slice());
+        out.push(self.b4);
+        out
+    }
+
+    /// Adds another gradient set (for mini-batch accumulation).
+    pub(crate) fn accumulate(&mut self, other: &ParamGrads) {
+        let add_m = |a: &mut Matrix, b: &Matrix| {
+            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *x += y;
+            }
+        };
+        add_m(&mut self.w1, &other.w1);
+        add_m(&mut self.w2, &other.w2);
+        add_m(&mut self.w3, &other.w3);
+        add_m(&mut self.w4, &other.w4);
+        add_m(&mut self.w5, &other.w5);
+        add_m(&mut self.w6, &other.w6);
+        for (x, y) in self.b1.iter_mut().zip(&other.b1) {
+            *x += y;
+        }
+        for (x, y) in self.b2.iter_mut().zip(&other.b2) {
+            *x += y;
+        }
+        for (x, y) in self.b3.iter_mut().zip(&other.b3) {
+            *x += y;
+        }
+        self.b4 += other.b4;
+    }
+
+    /// Scales all gradients (e.g. by 1/batch).
+    pub(crate) fn scale(&mut self, s: f64) {
+        self.w1.scale_in_place(s);
+        self.w2.scale_in_place(s);
+        self.w3.scale_in_place(s);
+        self.w4.scale_in_place(s);
+        self.w5.scale_in_place(s);
+        self.w6.scale_in_place(s);
+        for v in self
+            .b1
+            .iter_mut()
+            .chain(self.b2.iter_mut())
+            .chain(self.b3.iter_mut())
+        {
+            *v *= s;
+        }
+        self.b4 *= s;
+    }
+}
+
+
+impl Network {
+    /// Serializes the network to a plain-text format (architecture header
+    /// plus whitespace-separated parameters). No external dependencies.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "gnn-v1 {} {} {}", FEATURES, self.hidden, self.dense);
+        let mut dump = |name: &str, data: &[f64]| {
+            let _ = write!(out, "{name}");
+            for v in data {
+                let _ = write!(out, " {v:e}");
+            }
+            let _ = writeln!(out);
+        };
+        dump("w1", self.w1.as_slice());
+        dump("w2", self.w2.as_slice());
+        dump("b1", &self.b1);
+        dump("w3", self.w3.as_slice());
+        dump("w4", self.w4.as_slice());
+        dump("b2", &self.b2);
+        dump("w5", self.w5.as_slice());
+        dump("b3", &self.b3);
+        dump("w6", self.w6.as_slice());
+        dump("b4", &[self.b4]);
+        out
+    }
+
+    /// Deserializes a network written by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty input")?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "gnn-v1" {
+            return Err(format!("bad header `{header}`"));
+        }
+        let features: usize = parts[1].parse().map_err(|_| "bad feature count")?;
+        if features != FEATURES {
+            return Err(format!(
+                "model built for {features} features, this build uses {FEATURES}"
+            ));
+        }
+        let hidden: usize = parts[2].parse().map_err(|_| "bad hidden width")?;
+        let dense: usize = parts[3].parse().map_err(|_| "bad dense width")?;
+        let mut net = Network::new(hidden, dense, 0);
+        let mut read = |name: &str, expected: usize| -> Result<Vec<f64>, String> {
+            let line = lines.next().ok_or_else(|| format!("missing `{name}`"))?;
+            let mut tokens = line.split_whitespace();
+            if tokens.next() != Some(name) {
+                return Err(format!("expected `{name}` section"));
+            }
+            let values: Result<Vec<f64>, _> = tokens.map(str::parse::<f64>).collect();
+            let values = values.map_err(|_| format!("bad number in `{name}`"))?;
+            if values.len() != expected {
+                return Err(format!(
+                    "`{name}` has {} values, expected {expected}",
+                    values.len()
+                ));
+            }
+            Ok(values)
+        };
+        net.w1 = Matrix::from_vec(FEATURES, hidden, read("w1", FEATURES * hidden)?);
+        net.w2 = Matrix::from_vec(FEATURES, hidden, read("w2", FEATURES * hidden)?);
+        net.b1 = read("b1", hidden)?;
+        net.w3 = Matrix::from_vec(hidden, hidden, read("w3", hidden * hidden)?);
+        net.w4 = Matrix::from_vec(hidden, hidden, read("w4", hidden * hidden)?);
+        net.b2 = read("b2", hidden)?;
+        net.w5 = Matrix::from_vec(hidden, dense, read("w5", hidden * dense)?);
+        net.b3 = read("b3", dense)?;
+        net.w6 = Matrix::from_vec(dense, 1, read("w6", dense)?);
+        net.b4 = read("b4", 1)?[0];
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::{testcases, Placement};
+
+    fn test_graph() -> CircuitGraph {
+        let c = testcases::cc_ota();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i % 4) as f64 * 2.0, (i / 4) as f64 * 1.5);
+        }
+        CircuitGraph::new(&c, &p, 10.0)
+    }
+
+    #[test]
+    fn output_is_probability() {
+        let g = test_graph();
+        let net = Network::default_config(1);
+        let phi = net.predict(&g);
+        assert!(phi > 0.0 && phi < 1.0);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let g = test_graph();
+        let net = Network::default_config(7);
+        assert_eq!(net.predict(&g), net.predict(&g));
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        let g = test_graph();
+        let mut net = Network::new(4, 3, 3);
+        let label = 1.0;
+        let (_, grads) = net.loss_gradients(&g, label);
+        let flat = grads.flatten();
+        let eps = 1e-6;
+        // Spot-check a spread of parameter indices.
+        let total = flat.len();
+        for &idx in &[0usize, 7, total / 3, total / 2, total - 2, total - 1] {
+            let mut params = net.params_mut();
+            let orig = *params[idx];
+            *params[idx] = orig + eps;
+            drop(params);
+            let (lp, _) = net.loss_gradients(&g, label);
+            let mut params = net.params_mut();
+            *params[idx] = orig - eps;
+            drop(params);
+            let (lm, _) = net.loss_gradients(&g, label);
+            let mut params = net.params_mut();
+            *params[idx] = orig;
+            drop(params);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - flat[idx]).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn position_gradient_matches_finite_differences() {
+        let c = testcases::cc_ota();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i % 4) as f64 * 2.0, (i / 4) as f64 * 1.5);
+        }
+        let scale = 10.0;
+        let mut g = CircuitGraph::new(&c, &p, scale);
+        let net = Network::new(6, 4, 5);
+        let (_, grads) = net.position_gradient(&g);
+        let eps = 1e-5;
+        for dev in [0usize, 3, 7] {
+            let orig = p.positions[dev];
+            p.positions[dev] = (orig.0 + eps, orig.1);
+            g.update_positions(&p);
+            let phi_p = net.predict(&g);
+            p.positions[dev] = (orig.0 - eps, orig.1);
+            g.update_positions(&p);
+            let phi_m = net.predict(&g);
+            p.positions[dev] = orig;
+            g.update_positions(&p);
+            let numeric = (phi_p - phi_m) / (2.0 * eps);
+            assert!(
+                (numeric - grads[dev].0).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                "device {dev}: numeric {numeric} vs analytic {}",
+                grads[dev].0
+            );
+        }
+    }
+
+    #[test]
+    fn text_serialization_roundtrips() {
+        let g = test_graph();
+        let net = Network::new(5, 3, 13);
+        let text = net.to_text();
+        let back = Network::from_text(&text).expect("roundtrip parses");
+        assert!((net.predict(&g) - back.predict(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(Network::from_text("").is_err());
+        assert!(Network::from_text("gnn-v1 9 4").is_err());
+        assert!(Network::from_text("gnn-v1 9 4 3\nw1 nope").is_err());
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let g = test_graph();
+        let mut net = Network::default_config(11);
+        let label = 0.0;
+        let (l0, _) = net.loss_gradients(&g, label);
+        for _ in 0..50 {
+            let (_, grads) = net.loss_gradients(&g, label);
+            net.apply_grads(&grads, 0.1);
+        }
+        let (l1, _) = net.loss_gradients(&g, label);
+        assert!(l1 < l0, "loss did not decrease: {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based coverage for the LP/MILP stack: difference
+//! constraint systems (the legalizers' workload) against a longest-path
+//! oracle, and relative-gap semantics.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{ConstraintOp, MilpOptions, Model};
+
+proptest! {
+    /// For pure difference-constraint systems `x_b − x_a ≥ g` with a chain
+    /// structure, the LP minimum of the last variable equals the longest
+    /// path — compare the simplex against the oracle.
+    #[test]
+    fn chain_lp_matches_longest_path(gaps in proptest::collection::vec(1.0..6.0f64, 2..8)) {
+        let mut m = Model::new();
+        let n = gaps.len() + 1;
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY, if i == n - 1 { 1.0 } else { 0.0 }))
+            .collect();
+        for (i, &g) in gaps.iter().enumerate() {
+            m.add_constraint(
+                vec![(xs[i], 1.0), (xs[i + 1], -1.0)],
+                ConstraintOp::Le,
+                -g,
+            );
+        }
+        let sol = m.solve_lp().unwrap();
+        let oracle: f64 = gaps.iter().sum();
+        prop_assert!((sol.value(xs[n - 1]) - oracle).abs() < 1e-6);
+    }
+
+    /// With branching structure (two chains joining), the LP minimum is the
+    /// max of chain lengths.
+    #[test]
+    fn diamond_lp_matches_max_path(a in 1.0..9.0f64, b in 1.0..9.0f64, c in 1.0..9.0f64, d in 1.0..9.0f64) {
+        // s → u → t and s → v → t.
+        let mut m = Model::new();
+        let s = m.add_var("s", 0.0, f64::INFINITY, 0.0);
+        let u = m.add_var("u", 0.0, f64::INFINITY, 0.0);
+        let v = m.add_var("v", 0.0, f64::INFINITY, 0.0);
+        let t = m.add_var("t", 0.0, f64::INFINITY, 1.0);
+        for (from, to, g) in [(s, u, a), (u, t, b), (s, v, c), (v, t, d)] {
+            m.add_constraint(vec![(from, 1.0), (to, -1.0)], ConstraintOp::Le, -g);
+        }
+        let sol = m.solve_lp().unwrap();
+        let oracle = (a + b).max(c + d);
+        prop_assert!((sol.value(t) - oracle).abs() < 1e-6);
+    }
+
+    /// A relative gap returns a solution within that gap of the true MILP
+    /// optimum (verified by re-solving exactly).
+    #[test]
+    fn relative_gap_is_respected(costs in proptest::collection::vec(0.5..4.0f64, 4)) {
+        let build = || {
+            let mut m = Model::new();
+            let vars: Vec<_> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| m.add_int_var(format!("x{i}"), 0.0, 5.0, c))
+                .collect();
+            let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(terms, ConstraintOp::Ge, 7.0);
+            m
+        };
+        let exact = build()
+            .solve_milp(&MilpOptions::default())
+            .unwrap()
+            .objective;
+        let approx = build()
+            .solve_milp(&MilpOptions {
+                relative_gap: 0.05,
+                ..MilpOptions::default()
+            })
+            .unwrap()
+            .objective;
+        prop_assert!(approx >= exact - 1e-9);
+        prop_assert!(approx <= exact * 1.05 + 1e-6, "approx {approx} vs exact {exact}");
+    }
+
+    /// The elastic diagnosis reports zero violation for feasible systems.
+    #[test]
+    fn diagnosis_confirms_feasible_models(rhs in 2.0..20.0f64) {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 30.0, 1.0);
+        let y = m.add_var("y", 0.0, 30.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, rhs);
+        let (total, rows) = m.diagnose_infeasibility().unwrap();
+        prop_assert!(total < 1e-6);
+        prop_assert!(rows.is_empty());
+    }
+}

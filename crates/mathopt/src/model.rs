@@ -1,0 +1,374 @@
+//! Linear / mixed-integer model building.
+
+use std::fmt;
+
+/// Identifier of a decision variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index into the model's variable table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A decision variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    pub lower: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub upper: f64,
+    /// Objective coefficient.
+    pub objective: f64,
+    /// Whether the variable must take an integer value in MILP solves.
+    pub integer: bool,
+}
+
+/// A linear constraint `Σ coeff·var  op  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse terms `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear or mixed-integer program in minimization form.
+///
+/// # Examples
+///
+/// ```
+/// use placer_mathopt::{ConstraintOp, Model};
+///
+/// // minimize −x − 2y  s.t.  x + y ≤ 4, x ≤ 3, y ≤ 2, x,y ≥ 0
+/// let mut m = Model::new();
+/// let x = m.add_var("x", 0.0, 3.0, -1.0);
+/// let y = m.add_var("y", 0.0, 2.0, -2.0);
+/// m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+/// let sol = m.solve_lp().unwrap();
+/// assert!((sol.objective - (-6.0)).abs() < 1e-6); // x=2, y=2
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or a bound is NaN.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        self.variables.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective,
+            integer: false,
+        });
+        VarId(self.variables.len() - 1)
+    }
+
+    /// Adds an integer variable and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`add_var`](Self::add_var).
+    pub fn add_int_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+        let id = self.add_var(name, lower, upper, objective);
+        self.variables[id.0].integer = true;
+        id
+    }
+
+    /// Adds a binary (0/1) variable and returns its id.
+    pub fn add_bin_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.add_int_var(name, 0.0, 1.0, objective)
+    }
+
+    /// Adds a linear constraint. Zero-coefficient terms are dropped and
+    /// duplicate variables merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable not in this model or a
+    /// coefficient/rhs is NaN.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, op: ConstraintOp, rhs: f64) {
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            assert!(v.0 < self.variables.len(), "constraint references unknown variable");
+            assert!(!c.is_nan(), "constraint coefficient must not be NaN");
+            if c == 0.0 {
+                continue;
+            }
+            if let Some(entry) = merged.iter_mut().find(|(w, _)| *w == v) {
+                entry.1 += c;
+            } else {
+                merged.push((v, c));
+            }
+        }
+        self.constraints.push(Constraint {
+            terms: merged,
+            op,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variable table.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// The constraint table.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective for a candidate assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.variables.len(), "assignment length mismatch");
+        self.variables
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Maximum constraint violation of a candidate assignment (0 when
+    /// feasible, ignoring integrality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn max_violation(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.variables.len(), "assignment length mismatch");
+        let mut worst = 0.0_f64;
+        for (v, &x) in self.variables.iter().zip(values) {
+            worst = worst.max(v.lower - x).max(x - v.upper);
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.0]).sum();
+            let viol = match c.op {
+                ConstraintOp::Le => lhs - c.rhs,
+                ConstraintOp::Ge => c.rhs - lhs,
+                ConstraintOp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+impl Model {
+    /// Diagnoses an infeasible model by solving its elastic relaxation
+    /// (every row gets a nonnegative violation slack, minimized in sum).
+    /// Returns `(total_violation, rows_with_positive_slack)`; an empty row
+    /// list means the model is feasible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the elastic LP (which is always
+    /// feasible, so only numerical breakdowns can error).
+    pub fn diagnose_infeasibility(&self) -> Result<(f64, Vec<usize>), SolveError> {
+        let mut elastic = self.clone();
+        for v in &mut elastic.variables {
+            v.integer = false;
+            v.objective = 0.0;
+        }
+        let mut slacks = Vec::with_capacity(elastic.constraints.len());
+        for i in 0..elastic.constraints.len() {
+            let s = elastic.add_var(format!("elastic{i}"), 0.0, f64::INFINITY, 1.0);
+            let op = elastic.constraints[i].op;
+            let coeff = match op {
+                ConstraintOp::Le => -1.0,
+                ConstraintOp::Ge => 1.0,
+                ConstraintOp::Eq => {
+                    // Equalities get a second slack for the other direction.
+                    let s2 = elastic.add_var(format!("elastic{i}b"), 0.0, f64::INFINITY, 1.0);
+                    elastic.constraints[i].terms.push((s2, -1.0));
+                    1.0
+                }
+            };
+            elastic.constraints[i].terms.push((s, coeff));
+            slacks.push(s);
+        }
+        let sol = elastic.solve_lp()?;
+        let mut bad = Vec::new();
+        for (i, &s) in slacks.iter().enumerate() {
+            if sol.value(s) > 1e-6 {
+                bad.push(i);
+            }
+        }
+        Ok((sol.objective, bad))
+    }
+
+    /// Human-readable dump of the model (diagnostics).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (j, v) in self.variables.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "var {j} {} in [{}, {}] cost {} int {}",
+                v.name, v.lower, v.upper, v.objective, v.integer
+            );
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            let terms: Vec<String> = c
+                .terms
+                .iter()
+                .map(|(v, a)| format!("{a}*{}", self.variables[v.0].name))
+                .collect();
+            let op = match c.op {
+                ConstraintOp::Le => "<=",
+                ConstraintOp::Ge => ">=",
+                ConstraintOp::Eq => "=",
+            };
+            let _ = writeln!(out, "c{i}: {} {op} {}", terms.join(" + "), c.rhs);
+        }
+        out
+    }
+}
+
+/// Error returned by LP/MILP solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The simplex iteration limit was exceeded.
+    IterationLimit,
+    /// Branch and bound exhausted its node budget without a feasible
+    /// integer solution.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveError::Infeasible => "problem is infeasible",
+            SolveError::Unbounded => "objective is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit exceeded",
+            SolveError::NodeLimit => "branch-and-bound node limit exceeded without integer solution",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A solution to an LP or MILP.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value per variable, indexed like the model's variable table.
+    pub values: Vec<f64>,
+    /// Objective value.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_accumulates_vars_and_constraints() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_int_var("y", -5.0, 5.0, -1.0);
+        let z = m.add_bin_var("z", 0.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0), (z, 0.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(!m.variables()[0].integer);
+        assert!(m.variables()[1].integer);
+        assert_eq!(m.constraints()[0].terms.len(), 2); // zero coeff dropped
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_constraint(vec![(x, 1.0), (x, 2.0)], ConstraintOp::Eq, 3.0);
+        assert_eq!(m.constraints()[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn violation_measures_bounds_and_rows() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 0.5);
+        assert_eq!(m.max_violation(&[0.75]), 0.0);
+        assert!((m.max_violation(&[0.25]) - 0.25).abs() < 1e-12);
+        assert!((m.max_violation(&[1.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn inverted_bounds_rejected() {
+        let mut m = Model::new();
+        let _ = m.add_var("x", 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_rejected() {
+        let mut m1 = Model::new();
+        let mut m2 = Model::new();
+        let x = m1.add_var("x", 0.0, 1.0, 0.0);
+        let _ = &mut m2;
+        m2.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+    }
+}

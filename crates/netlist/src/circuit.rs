@@ -1,0 +1,481 @@
+//! The [`Circuit`] container and its builder.
+
+use std::collections::HashMap;
+
+use crate::{
+    Alignment, BuildCircuitError, ConstraintSet, Device, DeviceId, DeviceKind, Net, NetId,
+    Ordering, Pin, PinIndex, PinRef, SymmetryGroup,
+};
+
+/// The class of an analog circuit, used to select the matching performance
+/// model in the evaluation stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitClass {
+    /// Operational transconductance amplifier.
+    Ota,
+    /// Clocked comparator.
+    Comparator,
+    /// Voltage-controlled oscillator.
+    Vco,
+    /// Analog adder.
+    Adder,
+    /// Variable gain amplifier.
+    Vga,
+    /// Switched-capacitor filter.
+    Scf,
+}
+
+impl std::fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CircuitClass::Ota => "ota",
+            CircuitClass::Comparator => "comparator",
+            CircuitClass::Vco => "vco",
+            CircuitClass::Adder => "adder",
+            CircuitClass::Vga => "vga",
+            CircuitClass::Scf => "scf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A flat analog circuit: devices, nets, and geometric constraints.
+///
+/// Construct circuits through [`CircuitBuilder`], which validates name
+/// uniqueness, net references and constraint consistency.
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::{CircuitBuilder, CircuitClass, DeviceKind};
+///
+/// # fn main() -> Result<(), analog_netlist::BuildCircuitError> {
+/// let mut b = CircuitBuilder::new("toy", CircuitClass::Ota);
+/// let vin = b.net("vin");
+/// let vout = b.net("vout");
+/// let m1 = b.mos("M1", DeviceKind::Nmos, 2.0, 1.0, &[("g", vin), ("d", vout)]);
+/// let m2 = b.mos("M2", DeviceKind::Nmos, 2.0, 1.0, &[("g", vin), ("d", vout)]);
+/// b.symmetry_pair("g0", m1, m2);
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_devices(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    name: String,
+    class: CircuitClass,
+    devices: Vec<Device>,
+    nets: Vec<Net>,
+    constraints: ConstraintSet,
+}
+
+impl Circuit {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Circuit class.
+    pub fn class(&self) -> CircuitClass {
+        self.class
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The device with the given id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// The net with the given id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterator over `(DeviceId, &Device)`.
+    pub fn device_ids(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId::new(i), d))
+    }
+
+    /// Iterator over `(NetId, &Net)`.
+    pub fn net_ids(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::new(i), n))
+    }
+
+    /// Looks up a device by name.
+    pub fn find_device(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name == name)
+            .map(DeviceId::new)
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(NetId::new)
+    }
+
+    /// Sum of device footprint areas in µm².
+    pub fn total_device_area(&self) -> f64 {
+        self.devices.iter().map(Device::area).sum()
+    }
+
+    /// Marks a net as performance-critical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn set_net_critical(&mut self, net: NetId, critical: bool) {
+        self.nets[net.index()].critical = critical;
+    }
+
+    /// Sets a net's wirelength weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn set_net_weight(&mut self, net: NetId, weight: f64) {
+        self.nets[net.index()].weight = weight;
+    }
+}
+
+/// Incremental builder for [`Circuit`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    class: CircuitClass,
+    devices: Vec<Device>,
+    nets: Vec<Net>,
+    constraints: ConstraintSet,
+    group_index: HashMap<String, usize>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new builder for a circuit of the given name and class.
+    pub fn new(name: impl Into<String>, class: CircuitClass) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            devices: Vec::new(),
+            nets: Vec::new(),
+            constraints: ConstraintSet::new(),
+            group_index: HashMap::new(),
+        }
+    }
+
+    /// Declares (or returns the existing) net with the given name.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(i) = self.nets.iter().position(|n| n.name == name) {
+            return NetId::new(i);
+        }
+        self.nets.push(Net::new(name));
+        NetId::new(self.nets.len() - 1)
+    }
+
+    /// Adds a fully-specified device and wires its pins into the net list.
+    pub fn device(&mut self, device: Device) -> DeviceId {
+        let id = DeviceId::new(self.devices.len());
+        for (pi, pin) in device.pins.iter().enumerate() {
+            if let Some(net) = self.nets.get_mut(pin.net.index()) {
+                net.pins.push(PinRef::new(id, PinIndex::new(pi)));
+            }
+        }
+        self.devices.push(device);
+        id
+    }
+
+    /// Convenience: adds a MOS-style device with pins distributed along its
+    /// top edge (gate on the left, then the remaining pins).
+    pub fn mos(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        width: f64,
+        height: f64,
+        pins: &[(&str, NetId)],
+    ) -> DeviceId {
+        let mut device = Device::new(name, kind, width, height).with_electrical(
+            if kind.is_transistor() {
+                crate::ElectricalParams::mos(width, 0.012)
+            } else {
+                crate::ElectricalParams::default()
+            },
+        );
+        let n = pins.len().max(1) as f64;
+        for (i, (pin_name, net)) in pins.iter().enumerate() {
+            let frac = (i as f64 + 0.5) / n;
+            device
+                .pins
+                .push(Pin::new(*pin_name, *net, (width * frac, height * 0.9)));
+        }
+        self.device(device)
+    }
+
+    /// Convenience: adds a passive device (cap/res/ind) with two pins on the
+    /// left and right edges.
+    pub fn passive(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        width: f64,
+        height: f64,
+        plus: NetId,
+        minus: NetId,
+        electrical: crate::ElectricalParams,
+    ) -> DeviceId {
+        let device = Device::new(name, kind, width, height)
+            .with_electrical(electrical)
+            .with_pin(Pin::new("plus", plus, (width * 0.1, height * 0.5)))
+            .with_pin(Pin::new("minus", minus, (width * 0.9, height * 0.5)));
+        self.device(device)
+    }
+
+    fn group_mut(&mut self, name: &str) -> &mut SymmetryGroup {
+        if let Some(&i) = self.group_index.get(name) {
+            return &mut self.constraints.symmetry_groups[i];
+        }
+        self.constraints
+            .symmetry_groups
+            .push(SymmetryGroup::new(name, crate::Axis::Vertical));
+        let i = self.constraints.symmetry_groups.len() - 1;
+        self.group_index.insert(name.to_string(), i);
+        &mut self.constraints.symmetry_groups[i]
+    }
+
+    /// Adds a mirrored pair to the named (vertical-axis) symmetry group.
+    pub fn symmetry_pair(&mut self, group: &str, a: DeviceId, b: DeviceId) {
+        self.group_mut(group).pairs.push((a, b));
+    }
+
+    /// Adds a self-symmetric device to the named symmetry group.
+    pub fn symmetry_self(&mut self, group: &str, device: DeviceId) {
+        self.group_mut(group).self_symmetric.push(device);
+    }
+
+    /// Adds an alignment constraint.
+    pub fn align(&mut self, kind: crate::AlignKind, a: DeviceId, b: DeviceId) {
+        self.constraints.alignments.push(Alignment { kind, a, b });
+    }
+
+    /// Adds an ordering chain.
+    pub fn order(&mut self, direction: crate::OrderDirection, devices: Vec<DeviceId>) {
+        self.constraints.orderings.push(Ordering { direction, devices });
+    }
+
+    /// Marks a net as critical.
+    pub fn critical(&mut self, net: NetId) {
+        self.nets[net.index()].critical = true;
+    }
+
+    /// Validates and finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildCircuitError`] if device/net names collide, pins
+    /// reference missing nets, or constraints reference unknown devices,
+    /// pair a device with itself, or place a device in two symmetry groups.
+    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
+        let mut seen = HashMap::new();
+        for d in &self.devices {
+            if seen.insert(d.name.clone(), ()).is_some() {
+                return Err(BuildCircuitError::DuplicateDevice(d.name.clone()));
+            }
+        }
+        let mut seen_nets = HashMap::new();
+        for n in &self.nets {
+            if seen_nets.insert(n.name.clone(), ()).is_some() {
+                return Err(BuildCircuitError::DuplicateNet(n.name.clone()));
+            }
+        }
+        for d in &self.devices {
+            for p in &d.pins {
+                if p.net.index() >= self.nets.len() {
+                    return Err(BuildCircuitError::DanglingNet {
+                        device: d.name.clone(),
+                        pin: p.name.clone(),
+                    });
+                }
+            }
+        }
+        let n = self.devices.len();
+        let check = |id: DeviceId| -> Result<(), BuildCircuitError> {
+            if id.index() >= n {
+                Err(BuildCircuitError::UnknownConstraintDevice(id.index()))
+            } else {
+                Ok(())
+            }
+        };
+        let mut group_of: Vec<Option<usize>> = vec![None; n];
+        for (gi, g) in self.constraints.symmetry_groups.iter().enumerate() {
+            for &(a, b) in &g.pairs {
+                check(a)?;
+                check(b)?;
+                if a == b {
+                    return Err(BuildCircuitError::SelfPairedDevice(
+                        self.devices[a.index()].name.clone(),
+                    ));
+                }
+            }
+            for &s in &g.self_symmetric {
+                check(s)?;
+            }
+            for m in g.members() {
+                match group_of[m.index()] {
+                    Some(other) if other != gi => {
+                        return Err(BuildCircuitError::OverlappingSymmetryGroups(
+                            self.devices[m.index()].name.clone(),
+                        ));
+                    }
+                    _ => group_of[m.index()] = Some(gi),
+                }
+            }
+        }
+        for a in &self.constraints.alignments {
+            check(a.a)?;
+            check(a.b)?;
+        }
+        for o in &self.constraints.orderings {
+            for &d in &o.devices {
+                check(d)?;
+            }
+        }
+        Ok(Circuit {
+            name: self.name,
+            class: self.class,
+            devices: self.devices,
+            nets: self.nets,
+            constraints: self.constraints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CircuitBuilder {
+        let mut b = CircuitBuilder::new("toy", CircuitClass::Ota);
+        let vin = b.net("vin");
+        let vout = b.net("vout");
+        b.mos("M1", DeviceKind::Nmos, 2.0, 1.0, &[("g", vin), ("d", vout)]);
+        b.mos("M2", DeviceKind::Nmos, 2.0, 1.0, &[("g", vin), ("d", vout)]);
+        b
+    }
+
+    #[test]
+    fn builder_wires_pins_into_nets() {
+        let c = toy().build().unwrap();
+        assert_eq!(c.num_devices(), 2);
+        assert_eq!(c.num_nets(), 2);
+        assert_eq!(c.net(NetId::new(0)).degree(), 2);
+        assert_eq!(c.net(NetId::new(1)).degree(), 2);
+    }
+
+    #[test]
+    fn net_is_deduplicated_by_name() {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Adder);
+        let a = b.net("x");
+        let b2 = b.net("x");
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut b = toy();
+        let vin = b.net("vin");
+        b.mos("M1", DeviceKind::Pmos, 1.0, 1.0, &[("g", vin)]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildCircuitError::DuplicateDevice("M1".into())
+        );
+    }
+
+    #[test]
+    fn self_paired_device_rejected() {
+        let mut b = toy();
+        b.symmetry_pair("g", DeviceId::new(0), DeviceId::new(0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildCircuitError::SelfPairedDevice(_)
+        ));
+    }
+
+    #[test]
+    fn overlapping_groups_rejected() {
+        let mut b = toy();
+        b.symmetry_pair("g1", DeviceId::new(0), DeviceId::new(1));
+        b.symmetry_self("g2", DeviceId::new(0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildCircuitError::OverlappingSymmetryGroups(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_constraint_device_rejected() {
+        let mut b = toy();
+        b.symmetry_self("g", DeviceId::new(99));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildCircuitError::UnknownConstraintDevice(99)
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = toy().build().unwrap();
+        assert_eq!(c.find_device("M2"), Some(DeviceId::new(1)));
+        assert_eq!(c.find_device("M9"), None);
+        assert_eq!(c.find_net("vout"), Some(NetId::new(1)));
+    }
+
+    #[test]
+    fn total_area_sums_footprints() {
+        let c = toy().build().unwrap();
+        assert!((c.total_device_area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_flag_roundtrips() {
+        let mut c = toy().build().unwrap();
+        let id = c.find_net("vout").unwrap();
+        c.set_net_critical(id, true);
+        assert!(c.net(id).critical);
+        c.set_net_weight(id, 2.5);
+        assert_eq!(c.net(id).weight, 2.5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Analog geometric constraints: symmetry, alignment, and ordering.
+//!
+//! These correspond directly to the constraint sets of the paper's detailed
+//! placement ILP: symmetry groups `S = {(Sᵖ_m, Sˢ_m)}` (Eq. 4f), bottom and
+//! vertical-center alignment pairs `P^B`/`P^VC` (Eq. 4g/4h), and horizontal
+//! ordering chains `O^H` (Eq. 4i).
+
+use crate::DeviceId;
+
+/// Orientation of a symmetry axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Devices are mirrored across a vertical line (x = const).
+    Vertical,
+    /// Devices are mirrored across a horizontal line (y = const).
+    Horizontal,
+}
+
+/// A symmetry group: mirrored device pairs plus self-symmetric devices
+/// sharing one axis.
+///
+/// For a vertical axis at `x̂`, each pair `(a, b)` must satisfy
+/// `y_a = y_b` and `x_a + x_b = 2x̂`; each self-symmetric device `r`
+/// must satisfy `x_r = x̂`. The axis position itself is a free variable
+/// chosen by the placer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetryGroup {
+    /// Group name (for diagnostics and files).
+    pub name: String,
+    /// Axis orientation.
+    pub axis: Axis,
+    /// Mirrored device pairs.
+    pub pairs: Vec<(DeviceId, DeviceId)>,
+    /// Self-symmetric devices centered on the axis.
+    pub self_symmetric: Vec<DeviceId>,
+}
+
+impl SymmetryGroup {
+    /// Creates an empty group with the given axis.
+    pub fn new(name: impl Into<String>, axis: Axis) -> Self {
+        Self {
+            name: name.into(),
+            axis,
+            pairs: Vec::new(),
+            self_symmetric: Vec::new(),
+        }
+    }
+
+    /// All devices mentioned by the group.
+    pub fn members(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .chain(self.self_symmetric.iter().copied())
+    }
+
+    /// Whether the group constrains at least one device pair or singleton.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty() && self.self_symmetric.is_empty()
+    }
+}
+
+/// The flavor of an alignment constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignKind {
+    /// Bottom edges aligned: `y_a − h_a/2 = y_b − h_b/2` (Eq. 4g).
+    Bottom,
+    /// Vertical centerlines aligned: `x_a = x_b` (Eq. 4h).
+    VerticalCenter,
+}
+
+/// An alignment constraint between two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alignment {
+    /// Alignment flavor.
+    pub kind: AlignKind,
+    /// First device.
+    pub a: DeviceId,
+    /// Second device.
+    pub b: DeviceId,
+}
+
+/// Direction of an ordering chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderDirection {
+    /// Devices appear strictly left-to-right (Eq. 4i).
+    Horizontal,
+    /// Devices appear strictly bottom-to-top.
+    Vertical,
+}
+
+/// An ordering constraint: the devices must appear in the given order along
+/// the direction, without overlapping (monotone signal path, cf. \[16\]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ordering {
+    /// Ordering direction.
+    pub direction: OrderDirection,
+    /// Devices in required order.
+    pub devices: Vec<DeviceId>,
+}
+
+/// The complete constraint set of a circuit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    /// Symmetry groups.
+    pub symmetry_groups: Vec<SymmetryGroup>,
+    /// Alignment pairs.
+    pub alignments: Vec<Alignment>,
+    /// Ordering chains.
+    pub orderings: Vec<Ordering>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set contains no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.symmetry_groups.is_empty() && self.alignments.is_empty() && self.orderings.is_empty()
+    }
+
+    /// Total number of individual constraints.
+    pub fn len(&self) -> usize {
+        let sym: usize = self
+            .symmetry_groups
+            .iter()
+            .map(|g| g.pairs.len() + g.self_symmetric.len())
+            .sum();
+        sym + self.alignments.len() + self.orderings.len()
+    }
+
+    /// Returns the symmetry group (if any) containing the device.
+    pub fn symmetry_group_of(&self, device: DeviceId) -> Option<&SymmetryGroup> {
+        self.symmetry_groups
+            .iter()
+            .find(|g| g.members().any(|m| m == device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: usize) -> DeviceId {
+        DeviceId::new(i)
+    }
+
+    #[test]
+    fn group_members_cover_pairs_and_selfs() {
+        let mut g = SymmetryGroup::new("g0", Axis::Vertical);
+        g.pairs.push((d(0), d(1)));
+        g.self_symmetric.push(d(2));
+        let members: Vec<_> = g.members().collect();
+        assert_eq!(members, vec![d(0), d(1), d(2)]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_group_is_empty() {
+        assert!(SymmetryGroup::new("g", Axis::Horizontal).is_empty());
+    }
+
+    #[test]
+    fn constraint_set_len_counts_everything() {
+        let mut set = ConstraintSet::new();
+        assert!(set.is_empty());
+        let mut g = SymmetryGroup::new("g0", Axis::Vertical);
+        g.pairs.push((d(0), d(1)));
+        g.self_symmetric.push(d(4));
+        set.symmetry_groups.push(g);
+        set.alignments.push(Alignment {
+            kind: AlignKind::Bottom,
+            a: d(0),
+            b: d(2),
+        });
+        set.orderings.push(Ordering {
+            direction: OrderDirection::Horizontal,
+            devices: vec![d(0), d(1), d(2)],
+        });
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn symmetry_group_lookup() {
+        let mut set = ConstraintSet::new();
+        let mut g = SymmetryGroup::new("g0", Axis::Vertical);
+        g.pairs.push((d(1), d(2)));
+        set.symmetry_groups.push(g);
+        assert!(set.symmetry_group_of(d(2)).is_some());
+        assert!(set.symmetry_group_of(d(5)).is_none());
+    }
+}

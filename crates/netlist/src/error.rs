@@ -1,0 +1,97 @@
+//! Error types for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or validating a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCircuitError {
+    /// Two devices share a name.
+    DuplicateDevice(String),
+    /// Two nets share a name.
+    DuplicateNet(String),
+    /// A pin refers to a net id that does not exist.
+    DanglingNet {
+        /// Device whose pin dangles.
+        device: String,
+        /// The dangling pin's name.
+        pin: String,
+    },
+    /// A constraint refers to a device id that does not exist.
+    UnknownConstraintDevice(usize),
+    /// A device appears in more than one symmetry group.
+    OverlappingSymmetryGroups(String),
+    /// A symmetry pair pairs a device with itself.
+    SelfPairedDevice(String),
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::DuplicateDevice(name) => {
+                write!(f, "duplicate device name `{name}`")
+            }
+            BuildCircuitError::DuplicateNet(name) => write!(f, "duplicate net name `{name}`"),
+            BuildCircuitError::DanglingNet { device, pin } => {
+                write!(f, "pin `{pin}` of device `{device}` references a missing net")
+            }
+            BuildCircuitError::UnknownConstraintDevice(id) => {
+                write!(f, "constraint references unknown device index {id}")
+            }
+            BuildCircuitError::OverlappingSymmetryGroups(name) => {
+                write!(f, "device `{name}` appears in more than one symmetry group")
+            }
+            BuildCircuitError::SelfPairedDevice(name) => {
+                write!(f, "device `{name}` is symmetry-paired with itself")
+            }
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+/// Error produced when parsing a netlist or constraint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetlistError {
+    /// 1-based line number where the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseNetlistError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = BuildCircuitError::DuplicateDevice("M1".into());
+        assert_eq!(e.to_string(), "duplicate device name `M1`");
+        let p = ParseNetlistError::new(3, "unknown card");
+        assert_eq!(p.to_string(), "line 3: unknown card");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<BuildCircuitError>();
+        assert_traits::<ParseNetlistError>();
+    }
+}

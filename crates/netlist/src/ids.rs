@@ -1,0 +1,107 @@
+//! Strongly-typed identifiers for circuit entities.
+//!
+//! Devices, nets and pins are stored in flat vectors inside a
+//! [`Circuit`](crate::Circuit); these newtypes make it impossible to index the
+//! wrong table by accident (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a device (index into [`Circuit::devices`](crate::Circuit::devices)).
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::DeviceId;
+/// let id = DeviceId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(usize);
+
+/// Identifier of a net (index into [`Circuit::nets`](crate::Circuit::nets)).
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::NetId;
+/// assert_eq!(NetId::new(0).index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(usize);
+
+/// Identifier of a pin within a device (index into
+/// [`Device::pins`](crate::Device::pins)).
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::PinIndex;
+/// assert_eq!(PinIndex::new(1).index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinIndex(usize);
+
+macro_rules! impl_id {
+    ($ty:ident, $label:literal) => {
+        impl $ty {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+impl_id!(DeviceId, "d");
+impl_id!(NetId, "n");
+impl_id!(PinIndex, "p");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw_index() {
+        assert_eq!(DeviceId::new(7).index(), 7);
+        assert_eq!(NetId::new(7).index(), 7);
+        assert_eq!(PinIndex::new(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(DeviceId::new(2).to_string(), "d2");
+        assert_eq!(NetId::new(3).to_string(), "n3");
+        assert_eq!(PinIndex::new(4).to_string(), "p4");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        assert!(NetId::new(0) < NetId::new(10));
+    }
+
+    #[test]
+    fn ids_convert_to_usize() {
+        let raw: usize = DeviceId::new(9).into();
+        assert_eq!(raw, 9);
+    }
+}

@@ -1,0 +1,49 @@
+//! # analog-netlist
+//!
+//! Circuit netlist modelling for analog IC placement research.
+//!
+//! This crate is the data substrate of a reproduction of *"Are Analytical
+//! Techniques Worthwhile for Analog IC Placement?"* (DATE 2022). It provides:
+//!
+//! - a validated, flat [`Circuit`] model of devices, nets and pins;
+//! - the analog geometric constraints the paper's placers handle:
+//!   [`SymmetryGroup`]s, [`Alignment`]s and [`Ordering`] chains;
+//! - [`Placement`] solutions with exact HPWL/area/overlap/constraint metrics;
+//! - a SPICE-like netlist [`parser`] and constraint-file parser/writer;
+//! - [`testcases`]: generators for the paper's ten evaluation circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use analog_netlist::{testcases, Placement};
+//!
+//! let circuit = testcases::cc_ota();
+//! let placement = Placement::new(circuit.num_devices());
+//! // All devices at the origin: fully overlapping, zero wirelength spread.
+//! assert!(placement.overlap_area(&circuit) > 0.0);
+//! assert!(circuit.num_devices() >= 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod circuit;
+mod constraint;
+mod device;
+mod error;
+mod ids;
+mod net;
+pub mod parser;
+mod placement;
+pub mod svg;
+pub mod testcases;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitClass};
+pub use constraint::{
+    AlignKind, Alignment, Axis, ConstraintSet, OrderDirection, Ordering, SymmetryGroup,
+};
+pub use device::{Device, DeviceKind, ElectricalParams, Pin};
+pub use error::{BuildCircuitError, ParseNetlistError};
+pub use ids::{DeviceId, NetId, PinIndex};
+pub use net::{Net, PinRef};
+pub use placement::Placement;

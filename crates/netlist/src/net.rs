@@ -1,0 +1,84 @@
+//! Net model: a named set of device pins, with weighting and criticality.
+
+use crate::{DeviceId, PinIndex};
+
+/// A reference to one pin of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinRef {
+    /// The device that owns the pin.
+    pub device: DeviceId,
+    /// The pin's index within the device.
+    pub pin: PinIndex,
+}
+
+impl PinRef {
+    /// Creates a pin reference.
+    pub fn new(device: DeviceId, pin: PinIndex) -> Self {
+        Self { device, pin }
+    }
+}
+
+/// A net: an electrically connected set of pins.
+///
+/// `weight` scales the net's contribution to wirelength objectives;
+/// `critical` flags nets whose parasitics dominate circuit performance (used
+/// by the performance surrogate and reported by performance-driven placers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name, unique within a circuit.
+    pub name: String,
+    /// The pins on this net.
+    pub pins: Vec<PinRef>,
+    /// Wirelength weight (default 1.0).
+    pub weight: f64,
+    /// Whether the net is performance-critical.
+    pub critical: bool,
+}
+
+impl Net {
+    /// Creates an empty net with weight 1 and non-critical.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            pins: Vec::new(),
+            weight: 1.0,
+            critical: false,
+        }
+    }
+
+    /// Number of pins on the net.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Whether the net connects at least two pins (and thus contributes
+    /// wirelength).
+    pub fn is_routable(&self) -> bool {
+        self.pins.len() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, PinIndex};
+
+    #[test]
+    fn net_degree_and_routability() {
+        let mut net = Net::new("vout");
+        assert_eq!(net.degree(), 0);
+        assert!(!net.is_routable());
+        net.pins.push(PinRef::new(DeviceId::new(0), PinIndex::new(0)));
+        assert!(!net.is_routable());
+        net.pins.push(PinRef::new(DeviceId::new(1), PinIndex::new(2)));
+        assert!(net.is_routable());
+        assert_eq!(net.degree(), 2);
+    }
+
+    #[test]
+    fn net_defaults() {
+        let net = Net::new("n1");
+        assert_eq!(net.weight, 1.0);
+        assert!(!net.critical);
+    }
+}

@@ -1,0 +1,830 @@
+//! SPICE-like netlist parser/writer and constraint-file parser/writer.
+//!
+//! # Netlist format
+//!
+//! A flat, case-insensitive SPICE dialect:
+//!
+//! ```text
+//! * comment
+//! .title cc_ota
+//! .class ota
+//! M1 vout vin vss vss nmos W=2.0 L=0.012
+//! C1 vout vss 100f
+//! R1 vb vdd 10k
+//! L1 vout vdd 1n
+//! D1 a b
+//! .end
+//! ```
+//!
+//! Device footprints are derived from the electrical card (MOS W/L, C/R/L
+//! value) with 12 nm-class heuristics, so parsed circuits are immediately
+//! placeable.
+//!
+//! # Constraint format
+//!
+//! ```text
+//! # comment
+//! symgroup g1 vertical
+//! sympair g1 M1 M2
+//! symself g1 M5
+//! align bottom M1 M2
+//! align vcenter M3 M4
+//! order horizontal M1 M2 M3
+//! critical vout
+//! weight vout 2.0
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{
+    AlignKind, Axis, Circuit, CircuitBuilder, CircuitClass, Device, DeviceKind, ElectricalParams,
+    OrderDirection, ParseNetlistError, Pin,
+};
+
+/// Parses an engineering-notation value such as `100f`, `10k`, `1.5meg`.
+///
+/// # Errors
+///
+/// Returns `None` when the token is not a number with an optional SI suffix.
+pub fn parse_si_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else {
+        match t.chars().last()? {
+            'f' => (&t[..t.len() - 1], 1e-15),
+            'p' => (&t[..t.len() - 1], 1e-12),
+            'n' => (&t[..t.len() - 1], 1e-9),
+            'u' => (&t[..t.len() - 1], 1e-6),
+            'm' => (&t[..t.len() - 1], 1e-3),
+            'k' => (&t[..t.len() - 1], 1e3),
+            'g' => (&t[..t.len() - 1], 1e9),
+            't' => (&t[..t.len() - 1], 1e12),
+            _ => (t.as_str(), 1.0),
+        }
+    };
+    num.parse::<f64>().ok().map(|v| v * mult)
+}
+
+/// Formats a value with an SI suffix (inverse of [`parse_si_value`]).
+pub fn format_si_value(value: f64) -> String {
+    let abs = value.abs();
+    let (scale, suffix) = if abs == 0.0 {
+        (1.0, "")
+    } else if abs >= 1e12 {
+        (1e12, "t")
+    } else if abs >= 1e6 {
+        (1e6, "meg")
+    } else if abs >= 1e3 {
+        (1e3, "k")
+    } else if abs >= 1.0 {
+        (1.0, "")
+    } else if abs >= 1e-3 {
+        (1e-3, "m")
+    } else if abs >= 1e-6 {
+        (1e-6, "u")
+    } else if abs >= 1e-9 {
+        (1e-9, "n")
+    } else if abs >= 1e-12 {
+        (1e-12, "p")
+    } else {
+        (1e-15, "f")
+    };
+    format!("{}{}", value / scale, suffix)
+}
+
+fn kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+/// Footprint heuristic for a MOS device with the given gate W/L in µm:
+/// wide transistors are folded into multiple fingers, giving a squarish cell.
+fn mos_footprint(w_um: f64, _l_um: f64) -> (f64, f64) {
+    let fingers = (w_um / 2.0).ceil().max(1.0);
+    let finger_w = w_um / fingers;
+    let width = 0.4 + 0.25 * fingers;
+    let height = 0.5 + finger_w * 0.8;
+    (width.max(0.3), height.max(0.3))
+}
+
+/// Footprint heuristic for a capacitor: MOM cap at ~2 fF/µm².
+fn cap_footprint(farads: f64) -> (f64, f64) {
+    let area = (farads / 2.0e-15).max(0.25);
+    let side = area.sqrt();
+    (side, side)
+}
+
+/// Footprint heuristic for a resistor: poly at ~1 kΩ per square, 0.4 µm wide.
+fn res_footprint(ohms: f64) -> (f64, f64) {
+    let squares = (ohms / 1000.0).max(0.5);
+    (0.4 + 0.1 * squares.min(20.0), (0.4 * squares).clamp(0.4, 8.0))
+}
+
+/// Footprint heuristic for an inductor: spiral, area grows with value.
+fn ind_footprint(henries: f64) -> (f64, f64) {
+    let side = (henries / 1.0e-9).sqrt().clamp(2.0, 30.0);
+    (side, side)
+}
+
+/// Parses a flat SPICE-like netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on unknown cards, malformed values, or when
+/// the resulting circuit fails validation.
+pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
+    let mut title = String::from("untitled");
+    let mut class = CircuitClass::Ota;
+    // Collect devices first; builder created after we know title/class.
+    struct RawDev {
+        name: String,
+        kind: DeviceKind,
+        nets: Vec<String>,
+        pin_names: Vec<&'static str>,
+        footprint: (f64, f64),
+        electrical: ElectricalParams,
+    }
+    let mut raws: Vec<RawDev> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('*') || line.starts_with(';') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        let lower = head.to_ascii_lowercase();
+        if lower == ".end" {
+            break;
+        }
+        if lower == ".title" {
+            title = rest.join(" ");
+            continue;
+        }
+        if lower == ".class" {
+            let c = rest
+                .first()
+                .ok_or_else(|| ParseNetlistError::new(lineno, "missing class name"))?;
+            class = match c.to_ascii_lowercase().as_str() {
+                "ota" => CircuitClass::Ota,
+                "comparator" => CircuitClass::Comparator,
+                "vco" => CircuitClass::Vco,
+                "adder" => CircuitClass::Adder,
+                "vga" => CircuitClass::Vga,
+                "scf" => CircuitClass::Scf,
+                other => {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        format!("unknown circuit class `{other}`"),
+                    ))
+                }
+            };
+            continue;
+        }
+        if lower.starts_with('.') {
+            continue; // ignore other dot-cards
+        }
+        let first = lower.chars().next().expect("non-empty token");
+        match first {
+            'm' => {
+                if rest.len() < 5 {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "MOS card needs 4 nets and a model",
+                    ));
+                }
+                let model = rest[4].to_ascii_lowercase();
+                let kind = match model.as_str() {
+                    "nmos" => DeviceKind::Nmos,
+                    "pmos" => DeviceKind::Pmos,
+                    other => {
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            format!("unknown MOS model `{other}`"),
+                        ))
+                    }
+                };
+                let mut w = 1.0;
+                let mut l = 0.012;
+                for t in &rest[5..] {
+                    match kv(t) {
+                        Some((k, v)) if k.eq_ignore_ascii_case("w") => {
+                            w = parse_si_value(v).ok_or_else(|| {
+                                ParseNetlistError::new(lineno, format!("bad width `{v}`"))
+                            })?;
+                        }
+                        Some((k, v)) if k.eq_ignore_ascii_case("l") => {
+                            l = parse_si_value(v).ok_or_else(|| {
+                                ParseNetlistError::new(lineno, format!("bad length `{v}`"))
+                            })?;
+                        }
+                        _ => {
+                            return Err(ParseNetlistError::new(
+                                lineno,
+                                format!("unexpected token `{t}` on MOS card"),
+                            ))
+                        }
+                    }
+                }
+                raws.push(RawDev {
+                    name: head.to_string(),
+                    kind,
+                    nets: rest[..4].iter().map(|s| s.to_string()).collect(),
+                    pin_names: vec!["d", "g", "s", "b"],
+                    footprint: mos_footprint(w, l),
+                    electrical: ElectricalParams::mos(w, l),
+                });
+            }
+            'c' | 'r' | 'l' => {
+                if rest.len() < 3 {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "passive card needs 2 nets and a value",
+                    ));
+                }
+                let value = parse_si_value(rest[2]).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("bad value `{}`", rest[2]))
+                })?;
+                let (kind, footprint, electrical) = match first {
+                    'c' => (
+                        DeviceKind::Capacitor,
+                        cap_footprint(value),
+                        ElectricalParams::capacitor(value),
+                    ),
+                    'r' => (
+                        DeviceKind::Resistor,
+                        res_footprint(value),
+                        ElectricalParams::resistor(value),
+                    ),
+                    _ => (
+                        DeviceKind::Inductor,
+                        ind_footprint(value),
+                        ElectricalParams::inductor(value),
+                    ),
+                };
+                raws.push(RawDev {
+                    name: head.to_string(),
+                    kind,
+                    nets: rest[..2].iter().map(|s| s.to_string()).collect(),
+                    pin_names: vec!["plus", "minus"],
+                    footprint,
+                    electrical,
+                });
+            }
+            'd' => {
+                if rest.len() < 2 {
+                    return Err(ParseNetlistError::new(lineno, "diode card needs 2 nets"));
+                }
+                raws.push(RawDev {
+                    name: head.to_string(),
+                    kind: DeviceKind::Diode,
+                    nets: rest[..2].iter().map(|s| s.to_string()).collect(),
+                    pin_names: vec!["plus", "minus"],
+                    footprint: (0.5, 0.5),
+                    electrical: ElectricalParams::default(),
+                });
+            }
+            other => {
+                return Err(ParseNetlistError::new(
+                    lineno,
+                    format!("unknown card starting with `{other}`"),
+                ));
+            }
+        }
+    }
+
+    let mut b = CircuitBuilder::new(title, class);
+    for raw in raws {
+        let (w, h) = raw.footprint;
+        let mut device = Device::new(raw.name, raw.kind, w, h).with_electrical(raw.electrical);
+        let n = raw.nets.len() as f64;
+        for (i, (net_name, pin_name)) in raw.nets.iter().zip(raw.pin_names.iter()).enumerate() {
+            let net = b.net(net_name.clone());
+            let frac = (i as f64 + 0.5) / n;
+            device.pins.push(Pin::new(*pin_name, net, (w * frac, h * 0.9)));
+        }
+        b.device(device);
+    }
+    b.build()
+        .map_err(|e| ParseNetlistError::new(0, e.to_string()))
+}
+
+/// Writes a circuit back to the SPICE dialect accepted by [`parse_spice`].
+///
+/// Footprints are re-derived from the electrical card on re-parse, so the
+/// round trip preserves topology and electrical values, not exact geometry.
+pub fn write_spice(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".title {}", circuit.name());
+    let _ = writeln!(out, ".class {}", circuit.class());
+    for d in circuit.devices() {
+        let nets: Vec<&str> = d
+            .pins
+            .iter()
+            .map(|p| circuit.net(p.net).name.as_str())
+            .collect();
+        match d.kind {
+            DeviceKind::Nmos | DeviceKind::Pmos => {
+                // Reconstruct W from gm model: gm = 2·(10µ·W/L)/0.15 at L=0.012.
+                let wl = d.electrical.bias_current / 10e-6;
+                let w = wl * 0.012;
+                let _ = writeln!(
+                    out,
+                    "{} {} {} W={:.4} L=0.012",
+                    d.name,
+                    nets.join(" "),
+                    d.kind,
+                    w
+                );
+            }
+            DeviceKind::Capacitor => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {}",
+                    d.name,
+                    nets.join(" "),
+                    format_si_value(d.electrical.cin)
+                );
+            }
+            DeviceKind::Resistor => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {}",
+                    d.name,
+                    nets.join(" "),
+                    format_si_value(d.electrical.ro)
+                );
+            }
+            DeviceKind::Inductor => {
+                let henries = d.electrical.ro / (2.0 * std::f64::consts::PI * 1.0e9);
+                let _ = writeln!(
+                    out,
+                    "{} {} {}",
+                    d.name,
+                    nets.join(" "),
+                    format_si_value(henries)
+                );
+            }
+            DeviceKind::Diode => {
+                let _ = writeln!(out, "{} {}", d.name, nets.join(" "));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses a constraint file and applies it to the circuit in place.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on unknown directives or references to
+/// missing devices/nets.
+pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseNetlistError> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    // Work on a cloned constraint set so failures leave the circuit untouched.
+    let mut cons = circuit.constraints().clone();
+    let mut net_updates: Vec<(crate::NetId, bool, Option<f64>)> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let dev = |name: &str| {
+            circuit.find_device(name).ok_or_else(|| {
+                ParseNetlistError::new(lineno, format!("unknown device `{name}`"))
+            })
+        };
+        match tokens[0] {
+            "symgroup" => {
+                if tokens.len() != 3 {
+                    return Err(ParseNetlistError::new(lineno, "symgroup needs name and axis"));
+                }
+                let axis = match tokens[2] {
+                    "vertical" => Axis::Vertical,
+                    "horizontal" => Axis::Horizontal,
+                    other => {
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            format!("unknown axis `{other}`"),
+                        ))
+                    }
+                };
+                cons.symmetry_groups
+                    .push(crate::SymmetryGroup::new(tokens[1], axis));
+                groups.insert(tokens[1].to_string(), cons.symmetry_groups.len() - 1);
+            }
+            "sympair" | "symself" => {
+                let gi = *groups.get(tokens[1]).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("unknown symmetry group `{}`", tokens[1]))
+                })?;
+                if tokens[0] == "sympair" {
+                    if tokens.len() != 4 {
+                        return Err(ParseNetlistError::new(lineno, "sympair needs two devices"));
+                    }
+                    let a = dev(tokens[2])?;
+                    let b = dev(tokens[3])?;
+                    cons.symmetry_groups[gi].pairs.push((a, b));
+                } else {
+                    if tokens.len() != 3 {
+                        return Err(ParseNetlistError::new(lineno, "symself needs one device"));
+                    }
+                    let a = dev(tokens[2])?;
+                    cons.symmetry_groups[gi].self_symmetric.push(a);
+                }
+            }
+            "align" => {
+                if tokens.len() != 4 {
+                    return Err(ParseNetlistError::new(lineno, "align needs kind and two devices"));
+                }
+                let kind = match tokens[1] {
+                    "bottom" => AlignKind::Bottom,
+                    "vcenter" => AlignKind::VerticalCenter,
+                    other => {
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            format!("unknown alignment `{other}`"),
+                        ))
+                    }
+                };
+                cons.alignments.push(crate::Alignment {
+                    kind,
+                    a: dev(tokens[2])?,
+                    b: dev(tokens[3])?,
+                });
+            }
+            "order" => {
+                if tokens.len() < 4 {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "order needs a direction and at least two devices",
+                    ));
+                }
+                let direction = match tokens[1] {
+                    "horizontal" | "h" => OrderDirection::Horizontal,
+                    "vertical" | "v" => OrderDirection::Vertical,
+                    other => {
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            format!("unknown direction `{other}`"),
+                        ))
+                    }
+                };
+                let devices = tokens[2..]
+                    .iter()
+                    .map(|t| dev(t))
+                    .collect::<Result<Vec<_>, _>>()?;
+                cons.orderings.push(crate::Ordering { direction, devices });
+            }
+            "critical" => {
+                let id = circuit.find_net(tokens[1]).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("unknown net `{}`", tokens[1]))
+                })?;
+                net_updates.push((id, true, None));
+            }
+            "weight" => {
+                if tokens.len() != 3 {
+                    return Err(ParseNetlistError::new(lineno, "weight needs net and value"));
+                }
+                let id = circuit.find_net(tokens[1]).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("unknown net `{}`", tokens[1]))
+                })?;
+                let w = tokens[2].parse::<f64>().map_err(|_| {
+                    ParseNetlistError::new(lineno, format!("bad weight `{}`", tokens[2]))
+                })?;
+                net_updates.push((id, false, Some(w)));
+            }
+            other => {
+                return Err(ParseNetlistError::new(
+                    lineno,
+                    format!("unknown directive `{other}`"),
+                ));
+            }
+        }
+    }
+
+    // All lines parsed: rebuild through a builder so constraint invariants
+    // (overlapping groups etc.) are re-validated before committing.
+    {
+        let mut b = CircuitBuilder::new(circuit.name().to_string(), circuit.class());
+        for net in circuit.nets() {
+            b.net(net.name.clone());
+        }
+        for d in circuit.devices() {
+            b.device(d.clone());
+        }
+        for g in &cons.symmetry_groups {
+            for &(x, y) in &g.pairs {
+                b.symmetry_pair(&g.name, x, y);
+            }
+            for &s in &g.self_symmetric {
+                b.symmetry_self(&g.name, s);
+            }
+        }
+        for a in &cons.alignments {
+            b.align(a.kind, a.a, a.b);
+        }
+        for o in &cons.orderings {
+            b.order(o.direction, o.devices.clone());
+        }
+        let mut rebuilt = b
+            .build()
+            .map_err(|e| ParseNetlistError::new(0, e.to_string()))?;
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = crate::NetId::new(i);
+            rebuilt.set_net_critical(id, net.critical);
+            rebuilt.set_net_weight(id, net.weight);
+        }
+        *circuit = rebuilt;
+    }
+    for (id, crit, weight) in net_updates {
+        if crit {
+            circuit.set_net_critical(id, true);
+        }
+        if let Some(w) = weight {
+            circuit.set_net_weight(id, w);
+        }
+    }
+    Ok(())
+}
+
+/// Writes the circuit's constraints in the format accepted by
+/// [`parse_constraints`].
+pub fn write_constraints(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    for g in &circuit.constraints().symmetry_groups {
+        let axis = match g.axis {
+            Axis::Vertical => "vertical",
+            Axis::Horizontal => "horizontal",
+        };
+        let _ = writeln!(out, "symgroup {} {}", g.name, axis);
+        for &(a, b) in &g.pairs {
+            let _ = writeln!(
+                out,
+                "sympair {} {} {}",
+                g.name,
+                circuit.device(a).name,
+                circuit.device(b).name
+            );
+        }
+        for &s in &g.self_symmetric {
+            let _ = writeln!(out, "symself {} {}", g.name, circuit.device(s).name);
+        }
+    }
+    for a in &circuit.constraints().alignments {
+        let kind = match a.kind {
+            AlignKind::Bottom => "bottom",
+            AlignKind::VerticalCenter => "vcenter",
+        };
+        let _ = writeln!(
+            out,
+            "align {} {} {}",
+            kind,
+            circuit.device(a.a).name,
+            circuit.device(a.b).name
+        );
+    }
+    for o in &circuit.constraints().orderings {
+        let dir = match o.direction {
+            OrderDirection::Horizontal => "horizontal",
+            OrderDirection::Vertical => "vertical",
+        };
+        let names: Vec<&str> = o
+            .devices
+            .iter()
+            .map(|&d| circuit.device(d).name.as_str())
+            .collect();
+        let _ = writeln!(out, "order {} {}", dir, names.join(" "));
+    }
+    for n in circuit.nets() {
+        if n.critical {
+            let _ = writeln!(out, "critical {}", n.name);
+        }
+        if n.weight != 1.0 {
+            let _ = writeln!(out, "weight {} {}", n.name, n.weight);
+        }
+    }
+    out
+}
+
+
+/// Writes a placement as `device x y flip_x flip_y` lines (µm), a simple
+/// interchange format for downstream tools and tests.
+///
+/// # Panics
+///
+/// Panics if the placement size mismatches the circuit.
+pub fn write_placement(circuit: &Circuit, placement: &crate::Placement) -> String {
+    assert_eq!(
+        placement.len(),
+        circuit.num_devices(),
+        "placement size mismatch"
+    );
+    let mut out = String::new();
+    for (id, d) in circuit.device_ids() {
+        let (x, y) = placement.position(id);
+        let (fx, fy) = placement.flips[id.index()];
+        let _ = writeln!(
+            out,
+            "{} {:.6} {:.6} {} {}",
+            d.name,
+            x,
+            y,
+            u8::from(fx),
+            u8::from(fy)
+        );
+    }
+    out
+}
+
+/// Parses a placement written by [`write_placement`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on unknown devices, malformed numbers, or
+/// missing devices.
+pub fn parse_placement(
+    circuit: &Circuit,
+    text: &str,
+) -> Result<crate::Placement, ParseNetlistError> {
+    let mut placement = crate::Placement::new(circuit.num_devices());
+    let mut seen = vec![false; circuit.num_devices()];
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() != 5 {
+            return Err(ParseNetlistError::new(lineno, "expected 5 fields"));
+        }
+        let id = circuit.find_device(tokens[0]).ok_or_else(|| {
+            ParseNetlistError::new(lineno, format!("unknown device `{}`", tokens[0]))
+        })?;
+        let x: f64 = tokens[1]
+            .parse()
+            .map_err(|_| ParseNetlistError::new(lineno, "bad x coordinate"))?;
+        let y: f64 = tokens[2]
+            .parse()
+            .map_err(|_| ParseNetlistError::new(lineno, "bad y coordinate"))?;
+        let fx = tokens[3] == "1";
+        let fy = tokens[4] == "1";
+        placement.set_position(id, (x, y));
+        placement.flips[id.index()] = (fx, fy);
+        seen[id.index()] = true;
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(ParseNetlistError::new(
+            0,
+            format!(
+                "device `{}` missing from placement",
+                circuit.devices()[missing].name
+            ),
+        ));
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NETLIST: &str = "\
+* tiny diff pair
+.title diffpair
+.class ota
+M1 outp inn tail vss nmos W=4 L=0.012
+M2 outn inp tail vss nmos W=4 L=0.012
+M3 tail vb vss vss nmos W=8 L=0.024
+C1 outp outn 50f
+R1 outp vdd 10k
+.end
+";
+
+    #[test]
+    fn parses_si_values() {
+        assert_eq!(parse_si_value("10k"), Some(10_000.0));
+        assert_eq!(parse_si_value("100f"), Some(100.0e-15));
+        assert_eq!(parse_si_value("1.5meg"), Some(1.5e6));
+        assert_eq!(parse_si_value("2"), Some(2.0));
+        assert_eq!(parse_si_value("abc"), None);
+    }
+
+    #[test]
+    fn si_value_roundtrip() {
+        for v in [3.0e-15, 47e-12, 1.0e-9, 2.2e-6, 0.15, 9.0, 10e3, 4.7e6] {
+            let s = format_si_value(v);
+            let back = parse_si_value(&s).unwrap();
+            assert!((back - v).abs() / v < 1e-9, "{v} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn parses_netlist() {
+        let c = parse_spice(NETLIST).unwrap();
+        assert_eq!(c.name(), "diffpair");
+        assert_eq!(c.class(), CircuitClass::Ota);
+        assert_eq!(c.num_devices(), 5);
+        assert_eq!(c.find_net("tail").map(|n| c.net(n).degree()), Some(3));
+        let m1 = c.device(c.find_device("M1").unwrap());
+        assert_eq!(m1.kind, DeviceKind::Nmos);
+        assert_eq!(m1.pins.len(), 4);
+        assert!(m1.electrical.gm > 0.0);
+    }
+
+    #[test]
+    fn netlist_roundtrip_preserves_topology() {
+        let c = parse_spice(NETLIST).unwrap();
+        let text = write_spice(&c);
+        let c2 = parse_spice(&text).unwrap();
+        assert_eq!(c.num_devices(), c2.num_devices());
+        assert_eq!(c.num_nets(), c2.num_nets());
+        for (d, d2) in c.devices().iter().zip(c2.devices()) {
+            assert_eq!(d.name, d2.name);
+            assert_eq!(d.kind, d2.kind);
+            assert_eq!(d.pins.len(), d2.pins.len());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_cards() {
+        let err = parse_spice("X1 a b c sub").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_spice("M1 a b c").unwrap_err();
+        assert!(err.message.contains("MOS"));
+    }
+
+    #[test]
+    fn parses_constraints() {
+        let mut c = parse_spice(NETLIST).unwrap();
+        let text = "\
+# diff pair symmetry
+symgroup g1 vertical
+sympair g1 M1 M2
+symself g1 M3
+align bottom M1 M2
+order horizontal M1 M3 M2
+critical outp
+weight outn 2.0
+";
+        parse_constraints(&mut c, text).unwrap();
+        assert_eq!(c.constraints().symmetry_groups.len(), 1);
+        assert_eq!(c.constraints().symmetry_groups[0].pairs.len(), 1);
+        assert_eq!(c.constraints().alignments.len(), 1);
+        assert_eq!(c.constraints().orderings.len(), 1);
+        assert!(c.net(c.find_net("outp").unwrap()).critical);
+        assert_eq!(c.net(c.find_net("outn").unwrap()).weight, 2.0);
+    }
+
+    #[test]
+    fn constraint_roundtrip() {
+        let mut c = parse_spice(NETLIST).unwrap();
+        let text = "symgroup g1 vertical\nsympair g1 M1 M2\nalign vcenter M1 M3\ncritical outp\n";
+        parse_constraints(&mut c, text).unwrap();
+        let written = write_constraints(&c);
+        let mut c2 = parse_spice(NETLIST).unwrap();
+        parse_constraints(&mut c2, &written).unwrap();
+        assert_eq!(c.constraints(), c2.constraints());
+    }
+
+    #[test]
+    fn placement_roundtrip() {
+        let c = parse_spice(NETLIST).unwrap();
+        let mut p = crate::Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = (i as f64 * 1.25, (i * i % 5) as f64);
+        }
+        p.flips[2] = (true, false);
+        let text = write_placement(&c, &p);
+        let back = parse_placement(&c, &text).unwrap();
+        for (a, b) in p.positions.iter().zip(&back.positions) {
+            assert!((a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6);
+        }
+        assert_eq!(p.flips, back.flips);
+    }
+
+    #[test]
+    fn placement_parser_rejects_missing_devices() {
+        let c = parse_spice(NETLIST).unwrap();
+        let err = parse_placement(&c, "M1 0 0 0 0").unwrap_err();
+        assert!(err.message.contains("missing"));
+        let err = parse_placement(&c, "M9 0 0 0 0").unwrap_err();
+        assert!(err.message.contains("unknown"));
+    }
+
+    #[test]
+    fn constraint_errors_reference_lines() {
+        let mut c = parse_spice(NETLIST).unwrap();
+        let err = parse_constraints(&mut c, "sympair nope M1 M2").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_constraints(&mut c, "\nalign bottom M1 M99").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

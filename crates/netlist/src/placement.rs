@@ -1,0 +1,370 @@
+//! Placement solutions and their quality/legality metrics.
+
+use crate::{AlignKind, Axis, Circuit, DeviceId, OrderDirection};
+
+/// A placement solution: one center coordinate and flip state per device.
+///
+/// Positions refer to device **centers** in µm, matching the paper's
+/// formulation. Flips mirror the device footprint about its own center and
+/// therefore only move pins, not the outline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Center coordinates, indexed by [`DeviceId`].
+    pub positions: Vec<(f64, f64)>,
+    /// `(flip_x, flip_y)` per device.
+    pub flips: Vec<(bool, bool)>,
+}
+
+impl Placement {
+    /// Creates a placement with all devices at the origin, unflipped.
+    pub fn new(num_devices: usize) -> Self {
+        Self {
+            positions: vec![(0.0, 0.0); num_devices],
+            flips: vec![(false, false); num_devices],
+        }
+    }
+
+    /// Creates a placement from explicit center coordinates, unflipped.
+    pub fn from_positions(positions: Vec<(f64, f64)>) -> Self {
+        let n = positions.len();
+        Self {
+            positions,
+            flips: vec![(false, false); n],
+        }
+    }
+
+    /// Number of placed devices.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Center position of a device.
+    pub fn position(&self, id: DeviceId) -> (f64, f64) {
+        self.positions[id.index()]
+    }
+
+    /// Sets the center position of a device.
+    pub fn set_position(&mut self, id: DeviceId, pos: (f64, f64)) {
+        self.positions[id.index()] = pos;
+    }
+
+    /// Absolute pin position, honoring the device's flip state.
+    pub fn pin_position(&self, circuit: &Circuit, device: DeviceId, pin: usize) -> (f64, f64) {
+        let d = circuit.device(device);
+        let (cx, cy) = self.positions[device.index()];
+        let (fx, fy) = self.flips[device.index()];
+        let (ox, oy) = d.pin_offset_flipped(pin, fx, fy);
+        (cx - d.width / 2.0 + ox, cy - d.height / 2.0 + oy)
+    }
+
+    /// Exact half-perimeter wirelength over all routable nets, weighted.
+    pub fn hpwl(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .nets()
+            .iter()
+            .filter(|n| n.is_routable())
+            .map(|n| {
+                let mut xmin = f64::INFINITY;
+                let mut xmax = f64::NEG_INFINITY;
+                let mut ymin = f64::INFINITY;
+                let mut ymax = f64::NEG_INFINITY;
+                for p in &n.pins {
+                    let (x, y) = self.pin_position(circuit, p.device, p.pin.index());
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    ymin = ymin.min(y);
+                    ymax = ymax.max(y);
+                }
+                n.weight * ((xmax - xmin) + (ymax - ymin))
+            })
+            .sum()
+    }
+
+    /// Bounding box `(xmin, ymin, xmax, ymax)` of all device outlines.
+    ///
+    /// Returns `None` for an empty placement.
+    pub fn bounding_box(&self, circuit: &Circuit) -> Option<(f64, f64, f64, f64)> {
+        if self.positions.is_empty() {
+            return None;
+        }
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for (id, d) in circuit.device_ids() {
+            let (cx, cy) = self.positions[id.index()];
+            bb.0 = bb.0.min(cx - d.width / 2.0);
+            bb.1 = bb.1.min(cy - d.height / 2.0);
+            bb.2 = bb.2.max(cx + d.width / 2.0);
+            bb.3 = bb.3.max(cy + d.height / 2.0);
+        }
+        Some(bb)
+    }
+
+    /// Area of the bounding box of all device outlines, in µm².
+    pub fn area(&self, circuit: &Circuit) -> f64 {
+        match self.bounding_box(circuit) {
+            Some((x0, y0, x1, y1)) => (x1 - x0) * (y1 - y0),
+            None => 0.0,
+        }
+    }
+
+    /// Total pairwise overlap area between device outlines, in µm².
+    pub fn overlap_area(&self, circuit: &Circuit) -> f64 {
+        let mut total = 0.0;
+        let devs = circuit.devices();
+        for i in 0..devs.len() {
+            let (xi, yi) = self.positions[i];
+            for j in (i + 1)..devs.len() {
+                let (xj, yj) = self.positions[j];
+                let dx = ((devs[i].width + devs[j].width) / 2.0 - (xi - xj).abs()).max(0.0);
+                let dy = ((devs[i].height + devs[j].height) / 2.0 - (yi - yj).abs()).max(0.0);
+                total += dx * dy;
+            }
+        }
+        total
+    }
+
+    /// Returns all pairs of devices whose outlines overlap by more than `tol`
+    /// in both dimensions.
+    pub fn overlapping_pairs(&self, circuit: &Circuit, tol: f64) -> Vec<(DeviceId, DeviceId)> {
+        let mut out = Vec::new();
+        let devs = circuit.devices();
+        for i in 0..devs.len() {
+            let (xi, yi) = self.positions[i];
+            for j in (i + 1)..devs.len() {
+                let (xj, yj) = self.positions[j];
+                let dx = (devs[i].width + devs[j].width) / 2.0 - (xi - xj).abs();
+                let dy = (devs[i].height + devs[j].height) / 2.0 - (yi - yj).abs();
+                if dx > tol && dy > tol {
+                    out.push((DeviceId::new(i), DeviceId::new(j)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum violation of the circuit's symmetry constraints, in µm.
+    ///
+    /// For each vertical-axis group, the axis position is taken as the value
+    /// minimizing the group's violation (mean of pair midpoints and
+    /// self-symmetric centers); the violation is the worst residual of
+    /// `y_a = y_b`, `x_a + x_b = 2x̂`, `x_r = x̂` (and symmetrically for
+    /// horizontal axes).
+    pub fn symmetry_violation(&self, circuit: &Circuit) -> f64 {
+        let mut worst: f64 = 0.0;
+        for g in &circuit.constraints().symmetry_groups {
+            if g.is_empty() {
+                continue;
+            }
+            let axis_coord = |d: DeviceId| match g.axis {
+                Axis::Vertical => self.positions[d.index()].0,
+                Axis::Horizontal => self.positions[d.index()].1,
+            };
+            let off_coord = |d: DeviceId| match g.axis {
+                Axis::Vertical => self.positions[d.index()].1,
+                Axis::Horizontal => self.positions[d.index()].0,
+            };
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            for &(a, b) in &g.pairs {
+                sum += (axis_coord(a) + axis_coord(b)) / 2.0;
+                cnt += 1.0;
+            }
+            for &s in &g.self_symmetric {
+                sum += axis_coord(s);
+                cnt += 1.0;
+            }
+            let axis = sum / cnt;
+            for &(a, b) in &g.pairs {
+                worst = worst.max((off_coord(a) - off_coord(b)).abs());
+                worst = worst.max(((axis_coord(a) + axis_coord(b)) / 2.0 - axis).abs());
+            }
+            for &s in &g.self_symmetric {
+                worst = worst.max((axis_coord(s) - axis).abs());
+            }
+        }
+        worst
+    }
+
+    /// Maximum violation of alignment constraints, in µm.
+    pub fn alignment_violation(&self, circuit: &Circuit) -> f64 {
+        let mut worst: f64 = 0.0;
+        for a in &circuit.constraints().alignments {
+            let da = circuit.device(a.a);
+            let db = circuit.device(a.b);
+            let (xa, ya) = self.positions[a.a.index()];
+            let (xb, yb) = self.positions[a.b.index()];
+            let v = match a.kind {
+                AlignKind::Bottom => ((ya - da.height / 2.0) - (yb - db.height / 2.0)).abs(),
+                AlignKind::VerticalCenter => (xa - xb).abs(),
+            };
+            worst = worst.max(v);
+        }
+        worst
+    }
+
+    /// Maximum violation of ordering constraints, in µm (0 when all chains
+    /// are monotone with outline separation).
+    pub fn ordering_violation(&self, circuit: &Circuit) -> f64 {
+        let mut worst: f64 = 0.0;
+        for o in &circuit.constraints().orderings {
+            for w in o.devices.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let da = circuit.device(a);
+                let db = circuit.device(b);
+                let (xa, ya) = self.positions[a.index()];
+                let (xb, yb) = self.positions[b.index()];
+                let gap = match o.direction {
+                    OrderDirection::Horizontal => (xa + da.width / 2.0) - (xb - db.width / 2.0),
+                    OrderDirection::Vertical => (ya + da.height / 2.0) - (yb - db.height / 2.0),
+                };
+                worst = worst.max(gap.max(0.0));
+            }
+        }
+        worst
+    }
+
+    /// Whether the placement satisfies all constraints and is overlap-free
+    /// within tolerance `tol` (µm).
+    pub fn is_legal(&self, circuit: &Circuit, tol: f64) -> bool {
+        self.overlapping_pairs(circuit, tol).is_empty()
+            && self.symmetry_violation(circuit) <= tol
+            && self.alignment_violation(circuit) <= tol
+            && self.ordering_violation(circuit) <= tol
+    }
+
+    /// Translates all devices so the bounding box's lower-left corner is at
+    /// the origin.
+    pub fn normalize_origin(&mut self, circuit: &Circuit) {
+        if let Some((x0, y0, _, _)) = self.bounding_box(circuit) {
+            for p in &mut self.positions {
+                p.0 -= x0;
+                p.1 -= y0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, CircuitClass, DeviceKind};
+
+    fn two_device_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Adder);
+        let n1 = b.net("n1");
+        b.mos("M1", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        b.mos("M2", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        p.set_position(DeviceId::new(0), (0.0, 0.0));
+        p.set_position(DeviceId::new(1), (10.0, 5.0));
+        // Same pin offsets on both devices, so HPWL = |dx| + |dy| = 15.
+        assert!((p.hpwl(&c) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_area_detects_full_overlap() {
+        let c = two_device_circuit();
+        let p = Placement::new(2); // both at origin
+        assert!((p.overlap_area(&c) - 4.0).abs() < 1e-9);
+        assert_eq!(p.overlapping_pairs(&c, 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn overlap_area_zero_when_separated() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        p.set_position(DeviceId::new(1), (2.0, 0.0)); // abutting
+        assert_eq!(p.overlap_area(&c), 0.0);
+        assert!(p.overlapping_pairs(&c, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn bounding_box_and_area() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        p.set_position(DeviceId::new(1), (4.0, 0.0));
+        let bb = p.bounding_box(&c).unwrap();
+        assert_eq!(bb, (-1.0, -1.0, 5.0, 1.0));
+        assert!((p.area(&c) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetry_violation_zero_for_mirrored_pair() {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Ota);
+        let n1 = b.net("n1");
+        let a = b.mos("M1", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        let bd = b.mos("M2", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        b.symmetry_pair("g", a, bd);
+        let c = b.build().unwrap();
+        let mut p = Placement::new(2);
+        p.set_position(a, (0.0, 1.0));
+        p.set_position(bd, (6.0, 1.0));
+        assert!(p.symmetry_violation(&c) < 1e-9);
+        p.set_position(bd, (6.0, 2.0));
+        assert!((p.symmetry_violation(&c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_moves_pin_not_outline() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        let before = p.pin_position(&c, DeviceId::new(0), 0);
+        p.flips[0] = (true, false);
+        let after = p.pin_position(&c, DeviceId::new(0), 0);
+        assert!((before.0 + after.0).abs() < 1e-9); // mirrored about center x=0
+        assert_eq!(before.1, after.1);
+        assert_eq!(p.area(&c), Placement::new(2).area(&c));
+    }
+
+    #[test]
+    fn normalize_origin_moves_bb_to_zero() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        p.set_position(DeviceId::new(0), (5.0, 7.0));
+        p.set_position(DeviceId::new(1), (9.0, 7.0));
+        p.normalize_origin(&c);
+        let bb = p.bounding_box(&c).unwrap();
+        assert!(bb.0.abs() < 1e-12 && bb.1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_violation_measures_gap() {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Adder);
+        let n1 = b.net("n1");
+        let a = b.mos("M1", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        let bd = b.mos("M2", DeviceKind::Nmos, 2.0, 2.0, &[("d", n1)]);
+        b.order(OrderDirection::Horizontal, vec![a, bd]);
+        let c = b.build().unwrap();
+        let mut p = Placement::new(2);
+        p.set_position(a, (0.0, 0.0));
+        p.set_position(bd, (3.0, 0.0));
+        assert_eq!(p.ordering_violation(&c), 0.0);
+        p.set_position(bd, (1.0, 0.0)); // violates: right edge of a at 1, left edge of b at 0
+        assert!((p.ordering_violation(&c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn is_legal_combines_all_checks() {
+        let c = two_device_circuit();
+        let mut p = Placement::new(2);
+        p.set_position(DeviceId::new(1), (2.5, 0.0));
+        assert!(p.is_legal(&c, 1e-6));
+        p.set_position(DeviceId::new(1), (1.0, 0.0));
+        assert!(!p.is_legal(&c, 1e-6));
+    }
+}

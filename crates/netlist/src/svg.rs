@@ -1,0 +1,159 @@
+//! SVG rendering of placements, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, DeviceKind, Placement};
+
+/// Fill color per device kind.
+fn kind_color(kind: DeviceKind) -> &'static str {
+    match kind {
+        DeviceKind::Nmos => "#7eb0d5",
+        DeviceKind::Pmos => "#fd7f6f",
+        DeviceKind::Capacitor => "#b2e061",
+        DeviceKind::Resistor => "#ffb55a",
+        DeviceKind::Inductor => "#bd7ebe",
+        DeviceKind::Diode => "#8bd3c7",
+    }
+}
+
+/// Renders a placement as a standalone SVG document.
+///
+/// Devices are drawn as kind-colored rectangles with name labels;
+/// performance-critical nets as faint star-topology traces. The viewport
+/// fits the placement bounding box with a 5 % margin.
+///
+/// # Panics
+///
+/// Panics if the placement size mismatches the circuit or is empty.
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::{svg, testcases, Placement};
+/// let circuit = testcases::adder();
+/// let mut p = Placement::new(circuit.num_devices());
+/// for (i, pos) in p.positions.iter_mut().enumerate() {
+///     *pos = ((i % 4) as f64 * 5.0, (i / 4) as f64 * 4.0);
+/// }
+/// let doc = svg::render(&circuit, &p);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("</svg>"));
+/// ```
+pub fn render(circuit: &Circuit, placement: &Placement) -> String {
+    assert_eq!(
+        placement.len(),
+        circuit.num_devices(),
+        "placement size mismatch"
+    );
+    let (x0, y0, x1, y1) = placement
+        .bounding_box(circuit)
+        .expect("placement must not be empty");
+    let w = (x1 - x0).max(1e-6);
+    let h = (y1 - y0).max(1e-6);
+    let margin = 0.05 * w.max(h);
+    let view_w = w + 2.0 * margin;
+    let view_h = h + 2.0 * margin;
+    // SVG y grows downward; flip so the layout reads like a floorplan.
+    let tx = |x: f64| x - x0 + margin;
+    let ty = |y: f64| (y1 - y) + margin;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {view_w:.3} {view_h:.3}" width="640">"##
+    );
+    let _ = write!(
+        out,
+        r##"<rect x="0" y="0" width="{view_w:.3}" height="{view_h:.3}" fill="#fafafa"/>"##
+    );
+
+    // Critical-net star traces underneath the devices.
+    for net in circuit.nets() {
+        if !net.critical || net.pins.len() < 2 {
+            continue;
+        }
+        let pts: Vec<(f64, f64)> = net
+            .pins
+            .iter()
+            .map(|p| placement.pin_position(circuit, p.device, p.pin.index()))
+            .collect();
+        let n = pts.len() as f64;
+        let cx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let cy = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        for &(px, py) in &pts {
+            let _ = write!(
+                out,
+                r##"<line x1="{:.3}" y1="{:.3}" x2="{:.3}" y2="{:.3}" stroke="#d62728" stroke-width="{:.3}" stroke-opacity="0.35"/>"##,
+                tx(px),
+                ty(py),
+                tx(cx),
+                ty(cy),
+                0.004 * view_w.max(view_h),
+            );
+        }
+    }
+
+    for (id, d) in circuit.device_ids() {
+        let (cx, cy) = placement.position(id);
+        let _ = write!(
+            out,
+            r##"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" fill="{}" stroke="#333" stroke-width="{:.3}"/>"##,
+            tx(cx - d.width / 2.0),
+            ty(cy + d.height / 2.0),
+            d.width,
+            d.height,
+            kind_color(d.kind),
+            0.002 * view_w.max(view_h),
+        );
+        let font = (0.25 * d.height.min(d.width)).max(0.015 * view_w.max(view_h));
+        let _ = write!(
+            out,
+            r##"<text x="{:.3}" y="{:.3}" font-size="{font:.3}" text-anchor="middle" font-family="monospace">{}</text>"##,
+            tx(cx),
+            ty(cy) + font / 3.0,
+            d.name,
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcases;
+
+    fn grid_placement(circuit: &Circuit) -> Placement {
+        let mut p = Placement::new(circuit.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i % 5) as f64 * 6.0, (i / 5) as f64 * 5.0);
+        }
+        p
+    }
+
+    #[test]
+    fn svg_contains_every_device() {
+        let c = testcases::cc_ota();
+        let doc = render(&c, &grid_placement(&c));
+        for d in c.devices() {
+            assert!(doc.contains(&format!(">{}</text>", d.name)), "{} missing", d.name);
+        }
+        assert_eq!(doc.matches("<rect").count(), c.num_devices() + 1); // + background
+    }
+
+    #[test]
+    fn svg_draws_critical_net_traces() {
+        let c = testcases::cc_ota();
+        let doc = render(&c, &grid_placement(&c));
+        assert!(doc.contains("<line"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let c = testcases::adder();
+        let doc = render(&c, &grid_placement(&c));
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>"));
+        assert_eq!(doc.matches("<svg").count(), 1);
+    }
+}

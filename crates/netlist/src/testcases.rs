@@ -1,0 +1,929 @@
+//! The paper's ten testcase circuits as parameterized synthetic generators.
+//!
+//! The DATE'22 study evaluates on three OTAs, two comparators, two VCOs, an
+//! analog adder, a VGA and a switched-capacitor filter, each with "dozens of
+//! devices", built in a GF12nm PDK we do not have. These generators produce
+//! circuits of the same classes with the same structural features the placers
+//! care about: differential pairs with symmetry constraints, current-mirror
+//! banks with alignment constraints, monotone signal paths with ordering
+//! constraints, large passives dominating area (SCF capacitor banks, VCO
+//! inductors), and performance-critical nets.
+//!
+//! Everything is deterministic: calling a generator twice yields identical
+//! circuits.
+
+use crate::{
+    AlignKind, Circuit, CircuitBuilder, CircuitClass, DeviceId, DeviceKind, ElectricalParams,
+    NetId, OrderDirection,
+};
+
+/// Adds a differential pair: two matched transistors on `inp/inn`,
+/// drains on `outn/outp`, common source on `tail`. Returns the pair.
+fn diff_pair(
+    b: &mut CircuitBuilder,
+    prefix: &str,
+    kind: DeviceKind,
+    w: f64,
+    h: f64,
+    inp: NetId,
+    inn: NetId,
+    outp: NetId,
+    outn: NetId,
+    tail: NetId,
+    vb: NetId,
+) -> (DeviceId, DeviceId) {
+    let a = b.mos(
+        format!("{prefix}A"),
+        kind,
+        w,
+        h,
+        &[("d", outn), ("g", inp), ("s", tail), ("b", vb)],
+    );
+    let c = b.mos(
+        format!("{prefix}B"),
+        kind,
+        w,
+        h,
+        &[("d", outp), ("g", inn), ("s", tail), ("b", vb)],
+    );
+    (a, c)
+}
+
+/// Adds a 1:1 current mirror: diode device on `bias`, output device driving
+/// `out`, both sourced at `rail`. Returns (diode, output).
+fn mirror(
+    b: &mut CircuitBuilder,
+    prefix: &str,
+    kind: DeviceKind,
+    w: f64,
+    h: f64,
+    bias: NetId,
+    out: NetId,
+    rail: NetId,
+) -> (DeviceId, DeviceId) {
+    let d = b.mos(
+        format!("{prefix}D"),
+        kind,
+        w,
+        h,
+        &[("d", bias), ("g", bias), ("s", rail), ("b", rail)],
+    );
+    let o = b.mos(
+        format!("{prefix}O"),
+        kind,
+        w,
+        h,
+        &[("d", out), ("g", bias), ("s", rail), ("b", rail)],
+    );
+    (d, o)
+}
+
+fn cap(b: &mut CircuitBuilder, name: &str, farads: f64, plus: NetId, minus: NetId) -> DeviceId {
+    let area = (farads / 2.0e-15).max(0.25);
+    let side = area.sqrt();
+    b.passive(
+        name,
+        DeviceKind::Capacitor,
+        side,
+        side,
+        plus,
+        minus,
+        ElectricalParams::capacitor(farads),
+    )
+}
+
+fn res(b: &mut CircuitBuilder, name: &str, ohms: f64, plus: NetId, minus: NetId) -> DeviceId {
+    let squares = (ohms / 1000.0).max(0.5);
+    let w = 0.4 + 0.1 * squares.min(20.0);
+    let h = (0.4 * squares).clamp(0.4, 8.0);
+    b.passive(
+        name,
+        DeviceKind::Resistor,
+        w,
+        h,
+        plus,
+        minus,
+        ElectricalParams::resistor(ohms),
+    )
+}
+
+/// The analog adder: a resistive summing network into a small two-stage
+/// buffer (11 devices; one symmetry pair).
+pub fn adder() -> Circuit {
+    let mut b = CircuitBuilder::new("Adder", CircuitClass::Adder);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let ins: Vec<NetId> = (0..3).map(|i| b.net(format!("in{i}"))).collect();
+    let sum = b.net("sum");
+    let sumb = b.net("sumb");
+    let tail = b.net("tail");
+    let vb = b.net("vb");
+    let vout = b.net("vout");
+
+    for (i, &input) in ins.iter().enumerate() {
+        res(&mut b, &format!("R{i}"), 10_000.0, input, sum);
+    }
+    res(&mut b, "RF", 20_000.0, sum, vout);
+    let (pa, pb) = diff_pair(&mut b, "M1", DeviceKind::Nmos, 3.0, 1.0, sum, sumb, vout, vb, tail, vss);
+    let tail_dev = b.mos(
+        "MT",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+    );
+    let (ld, lo) = mirror(&mut b, "ML", DeviceKind::Pmos, 3.0, 1.0, vb, vout, vdd);
+    cap(&mut b, "CL", 30e-15, vout, vss);
+    res(&mut b, "RB", 15_000.0, vb, vss);
+
+    b.symmetry_pair("pair", pa, pb);
+    b.symmetry_self("pair", tail_dev);
+    b.align(AlignKind::Bottom, ld, lo);
+    b.critical(vout);
+    b.critical(sum);
+    b.build().expect("adder testcase is valid")
+}
+
+/// The cross-coupled OTA: NMOS input pair, cross-coupled PMOS load,
+/// cascode mirrors, tail source and compensation caps (13 devices).
+pub fn cc_ota() -> Circuit {
+    let mut b = CircuitBuilder::new("CC-OTA", CircuitClass::Ota);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (outp, outn) = (b.net("outp"), b.net("outn"));
+    let tail = b.net("tail");
+    let vb = b.net("vbias");
+
+    let (ina, inb) = diff_pair(
+        &mut b, "MIN", DeviceKind::Nmos, 4.0, 1.2, inp, inn, outp, outn, tail, vss,
+    );
+    // Cross-coupled PMOS load.
+    let xa = b.mos(
+        "MXA",
+        DeviceKind::Pmos,
+        3.0,
+        1.0,
+        &[("d", outn), ("g", outp), ("s", vdd), ("b", vdd)],
+    );
+    let xb = b.mos(
+        "MXB",
+        DeviceKind::Pmos,
+        3.0,
+        1.0,
+        &[("d", outp), ("g", outn), ("s", vdd), ("b", vdd)],
+    );
+    // Diode-connected PMOS in parallel for gain control.
+    let da = b.mos(
+        "MDA",
+        DeviceKind::Pmos,
+        2.0,
+        0.8,
+        &[("d", outn), ("g", outn), ("s", vdd), ("b", vdd)],
+    );
+    let db = b.mos(
+        "MDB",
+        DeviceKind::Pmos,
+        2.0,
+        0.8,
+        &[("d", outp), ("g", outp), ("s", vdd), ("b", vdd)],
+    );
+    let tail_dev = b.mos(
+        "MT",
+        DeviceKind::Nmos,
+        6.0,
+        1.4,
+        &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+    );
+    let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.0, 0.8, vb, tail, vss);
+    let ca = cap(&mut b, "CCA", 40e-15, outp, vss);
+    let cb = cap(&mut b, "CCB", 40e-15, outn, vss);
+    res(&mut b, "RB", 12_000.0, vb, vdd);
+    cap(&mut b, "CB", 20e-15, vb, vss);
+
+    b.symmetry_pair("core", ina, inb);
+    b.symmetry_pair("core", xa, xb);
+    b.symmetry_pair("core", da, db);
+    b.symmetry_self("core", tail_dev);
+    b.symmetry_pair("comp", ca, cb);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.order(OrderDirection::Horizontal, vec![bd, bo]);
+    b.critical(outp);
+    b.critical(outn);
+    b.build().expect("cc-ota testcase is valid")
+}
+
+fn strongarm(
+    b: &mut CircuitBuilder,
+    stage: &str,
+    inp: NetId,
+    inn: NetId,
+    outp: NetId,
+    outn: NetId,
+    clk: NetId,
+    vdd: NetId,
+    vss: NetId,
+) -> Vec<(DeviceId, DeviceId)> {
+    let tail = b.net(format!("{stage}_tail"));
+    let (xp, xn) = (b.net(format!("{stage}_xp")), b.net(format!("{stage}_xn")));
+    let mut pairs = Vec::new();
+    let (a, c) = diff_pair(b, &format!("{stage}IN"), DeviceKind::Nmos, 3.0, 1.0, inp, inn, xp, xn, tail, vss);
+    pairs.push((a, c));
+    let na = b.mos(
+        format!("{stage}NA"),
+        DeviceKind::Nmos,
+        2.0,
+        0.8,
+        &[("d", outn), ("g", outp), ("s", xn), ("b", vss)],
+    );
+    let nb = b.mos(
+        format!("{stage}NB"),
+        DeviceKind::Nmos,
+        2.0,
+        0.8,
+        &[("d", outp), ("g", outn), ("s", xp), ("b", vss)],
+    );
+    pairs.push((na, nb));
+    let pa = b.mos(
+        format!("{stage}PA"),
+        DeviceKind::Pmos,
+        2.0,
+        0.8,
+        &[("d", outn), ("g", outp), ("s", vdd), ("b", vdd)],
+    );
+    let pb = b.mos(
+        format!("{stage}PB"),
+        DeviceKind::Pmos,
+        2.0,
+        0.8,
+        &[("d", outp), ("g", outn), ("s", vdd), ("b", vdd)],
+    );
+    pairs.push((pa, pb));
+    // Precharge switches.
+    let sa = b.mos(
+        format!("{stage}SA"),
+        DeviceKind::Pmos,
+        1.5,
+        0.6,
+        &[("d", outn), ("g", clk), ("s", vdd), ("b", vdd)],
+    );
+    let sb = b.mos(
+        format!("{stage}SB"),
+        DeviceKind::Pmos,
+        1.5,
+        0.6,
+        &[("d", outp), ("g", clk), ("s", vdd), ("b", vdd)],
+    );
+    pairs.push((sa, sb));
+    let sc = b.mos(
+        format!("{stage}SC"),
+        DeviceKind::Pmos,
+        1.5,
+        0.6,
+        &[("d", xn), ("g", clk), ("s", vdd), ("b", vdd)],
+    );
+    let sd = b.mos(
+        format!("{stage}SD"),
+        DeviceKind::Pmos,
+        1.5,
+        0.6,
+        &[("d", xp), ("g", clk), ("s", vdd), ("b", vdd)],
+    );
+    pairs.push((sc, sd));
+    let t = b.mos(
+        format!("{stage}T"),
+        DeviceKind::Nmos,
+        5.0,
+        1.2,
+        &[("d", tail), ("g", clk), ("s", vss), ("b", vss)],
+    );
+    let group = format!("{stage}_sym");
+    for &(x, y) in &pairs {
+        b.symmetry_pair(&group, x, y);
+    }
+    b.symmetry_self(&group, t);
+    pairs
+}
+
+/// Comparator 1: a StrongARM latch with an SR output stage (17 devices).
+pub fn comp1() -> Circuit {
+    let mut b = CircuitBuilder::new("Comp1", CircuitClass::Comparator);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (outp, outn) = (b.net("outp"), b.net("outn"));
+    let clk = b.net("clk");
+    strongarm(&mut b, "ML", inp, inn, outp, outn, clk, vdd, vss);
+    // SR latch output buffer: two cross-coupled NAND-ish stacks.
+    let (qp, qn) = (b.net("qp"), b.net("qn"));
+    let n1 = b.mos("MSR1", DeviceKind::Nmos, 1.5, 0.6, &[("d", qp), ("g", outp), ("s", vss), ("b", vss)]);
+    let n2 = b.mos("MSR2", DeviceKind::Nmos, 1.5, 0.6, &[("d", qn), ("g", outn), ("s", vss), ("b", vss)]);
+    let p1 = b.mos("MSR3", DeviceKind::Pmos, 2.0, 0.6, &[("d", qp), ("g", qn), ("s", vdd), ("b", vdd)]);
+    let p2 = b.mos("MSR4", DeviceKind::Pmos, 2.0, 0.6, &[("d", qn), ("g", qp), ("s", vdd), ("b", vdd)]);
+    cap(&mut b, "CQ1", 10e-15, qp, vss);
+    cap(&mut b, "CQ2", 10e-15, qn, vss);
+    b.symmetry_pair("sr", n1, n2);
+    b.symmetry_pair("sr", p1, p2);
+    b.critical(outp);
+    b.critical(outn);
+    b.build().expect("comp1 testcase is valid")
+}
+
+/// Comparator 2: preamplifier plus double-tail latch (22 devices).
+pub fn comp2() -> Circuit {
+    let mut b = CircuitBuilder::new("Comp2", CircuitClass::Comparator);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (ap, an) = (b.net("ap"), b.net("an"));
+    let (outp, outn) = (b.net("outp"), b.net("outn"));
+    let clk = b.net("clk");
+    let vb = b.net("vb");
+    let tail0 = b.net("tail0");
+
+    // Preamp: resistively loaded diff pair.
+    let (pa, pb) = diff_pair(&mut b, "MP", DeviceKind::Nmos, 4.0, 1.2, inp, inn, ap, an, tail0, vss);
+    let ra = res(&mut b, "RLA", 8_000.0, ap, vdd);
+    let rb = res(&mut b, "RLB", 8_000.0, an, vdd);
+    let t0 = b.mos("MT0", DeviceKind::Nmos, 6.0, 1.4, &[("d", tail0), ("g", vb), ("s", vss), ("b", vss)]);
+    let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.0, 0.8, vb, tail0, vss);
+    res(&mut b, "RB", 15_000.0, vb, vdd);
+    // Latch stage.
+    strongarm(&mut b, "ML", ap, an, outp, outn, clk, vdd, vss);
+    // Output caps and small hysteresis caps.
+    let c1 = cap(&mut b, "CO1", 8e-15, outp, vss);
+    let c2 = cap(&mut b, "CO2", 8e-15, outn, vss);
+    cap(&mut b, "CH", 5e-15, ap, an);
+
+    b.symmetry_pair("pre", pa, pb);
+    b.symmetry_pair("pre", ra, rb);
+    b.symmetry_self("pre", t0);
+    b.symmetry_pair("out", c1, c2);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.order(OrderDirection::Horizontal, vec![pa, t0, pb]);
+    b.critical(ap);
+    b.critical(an);
+    b.critical(outp);
+    b.critical(outn);
+    b.build().expect("comp2 testcase is valid")
+}
+
+/// Current-mirror OTA 1: single-stage with PMOS mirror loads (14 devices).
+pub fn cm_ota1() -> Circuit {
+    let mut b = CircuitBuilder::new("CM-OTA1", CircuitClass::Ota);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (xp, xn) = (b.net("xp"), b.net("xn"));
+    let vout = b.net("vout");
+    let tail = b.net("tail");
+    let vb = b.net("vb");
+    let mb = b.net("mb");
+
+    let (ia, ib) = diff_pair(&mut b, "MIN", DeviceKind::Nmos, 4.0, 1.2, inp, inn, xp, xn, tail, vss);
+    // PMOS mirrors: xn-side diode mirrored to vout, xp side to mb then NMOS mirror to vout.
+    let (p1d, p1o) = mirror(&mut b, "MP1", DeviceKind::Pmos, 3.0, 1.0, xn, vout, vdd);
+    let (p2d, p2o) = mirror(&mut b, "MP2", DeviceKind::Pmos, 3.0, 1.0, xp, mb, vdd);
+    let (n1d, n1o) = mirror(&mut b, "MN1", DeviceKind::Nmos, 2.5, 1.0, mb, vout, vss);
+    let t = b.mos("MT", DeviceKind::Nmos, 6.0, 1.4, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    let (bd, bo) = mirror(&mut b, "MBS", DeviceKind::Nmos, 2.0, 0.8, vb, tail, vss);
+    res(&mut b, "RB", 12_000.0, vb, vdd);
+    cap(&mut b, "CL", 50e-15, vout, vss);
+    cap(&mut b, "CB", 15e-15, vb, vss);
+
+    b.symmetry_pair("core", ia, ib);
+    b.symmetry_pair("core", p1d, p2d);
+    b.symmetry_self("core", t);
+    b.align(AlignKind::Bottom, p1d, p1o);
+    b.align(AlignKind::Bottom, p2d, p2o);
+    b.align(AlignKind::Bottom, n1d, n1o);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.order(OrderDirection::Horizontal, vec![p1o, p1d, p2d, p2o]);
+    b.critical(vout);
+    b.critical(xp);
+    b.critical(xn);
+    b.build().expect("cm-ota1 testcase is valid")
+}
+
+/// Current-mirror OTA 2: two-stage with cascoded mirrors and Miller
+/// compensation (20 devices).
+pub fn cm_ota2() -> Circuit {
+    let mut b = CircuitBuilder::new("CM-OTA2", CircuitClass::Ota);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (xp, xn) = (b.net("xp"), b.net("xn"));
+    let (cp, cn) = (b.net("cp"), b.net("cn"));
+    let v1 = b.net("v1");
+    let vout = b.net("vout");
+    let tail = b.net("tail");
+    let (vb, vcas) = (b.net("vb"), b.net("vcas"));
+
+    let (ia, ib) = diff_pair(&mut b, "MIN", DeviceKind::Nmos, 5.0, 1.4, inp, inn, xp, xn, tail, vss);
+    // Cascoded PMOS loads.
+    let la = b.mos("MLA", DeviceKind::Pmos, 3.0, 1.0, &[("d", cp), ("g", xn), ("s", vdd), ("b", vdd)]);
+    let lb = b.mos("MLB", DeviceKind::Pmos, 3.0, 1.0, &[("d", cn), ("g", xn), ("s", vdd), ("b", vdd)]);
+    let ca_ = b.mos("MCA", DeviceKind::Pmos, 2.5, 0.9, &[("d", v1), ("g", vcas), ("s", cp), ("b", vdd)]);
+    let cb_ = b.mos("MCB", DeviceKind::Pmos, 2.5, 0.9, &[("d", xn), ("g", vcas), ("s", cn), ("b", vdd)]);
+    let (m1d, m1o) = mirror(&mut b, "MM1", DeviceKind::Nmos, 2.5, 1.0, xp, v1, vss);
+    let t = b.mos("MT", DeviceKind::Nmos, 7.0, 1.5, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    // Second stage.
+    let g2 = b.mos("MG2", DeviceKind::Nmos, 6.0, 1.4, &[("d", vout), ("g", v1), ("s", vss), ("b", vss)]);
+    let l2 = b.mos("ML2", DeviceKind::Pmos, 5.0, 1.2, &[("d", vout), ("g", vb), ("s", vdd), ("b", vdd)]);
+    // Compensation.
+    cap(&mut b, "CC", 60e-15, v1, vout);
+    res(&mut b, "RZ", 5_000.0, v1, vout);
+    cap(&mut b, "CL", 80e-15, vout, vss);
+    // Bias chain.
+    let (bd, bo) = mirror(&mut b, "MBS", DeviceKind::Nmos, 2.0, 0.8, vb, tail, vss);
+    res(&mut b, "RB", 10_000.0, vb, vdd);
+    let d1 = b.mos("MCD", DeviceKind::Pmos, 2.0, 0.8, &[("d", vcas), ("g", vcas), ("s", vdd), ("b", vdd)]);
+    res(&mut b, "RC", 18_000.0, vcas, vss);
+    cap(&mut b, "CB", 15e-15, vb, vss);
+    let _ = d1;
+
+    b.symmetry_pair("core", ia, ib);
+    b.symmetry_pair("core", la, lb);
+    b.symmetry_pair("core", ca_, cb_);
+    b.symmetry_self("core", t);
+    b.align(AlignKind::Bottom, m1d, m1o);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.align(AlignKind::VerticalCenter, g2, l2);
+    b.order(OrderDirection::Horizontal, vec![ia, t, ib]);
+    b.critical(v1);
+    b.critical(vout);
+    b.critical(xp);
+    b.build().expect("cm-ota2 testcase is valid")
+}
+
+/// Switched-capacitor filter: two OTAs plus large sampling/integrating
+/// capacitor banks and switch arrays (~33 devices); caps dominate area.
+pub fn scf() -> Circuit {
+    let mut b = CircuitBuilder::new("SCF", CircuitClass::Scf);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (vin, vmid, vout) = (b.net("vin"), b.net("vmid"), b.net("vout"));
+    let (ph1, ph2) = (b.net("ph1"), b.net("ph2"));
+    let vcm = b.net("vcm");
+
+    // Two simple OTA gain cells (5 devices each).
+    let ota_cell = |b: &mut CircuitBuilder, idx: usize, inn: NetId, out: NetId| {
+        let tail = b.net(format!("ota{idx}_tail"));
+        let vb = b.net(format!("ota{idx}_vb"));
+        let (a, c) = diff_pair(
+            b,
+            &format!("MO{idx}"),
+            DeviceKind::Nmos,
+            4.0,
+            1.2,
+            vcm,
+            inn,
+            out,
+            vb,
+            tail,
+            vss,
+        );
+        let t = b.mos(
+            format!("MO{idx}T"),
+            DeviceKind::Nmos,
+            5.0,
+            1.2,
+            &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+        );
+        let (ld, lo) = mirror(b, &format!("MO{idx}L"), DeviceKind::Pmos, 3.0, 1.0, vb, out, vdd);
+        let g = format!("ota{idx}");
+        b.symmetry_pair(&g, a, c);
+        b.symmetry_self(&g, t);
+        b.align(AlignKind::Bottom, ld, lo);
+        (a, c, t)
+    };
+    ota_cell(&mut b, 1, vmid, vmid);
+    ota_cell(&mut b, 2, vout, vout);
+
+    // Switch arrays: four switches per integrator input.
+    let sw = |b: &mut CircuitBuilder, name: String, a: NetId, c: NetId, phase: NetId| {
+        b.mos(name, DeviceKind::Nmos, 1.2, 0.5, &[("d", a), ("g", phase), ("s", c), ("b", vss)])
+    };
+    let s1 = b.net("s1");
+    let s2 = b.net("s2");
+    let s3 = b.net("s3");
+    for (i, (from, to, phase)) in [
+        (vin, s1, ph1),
+        (s1, vss, ph2),
+        (s1, vmid, ph2),
+        (vmid, s2, ph1),
+        (s2, vcm, ph2),
+        (s2, vout, ph1),
+        (vin, s3, ph2),
+        (s3, vcm, ph1),
+        (s3, vmid, ph1),
+        (vmid, vout, ph2),
+        (s3, vss, ph2),
+        (s2, vout, ph2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        sw(&mut b, format!("MSW{i}"), from, to, phase);
+    }
+
+    // Large capacitor banks (the area driver: each 0.5–2 pF → 15–32 µm sides).
+    let cs1 = cap(&mut b, "CS1", 800e-15, s1, vss);
+    let ci1 = cap(&mut b, "CI1", 1_600e-15, vmid, vss);
+    let cs2 = cap(&mut b, "CS2", 800e-15, s2, vcm);
+    let ci2 = cap(&mut b, "CI2", 1_200e-15, vout, vss);
+    let cff = cap(&mut b, "CFF", 400e-15, vin, vout);
+    let cs3 = cap(&mut b, "CS3", 400e-15, s3, vss);
+    // Matching dummies around the integrating caps.
+    let da = cap(&mut b, "CDA", 200e-15, vcm, vss);
+    let db = cap(&mut b, "CDB", 200e-15, vcm, vss);
+    let dc = cap(&mut b, "CDC", 200e-15, vcm, vss);
+    let dd = cap(&mut b, "CDD", 200e-15, vcm, vss);
+    b.symmetry_pair("dummies2", dc, dd);
+    let _ = cs3;
+
+    b.symmetry_pair("caps", cs1, cs2);
+    b.symmetry_pair("caps", da, db);
+    b.align(AlignKind::Bottom, ci1, ci2);
+    b.order(OrderDirection::Horizontal, vec![cs1, ci1, ci2, cs2]);
+    let _ = cff;
+    b.critical(vmid);
+    b.critical(vout);
+    b.build().expect("scf testcase is valid")
+}
+
+/// Variable-gain amplifier: two gain paths with switchable degeneration and
+/// a shared output buffer (19 devices).
+pub fn vga() -> Circuit {
+    let mut b = CircuitBuilder::new("VGA", CircuitClass::Vga);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (inp, inn) = (b.net("inp"), b.net("inn"));
+    let (outp, outn) = (b.net("outp"), b.net("outn"));
+    let (g0, g1) = (b.net("gain0"), b.net("gain1"));
+    let vb = b.net("vb");
+
+    for (stage, gain_net) in [(0usize, g0), (1usize, g1)] {
+        let tail = b.net(format!("t{stage}"));
+        let (sa, sb) = (b.net(format!("sa{stage}")), b.net(format!("sb{stage}")));
+        let a = b.mos(
+            format!("MG{stage}A"),
+            DeviceKind::Nmos,
+            3.5,
+            1.1,
+            &[("d", outn), ("g", inp), ("s", sa), ("b", vss)],
+        );
+        let c = b.mos(
+            format!("MG{stage}B"),
+            DeviceKind::Nmos,
+            3.5,
+            1.1,
+            &[("d", outp), ("g", inn), ("s", sb), ("b", vss)],
+        );
+        let ra = res(&mut b, &format!("RD{stage}A"), 2_000.0 * (stage as f64 + 1.0), sa, tail);
+        let rb = res(&mut b, &format!("RD{stage}B"), 2_000.0 * (stage as f64 + 1.0), sb, tail);
+        let sw = b.mos(
+            format!("MS{stage}"),
+            DeviceKind::Nmos,
+            2.0,
+            0.7,
+            &[("d", sa), ("g", gain_net), ("s", sb), ("b", vss)],
+        );
+        let t = b.mos(
+            format!("MT{stage}"),
+            DeviceKind::Nmos,
+            5.0,
+            1.3,
+            &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+        );
+        let grp = format!("stage{stage}");
+        b.symmetry_pair(&grp, a, c);
+        b.symmetry_pair(&grp, ra, rb);
+        b.symmetry_self(&grp, sw);
+        b.symmetry_self(&grp, t);
+    }
+    // Shared loads and bias.
+    let la = res(&mut b, "RLA", 6_000.0, outn, vdd);
+    let lb = res(&mut b, "RLB", 6_000.0, outp, vdd);
+    let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.0, 0.8, vb, vss, vss);
+    res(&mut b, "RB", 14_000.0, vb, vdd);
+    let c1 = cap(&mut b, "CO1", 25e-15, outp, vss);
+    let c2 = cap(&mut b, "CO2", 25e-15, outn, vss);
+
+    b.symmetry_pair("load", la, lb);
+    b.symmetry_pair("load", c1, c2);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.critical(outp);
+    b.critical(outn);
+    b.build().expect("vga testcase is valid")
+}
+
+fn lc_vco(name: &str, stages: usize, ind_nh: f64, cap_ff: f64) -> Circuit {
+    let mut b = CircuitBuilder::new(name, CircuitClass::Vco);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let (op, on) = (b.net("oscp"), b.net("oscn"));
+    let vtune = b.net("vtune");
+    let tail = b.net("tail");
+    let vb = b.net("vb");
+
+    // Tank inductor: the dominant footprint, matching the paper's
+    // method-independent VCO areas.
+    let side = (ind_nh * 280.0).sqrt();
+    let ind = b.passive(
+        "LT",
+        DeviceKind::Inductor,
+        side,
+        side,
+        op,
+        on,
+        ElectricalParams::inductor(ind_nh * 1e-9),
+    );
+    // Cross-coupled NMOS pair.
+    let xa = b.mos("MXA", DeviceKind::Nmos, 4.0, 1.2, &[("d", op), ("g", on), ("s", tail), ("b", vss)]);
+    let xb = b.mos("MXB", DeviceKind::Nmos, 4.0, 1.2, &[("d", on), ("g", op), ("s", tail), ("b", vss)]);
+    // Varactors (as caps to vtune).
+    let va = cap(&mut b, "CVA", cap_ff * 1e-15, op, vtune);
+    let vbc = cap(&mut b, "CVB", cap_ff * 1e-15, on, vtune);
+    // Fixed tank caps.
+    let fa = cap(&mut b, "CFA", cap_ff * 0.5e-15, op, vss);
+    let fb = cap(&mut b, "CFB", cap_ff * 0.5e-15, on, vss);
+    let t = b.mos("MT", DeviceKind::Nmos, 8.0, 1.6, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.5, 0.9, vb, tail, vss);
+    res(&mut b, "RB", 10_000.0, vb, vdd);
+    cap(&mut b, "CB", 20e-15, vb, vss);
+    // Output buffers, one chain per phase, `stages` inverters each.
+    for (phase, net) in [(0usize, op), (1usize, on)] {
+        let mut prev = net;
+        for s in 0..stages {
+            let nxt = b.net(format!("buf{phase}_{s}"));
+            b.mos(
+                format!("MBN{phase}{s}"),
+                DeviceKind::Nmos,
+                1.6,
+                0.6,
+                &[("d", nxt), ("g", prev), ("s", vss), ("b", vss)],
+            );
+            b.mos(
+                format!("MBP{phase}{s}"),
+                DeviceKind::Pmos,
+                2.4,
+                0.6,
+                &[("d", nxt), ("g", prev), ("s", vdd), ("b", vdd)],
+            );
+            prev = nxt;
+        }
+    }
+
+    b.symmetry_pair("tank", xa, xb);
+    b.symmetry_pair("tank", va, vbc);
+    b.symmetry_pair("tank", fa, fb);
+    b.symmetry_self("tank", ind);
+    b.symmetry_self("tank", t);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.critical(op);
+    b.critical(on);
+    b.critical(vtune);
+    b.build().expect("vco testcase is valid")
+}
+
+/// Voltage-controlled oscillator 1: LC tank with a 1 nH inductor and
+/// two-stage output buffers (20 devices).
+pub fn vco1() -> Circuit {
+    lc_vco("VCO1", 2, 1.0, 120.0)
+}
+
+/// Voltage-controlled oscillator 2: larger LC tank (1.7 nH) and four-stage
+/// buffers (28 devices).
+pub fn vco2() -> Circuit {
+    lc_vco("VCO2", 4, 1.7, 200.0)
+}
+
+
+/// A scalable chain of `stages` differential gain cells (6 devices plus a
+/// shared bias per cell), for scaling studies beyond the paper's circuit
+/// sizes. Each cell carries its own symmetry pair + self-symmetric tail;
+/// the inter-stage nets are critical.
+///
+/// Device count = 6·stages + 2.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn scalable_array(stages: usize) -> Circuit {
+    assert!(stages > 0, "need at least one stage");
+    let mut b = CircuitBuilder::new(format!("Array{stages}"), CircuitClass::Ota);
+    let (vdd, vss) = (b.net("vdd"), b.net("vss"));
+    let vb = b.net("vb");
+    let mut inp = b.net("in_p");
+    let mut inn = b.net("in_n");
+    for k in 0..stages {
+        let outp = b.net(format!("s{k}_p"));
+        let outn = b.net(format!("s{k}_n"));
+        let tail = b.net(format!("s{k}_t"));
+        let (a, c) = diff_pair(
+            &mut b,
+            &format!("MS{k}"),
+            DeviceKind::Nmos,
+            3.0,
+            1.0,
+            inp,
+            inn,
+            outp,
+            outn,
+            tail,
+            vss,
+        );
+        let la = b.mos(
+            format!("ML{k}A"),
+            DeviceKind::Pmos,
+            2.5,
+            1.0,
+            &[("d", outn), ("g", vb), ("s", vdd), ("b", vdd)],
+        );
+        let lb = b.mos(
+            format!("ML{k}B"),
+            DeviceKind::Pmos,
+            2.5,
+            1.0,
+            &[("d", outp), ("g", vb), ("s", vdd), ("b", vdd)],
+        );
+        let t = b.mos(
+            format!("MT{k}"),
+            DeviceKind::Nmos,
+            4.0,
+            1.2,
+            &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+        );
+        let grp = format!("stage{k}");
+        b.symmetry_pair(&grp, a, c);
+        b.symmetry_pair(&grp, la, lb);
+        b.symmetry_self(&grp, t);
+        let cl = cap(&mut b, &format!("CL{k}"), 20e-15, outp, outn);
+        let _ = cl;
+        b.critical(outp);
+        b.critical(outn);
+        inp = outp;
+        inn = outn;
+    }
+    let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.0, 0.8, vb, vss, vss);
+    b.align(AlignKind::Bottom, bd, bo);
+    b.build().expect("scalable array is valid")
+}
+
+/// All ten testcases in the paper's Table III order.
+pub fn all_testcases() -> Vec<Circuit> {
+    vec![
+        adder(),
+        cc_ota(),
+        comp1(),
+        comp2(),
+        cm_ota1(),
+        cm_ota2(),
+        scf(),
+        vga(),
+        vco1(),
+        vco2(),
+    ]
+}
+
+/// Looks a testcase up by its paper name (case-insensitive).
+pub fn testcase_by_name(name: &str) -> Option<Circuit> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "adder" => adder(),
+        "cc-ota" | "cc_ota" => cc_ota(),
+        "comp1" => comp1(),
+        "comp2" => comp2(),
+        "cm-ota1" | "cm_ota1" => cm_ota1(),
+        "cm-ota2" | "cm_ota2" => cm_ota2(),
+        "scf" => scf(),
+        "vga" => vga(),
+        "vco1" => vco1(),
+        "vco2" => vco2(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_testcases_build_and_are_nontrivial() {
+        let cases = all_testcases();
+        assert_eq!(cases.len(), 10);
+        for c in &cases {
+            assert!(
+                c.num_devices() >= 10,
+                "{} has only {} devices",
+                c.name(),
+                c.num_devices()
+            );
+            assert!(c.num_nets() >= 5, "{} has too few nets", c.name());
+            assert!(
+                !c.constraints().symmetry_groups.is_empty(),
+                "{} lacks symmetry constraints",
+                c.name()
+            );
+            assert!(
+                c.nets().iter().any(|n| n.critical),
+                "{} lacks critical nets",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn testcases_are_deterministic() {
+        assert_eq!(cc_ota(), cc_ota());
+        assert_eq!(scf(), scf());
+    }
+
+    #[test]
+    fn scf_is_largest_by_area() {
+        let cases = all_testcases();
+        let scf_area = scf().total_device_area();
+        for c in &cases {
+            assert!(
+                c.total_device_area() <= scf_area + 1e-9,
+                "{} larger than SCF",
+                c.name()
+            );
+        }
+        // The SCF caps dominate: at least 60% of its area is capacitors.
+        let cap_area: f64 = scf()
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::Capacitor)
+            .map(|d| d.area())
+            .sum();
+        assert!(cap_area / scf_area > 0.6);
+    }
+
+    #[test]
+    fn vco_inductor_dominates() {
+        for c in [vco1(), vco2()] {
+            let ind = c
+                .devices()
+                .iter()
+                .find(|d| d.kind == DeviceKind::Inductor)
+                .expect("vco has an inductor");
+            let largest_other = c
+                .devices()
+                .iter()
+                .filter(|d| d.kind != DeviceKind::Inductor)
+                .map(|d| d.area())
+                .fold(0.0_f64, f64::max);
+            assert!(ind.area() > 4.0 * largest_other);
+        }
+        assert!(
+            vco2().total_device_area() > vco1().total_device_area(),
+            "vco2 must be larger than vco1"
+        );
+    }
+
+    #[test]
+    fn scalable_array_grows_linearly() {
+        assert_eq!(scalable_array(1).num_devices(), 8);
+        assert_eq!(scalable_array(4).num_devices(), 26);
+        let c = scalable_array(6);
+        assert_eq!(c.constraints().symmetry_groups.len(), 6);
+        assert!(c.nets().iter().filter(|n| n.critical).count() >= 12);
+    }
+
+    #[test]
+    fn lookup_by_name_matches_generators() {
+        assert_eq!(testcase_by_name("CC-OTA"), Some(cc_ota()));
+        assert_eq!(testcase_by_name("cm_ota2"), Some(cm_ota2()));
+        assert_eq!(testcase_by_name("nope"), None);
+    }
+
+    #[test]
+    fn symmetry_pairs_are_matched_in_size() {
+        for c in all_testcases() {
+            for g in &c.constraints().symmetry_groups {
+                for &(a, b) in &g.pairs {
+                    let da = c.device(a);
+                    let db = c.device(b);
+                    assert_eq!(
+                        (da.width, da.height),
+                        (db.width, db.height),
+                        "{}: pair {} / {} mismatched",
+                        c.name(),
+                        da.name,
+                        db.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spice_roundtrip_for_all_testcases() {
+        for c in all_testcases() {
+            let text = crate::parser::write_spice(&c);
+            let parsed = crate::parser::parse_spice(&text).unwrap();
+            assert_eq!(parsed.num_devices(), c.num_devices(), "{}", c.name());
+            assert_eq!(parsed.num_nets(), c.num_nets(), "{}", c.name());
+            let cons = crate::parser::write_constraints(&c);
+            let mut parsed = parsed;
+            crate::parser::parse_constraints(&mut parsed, &cons).unwrap();
+            assert_eq!(
+                parsed.constraints().symmetry_groups.len(),
+                c.constraints().symmetry_groups.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal complex number type for the FFT kernels.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts.
+///
+/// # Examples
+///
+/// ```
+/// use placer_numeric::Complex;
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a - a, Complex::ZERO);
+        assert_eq!(-a + a, Complex::ZERO);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj().im, -4.0);
+        assert_eq!((a * a.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn angle_is_on_unit_circle() {
+        for k in 0..8 {
+            let z = Complex::from_angle(k as f64 * 0.7);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_real() {
+        assert_eq!(Complex::from(2.0), Complex::new(2.0, 0.0));
+    }
+}

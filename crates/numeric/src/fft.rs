@@ -1,0 +1,226 @@
+//! Iterative radix-2 fast Fourier transform.
+
+use crate::Complex;
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "fft length must be a power of two");
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// Forward DFT, in place.
+///
+/// Uses the engineering convention `X_k = Σ x_n e^{-2πikn/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_in_place(data, false);
+}
+
+/// Inverse DFT, in place (scaled by `1/N` so `ifft(fft(x)) = x`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_in_place(data, true);
+}
+
+/// Forward 2-D DFT of a row-major `rows × cols` grid, in place.
+///
+/// # Panics
+///
+/// Panics if either dimension is not a power of two or the buffer length
+/// does not equal `rows * cols`.
+pub fn fft2(data: &mut [Complex], rows: usize, cols: usize) {
+    fft2_impl(data, rows, cols, false);
+}
+
+/// Inverse 2-D DFT (scaled), in place.
+///
+/// # Panics
+///
+/// Same conditions as [`fft2`].
+pub fn ifft2(data: &mut [Complex], rows: usize, cols: usize) {
+    fft2_impl(data, rows, cols, true);
+}
+
+fn fft2_impl(data: &mut [Complex], rows: usize, cols: usize, inverse: bool) {
+    assert_eq!(data.len(), rows * cols, "grid buffer size mismatch");
+    // Transform rows.
+    for r in 0..rows {
+        fft_in_place(&mut data[r * cols..(r + 1) * cols], inverse);
+    }
+    // Transform columns through a scratch buffer.
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        fft_in_place(&mut col, inverse);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+/// Naive `O(N²)` DFT used as a test oracle.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                acc += x * Complex::from_angle(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = dft_naive(&input);
+        let mut data = input.clone();
+        fft(&mut data);
+        for (a, b) in data.iter().zip(&expected) {
+            assert!(close(*a, *b, 1e-9), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64 * 0.1 - 3.0, (i * i % 7) as f64))
+            .collect();
+        let mut data = input.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in data {
+            assert!(close(z, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let input: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 1.7).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let rows = 8;
+        let cols = 16;
+        let input: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i as f64 * 0.37).cos(), 0.0))
+            .collect();
+        let mut data = input.clone();
+        fft2(&mut data, rows, cols);
+        ifft2(&mut data, rows, cols);
+        for (a, b) in data.iter().zip(&input) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft2_separable_against_naive() {
+        // A rank-1 grid f(r,c) = g(r)h(c) has FFT2 = FFT(g) ⊗ FFT(h).
+        let rows = 4;
+        let cols = 8;
+        let g: Vec<Complex> = (0..rows).map(|i| Complex::new(i as f64 + 1.0, 0.0)).collect();
+        let h: Vec<Complex> = (0..cols).map(|i| Complex::new((i as f64).cos(), 0.0)).collect();
+        let mut grid: Vec<Complex> = (0..rows * cols)
+            .map(|i| g[i / cols] * h[i % cols])
+            .collect();
+        fft2(&mut grid, rows, cols);
+        let gf = dft_naive(&g);
+        let hf = dft_naive(&h);
+        for r in 0..rows {
+            for c in 0..cols {
+                let expected = gf[r] * hf[c];
+                assert!(close(grid[r * cols + c], expected, 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! A dense row-major 2-D grid of `f64` values.
+
+/// A dense `nx × ny` grid stored row-major (`y` major, `x` minor).
+///
+/// # Examples
+///
+/// ```
+/// use placer_numeric::Grid;
+/// let mut g = Grid::new(4, 3);
+/// g.set(1, 2, 5.0);
+/// assert_eq!(g.get(1, 2), 5.0);
+/// assert_eq!(g.sum(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a zero-filled grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be nonzero");
+        Self {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Number of cells along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of cells along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Value at `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "grid index out of range");
+        self.data[iy * self.nx + ix]
+    }
+
+    /// Sets the value at `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
+        assert!(ix < self.nx && iy < self.ny, "grid index out of range");
+        self.data[iy * self.nx + ix] = value;
+    }
+
+    /// Adds to the value at `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn add(&mut self, ix: usize, iy: usize, value: f64) {
+        assert!(ix < self.nx && iy < self.ny, "grid index out of range");
+        self.data[iy * self.nx + ix] += value;
+    }
+
+    /// Flat view of the data (row-major, `y` major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Resets every cell to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all cells.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all cells.
+    pub fn mean(&self) -> f64 {
+        self.sum() / (self.nx * self.ny) as f64
+    }
+
+    /// Maximum cell value (`-inf` never occurs for a non-empty grid).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_add() {
+        let mut g = Grid::new(3, 2);
+        g.set(2, 1, 4.0);
+        g.add(2, 1, 1.0);
+        assert_eq!(g.get(2, 1), 5.0);
+        assert_eq!(g.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let mut g = Grid::new(2, 2);
+        g.set(0, 0, 1.0);
+        g.set(1, 1, 3.0);
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(g.mean(), 1.0);
+        assert_eq!(g.max(), 3.0);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut g = Grid::new(2, 2);
+        g.set(0, 1, 9.0);
+        g.fill_zero();
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let g = Grid::new(2, 2);
+        let _ = g.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = Grid::new(0, 3);
+    }
+}

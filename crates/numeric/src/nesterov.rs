@@ -1,0 +1,269 @@
+//! Nesterov accelerated gradient descent with Lipschitz step estimation,
+//! as used by ePlace's global placement solver.
+//!
+//! The caller owns the optimization loop: it evaluates the gradient at the
+//! [`NesterovState::reference`] point and feeds it to [`NesterovState::step`].
+//! This inversion of control lets a placer anneal penalty weights, rebuild
+//! density grids, and clamp positions between iterations.
+
+/// State of a Nesterov accelerated gradient descent run.
+///
+/// # Examples
+///
+/// Minimizing `f(x) = ½‖x − c‖²` (gradient `x − c`):
+///
+/// ```
+/// use placer_numeric::NesterovState;
+///
+/// let c = [3.0, -2.0];
+/// let mut state = NesterovState::new(vec![0.0, 0.0], 0.5);
+/// for _ in 0..200 {
+///     let r = state.reference().to_vec();
+///     let grad: Vec<f64> = r.iter().zip(&c).map(|(x, c)| x - c).collect();
+///     state.step(&grad);
+/// }
+/// assert!((state.solution()[0] - 3.0).abs() < 1e-6);
+/// assert!((state.solution()[1] + 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NesterovState {
+    /// Major solution u_k.
+    u: Vec<f64>,
+    /// Reference solution v_k (where gradients are evaluated).
+    v: Vec<f64>,
+    /// Previous reference and its gradient, for the Lipschitz estimate.
+    v_prev: Vec<f64>,
+    g_prev: Vec<f64>,
+    /// Nesterov momentum parameter a_k.
+    a: f64,
+    /// Fallback / initial step length.
+    initial_step: f64,
+    /// Upper bound on the step length.
+    max_step: f64,
+    /// Adaptive safety factor on the Lipschitz estimate; shrinks when the
+    /// gradient norm grows (a divergence symptom), relaxes back toward 1.
+    shrink: f64,
+    /// Gradient norm at the previous step, for the divergence check.
+    g_norm_prev: f64,
+    iterations: usize,
+}
+
+impl NesterovState {
+    /// Starts a run from `v0` with the given initial step length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_step` is not strictly positive or `v0` is empty.
+    pub fn new(v0: Vec<f64>, initial_step: f64) -> Self {
+        assert!(initial_step > 0.0, "initial step must be positive");
+        assert!(!v0.is_empty(), "cannot optimize an empty vector");
+        let n = v0.len();
+        Self {
+            u: v0.clone(),
+            v: v0,
+            v_prev: vec![0.0; n],
+            g_prev: vec![0.0; n],
+            a: 1.0,
+            initial_step,
+            max_step: f64::INFINITY,
+            shrink: 1.0,
+            g_norm_prev: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Caps the per-iteration step length (useful to keep devices from
+    /// flying out of the placement region early on).
+    pub fn set_max_step(&mut self, max_step: f64) {
+        assert!(max_step > 0.0, "max step must be positive");
+        self.max_step = max_step;
+    }
+
+    /// The point at which the caller must evaluate the gradient.
+    pub fn reference(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Mutable access to the reference point (e.g. to clamp into bounds).
+    pub fn reference_mut(&mut self) -> &mut [f64] {
+        &mut self.v
+    }
+
+    /// The current best (major) solution.
+    pub fn solution(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// Number of completed steps.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Resets the momentum (used after large objective reweighting).
+    pub fn reset_momentum(&mut self) {
+        self.a = 1.0;
+    }
+
+    /// Tells the optimizer the objective changed externally (e.g. a penalty
+    /// weight was escalated): the next gradient-growth check is skipped so
+    /// the step-shrinking safeguard does not misfire.
+    pub fn notify_objective_change(&mut self) {
+        self.g_norm_prev = 0.0;
+    }
+
+    /// Performs one accelerated step given the gradient at
+    /// [`reference`](Self::reference). Returns the step length used.
+    ///
+    /// The step length is the inverse-Lipschitz estimate
+    /// `‖v_k − v_{k−1}‖ / ‖g_k − g_{k−1}‖` (the Barzilai–Borwein-style
+    /// estimate ePlace uses), clamped to `max_step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has the wrong length.
+    pub fn step(&mut self, grad: &[f64]) -> f64 {
+        assert_eq!(grad.len(), self.v.len(), "gradient length mismatch");
+        let g_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        let step = if self.iterations == 0 {
+            self.initial_step.min(self.max_step)
+        } else {
+            // Divergence safeguard: a sharply growing gradient means the
+            // previous step overshot. Kill the momentum and shrink the
+            // Lipschitz estimate; relax the shrink factor on quiet steps.
+            if g_norm > 2.0 * self.g_norm_prev && self.g_norm_prev > 0.0 {
+                self.a = 1.0;
+                self.shrink = (self.shrink * 0.5).max(1e-3);
+            } else {
+                self.shrink = (self.shrink * 1.1).min(1.0);
+            }
+            let mut dv = 0.0;
+            let mut dvdg = 0.0;
+            let mut dg = 0.0;
+            for i in 0..grad.len() {
+                let a = self.v[i] - self.v_prev[i];
+                let b = grad[i] - self.g_prev[i];
+                dv += a * a;
+                dvdg += a * b;
+                dg += b * b;
+            }
+            if dg > 0.0 {
+                // BB2 estimate <dv,dg>/<dg,dg>, biased toward the stiffest
+                // direction; fall back to the geometric-mean estimate when
+                // curvature information is negative (non-convex region).
+                let bb = if dvdg > 0.0 {
+                    dvdg / dg
+                } else {
+                    (dv / dg).sqrt()
+                };
+                (bb * self.shrink).min(self.max_step).max(1e-12)
+            } else {
+                self.initial_step.min(self.max_step)
+            }
+        };
+        self.g_norm_prev = g_norm;
+
+        self.v_prev.copy_from_slice(&self.v);
+        self.g_prev.copy_from_slice(grad);
+
+        // u_{k+1} = v_k − α g_k
+        let mut u_next = self.v.clone();
+        for (ui, gi) in u_next.iter_mut().zip(grad) {
+            *ui -= step * gi;
+        }
+        // a_{k+1} = (1 + sqrt(4 a_k² + 1)) / 2
+        let a_next = (1.0 + (4.0 * self.a * self.a + 1.0).sqrt()) / 2.0;
+        // v_{k+1} = u_{k+1} + (a_k − 1)(u_{k+1} − u_k)/a_{k+1}
+        let coeff = (self.a - 1.0) / a_next;
+        for i in 0..self.v.len() {
+            self.v[i] = u_next[i] + coeff * (u_next[i] - self.u[i]);
+        }
+        self.u = u_next;
+        self.a = a_next;
+        self.iterations += 1;
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_grad(x: &[f64], scales: &[f64]) -> Vec<f64> {
+        x.iter().zip(scales).map(|(x, s)| s * x).collect()
+    }
+
+    #[test]
+    fn converges_on_ill_conditioned_quadratic() {
+        let scales = [1.0, 100.0, 10.0, 0.5];
+        let mut state = NesterovState::new(vec![5.0; 4], 0.01);
+        for _ in 0..2000 {
+            let g = quad_grad(&state.reference().to_vec(), &scales);
+            state.step(&g);
+        }
+        for x in state.solution() {
+            assert!(x.abs() < 1e-4, "did not converge: {x}");
+        }
+    }
+
+    #[test]
+    fn accelerates_past_plain_gradient_descent() {
+        // On a stiff quadratic, Nesterov with BB steps should reach 1e-3
+        // accuracy far sooner than 0.9/L fixed-step descent.
+        let scales = [1.0, 50.0];
+        let mut nesterov = NesterovState::new(vec![1.0, 1.0], 0.001);
+        let mut plain = vec![1.0, 1.0];
+        let lr = 0.9 / 50.0;
+        let mut nesterov_iters = None;
+        let mut plain_iters = None;
+        for it in 0..5000 {
+            if nesterov_iters.is_none() {
+                let g = quad_grad(&nesterov.reference().to_vec(), &scales);
+                nesterov.step(&g);
+                if nesterov.solution().iter().all(|x| x.abs() < 1e-3) {
+                    nesterov_iters = Some(it);
+                }
+            }
+            if plain_iters.is_none() {
+                let g = quad_grad(&plain, &scales);
+                for (p, gi) in plain.iter_mut().zip(g) {
+                    *p -= lr * gi;
+                }
+                if plain.iter().all(|x| x.abs() < 1e-3) {
+                    plain_iters = Some(it);
+                }
+            }
+        }
+        let (n, p) = (nesterov_iters.unwrap(), plain_iters.unwrap());
+        assert!(n < p, "nesterov {n} not faster than plain {p}");
+    }
+
+    #[test]
+    fn max_step_is_respected() {
+        let mut state = NesterovState::new(vec![1000.0], 100.0);
+        state.set_max_step(0.5);
+        // Large gradient; first step uses initial_step, later ones capped.
+        state.step(&[1000.0]);
+        let before = state.solution()[0];
+        state.step(&[1000.0]);
+        let after = state.solution()[0];
+        // Displacement bounded by momentum + capped step, far below 100*g.
+        assert!((before - after).abs() < 2.0 * 0.5 * 1000.0);
+    }
+
+    #[test]
+    fn reference_mut_allows_clamping() {
+        let mut state = NesterovState::new(vec![0.0], 1.0);
+        state.step(&[-10.0]); // would move to +10
+        for v in state.reference_mut() {
+            *v = v.clamp(0.0, 2.0);
+        }
+        assert!(state.reference()[0] <= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_gradient_length_panics() {
+        let mut state = NesterovState::new(vec![0.0; 3], 1.0);
+        state.step(&[1.0]);
+    }
+}

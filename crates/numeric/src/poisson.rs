@@ -1,0 +1,285 @@
+//! Spectral Poisson solver for ePlace-style electrostatic density forces.
+//!
+//! Solves the discrete Neumann problem `∇²ψ = −ρ̃` (where `ρ̃` is the
+//! mean-free density) on an `nx × ny` grid. The grid is mirror-extended to
+//! `2nx × 2ny` (even half-sample symmetry, equivalent to a DCT-II basis),
+//! solved with a periodic FFT by dividing by the eigenvalues of the 5-point
+//! Laplacian, and restricted back. The even symmetry enforces zero normal
+//! derivative at the region boundary — exactly the "charge cannot escape the
+//! placement region" condition ePlace needs.
+
+use crate::{fft2, ifft2, is_power_of_two, Complex, Grid};
+
+/// Spectral Poisson solver with cached dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use placer_numeric::{Grid, PoissonSolver};
+/// let solver = PoissonSolver::new(16, 16, 1.0, 1.0);
+/// let mut rho = Grid::new(16, 16);
+/// rho.set(8, 8, 1.0);
+/// let psi = solver.solve(&rho);
+/// // Potential peaks at the charge location.
+/// assert!(psi.get(8, 8) > psi.get(0, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonSolver {
+    nx: usize,
+    ny: usize,
+    hx: f64,
+    hy: f64,
+}
+
+impl PoissonSolver {
+    /// Creates a solver for an `nx × ny` grid with cell sizes `hx × hy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are powers of two and the spacings are
+    /// positive.
+    pub fn new(nx: usize, ny: usize, hx: f64, hy: f64) -> Self {
+        assert!(
+            is_power_of_two(nx) && is_power_of_two(ny),
+            "grid dimensions must be powers of two"
+        );
+        assert!(hx > 0.0 && hy > 0.0, "cell sizes must be positive");
+        Self { nx, ny, hx, hy }
+    }
+
+    /// Grid size along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid size along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Solves `∇²ψ = −(ρ − mean(ρ))` and returns the potential ψ
+    /// (zero-mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` does not match the solver dimensions.
+    pub fn solve(&self, rho: &Grid) -> Grid {
+        assert_eq!(rho.nx(), self.nx, "density grid width mismatch");
+        assert_eq!(rho.ny(), self.ny, "density grid height mismatch");
+        let (nx, ny) = (self.nx, self.ny);
+        let (mx, my) = (2 * nx, 2 * ny);
+        let mean = rho.mean();
+
+        // Mirror-extend the mean-free density.
+        let mut ext = vec![Complex::ZERO; mx * my];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let v = rho.get(ix, iy) - mean;
+                let xs = [ix, mx - 1 - ix];
+                let ys = [iy, my - 1 - iy];
+                for &yy in &ys {
+                    for &xx in &xs {
+                        ext[yy * mx + xx] = Complex::new(v, 0.0);
+                    }
+                }
+            }
+        }
+
+        fft2(&mut ext, my, mx);
+
+        // Divide by −λ(u,v), the (negated) eigenvalues of the periodic
+        // 5-point Laplacian; zero out the DC mode.
+        let two_pi = 2.0 * std::f64::consts::PI;
+        for v in 0..my {
+            let wy = two_pi * v as f64 / my as f64;
+            let ly = (2.0 * wy.cos() - 2.0) / (self.hy * self.hy);
+            for u in 0..mx {
+                let wx = two_pi * u as f64 / mx as f64;
+                let lx = (2.0 * wx.cos() - 2.0) / (self.hx * self.hx);
+                let lambda = lx + ly;
+                let idx = v * mx + u;
+                if lambda.abs() < 1e-30 {
+                    ext[idx] = Complex::ZERO;
+                } else {
+                    // ∇²ψ = −ρ  ⇒  ψ̂ = ρ̂ / (−λ).
+                    ext[idx] = ext[idx].scale(-1.0 / lambda);
+                }
+            }
+        }
+
+        ifft2(&mut ext, my, mx);
+
+        let mut psi = Grid::new(nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                psi.set(ix, iy, ext[iy * mx + ix].re);
+            }
+        }
+        psi
+    }
+
+    /// Electric field `E = −∇ψ` by central differences with mirrored
+    /// (Neumann) boundary handling. Returns `(ex, ey)` grids.
+    pub fn field(&self, psi: &Grid) -> (Grid, Grid) {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut ex = Grid::new(nx, ny);
+        let mut ey = Grid::new(nx, ny);
+        let clamp = |i: isize, n: usize| -> usize { i.clamp(0, n as isize - 1) as usize };
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let xm = psi.get(clamp(ix as isize - 1, nx), iy);
+                let xp = psi.get(clamp(ix as isize + 1, nx), iy);
+                let ym = psi.get(ix, clamp(iy as isize - 1, ny));
+                let yp = psi.get(ix, clamp(iy as isize + 1, ny));
+                ex.set(ix, iy, -(xp - xm) / (2.0 * self.hx));
+                ey.set(ix, iy, -(yp - ym) / (2.0 * self.hy));
+            }
+        }
+        (ex, ey)
+    }
+
+    /// Total electrostatic energy `½ Σ ρ·ψ · hx·hy` for a density grid.
+    pub fn energy(&self, rho: &Grid, psi: &Grid) -> f64 {
+        let mean = rho.mean();
+        let mut e = 0.0;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                e += (rho.get(ix, iy) - mean) * psi.get(ix, iy);
+            }
+        }
+        0.5 * e * self.hx * self.hy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Applies the 5-point Laplacian with mirrored ghost cells.
+    fn mirrored_laplacian(psi: &Grid, hx: f64, hy: f64) -> Grid {
+        let (nx, ny) = (psi.nx(), psi.ny());
+        let mut out = Grid::new(nx, ny);
+        let gx = |i: isize| -> usize {
+            if i < 0 {
+                0
+            } else if i >= nx as isize {
+                nx - 1
+            } else {
+                i as usize
+            }
+        };
+        let gy = |i: isize| -> usize {
+            if i < 0 {
+                0
+            } else if i >= ny as isize {
+                ny - 1
+            } else {
+                i as usize
+            }
+        };
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let c = psi.get(ix, iy);
+                let xm = psi.get(gx(ix as isize - 1), iy);
+                let xp = psi.get(gx(ix as isize + 1), iy);
+                let ym = psi.get(ix, gy(iy as isize - 1));
+                let yp = psi.get(ix, gy(iy as isize + 1));
+                out.set(
+                    ix,
+                    iy,
+                    (xm + xp - 2.0 * c) / (hx * hx) + (ym + yp - 2.0 * c) / (hy * hy),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn solution_satisfies_discrete_poisson_equation() {
+        let n = 16;
+        let solver = PoissonSolver::new(n, n, 0.5, 0.5);
+        let mut rho = Grid::new(n, n);
+        for iy in 0..n {
+            for ix in 0..n {
+                rho.set(ix, iy, ((ix * 3 + iy * 7) % 11) as f64 * 0.1);
+            }
+        }
+        let psi = solver.solve(&rho);
+        let lap = mirrored_laplacian(&psi, 0.5, 0.5);
+        let mean = rho.mean();
+        for iy in 0..n {
+            for ix in 0..n {
+                let expected = -(rho.get(ix, iy) - mean);
+                assert!(
+                    (lap.get(ix, iy) - expected).abs() < 1e-8,
+                    "residual too large at ({ix},{iy}): {} vs {}",
+                    lap.get(ix, iy),
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_density_gives_flat_potential() {
+        let solver = PoissonSolver::new(8, 8, 1.0, 1.0);
+        let mut rho = Grid::new(8, 8);
+        for iy in 0..8 {
+            for ix in 0..8 {
+                rho.set(ix, iy, 2.5);
+            }
+        }
+        let psi = solver.solve(&rho);
+        for v in psi.as_slice() {
+            assert!(v.abs() < 1e-10);
+        }
+        let (ex, ey) = solver.field(&psi);
+        assert!(ex.max().abs() < 1e-10 && ey.max().abs() < 1e-10);
+    }
+
+    #[test]
+    fn field_points_away_from_charge_cluster() {
+        let n = 16;
+        let solver = PoissonSolver::new(n, n, 1.0, 1.0);
+        let mut rho = Grid::new(n, n);
+        rho.set(8, 8, 10.0);
+        let psi = solver.solve(&rho);
+        let (ex, _ey) = solver.field(&psi);
+        // Left of the charge the field pushes further left (negative),
+        // right of it further right (positive).
+        assert!(ex.get(5, 8) < 0.0);
+        assert!(ex.get(11, 8) > 0.0);
+    }
+
+    #[test]
+    fn energy_positive_for_nonuniform_density() {
+        let n = 16;
+        let solver = PoissonSolver::new(n, n, 1.0, 1.0);
+        let mut rho = Grid::new(n, n);
+        rho.set(3, 3, 4.0);
+        rho.set(12, 12, 4.0);
+        let psi = solver.solve(&rho);
+        assert!(solver.energy(&rho, &psi) > 0.0);
+    }
+
+    #[test]
+    fn spreading_charge_lowers_energy() {
+        let n = 16;
+        let solver = PoissonSolver::new(n, n, 1.0, 1.0);
+        let mut tight = Grid::new(n, n);
+        tight.set(8, 8, 4.0);
+        let mut spread = Grid::new(n, n);
+        for (ix, iy) in [(4, 4), (4, 12), (12, 4), (12, 12)] {
+            spread.set(ix, iy, 1.0);
+        }
+        let e_tight = solver.energy(&tight, &solver.solve(&tight));
+        let e_spread = solver.energy(&spread, &solver.solve(&spread));
+        assert!(e_spread < e_tight);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn rejects_non_power_of_two() {
+        let _ = PoissonSolver::new(12, 16, 1.0, 1.0);
+    }
+}

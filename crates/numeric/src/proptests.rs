@@ -1,0 +1,88 @@
+//! Property-based tests for the numerical substrate.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{fft, ifft, Complex, Grid, PoissonSolver};
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| Complex::new(re, im)),
+        len..=len,
+    )
+}
+
+proptest! {
+    /// FFT is linear: FFT(a·x + y) = a·FFT(x) + FFT(y).
+    #[test]
+    fn fft_is_linear(x in complex_vec(16), y in complex_vec(16), a in -3.0..3.0f64) {
+        let mut combo: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| xi.scale(a) + *yi)
+            .collect();
+        fft(&mut combo);
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let mut fy = y.clone();
+        fft(&mut fy);
+        for i in 0..16 {
+            let expected = fx[i].scale(a) + fy[i];
+            prop_assert!((combo[i] - expected).abs() < 1e-7);
+        }
+    }
+
+    /// Round trip through the frequency domain is the identity.
+    #[test]
+    fn fft_roundtrip_randomized(x in complex_vec(32)) {
+        let mut data = x.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    /// The Poisson solve is linear in the density: superposition holds.
+    #[test]
+    fn poisson_superposition(
+        a in proptest::collection::vec(0.0..4.0f64, 64),
+        b in proptest::collection::vec(0.0..4.0f64, 64),
+    ) {
+        let solver = PoissonSolver::new(8, 8, 1.0, 1.0);
+        let mut ga = Grid::new(8, 8);
+        ga.as_mut_slice().copy_from_slice(&a);
+        let mut gb = Grid::new(8, 8);
+        gb.as_mut_slice().copy_from_slice(&b);
+        let mut gsum = Grid::new(8, 8);
+        for (i, v) in gsum.as_mut_slice().iter_mut().enumerate() {
+            *v = a[i] + b[i];
+        }
+        let pa = solver.solve(&ga);
+        let pb = solver.solve(&gb);
+        let psum = solver.solve(&gsum);
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert!(
+                    (psum.get(i, j) - pa.get(i, j) - pb.get(i, j)).abs() < 1e-8
+                );
+            }
+        }
+    }
+
+    /// The potential is translation-covariant on a periodic mirror grid:
+    /// the energy of a single point charge does not depend on where it sits
+    /// (away from the reflective boundary's influence it is constant; we
+    /// assert boundedness + positivity, the physically required invariants).
+    #[test]
+    fn point_charge_energy_positive(ix in 2usize..14, iy in 2usize..14) {
+        let solver = PoissonSolver::new(16, 16, 1.0, 1.0);
+        let mut rho = Grid::new(16, 16);
+        rho.set(ix, iy, 3.0);
+        let psi = solver.solve(&rho);
+        let e = solver.energy(&rho, &psi);
+        prop_assert!(e > 0.0);
+        prop_assert!(e.is_finite());
+    }
+}

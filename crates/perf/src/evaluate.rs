@@ -1,0 +1,520 @@
+//! Analytic performance surrogate per circuit class.
+//!
+//! The paper evaluates placements by routing (ALIGN), extracting parasitics
+//! and running SPICE on GF12 models. This module substitutes closed-form
+//! small-signal models driven by the same inputs — device parameters plus
+//! placement-dependent wire parasitics and symmetry mismatch — preserving
+//! the monotone trends performance-driven placement exploits:
+//!
+//! - longer critical nets ⇒ more wire C ⇒ lower UGF/BW, slower comparators,
+//!   lower VCO frequency and tuning range;
+//! - more wire R on critical nets ⇒ lower effective gain, worse poles;
+//! - symmetry mismatch ⇒ offset / matching-accuracy degradation.
+//!
+//! Specifications are calibrated per circuit from a *near-ideal reference
+//! parasitic scenario* (`0.5·√(total device area)` of routing per critical
+//! net, perfect matching), so real placements undershoot the specs and the
+//! normalized scores land in the paper's FOM range with headroom for
+//! performance-driven optimization — without hand-tuning per testcase.
+
+use analog_netlist::{Axis, Circuit, CircuitClass, DeviceKind, Placement};
+
+use crate::{
+    estimate_routes, extract_parasitics, Metric, MetricGoal, PerformanceReport, WIRE_CAP_PER_UM,
+    WIRE_RES_PER_UM,
+};
+
+/// Placement-independent electrical aggregates of a circuit.
+#[derive(Debug, Clone)]
+struct DeviceAggregates {
+    /// Effective (mean) transconductance of transistors driving critical
+    /// nets (S) — one stage's worth, not the sum over all devices.
+    gm: f64,
+    /// Effective output resistance (Ω).
+    rout: f64,
+    /// Device capacitance loading the critical nets (F).
+    cload: f64,
+    /// Total tank inductance (H), for VCOs.
+    l_tank: f64,
+    /// Fixed tank capacitance (F), for VCOs.
+    c_tank: f64,
+    /// Varactor capacitance (F), for VCOs.
+    c_var: f64,
+    /// √(total device area), the mismatch normalizer (µm).
+    area_sqrt: f64,
+}
+
+/// The placement-dependent inputs to the metric models.
+#[derive(Debug, Clone, Copy)]
+struct ParasiticScenario {
+    /// Total wire capacitance on critical nets (F).
+    crit_cap: f64,
+    /// Mean wire resistance of critical nets (Ω).
+    crit_res: f64,
+    /// Normalized symmetry mismatch (dimensionless).
+    mismatch: f64,
+    /// Capacitive coupling proxy between sensitive (input/tune) nets and
+    /// aggressor (critical output) nets: Σ exp(−d/d₀) over net-centroid
+    /// pairs. Wirelength minimization tends to *increase* this (it pulls
+    /// everything together), which is exactly the axis performance-driven
+    /// placement can trade against.
+    coupling: f64,
+}
+
+fn device_aggregates(circuit: &Circuit) -> DeviceAggregates {
+    let mut gm = 0.0;
+    let mut ro_sum = 0.0;
+    let mut ro_count = 0usize;
+    let mut cload = 0.0;
+    let mut l_tank = 0.0;
+    let mut c_tank = 0.0;
+    let mut c_var = 0.0;
+    for device in circuit.devices() {
+        let on_critical = device
+            .pins
+            .iter()
+            .any(|p| circuit.net(p.net).critical);
+        match device.kind {
+            DeviceKind::Nmos | DeviceKind::Pmos => {
+                if on_critical {
+                    gm += device.electrical.gm;
+                    ro_sum += device.electrical.ro;
+                    ro_count += 1;
+                    cload += device.electrical.cout;
+                }
+            }
+            DeviceKind::Capacitor => {
+                if on_critical {
+                    // Varactors hang off the tune net; fixed caps off supply.
+                    let tunable = device
+                        .pins
+                        .iter()
+                        .any(|p| circuit.net(p.net).name.contains("tune"));
+                    if tunable {
+                        c_var += device.electrical.cin;
+                    } else {
+                        c_tank += device.electrical.cin;
+                        cload += device.electrical.cin;
+                    }
+                }
+            }
+            DeviceKind::Inductor => {
+                l_tank += device.electrical.ro / (2.0 * std::f64::consts::PI * 1.0e9);
+            }
+            DeviceKind::Resistor | DeviceKind::Diode => {}
+        }
+    }
+    if gm == 0.0 {
+        // Circuits without transistors on critical nets: fall back to all
+        // transistors so the models stay finite.
+        for d in circuit.devices() {
+            if d.kind.is_transistor() {
+                gm += d.electrical.gm;
+                ro_sum += d.electrical.ro;
+                ro_count += 1;
+            }
+        }
+    }
+    let rout = if ro_count > 0 {
+        (ro_sum / ro_count as f64) / 2.0
+    } else {
+        10_000.0
+    };
+    if ro_count > 0 {
+        gm /= ro_count as f64;
+    }
+    DeviceAggregates {
+        gm: gm.max(1e-6),
+        rout,
+        cload: cload.max(1e-15),
+        l_tank,
+        c_tank: c_tank.max(1e-15),
+        c_var,
+        area_sqrt: circuit.total_device_area().sqrt().max(1e-3),
+    }
+}
+
+/// Sensitive-to-aggressor coupling proxy: for each net whose name marks it
+/// as sensitive (`in*`, `vtune`) and each critical net, the pin-centroid
+/// proximity `exp(−d/d₀)` with `d₀ = 0.35·√(total area)`.
+fn coupling_proxy(circuit: &Circuit, placement: &Placement) -> f64 {
+    let d0 = 0.25 * circuit.total_device_area().sqrt().max(1e-3);
+    let centroid = |net: &analog_netlist::Net| -> Option<(f64, f64)> {
+        if net.pins.is_empty() {
+            return None;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for p in &net.pins {
+            let (x, y) = placement.pin_position(circuit, p.device, p.pin.index());
+            cx += x;
+            cy += y;
+        }
+        let k = net.pins.len() as f64;
+        Some((cx / k, cy / k))
+    };
+    let sensitive: Vec<(f64, f64)> = circuit
+        .nets()
+        .iter()
+        .filter(|n| n.name.starts_with("in") || n.name == "vtune")
+        .filter_map(centroid)
+        .collect();
+    let aggressors: Vec<(f64, f64)> = circuit
+        .nets()
+        .iter()
+        .filter(|n| n.critical)
+        .filter_map(centroid)
+        .collect();
+    let mut total = 0.0;
+    for &(sx, sy) in &sensitive {
+        for &(ax, ay) in &aggressors {
+            let d = ((sx - ax).powi(2) + (sy - ay).powi(2)).sqrt();
+            total += (-d / d0).exp();
+        }
+    }
+    total
+}
+
+/// Mean symmetry residual of a placement (µm): for each group, the best-fit
+/// axis is subtracted and pair/self residuals averaged.
+fn mean_symmetry_residual(circuit: &Circuit, placement: &Placement) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for g in &circuit.constraints().symmetry_groups {
+        if g.is_empty() {
+            continue;
+        }
+        let axis_coord = |d: analog_netlist::DeviceId| match g.axis {
+            Axis::Vertical => placement.positions[d.index()].0,
+            Axis::Horizontal => placement.positions[d.index()].1,
+        };
+        let off_coord = |d: analog_netlist::DeviceId| match g.axis {
+            Axis::Vertical => placement.positions[d.index()].1,
+            Axis::Horizontal => placement.positions[d.index()].0,
+        };
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for &(a, b) in &g.pairs {
+            sum += (axis_coord(a) + axis_coord(b)) / 2.0;
+            n += 1.0;
+        }
+        for &s in &g.self_symmetric {
+            sum += axis_coord(s);
+            n += 1.0;
+        }
+        let axis = sum / n;
+        for &(a, b) in &g.pairs {
+            total += (off_coord(a) - off_coord(b)).abs();
+            total += ((axis_coord(a) + axis_coord(b)) / 2.0 - axis).abs();
+            count += 2;
+        }
+        for &s in &g.self_symmetric {
+            total += (axis_coord(s) - axis).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// The calibrated performance evaluator for one circuit.
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::{testcases, Placement};
+/// use analog_perf::Evaluator;
+///
+/// let circuit = testcases::cc_ota();
+/// let evaluator = Evaluator::new(&circuit);
+/// let mut compact = Placement::new(circuit.num_devices());
+/// for (i, p) in compact.positions.iter_mut().enumerate() {
+///     *p = ((i % 4) as f64 * 3.0, (i / 4) as f64 * 2.0);
+/// }
+/// let report = evaluator.evaluate(&circuit, &compact);
+/// let fom = report.fom();
+/// assert!(fom > 0.0 && fom <= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    class: CircuitClass,
+    agg: DeviceAggregates,
+    /// Calibrated specifications, in the order produced by `raw_metrics`.
+    specs: Vec<f64>,
+}
+
+impl Evaluator {
+    /// Builds an evaluator with specs calibrated to the circuit's reference
+    /// parasitic scenario.
+    pub fn new(circuit: &Circuit) -> Self {
+        let agg = device_aggregates(circuit);
+        let n_crit = circuit.nets().iter().filter(|n| n.critical).count().max(1);
+        // Near-ideal reference: half the layout pitch per critical net and
+        // perfect matching. Real placements undershoot these specs, leaving
+        // FOM headroom for performance-driven optimization (the paper's
+        // conventional FOMs average ≈0.81).
+        let ref_len = 0.5 * agg.area_sqrt;
+        let n_sensitive = circuit
+            .nets()
+            .iter()
+            .filter(|n| n.name.starts_with("in") || n.name == "vtune")
+            .count();
+        // Reference coupling: every sensitive/aggressor pair half a layout
+        // pitch apart (exp(−0.5/0.25) ≈ 0.135 each).
+        let reference = ParasiticScenario {
+            crit_cap: n_crit as f64 * ref_len * WIRE_CAP_PER_UM,
+            crit_res: ref_len * WIRE_RES_PER_UM,
+            mismatch: 0.0,
+            coupling: 0.135 * (n_sensitive * n_crit) as f64,
+        };
+        let mut evaluator = Self {
+            class: circuit.class(),
+            agg,
+            specs: Vec::new(),
+        };
+        evaluator.specs = evaluator
+            .raw_metrics(reference)
+            .into_iter()
+            .map(|(_, v, _)| v)
+            .collect();
+        evaluator
+    }
+
+    /// Raw metric values for a parasitic scenario:
+    /// `(name, value, goal)` triples in a fixed per-class order. Every class
+    /// additionally reports the input/output coupling proxy (appended by
+    /// the caller-visible wrapper below).
+    fn raw_metrics(&self, s: ParasiticScenario) -> Vec<(&'static str, f64, MetricGoal)> {
+        use MetricGoal::{Maximize, Minimize};
+        let mut metrics = self.class_metrics(s);
+        metrics.push(("Coupling (au)", s.coupling.max(1e-6), Minimize));
+        let _ = Maximize; // silences the unused-import lint in odd cfgs
+        metrics
+    }
+
+    /// Class-specific metric values (without the shared coupling metric).
+    fn class_metrics(&self, s: ParasiticScenario) -> Vec<(&'static str, f64, MetricGoal)> {
+        use MetricGoal::{Maximize, Minimize};
+        let a = &self.agg;
+        let two_pi = 2.0 * std::f64::consts::PI;
+        // 20 fF of fixed routing/load capacitance keeps magnitudes in a
+        // plausible RF/analog range (UGF ~GHz, PM tens of degrees).
+        let cl = a.cload + s.crit_cap + 20.0e-15;
+        let gain_db = 20.0 * (a.gm * a.rout / (1.0 + s.crit_res / 20_000.0)).log10();
+        let ugf_mhz = a.gm / (two_pi * cl) / 1e6;
+        let bw_mhz = 1.0 / (two_pi * a.rout * cl) / 1e6;
+        match self.class {
+            CircuitClass::Ota => {
+                // Second pole from critical-wire RC plus a fixed intrinsic part.
+                let p2_hz = 1.0 / (two_pi * (s.crit_res + 150.0) * (s.crit_cap + 30.0e-15));
+                let pm_deg = 90.0 - (ugf_mhz * 1e6 / p2_hz).atan().to_degrees();
+                vec![
+                    ("Gain (dB)", gain_db, Maximize),
+                    ("UGF (MHz)", ugf_mhz, Maximize),
+                    ("BW (MHz)", bw_mhz, Maximize),
+                    ("PM (deg)", pm_deg, Maximize),
+                ]
+            }
+            CircuitClass::Comparator => {
+                let delay_ns = std::f64::consts::LN_2 * cl / a.gm * 1e9;
+                let offset_mv = 1.0 + 30.0 * s.mismatch;
+                vec![
+                    ("Delay (ns)", delay_ns, Minimize),
+                    ("Offset (mV)", offset_mv, Minimize),
+                    ("Gain (dB)", gain_db, Maximize),
+                ]
+            }
+            CircuitClass::Vco => {
+                let c_t = a.c_tank + s.crit_cap;
+                let freq_ghz = if a.l_tank > 0.0 {
+                    1.0 / (two_pi * (a.l_tank * c_t).sqrt()) / 1e9
+                } else {
+                    a.gm / (two_pi * c_t) / 1e9
+                };
+                let tune_pct = 100.0 * a.c_var / (a.c_var + c_t);
+                let pn_proxy = s.crit_res + 5_000.0 * s.mismatch;
+                vec![
+                    ("Freq (GHz)", freq_ghz, Maximize),
+                    ("Tuning (%)", tune_pct, Maximize),
+                    ("PN proxy (Ohm)", pn_proxy, Minimize),
+                ]
+            }
+            CircuitClass::Adder => {
+                let accuracy_pct = 100.0 / (1.0 + 4.0 * s.mismatch + s.crit_res / 50_000.0);
+                let gain_err = 0.1 + s.crit_res / 1_000.0;
+                vec![
+                    ("Accuracy (%)", accuracy_pct, Maximize),
+                    ("BW (MHz)", bw_mhz, Maximize),
+                    ("Gain err (%)", gain_err, Minimize),
+                ]
+            }
+            CircuitClass::Vga => {
+                let step_err_db = 0.1 + 20.0 * s.mismatch;
+                vec![
+                    ("Gain (dB)", gain_db, Maximize),
+                    ("BW (MHz)", bw_mhz, Maximize),
+                    ("Step err (dB)", step_err_db, Minimize),
+                ]
+            }
+            CircuitClass::Scf => {
+                let match_pct = 100.0 / (1.0 + 5.0 * s.mismatch);
+                let ripple_db = 0.05 + s.crit_res / 20_000.0 + 2.0 * s.mismatch;
+                vec![
+                    ("Settling UGF (MHz)", ugf_mhz, Maximize),
+                    ("Cap match (%)", match_pct, Maximize),
+                    ("Ripple (dB)", ripple_db, Minimize),
+                ]
+            }
+        }
+    }
+
+    /// Evaluates a placement: routes, extracts parasitics, runs the class
+    /// model, and normalizes against the calibrated specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement size mismatches the circuit.
+    pub fn evaluate(&self, circuit: &Circuit, placement: &Placement) -> PerformanceReport {
+        let routes = estimate_routes(circuit, placement);
+        let parasitics = extract_parasitics(circuit, &routes);
+        let scenario = ParasiticScenario {
+            crit_cap: parasitics.critical_cap(circuit),
+            crit_res: parasitics.critical_res(circuit),
+            mismatch: mean_symmetry_residual(circuit, placement) / self.agg.area_sqrt,
+            coupling: coupling_proxy(circuit, placement),
+        };
+        let raw = self.raw_metrics(scenario);
+        let metrics = raw
+            .into_iter()
+            .zip(&self.specs)
+            .map(|((name, value, goal), &spec)| Metric {
+                name: name.to_string(),
+                value,
+                spec,
+                goal,
+                // The coupling proxy is a secondary axis: half the weight
+                // of the class's primary small-signal metrics.
+                weight: if name == "Coupling (au)" { 0.5 } else { 1.0 },
+            })
+            .collect();
+        PerformanceReport { metrics }
+    }
+
+    /// Convenience: the FOM of a placement.
+    pub fn fom(&self, circuit: &Circuit, placement: &Placement) -> f64 {
+        self.evaluate(circuit, placement).fom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    /// A compact, symmetric grid placement.
+    fn grid_placement(circuit: &Circuit, pitch: f64) -> Placement {
+        let n = circuit.num_devices();
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut p = Placement::new(n);
+        for i in 0..n {
+            p.positions[i] = ((i % cols) as f64 * pitch, (i / cols) as f64 * pitch);
+        }
+        p
+    }
+
+    #[test]
+    fn fom_in_unit_interval_for_all_testcases() {
+        for circuit in testcases::all_testcases() {
+            let evaluator = Evaluator::new(&circuit);
+            let p = grid_placement(&circuit, 3.0);
+            let fom = evaluator.fom(&circuit, &p);
+            assert!(
+                (0.0..=1.0).contains(&fom),
+                "{}: fom {fom} out of range",
+                circuit.name()
+            );
+            assert!(fom > 0.3, "{}: fom {fom} implausibly low", circuit.name());
+        }
+    }
+
+    #[test]
+    fn compact_placement_beats_spread_placement() {
+        for circuit in [testcases::cc_ota(), testcases::comp2(), testcases::vco1()] {
+            let evaluator = Evaluator::new(&circuit);
+            let tight = grid_placement(&circuit, 2.5);
+            let loose = grid_placement(&circuit, 25.0);
+            let f_tight = evaluator.fom(&circuit, &tight);
+            let f_loose = evaluator.fom(&circuit, &loose);
+            assert!(
+                f_tight > f_loose,
+                "{}: tight {f_tight} not better than loose {f_loose}",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_placement_beats_asymmetric() {
+        let circuit = testcases::comp1();
+        let evaluator = Evaluator::new(&circuit);
+        let sym = grid_placement(&circuit, 3.0);
+        let mut asym = sym.clone();
+        // Break every symmetry pair by shoving the second element.
+        for g in &circuit.constraints().symmetry_groups {
+            for &(_, b) in &g.pairs {
+                asym.positions[b.index()].1 += 4.0;
+            }
+        }
+        assert!(evaluator.fom(&circuit, &sym) > evaluator.fom(&circuit, &asym));
+    }
+
+    #[test]
+    fn metric_count_matches_class() {
+        let ota = Evaluator::new(&testcases::cc_ota());
+        let p = grid_placement(&testcases::cc_ota(), 3.0);
+        let report = ota.evaluate(&testcases::cc_ota(), &p);
+        assert_eq!(report.metrics.len(), 5); // gain, UGF, BW, PM, coupling
+        assert!(report.metric("Gain (dB)").is_some());
+        assert!(report.metric("PM (deg)").is_some());
+    }
+
+    #[test]
+    fn vco_frequency_drops_with_longer_tank_wires() {
+        let circuit = testcases::vco1();
+        let evaluator = Evaluator::new(&circuit);
+        let tight = grid_placement(&circuit, 3.0);
+        let loose = grid_placement(&circuit, 30.0);
+        let f_tight = evaluator
+            .evaluate(&circuit, &tight)
+            .metric("Freq (GHz)")
+            .unwrap()
+            .value;
+        let f_loose = evaluator
+            .evaluate(&circuit, &loose)
+            .metric("Freq (GHz)")
+            .unwrap()
+            .value;
+        assert!(f_tight > f_loose);
+    }
+
+    #[test]
+    fn specs_are_finite_and_positive_where_meaningful() {
+        for circuit in testcases::all_testcases() {
+            let e = Evaluator::new(&circuit);
+            for spec in &e.specs {
+                assert!(spec.is_finite(), "{}: non-finite spec", circuit.name());
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_is_deterministic() {
+        let circuit = testcases::vga();
+        let e = Evaluator::new(&circuit);
+        let p = grid_placement(&circuit, 4.0);
+        assert_eq!(e.fom(&circuit, &p), e.fom(&circuit, &p));
+    }
+}

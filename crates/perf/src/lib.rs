@@ -1,0 +1,48 @@
+//! # analog-perf
+//!
+//! Placement-to-performance evaluation for analog circuits: a star-topology
+//! [route estimator](estimate_routes), per-µm RC [parasitic
+//! extraction](extract_parasitics), closed-form circuit-class performance
+//! models with Eq.-6 normalization and FOM ([`Evaluator`]), and GNN
+//! [training-set generation](generate_dataset).
+//!
+//! Together these substitute the paper's ALIGN-route → extraction → SPICE
+//! pipeline while preserving the monotone placement → parasitics →
+//! performance coupling (see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use analog_netlist::{testcases, Placement};
+//! use analog_perf::Evaluator;
+//!
+//! let circuit = testcases::cm_ota1();
+//! let evaluator = Evaluator::new(&circuit);
+//! let mut placement = Placement::new(circuit.num_devices());
+//! for (i, p) in placement.positions.iter_mut().enumerate() {
+//!     *p = ((i % 5) as f64 * 3.0, (i / 5) as f64 * 2.0);
+//! }
+//! let report = evaluator.evaluate(&circuit, &placement);
+//! for metric in &report.metrics {
+//!     println!("{}: {:.2} (spec {:.2})", metric.name, metric.value, metric.spec);
+//! }
+//! assert!(report.fom() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod evaluate;
+mod metrics;
+mod parasitics;
+mod route;
+
+pub use dataset::{
+    generate_dataset, graph_scale, random_placement, train_performance_model, DatasetOptions,
+    GeneratedDataset,
+};
+pub use evaluate::Evaluator;
+pub use metrics::{Metric, MetricGoal, PerformanceReport};
+pub use parasitics::{extract_parasitics, Parasitics, WIRE_CAP_PER_UM, WIRE_RES_PER_UM};
+pub use route::{estimate_routes, RouteEstimate};

@@ -1,0 +1,154 @@
+//! Performance metrics, normalization (Eq. 6), and the FOM composite.
+
+/// Whether a metric should exceed or stay below its specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricGoal {
+    /// Larger is better (`Π⁺` in the paper): gain, bandwidth, …
+    Maximize,
+    /// Smaller is better (`Π⁻`): delay, offset, …
+    Minimize,
+}
+
+/// One evaluated metric with its specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (e.g. `"Gain (dB)"`).
+    pub name: String,
+    /// Evaluated value.
+    pub value: f64,
+    /// Specification ψᵢ.
+    pub spec: f64,
+    /// Whether larger or smaller values are preferred.
+    pub goal: MetricGoal,
+    /// FOM weight βᵢ (normalized so all weights sum to 1).
+    pub weight: f64,
+}
+
+impl Metric {
+    /// Normalized score `z̃ᵢ ∈ [0, 1]` per Eq. 6 of the paper.
+    ///
+    /// `min(z/ψ, 1)` for maximize metrics, `min(ψ/z, 1)` for minimize
+    /// metrics. Degenerate values (non-positive where a ratio is needed)
+    /// clamp to 0.
+    pub fn normalized(&self) -> f64 {
+        let r = match self.goal {
+            MetricGoal::Maximize => {
+                if self.spec <= 0.0 {
+                    return 1.0;
+                }
+                self.value / self.spec
+            }
+            MetricGoal::Minimize => {
+                if self.value <= 0.0 {
+                    return 1.0;
+                }
+                self.spec / self.value
+            }
+        };
+        r.clamp(0.0, 1.0)
+    }
+
+    /// Whether the raw specification is met (before clamping).
+    pub fn meets_spec(&self) -> bool {
+        match self.goal {
+            MetricGoal::Maximize => self.value >= self.spec,
+            MetricGoal::Minimize => self.value <= self.spec,
+        }
+    }
+}
+
+/// A full performance evaluation of one placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceReport {
+    /// All evaluated metrics.
+    pub metrics: Vec<Metric>,
+}
+
+impl PerformanceReport {
+    /// The figure of merit `FOM = Σ βᵢ z̃ᵢ` (weights renormalized to 1).
+    ///
+    /// Returns 0 for an empty report.
+    pub fn fom(&self) -> f64 {
+        let wsum: f64 = self.metrics.iter().map(|m| m.weight).sum();
+        if wsum <= 0.0 {
+            return 0.0;
+        }
+        self.metrics
+            .iter()
+            .map(|m| m.weight * m.normalized())
+            .sum::<f64>()
+            / wsum
+    }
+
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(value: f64, spec: f64, goal: MetricGoal) -> Metric {
+        Metric {
+            name: "m".into(),
+            value,
+            spec,
+            goal,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn maximize_normalization() {
+        assert_eq!(metric(50.0, 100.0, MetricGoal::Maximize).normalized(), 0.5);
+        assert_eq!(metric(150.0, 100.0, MetricGoal::Maximize).normalized(), 1.0);
+        assert_eq!(metric(0.0, 100.0, MetricGoal::Maximize).normalized(), 0.0);
+    }
+
+    #[test]
+    fn minimize_normalization() {
+        assert_eq!(metric(200.0, 100.0, MetricGoal::Minimize).normalized(), 0.5);
+        assert_eq!(metric(50.0, 100.0, MetricGoal::Minimize).normalized(), 1.0);
+    }
+
+    #[test]
+    fn meets_spec_matches_goal_direction() {
+        assert!(metric(120.0, 100.0, MetricGoal::Maximize).meets_spec());
+        assert!(!metric(80.0, 100.0, MetricGoal::Maximize).meets_spec());
+        assert!(metric(80.0, 100.0, MetricGoal::Minimize).meets_spec());
+        assert!(!metric(120.0, 100.0, MetricGoal::Minimize).meets_spec());
+    }
+
+    #[test]
+    fn fom_is_weighted_mean_of_normalized_scores() {
+        let report = PerformanceReport {
+            metrics: vec![
+                Metric {
+                    weight: 3.0,
+                    ..metric(100.0, 100.0, MetricGoal::Maximize)
+                },
+                Metric {
+                    weight: 1.0,
+                    ..metric(50.0, 100.0, MetricGoal::Maximize)
+                },
+            ],
+        };
+        // (3·1.0 + 1·0.5)/4 = 0.875
+        assert!((report.fom() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_fom_is_zero() {
+        assert_eq!(PerformanceReport { metrics: vec![] }.fom(), 0.0);
+    }
+
+    #[test]
+    fn fom_bounded_by_one() {
+        let report = PerformanceReport {
+            metrics: vec![metric(1e9, 1.0, MetricGoal::Maximize)],
+        };
+        assert!(report.fom() <= 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Wire parasitic extraction from route estimates.
+//!
+//! Substitutes the paper's foundry extraction step with per-µm RC constants
+//! of a 12 nm-class intermediate metal stack. Absolute values are nominal;
+//! what matters for the study is that parasitics scale linearly with routed
+//! length, which this preserves exactly.
+
+use analog_netlist::Circuit;
+
+use crate::RouteEstimate;
+
+/// Wire resistance per µm (Ω/µm) of the assumed routing layer.
+pub const WIRE_RES_PER_UM: f64 = 5.0;
+/// Wire capacitance per µm (F/µm) of the assumed routing layer.
+pub const WIRE_CAP_PER_UM: f64 = 0.2e-15;
+
+/// Extracted per-net wire parasitics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parasitics {
+    /// Series wire resistance per net (Ω).
+    pub net_res: Vec<f64>,
+    /// Wire-to-ground capacitance per net (F).
+    pub net_cap: Vec<f64>,
+}
+
+impl Parasitics {
+    /// Total wire capacitance over all nets.
+    pub fn total_cap(&self) -> f64 {
+        self.net_cap.iter().sum()
+    }
+
+    /// Sum of wire capacitance on critical nets.
+    pub fn critical_cap(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .nets()
+            .iter()
+            .zip(&self.net_cap)
+            .filter(|(n, _)| n.critical)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Mean wire resistance over critical nets (0 when none).
+    pub fn critical_res(&self, circuit: &Circuit) -> f64 {
+        let (sum, count) = circuit
+            .nets()
+            .iter()
+            .zip(&self.net_res)
+            .filter(|(n, _)| n.critical)
+            .fold((0.0, 0usize), |(s, c), (_, r)| (s + r, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Extracts RC parasitics from a route estimate.
+///
+/// # Panics
+///
+/// Panics if the estimate does not match the circuit's net count.
+pub fn extract_parasitics(circuit: &Circuit, routes: &RouteEstimate) -> Parasitics {
+    assert_eq!(
+        routes.net_lengths.len(),
+        circuit.num_nets(),
+        "route estimate size mismatch"
+    );
+    Parasitics {
+        net_res: routes
+            .net_lengths
+            .iter()
+            .map(|l| l * WIRE_RES_PER_UM)
+            .collect(),
+        net_cap: routes
+            .net_lengths
+            .iter()
+            .map(|l| l * WIRE_CAP_PER_UM)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate_routes;
+    use analog_netlist::{testcases, Placement};
+
+    #[test]
+    fn parasitics_scale_with_length() {
+        let c = testcases::cc_ota();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = (i as f64 * 2.0, 0.0);
+        }
+        let routes = estimate_routes(&c, &p);
+        let par = extract_parasitics(&c, &routes);
+        for (i, l) in routes.net_lengths.iter().enumerate() {
+            assert!((par.net_res[i] - l * WIRE_RES_PER_UM).abs() < 1e-12);
+            assert!((par.net_cap[i] - l * WIRE_CAP_PER_UM).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn critical_aggregates_cover_only_critical_nets() {
+        let c = testcases::cc_ota();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i * 3 % 7) as f64, (i * 5 % 11) as f64);
+        }
+        let par = extract_parasitics(&c, &estimate_routes(&c, &p));
+        let crit_cap = par.critical_cap(&c);
+        assert!(crit_cap > 0.0);
+        assert!(crit_cap < par.total_cap());
+        assert!(par.critical_res(&c) > 0.0);
+    }
+
+    #[test]
+    fn no_critical_nets_gives_zero_res() {
+        use analog_netlist::{CircuitBuilder, CircuitClass, DeviceKind};
+        let mut b = CircuitBuilder::new("t", CircuitClass::Adder);
+        let n = b.net("n");
+        b.mos("M1", DeviceKind::Nmos, 1.0, 1.0, &[("d", n)]);
+        b.mos("M2", DeviceKind::Nmos, 1.0, 1.0, &[("d", n)]);
+        let c = b.build().unwrap();
+        let p = Placement::new(2);
+        let par = extract_parasitics(&c, &estimate_routes(&c, &p));
+        assert_eq!(par.critical_res(&c), 0.0);
+        assert_eq!(par.critical_cap(&c), 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The simulated-annealing engine over symmetry-island sequence pairs.
+//!
+//! State = a sequence pair over the circuit's [`BlockModel`] blocks (each
+//! symmetry group is one rigid island; see [`crate::island`]) plus
+//! per-device flip bits. Cost = packed area + w·HPWL + alignment/ordering
+//! penalties (+ optional GNN performance term Φ, as in the ICCAD'20 SA
+//! flow \[19\]; symmetry is exact by construction). Moves: swaps in Γ⁺, Γ⁻
+//! or both, segment relocation, and device flips. Geometric cooling with a
+//! move-sampled initial temperature; footnote 1 of the paper applies —
+//! practical budgets, no optimality claim.
+
+use analog_netlist::{Circuit, Placement};
+use placer_gnn::{CircuitGraph, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::island::BlockModel;
+use crate::seqpair::SequencePair;
+
+/// Annealing parameters.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Number of temperature levels.
+    pub temperatures: usize,
+    /// Moves attempted per temperature level.
+    pub moves_per_temperature: usize,
+    /// Geometric cooling factor in (0, 1).
+    pub cooling: f64,
+    /// HPWL weight relative to area in the cost.
+    pub hpwl_weight: f64,
+    /// Constraint-violation penalty weight (area units per µm).
+    pub penalty_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            temperatures: 120,
+            moves_per_temperature: 160,
+            cooling: 0.94,
+            hpwl_weight: 1.0,
+            penalty_weight: 40.0,
+            seed: 7,
+        }
+    }
+}
+
+/// An optional performance term for the cost function.
+pub struct PerfCost<'a> {
+    /// The trained model.
+    pub network: &'a Network,
+    /// Weight of Φ in the cost (area units).
+    pub weight: f64,
+    /// Graph coordinate scale the model was trained with.
+    pub scale: f64,
+}
+
+/// The cost breakdown of an annealing state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaCost {
+    /// Bounding-box area of the packing (µm²).
+    pub area: f64,
+    /// Exact HPWL (µm).
+    pub hpwl: f64,
+    /// Constraint violation (µm; alignment + ordering, symmetry is exact).
+    pub violation: f64,
+    /// GNN performance probability (0 when no perf term).
+    pub phi: f64,
+    /// The combined scalar cost.
+    pub total: f64,
+}
+
+/// One annealing state: island sequence pair + device flips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaState {
+    /// Sequence pair over the blocks.
+    pub seq_pair: SequencePair,
+    /// Per-device flips.
+    pub flips: Vec<(bool, bool)>,
+}
+
+/// Evaluates the SA cost of a state.
+pub fn evaluate(
+    circuit: &Circuit,
+    model: &BlockModel,
+    state: &SaState,
+    config: &SaConfig,
+    perf: Option<&mut (PerfCost<'_>, CircuitGraph)>,
+) -> (Placement, SaCost) {
+    let widths: Vec<f64> = model.blocks.iter().map(|b| b.width).collect();
+    let heights: Vec<f64> = model.blocks.iter().map(|b| b.height).collect();
+    let origins = state.seq_pair.pack_dims(&widths, &heights);
+    let placement = model.expand(circuit, &origins, &state.flips);
+    let area = placement.area(circuit);
+    let hpwl = placement.hpwl(circuit);
+    let violation =
+        placement.alignment_violation(circuit) + placement.ordering_violation(circuit);
+    let phi = match perf {
+        Some((cost, graph)) => {
+            graph.update_positions(&placement);
+            cost.network.predict(graph)
+        }
+        None => 0.0,
+    };
+    let total = area + config.hpwl_weight * hpwl + config.penalty_weight * violation;
+    (
+        placement,
+        SaCost {
+            area,
+            hpwl,
+            violation,
+            phi,
+            total,
+        },
+    )
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best state found.
+    pub state: SaState,
+    /// Its packed placement.
+    pub placement: Placement,
+    /// Its cost breakdown.
+    pub cost: SaCost,
+    /// Total moves attempted.
+    pub moves: usize,
+}
+
+fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
+    let sp = &mut state.seq_pair;
+    let m = sp.s1.len();
+    match rng.gen_range(0..5) {
+        0 if m >= 2 => {
+            let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            sp.s1.swap(i, j);
+        }
+        1 if m >= 2 => {
+            let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            sp.s2.swap(i, j);
+        }
+        2 if m >= 2 => {
+            // Swap the same two blocks in both sequences.
+            let (a, b) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            let (pa1, pb1) = (
+                sp.s1.iter().position(|&d| d == a).expect("present"),
+                sp.s1.iter().position(|&d| d == b).expect("present"),
+            );
+            sp.s1.swap(pa1, pb1);
+            let (pa2, pb2) = (
+                sp.s2.iter().position(|&d| d == a).expect("present"),
+                sp.s2.iter().position(|&d| d == b).expect("present"),
+            );
+            sp.s2.swap(pa2, pb2);
+        }
+        3 if m >= 2 => {
+            // Relocate one block within Γ⁺.
+            let i = rng.gen_range(0..m);
+            let j = rng.gen_range(0..m);
+            let d = sp.s1.remove(i);
+            sp.s1.insert(j, d);
+        }
+        _ => {
+            let d = rng.gen_range(0..num_devices);
+            if rng.gen_bool(0.5) {
+                state.flips[d].0 = !state.flips[d].0;
+            } else {
+                state.flips[d].1 = !state.flips[d].1;
+            }
+        }
+    }
+}
+
+/// Runs simulated annealing over the circuit's symmetry-island blocks.
+///
+/// The perf term (when provided) is *inferred* each evaluation, matching
+/// the paper's SA baseline where Φ(G) is part of the cost, not a gradient.
+pub fn anneal(circuit: &Circuit, config: &SaConfig, mut perf: Option<PerfCost<'_>>) -> AnnealResult {
+    let n = circuit.num_devices();
+    let model = BlockModel::new(circuit);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut state = SaState {
+        seq_pair: SequencePair::identity(model.len()),
+        flips: vec![(false, false); n],
+    };
+    // Shuffle the start deterministically.
+    for _ in 0..4 * model.len() {
+        random_move(&mut state, n, &mut rng);
+    }
+
+    let mut perf_state = perf.take().map(|p| {
+        let graph = CircuitGraph::new(circuit, &Placement::new(n), p.scale);
+        (p, graph)
+    });
+    let perf_weight = perf_state.as_ref().map(|(p, _)| p.weight).unwrap_or(0.0);
+    let cost_of = |state: &SaState,
+                       perf_state: &mut Option<(PerfCost<'_>, CircuitGraph)>|
+     -> (Placement, SaCost) {
+        let (placement, mut cost) = evaluate(circuit, &model, state, config, perf_state.as_mut());
+        cost.total += perf_weight * cost.phi;
+        (placement, cost)
+    };
+
+    let (mut placement, mut cost) = cost_of(&state, &mut perf_state);
+
+    // Sample uphill deltas for the initial temperature.
+    let mut deltas = Vec::new();
+    {
+        let mut probe = state.clone();
+        for _ in 0..30 {
+            random_move(&mut probe, n, &mut rng);
+            let (_, c) = cost_of(&probe, &mut perf_state);
+            let d = c.total - cost.total;
+            if d > 0.0 {
+                deltas.push(d);
+            }
+        }
+    }
+    let mut temperature = if deltas.is_empty() {
+        cost.total.abs() * 0.05 + 1.0
+    } else {
+        deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
+    };
+
+    let mut best_state = state.clone();
+    let mut best_placement = placement.clone();
+    let mut best_cost = cost;
+    let mut moves = 0usize;
+
+    for _level in 0..config.temperatures {
+        for _ in 0..config.moves_per_temperature {
+            moves += 1;
+            let mut candidate = state.clone();
+            random_move(&mut candidate, n, &mut rng);
+            let (cand_placement, cand_cost) = cost_of(&candidate, &mut perf_state);
+            let delta = cand_cost.total - cost.total;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                state = candidate;
+                placement = cand_placement;
+                cost = cand_cost;
+                if cost.total < best_cost.total {
+                    best_state = state.clone();
+                    best_placement = placement.clone();
+                    best_cost = cost;
+                }
+            }
+        }
+        temperature *= config.cooling;
+    }
+    let _ = placement;
+    AnnealResult {
+        state: best_state,
+        placement: best_placement,
+        cost: best_cost,
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    fn quick_config() -> SaConfig {
+        SaConfig {
+            temperatures: 30,
+            moves_per_temperature: 40,
+            ..SaConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealing_improves_over_initial_state() {
+        let c = testcases::cc_ota();
+        let config = quick_config();
+        let model = BlockModel::new(&c);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut state = SaState {
+            seq_pair: SequencePair::identity(model.len()),
+            flips: vec![(false, false); c.num_devices()],
+        };
+        for _ in 0..4 * model.len() {
+            random_move(&mut state, c.num_devices(), &mut rng);
+        }
+        let (_, initial) = evaluate(&c, &model, &state, &config, None);
+        let result = anneal(&c, &config, None);
+        assert!(
+            result.cost.total < initial.total,
+            "SA failed to improve: {} -> {}",
+            initial.total,
+            result.cost.total
+        );
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let c = testcases::adder();
+        let a = anneal(&c, &quick_config(), None);
+        let b = anneal(&c, &quick_config(), None);
+        assert_eq!(a.cost.total, b.cost.total);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn result_placement_is_overlap_free_and_symmetric() {
+        let c = testcases::comp1();
+        let result = anneal(&c, &quick_config(), None);
+        assert!(result.placement.overlapping_pairs(&c, 1e-9).is_empty());
+        // Islands make symmetry exact by construction.
+        assert!(result.placement.symmetry_violation(&c) < 1e-9);
+    }
+
+    #[test]
+    fn perf_term_is_evaluated() {
+        let c = testcases::adder();
+        let network = Network::default_config(3);
+        let result = anneal(
+            &c,
+            &quick_config(),
+            Some(PerfCost {
+                network: &network,
+                weight: 50.0,
+                scale: 20.0,
+            }),
+        );
+        assert!(result.cost.phi > 0.0 && result.cost.phi < 1.0);
+    }
+
+    #[test]
+    fn moves_counter_matches_budget() {
+        let c = testcases::adder();
+        let cfg = quick_config();
+        let result = anneal(&c, &cfg, None);
+        assert_eq!(result.moves, cfg.temperatures * cfg.moves_per_temperature);
+    }
+}

@@ -1,0 +1,43 @@
+//! # placer-sa
+//!
+//! The simulated-annealing analog placer baseline of the DATE'22 study:
+//! a symmetry-island sequence-pair floorplanner ([`SequencePair`] over
+//! [`BlockModel`] blocks) driven by geometric-cooling annealing
+//! ([`anneal`]) with alignment/ordering penalties (symmetry is exact by
+//! island construction), followed by one minimal-displacement LP pass that
+//! snaps the remaining constraints exactly.
+//!
+//! The performance-driven variant ([`SaPlacer::place_perf`]) adds the GNN
+//! probability Φ to the cost by **inference** — the key contrast with
+//! ePlace-AP, which consumes Φ's *gradient* (§V-A of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use analog_netlist::testcases;
+//! use placer_sa::{SaConfig, SaPlacer};
+//!
+//! # fn main() -> Result<(), placer_xu19::LegalizeError> {
+//! let circuit = testcases::adder();
+//! let config = SaConfig { temperatures: 15, moves_per_temperature: 25, ..SaConfig::default() };
+//! let result = SaPlacer::new(config).place(&circuit)?;
+//! println!("area {:.1} µm² after {} moves", result.area, result.moves);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod anneal;
+pub mod island;
+mod pipeline;
+mod proptests;
+mod repair;
+mod seqpair;
+
+pub use anneal::{anneal, evaluate, AnnealResult, PerfCost, SaConfig, SaCost, SaState};
+pub use island::{Block, BlockModel};
+pub use pipeline::{SaPlacer, SaResult};
+pub use repair::repair_placement;
+pub use seqpair::SequencePair;

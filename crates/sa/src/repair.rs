@@ -1,0 +1,183 @@
+//! Minimal-perturbation constraint repair for annealed placements.
+//!
+//! The annealer keeps layouts overlap-free by construction, but symmetry /
+//! alignment / ordering are only penalty-tight. This pass solves one LP per
+//! axis that **minimizes total displacement** from the annealed positions
+//! subject to the exact constraints and the full relative-order graph of
+//! the annealed packing — it snaps constraints without re-optimizing
+//! wirelength (which would credit SA with an analytical post-pass).
+
+use analog_netlist::{AlignKind, Axis, Circuit, DeviceId, Placement};
+use eplace::SeparationPlanner;
+use placer_mathopt::{ConstraintOp, Model, SolveError, VarId};
+
+fn axis_extent(circuit: &Circuit, axis: usize, d: DeviceId) -> f64 {
+    let dev = circuit.device(d);
+    if axis == 0 {
+        dev.width
+    } else {
+        dev.height
+    }
+}
+
+fn repair_axis(
+    circuit: &Circuit,
+    axis: usize,
+    targets: &[f64],
+    edges: &[(DeviceId, DeviceId)],
+) -> Result<Vec<f64>, SolveError> {
+    let n = circuit.num_devices();
+    let mut model = Model::new();
+    let xs: Vec<VarId> = (0..n)
+        .map(|i| {
+            let half = axis_extent(circuit, axis, DeviceId::new(i)) / 2.0;
+            model.add_var(format!("c{i}"), half, f64::INFINITY, 0.0)
+        })
+        .collect();
+    // Displacement |x − target| via two rows per device.
+    for (i, &x) in xs.iter().enumerate() {
+        let d = model.add_var(format!("d{i}"), 0.0, f64::INFINITY, 1.0);
+        model.add_constraint(vec![(d, 1.0), (x, -1.0)], ConstraintOp::Ge, -targets[i]);
+        model.add_constraint(vec![(d, 1.0), (x, 1.0)], ConstraintOp::Ge, targets[i]);
+    }
+    for &(a, b) in edges {
+        let gap = (axis_extent(circuit, axis, a) + axis_extent(circuit, axis, b)) / 2.0;
+        model.add_constraint(
+            vec![(xs[a.index()], 1.0), (xs[b.index()], -1.0)],
+            ConstraintOp::Le,
+            -gap,
+        );
+    }
+    for g in &circuit.constraints().symmetry_groups {
+        let on_axis = matches!((g.axis, axis), (Axis::Vertical, 0) | (Axis::Horizontal, 1));
+        if on_axis {
+            let m = model.add_var(format!("m_{}", g.name), 0.0, f64::INFINITY, 0.0);
+            for &(a, b) in &g.pairs {
+                model.add_constraint(
+                    vec![(xs[a.index()], 1.0), (xs[b.index()], 1.0), (m, -2.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+            for &s in &g.self_symmetric {
+                model.add_constraint(
+                    vec![(xs[s.index()], 1.0), (m, -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        } else {
+            for &(a, b) in &g.pairs {
+                model.add_constraint(
+                    vec![(xs[a.index()], 1.0), (xs[b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        }
+    }
+    for al in &circuit.constraints().alignments {
+        match (al.kind, axis) {
+            (AlignKind::Bottom, 1) => {
+                let ha = axis_extent(circuit, 1, al.a) / 2.0;
+                let hb = axis_extent(circuit, 1, al.b) / 2.0;
+                model.add_constraint(
+                    vec![(xs[al.a.index()], 1.0), (xs[al.b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    ha - hb,
+                );
+            }
+            (AlignKind::VerticalCenter, 0) => {
+                model.add_constraint(
+                    vec![(xs[al.a.index()], 1.0), (xs[al.b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+            _ => {}
+        }
+    }
+    let sol = model.solve_lp()?;
+    Ok(xs.iter().map(|&x| sol.value(x)).collect())
+}
+
+/// Repairs an annealed placement: minimal displacement subject to exact
+/// constraints and the packing's relative orders.
+///
+/// # Errors
+///
+/// Returns the LP error when the constraint system cannot be satisfied
+/// (which indicates inconsistent circuit constraints).
+pub fn repair_placement(
+    circuit: &Circuit,
+    annealed: &Placement,
+) -> Result<Placement, SolveError> {
+    let mut planner = SeparationPlanner::new(circuit);
+    planner.extend_all_pairs(circuit, annealed);
+    let tx: Vec<f64> = annealed.positions.iter().map(|p| p.0).collect();
+    let ty: Vec<f64> = annealed.positions.iter().map(|p| p.1).collect();
+    let xs = repair_axis(circuit, 0, &tx, planner.x_edges())?;
+    let ys = repair_axis(circuit, 1, &ty, planner.y_edges())?;
+    let mut placement = annealed.clone();
+    for i in 0..circuit.num_devices() {
+        placement.positions[i] = (xs[i], ys[i]);
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{anneal, SaConfig};
+    use analog_netlist::testcases;
+
+    #[test]
+    fn repair_produces_exact_constraints() {
+        let c = testcases::cc_ota();
+        let result = anneal(
+            &c,
+            &SaConfig {
+                temperatures: 20,
+                moves_per_temperature: 30,
+                ..SaConfig::default()
+            },
+            None,
+        );
+        let repaired = repair_placement(&c, &result.placement).unwrap();
+        assert!(repaired.overlapping_pairs(&c, 1e-6).is_empty());
+        assert!(repaired.symmetry_violation(&c) < 1e-6);
+        assert!(repaired.alignment_violation(&c) < 1e-6);
+        assert!(repaired.ordering_violation(&c) < 1e-6);
+    }
+
+    #[test]
+    fn repair_moves_devices_minimally_when_already_legal() {
+        // A placement that already satisfies everything should barely move.
+        let c = testcases::adder();
+        let result = anneal(
+            &c,
+            &SaConfig {
+                temperatures: 40,
+                moves_per_temperature: 60,
+                penalty_weight: 500.0,
+                ..SaConfig::default()
+            },
+            None,
+        );
+        let repaired = repair_placement(&c, &result.placement).unwrap();
+        let displacement: f64 = result
+            .placement
+            .positions
+            .iter()
+            .zip(&repaired.positions)
+            .map(|(a, b)| (a.0 - b.0).abs() + (a.1 - b.1).abs())
+            .sum();
+        // Heavy penalties drive the annealed violation near zero, so the
+        // repair displacement should be small relative to the layout size.
+        let side = c.total_device_area().sqrt();
+        assert!(
+            displacement < 4.0 * side,
+            "displacement {displacement} too large vs side {side}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Sequence-pair floorplan representation and longest-path packing.
+//!
+//! A sequence pair `(Γ⁺, Γ⁻)` encodes pairwise left/below relations:
+//! device `i` is left of `j` when `i` precedes `j` in both sequences, and
+//! below `j` when `i` follows `j` in `Γ⁺` but precedes it in `Γ⁻`.
+//! Packing evaluates the induced constraint graphs by longest path, giving
+//! a compact overlap-free placement — the classic representation analog SA
+//! placers build on.
+
+use analog_netlist::{Circuit, Placement};
+
+/// A sequence pair over `n` devices plus per-device flip bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencePair {
+    /// Γ⁺ (positive sequence) of device indices.
+    pub s1: Vec<usize>,
+    /// Γ⁻ (negative sequence).
+    pub s2: Vec<usize>,
+    /// `(flip_x, flip_y)` per device.
+    pub flips: Vec<(bool, bool)>,
+}
+
+impl SequencePair {
+    /// Identity sequence pair (row-major order).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            s1: (0..n).collect(),
+            s2: (0..n).collect(),
+            flips: vec![(false, false); n],
+        }
+    }
+
+    /// Packs generic rectangles (lower-left compaction): returns each
+    /// item's lower-left corner.
+    ///
+    /// Runs the O(n²) longest-path evaluation on both constraint graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension arrays mismatch the sequence pair size.
+    pub fn pack_dims(&self, widths: &[f64], heights: &[f64]) -> Vec<(f64, f64)> {
+        let n = self.s1.len();
+        assert_eq!(widths.len(), n, "widths length mismatch");
+        assert_eq!(heights.len(), n, "heights length mismatch");
+        assert_eq!(self.s2.len(), n, "sequence pair size mismatch");
+        // match2[d] = position of item d in s2.
+        let mut match2 = vec![0usize; n];
+        for (pos, &d) in self.s2.iter().enumerate() {
+            match2[d] = pos;
+        }
+        // X: iterate s1 left to right; i left of j iff pos1(i) < pos1(j) and
+        // pos2(i) < pos2(j).
+        let mut x0 = vec![0.0_f64; n];
+        for (pi, &i) in self.s1.iter().enumerate() {
+            let mut best = 0.0_f64;
+            for &j in &self.s1[..pi] {
+                if match2[j] < match2[i] {
+                    best = best.max(x0[j] + widths[j]);
+                }
+            }
+            x0[i] = best;
+        }
+        // Y: i below j iff pos1(i) > pos1(j) and pos2(i) < pos2(j);
+        // iterate s1 right to left.
+        let mut y0 = vec![0.0_f64; n];
+        for (pi, &i) in self.s1.iter().enumerate().rev() {
+            let mut best = 0.0_f64;
+            for &j in &self.s1[pi + 1..] {
+                if match2[j] < match2[i] {
+                    best = best.max(y0[j] + heights[j]);
+                }
+            }
+            y0[i] = best;
+        }
+        (0..n).map(|i| (x0[i], y0[i])).collect()
+    }
+
+    /// Packs the sequence pair into a placement (one item per device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence pair size mismatches the circuit.
+    pub fn pack(&self, circuit: &Circuit) -> Placement {
+        let n = circuit.num_devices();
+        let widths: Vec<f64> = circuit.devices().iter().map(|d| d.width).collect();
+        let heights: Vec<f64> = circuit.devices().iter().map(|d| d.height).collect();
+        let origins = self.pack_dims(&widths, &heights);
+        let mut placement = Placement::new(n);
+        for i in 0..n {
+            let d = circuit.device(analog_netlist::DeviceId::new(i));
+            placement.positions[i] = (origins[i].0 + d.width / 2.0, origins[i].1 + d.height / 2.0);
+            placement.flips[i] = self.flips[i];
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn packing_never_overlaps() {
+        for circuit in [testcases::adder(), testcases::cc_ota(), testcases::scf()] {
+            let sp = SequencePair::identity(circuit.num_devices());
+            let p = sp.pack(&circuit);
+            assert!(
+                p.overlapping_pairs(&circuit, 1e-9).is_empty(),
+                "{} overlaps",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_pair_packs_in_a_row() {
+        // With identity sequences, every device is left of the next.
+        let c = testcases::adder();
+        let sp = SequencePair::identity(c.num_devices());
+        let p = sp.pack(&c);
+        for i in 1..c.num_devices() {
+            assert!(p.positions[i].0 > p.positions[i - 1].0);
+            // All on the floor.
+            let d = c.device(analog_netlist::DeviceId::new(i));
+            assert!((p.positions[i].1 - d.height / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reversed_s1_packs_in_a_column() {
+        let c = testcases::adder();
+        let n = c.num_devices();
+        let sp = SequencePair {
+            s1: (0..n).rev().collect(),
+            s2: (0..n).collect(),
+            flips: vec![(false, false); n],
+        };
+        let p = sp.pack(&c);
+        for i in 1..n {
+            assert!(p.positions[i].1 > p.positions[i - 1].1);
+        }
+    }
+
+    #[test]
+    fn packing_is_compact() {
+        // Area of the packed bounding box is at most the sum-of-dims bound.
+        let c = testcases::cc_ota();
+        let sp = SequencePair::identity(c.num_devices());
+        let p = sp.pack(&c);
+        let total_w: f64 = c.devices().iter().map(|d| d.width).sum();
+        let max_h: f64 = c.devices().iter().map(|d| d.height).fold(0.0, f64::max);
+        let bb = p.bounding_box(&c).unwrap();
+        assert!(bb.2 - bb.0 <= total_w + 1e-9);
+        assert!(bb.3 - bb.1 <= max_h + 1e-9);
+    }
+
+    #[test]
+    fn flips_carry_into_placement() {
+        let c = testcases::adder();
+        let mut sp = SequencePair::identity(c.num_devices());
+        sp.flips[2] = (true, false);
+        let p = sp.pack(&c);
+        assert_eq!(p.flips[2], (true, false));
+    }
+}

@@ -1,0 +1,203 @@
+//! Global placement of the ISPD'19 baseline \[11\]: LSE wirelength +
+//! bell-shaped density + soft symmetry, **no area term**, solved with
+//! nonlinear conjugate gradient (the NTUplace3 lineage).
+
+use analog_netlist::{Circuit, Placement};
+use placer_numeric::{minimize_cg, CgOptions};
+
+use crate::bell::BellDensity;
+use crate::lse::lse_wirelength;
+use eplace::symmetry_penalty;
+
+/// Configuration of the baseline's global placement.
+#[derive(Debug, Clone)]
+pub struct Xu19GlobalConfig {
+    /// Bin grid dimension per axis.
+    pub bins: usize,
+    /// Region utilization target.
+    pub utilization: f64,
+    /// LSE smoothing γ as a multiple of the bin size.
+    pub gamma_bins: f64,
+    /// Density weight multiplier per outer round.
+    pub beta_growth: f64,
+    /// Outer rounds (density reweighting steps).
+    pub rounds: usize,
+    /// CG iterations per round.
+    pub cg_iters: usize,
+    /// Symmetry penalty scale.
+    pub tau_scale: f64,
+    /// Deterministic seed for the initial spread.
+    pub seed: u64,
+}
+
+impl Default for Xu19GlobalConfig {
+    fn default() -> Self {
+        Self {
+            bins: 24,
+            utilization: 0.35,
+            gamma_bins: 2.0,
+            beta_growth: 2.0,
+            rounds: 8,
+            cg_iters: 60,
+            tau_scale: 0.6,
+            seed: 1,
+        }
+    }
+}
+
+/// Statistics of a baseline global placement run.
+#[derive(Debug, Clone)]
+pub struct Xu19GlobalStats {
+    /// Total CG iterations across rounds.
+    pub iterations: usize,
+    /// Final density overflow.
+    pub overflow: f64,
+    /// Region side (µm).
+    pub region_side: f64,
+}
+
+/// Runs the baseline's global placement.
+///
+/// # Panics
+///
+/// Panics if the circuit has no devices.
+pub fn run_global(circuit: &Circuit, cfg: &Xu19GlobalConfig) -> (Placement, Xu19GlobalStats) {
+    run_global_with_extra(circuit, cfg, None)
+}
+
+/// Extra gradient hook type (used by the Perf* extension of Table V/VII).
+pub type ExtraGradientFn<'a> = dyn FnMut(&[(f64, f64)], &mut [f64]) -> f64 + 'a;
+
+/// Runs global placement with an optional extra gradient (Perf* variant).
+pub fn run_global_with_extra(
+    circuit: &Circuit,
+    cfg: &Xu19GlobalConfig,
+    mut extra: Option<&mut ExtraGradientFn<'_>>,
+) -> (Placement, Xu19GlobalStats) {
+    let n = circuit.num_devices();
+    assert!(n > 0, "cannot place an empty circuit");
+    let side = (circuit.total_device_area() / cfg.utilization).sqrt();
+    let bell = BellDensity::new(
+        (0.0, 0.0),
+        (side, side),
+        cfg.bins,
+        cfg.bins,
+        cfg.utilization,
+    );
+    let gamma = cfg.gamma_bins * side / cfg.bins as f64;
+
+    // Deterministic initial spread (same spiral as ePlace-A for fairness).
+    let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+    let mut x = vec![0.0; 2 * n];
+    for i in 0..n {
+        let r = side * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+        let theta = golden * (i as f64 + cfg.seed as f64);
+        x[i] = side / 2.0 + r * theta.cos();
+        x[n + i] = side / 2.0 + r * theta.sin();
+    }
+
+    // Normalize weights from initial gradients.
+    let pts0: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
+    let mut g_wl = vec![0.0; 2 * n];
+    lse_wirelength(circuit, &pts0, gamma, &mut g_wl);
+    let mut g_bell = vec![0.0; 2 * n];
+    bell.evaluate(circuit, &pts0, 1.0, &mut g_bell);
+    let mut g_sym = vec![0.0; 2 * n];
+    symmetry_penalty(circuit, &pts0, 1.0, &mut g_sym);
+    let l1 = |g: &[f64]| g.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+    let wl_norm = l1(&g_wl);
+    let mut beta = 0.2 * wl_norm / l1(&g_bell);
+    let tau = cfg.tau_scale * wl_norm / l1(&g_sym);
+
+    let mut iterations = 0;
+    let mut overflow = 1.0;
+    for _round in 0..cfg.rounds {
+        let opts = CgOptions {
+            max_iters: cfg.cg_iters,
+            grad_tol: 1e-5,
+            initial_step: side / cfg.bins as f64 * 0.5,
+            ..CgOptions::default()
+        };
+        let result = minimize_cg(
+            |v, grad| {
+                let pts: Vec<(f64, f64)> = (0..n).map(|i| (v[i], v[n + i])).collect();
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                let wl = lse_wirelength(circuit, &pts, gamma, grad);
+                let mut g_b = vec![0.0; 2 * n];
+                let (pen, _) = bell.evaluate(circuit, &pts, beta, &mut g_b);
+                for (g, gb) in grad.iter_mut().zip(&g_b) {
+                    *g += gb;
+                }
+                let sym = symmetry_penalty(circuit, &pts, tau, grad);
+                let extra_val = match extra.as_deref_mut() {
+                    Some(hook) => hook(&pts, grad),
+                    None => 0.0,
+                };
+                wl + beta * pen + tau * sym + extra_val
+            },
+            x.clone(),
+            &opts,
+        );
+        x = result.x;
+        iterations += result.iterations;
+        // Clamp into the region.
+        for (i, d) in circuit.devices().iter().enumerate() {
+            let hw = (d.width / 2.0).min(side / 2.0);
+            let hh = (d.height / 2.0).min(side / 2.0);
+            x[i] = x[i].clamp(hw, side - hw);
+            x[n + i] = x[n + i].clamp(hh, side - hh);
+        }
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
+        let mut scratch = vec![0.0; 2 * n];
+        let (_, of) = bell.evaluate(circuit, &pts, 1.0, &mut scratch);
+        overflow = of;
+        if overflow < 0.08 {
+            break;
+        }
+        beta *= cfg.beta_growth;
+    }
+
+    let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
+    (
+        Placement::from_positions(pts),
+        Xu19GlobalStats {
+            iterations,
+            overflow,
+            region_side: side,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn baseline_global_reduces_overlap() {
+        let c = testcases::cc_ota();
+        let (p, stats) = run_global(&c, &Xu19GlobalConfig::default());
+        let stacked = Placement::new(c.num_devices());
+        assert!(p.overlap_area(&c) < 0.7 * stacked.overlap_area(&c));
+        assert!(stats.overflow < 0.6, "overflow {}", stats.overflow);
+    }
+
+    #[test]
+    fn devices_stay_in_region() {
+        let c = testcases::comp1();
+        let (p, stats) = run_global(&c, &Xu19GlobalConfig::default());
+        for (i, d) in c.devices().iter().enumerate() {
+            let (x, y) = p.positions[i];
+            assert!(x >= d.width / 2.0 - 1e-6 && x <= stats.region_side - d.width / 2.0 + 1e-6);
+            assert!(y >= d.height / 2.0 - 1e-6 && y <= stats.region_side - d.height / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let c = testcases::adder();
+        let a = run_global(&c, &Xu19GlobalConfig::default()).0;
+        let b = run_global(&c, &Xu19GlobalConfig::default()).0;
+        assert_eq!(a, b);
+    }
+}

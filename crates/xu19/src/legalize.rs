@@ -1,0 +1,297 @@
+//! Two-stage LP legalization + detailed placement of \[11\]:
+//! LP #1 compacts area subject to separation constraints derived from the
+//! global placement's relative order; LP #2 minimizes wirelength with the
+//! chip outline fixed to LP #1's result. No device flipping — the paper
+//! names flipping as one of ePlace-A's advantages (Table IV).
+
+use analog_netlist::{AlignKind, Axis, Circuit, DeviceId, Placement};
+use eplace::{SepEdge, SeparationPlanner};
+use placer_mathopt::{ConstraintOp, Model, SolveError, VarId};
+
+/// Error from the baseline legalizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalizeError {
+    /// An LP stage failed.
+    Solve(SolveError),
+    /// Residual overlap survived the refinement rounds.
+    RefinementExhausted,
+}
+
+impl std::fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalizeError::Solve(e) => write!(f, "legalization LP failed: {e}"),
+            LegalizeError::RefinementExhausted => {
+                f.write_str("legalization refinement exhausted with residual overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LegalizeError {}
+
+impl From<SolveError> for LegalizeError {
+    fn from(e: SolveError) -> Self {
+        LegalizeError::Solve(e)
+    }
+}
+
+/// Statistics from the two LP stages.
+#[derive(Debug, Clone)]
+pub struct LegalizeStats {
+    /// Chip extent after the area-compaction stage (µm per axis).
+    pub compacted: (f64, f64),
+    /// Exact HPWL of the result.
+    pub hpwl: f64,
+    /// Bounding-box area of the result.
+    pub area: f64,
+    /// Refinement rounds used.
+    pub rounds: usize,
+}
+
+fn axis_extent(circuit: &Circuit, axis: usize, d: DeviceId) -> f64 {
+    let dev = circuit.device(d);
+    if axis == 0 {
+        dev.width
+    } else {
+        dev.height
+    }
+}
+
+/// Builds the constraint rows shared by both LP stages for one axis.
+/// Returns the coordinate variables.
+fn add_axis_constraints(
+    model: &mut Model,
+    circuit: &Circuit,
+    axis: usize,
+    seps: &[SepEdge],
+    chip: VarId,
+) -> Vec<VarId> {
+    let n = circuit.num_devices();
+    let xs: Vec<VarId> = (0..n)
+        .map(|i| {
+            let half = axis_extent(circuit, axis, DeviceId::new(i)) / 2.0;
+            model.add_var(format!("c{axis}_{i}"), half, f64::INFINITY, 0.0)
+        })
+        .collect();
+    for (i, &x) in xs.iter().enumerate() {
+        let half = axis_extent(circuit, axis, DeviceId::new(i)) / 2.0;
+        model.add_constraint(vec![(x, 1.0), (chip, -1.0)], ConstraintOp::Le, -half);
+    }
+    for &(a, b) in seps {
+        let (i, j) = (a.index(), b.index());
+        let gap = (axis_extent(circuit, axis, a) + axis_extent(circuit, axis, b)) / 2.0;
+        model.add_constraint(vec![(xs[i], 1.0), (xs[j], -1.0)], ConstraintOp::Le, -gap);
+    }
+    // Symmetry.
+    for g in &circuit.constraints().symmetry_groups {
+        let on_axis = matches!((g.axis, axis), (Axis::Vertical, 0) | (Axis::Horizontal, 1));
+        if on_axis {
+            let m = model.add_var(format!("m{axis}_{}", g.name), 0.0, f64::INFINITY, 0.0);
+            for &(a, b) in &g.pairs {
+                model.add_constraint(
+                    vec![(xs[a.index()], 1.0), (xs[b.index()], 1.0), (m, -2.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+            for &s in &g.self_symmetric {
+                model.add_constraint(
+                    vec![(xs[s.index()], 1.0), (m, -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        } else {
+            for &(a, b) in &g.pairs {
+                model.add_constraint(
+                    vec![(xs[a.index()], 1.0), (xs[b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        }
+    }
+    // Alignment.
+    for al in &circuit.constraints().alignments {
+        match (al.kind, axis) {
+            (AlignKind::Bottom, 1) => {
+                let ha = axis_extent(circuit, 1, al.a) / 2.0;
+                let hb = axis_extent(circuit, 1, al.b) / 2.0;
+                model.add_constraint(
+                    vec![(xs[al.a.index()], 1.0), (xs[al.b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    ha - hb,
+                );
+            }
+            (AlignKind::VerticalCenter, 0) => {
+                model.add_constraint(
+                    vec![(xs[al.a.index()], 1.0), (xs[al.b.index()], -1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+            _ => {}
+        }
+    }
+    xs
+}
+
+/// Stage 1: area compaction — minimize the chip extent per axis.
+fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64, LegalizeError> {
+    let mut model = Model::new();
+    let chip = model.add_var("chip", 0.0, f64::INFINITY, 1.0);
+    let _ = add_axis_constraints(&mut model, circuit, axis, seps, chip);
+    let sol = model.solve_lp().map_err(|e| {
+        if std::env::var_os("LEGALIZE_DEBUG").is_some() {
+            if let Ok((total, rows)) = model.diagnose_infeasibility() {
+                eprintln!("xu19 compact axis {axis}: infeasibility {total:.3}, rows {rows:?}");
+                let d = model.dump();
+                let _ = std::fs::write("/tmp/xu19_model.txt", d);
+            }
+        }
+        e
+    })?;
+    Ok(sol.value(chip))
+}
+
+/// Stage 2: wirelength minimization with the chip extent fixed.
+fn wirelength_axis(
+    circuit: &Circuit,
+    axis: usize,
+    seps: &[SepEdge],
+    chip_extent: f64,
+) -> Result<Vec<f64>, LegalizeError> {
+    let mut model = Model::new();
+    let chip = model.add_var("chip", 0.0, chip_extent, 0.0);
+    let xs = add_axis_constraints(&mut model, circuit, axis, seps, chip);
+    for net in circuit.nets() {
+        if net.pins.len() < 2 {
+            continue;
+        }
+        let lo = model.add_var(format!("lo_{}", net.name), 0.0, f64::INFINITY, -net.weight);
+        let hi = model.add_var(format!("hi_{}", net.name), 0.0, f64::INFINITY, net.weight);
+        for p in &net.pins {
+            let d = circuit.device(p.device);
+            let off = if axis == 0 {
+                d.pins[p.pin.index()].offset.0 - d.width / 2.0
+            } else {
+                d.pins[p.pin.index()].offset.1 - d.height / 2.0
+            };
+            let x = xs[p.device.index()];
+            model.add_constraint(vec![(lo, 1.0), (x, -1.0)], ConstraintOp::Le, off);
+            model.add_constraint(vec![(x, 1.0), (hi, -1.0)], ConstraintOp::Le, -off);
+        }
+    }
+    let sol = model.solve_lp()?;
+    Ok(xs.iter().map(|&x| sol.value(x)).collect())
+}
+
+/// Runs the baseline's two-stage legalization on a global placement.
+///
+/// # Errors
+///
+/// Returns [`LegalizeError`] when an LP stage fails or refinement exhausts.
+pub fn legalize_two_stage(
+    circuit: &Circuit,
+    global: &Placement,
+) -> Result<(Placement, LegalizeStats), LegalizeError> {
+    // [11] freezes the relative order of *every* pair from global placement
+    // (constraint-graph legalization). On rare inputs that full graph
+    // contradicts the symmetry/ordering equalities through a chain the
+    // planner's pairwise reasoning cannot see; fall back to the incremental
+    // (overlapping-pairs-only) graph in that case.
+    match legalize_with(circuit, global, true) {
+        Err(LegalizeError::Solve(SolveError::Infeasible)) => {
+            legalize_with(circuit, global, false)
+        }
+        other => other,
+    }
+}
+
+fn legalize_with(
+    circuit: &Circuit,
+    global: &Placement,
+    all_pairs: bool,
+) -> Result<(Placement, LegalizeStats), LegalizeError> {
+    let mut planner = SeparationPlanner::new(circuit);
+    if all_pairs {
+        planner.extend_all_pairs(circuit, global);
+    } else {
+        planner.extend_from(circuit, global);
+    }
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if rounds > 12 {
+            return Err(LegalizeError::RefinementExhausted);
+        }
+        // Stage 1 per axis.
+        let wx = compact_axis(circuit, 0, planner.x_edges())?;
+        let wy = compact_axis(circuit, 1, planner.y_edges())?;
+        // Stage 2 per axis: wirelength is minimized strictly within the
+        // compacted outline, as in [11]'s area-then-wirelength ordering.
+        let xs = wirelength_axis(circuit, 0, planner.x_edges(), wx)?;
+        let ys = wirelength_axis(circuit, 1, planner.y_edges(), wy)?;
+        let mut placement = Placement::new(circuit.num_devices());
+        for i in 0..circuit.num_devices() {
+            placement.positions[i] = (xs[i], ys[i]);
+        }
+        if placement.overlapping_pairs(circuit, 1e-6).is_empty() {
+            let hpwl = placement.hpwl(circuit);
+            let area = placement.area(circuit);
+            return Ok((
+                placement,
+                LegalizeStats {
+                    compacted: (wx, wy),
+                    hpwl,
+                    area,
+                    rounds,
+                },
+            ));
+        }
+        if !planner.extend_from(circuit, &placement) {
+            return Err(LegalizeError::RefinementExhausted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_global, Xu19GlobalConfig};
+    use analog_netlist::testcases;
+
+    #[test]
+    fn two_stage_legalization_is_legal() {
+        for circuit in [testcases::adder(), testcases::cc_ota()] {
+            let (gp, _) = run_global(&circuit, &Xu19GlobalConfig::default());
+            let (p, stats) = legalize_two_stage(&circuit, &gp).unwrap();
+            assert!(
+                p.overlapping_pairs(&circuit, 1e-6).is_empty(),
+                "{} has overlaps",
+                circuit.name()
+            );
+            assert!(p.symmetry_violation(&circuit) < 1e-6);
+            assert!(stats.hpwl > 0.0);
+            assert!(stats.area > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_flipping_in_result() {
+        let circuit = testcases::cc_ota();
+        let (gp, _) = run_global(&circuit, &Xu19GlobalConfig::default());
+        let (p, _) = legalize_two_stage(&circuit, &gp).unwrap();
+        assert!(p.flips.iter().all(|&(fx, fy)| !fx && !fy));
+    }
+
+    #[test]
+    fn compaction_bounds_area() {
+        let circuit = testcases::adder();
+        let (gp, _) = run_global(&circuit, &Xu19GlobalConfig::default());
+        let (_, stats) = legalize_two_stage(&circuit, &gp).unwrap();
+        // The compacted outline (with 10% slack per axis) bounds the result.
+        assert!(stats.area <= stats.compacted.0 * 1.1 * stats.compacted.1 * 1.1 + 1e-6);
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end baseline pipeline: \[11\]'s global placement plus two-stage LP
+//! legalization, and its "Perf*" extension (Table V/VII).
+
+use std::time::Instant;
+
+use analog_netlist::{Circuit, Placement};
+use placer_gnn::{CircuitGraph, Network};
+
+use crate::global::{run_global_with_extra, Xu19GlobalConfig};
+use crate::legalize::{legalize_two_stage, LegalizeError};
+
+/// Result of a baseline placement run.
+#[derive(Debug, Clone)]
+pub struct Xu19Result {
+    /// The final (legal) placement.
+    pub placement: Placement,
+    /// Exact HPWL (µm).
+    pub hpwl: f64,
+    /// Bounding-box area (µm²).
+    pub area: f64,
+    /// Global placement wall time (s).
+    pub gp_seconds: f64,
+    /// Legalization wall time (s).
+    pub dp_seconds: f64,
+}
+
+/// The ISPD'19 analytical analog placer (our reimplementation of \[11\]).
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::testcases;
+/// use placer_xu19::Xu19Placer;
+///
+/// # fn main() -> Result<(), placer_xu19::LegalizeError> {
+/// let circuit = testcases::adder();
+/// let result = Xu19Placer::default().place(&circuit)?;
+/// assert!(result.placement.overlapping_pairs(&circuit, 1e-6).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Xu19Placer {
+    /// Global placement configuration.
+    pub global: Xu19GlobalConfig,
+}
+
+impl Xu19Placer {
+    /// Creates a placer with the given global configuration.
+    pub fn new(global: Xu19GlobalConfig) -> Self {
+        Self { global }
+    }
+
+    /// Runs the conventional (performance-oblivious) flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LegalizeError`] from the LP stages.
+    pub fn place(&self, circuit: &Circuit) -> Result<Xu19Result, LegalizeError> {
+        let t0 = Instant::now();
+        let (gp, _) = run_global_with_extra(circuit, &self.global, None);
+        let gp_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let (placement, stats) = legalize_two_stage(circuit, &gp)?;
+        let dp_seconds = t1.elapsed().as_secs_f64();
+        Ok(Xu19Result {
+            placement,
+            hpwl: stats.hpwl,
+            area: stats.area,
+            gp_seconds,
+            dp_seconds,
+        })
+    }
+
+    /// Runs only global placement (for Table IV's shared-GP comparison).
+    pub fn global_only(&self, circuit: &Circuit) -> Placement {
+        run_global_with_extra(circuit, &self.global, None).0
+    }
+
+    /// Runs the "Perf*" performance-driven extension: the same GNN gradient
+    /// term ePlace-AP uses, grafted onto this baseline's global placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LegalizeError`] from the LP stages.
+    pub fn place_perf(
+        &self,
+        circuit: &Circuit,
+        network: &Network,
+        alpha: f64,
+        scale: f64,
+    ) -> Result<Xu19Result, LegalizeError> {
+        let n = circuit.num_devices();
+        let t0 = Instant::now();
+        let mut graph: Option<CircuitGraph> = None;
+        let mut alpha_abs: Option<f64> = None;
+        let mut hook = move |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 {
+            let placement = Placement::from_positions(pts.to_vec());
+            let g = match graph.as_mut() {
+                Some(g) => {
+                    g.update_positions(&placement);
+                    g
+                }
+                None => {
+                    graph = Some(CircuitGraph::new(circuit, &placement, scale));
+                    graph.as_mut().expect("just inserted")
+                }
+            };
+            let (phi, pos_grad) = network.position_gradient(g);
+            let a = *alpha_abs.get_or_insert_with(|| {
+                let g_norm: f64 = grad.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+                let phi_norm: f64 = pos_grad
+                    .iter()
+                    .map(|(gx, gy)| gx.abs() + gy.abs())
+                    .sum::<f64>()
+                    .max(1e-12);
+                alpha * g_norm / phi_norm
+            });
+            for (i, &(gx, gy)) in pos_grad.iter().enumerate() {
+                grad[i] += a * gx;
+                grad[n + i] += a * gy;
+            }
+            a * phi
+        };
+        let (gp, _) = run_global_with_extra(circuit, &self.global, Some(&mut hook));
+        let gp_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let (placement, stats) = legalize_two_stage(circuit, &gp)?;
+        let dp_seconds = t1.elapsed().as_secs_f64();
+        Ok(Xu19Result {
+            placement,
+            hpwl: stats.hpwl,
+            area: stats.area,
+            gp_seconds,
+            dp_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+    use placer_gnn::Network;
+
+    #[test]
+    fn baseline_pipeline_is_legal() {
+        let c = testcases::cc_ota();
+        let r = Xu19Placer::default().place(&c).unwrap();
+        assert!(r.placement.overlapping_pairs(&c, 1e-6).is_empty());
+        assert!(r.placement.symmetry_violation(&c) < 1e-6);
+        assert!(r.hpwl > 0.0 && r.area > 0.0);
+    }
+
+    #[test]
+    fn perf_variant_runs() {
+        let c = testcases::adder();
+        let network = Network::default_config(6);
+        let r = Xu19Placer::default()
+            .place_perf(&c, &network, 0.5, 20.0)
+            .unwrap();
+        assert!(r.placement.overlapping_pairs(&c, 1e-6).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Prints the testcase gallery and exports every circuit as SPICE +
+//! constraint files under `target/testcases/` — the file-based interface
+//! downstream tools would consume.
+//!
+//! ```sh
+//! cargo run --release --example testcase_gallery
+//! ```
+
+use analog_netlist::parser::{write_constraints, write_spice};
+use analog_netlist::testcases;
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/testcases");
+    fs::create_dir_all(out_dir)?;
+    println!(
+        "{:<9} {:>8} {:>6} {:>12} {:>11} {:>10}",
+        "design", "devices", "nets", "constraints", "area(µm²)", "class"
+    );
+    for circuit in testcases::all_testcases() {
+        println!(
+            "{:<9} {:>8} {:>6} {:>12} {:>11.1} {:>10}",
+            circuit.name(),
+            circuit.num_devices(),
+            circuit.num_nets(),
+            circuit.constraints().len(),
+            circuit.total_device_area(),
+            circuit.class(),
+        );
+        let stem = circuit.name().to_lowercase().replace('-', "_");
+        fs::write(out_dir.join(format!("{stem}.sp")), write_spice(&circuit))?;
+        fs::write(
+            out_dir.join(format!("{stem}.constraints")),
+            write_constraints(&circuit),
+        )?;
+    }
+    println!("\nfiles written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate of the DATE'22 analog-placement reproduction workspace.
+//!
+//! Re-exports the member crates so the integration tests and examples in
+//! this package can reach everything through one dependency. See the
+//! individual crates for the actual APIs:
+//!
+//! - [`analog_netlist`] — circuit model, parsers, testcases
+//! - [`placer_numeric`] — FFT/Poisson/Nesterov/CG substrate
+//! - [`placer_mathopt`] — LP/ILP solvers
+//! - [`placer_gnn`] — the GNN performance model
+//! - [`analog_perf`] — routing/parasitics/performance evaluation
+//! - [`eplace`] — ePlace-A / ePlace-AP (the paper's contribution)
+//! - [`placer_sa`] — simulated-annealing baseline
+//! - [`placer_xu19`] — the ISPD'19 analytical baseline
+
+pub use analog_netlist;
+pub use analog_perf;
+pub use eplace;
+pub use placer_gnn;
+pub use placer_mathopt;
+pub use placer_numeric;
+pub use placer_sa;
+pub use placer_xu19;

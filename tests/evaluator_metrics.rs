@@ -1,0 +1,118 @@
+//! Integration tests pinning the per-class behavior of the performance
+//! surrogate: each circuit class must expose its own metric set and respond
+//! monotonically to the placement properties it models.
+
+use analog_netlist::{testcases, Circuit, Placement};
+use analog_perf::Evaluator;
+
+fn grid(circuit: &Circuit, pitch: f64) -> Placement {
+    let n = circuit.num_devices();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let mut p = Placement::new(n);
+    for i in 0..n {
+        p.positions[i] = ((i % cols) as f64 * pitch, (i / cols) as f64 * pitch);
+    }
+    p
+}
+
+#[test]
+fn each_class_reports_its_metric_names() {
+    let cases: Vec<(Circuit, Vec<&str>)> = vec![
+        (testcases::cc_ota(), vec!["Gain (dB)", "UGF (MHz)", "BW (MHz)", "PM (deg)"]),
+        (testcases::comp1(), vec!["Delay (ns)", "Offset (mV)", "Gain (dB)"]),
+        (testcases::vco1(), vec!["Freq (GHz)", "Tuning (%)", "PN proxy (Ohm)"]),
+        (testcases::adder(), vec!["Accuracy (%)", "BW (MHz)", "Gain err (%)"]),
+        (testcases::vga(), vec!["Gain (dB)", "BW (MHz)", "Step err (dB)"]),
+        (testcases::scf(), vec!["Settling UGF (MHz)", "Cap match (%)", "Ripple (dB)"]),
+    ];
+    for (circuit, expected) in cases {
+        let report = Evaluator::new(&circuit).evaluate(&circuit, &grid(&circuit, 3.0));
+        for name in expected {
+            assert!(
+                report.metric(name).is_some(),
+                "{}: metric `{name}` missing",
+                circuit.name()
+            );
+        }
+        assert!(
+            report.metric("Coupling (au)").is_some(),
+            "{}: coupling metric missing",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn comparator_delay_grows_with_critical_wire_load() {
+    let circuit = testcases::comp1();
+    let evaluator = Evaluator::new(&circuit);
+    let tight = evaluator.evaluate(&circuit, &grid(&circuit, 2.5));
+    let loose = evaluator.evaluate(&circuit, &grid(&circuit, 20.0));
+    let d_tight = tight.metric("Delay (ns)").unwrap().value;
+    let d_loose = loose.metric("Delay (ns)").unwrap().value;
+    assert!(d_loose > d_tight, "delay {d_loose} should exceed {d_tight}");
+}
+
+#[test]
+fn vco_tuning_range_shrinks_with_parasitics() {
+    let circuit = testcases::vco2();
+    let evaluator = Evaluator::new(&circuit);
+    let tight = evaluator.evaluate(&circuit, &grid(&circuit, 3.0));
+    let loose = evaluator.evaluate(&circuit, &grid(&circuit, 30.0));
+    let t_tight = tight.metric("Tuning (%)").unwrap().value;
+    let t_loose = loose.metric("Tuning (%)").unwrap().value;
+    assert!(t_tight > t_loose);
+}
+
+#[test]
+fn scf_matching_degrades_with_symmetry_mismatch() {
+    let circuit = testcases::scf();
+    let evaluator = Evaluator::new(&circuit);
+    let sym = grid(&circuit, 4.0);
+    let mut asym = sym.clone();
+    for g in &circuit.constraints().symmetry_groups {
+        for &(_, b) in &g.pairs {
+            asym.positions[b.index()].1 += 6.0;
+        }
+    }
+    let m_sym = evaluator
+        .evaluate(&circuit, &sym)
+        .metric("Cap match (%)")
+        .unwrap()
+        .value;
+    let m_asym = evaluator
+        .evaluate(&circuit, &asym)
+        .metric("Cap match (%)")
+        .unwrap()
+        .value;
+    assert!(m_sym > m_asym);
+}
+
+#[test]
+fn coupling_improves_when_inputs_move_away_from_outputs() {
+    let circuit = testcases::cc_ota();
+    let evaluator = Evaluator::new(&circuit);
+    let base = grid(&circuit, 3.0);
+    // Move every device with an input-net pin far from the rest.
+    let mut separated = base.clone();
+    for (id, d) in circuit.device_ids() {
+        let on_input = d
+            .pins
+            .iter()
+            .any(|p| circuit.net(p.net).name.starts_with("in"));
+        if on_input {
+            separated.positions[id.index()].0 -= 40.0;
+        }
+    }
+    let c_base = evaluator
+        .evaluate(&circuit, &base)
+        .metric("Coupling (au)")
+        .unwrap()
+        .value;
+    let c_separated = evaluator
+        .evaluate(&circuit, &separated)
+        .metric("Coupling (au)")
+        .unwrap()
+        .value;
+    assert!(c_separated < c_base);
+}

@@ -1,0 +1,104 @@
+//! Property-based integration tests across the netlist and placement
+//! layers: parser round trips on randomized circuits and placement-metric
+//! invariants.
+
+use analog_netlist::parser::{parse_spice, write_spice};
+use analog_netlist::{testcases, Placement};
+use proptest::prelude::*;
+
+/// Builds a random flat netlist text from generated device cards.
+fn arbitrary_netlist() -> impl Strategy<Value = String> {
+    let mos = (1u32..40, 1u32..6, 1u32..6, 1u32..6, prop::bool::ANY).prop_map(
+        |(w, a, b, c, is_n)| {
+            let model = if is_n { "nmos" } else { "pmos" };
+            format!("n{a} n{b} n{c} gnd {model} W={} L=0.012", w as f64 / 4.0)
+        },
+    );
+    let cap = (1u32..200, 1u32..6, 1u32..6)
+        .prop_map(|(v, a, b)| format!("n{a} n{b} {v}f"));
+    let res = (1u32..50, 1u32..6, 1u32..6)
+        .prop_map(|(v, a, b)| format!("n{a} n{b} {v}k"));
+    (
+        prop::collection::vec(mos, 1..6),
+        prop::collection::vec(cap, 0..4),
+        prop::collection::vec(res, 0..4),
+    )
+        .prop_map(|(ms, cs, rs)| {
+            let mut text = String::from(".title random\n.class ota\n");
+            for (i, body) in ms.iter().enumerate() {
+                text.push_str(&format!("M{i} {body}\n"));
+            }
+            for (i, body) in cs.iter().enumerate() {
+                text.push_str(&format!("C{i} {body}\n"));
+            }
+            for (i, body) in rs.iter().enumerate() {
+                text.push_str(&format!("R{i} {body}\n"));
+            }
+            text.push_str(".end\n");
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spice_roundtrip_preserves_structure(text in arbitrary_netlist()) {
+        let circuit = parse_spice(&text).expect("generated netlist parses");
+        let written = write_spice(&circuit);
+        let reparsed = parse_spice(&written).expect("written netlist parses");
+        prop_assert_eq!(circuit.num_devices(), reparsed.num_devices());
+        prop_assert_eq!(circuit.num_nets(), reparsed.num_nets());
+        for (a, b) in circuit.devices().iter().zip(reparsed.devices()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant(dx in -50.0..50.0f64, dy in -50.0..50.0f64) {
+        let circuit = testcases::cc_ota();
+        let n = circuit.num_devices();
+        let base: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 4) as f64 * 3.0, (i / 4) as f64 * 2.0))
+            .collect();
+        let shifted: Vec<(f64, f64)> = base.iter().map(|p| (p.0 + dx, p.1 + dy)).collect();
+        let p1 = Placement::from_positions(base);
+        let p2 = Placement::from_positions(shifted);
+        prop_assert!((p1.hpwl(&circuit) - p2.hpwl(&circuit)).abs() < 1e-6);
+        prop_assert!((p1.area(&circuit) - p2.area(&circuit)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_area_is_symmetric_under_device_order(scale in 0.5..4.0f64) {
+        let circuit = testcases::adder();
+        let n = circuit.num_devices();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 3) as f64 * scale, (i / 3) as f64 * scale))
+            .collect();
+        let p = Placement::from_positions(positions);
+        // Overlap area must equal the sum over overlapping pairs and be
+        // nonnegative.
+        let overlap = p.overlap_area(&circuit);
+        prop_assert!(overlap >= 0.0);
+        if overlap == 0.0 {
+            prop_assert!(p.overlapping_pairs(&circuit, 1e-9).is_empty());
+        } else {
+            prop_assert!(!p.overlapping_pairs(&circuit, 1e-9).is_empty());
+        }
+    }
+
+    #[test]
+    fn spreading_never_decreases_net_lengths(factor in 1.0..5.0f64) {
+        let circuit = testcases::vga();
+        let n = circuit.num_devices();
+        let base: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0))
+            .collect();
+        let spread: Vec<(f64, f64)> =
+            base.iter().map(|p| (p.0 * factor, p.1 * factor)).collect();
+        let p1 = Placement::from_positions(base);
+        let p2 = Placement::from_positions(spread);
+        prop_assert!(p2.hpwl(&circuit) >= p1.hpwl(&circuit) - 1e-9);
+    }
+}
