@@ -36,7 +36,13 @@ fn bench_detailed_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_detailed_placement");
     group.sample_size(10);
     group.bench_function("eplace_a_ilp_dp", |b| {
-        b.iter(|| legalize(black_box(&circuit), black_box(&gp), &DetailedConfig::default()))
+        b.iter(|| {
+            legalize(
+                black_box(&circuit),
+                black_box(&gp),
+                &DetailedConfig::default(),
+            )
+        })
     });
     group.bench_function("xu19_two_stage_lp", |b| {
         b.iter(|| legalize_two_stage(black_box(&circuit), black_box(&gp)))

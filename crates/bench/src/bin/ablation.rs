@@ -22,38 +22,46 @@ fn main() {
         ],
         &widths,
     );
-    for circuit in paper_circuits() {
-        let variants: Vec<(&str, PlacerConfig)> = vec![
-            ("baseline", PlacerConfig::default()),
-            ("no-area-term", {
-                let mut c = PlacerConfig::default();
-                c.global.eta_scale = 0.0;
-                c
-            }),
-            ("lse-smoothing", {
-                let mut c = PlacerConfig::default();
-                c.global.smoothing = Smoothing::Lse;
-                c
-            }),
-            ("no-flipping", {
-                let mut c = PlacerConfig::default();
-                c.detailed.flipping = false;
-                c
-            }),
-        ];
-        for (name, config) in variants {
-            let run = run_eplace_a_with(&circuit, config);
-            print_row(
-                &[
-                    circuit.name().to_string(),
-                    name.to_string(),
-                    format!("{:.1}", run.area),
-                    format!("{:.1}", run.hpwl),
-                ],
-                &widths,
-            );
+    let variants: Vec<(&str, PlacerConfig)> = vec![
+        ("baseline", PlacerConfig::default()),
+        ("no-area-term", {
+            let mut c = PlacerConfig::default();
+            c.global.eta_scale = 0.0;
+            c
+        }),
+        ("lse-smoothing", {
+            let mut c = PlacerConfig::default();
+            c.global.smoothing = Smoothing::Lse;
+            c
+        }),
+        ("no-flipping", {
+            let mut c = PlacerConfig::default();
+            c.detailed.flipping = false;
+            c
+        }),
+    ];
+    // Fan the (circuit, variant) grid out in parallel, printing in order.
+    let circuits = paper_circuits();
+    let grid = placer_parallel::par_map(circuits.len() * variants.len(), |k| {
+        let circuit = &circuits[k / variants.len()];
+        let (_, config) = &variants[k % variants.len()];
+        run_eplace_a_with(circuit, config.clone())
+    });
+    for (k, run) in grid.into_iter().enumerate() {
+        let circuit = &circuits[k / variants.len()];
+        let (name, _) = variants[k % variants.len()];
+        print_row(
+            &[
+                circuit.name().to_string(),
+                name.to_string(),
+                format!("{:.1}", run.area),
+                format!("{:.1}", run.hpwl),
+            ],
+            &widths,
+        );
+        if k % variants.len() == variants.len() - 1 {
+            println!();
         }
-        println!();
     }
     println!("(each knob off should cost quality relative to the baseline)");
 }

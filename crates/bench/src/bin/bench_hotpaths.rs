@@ -1,0 +1,170 @@
+//! Regenerates `BENCH_hotpaths.json`: before/after wall-times for the four
+//! hot paths the engine work optimized (see `benches/hotpaths.rs` for the
+//! criterion versions of the same pairs).
+//!
+//! "Before" is the seed implementation, kept in-tree as `*_reference`;
+//! "after" is the shipping path. `--quick` (or `CRITERION_QUICK=1`) cuts
+//! the sample counts for CI smoke runs; pass an output path as the first
+//! non-flag argument to write somewhere other than `./BENCH_hotpaths.json`.
+
+use std::time::Instant;
+
+use analog_netlist::testcases;
+use eplace::wirelength::{wa_wirelength, wa_wirelength_reference};
+use eplace::DensityGrid;
+use placer_bench::{spiral_positions, synthetic_circuit};
+use placer_numeric::{Grid, PoissonSolver};
+use placer_sa::{anneal, SaConfig};
+
+const GRID: usize = 256;
+
+struct BenchRow {
+    name: &'static str,
+    detail: String,
+    before_ms: f64,
+    after_ms: f64,
+}
+
+/// Median seconds per call over `samples` timed calls (after one warm-up).
+fn time_median<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let samples = if quick { 3 } else { 15 };
+    let mut rows = Vec::new();
+
+    // --- poisson_solve: planned DCT solve_into vs mirror-extended FFT. ---
+    {
+        let mut solver = PoissonSolver::new(GRID, GRID, 1.0, 1.0);
+        let mut rho = Grid::new(GRID, GRID);
+        for iy in 0..GRID {
+            for ix in 0..GRID {
+                let (x, y) = (ix as f64 / GRID as f64, iy as f64 / GRID as f64);
+                rho.set(ix, iy, (6.3 * x).sin() * (4.7 * y).cos());
+            }
+        }
+        let mut out = Grid::new(GRID, GRID);
+        let after = time_median(samples, || solver.solve_into(&rho, &mut out));
+        let before = time_median(samples, || {
+            std::hint::black_box(solver.solve_reference(&rho));
+        });
+        rows.push(BenchRow {
+            name: "poisson_solve",
+            detail: format!("{GRID}x{GRID} grid"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- density_eval: block scatter/solve/gather vs allocate-per-call. ---
+    {
+        let circuit = synthetic_circuit(1500, 11);
+        let side = (circuit.total_device_area() / 0.5).sqrt();
+        let positions = spiral_positions(&circuit, side);
+        let mut grid = DensityGrid::new((0.0, 0.0), (side, side), GRID);
+        let after = time_median(samples, || {
+            std::hint::black_box(grid.evaluate(&circuit, &positions));
+        });
+        let before = time_median(samples, || {
+            std::hint::black_box(grid.evaluate_reference(&circuit, &positions));
+        });
+        rows.push(BenchRow {
+            name: "density_eval",
+            detail: format!("{GRID}x{GRID} grid, 1500 devices"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- wa_grad: block-partial accumulation vs the single-pass seed. ----
+    {
+        let circuit = synthetic_circuit(4096, 3);
+        let side = (circuit.total_device_area() / 0.5).sqrt();
+        let positions = spiral_positions(&circuit, side);
+        let gamma = side * 0.02;
+        let mut grad = vec![0.0; 2 * circuit.num_devices()];
+        let after = time_median(samples, || {
+            std::hint::black_box(wa_wirelength(&circuit, &positions, gamma, &mut grad));
+        });
+        let before = time_median(samples, || {
+            std::hint::black_box(wa_wirelength_reference(
+                &circuit, &positions, gamma, &mut grad,
+            ));
+        });
+        rows.push(BenchRow {
+            name: "wa_grad",
+            detail: "4096 devices".to_string(),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- sa_sweep: four concurrent chains vs the same chains serially. ---
+    {
+        let circuit = testcases::cc_ota();
+        let cfg = SaConfig {
+            temperatures: 10,
+            moves_per_temperature: 100,
+            chains: 4,
+            ..SaConfig::default()
+        };
+        let sa_samples = if quick { 2 } else { 5 };
+        placer_parallel::set_max_threads(1);
+        let before = time_median(sa_samples, || {
+            std::hint::black_box(anneal(&circuit, &cfg, None));
+        });
+        placer_parallel::set_max_threads(0);
+        let after = time_median(sa_samples, || {
+            std::hint::black_box(anneal(&circuit, &cfg, None));
+        });
+        rows.push(BenchRow {
+            name: "sa_sweep",
+            detail: "cc_ota, 4 chains x 1000 moves (serial vs threaded)".to_string(),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"threads\": {},\n  \"benches\": [\n",
+        placer_parallel::max_threads()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.before_ms / r.after_ms;
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"detail\": \"{}\", \"before_ms\": {:.3}, \"after_ms\": {:.3}, \"speedup\": {:.2} }}{}\n",
+            r.name,
+            r.detail,
+            r.before_ms,
+            r.after_ms,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<16} {:<44} before {:>9.3} ms   after {:>9.3} ms   {:>5.2}x",
+            r.name, r.detail, r.before_ms, r.after_ms, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_hotpaths.json");
+    println!("wrote {out_path}");
+}

@@ -44,9 +44,17 @@ fn main() {
     );
     let mut area_ratios = Vec::new();
     let mut hpwl_ratios = Vec::new();
-    for circuit in paper_circuits() {
-        let with_area = averaged(&circuit, PlacerConfig::default().global.eta_scale);
-        let without_area = averaged(&circuit, 0.0);
+    // Each circuit needs 10 full placements (5 seeds x 2 settings);
+    // fan circuits out and print in order.
+    let circuits = paper_circuits();
+    let pairs = placer_parallel::par_map(circuits.len(), |i| {
+        let circuit = &circuits[i];
+        (
+            averaged(circuit, PlacerConfig::default().global.eta_scale),
+            averaged(circuit, 0.0),
+        )
+    });
+    for (circuit, (with_area, without_area)) in circuits.iter().zip(pairs) {
         let ar = without_area.0 / with_area.0;
         let hr = without_area.1 / with_area.1;
         area_ratios.push(ar);

@@ -24,13 +24,7 @@ fn main() {
     );
 
     // ePlace-A: sweep the DP area weight μ and GP area scale η.
-    for (mu, eta) in [
-        (0.05, 0.1),
-        (0.2, 0.2),
-        (0.5, 0.35),
-        (1.5, 0.5),
-        (4.0, 0.8),
-    ] {
+    for (mu, eta) in [(0.05, 0.1), (0.2, 0.2), (0.5, 0.35), (1.5, 0.5), (4.0, 0.8)] {
         let mut cfg = PlacerConfig::default();
         cfg.detailed.mu = mu;
         cfg.global.eta_scale = eta;

@@ -15,12 +15,7 @@ fn main() {
     let model = train_model(&circuit);
     let widths = [10usize, 12, 10, 8];
     print_row(
-        &[
-            "method".into(),
-            "param".into(),
-            "area".into(),
-            "FOM".into(),
-        ],
+        &["method".into(), "param".into(), "area".into(), "FOM".into()],
         &widths,
     );
 

@@ -33,9 +33,11 @@ fn main() {
         let circuit = scalable_array(stages);
         // Single restart, structure-preserving DP: the sweep probes how the
         // *stages* scale, not the restart machinery.
-        let mut config = PlacerConfig::default();
-        config.restarts = 1;
-        config.preserve_gp = true;
+        let config = PlacerConfig {
+            restarts: 1,
+            preserve_gp: true,
+            ..PlacerConfig::default()
+        };
         let ea = EPlaceA::new(config)
             .place(&circuit)
             .expect("ePlace-A failed");

@@ -35,10 +35,14 @@ fn main() {
     let mut ea_hpwl = Vec::new();
     let mut ea_time = Vec::new();
 
-    for circuit in paper_circuits() {
-        let sa = run_sa(&circuit);
-        let xu = run_xu19(&circuit);
-        let ea = run_eplace_a(&circuit);
+    // Run the circuits concurrently (runners are deterministic and
+    // independent), then print rows in the paper's order.
+    let circuits = paper_circuits();
+    let runs = placer_parallel::par_map(circuits.len(), |i| {
+        let circuit = &circuits[i];
+        (run_sa(circuit), run_xu19(circuit), run_eplace_a(circuit))
+    });
+    for (circuit, (sa, xu, ea)) in circuits.iter().zip(runs) {
         print_row(
             &[
                 circuit.name().to_string(),

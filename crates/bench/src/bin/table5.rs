@@ -5,8 +5,8 @@
 //! the analytical ones gain more than SA; ePlace-AP is best (≈0.90 avg).
 
 use placer_bench::{
-    fom_of, paper_circuits, print_row, run_eplace_a, run_eplace_ap, run_sa, run_sa_perf,
-    run_xu19, run_xu19_perf, train_model,
+    fom_of, paper_circuits, print_row, run_eplace_a, run_eplace_ap, run_sa, run_sa_perf, run_xu19,
+    run_xu19_perf, train_model,
 };
 
 fn main() {
@@ -25,17 +25,23 @@ fn main() {
     );
     let mut sums = [0.0f64; 6];
     let mut count = 0.0;
-    for circuit in paper_circuits() {
-        let model = train_model(&circuit);
+    // Model training + six placer runs per circuit are independent across
+    // circuits; fan them out and print in the paper's order.
+    let circuits = paper_circuits();
+    let all_foms = placer_parallel::par_map(circuits.len(), |i| {
+        let circuit = &circuits[i];
+        let model = train_model(circuit);
         let ev = &model.evaluator;
-        let foms = [
-            fom_of(&circuit, ev, &run_sa(&circuit)),
-            fom_of(&circuit, ev, &run_sa_perf(&circuit, &model)),
-            fom_of(&circuit, ev, &run_xu19(&circuit)),
-            fom_of(&circuit, ev, &run_xu19_perf(&circuit, &model)),
-            fom_of(&circuit, ev, &run_eplace_a(&circuit)),
-            fom_of(&circuit, ev, &run_eplace_ap(&circuit, &model)),
-        ];
+        [
+            fom_of(circuit, ev, &run_sa(circuit)),
+            fom_of(circuit, ev, &run_sa_perf(circuit, &model)),
+            fom_of(circuit, ev, &run_xu19(circuit)),
+            fom_of(circuit, ev, &run_xu19_perf(circuit, &model)),
+            fom_of(circuit, ev, &run_eplace_a(circuit)),
+            fom_of(circuit, ev, &run_eplace_ap(circuit, &model)),
+        ]
+    });
+    for (circuit, foms) in circuits.iter().zip(all_foms) {
         for (s, f) in sums.iter_mut().zip(&foms) {
             *s += f;
         }

@@ -32,11 +32,19 @@ fn main() {
     let mut sa = (Vec::new(), Vec::new(), Vec::new());
     let mut xu = (Vec::new(), Vec::new(), Vec::new());
     let mut ap = (Vec::new(), Vec::new(), Vec::new());
-    for circuit in paper_circuits() {
-        let model = train_model(&circuit);
-        let s = run_sa_perf(&circuit, &model);
-        let x = run_xu19_perf(&circuit, &model);
-        let a = run_eplace_ap(&circuit, &model);
+    // Per-circuit training and the three perf-driven runs fan out in
+    // parallel; rows still print in the paper's order.
+    let circuits = paper_circuits();
+    let runs = placer_parallel::par_map(circuits.len(), |i| {
+        let circuit = &circuits[i];
+        let model = train_model(circuit);
+        (
+            run_sa_perf(circuit, &model),
+            run_xu19_perf(circuit, &model),
+            run_eplace_ap(circuit, &model),
+        )
+    });
+    for (circuit, (s, x, a)) in circuits.iter().zip(runs) {
         print_row(
             &[
                 circuit.name().to_string(),

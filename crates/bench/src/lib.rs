@@ -38,6 +38,68 @@ pub fn paper_circuits() -> Vec<Circuit> {
     testcases::all_testcases()
 }
 
+/// A deterministic synthetic circuit for hot-path benchmarking.
+///
+/// The paper's ten testcases top out at a few dozen devices, too small to
+/// exercise the scatter/gather and per-net gradient kernels at the grid
+/// sizes the benches time. This builds `devices` MOS devices on a chain of
+/// local nets plus shared medium-fan-out bus nets, so net sizes span the
+/// realistic 2–20 pin range.
+///
+/// # Panics
+///
+/// Panics if `devices < 2`.
+pub fn synthetic_circuit(devices: usize, seed: u64) -> Circuit {
+    use analog_netlist::{CircuitBuilder, CircuitClass, DeviceKind};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    assert!(devices >= 2, "need at least two devices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(format!("synthetic_{devices}"), CircuitClass::Ota);
+    let buses: Vec<_> = (0..devices / 12 + 2)
+        .map(|i| b.net(format!("bus{i}")))
+        .collect();
+    let mut prev = b.net("chain0");
+    for i in 0..devices {
+        let next = b.net(format!("chain{}", i + 1));
+        let bus = buses[rng.gen_range(0..buses.len())];
+        let kind = if i % 2 == 0 {
+            DeviceKind::Nmos
+        } else {
+            DeviceKind::Pmos
+        };
+        let w = 1.0 + 3.0 * rng.gen::<f64>();
+        let h = 0.8 + 2.0 * rng.gen::<f64>();
+        b.mos(
+            format!("m{i}"),
+            kind,
+            w,
+            h,
+            &[("g", prev), ("d", next), ("s", bus)],
+        );
+        prev = next;
+    }
+    b.build().expect("synthetic circuit is valid")
+}
+
+/// Deterministic spread-out positions on a `side × side` region — the same
+/// golden-angle spiral the global placer seeds with, centered and clamped.
+pub fn spiral_positions(circuit: &Circuit, side: f64) -> Vec<(f64, f64)> {
+    let n = circuit.num_devices();
+    let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+    (0..n)
+        .map(|i| {
+            let r = side * 0.45 * ((i as f64 + 0.5) / n as f64).sqrt();
+            let theta = golden * i as f64;
+            (
+                (side / 2.0 + r * theta.cos()).clamp(0.0, side),
+                (side / 2.0 + r * theta.sin()).clamp(0.0, side),
+            )
+        })
+        .collect()
+}
+
 /// The SA budget used throughout (footnote 1: practical limits). Scales
 /// with circuit size, as annealing budgets do in practice.
 pub fn sa_config(circuit: &Circuit) -> SaConfig {
@@ -108,7 +170,9 @@ pub fn run_eplace_a(circuit: &Circuit) -> RunMetrics {
 ///
 /// Panics if the placer fails.
 pub fn run_eplace_a_with(circuit: &Circuit, config: PlacerConfig) -> RunMetrics {
-    let result = EPlaceA::new(config).place(circuit).expect("ePlace-A failed");
+    let result = EPlaceA::new(config)
+        .place(circuit)
+        .expect("ePlace-A failed");
     RunMetrics {
         area: result.area,
         hpwl: result.hpwl,
@@ -156,8 +220,10 @@ pub fn train_model(circuit: &Circuit) -> PerfModel {
     // Placer-output family: a legal layout plus jittered variants.
     let mut rng = StdRng::seed_from_u64(77);
     let mut extra: Vec<(analog_netlist::Placement, f64)> = Vec::new();
-    let mut cfg = PlacerConfig::default();
-    cfg.restarts = 1;
+    let cfg = PlacerConfig {
+        restarts: 1,
+        ..PlacerConfig::default()
+    };
     if let Ok(result) = EPlaceA::new(cfg).place(circuit) {
         for _ in 0..300 {
             let sigma = rng.gen_range(0.05..2.5);
@@ -263,12 +329,7 @@ pub fn run_xu19_perf(circuit: &Circuit, model: &PerfModel) -> RunMetrics {
 /// Panics if the placer fails.
 pub fn run_sa_perf(circuit: &Circuit, model: &PerfModel) -> RunMetrics {
     let result = SaPlacer::new(sa_perf_config(circuit))
-        .place_perf(
-            circuit,
-            &model.network,
-            PERF_SA_WEIGHT,
-            model.dataset.scale,
-        )
+        .place_perf(circuit, &model.network, PERF_SA_WEIGHT, model.dataset.scale)
         .expect("SA perf placement failed");
     RunMetrics {
         area: result.area,

@@ -5,9 +5,107 @@
 //! The potential solves Poisson's equation via the spectral solver; the
 //! density *energy* is `½Σqψ` and each device's force is its charge times
 //! the local field, accumulated over the bins it covers.
+//!
+//! The grid owns all solver scratch (density, potential and field grids,
+//! device spans), so repeated [`DensityGrid::evaluate`] calls only allocate
+//! the returned gradient vector. Scatter and gather are decomposed into
+//! fixed device blocks fanned out over threads; block boundaries and the
+//! block-ordered reduction depend only on the device count, so results are
+//! bit-identical for any thread count.
 
 use analog_netlist::Circuit;
 use placer_numeric::{Grid, PoissonSolver};
+
+/// Device span in bin coordinates: `(bx0, bx1, by0, by1)`, inclusive.
+type Span = (u32, u32, u32, u32);
+
+/// Number of fixed device blocks scatter/gather decompose into when the
+/// circuit is large enough to be worth fanning out. Fixed (never derived
+/// from the thread count) so the floating-point reduction order — and
+/// therefore the placement — is identical for any parallelism.
+const DEVICE_BLOCKS: usize = 16;
+
+/// Devices below this count run as a single block: the block-partial
+/// machinery would cost more than the scatter itself.
+const BLOCK_THRESHOLD: usize = 64;
+
+fn device_blocks(n: usize) -> usize {
+    if n >= BLOCK_THRESHOLD {
+        DEVICE_BLOCKS
+    } else {
+        1
+    }
+}
+
+/// Rasterizes one device rectangle onto `grid` with area-proportional
+/// overlap, returning its bin span.
+#[allow(clippy::too_many_arguments)]
+fn scatter_one(
+    origin: (f64, f64),
+    bin: (f64, f64),
+    dim: usize,
+    grid: &mut Grid,
+    cx: f64,
+    cy: f64,
+    width: f64,
+    height: f64,
+) -> Span {
+    let bin_area = bin.0 * bin.1;
+    let clampi = |v: isize| v.clamp(0, dim as isize - 1) as usize;
+    let x0 = cx - width / 2.0 - origin.0;
+    let x1 = cx + width / 2.0 - origin.0;
+    let y0 = cy - height / 2.0 - origin.1;
+    let y1 = cy + height / 2.0 - origin.1;
+    let bx0 = clampi((x0 / bin.0).floor() as isize);
+    let bx1 = clampi(((x1 / bin.0).ceil() as isize) - 1);
+    let by0 = clampi((y0 / bin.1).floor() as isize);
+    let by1 = clampi(((y1 / bin.1).ceil() as isize) - 1);
+    for by in by0..=by1 {
+        let cell_y0 = by as f64 * bin.1;
+        let oy = (y1.min(cell_y0 + bin.1) - y0.max(cell_y0)).max(0.0);
+        for bx in bx0..=bx1 {
+            let cell_x0 = bx as f64 * bin.0;
+            let ox = (x1.min(cell_x0 + bin.0) - x0.max(cell_x0)).max(0.0);
+            grid.add(bx, by, ox * oy / bin_area);
+        }
+    }
+    (bx0 as u32, bx1 as u32, by0 as u32, by1 as u32)
+}
+
+/// Gathers the charge-weighted field force on one device.
+#[allow(clippy::too_many_arguments)]
+fn gather_one(
+    origin: (f64, f64),
+    bin: (f64, f64),
+    ex: &Grid,
+    ey: &Grid,
+    span: Span,
+    cx: f64,
+    cy: f64,
+    width: f64,
+    height: f64,
+) -> (f64, f64) {
+    let bin_area = bin.0 * bin.1;
+    let (bx0, bx1, by0, by1) = span;
+    let x0 = cx - width / 2.0 - origin.0;
+    let x1 = cx + width / 2.0 - origin.0;
+    let y0 = cy - height / 2.0 - origin.1;
+    let y1 = cy + height / 2.0 - origin.1;
+    let mut fx = 0.0;
+    let mut fy = 0.0;
+    for by in by0 as usize..=by1 as usize {
+        let cell_y0 = by as f64 * bin.1;
+        let oy = (y1.min(cell_y0 + bin.1) - y0.max(cell_y0)).max(0.0);
+        for bx in bx0 as usize..=bx1 as usize {
+            let cell_x0 = bx as f64 * bin.0;
+            let ox = (x1.min(cell_x0 + bin.0) - x0.max(cell_x0)).max(0.0);
+            let q = ox * oy / bin_area;
+            fx += q * ex.get(bx, by);
+            fy += q * ey.get(bx, by);
+        }
+    }
+    (fx, fy)
+}
 
 /// The density engine for one placement region.
 #[derive(Debug, Clone)]
@@ -19,6 +117,17 @@ pub struct DensityGrid {
     bin: (f64, f64),
     /// Grid dimension.
     dim: usize,
+    /// Scatter target, reused across evaluations.
+    rho: Grid,
+    /// Potential, reused across evaluations.
+    psi: Grid,
+    /// Field components, reused across evaluations.
+    ex: Grid,
+    ey: Grid,
+    /// Per-block scatter partial (single-threaded path).
+    partial: Grid,
+    /// Per-device bin spans, reused across evaluations.
+    spans: Vec<Span>,
 }
 
 /// Result of one density evaluation.
@@ -36,18 +145,33 @@ impl DensityGrid {
     /// Creates a density grid covering `[origin, origin + extent]` with a
     /// `dim × dim` bin lattice.
     ///
+    /// The utilization target deliberately does **not** appear here: it is
+    /// a *region sizing* input (the caller chooses `extent` so that
+    /// `total_device_area / extent² = target`), while overflow is always
+    /// measured against full bin occupancy (density 1.0), i.e. as a
+    /// physical-overlap proxy. An earlier signature accepted the target
+    /// and silently ignored it.
+    ///
     /// # Panics
     ///
     /// Panics unless `dim` is a power of two and extents are positive.
-    pub fn new(origin: (f64, f64), extent: (f64, f64), dim: usize, target: f64) -> Self {
-        assert!(extent.0 > 0.0 && extent.1 > 0.0, "region extent must be positive");
-        let _ = target; // regional sizing input, retained in the signature
+    pub fn new(origin: (f64, f64), extent: (f64, f64), dim: usize) -> Self {
+        assert!(
+            extent.0 > 0.0 && extent.1 > 0.0,
+            "region extent must be positive"
+        );
         let bin = (extent.0 / dim as f64, extent.1 / dim as f64);
         Self {
             solver: PoissonSolver::new(dim, dim, bin.0, bin.1),
             origin,
             bin,
             dim,
+            rho: Grid::new(dim, dim),
+            psi: Grid::new(dim, dim),
+            ex: Grid::new(dim, dim),
+            ey: Grid::new(dim, dim),
+            partial: Grid::new(dim, dim),
+            spans: Vec::new(),
         }
     }
 
@@ -58,38 +182,84 @@ impl DensityGrid {
 
     /// Evaluates energy, gradient and overflow for device centers.
     ///
+    /// Reuses the grid's internal scratch; the only per-call allocation on
+    /// the single-threaded path is the returned gradient vector.
+    ///
     /// # Panics
     ///
     /// Panics if `positions` length mismatches the circuit.
-    pub fn evaluate(&self, circuit: &Circuit, positions: &[(f64, f64)]) -> DensityEval {
+    pub fn evaluate(&mut self, circuit: &Circuit, positions: &[(f64, f64)]) -> DensityEval {
         let n = circuit.num_devices();
         assert_eq!(positions.len(), n, "positions length mismatch");
-        let dim = self.dim;
-        let mut rho = Grid::new(dim, dim);
         let bin_area = self.bin.0 * self.bin.1;
+        let blocks = placer_parallel::fixed_blocks(n, device_blocks(n));
+        let (origin, bin, dim) = (self.origin, self.bin, self.dim);
 
-        // Rasterize each device's rectangle onto the bins.
-        let clampi = |v: isize| v.clamp(0, dim as isize - 1) as usize;
-        let mut spans: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(n);
-        for (i, d) in circuit.devices().iter().enumerate() {
-            let (cx, cy) = positions[i];
-            let x0 = cx - d.width / 2.0 - self.origin.0;
-            let x1 = cx + d.width / 2.0 - self.origin.0;
-            let y0 = cy - d.height / 2.0 - self.origin.1;
-            let y1 = cy + d.height / 2.0 - self.origin.1;
-            let bx0 = clampi((x0 / self.bin.0).floor() as isize);
-            let bx1 = clampi(((x1 / self.bin.0).ceil() as isize) - 1);
-            let by0 = clampi((y0 / self.bin.1).floor() as isize);
-            let by1 = clampi(((y1 / self.bin.1).ceil() as isize) - 1);
-            spans.push((bx0, bx1, by0, by1));
-            for by in by0..=by1 {
-                let cell_y0 = by as f64 * self.bin.1;
-                let oy = (y1.min(cell_y0 + self.bin.1) - y0.max(cell_y0)).max(0.0);
-                for bx in bx0..=bx1 {
-                    let cell_x0 = bx as f64 * self.bin.0;
-                    let ox = (x1.min(cell_x0 + self.bin.0) - x0.max(cell_x0)).max(0.0);
-                    rho.add(bx, by, ox * oy / bin_area);
+        // Scatter: per-block partial densities summed into `rho` in block
+        // order. A single block writes straight into `rho`; both paths
+        // produce bit-identical sums (each partial starts from zero and
+        // partials combine in block order).
+        self.rho.fill_zero();
+        self.spans.clear();
+        self.spans.resize(n, (0, 0, 0, 0));
+        if blocks.len() <= 1 {
+            for (i, d) in circuit.devices().iter().enumerate() {
+                let (cx, cy) = positions[i];
+                self.spans[i] =
+                    scatter_one(origin, bin, dim, &mut self.rho, cx, cy, d.width, d.height);
+            }
+        } else if placer_parallel::max_threads() <= 1 {
+            for r in &blocks {
+                self.partial.fill_zero();
+                for i in r.clone() {
+                    let d = &circuit.devices()[i];
+                    let (cx, cy) = positions[i];
+                    self.spans[i] = scatter_one(
+                        origin,
+                        bin,
+                        dim,
+                        &mut self.partial,
+                        cx,
+                        cy,
+                        d.width,
+                        d.height,
+                    );
                 }
+                for (acc, &p) in self
+                    .rho
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.partial.as_slice())
+                {
+                    *acc += p;
+                }
+            }
+        } else {
+            let devices = circuit.devices();
+            let parts = placer_parallel::par_map(blocks.len(), |b| {
+                let mut partial = Grid::new(dim, dim);
+                let mut spans = Vec::with_capacity(blocks[b].len());
+                for i in blocks[b].clone() {
+                    let d = &devices[i];
+                    let (cx, cy) = positions[i];
+                    spans.push(scatter_one(
+                        origin,
+                        bin,
+                        dim,
+                        &mut partial,
+                        cx,
+                        cy,
+                        d.width,
+                        d.height,
+                    ));
+                }
+                (partial, spans)
+            });
+            for (b, (partial, spans)) in parts.into_iter().enumerate() {
+                for (acc, &p) in self.rho.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+                    *acc += p;
+                }
+                self.spans[blocks[b].start..blocks[b].end].copy_from_slice(&spans);
             }
         }
 
@@ -97,39 +267,117 @@ impl DensityGrid {
         // i.e. a physical-overlap proxy (density 1.0 = exactly filled).
         // The utilization target shapes the *region*, not this metric.
         let mut over = 0.0;
+        for v in self.rho.as_slice() {
+            over += (v - 1.0).max(0.0) * bin_area;
+        }
+        let total_area: f64 = circuit.total_device_area();
+        let overflow = if total_area > 0.0 {
+            over / total_area
+        } else {
+            0.0
+        };
+
+        // Allocation-free spectral solve + field into owned scratch.
+        self.solver.solve_into(&self.rho, &mut self.psi);
+        self.solver
+            .field_into(&self.psi, &mut self.ex, &mut self.ey);
+        let energy = self.solver.energy(&self.rho, &self.psi);
+
+        // Gather: per-device force; devices are independent, so any
+        // decomposition gives identical results.
+        let mut grad = vec![0.0; 2 * n];
+        if placer_parallel::max_threads() <= 1 || blocks.len() <= 1 {
+            for (i, d) in circuit.devices().iter().enumerate() {
+                let (cx, cy) = positions[i];
+                let (fx, fy) = gather_one(
+                    origin,
+                    bin,
+                    &self.ex,
+                    &self.ey,
+                    self.spans[i],
+                    cx,
+                    cy,
+                    d.width,
+                    d.height,
+                );
+                // Energy decreases along the force: ∂N/∂x = −fx.
+                grad[i] = -fx;
+                grad[n + i] = -fy;
+            }
+        } else {
+            let devices = circuit.devices();
+            let forces = placer_parallel::par_map(blocks.len(), |b| {
+                blocks[b]
+                    .clone()
+                    .map(|i| {
+                        let d = &devices[i];
+                        let (cx, cy) = positions[i];
+                        gather_one(
+                            origin,
+                            bin,
+                            &self.ex,
+                            &self.ey,
+                            self.spans[i],
+                            cx,
+                            cy,
+                            d.width,
+                            d.height,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (b, block_forces) in forces.into_iter().enumerate() {
+                for (i, (fx, fy)) in blocks[b].clone().zip(block_forces) {
+                    grad[i] = -fx;
+                    grad[n + i] = -fy;
+                }
+            }
+        }
+
+        DensityEval {
+            energy,
+            grad,
+            overflow,
+        }
+    }
+
+    /// The seed evaluation path: fresh grids every call, mirror-extended
+    /// FFT solve. Retained as the benchmark baseline for
+    /// [`evaluate`](Self::evaluate); agrees with it to solver roundoff.
+    pub fn evaluate_reference(&self, circuit: &Circuit, positions: &[(f64, f64)]) -> DensityEval {
+        let n = circuit.num_devices();
+        assert_eq!(positions.len(), n, "positions length mismatch");
+        let bin_area = self.bin.0 * self.bin.1;
+        let (origin, bin, dim) = (self.origin, self.bin, self.dim);
+
+        let mut rho = Grid::new(dim, dim);
+        let mut spans = Vec::with_capacity(n);
+        for (i, d) in circuit.devices().iter().enumerate() {
+            let (cx, cy) = positions[i];
+            spans.push(scatter_one(
+                origin, bin, dim, &mut rho, cx, cy, d.width, d.height,
+            ));
+        }
+
+        let mut over = 0.0;
         for v in rho.as_slice() {
             over += (v - 1.0).max(0.0) * bin_area;
         }
         let total_area: f64 = circuit.total_device_area();
-        let overflow = if total_area > 0.0 { over / total_area } else { 0.0 };
+        let overflow = if total_area > 0.0 {
+            over / total_area
+        } else {
+            0.0
+        };
 
-        let psi = self.solver.solve(&rho);
+        let psi = self.solver.solve_reference(&rho);
         let (ex, ey) = self.solver.field(&psi);
         let energy = self.solver.energy(&rho, &psi);
 
-        // Per-device force: charge-weighted field over covered bins.
         let mut grad = vec![0.0; 2 * n];
         for (i, d) in circuit.devices().iter().enumerate() {
-            let (bx0, bx1, by0, by1) = spans[i];
             let (cx, cy) = positions[i];
-            let x0 = cx - d.width / 2.0 - self.origin.0;
-            let x1 = cx + d.width / 2.0 - self.origin.0;
-            let y0 = cy - d.height / 2.0 - self.origin.1;
-            let y1 = cy + d.height / 2.0 - self.origin.1;
-            let mut fx = 0.0;
-            let mut fy = 0.0;
-            for by in by0..=by1 {
-                let cell_y0 = by as f64 * self.bin.1;
-                let oy = (y1.min(cell_y0 + self.bin.1) - y0.max(cell_y0)).max(0.0);
-                for bx in bx0..=bx1 {
-                    let cell_x0 = bx as f64 * self.bin.0;
-                    let ox = (x1.min(cell_x0 + self.bin.0) - x0.max(cell_x0)).max(0.0);
-                    let q = ox * oy / bin_area;
-                    fx += q * ex.get(bx, by);
-                    fy += q * ey.get(bx, by);
-                }
-            }
-            // Energy decreases along the force: ∂N/∂x = −fx.
+            let (fx, fy) = gather_one(origin, bin, &ex, &ey, spans[i], cx, cy, d.width, d.height);
             grad[i] = -fx;
             grad[n + i] = -fy;
         }
@@ -149,13 +397,13 @@ mod tests {
 
     fn grid_for(circuit: &Circuit) -> DensityGrid {
         let side = (circuit.total_device_area() / 0.4).sqrt();
-        DensityGrid::new((0.0, 0.0), (side, side), 16, 0.4)
+        DensityGrid::new((0.0, 0.0), (side, side), 16)
     }
 
     #[test]
     fn stacked_devices_have_high_energy_and_outward_forces() {
         let c = testcases::cc_ota();
-        let g = grid_for(&c);
+        let mut g = grid_for(&c);
         let side = (c.total_device_area() / 0.4).sqrt();
         let stacked: Vec<(f64, f64)> = vec![(side / 2.0, side / 2.0); c.num_devices()];
         let spread: Vec<(f64, f64)> = (0..c.num_devices())
@@ -175,7 +423,7 @@ mod tests {
     #[test]
     fn forces_push_overlapping_devices_apart() {
         let c = testcases::adder();
-        let g = grid_for(&c);
+        let mut g = grid_for(&c);
         let side = (c.total_device_area() / 0.4).sqrt();
         // Two clusters: everything at center except device 0 slightly left.
         let mut positions: Vec<(f64, f64)> = vec![(side / 2.0, side / 2.0); c.num_devices()];
@@ -195,7 +443,7 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let c = testcases::adder();
-        let g = grid_for(&c);
+        let mut g = grid_for(&c);
         let side = (c.total_device_area() / 0.4).sqrt();
         let mut positions: Vec<(f64, f64)> = (0..c.num_devices())
             .map(|i| {
@@ -224,8 +472,8 @@ mod tests {
                     numeric.signum() == analytic.signum(),
                     "dev {dev}: sign mismatch {numeric} vs {analytic}"
                 );
-                let ratio = numeric.abs().max(analytic.abs())
-                    / numeric.abs().min(analytic.abs()).max(1e-9);
+                let ratio =
+                    numeric.abs().max(analytic.abs()) / numeric.abs().min(analytic.abs()).max(1e-9);
                 assert!(
                     ratio < 4.0,
                     "dev {dev}: magnitudes too far apart {numeric} vs {analytic}"
@@ -238,11 +486,33 @@ mod tests {
     fn overflow_zero_when_perfectly_spread() {
         let c = testcases::adder();
         // Huge region: density everywhere below target.
-        let g = DensityGrid::new((0.0, 0.0), (200.0, 200.0), 16, 0.4);
+        let mut g = DensityGrid::new((0.0, 0.0), (200.0, 200.0), 16);
         let positions: Vec<(f64, f64)> = (0..c.num_devices())
             .map(|i| ((i % 4) as f64 * 50.0 + 10.0, (i / 4) as f64 * 50.0 + 10.0))
             .collect();
         let eval = g.evaluate(&c, &positions);
         assert!(eval.overflow < 0.05, "overflow {}", eval.overflow);
+    }
+
+    #[test]
+    fn evaluate_matches_reference_path() {
+        let c = testcases::cc_ota();
+        let mut g = grid_for(&c);
+        let side = (c.total_device_area() / 0.4).sqrt();
+        let positions: Vec<(f64, f64)> = (0..c.num_devices())
+            .map(|i| {
+                (
+                    side * 0.2 + (i % 5) as f64 * side * 0.15,
+                    side * 0.2 + (i / 5) as f64 * side * 0.2,
+                )
+            })
+            .collect();
+        let fast = g.evaluate(&c, &positions);
+        let reference = g.evaluate_reference(&c, &positions);
+        assert!((fast.energy - reference.energy).abs() < 1e-9 * reference.energy.abs().max(1.0));
+        assert!((fast.overflow - reference.overflow).abs() < 1e-12);
+        for (a, b) in fast.grad.iter().zip(&reference.grad) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
     }
 }

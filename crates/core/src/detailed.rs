@@ -159,14 +159,21 @@ impl DetailedPlacer {
             if std::env::var_os("DP_DEBUG").is_some() {
                 eprintln!("dp round {rounds}:");
                 for &(a, b) in planner.x_edges() {
-                    eprintln!("  x {} -> {}", circuit.device(a).name, circuit.device(b).name);
+                    eprintln!(
+                        "  x {} -> {}",
+                        circuit.device(a).name,
+                        circuit.device(b).name
+                    );
                 }
                 for &(a, b) in planner.y_edges() {
-                    eprintln!("  y {} -> {}", circuit.device(a).name, circuit.device(b).name);
+                    eprintln!(
+                        "  y {} -> {}",
+                        circuit.device(a).name,
+                        circuit.device(b).name
+                    );
                 }
             }
-            let solution =
-                self.solve_both_axes(circuit, planner.x_edges(), planner.y_edges())?;
+            let solution = self.solve_both_axes(circuit, planner.x_edges(), planner.y_edges())?;
             let overlaps = solution.overlapping_pairs(circuit, 1e-6);
             if overlaps.is_empty() {
                 let hpwl = solution.hpwl(circuit);
@@ -240,10 +247,10 @@ impl DetailedPlacer {
             .collect();
         let total_area: f64 = circuit.total_device_area();
         let w_tilde = (total_area / cfg.zeta).sqrt() / step; // W̃ = H̃ in grid units
-        // Symmetric-pair midpoint constraints can force spreads up to twice
-        // the plain width sum (a chain into the midpoint doubles when
-        // reflected to the far partner); the relaxed retry leaves that full
-        // headroom, the first attempt uses a tight bound for fast LPs.
+                                                             // Symmetric-pair midpoint constraints can force spreads up to twice
+                                                             // the plain width sum (a chain into the midpoint doubles when
+                                                             // reflected to the far partner); the relaxed retry leaves that full
+                                                             // headroom, the first attempt uses a tight bound for fast LPs.
         let ub_loose = (2.5 * w_tilde)
             .ceil()
             .max(half.iter().sum::<f64>() * 4.0 + 8.0);
@@ -253,8 +260,9 @@ impl DetailedPlacer {
         // yields per-device head room (tight lower bounds) and tail room
         // (distance to the chip edge). This shrinks the integer domains by
         // an order of magnitude and is what keeps branch-and-bound fast.
-        let gap =
-            |a: analog_netlist::DeviceId, b: analog_netlist::DeviceId| half[a.index()] + half[b.index()];
+        let gap = |a: analog_netlist::DeviceId, b: analog_netlist::DeviceId| {
+            half[a.index()] + half[b.index()]
+        };
         let mut head: Vec<f64> = half.clone();
         let mut tail: Vec<f64> = half.clone();
         for _ in 0..n {
@@ -511,10 +519,10 @@ mod tests {
         use analog_netlist::{CircuitBuilder, CircuitClass, Device, DeviceKind, Pin};
         let mut b = CircuitBuilder::new("fliptest", CircuitClass::Adder);
         let n1 = b.net("n1");
-        let da = Device::new("A", DeviceKind::Nmos, 4.0, 2.0)
-            .with_pin(Pin::new("p", n1, (0.5, 1.0))); // pin near LEFT edge
-        let db = Device::new("B", DeviceKind::Nmos, 4.0, 2.0)
-            .with_pin(Pin::new("p", n1, (0.5, 1.0))); // also near left edge
+        let da =
+            Device::new("A", DeviceKind::Nmos, 4.0, 2.0).with_pin(Pin::new("p", n1, (0.5, 1.0))); // pin near LEFT edge
+        let db =
+            Device::new("B", DeviceKind::Nmos, 4.0, 2.0).with_pin(Pin::new("p", n1, (0.5, 1.0))); // also near left edge
         let ida = b.device(da);
         let idb = b.device(db);
         // Force a horizontal arrangement so the pin orientation matters.

@@ -66,7 +66,9 @@ impl GlobalPlacer {
         let cfg = &self.config;
         let total_area = circuit.total_device_area();
         let side = (total_area / cfg.utilization).sqrt();
-        let density = DensityGrid::new((0.0, 0.0), (side, side), cfg.grid, cfg.utilization);
+        // Utilization enters through the region side above; see
+        // `DensityGrid::new` on why it takes no target parameter.
+        let mut density = DensityGrid::new((0.0, 0.0), (side, side), cfg.grid);
         let (bin_x, _) = density.bin_size();
 
         // Deterministic golden-angle spiral seed around the region center.

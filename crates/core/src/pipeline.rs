@@ -209,9 +209,7 @@ impl EPlaceAP {
                         gp_iterations: stats.iterations,
                     };
                     best = match best {
-                        Some((best_score, prev)) if best_score <= score => {
-                            Some((best_score, prev))
-                        }
+                        Some((best_score, prev)) if best_score <= score => Some((best_score, prev)),
                         _ => Some((score, candidate)),
                     };
                 }
@@ -240,7 +238,9 @@ mod tests {
     #[test]
     fn eplace_a_produces_legal_placements() {
         for circuit in [testcases::adder(), testcases::cc_ota()] {
-            let result = EPlaceA::new(PlacerConfig::default()).place(&circuit).unwrap();
+            let result = EPlaceA::new(PlacerConfig::default())
+                .place(&circuit)
+                .unwrap();
             assert!(
                 result.placement.is_legal(&circuit, 1e-6),
                 "{} produced illegal placement",
@@ -255,11 +255,7 @@ mod tests {
     fn eplace_ap_produces_legal_placements() {
         let circuit = testcases::adder();
         let network = Network::default_config(2);
-        let placer = EPlaceAP::new(
-            PlacerConfig::default(),
-            PerfConfig::new(0.5, 20.0),
-            network,
-        );
+        let placer = EPlaceAP::new(PlacerConfig::default(), PerfConfig::new(0.5, 20.0), network);
         let result = placer.place(&circuit).unwrap();
         assert!(result.placement.is_legal(&circuit, 1e-6));
     }

@@ -6,9 +6,7 @@ use analog_netlist::{testcases, Placement};
 use proptest::prelude::*;
 
 use crate::sepplan::SeparationPlanner;
-use crate::wirelength::{
-    exact_hpwl, lse_spread_with_grad, wa_spread_with_grad, wa_wirelength,
-};
+use crate::wirelength::{exact_hpwl, lse_spread_with_grad, wa_spread_with_grad, wa_wirelength};
 use crate::{area_term, symmetry_penalty};
 
 fn coords(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -350,20 +350,16 @@ impl SeparationPlanner {
             };
             if prefer_x {
                 let (l, r) = if xa <= xb { (a, b) } else { (b, a) };
-                let _ = self.add_x_edge(l, r)
-                    || self.add_x_edge(r, l)
-                    || {
-                        let (l, r) = if ya <= yb { (a, b) } else { (b, a) };
-                        self.add_y_edge(l, r) || self.add_y_edge(r, l)
-                    };
+                let _ = self.add_x_edge(l, r) || self.add_x_edge(r, l) || {
+                    let (l, r) = if ya <= yb { (a, b) } else { (b, a) };
+                    self.add_y_edge(l, r) || self.add_y_edge(r, l)
+                };
             } else {
                 let (l, r) = if ya <= yb { (a, b) } else { (b, a) };
-                let _ = self.add_y_edge(l, r)
-                    || self.add_y_edge(r, l)
-                    || {
-                        let (l, r) = if xa <= xb { (a, b) } else { (b, a) };
-                        self.add_x_edge(l, r) || self.add_x_edge(r, l)
-                    };
+                let _ = self.add_y_edge(l, r) || self.add_y_edge(r, l) || {
+                    let (l, r) = if xa <= xb { (a, b) } else { (b, a) };
+                    self.add_x_edge(l, r) || self.add_x_edge(r, l)
+                };
             }
         }
         self.x.edges.len() + self.y.edges.len() > before

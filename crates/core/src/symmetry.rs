@@ -7,10 +7,7 @@
 
 use analog_netlist::{Axis, Circuit, SymmetryGroup};
 
-fn group_axis_optimum(
-    g: &SymmetryGroup,
-    positions: &[(f64, f64)],
-) -> f64 {
+fn group_axis_optimum(g: &SymmetryGroup, positions: &[(f64, f64)]) -> f64 {
     // Minimizing Σ(mᵢ − x̂)² over pair midpoints and self centers gives the
     // weighted mean; pairs carry weight 4 on (x̂ − midpoint)² after expanding
     // (x_a + x_b − 2x̂)² = 4(mid − x̂)².
@@ -203,9 +200,8 @@ mod tests {
     fn projection_is_idempotent() {
         let c = testcases::cc_ota();
         let n = c.num_devices();
-        let mut positions: Vec<(f64, f64)> = (0..n)
-            .map(|i| (i as f64, (i * i % 5) as f64))
-            .collect();
+        let mut positions: Vec<(f64, f64)> =
+            (0..n).map(|i| (i as f64, (i * i % 5) as f64)).collect();
         project_symmetry(&c, &mut positions);
         let once = positions.clone();
         project_symmetry(&c, &mut positions);

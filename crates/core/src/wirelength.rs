@@ -22,7 +22,7 @@ pub fn wa_spread_with_grad(coords: &[f64], gamma: f64, grads: &mut [f64]) -> f64
     // Max-side: weights e^{(x−xmax)/γ}.
     let mut s1 = 0.0; // Σ e
     let mut s1x = 0.0; // Σ x·e
-    // Min-side: weights e^{(xmin−x)/γ}.
+                       // Min-side: weights e^{(xmin−x)/γ}.
     let mut s2 = 0.0;
     let mut s2x = 0.0;
     for &x in coords {
@@ -65,42 +65,31 @@ pub fn wa_wirelength(
     gamma: f64,
     grad: &mut [f64],
 ) -> f64 {
+    smoothed_wirelength(circuit, positions, gamma, grad, crate::Smoothing::Wa)
+}
+
+/// The seed single-pass WA accumulation, retained as the benchmark
+/// baseline for [`wa_wirelength`]; identical results on small circuits
+/// (which run as one block either way).
+pub fn wa_wirelength_reference(
+    circuit: &Circuit,
+    positions: &[(f64, f64)],
+    gamma: f64,
+    grad: &mut [f64],
+) -> f64 {
     let n = circuit.num_devices();
     assert_eq!(positions.len(), n, "positions length mismatch");
     assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
     grad.iter_mut().for_each(|g| *g = 0.0);
-
-    let mut total = 0.0;
-    let mut xs: Vec<f64> = Vec::new();
-    let mut ys: Vec<f64> = Vec::new();
-    let mut gx: Vec<f64> = Vec::new();
-    let mut gy: Vec<f64> = Vec::new();
-    for net in circuit.nets() {
-        if net.pins.len() < 2 {
-            continue;
-        }
-        xs.clear();
-        ys.clear();
-        for p in &net.pins {
-            let d = circuit.device(p.device);
-            let (cx, cy) = positions[p.device.index()];
-            let (ox, oy) = d.pins[p.pin.index()].offset;
-            xs.push(cx - d.width / 2.0 + ox);
-            ys.push(cy - d.height / 2.0 + oy);
-        }
-        gx.resize(xs.len(), 0.0);
-        gy.resize(ys.len(), 0.0);
-        let wx = wa_spread_with_grad(&xs, gamma, &mut gx);
-        let wy = wa_spread_with_grad(&ys, gamma, &mut gy);
-        total += net.weight * (wx + wy);
-        for (k, p) in net.pins.iter().enumerate() {
-            grad[p.device.index()] += net.weight * gx[k];
-            grad[n + p.device.index()] += net.weight * gy[k];
-        }
-    }
-    total
+    accumulate_nets(
+        circuit,
+        positions,
+        gamma,
+        wa_spread_with_grad,
+        0..circuit.nets().len(),
+        grad,
+    )
 }
-
 
 /// One axis of log-sum-exponential (LSE) smoothing (NTUplace3 \[10\]):
 /// `γ·lnΣe^{xᵢ/γ} + γ·lnΣe^{−xᵢ/γ}` over-approximates the spread. Kept
@@ -128,32 +117,42 @@ pub fn lse_spread_with_grad(coords: &[f64], gamma: f64, grads: &mut [f64]) -> f6
     value
 }
 
-/// Smoothed total wirelength with a selectable smoother.
-///
-/// # Panics
-///
-/// Panics on size mismatches (see [`wa_wirelength`]).
-pub fn smoothed_wirelength(
+/// Number of fixed net blocks the gradient accumulation decomposes into
+/// for large circuits. Block boundaries and the block-ordered reduction
+/// depend only on the net count — never on threads — so the result is
+/// bit-identical for any parallelism.
+const NET_BLOCKS: usize = 16;
+
+/// Nets below this count run as a single block (the partial-buffer
+/// machinery would dominate).
+const NET_BLOCK_THRESHOLD: usize = 64;
+
+fn net_blocks(n_nets: usize) -> usize {
+    if n_nets >= NET_BLOCK_THRESHOLD {
+        NET_BLOCKS
+    } else {
+        1
+    }
+}
+
+/// Accumulates one contiguous net range: adds each net's weighted spread
+/// gradient into `grad` (assumed zeroed) and returns the range's smoothed
+/// wirelength.
+fn accumulate_nets(
     circuit: &Circuit,
     positions: &[(f64, f64)],
     gamma: f64,
+    spread: fn(&[f64], f64, &mut [f64]) -> f64,
+    range: std::ops::Range<usize>,
     grad: &mut [f64],
-    smoothing: crate::Smoothing,
 ) -> f64 {
     let n = circuit.num_devices();
-    assert_eq!(positions.len(), n, "positions length mismatch");
-    assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
-    grad.iter_mut().for_each(|g| *g = 0.0);
-    let spread = match smoothing {
-        crate::Smoothing::Wa => wa_spread_with_grad,
-        crate::Smoothing::Lse => lse_spread_with_grad,
-    };
     let mut total = 0.0;
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let mut gx: Vec<f64> = Vec::new();
     let mut gy: Vec<f64> = Vec::new();
-    for net in circuit.nets() {
+    for net in &circuit.nets()[range] {
         if net.pins.len() < 2 {
             continue;
         }
@@ -174,6 +173,73 @@ pub fn smoothed_wirelength(
         for (k, p) in net.pins.iter().enumerate() {
             grad[p.device.index()] += net.weight * gx[k];
             grad[n + p.device.index()] += net.weight * gy[k];
+        }
+    }
+    total
+}
+
+/// Smoothed total wirelength with a selectable smoother.
+///
+/// Large circuits decompose into fixed net blocks: each block accumulates
+/// a per-thread partial gradient, and partials reduce in block order. The
+/// single- and multi-threaded paths share the same block boundaries and
+/// reduction order, so the value and gradient are bit-identical for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics on size mismatches (see [`wa_wirelength`]).
+pub fn smoothed_wirelength(
+    circuit: &Circuit,
+    positions: &[(f64, f64)],
+    gamma: f64,
+    grad: &mut [f64],
+    smoothing: crate::Smoothing,
+) -> f64 {
+    let n = circuit.num_devices();
+    assert_eq!(positions.len(), n, "positions length mismatch");
+    assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    let spread = match smoothing {
+        crate::Smoothing::Wa => wa_spread_with_grad,
+        crate::Smoothing::Lse => lse_spread_with_grad,
+    };
+    let n_nets = circuit.nets().len();
+    let blocks = placer_parallel::fixed_blocks(n_nets, net_blocks(n_nets));
+    if blocks.len() <= 1 {
+        return accumulate_nets(circuit, positions, gamma, spread, 0..n_nets, grad);
+    }
+    if placer_parallel::max_threads() <= 1 {
+        // Same partial-buffer structure as the threaded path so the
+        // floating-point reduction associates identically.
+        let mut partial = vec![0.0; grad.len()];
+        let mut total = 0.0;
+        for r in blocks {
+            partial.iter_mut().for_each(|p| *p = 0.0);
+            total += accumulate_nets(circuit, positions, gamma, spread, r, &mut partial);
+            for (g, &p) in grad.iter_mut().zip(&partial) {
+                *g += p;
+            }
+        }
+        return total;
+    }
+    let parts = placer_parallel::par_map(blocks.len(), |b| {
+        let mut partial = vec![0.0; 2 * n];
+        let t = accumulate_nets(
+            circuit,
+            positions,
+            gamma,
+            spread,
+            blocks[b].clone(),
+            &mut partial,
+        );
+        (t, partial)
+    });
+    let mut total = 0.0;
+    for (t, partial) in parts {
+        total += t;
+        for (g, &p) in grad.iter_mut().zip(&partial) {
+            *g += p;
         }
     }
     total

@@ -28,6 +28,9 @@
 //! assert!(phi > 0.0 && phi < 1.0);
 //! ```
 
+// Manual forward/backward passes index several parallel arrays per
+// loop; explicit indices keep the math legible.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -36,7 +39,9 @@ mod matrix;
 mod network;
 mod train;
 
-pub use graph::{CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS};
+pub use graph::{
+    CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS,
+};
 pub use matrix::Matrix;
 pub use network::{Forward, Network, ParamGrads};
 pub use train::{TrainOptions, Trainer, TrainingSample};

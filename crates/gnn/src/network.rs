@@ -361,7 +361,6 @@ impl ParamGrads {
     }
 }
 
-
 impl Network {
     /// Serializes the network to a plain-text format (architecture header
     /// plus whitespace-separated parameters). No external dependencies.

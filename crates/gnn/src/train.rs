@@ -107,8 +107,7 @@ impl Trainer {
             for chunk in order.chunks(opts.batch_size) {
                 let mut acc: Option<crate::network::ParamGrads> = None;
                 for &i in chunk {
-                    let (loss, grads) =
-                        network.loss_gradients(&samples[i].graph, samples[i].label);
+                    let (loss, grads) = network.loss_gradients(&samples[i].graph, samples[i].label);
                     epoch_loss += loss;
                     match &mut acc {
                         None => acc = Some(grads),

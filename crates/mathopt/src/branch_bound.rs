@@ -99,7 +99,11 @@ fn diving_heuristic(
         match solve_lp_with_bounds(model, &lower, &upper) {
             Ok(s) => current = s,
             Err(_) => {
-                let alt = if rounded > x { rounded - 1.0 } else { rounded + 1.0 };
+                let alt = if rounded > x {
+                    rounded - 1.0
+                } else {
+                    rounded + 1.0
+                };
                 if alt < lower0[j] || alt > upper0[j] {
                     return None;
                 }
@@ -200,7 +204,8 @@ impl Model {
                 return incumbent.ok_or(SolveError::NodeLimit);
             }
             if let Some(inc) = &incumbent {
-                let cutoff = inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
+                let cutoff =
+                    inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
                 if node.parent_bound >= cutoff {
                     continue;
                 }
@@ -221,7 +226,8 @@ impl Model {
             };
             root_infeasible = false;
             if let Some(inc) = &incumbent {
-                let cutoff = inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
+                let cutoff =
+                    inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
                 if relaxed.objective >= cutoff {
                     continue;
                 }
@@ -312,7 +318,7 @@ impl Model {
 #[cfg(test)]
 mod tests {
     use crate::ConstraintOp::{Eq, Ge, Le};
-    use crate::{Model, MilpOptions, SolveError};
+    use crate::{MilpOptions, Model, SolveError};
 
     fn opts() -> MilpOptions {
         MilpOptions::default()
@@ -425,6 +431,11 @@ mod tests {
                 best = best.min(obj);
             }
         }
-        assert!((s.objective - best).abs() < 1e-6, "{} vs {}", s.objective, best);
+        assert!(
+            (s.objective - best).abs() < 1e-6,
+            "{} vs {}",
+            s.objective,
+            best
+        );
     }
 }

@@ -82,8 +82,17 @@ impl Model {
     /// # Panics
     ///
     /// Panics if `lower > upper` or a bound is NaN.
-    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
         self.variables.push(Variable {
             name: name.into(),
@@ -100,7 +109,13 @@ impl Model {
     /// # Panics
     ///
     /// Same conditions as [`add_var`](Self::add_var).
-    pub fn add_int_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_int_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         let id = self.add_var(name, lower, upper, objective);
         self.variables[id.0].integer = true;
         id
@@ -122,7 +137,10 @@ impl Model {
         assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
         let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
         for (v, c) in terms {
-            assert!(v.0 < self.variables.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.variables.len(),
+                "constraint references unknown variable"
+            );
             assert!(!c.is_nan(), "constraint coefficient must not be NaN");
             if c == 0.0 {
                 continue;
@@ -166,7 +184,11 @@ impl Model {
     ///
     /// Panics if `values` has the wrong length.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        assert_eq!(values.len(), self.variables.len(), "assignment length mismatch");
+        assert_eq!(
+            values.len(),
+            self.variables.len(),
+            "assignment length mismatch"
+        );
         self.variables
             .iter()
             .zip(values)
@@ -181,7 +203,11 @@ impl Model {
     ///
     /// Panics if `values` has the wrong length.
     pub fn max_violation(&self, values: &[f64]) -> f64 {
-        assert_eq!(values.len(), self.variables.len(), "assignment length mismatch");
+        assert_eq!(
+            values.len(),
+            self.variables.len(),
+            "assignment length mismatch"
+        );
         let mut worst = 0.0_f64;
         for (v, &x) in self.variables.iter().zip(values) {
             worst = worst.max(v.lower - x).max(x - v.upper);
@@ -290,7 +316,9 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => "problem is infeasible",
             SolveError::Unbounded => "objective is unbounded",
             SolveError::IterationLimit => "simplex iteration limit exceeded",
-            SolveError::NodeLimit => "branch-and-bound node limit exceeded without integer solution",
+            SolveError::NodeLimit => {
+                "branch-and-bound node limit exceeded without integer solution"
+            }
         };
         f.write_str(s)
     }

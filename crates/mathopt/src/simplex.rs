@@ -295,9 +295,7 @@ pub(crate) fn solve_lp_with_bounds(
         let infeas = -t.at(m, n); // objective row rhs = −value
         if infeas > FEAS_TOL {
             if std::env::var_os("MILP_DEBUG").is_some() {
-                eprintln!(
-                    "simplex: phase-1 infeasibility {infeas:.3e} (m={m}, n={n})"
-                );
+                eprintln!("simplex: phase-1 infeasibility {infeas:.3e} (m={m}, n={n})");
             }
             return Err(SolveError::Infeasible);
         }

@@ -228,13 +228,12 @@ impl CircuitBuilder {
         height: f64,
         pins: &[(&str, NetId)],
     ) -> DeviceId {
-        let mut device = Device::new(name, kind, width, height).with_electrical(
-            if kind.is_transistor() {
+        let mut device =
+            Device::new(name, kind, width, height).with_electrical(if kind.is_transistor() {
                 crate::ElectricalParams::mos(width, 0.012)
             } else {
                 crate::ElectricalParams::default()
-            },
-        );
+            });
         let n = pins.len().max(1) as f64;
         for (i, (pin_name, net)) in pins.iter().enumerate() {
             let frac = (i as f64 + 0.5) / n;
@@ -247,6 +246,7 @@ impl CircuitBuilder {
 
     /// Convenience: adds a passive device (cap/res/ind) with two pins on the
     /// left and right edges.
+    #[allow(clippy::too_many_arguments)]
     pub fn passive(
         &mut self,
         name: impl Into<String>,
@@ -293,7 +293,9 @@ impl CircuitBuilder {
 
     /// Adds an ordering chain.
     pub fn order(&mut self, direction: crate::OrderDirection, devices: Vec<DeviceId>) {
-        self.constraints.orderings.push(Ordering { direction, devices });
+        self.constraints
+            .orderings
+            .push(Ordering { direction, devices });
     }
 
     /// Marks a net as critical.

@@ -33,7 +33,10 @@ impl fmt::Display for BuildCircuitError {
             }
             BuildCircuitError::DuplicateNet(name) => write!(f, "duplicate net name `{name}`"),
             BuildCircuitError::DanglingNet { device, pin } => {
-                write!(f, "pin `{pin}` of device `{device}` references a missing net")
+                write!(
+                    f,
+                    "pin `{pin}` of device `{device}` references a missing net"
+                )
             }
             BuildCircuitError::UnknownConstraintDevice(id) => {
                 write!(f, "constraint references unknown device index {id}")

@@ -68,9 +68,11 @@ mod tests {
         let mut net = Net::new("vout");
         assert_eq!(net.degree(), 0);
         assert!(!net.is_routable());
-        net.pins.push(PinRef::new(DeviceId::new(0), PinIndex::new(0)));
+        net.pins
+            .push(PinRef::new(DeviceId::new(0), PinIndex::new(0)));
         assert!(!net.is_routable());
-        net.pins.push(PinRef::new(DeviceId::new(1), PinIndex::new(2)));
+        net.pins
+            .push(PinRef::new(DeviceId::new(1), PinIndex::new(2)));
         assert!(net.is_routable());
         assert_eq!(net.degree(), 2);
     }

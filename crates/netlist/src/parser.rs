@@ -117,7 +117,10 @@ fn cap_footprint(farads: f64) -> (f64, f64) {
 /// Footprint heuristic for a resistor: poly at ~1 kΩ per square, 0.4 µm wide.
 fn res_footprint(ohms: f64) -> (f64, f64) {
     let squares = (ohms / 1000.0).max(0.5);
-    (0.4 + 0.1 * squares.min(20.0), (0.4 * squares).clamp(0.4, 8.0))
+    (
+        0.4 + 0.1 * squares.min(20.0),
+        (0.4 * squares).clamp(0.4, 8.0),
+    )
 }
 
 /// Footprint heuristic for an inductor: spiral, area grows with value.
@@ -303,7 +306,9 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
         for (i, (net_name, pin_name)) in raw.nets.iter().zip(raw.pin_names.iter()).enumerate() {
             let net = b.net(net_name.clone());
             let frac = (i as f64 + 0.5) / n;
-            device.pins.push(Pin::new(*pin_name, net, (w * frac, h * 0.9)));
+            device
+                .pins
+                .push(Pin::new(*pin_name, net, (w * frac, h * 0.9)));
         }
         b.device(device);
     }
@@ -397,14 +402,17 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let dev = |name: &str| {
-            circuit.find_device(name).ok_or_else(|| {
-                ParseNetlistError::new(lineno, format!("unknown device `{name}`"))
-            })
+            circuit
+                .find_device(name)
+                .ok_or_else(|| ParseNetlistError::new(lineno, format!("unknown device `{name}`")))
         };
         match tokens[0] {
             "symgroup" => {
                 if tokens.len() != 3 {
-                    return Err(ParseNetlistError::new(lineno, "symgroup needs name and axis"));
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "symgroup needs name and axis",
+                    ));
                 }
                 let axis = match tokens[2] {
                     "vertical" => Axis::Vertical,
@@ -422,7 +430,10 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
             }
             "sympair" | "symself" => {
                 let gi = *groups.get(tokens[1]).ok_or_else(|| {
-                    ParseNetlistError::new(lineno, format!("unknown symmetry group `{}`", tokens[1]))
+                    ParseNetlistError::new(
+                        lineno,
+                        format!("unknown symmetry group `{}`", tokens[1]),
+                    )
                 })?;
                 if tokens[0] == "sympair" {
                     if tokens.len() != 4 {
@@ -441,7 +452,10 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
             }
             "align" => {
                 if tokens.len() != 4 {
-                    return Err(ParseNetlistError::new(lineno, "align needs kind and two devices"));
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "align needs kind and two devices",
+                    ));
                 }
                 let kind = match tokens[1] {
                     "bottom" => AlignKind::Bottom,
@@ -612,7 +626,6 @@ pub fn write_constraints(circuit: &Circuit) -> String {
     }
     out
 }
-
 
 /// Writes a placement as `device x y flip_x flip_y` lines (µm), a simple
 /// interchange format for downstream tools and tests.

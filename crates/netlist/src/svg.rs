@@ -136,7 +136,11 @@ mod tests {
         let c = testcases::cc_ota();
         let doc = render(&c, &grid_placement(&c));
         for d in c.devices() {
-            assert!(doc.contains(&format!(">{}</text>", d.name)), "{} missing", d.name);
+            assert!(
+                doc.contains(&format!(">{}</text>", d.name)),
+                "{} missing",
+                d.name
+            );
         }
         assert_eq!(doc.matches("<rect").count(), c.num_devices() + 1); // + background
     }

@@ -19,6 +19,7 @@ use crate::{
 
 /// Adds a differential pair: two matched transistors on `inp/inn`,
 /// drains on `outn/outp`, common source on `tail`. Returns the pair.
+#[allow(clippy::too_many_arguments)]
 fn diff_pair(
     b: &mut CircuitBuilder,
     prefix: &str,
@@ -51,6 +52,7 @@ fn diff_pair(
 
 /// Adds a 1:1 current mirror: diode device on `bias`, output device driving
 /// `out`, both sourced at `rail`. Returns (diode, output).
+#[allow(clippy::too_many_arguments)]
 fn mirror(
     b: &mut CircuitBuilder,
     prefix: &str,
@@ -123,7 +125,19 @@ pub fn adder() -> Circuit {
         res(&mut b, &format!("R{i}"), 10_000.0, input, sum);
     }
     res(&mut b, "RF", 20_000.0, sum, vout);
-    let (pa, pb) = diff_pair(&mut b, "M1", DeviceKind::Nmos, 3.0, 1.0, sum, sumb, vout, vb, tail, vss);
+    let (pa, pb) = diff_pair(
+        &mut b,
+        "M1",
+        DeviceKind::Nmos,
+        3.0,
+        1.0,
+        sum,
+        sumb,
+        vout,
+        vb,
+        tail,
+        vss,
+    );
     let tail_dev = b.mos(
         "MT",
         DeviceKind::Nmos,
@@ -154,7 +168,17 @@ pub fn cc_ota() -> Circuit {
     let vb = b.net("vbias");
 
     let (ina, inb) = diff_pair(
-        &mut b, "MIN", DeviceKind::Nmos, 4.0, 1.2, inp, inn, outp, outn, tail, vss,
+        &mut b,
+        "MIN",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        inp,
+        inn,
+        outp,
+        outn,
+        tail,
+        vss,
     );
     // Cross-coupled PMOS load.
     let xa = b.mos(
@@ -211,6 +235,7 @@ pub fn cc_ota() -> Circuit {
     b.build().expect("cc-ota testcase is valid")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn strongarm(
     b: &mut CircuitBuilder,
     stage: &str,
@@ -225,7 +250,19 @@ fn strongarm(
     let tail = b.net(format!("{stage}_tail"));
     let (xp, xn) = (b.net(format!("{stage}_xp")), b.net(format!("{stage}_xn")));
     let mut pairs = Vec::new();
-    let (a, c) = diff_pair(b, &format!("{stage}IN"), DeviceKind::Nmos, 3.0, 1.0, inp, inn, xp, xn, tail, vss);
+    let (a, c) = diff_pair(
+        b,
+        &format!("{stage}IN"),
+        DeviceKind::Nmos,
+        3.0,
+        1.0,
+        inp,
+        inn,
+        xp,
+        xn,
+        tail,
+        vss,
+    );
     pairs.push((a, c));
     let na = b.mos(
         format!("{stage}NA"),
@@ -313,10 +350,34 @@ pub fn comp1() -> Circuit {
     strongarm(&mut b, "ML", inp, inn, outp, outn, clk, vdd, vss);
     // SR latch output buffer: two cross-coupled NAND-ish stacks.
     let (qp, qn) = (b.net("qp"), b.net("qn"));
-    let n1 = b.mos("MSR1", DeviceKind::Nmos, 1.5, 0.6, &[("d", qp), ("g", outp), ("s", vss), ("b", vss)]);
-    let n2 = b.mos("MSR2", DeviceKind::Nmos, 1.5, 0.6, &[("d", qn), ("g", outn), ("s", vss), ("b", vss)]);
-    let p1 = b.mos("MSR3", DeviceKind::Pmos, 2.0, 0.6, &[("d", qp), ("g", qn), ("s", vdd), ("b", vdd)]);
-    let p2 = b.mos("MSR4", DeviceKind::Pmos, 2.0, 0.6, &[("d", qn), ("g", qp), ("s", vdd), ("b", vdd)]);
+    let n1 = b.mos(
+        "MSR1",
+        DeviceKind::Nmos,
+        1.5,
+        0.6,
+        &[("d", qp), ("g", outp), ("s", vss), ("b", vss)],
+    );
+    let n2 = b.mos(
+        "MSR2",
+        DeviceKind::Nmos,
+        1.5,
+        0.6,
+        &[("d", qn), ("g", outn), ("s", vss), ("b", vss)],
+    );
+    let p1 = b.mos(
+        "MSR3",
+        DeviceKind::Pmos,
+        2.0,
+        0.6,
+        &[("d", qp), ("g", qn), ("s", vdd), ("b", vdd)],
+    );
+    let p2 = b.mos(
+        "MSR4",
+        DeviceKind::Pmos,
+        2.0,
+        0.6,
+        &[("d", qn), ("g", qp), ("s", vdd), ("b", vdd)],
+    );
     cap(&mut b, "CQ1", 10e-15, qp, vss);
     cap(&mut b, "CQ2", 10e-15, qn, vss);
     b.symmetry_pair("sr", n1, n2);
@@ -338,10 +399,28 @@ pub fn comp2() -> Circuit {
     let tail0 = b.net("tail0");
 
     // Preamp: resistively loaded diff pair.
-    let (pa, pb) = diff_pair(&mut b, "MP", DeviceKind::Nmos, 4.0, 1.2, inp, inn, ap, an, tail0, vss);
+    let (pa, pb) = diff_pair(
+        &mut b,
+        "MP",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        inp,
+        inn,
+        ap,
+        an,
+        tail0,
+        vss,
+    );
     let ra = res(&mut b, "RLA", 8_000.0, ap, vdd);
     let rb = res(&mut b, "RLB", 8_000.0, an, vdd);
-    let t0 = b.mos("MT0", DeviceKind::Nmos, 6.0, 1.4, &[("d", tail0), ("g", vb), ("s", vss), ("b", vss)]);
+    let t0 = b.mos(
+        "MT0",
+        DeviceKind::Nmos,
+        6.0,
+        1.4,
+        &[("d", tail0), ("g", vb), ("s", vss), ("b", vss)],
+    );
     let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.0, 0.8, vb, tail0, vss);
     res(&mut b, "RB", 15_000.0, vb, vdd);
     // Latch stage.
@@ -375,12 +454,30 @@ pub fn cm_ota1() -> Circuit {
     let vb = b.net("vb");
     let mb = b.net("mb");
 
-    let (ia, ib) = diff_pair(&mut b, "MIN", DeviceKind::Nmos, 4.0, 1.2, inp, inn, xp, xn, tail, vss);
+    let (ia, ib) = diff_pair(
+        &mut b,
+        "MIN",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        inp,
+        inn,
+        xp,
+        xn,
+        tail,
+        vss,
+    );
     // PMOS mirrors: xn-side diode mirrored to vout, xp side to mb then NMOS mirror to vout.
     let (p1d, p1o) = mirror(&mut b, "MP1", DeviceKind::Pmos, 3.0, 1.0, xn, vout, vdd);
     let (p2d, p2o) = mirror(&mut b, "MP2", DeviceKind::Pmos, 3.0, 1.0, xp, mb, vdd);
     let (n1d, n1o) = mirror(&mut b, "MN1", DeviceKind::Nmos, 2.5, 1.0, mb, vout, vss);
-    let t = b.mos("MT", DeviceKind::Nmos, 6.0, 1.4, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    let t = b.mos(
+        "MT",
+        DeviceKind::Nmos,
+        6.0,
+        1.4,
+        &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+    );
     let (bd, bo) = mirror(&mut b, "MBS", DeviceKind::Nmos, 2.0, 0.8, vb, tail, vss);
     res(&mut b, "RB", 12_000.0, vb, vdd);
     cap(&mut b, "CL", 50e-15, vout, vss);
@@ -413,17 +510,71 @@ pub fn cm_ota2() -> Circuit {
     let tail = b.net("tail");
     let (vb, vcas) = (b.net("vb"), b.net("vcas"));
 
-    let (ia, ib) = diff_pair(&mut b, "MIN", DeviceKind::Nmos, 5.0, 1.4, inp, inn, xp, xn, tail, vss);
+    let (ia, ib) = diff_pair(
+        &mut b,
+        "MIN",
+        DeviceKind::Nmos,
+        5.0,
+        1.4,
+        inp,
+        inn,
+        xp,
+        xn,
+        tail,
+        vss,
+    );
     // Cascoded PMOS loads.
-    let la = b.mos("MLA", DeviceKind::Pmos, 3.0, 1.0, &[("d", cp), ("g", xn), ("s", vdd), ("b", vdd)]);
-    let lb = b.mos("MLB", DeviceKind::Pmos, 3.0, 1.0, &[("d", cn), ("g", xn), ("s", vdd), ("b", vdd)]);
-    let ca_ = b.mos("MCA", DeviceKind::Pmos, 2.5, 0.9, &[("d", v1), ("g", vcas), ("s", cp), ("b", vdd)]);
-    let cb_ = b.mos("MCB", DeviceKind::Pmos, 2.5, 0.9, &[("d", xn), ("g", vcas), ("s", cn), ("b", vdd)]);
+    let la = b.mos(
+        "MLA",
+        DeviceKind::Pmos,
+        3.0,
+        1.0,
+        &[("d", cp), ("g", xn), ("s", vdd), ("b", vdd)],
+    );
+    let lb = b.mos(
+        "MLB",
+        DeviceKind::Pmos,
+        3.0,
+        1.0,
+        &[("d", cn), ("g", xn), ("s", vdd), ("b", vdd)],
+    );
+    let ca_ = b.mos(
+        "MCA",
+        DeviceKind::Pmos,
+        2.5,
+        0.9,
+        &[("d", v1), ("g", vcas), ("s", cp), ("b", vdd)],
+    );
+    let cb_ = b.mos(
+        "MCB",
+        DeviceKind::Pmos,
+        2.5,
+        0.9,
+        &[("d", xn), ("g", vcas), ("s", cn), ("b", vdd)],
+    );
     let (m1d, m1o) = mirror(&mut b, "MM1", DeviceKind::Nmos, 2.5, 1.0, xp, v1, vss);
-    let t = b.mos("MT", DeviceKind::Nmos, 7.0, 1.5, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    let t = b.mos(
+        "MT",
+        DeviceKind::Nmos,
+        7.0,
+        1.5,
+        &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+    );
     // Second stage.
-    let g2 = b.mos("MG2", DeviceKind::Nmos, 6.0, 1.4, &[("d", vout), ("g", v1), ("s", vss), ("b", vss)]);
-    let l2 = b.mos("ML2", DeviceKind::Pmos, 5.0, 1.2, &[("d", vout), ("g", vb), ("s", vdd), ("b", vdd)]);
+    let g2 = b.mos(
+        "MG2",
+        DeviceKind::Nmos,
+        6.0,
+        1.4,
+        &[("d", vout), ("g", v1), ("s", vss), ("b", vss)],
+    );
+    let l2 = b.mos(
+        "ML2",
+        DeviceKind::Pmos,
+        5.0,
+        1.2,
+        &[("d", vout), ("g", vb), ("s", vdd), ("b", vdd)],
+    );
     // Compensation.
     cap(&mut b, "CC", 60e-15, v1, vout);
     res(&mut b, "RZ", 5_000.0, v1, vout);
@@ -431,7 +582,13 @@ pub fn cm_ota2() -> Circuit {
     // Bias chain.
     let (bd, bo) = mirror(&mut b, "MBS", DeviceKind::Nmos, 2.0, 0.8, vb, tail, vss);
     res(&mut b, "RB", 10_000.0, vb, vdd);
-    let d1 = b.mos("MCD", DeviceKind::Pmos, 2.0, 0.8, &[("d", vcas), ("g", vcas), ("s", vdd), ("b", vdd)]);
+    let d1 = b.mos(
+        "MCD",
+        DeviceKind::Pmos,
+        2.0,
+        0.8,
+        &[("d", vcas), ("g", vcas), ("s", vdd), ("b", vdd)],
+    );
     res(&mut b, "RC", 18_000.0, vcas, vss);
     cap(&mut b, "CB", 15e-15, vb, vss);
     let _ = d1;
@@ -483,7 +640,16 @@ pub fn scf() -> Circuit {
             1.2,
             &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
         );
-        let (ld, lo) = mirror(b, &format!("MO{idx}L"), DeviceKind::Pmos, 3.0, 1.0, vb, out, vdd);
+        let (ld, lo) = mirror(
+            b,
+            &format!("MO{idx}L"),
+            DeviceKind::Pmos,
+            3.0,
+            1.0,
+            vb,
+            out,
+            vdd,
+        );
         let g = format!("ota{idx}");
         b.symmetry_pair(&g, a, c);
         b.symmetry_self(&g, t);
@@ -495,7 +661,13 @@ pub fn scf() -> Circuit {
 
     // Switch arrays: four switches per integrator input.
     let sw = |b: &mut CircuitBuilder, name: String, a: NetId, c: NetId, phase: NetId| {
-        b.mos(name, DeviceKind::Nmos, 1.2, 0.5, &[("d", a), ("g", phase), ("s", c), ("b", vss)])
+        b.mos(
+            name,
+            DeviceKind::Nmos,
+            1.2,
+            0.5,
+            &[("d", a), ("g", phase), ("s", c), ("b", vss)],
+        )
     };
     let s1 = b.net("s1");
     let s2 = b.net("s2");
@@ -572,8 +744,20 @@ pub fn vga() -> Circuit {
             1.1,
             &[("d", outp), ("g", inn), ("s", sb), ("b", vss)],
         );
-        let ra = res(&mut b, &format!("RD{stage}A"), 2_000.0 * (stage as f64 + 1.0), sa, tail);
-        let rb = res(&mut b, &format!("RD{stage}B"), 2_000.0 * (stage as f64 + 1.0), sb, tail);
+        let ra = res(
+            &mut b,
+            &format!("RD{stage}A"),
+            2_000.0 * (stage as f64 + 1.0),
+            sa,
+            tail,
+        );
+        let rb = res(
+            &mut b,
+            &format!("RD{stage}B"),
+            2_000.0 * (stage as f64 + 1.0),
+            sb,
+            tail,
+        );
         let sw = b.mos(
             format!("MS{stage}"),
             DeviceKind::Nmos,
@@ -631,15 +815,33 @@ fn lc_vco(name: &str, stages: usize, ind_nh: f64, cap_ff: f64) -> Circuit {
         ElectricalParams::inductor(ind_nh * 1e-9),
     );
     // Cross-coupled NMOS pair.
-    let xa = b.mos("MXA", DeviceKind::Nmos, 4.0, 1.2, &[("d", op), ("g", on), ("s", tail), ("b", vss)]);
-    let xb = b.mos("MXB", DeviceKind::Nmos, 4.0, 1.2, &[("d", on), ("g", op), ("s", tail), ("b", vss)]);
+    let xa = b.mos(
+        "MXA",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        &[("d", op), ("g", on), ("s", tail), ("b", vss)],
+    );
+    let xb = b.mos(
+        "MXB",
+        DeviceKind::Nmos,
+        4.0,
+        1.2,
+        &[("d", on), ("g", op), ("s", tail), ("b", vss)],
+    );
     // Varactors (as caps to vtune).
     let va = cap(&mut b, "CVA", cap_ff * 1e-15, op, vtune);
     let vbc = cap(&mut b, "CVB", cap_ff * 1e-15, on, vtune);
     // Fixed tank caps.
     let fa = cap(&mut b, "CFA", cap_ff * 0.5e-15, op, vss);
     let fb = cap(&mut b, "CFB", cap_ff * 0.5e-15, on, vss);
-    let t = b.mos("MT", DeviceKind::Nmos, 8.0, 1.6, &[("d", tail), ("g", vb), ("s", vss), ("b", vss)]);
+    let t = b.mos(
+        "MT",
+        DeviceKind::Nmos,
+        8.0,
+        1.6,
+        &[("d", tail), ("g", vb), ("s", vss), ("b", vss)],
+    );
     let (bd, bo) = mirror(&mut b, "MB", DeviceKind::Nmos, 2.5, 0.9, vb, tail, vss);
     res(&mut b, "RB", 10_000.0, vb, vdd);
     cap(&mut b, "CB", 20e-15, vb, vss);
@@ -689,7 +891,6 @@ pub fn vco1() -> Circuit {
 pub fn vco2() -> Circuit {
     lc_vco("VCO2", 4, 1.7, 200.0)
 }
-
 
 /// A scalable chain of `stages` differential gain cells (6 devices plus a
 /// shared bias per cell), for scaling studies beyond the paper's circuit

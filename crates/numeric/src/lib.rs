@@ -28,6 +28,7 @@
 
 mod cg;
 mod complex;
+pub mod dct;
 pub mod fft;
 mod grid;
 mod nesterov;
@@ -36,7 +37,8 @@ mod proptests;
 
 pub use cg::{minimize_cg, CgOptions, CgResult};
 pub use complex::Complex;
-pub use fft::{dft_naive, fft, fft2, ifft, ifft2, is_power_of_two};
+pub use dct::{dct_ii_naive, dct_iii_naive, DctPlan};
+pub use fft::{dft_naive, fft, fft2, ifft, ifft2, is_power_of_two, Fft2Plan, FftPlan};
 pub use grid::Grid;
 pub use nesterov::NesterovState;
 pub use poisson::PoissonSolver;

@@ -139,9 +139,10 @@ impl NesterovState {
             let mut dv = 0.0;
             let mut dvdg = 0.0;
             let mut dg = 0.0;
-            for i in 0..grad.len() {
-                let a = self.v[i] - self.v_prev[i];
-                let b = grad[i] - self.g_prev[i];
+            for (((vi, vp), gi), gp) in self.v.iter().zip(&self.v_prev).zip(grad).zip(&self.g_prev)
+            {
+                let a = vi - vp;
+                let b = gi - gp;
                 dv += a * a;
                 dvdg += a * b;
                 dg += b * b;
@@ -174,8 +175,8 @@ impl NesterovState {
         let a_next = (1.0 + (4.0 * self.a * self.a + 1.0).sqrt()) / 2.0;
         // v_{k+1} = u_{k+1} + (a_k − 1)(u_{k+1} − u_k)/a_{k+1}
         let coeff = (self.a - 1.0) / a_next;
-        for i in 0..self.v.len() {
-            self.v[i] = u_next[i] + coeff * (u_next[i] - self.u[i]);
+        for (v, (un, u)) in self.v.iter_mut().zip(u_next.iter().zip(&self.u)) {
+            *v = un + coeff * (un - u);
         }
         self.u = u_next;
         self.a = a_next;
@@ -197,7 +198,7 @@ mod tests {
         let scales = [1.0, 100.0, 10.0, 0.5];
         let mut state = NesterovState::new(vec![5.0; 4], 0.01);
         for _ in 0..2000 {
-            let g = quad_grad(&state.reference().to_vec(), &scales);
+            let g = quad_grad(state.reference(), &scales);
             state.step(&g);
         }
         for x in state.solution() {
@@ -217,7 +218,7 @@ mod tests {
         let mut plain_iters = None;
         for it in 0..5000 {
             if nesterov_iters.is_none() {
-                let g = quad_grad(&nesterov.reference().to_vec(), &scales);
+                let g = quad_grad(nesterov.reference(), &scales);
                 nesterov.step(&g);
                 if nesterov.solution().iter().all(|x| x.abs() < 1e-3) {
                     nesterov_iters = Some(it);

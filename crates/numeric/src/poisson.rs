@@ -1,16 +1,31 @@
 //! Spectral Poisson solver for ePlace-style electrostatic density forces.
 //!
 //! Solves the discrete Neumann problem `∇²ψ = −ρ̃` (where `ρ̃` is the
-//! mean-free density) on an `nx × ny` grid. The grid is mirror-extended to
-//! `2nx × 2ny` (even half-sample symmetry, equivalent to a DCT-II basis),
-//! solved with a periodic FFT by dividing by the eigenvalues of the 5-point
-//! Laplacian, and restricted back. The even symmetry enforces zero normal
-//! derivative at the region boundary — exactly the "charge cannot escape the
-//! placement region" condition ePlace needs.
+//! mean-free density) on an `nx × ny` grid. The Neumann boundary (zero
+//! normal derivative — "charge cannot escape the placement region") is the
+//! even half-sample symmetry of the DCT-II basis, so the solver expands the
+//! density in that basis, divides each mode by the corresponding 5-point
+//! Laplacian eigenvalue, and transforms back.
+//!
+//! Mathematically this is identical to mirror-extending the grid to
+//! `2nx × 2ny` and using a periodic FFT (the seed implementation, kept as
+//! [`PoissonSolver::solve_reference`]): the mirror extension's spectrum is
+//! `E[k] = 2 e^{iπk/(2n)} X[k]` with `X` the DCT-II, and its Laplacian
+//! eigenvalue `2cos(2πk/2n) − 2 = 2cos(πk/n) − 2` is exactly the DCT-II
+//! eigenvalue. The DCT route just skips the 4× redundancy of the mirror
+//! copies — real length-`n` transforms instead of complex length-`2n` ones.
+//!
+//! Construction precomputes the DCT plans, the `−1/λ(u,v)` eigenvalue
+//! table, and all working buffers; [`PoissonSolver::solve_into`] then runs
+//! without a single heap allocation (verified by an allocation-counting
+//! test). Row passes fan out over threads via `placer-parallel`, with
+//! results identical for any thread count.
 
+use crate::dct::DctPlan;
 use crate::{fft2, ifft2, is_power_of_two, Complex, Grid};
 
-/// Spectral Poisson solver with cached dimensions.
+/// Spectral Poisson solver with precomputed plans, eigenvalue table, and
+/// scratch buffers.
 ///
 /// # Examples
 ///
@@ -29,10 +44,45 @@ pub struct PoissonSolver {
     ny: usize,
     hx: f64,
     hy: f64,
+    dct_x: DctPlan,
+    dct_y: DctPlan,
+    /// `−1/λ(u,v)` in transposed (`u`-major) layout, `0` at the DC mode.
+    inv_neg_lambda: Vec<f64>,
+    bufs: SolveBufs,
 }
+
+/// Working storage for one solve; owned by the solver so repeated
+/// [`PoissonSolver::solve_into`] calls never allocate.
+#[derive(Debug, Clone)]
+struct SolveBufs {
+    /// `ny × nx` row-major real work grid.
+    work: Vec<f64>,
+    /// `nx × ny` transposed real work grid.
+    tran: Vec<f64>,
+    /// Complex row scratch for the DCT plans, `max(nx, ny)` long.
+    cplx: Vec<Complex>,
+}
+
+impl SolveBufs {
+    fn new(nx: usize, ny: usize) -> Self {
+        Self {
+            work: vec![0.0; nx * ny],
+            tran: vec![0.0; nx * ny],
+            cplx: vec![Complex::ZERO; nx.max(ny)],
+        }
+    }
+}
+
+/// Number of row-aligned chunks the per-axis passes fan out into; fixed so
+/// results never depend on the thread count.
+const ROW_BLOCKS: usize = 16;
 
 impl PoissonSolver {
     /// Creates a solver for an `nx × ny` grid with cell sizes `hx × hy`.
+    ///
+    /// Precomputes the transform plans and the spectral eigenvalue table;
+    /// construction is `O(nx·ny)` and every subsequent
+    /// [`solve_into`](Self::solve_into) is allocation-free.
     ///
     /// # Panics
     ///
@@ -44,7 +94,39 @@ impl PoissonSolver {
             "grid dimensions must be powers of two"
         );
         assert!(hx > 0.0 && hy > 0.0, "cell sizes must be positive");
-        Self { nx, ny, hx, hy }
+        // 5-point Laplacian eigenvalues in the DCT-II basis, per axis.
+        let pi = std::f64::consts::PI;
+        let lx: Vec<f64> = (0..nx)
+            .map(|u| (2.0 * (pi * u as f64 / nx as f64).cos() - 2.0) / (hx * hx))
+            .collect();
+        let ly: Vec<f64> = (0..ny)
+            .map(|v| (2.0 * (pi * v as f64 / ny as f64).cos() - 2.0) / (hy * hy))
+            .collect();
+        // Transposed (u-major) so the scale step runs on the transposed
+        // work grid with unit stride.
+        let mut inv_neg_lambda = vec![0.0; nx * ny];
+        for (u, &lxu) in lx.iter().enumerate() {
+            for (v, &lyv) in ly.iter().enumerate() {
+                let lambda = lxu + lyv;
+                // Only the DC mode (u = v = 0) is singular; it carries the
+                // mean, which is subtracted up front.
+                inv_neg_lambda[u * ny + v] = if lambda.abs() < 1e-30 {
+                    0.0
+                } else {
+                    -1.0 / lambda
+                };
+            }
+        }
+        Self {
+            nx,
+            ny,
+            hx,
+            hy,
+            dct_x: DctPlan::new(nx),
+            dct_y: DctPlan::new(ny),
+            inv_neg_lambda,
+            bufs: SolveBufs::new(nx, ny),
+        }
     }
 
     /// Grid size along x.
@@ -60,12 +142,92 @@ impl PoissonSolver {
     /// Solves `∇²ψ = −(ρ − mean(ρ))` and returns the potential ψ
     /// (zero-mean).
     ///
+    /// Allocates the result and fresh working buffers; the hot path should
+    /// use [`solve_into`](Self::solve_into), which is bit-identical (both
+    /// run the same inner pipeline).
+    ///
     /// # Panics
     ///
     /// Panics if `rho` does not match the solver dimensions.
     pub fn solve(&self, rho: &Grid) -> Grid {
+        let mut out = Grid::new(self.nx, self.ny);
+        let mut bufs = SolveBufs::new(self.nx, self.ny);
+        self.check_dims(rho);
+        Self::solve_inner(
+            &self.dct_x,
+            &self.dct_y,
+            &self.inv_neg_lambda,
+            rho,
+            &mut bufs,
+            &mut out,
+        );
+        out
+    }
+
+    /// Solves into a caller-provided grid, reusing the solver's internal
+    /// scratch: zero heap allocations per call (single-threaded path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` or `out` do not match the solver dimensions.
+    pub fn solve_into(&mut self, rho: &Grid, out: &mut Grid) {
+        self.check_dims(rho);
+        assert_eq!(out.nx(), self.nx, "output grid width mismatch");
+        assert_eq!(out.ny(), self.ny, "output grid height mismatch");
+        let Self {
+            ref dct_x,
+            ref dct_y,
+            ref inv_neg_lambda,
+            ref mut bufs,
+            ..
+        } = *self;
+        Self::solve_inner(dct_x, dct_y, inv_neg_lambda, rho, bufs, out);
+    }
+
+    fn check_dims(&self, rho: &Grid) {
         assert_eq!(rho.nx(), self.nx, "density grid width mismatch");
         assert_eq!(rho.ny(), self.ny, "density grid height mismatch");
+    }
+
+    /// The shared solve pipeline. Every buffer element is written before it
+    /// is read, so stale scratch contents cannot leak into the result —
+    /// this is what makes `solve` and `solve_into` bit-identical.
+    fn solve_inner(
+        dct_x: &DctPlan,
+        dct_y: &DctPlan,
+        inv_neg_lambda: &[f64],
+        rho: &Grid,
+        bufs: &mut SolveBufs,
+        out: &mut Grid,
+    ) {
+        let nx = dct_x.len();
+        let ny = dct_y.len();
+        let mean = rho.mean();
+        for (w, &r) in bufs.work.iter_mut().zip(rho.as_slice()) {
+            *w = r - mean;
+        }
+        // Forward DCT-II along x (rows of the ny × nx grid)…
+        dct_rows(&mut bufs.work, nx, dct_x, true, &mut bufs.cplx);
+        // …then along y, on the transposed grid so columns are contiguous.
+        transpose_real(&bufs.work, ny, nx, &mut bufs.tran);
+        dct_rows(&mut bufs.tran, ny, dct_y, true, &mut bufs.cplx);
+        // ψ̂(u,v) = ρ̂(u,v) / (−λ(u,v)); the table is already transposed.
+        for (t, &s) in bufs.tran.iter_mut().zip(inv_neg_lambda) {
+            *t *= s;
+        }
+        // Inverse along y, transpose back, inverse along x.
+        dct_rows(&mut bufs.tran, ny, dct_y, false, &mut bufs.cplx);
+        transpose_real(&bufs.tran, nx, ny, out.as_mut_slice());
+        dct_rows(out.as_mut_slice(), nx, dct_x, false, &mut bufs.cplx);
+    }
+
+    /// The seed implementation: mirror-extend to `2nx × 2ny`, periodic FFT,
+    /// divide by eigenvalues, inverse FFT, restrict.
+    ///
+    /// Retained as the property-test oracle and benchmark baseline for
+    /// [`solve`](Self::solve); agrees with it to floating-point roundoff.
+    pub fn solve_reference(&self, rho: &Grid) -> Grid {
+        self.check_dims(rho);
         let (nx, ny) = (self.nx, self.ny);
         let (mx, my) = (2 * nx, 2 * ny);
         let mean = rho.mean();
@@ -121,9 +283,26 @@ impl PoissonSolver {
     /// Electric field `E = −∇ψ` by central differences with mirrored
     /// (Neumann) boundary handling. Returns `(ex, ey)` grids.
     pub fn field(&self, psi: &Grid) -> (Grid, Grid) {
+        let mut ex = Grid::new(self.nx, self.ny);
+        let mut ey = Grid::new(self.nx, self.ny);
+        self.field_into(psi, &mut ex, &mut ey);
+        (ex, ey)
+    }
+
+    /// Allocation-free variant of [`field`](Self::field), writing into
+    /// caller-provided grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any grid does not match the solver dimensions.
+    pub fn field_into(&self, psi: &Grid, ex: &mut Grid, ey: &mut Grid) {
         let (nx, ny) = (self.nx, self.ny);
-        let mut ex = Grid::new(nx, ny);
-        let mut ey = Grid::new(nx, ny);
+        assert_eq!(psi.nx(), nx, "potential grid width mismatch");
+        assert_eq!(psi.ny(), ny, "potential grid height mismatch");
+        assert_eq!(ex.nx(), nx, "field grid width mismatch");
+        assert_eq!(ex.ny(), ny, "field grid height mismatch");
+        assert_eq!(ey.nx(), nx, "field grid width mismatch");
+        assert_eq!(ey.ny(), ny, "field grid height mismatch");
         let clamp = |i: isize, n: usize| -> usize { i.clamp(0, n as isize - 1) as usize };
         for iy in 0..ny {
             for ix in 0..nx {
@@ -135,7 +314,6 @@ impl PoissonSolver {
                 ey.set(ix, iy, -(yp - ym) / (2.0 * self.hy));
             }
         }
-        (ex, ey)
     }
 
     /// Total electrostatic energy `½ Σ ρ·ψ · hx·hy` for a density grid.
@@ -148,6 +326,48 @@ impl PoissonSolver {
             }
         }
         0.5 * e * self.hx * self.hy
+    }
+}
+
+/// Runs the DCT plan over every `row_len` row of `data`.
+///
+/// On the single-threaded path every row shares the solver's scratch
+/// (zero allocation). With threads, each worker chunk allocates one local
+/// scratch row — thread spawning allocates anyway, and results are
+/// identical because rows are independent.
+fn dct_rows(data: &mut [f64], row_len: usize, plan: &DctPlan, forward: bool, cplx: &mut [Complex]) {
+    if placer_parallel::max_threads() <= 1 {
+        let scratch = &mut cplx[..row_len];
+        for row in data.chunks_exact_mut(row_len) {
+            if forward {
+                plan.dct_ii(row, scratch);
+            } else {
+                plan.dct_iii(row, scratch);
+            }
+        }
+        return;
+    }
+    placer_parallel::for_each_row_chunk_mut(data, row_len, ROW_BLOCKS, |_, _, chunk| {
+        let mut scratch = vec![Complex::ZERO; row_len];
+        for row in chunk.chunks_exact_mut(row_len) {
+            if forward {
+                plan.dct_ii(row, &mut scratch);
+            } else {
+                plan.dct_iii(row, &mut scratch);
+            }
+        }
+    });
+}
+
+/// Transposes row-major `rows × cols` `src` into `cols × rows` `dst`.
+fn transpose_real(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    for r in 0..rows {
+        let row = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
     }
 }
 
@@ -217,6 +437,43 @@ mod tests {
                     expected
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dct_solve_matches_mirror_extended_reference() {
+        // Non-square grid with distinct spacings to exercise both axes.
+        let solver = PoissonSolver::new(32, 16, 0.7, 1.3);
+        let mut rho = Grid::new(32, 16);
+        for iy in 0..16 {
+            for ix in 0..32 {
+                rho.set(ix, iy, ((ix * 5 + iy * 3) % 17) as f64 * 0.2 - 0.8);
+            }
+        }
+        let fast = solver.solve(&rho);
+        let reference = solver.solve_reference(&rho);
+        let scale = reference.max().abs().max(1.0);
+        for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-9 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solve_into_is_bit_identical_to_solve() {
+        let mut solver = PoissonSolver::new(16, 32, 1.0, 0.5);
+        let mut rho = Grid::new(16, 32);
+        for iy in 0..32 {
+            for ix in 0..16 {
+                rho.set(ix, iy, ((ix * 7 + iy) % 5) as f64);
+            }
+        }
+        let fresh = solver.solve(&rho);
+        let mut reused = Grid::new(16, 32);
+        // Twice, so the second call sees dirty scratch.
+        solver.solve_into(&rho, &mut reused);
+        solver.solve_into(&rho, &mut reused);
+        for (a, b) in fresh.as_slice().iter().zip(reused.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use crate::{fft, ifft, Complex, Grid, PoissonSolver};
+use crate::{fft, fft2, ifft, ifft2, Complex, Fft2Plan, FftPlan, Grid, PoissonSolver};
 
 fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
     proptest::collection::vec(
@@ -68,6 +68,67 @@ proptest! {
                     (psum.get(i, j) - pa.get(i, j) - pb.get(i, j)).abs() < 1e-8
                 );
             }
+        }
+    }
+
+    /// The planned transforms agree with the free-function FFTs on random
+    /// data, and the planned round trip is the identity, both within 1e-9.
+    #[test]
+    fn planned_fft2_roundtrip_matches_free_fft2(x in complex_vec(16 * 8)) {
+        let (rows, cols) = (8usize, 16usize);
+        let plan = Fft2Plan::new(rows, cols);
+        let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+        let mut planned = x.clone();
+        plan.forward(&mut planned, &mut scratch);
+        let mut free = x.clone();
+        fft2(&mut free, rows, cols);
+        for (a, b) in planned.iter().zip(&free) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+        plan.inverse(&mut planned, &mut scratch);
+        ifft2(&mut free, rows, cols);
+        for ((p, f), orig) in planned.iter().zip(&free).zip(&x) {
+            prop_assert!((*p - *orig).abs() < 1e-9);
+            prop_assert!((*f - *orig).abs() < 1e-9);
+        }
+    }
+
+    /// 1-D plans agree with the free functions for every planned size.
+    #[test]
+    fn planned_fft_roundtrip_matches_free_fft(x in complex_vec(64)) {
+        let plan = FftPlan::new(64);
+        let mut planned = x.clone();
+        plan.forward(&mut planned);
+        let mut free = x.clone();
+        fft(&mut free);
+        for (a, b) in planned.iter().zip(&free) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+        plan.inverse(&mut planned);
+        for (a, b) in planned.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// `solve_into` returns bit-identical potentials to `solve` on random
+    /// densities, even with dirty internal scratch from a previous call.
+    #[test]
+    fn solve_into_bit_identical_to_solve(
+        a in proptest::collection::vec(0.0..4.0f64, 16 * 8),
+        b in proptest::collection::vec(0.0..4.0f64, 16 * 8),
+    ) {
+        let mut solver = PoissonSolver::new(16, 8, 0.5, 1.5);
+        let mut ga = Grid::new(16, 8);
+        ga.as_mut_slice().copy_from_slice(&a);
+        let mut gb = Grid::new(16, 8);
+        gb.as_mut_slice().copy_from_slice(&b);
+        let mut out = Grid::new(16, 8);
+        // Dirty the scratch with an unrelated solve first.
+        solver.solve_into(&gb, &mut out);
+        solver.solve_into(&ga, &mut out);
+        let fresh = solver.solve(&ga);
+        for (x, y) in out.as_slice().iter().zip(fresh.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

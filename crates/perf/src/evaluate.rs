@@ -70,10 +70,7 @@ fn device_aggregates(circuit: &Circuit) -> DeviceAggregates {
     let mut c_tank = 0.0;
     let mut c_var = 0.0;
     for device in circuit.devices() {
-        let on_critical = device
-            .pins
-            .iter()
-            .any(|p| circuit.net(p.net).critical);
+        let on_critical = device.pins.iter().any(|p| circuit.net(p.net).critical);
         match device.kind {
             DeviceKind::Nmos | DeviceKind::Pmos => {
                 if on_critical {

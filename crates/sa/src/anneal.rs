@@ -32,6 +32,13 @@ pub struct SaConfig {
     pub penalty_weight: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Independent annealing chains to run (best result wins).
+    ///
+    /// Chains execute concurrently when threads are available, each with
+    /// its own RNG stream derived from `seed` and the chain index. The
+    /// winner is picked in chain order, so a fixed seed yields an
+    /// identical placement for any thread count.
+    pub chains: usize,
 }
 
 impl Default for SaConfig {
@@ -43,6 +50,7 @@ impl Default for SaConfig {
             hpwl_weight: 1.0,
             penalty_weight: 40.0,
             seed: 7,
+            chains: 1,
         }
     }
 }
@@ -95,8 +103,7 @@ pub fn evaluate(
     let placement = model.expand(circuit, &origins, &state.flips);
     let area = placement.area(circuit);
     let hpwl = placement.hpwl(circuit);
-    let violation =
-        placement.alignment_violation(circuit) + placement.ordering_violation(circuit);
+    let violation = placement.alignment_violation(circuit) + placement.ordering_violation(circuit);
     let phi = match perf {
         Some((cost, graph)) => {
             graph.update_positions(&placement);
@@ -174,14 +181,74 @@ fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
     }
 }
 
+/// Derives the RNG seed of one chain from the base seed.
+///
+/// Chain 0 keeps the base seed so a single-chain run reproduces the
+/// historical sequence exactly; later chains go through a SplitMix64-style
+/// finalizer so chains sharing a base seed are decorrelated.
+fn chain_seed(seed: u64, chain: usize) -> u64 {
+    if chain == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs simulated annealing over the circuit's symmetry-island blocks.
 ///
 /// The perf term (when provided) is *inferred* each evaluation, matching
 /// the paper's SA baseline where Φ(G) is part of the cost, not a gradient.
-pub fn anneal(circuit: &Circuit, config: &SaConfig, mut perf: Option<PerfCost<'_>>) -> AnnealResult {
+///
+/// With `config.chains > 1` the independent chains run concurrently (see
+/// [`SaConfig::chains`]); `moves` in the result counts attempts across
+/// *all* chains.
+pub fn anneal(
+    circuit: &Circuit,
+    config: &SaConfig,
+    mut perf: Option<PerfCost<'_>>,
+) -> AnnealResult {
+    let chains = config.chains.max(1);
+    if chains == 1 {
+        return anneal_chain(circuit, config, perf.take(), config.seed);
+    }
+    // PerfCost borrows the network immutably, so every chain can share it;
+    // each chain rebuilds its own CircuitGraph scratch internally.
+    let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
+    let results = placer_parallel::par_map(chains, |chain| {
+        let chain_perf = perf_parts.map(|(network, weight, scale)| PerfCost {
+            network,
+            weight,
+            scale,
+        });
+        anneal_chain(circuit, config, chain_perf, chain_seed(config.seed, chain))
+    });
+    // Pick the winner in chain order (strict `<`, so ties break toward the
+    // lowest chain index) — deterministic for any thread count.
+    let mut total_moves = 0;
+    let mut best: Option<AnnealResult> = None;
+    for r in results {
+        total_moves += r.moves;
+        if best.as_ref().is_none_or(|b| r.cost.total < b.cost.total) {
+            best = Some(r);
+        }
+    }
+    let mut best = best.expect("at least one chain ran");
+    best.moves = total_moves;
+    best
+}
+
+/// One annealing chain with an explicit RNG seed.
+fn anneal_chain(
+    circuit: &Circuit,
+    config: &SaConfig,
+    mut perf: Option<PerfCost<'_>>,
+    seed: u64,
+) -> AnnealResult {
     let n = circuit.num_devices();
     let model = BlockModel::new(circuit);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut state = SaState {
         seq_pair: SequencePair::identity(model.len()),
         flips: vec![(false, false); n],
@@ -197,7 +264,7 @@ pub fn anneal(circuit: &Circuit, config: &SaConfig, mut perf: Option<PerfCost<'_
     });
     let perf_weight = perf_state.as_ref().map(|(p, _)| p.weight).unwrap_or(0.0);
     let cost_of = |state: &SaState,
-                       perf_state: &mut Option<(PerfCost<'_>, CircuitGraph)>|
+                   perf_state: &mut Option<(PerfCost<'_>, CircuitGraph)>|
      -> (Placement, SaCost) {
         let (placement, mut cost) = evaluate(circuit, &model, state, config, perf_state.as_mut());
         cost.total += perf_weight * cost.phi;
@@ -335,5 +402,63 @@ mod tests {
         let cfg = quick_config();
         let result = anneal(&c, &cfg, None);
         assert_eq!(result.moves, cfg.temperatures * cfg.moves_per_temperature);
+    }
+
+    #[test]
+    fn multi_chain_counts_moves_across_all_chains() {
+        let c = testcases::adder();
+        let cfg = SaConfig {
+            chains: 3,
+            ..quick_config()
+        };
+        let result = anneal(&c, &cfg, None);
+        assert_eq!(
+            result.moves,
+            3 * cfg.temperatures * cfg.moves_per_temperature
+        );
+    }
+
+    #[test]
+    fn multi_chain_is_never_worse_than_chain_zero() {
+        let c = testcases::comp1();
+        let single = anneal(&c, &quick_config(), None);
+        let multi = anneal(
+            &c,
+            &SaConfig {
+                chains: 4,
+                ..quick_config()
+            },
+            None,
+        );
+        assert!(multi.cost.total <= single.cost.total);
+    }
+
+    #[test]
+    fn chains_are_deterministic_across_thread_counts() {
+        let c = testcases::cc_ota();
+        let cfg = SaConfig {
+            chains: 4,
+            ..quick_config()
+        };
+        placer_parallel::set_max_threads(1);
+        let serial = anneal(&c, &cfg, None);
+        placer_parallel::set_max_threads(4);
+        let threaded = anneal(&c, &cfg, None);
+        placer_parallel::set_max_threads(0);
+        assert_eq!(serial.cost.total.to_bits(), threaded.cost.total.to_bits());
+        assert_eq!(serial.placement, threaded.placement);
+        assert_eq!(serial.state, threaded.state);
+        assert_eq!(serial.moves, threaded.moves);
+    }
+
+    #[test]
+    fn chain_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..8).map(|c| chain_seed(7, c)).collect();
+        assert_eq!(seeds[0], 7, "chain 0 must keep the base seed");
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
     }
 }

@@ -167,7 +167,11 @@ mod tests {
                     seen[dev.index()] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "{}: device missing", circuit.name());
+            assert!(
+                seen.iter().all(|&s| s),
+                "{}: device missing",
+                circuit.name()
+            );
         }
     }
 
@@ -175,9 +179,7 @@ mod tests {
     fn island_expansion_is_symmetric() {
         let circuit = testcases::cc_ota();
         let model = BlockModel::new(&circuit);
-        let origins: Vec<(f64, f64)> = (0..model.len())
-            .map(|i| (i as f64 * 30.0, 5.0))
-            .collect();
+        let origins: Vec<(f64, f64)> = (0..model.len()).map(|i| (i as f64 * 30.0, 5.0)).collect();
         let flips = vec![(false, false); circuit.num_devices()];
         let placement = model.expand(&circuit, &origins, &flips);
         assert!(placement.symmetry_violation(&circuit) < 1e-9);
@@ -202,9 +204,7 @@ mod tests {
     fn no_overlap_within_island() {
         let circuit = testcases::cc_ota();
         let model = BlockModel::new(&circuit);
-        let origins: Vec<(f64, f64)> = (0..model.len())
-            .map(|i| (i as f64 * 100.0, 0.0))
-            .collect();
+        let origins: Vec<(f64, f64)> = (0..model.len()).map(|i| (i as f64 * 100.0, 0.0)).collect();
         let flips = vec![(false, false); circuit.num_devices()];
         let placement = model.expand(&circuit, &origins, &flips);
         assert!(

@@ -142,7 +142,10 @@ mod tests {
         for circuit in [testcases::adder(), testcases::cc_ota()] {
             let result = quick().place(&circuit).unwrap();
             assert!(
-                result.placement.overlapping_pairs(&circuit, 1e-6).is_empty(),
+                result
+                    .placement
+                    .overlapping_pairs(&circuit, 1e-6)
+                    .is_empty(),
                 "{}: overlaps",
                 circuit.name()
             );
@@ -155,9 +158,7 @@ mod tests {
     fn perf_flow_reports_phi() {
         let circuit = testcases::adder();
         let network = placer_gnn::Network::default_config(5);
-        let result = quick()
-            .place_perf(&circuit, &network, 30.0, 20.0)
-            .unwrap();
+        let result = quick().place_perf(&circuit, &network, 30.0, 20.0).unwrap();
         assert!(result.phi > 0.0 && result.phi < 1.0);
         assert!(result.placement.is_legal(&circuit, 1e-6));
     }

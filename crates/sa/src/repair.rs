@@ -60,11 +60,7 @@ fn repair_axis(
                 );
             }
             for &s in &g.self_symmetric {
-                model.add_constraint(
-                    vec![(xs[s.index()], 1.0), (m, -1.0)],
-                    ConstraintOp::Eq,
-                    0.0,
-                );
+                model.add_constraint(vec![(xs[s.index()], 1.0), (m, -1.0)], ConstraintOp::Eq, 0.0);
             }
         } else {
             for &(a, b) in &g.pairs {
@@ -108,10 +104,7 @@ fn repair_axis(
 ///
 /// Returns the LP error when the constraint system cannot be satisfied
 /// (which indicates inconsistent circuit constraints).
-pub fn repair_placement(
-    circuit: &Circuit,
-    annealed: &Placement,
-) -> Result<Placement, SolveError> {
+pub fn repair_placement(circuit: &Circuit, annealed: &Placement) -> Result<Placement, SolveError> {
     let mut planner = SeparationPlanner::new(circuit);
     planner.extend_all_pairs(circuit, annealed);
     let tx: Vec<f64> = annealed.positions.iter().map(|p| p.0).collect();

@@ -86,9 +86,9 @@ impl SequencePair {
         let heights: Vec<f64> = circuit.devices().iter().map(|d| d.height).collect();
         let origins = self.pack_dims(&widths, &heights);
         let mut placement = Placement::new(n);
-        for i in 0..n {
+        for (i, (ox, oy)) in origins.iter().enumerate().take(n) {
             let d = circuit.device(analog_netlist::DeviceId::new(i));
-            placement.positions[i] = (origins[i].0 + d.width / 2.0, origins[i].1 + d.height / 2.0);
+            placement.positions[i] = (ox + d.width / 2.0, oy + d.height / 2.0);
             placement.flips[i] = self.flips[i];
         }
         placement

@@ -96,11 +96,7 @@ fn add_axis_constraints(
                 );
             }
             for &s in &g.self_symmetric {
-                model.add_constraint(
-                    vec![(xs[s.index()], 1.0), (m, -1.0)],
-                    ConstraintOp::Eq,
-                    0.0,
-                );
+                model.add_constraint(vec![(xs[s.index()], 1.0), (m, -1.0)], ConstraintOp::Eq, 0.0);
             }
         } else {
             for &(a, b) in &g.pairs {
@@ -142,7 +138,7 @@ fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64,
     let mut model = Model::new();
     let chip = model.add_var("chip", 0.0, f64::INFINITY, 1.0);
     let _ = add_axis_constraints(&mut model, circuit, axis, seps, chip);
-    let sol = model.solve_lp().map_err(|e| {
+    let sol = model.solve_lp().inspect_err(|_| {
         if std::env::var_os("LEGALIZE_DEBUG").is_some() {
             if let Ok((total, rows)) = model.diagnose_infeasibility() {
                 eprintln!("xu19 compact axis {axis}: infeasibility {total:.3}, rows {rows:?}");
@@ -150,7 +146,6 @@ fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64,
                 let _ = std::fs::write("/tmp/xu19_model.txt", d);
             }
         }
-        e
     })?;
     Ok(sol.value(chip))
 }
@@ -202,9 +197,7 @@ pub fn legalize_two_stage(
     // planner's pairwise reasoning cannot see; fall back to the incremental
     // (overlapping-pairs-only) graph in that case.
     match legalize_with(circuit, global, true) {
-        Err(LegalizeError::Solve(SolveError::Infeasible)) => {
-            legalize_with(circuit, global, false)
-        }
+        Err(LegalizeError::Solve(SolveError::Infeasible)) => legalize_with(circuit, global, false),
         other => other,
     }
 }

@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hard_cfg = PlacerConfig::default();
     hard_cfg.global.symmetry = SymmetryMode::Hard;
     let hard = EPlaceA::new(hard_cfg).place(&circuit)?;
-    println!("[Table I]  soft symmetry: area {:.1}, HPWL {:.1}", soft.area, soft.hpwl);
-    println!("[Table I]  hard symmetry: area {:.1}, HPWL {:.1}\n", hard.area, hard.hpwl);
+    println!(
+        "[Table I]  soft symmetry: area {:.1}, HPWL {:.1}",
+        soft.area, soft.hpwl
+    );
+    println!(
+        "[Table I]  hard symmetry: area {:.1}, HPWL {:.1}\n",
+        hard.area, hard.hpwl
+    );
 
     // Figure 2 flavor: area-term ablation.
     let mut no_area_cfg = PlacerConfig::default();
@@ -45,17 +51,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })
     .place(&circuit)?;
     let xu = Xu19Placer::default().place(&circuit)?;
-    println!("[Table III] SA:       area {:.1}, HPWL {:.1}, {:.2}s", sa.area, sa.hpwl, sa.anneal_seconds + sa.repair_seconds);
-    println!("[Table III] [11]:     area {:.1}, HPWL {:.1}, {:.2}s", xu.area, xu.hpwl, xu.gp_seconds + xu.dp_seconds);
-    println!("[Table III] ePlace-A: area {:.1}, HPWL {:.1}, {:.2}s\n", soft.area, soft.hpwl, soft.gp_seconds + soft.dp_seconds);
+    println!(
+        "[Table III] SA:       area {:.1}, HPWL {:.1}, {:.2}s",
+        sa.area,
+        sa.hpwl,
+        sa.anneal_seconds + sa.repair_seconds
+    );
+    println!(
+        "[Table III] [11]:     area {:.1}, HPWL {:.1}, {:.2}s",
+        xu.area,
+        xu.hpwl,
+        xu.gp_seconds + xu.dp_seconds
+    );
+    println!(
+        "[Table III] ePlace-A: area {:.1}, HPWL {:.1}, {:.2}s\n",
+        soft.area,
+        soft.hpwl,
+        soft.gp_seconds + soft.dp_seconds
+    );
 
     // Table V/VI flavor: performance-driven placement.
     let evaluator = Evaluator::new(&circuit);
     let (network, dataset) = train_performance_model(
         &circuit,
         &evaluator,
-        &DatasetOptions { samples: 400, ..DatasetOptions::default() },
-        &TrainOptions { epochs: 15, ..TrainOptions::default() },
+        &DatasetOptions {
+            samples: 400,
+            ..DatasetOptions::default()
+        },
+        &TrainOptions {
+            epochs: 15,
+            ..TrainOptions::default()
+        },
     );
     let ap = EPlaceAP::new(
         PlacerConfig::default(),

@@ -81,8 +81,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sa.anneal_seconds + sa.repair_seconds
     );
 
-    for (name, p) in [("ePlace-A", &eplace.placement), ("[11]", &xu19.placement), ("SA", &sa.placement)] {
-        assert!(p.is_legal(&circuit, 1e-6), "{name} produced an illegal placement");
+    for (name, p) in [
+        ("ePlace-A", &eplace.placement),
+        ("[11]", &xu19.placement),
+        ("SA", &sa.placement),
+    ] {
+        assert!(
+            p.is_legal(&circuit, 1e-6),
+            "{name} produced an illegal placement"
+        );
     }
     println!("\nall three placements are legal (non-overlapping, constraints exact)");
     Ok(())

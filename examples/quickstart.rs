@@ -48,6 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in canvas {
         println!("|{}|", row.into_iter().collect::<String>());
     }
-    println!("({}x{} µm bounding box; letters are device-name initials)", w.round(), h.round());
+    println!(
+        "({}x{} µm bounding box; letters are device-name initials)",
+        w.round(),
+        h.round()
+    );
     Ok(())
 }

@@ -44,10 +44,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--netlist" => args.netlist = Some(value("--netlist")?),
             "--constraints" => args.constraints = Some(value("--constraints")?),
@@ -103,7 +100,12 @@ fn place(circuit: &Circuit, engine: &str) -> Result<(Placement, f64, f64, f64), 
             let r = SaPlacer::new(config)
                 .place(circuit)
                 .map_err(|e| e.to_string())?;
-            Ok((r.placement, r.area, r.hpwl, r.anneal_seconds + r.repair_seconds))
+            Ok((
+                r.placement,
+                r.area,
+                r.hpwl,
+                r.anneal_seconds + r.repair_seconds,
+            ))
         }
         other => Err(format!("unknown engine `{other}` (eplace|xu19|sa)")),
     }
@@ -140,10 +142,7 @@ fn main() -> ExitCode {
         }
     };
     println!("area {area:.1} µm², HPWL {hpwl:.1} µm, {seconds:.2}s");
-    println!(
-        "legal: {}",
-        placement.is_legal(&circuit, 1e-6)
-    );
+    println!("legal: {}", placement.is_legal(&circuit, 1e-6));
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, write_placement(&circuit, &placement)) {
             eprintln!("error writing {path}: {e}");

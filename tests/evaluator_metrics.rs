@@ -18,12 +18,30 @@ fn grid(circuit: &Circuit, pitch: f64) -> Placement {
 #[test]
 fn each_class_reports_its_metric_names() {
     let cases: Vec<(Circuit, Vec<&str>)> = vec![
-        (testcases::cc_ota(), vec!["Gain (dB)", "UGF (MHz)", "BW (MHz)", "PM (deg)"]),
-        (testcases::comp1(), vec!["Delay (ns)", "Offset (mV)", "Gain (dB)"]),
-        (testcases::vco1(), vec!["Freq (GHz)", "Tuning (%)", "PN proxy (Ohm)"]),
-        (testcases::adder(), vec!["Accuracy (%)", "BW (MHz)", "Gain err (%)"]),
-        (testcases::vga(), vec!["Gain (dB)", "BW (MHz)", "Step err (dB)"]),
-        (testcases::scf(), vec!["Settling UGF (MHz)", "Cap match (%)", "Ripple (dB)"]),
+        (
+            testcases::cc_ota(),
+            vec!["Gain (dB)", "UGF (MHz)", "BW (MHz)", "PM (deg)"],
+        ),
+        (
+            testcases::comp1(),
+            vec!["Delay (ns)", "Offset (mV)", "Gain (dB)"],
+        ),
+        (
+            testcases::vco1(),
+            vec!["Freq (GHz)", "Tuning (%)", "PN proxy (Ohm)"],
+        ),
+        (
+            testcases::adder(),
+            vec!["Accuracy (%)", "BW (MHz)", "Gain err (%)"],
+        ),
+        (
+            testcases::vga(),
+            vec!["Gain (dB)", "BW (MHz)", "Step err (dB)"],
+        ),
+        (
+            testcases::scf(),
+            vec!["Settling UGF (MHz)", "Cap match (%)", "Ripple (dB)"],
+        ),
     ];
     for (circuit, expected) in cases {
         let report = Evaluator::new(&circuit).evaluate(&circuit, &grid(&circuit, 3.0));

@@ -21,7 +21,10 @@ fn eplace_a_is_legal_on_every_testcase() {
             .place(&circuit)
             .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
         assert!(
-            result.placement.overlapping_pairs(&circuit, 1e-6).is_empty(),
+            result
+                .placement
+                .overlapping_pairs(&circuit, 1e-6)
+                .is_empty(),
             "{}: overlapping devices",
             circuit.name()
         );

@@ -14,7 +14,12 @@ fn every_testcase_survives_file_roundtrip() {
             .unwrap_or_else(|e| panic!("{}: netlist reparse failed: {e}", circuit.name()));
         parse_constraints(&mut parsed, &constraints)
             .unwrap_or_else(|e| panic!("{}: constraint reparse failed: {e}", circuit.name()));
-        assert_eq!(parsed.num_devices(), circuit.num_devices(), "{}", circuit.name());
+        assert_eq!(
+            parsed.num_devices(),
+            circuit.num_devices(),
+            "{}",
+            circuit.name()
+        );
         assert_eq!(parsed.num_nets(), circuit.num_nets(), "{}", circuit.name());
         assert_eq!(
             parsed.constraints().symmetry_groups.len(),
@@ -29,10 +34,14 @@ fn every_testcase_survives_file_roundtrip() {
             circuit.name()
         );
         // Critical-net markings survive.
-        let criticals = |c: &analog_netlist::Circuit| {
-            c.nets().iter().filter(|n| n.critical).count()
-        };
-        assert_eq!(criticals(&parsed), criticals(&circuit), "{}", circuit.name());
+        let criticals =
+            |c: &analog_netlist::Circuit| c.nets().iter().filter(|n| n.critical).count();
+        assert_eq!(
+            criticals(&parsed),
+            criticals(&circuit),
+            "{}",
+            circuit.name()
+        );
     }
 }
 

@@ -8,16 +8,13 @@ use proptest::prelude::*;
 
 /// Builds a random flat netlist text from generated device cards.
 fn arbitrary_netlist() -> impl Strategy<Value = String> {
-    let mos = (1u32..40, 1u32..6, 1u32..6, 1u32..6, prop::bool::ANY).prop_map(
-        |(w, a, b, c, is_n)| {
+    let mos =
+        (1u32..40, 1u32..6, 1u32..6, 1u32..6, prop::bool::ANY).prop_map(|(w, a, b, c, is_n)| {
             let model = if is_n { "nmos" } else { "pmos" };
             format!("n{a} n{b} n{c} gnd {model} W={} L=0.012", w as f64 / 4.0)
-        },
-    );
-    let cap = (1u32..200, 1u32..6, 1u32..6)
-        .prop_map(|(v, a, b)| format!("n{a} n{b} {v}f"));
-    let res = (1u32..50, 1u32..6, 1u32..6)
-        .prop_map(|(v, a, b)| format!("n{a} n{b} {v}k"));
+        });
+    let cap = (1u32..200, 1u32..6, 1u32..6).prop_map(|(v, a, b)| format!("n{a} n{b} {v}f"));
+    let res = (1u32..50, 1u32..6, 1u32..6).prop_map(|(v, a, b)| format!("n{a} n{b} {v}k"));
     (
         prop::collection::vec(mos, 1..6),
         prop::collection::vec(cap, 0..4),
