@@ -1,11 +1,17 @@
-//! Regenerates `BENCH_hotpaths.json`: before/after wall-times for the four
-//! hot paths the engine work optimized (see `benches/hotpaths.rs` for the
+//! Regenerates `BENCH_hotpaths.json`: before/after wall-times for the hot
+//! paths the engine work optimized (see `benches/hotpaths.rs` for the
 //! criterion versions of the same pairs).
 //!
 //! "Before" is the seed implementation, kept in-tree as `*_reference`;
 //! "after" is the shipping path. `--quick` (or `CRITERION_QUICK=1`) cuts
 //! the sample counts for CI smoke runs; pass an output path as the first
 //! non-flag argument to write somewhere other than `./BENCH_hotpaths.json`.
+//!
+//! `--check[=PATH]` additionally compares the measured speedups against a
+//! committed baseline (default `BENCH_hotpaths.json` in the working
+//! directory) and exits nonzero if any kernel's speedup fell to less than
+//! half its committed value — speedups are machine-relative ratios, so the
+//! gate ports across hardware where absolute times would not.
 
 use std::time::Instant;
 
@@ -14,9 +20,90 @@ use eplace::wirelength::{wa_wirelength, wa_wirelength_reference};
 use eplace::DensityGrid;
 use placer_bench::{spiral_positions, synthetic_circuit};
 use placer_numeric::{Grid, PoissonSolver};
-use placer_sa::{anneal, SaConfig};
+use placer_sa::{
+    anneal, anneal_reference, evaluate, BlockModel, MoveEvaluator, PackScratch, SaConfig, SaState,
+    SequencePair,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const GRID: usize = 256;
+
+/// A deterministic permutation of `0..n` (multiplicative-LCG Fisher–Yates).
+fn lcg_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut s = seed;
+    for i in (1..n).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// The annealer's move repertoire, replayed through public API so both
+/// pricing legs of `sa_move` see identical trial streams.
+fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
+    let sp = &mut state.seq_pair;
+    let m = sp.s1.len();
+    match rng.gen_range(0..5) {
+        0 => {
+            let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            sp.s1.swap(i, j);
+        }
+        1 => {
+            let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            sp.s2.swap(i, j);
+        }
+        2 => {
+            let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+            sp.s1.swap(i, j);
+            sp.s2.swap(i, j);
+        }
+        3 => {
+            let i = rng.gen_range(0..m);
+            let j = rng.gen_range(0..m);
+            let d = sp.s1.remove(i);
+            sp.s1.insert(j, d);
+        }
+        _ => {
+            let d = rng.gen_range(0..num_devices);
+            if rng.gen_bool(0.5) {
+                state.flips[d].0 = !state.flips[d].0;
+            } else {
+                state.flips[d].1 = !state.flips[d].1;
+            }
+        }
+    }
+}
+
+/// Extracts `(name, speedup)` pairs from a `BENCH_hotpaths.json` body.
+fn parse_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..nend].to_string();
+        let Some(spos) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let num: String = line[spos + 11..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
 
 struct BenchRow {
     name: &'static str,
@@ -43,6 +130,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick")
         || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+    let check_baseline = args.iter().find_map(|a| {
+        if a == "--check" {
+            Some("BENCH_hotpaths.json".to_string())
+        } else {
+            a.strip_prefix("--check=").map(str::to_string)
+        }
+    });
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -117,7 +211,105 @@ fn main() {
         });
     }
 
-    // --- sa_sweep: four concurrent chains vs the same chains serially. ---
+    // --- sa_pack: O(n log n) Fenwick packing vs the O(n²) seed scan. ----
+    {
+        let n = 2048;
+        let sp = SequencePair {
+            s1: lcg_permutation(n, 0xA5A5_1234),
+            s2: lcg_permutation(n, 0x5A5A_4321),
+            flips: vec![(false, false); n],
+        };
+        let widths: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect();
+        let heights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.8).collect();
+        let mut scratch = PackScratch::new();
+        let mut out = Vec::new();
+        let after = time_median(samples, || {
+            sp.pack_dims_with(&widths, &heights, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        });
+        let before = time_median(samples, || {
+            std::hint::black_box(sp.pack_dims_reference(&widths, &heights));
+        });
+        rows.push(BenchRow {
+            name: "sa_pack",
+            detail: format!("{n} blocks, one packing"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- sa_move: incremental trial pricing vs full recomputation. ------
+    {
+        let circuit = testcases::cc_ota();
+        let model = BlockModel::new(&circuit);
+        let cfg = SaConfig::default();
+        let n = circuit.num_devices();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state = SaState {
+            seq_pair: SequencePair::identity(model.len()),
+            flips: vec![(false, false); n],
+        };
+        for _ in 0..4 * model.len() {
+            random_move(&mut state, n, &mut rng);
+        }
+        let mut evaluator = MoveEvaluator::new(&circuit, &model, &cfg, &state, None);
+        let mut trial = state.clone();
+        let moves = 1000;
+        // Both legs price the exact same 1000 unaccepted trial moves.
+        let after = time_median(samples, || {
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..moves {
+                trial.copy_from(&state);
+                random_move(&mut trial, n, &mut rng);
+                std::hint::black_box(evaluator.eval_trial(&trial));
+            }
+        });
+        let before = time_median(samples, || {
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..moves {
+                trial.copy_from(&state);
+                random_move(&mut trial, n, &mut rng);
+                std::hint::black_box(evaluate(&circuit, &model, &trial, &cfg, None));
+            }
+        });
+        rows.push(BenchRow {
+            name: "sa_move",
+            detail: format!("cc_ota, {moves} trial moves"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- sa_sweep: incremental annealer vs the full-recompute seed, -----
+    // --- single-threaded so the ratio is purely algorithmic.        -----
+    {
+        let circuit = testcases::cc_ota();
+        // The production budget (SaConfig::default): 120 levels x 160
+        // moves per chain, so per-chain setup amortizes the way a real
+        // placement run amortizes it.
+        let cfg = SaConfig {
+            chains: 4,
+            ..SaConfig::default()
+        };
+        let sa_samples = if quick { 2 } else { 5 };
+        placer_parallel::set_max_threads(1);
+        let before = time_median(sa_samples, || {
+            std::hint::black_box(anneal_reference(&circuit, &cfg, None));
+        });
+        let after = time_median(sa_samples, || {
+            std::hint::black_box(anneal(&circuit, &cfg, None));
+        });
+        placer_parallel::set_max_threads(0);
+        rows.push(BenchRow {
+            name: "sa_sweep",
+            detail: "cc_ota, 4 chains x 19200 moves (full recompute vs incremental)".to_string(),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- sa_chains: the same incremental run, 1 thread vs 4 requested ---
+    // --- worker threads (≈1.0x on single-core hosts — honest number). ---
     {
         let circuit = testcases::cc_ota();
         let cfg = SaConfig {
@@ -131,13 +323,14 @@ fn main() {
         let before = time_median(sa_samples, || {
             std::hint::black_box(anneal(&circuit, &cfg, None));
         });
-        placer_parallel::set_max_threads(0);
+        placer_parallel::set_max_threads(4);
         let after = time_median(sa_samples, || {
             std::hint::black_box(anneal(&circuit, &cfg, None));
         });
+        placer_parallel::set_max_threads(0);
         rows.push(BenchRow {
-            name: "sa_sweep",
-            detail: "cc_ota, 4 chains x 1000 moves (serial vs threaded)".to_string(),
+            name: "sa_chains",
+            detail: "cc_ota, 4 chains, 1 thread vs 4 requested threads".to_string(),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
         });
@@ -165,6 +358,35 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write BENCH_hotpaths.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpaths.json");
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_baseline {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let committed = parse_speedups(&baseline);
+        let current = parse_speedups(&json);
+        let mut failed = false;
+        for (name, want) in &committed {
+            let Some((_, got)) = current.iter().find(|(n, _)| n == name) else {
+                println!("check: kernel {name} missing from current run");
+                failed = true;
+                continue;
+            };
+            // Ratios, not absolute times: a kernel fails only if its
+            // speedup collapsed to less than half the committed value.
+            if *got < want / 2.0 {
+                println!(
+                    "check: {name} regressed — committed speedup {want:.2}x, measured {got:.2}x"
+                );
+                failed = true;
+            } else {
+                println!("check: {name} ok ({got:.2}x vs committed {want:.2}x)");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check: all kernels within 2x of committed speedups");
+    }
 }

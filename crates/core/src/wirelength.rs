@@ -127,8 +127,20 @@ const NET_BLOCKS: usize = 16;
 /// machinery would dominate).
 const NET_BLOCK_THRESHOLD: usize = 64;
 
-fn net_blocks(n_nets: usize) -> usize {
-    if n_nets >= NET_BLOCK_THRESHOLD {
+/// Devices below this count run as a single block regardless of net count.
+///
+/// Every block carries a `2·n_devices` partial-gradient buffer (zeroed,
+/// filled, then reduced in block order), so the fan-out overhead scales
+/// with the *device* count while the useful work scales with pins per
+/// block. Below this point the partials cost more than the accumulation
+/// they split — the seed benched 0.87× at 4096 devices — so the spread
+/// falls back to the direct single-buffer path. Both thresholds depend
+/// only on problem size, never on threads, preserving bit-identical
+/// results for any thread count.
+const DEVICE_BLOCK_THRESHOLD: usize = 8192;
+
+fn net_blocks(n_nets: usize, n_devices: usize) -> usize {
+    if n_nets >= NET_BLOCK_THRESHOLD && n_devices >= DEVICE_BLOCK_THRESHOLD {
         NET_BLOCKS
     } else {
         1
@@ -205,7 +217,7 @@ pub fn smoothed_wirelength(
         crate::Smoothing::Lse => lse_spread_with_grad,
     };
     let n_nets = circuit.nets().len();
-    let blocks = placer_parallel::fixed_blocks(n_nets, net_blocks(n_nets));
+    let blocks = placer_parallel::fixed_blocks(n_nets, net_blocks(n_nets, n));
     if blocks.len() <= 1 {
         return accumulate_nets(circuit, positions, gamma, spread, 0..n_nets, grad);
     }

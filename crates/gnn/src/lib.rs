@@ -43,5 +43,5 @@ pub use graph::{
     CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS,
 };
 pub use matrix::Matrix;
-pub use network::{Forward, Network, ParamGrads};
+pub use network::{Forward, InferenceScratch, Network, ParamGrads};
 pub use train::{TrainOptions, Trainer, TrainingSample};

@@ -116,8 +116,26 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self × rhs` written into a caller-owned matrix,
+    /// allocation-free and bit-identical to [`matmul`](Self::matmul)
+    /// (same accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        out.data.iter_mut().for_each(|v| *v = 0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self.data[i * self.cols + k];
@@ -129,7 +147,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose.

@@ -54,6 +54,59 @@ pub struct Forward {
     pub phi: f64,
 }
 
+/// Caller-owned activation buffers for allocation-free inference.
+///
+/// [`Network::predict_with`] runs the same forward pass as
+/// [`Network::forward`] — bit-identical Φ — but writes every intermediate
+/// into this scratch instead of allocating, which is what lets a
+/// performance-driven SA cost loop infer Φ on every trial move without
+/// touching the heap (enforced by `crates/sa/tests/zero_alloc.rs`).
+#[derive(Debug, Clone)]
+pub struct InferenceScratch {
+    /// `Â X`, `n × FEATURES`.
+    ax: Matrix,
+    /// First addend of a graph-conv pre-activation, `n × hidden`.
+    t1: Matrix,
+    /// Second addend of a graph-conv pre-activation, `n × hidden`.
+    t2: Matrix,
+    /// First conv activations, `n × hidden`.
+    h1: Matrix,
+    /// `Â H1`, `n × hidden`.
+    ah1: Matrix,
+    /// Second conv activations, `n × hidden`.
+    h2: Matrix,
+    /// Readout mean, `hidden`.
+    g: Vec<f64>,
+    /// Dense activations, `dense`.
+    h3: Vec<f64>,
+}
+
+impl InferenceScratch {
+    /// Allocates scratch for a network and a node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(network: &Network, num_nodes: usize) -> Self {
+        let (h, d) = (network.hidden, network.dense);
+        Self {
+            ax: Matrix::zeros(num_nodes, FEATURES),
+            t1: Matrix::zeros(num_nodes, h),
+            t2: Matrix::zeros(num_nodes, h),
+            h1: Matrix::zeros(num_nodes, h),
+            ah1: Matrix::zeros(num_nodes, h),
+            h2: Matrix::zeros(num_nodes, h),
+            g: vec![0.0; h],
+            h3: vec![0.0; d],
+        }
+    }
+
+    /// Number of graph nodes this scratch is sized for.
+    pub fn num_nodes(&self) -> usize {
+        self.ax.rows()
+    }
+}
+
 /// Gradients with respect to every parameter (same shapes as the network).
 #[derive(Debug, Clone)]
 pub struct ParamGrads {
@@ -153,6 +206,64 @@ impl Network {
     /// Convenience: forward pass returning only Φ.
     pub fn predict(&self, graph: &CircuitGraph) -> f64 {
         self.forward(graph).phi
+    }
+
+    /// Allocation-free forward pass: Φ computed into `scratch`.
+    ///
+    /// Performs the arithmetic of [`forward`](Self::forward) in the same
+    /// floating-point order, so the result is bit-identical to
+    /// [`predict`](Self::predict); after `scratch` is warm the call makes
+    /// no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different node count or network
+    /// architecture.
+    pub fn predict_with(&self, graph: &CircuitGraph, scratch: &mut InferenceScratch) -> f64 {
+        let x = &graph.features;
+        graph.adjacency.matmul_into(x, &mut scratch.ax);
+        // Layer 1: h1 = tanh((ÂX)W1 + XW2 + b1), summed in the same order
+        // as the allocating path's add / add_row_broadcast chain.
+        scratch.ax.matmul_into(&self.w1, &mut scratch.t1);
+        x.matmul_into(&self.w2, &mut scratch.t2);
+        for i in 0..x.rows() {
+            for j in 0..self.hidden {
+                let z = scratch.t1.get(i, j) + scratch.t2.get(i, j) + self.b1[j];
+                scratch.h1.set(i, j, z.tanh());
+            }
+        }
+        // Layer 2: h2 = tanh((ÂH1)W3 + H1W4 + b2).
+        graph.adjacency.matmul_into(&scratch.h1, &mut scratch.ah1);
+        scratch.ah1.matmul_into(&self.w3, &mut scratch.t1);
+        scratch.h1.matmul_into(&self.w4, &mut scratch.t2);
+        for i in 0..x.rows() {
+            for j in 0..self.hidden {
+                let z = scratch.t1.get(i, j) + scratch.t2.get(i, j) + self.b2[j];
+                scratch.h2.set(i, j, z.tanh());
+            }
+        }
+        // Readout + dense head, scalar loops as in `forward`.
+        scratch.g.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..x.rows() {
+            for k in 0..self.hidden {
+                scratch.g[k] += scratch.h2.get(i, k);
+            }
+        }
+        for v in scratch.g.iter_mut() {
+            *v /= x.rows() as f64;
+        }
+        for j in 0..self.dense {
+            let mut z = self.b3[j];
+            for k in 0..self.hidden {
+                z += scratch.g[k] * self.w5.get(k, j);
+            }
+            scratch.h3[j] = z.tanh();
+        }
+        let mut z4 = self.b4;
+        for j in 0..self.dense {
+            z4 += scratch.h3[j] * self.w6.get(j, 0);
+        }
+        1.0 / (1.0 + (-z4).exp())
     }
 
     /// Backward pass from a scalar seed `dL/dz4` (the logit gradient).
@@ -528,6 +639,28 @@ mod tests {
                 "device {dev}: numeric {numeric} vs analytic {}",
                 grads[dev].0
             );
+        }
+    }
+
+    #[test]
+    fn predict_with_is_bit_identical_to_predict() {
+        let c = testcases::cc_ota();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i % 5) as f64 * 1.9, (i / 5) as f64 * 2.2);
+        }
+        let mut g = CircuitGraph::new(&c, &p, 15.0);
+        let net = Network::default_config(21);
+        let mut scratch = InferenceScratch::new(&net, g.num_nodes());
+        assert_eq!(scratch.num_nodes(), g.num_nodes());
+        // Across several position updates the scratch path must track the
+        // allocating path exactly.
+        for step in 0..4 {
+            p.positions[step] = (p.positions[step].0 + 0.37, p.positions[step].1 - 0.11);
+            g.update_positions(&p);
+            let reference = net.predict(&g);
+            let fast = net.predict_with(&g, &mut scratch);
+            assert_eq!(reference.to_bits(), fast.to_bits(), "step {step}");
         }
     }
 

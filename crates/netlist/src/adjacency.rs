@@ -1,0 +1,149 @@
+//! Device → net incidence index for incremental wirelength engines.
+
+use crate::{Circuit, DeviceId};
+
+/// CSR device→net adjacency over the **routable** nets of a circuit.
+///
+/// Built once per circuit, this answers "which net HPWL terms does moving
+/// device `d` invalidate?" in O(degree) with no allocation — the lookup an
+/// incremental (delta-HPWL) cost engine performs on every trial move. Nets
+/// are deduplicated per device (a device with several pins on one net lists
+/// it once) and stored in ascending net order.
+///
+/// # Examples
+///
+/// ```
+/// use analog_netlist::{testcases, DeviceNets};
+///
+/// let circuit = testcases::cc_ota();
+/// let index = DeviceNets::new(&circuit);
+/// for (id, _) in circuit.device_ids() {
+///     for &net in index.nets_of(id) {
+///         assert!(circuit.nets()[net as usize].is_routable());
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceNets {
+    /// Row starts, one per device plus the final end (CSR offsets).
+    starts: Vec<u32>,
+    /// Concatenated routable-net indices.
+    nets: Vec<u32>,
+}
+
+impl DeviceNets {
+    /// Builds the incidence index for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_devices();
+        let mut counts = vec![0u32; n + 1];
+        let mut last_net = vec![u32::MAX; n];
+        for (ni, net) in circuit.nets().iter().enumerate() {
+            if !net.is_routable() {
+                continue;
+            }
+            for p in &net.pins {
+                let d = p.device.index();
+                // Net indices are unique per net, so this marker dedups a
+                // device's repeated pins anywhere within the current net.
+                if last_net[d] != ni as u32 {
+                    last_net[d] = ni as u32;
+                    counts[d + 1] += 1;
+                }
+            }
+        }
+        for d in 0..n {
+            counts[d + 1] += counts[d];
+        }
+        let mut nets = vec![0u32; counts[n] as usize];
+        let mut cursor = counts.clone();
+        last_net.iter_mut().for_each(|v| *v = u32::MAX);
+        for (ni, net) in circuit.nets().iter().enumerate() {
+            if !net.is_routable() {
+                continue;
+            }
+            for p in &net.pins {
+                let d = p.device.index();
+                if last_net[d] != ni as u32 {
+                    last_net[d] = ni as u32;
+                    nets[cursor[d] as usize] = ni as u32;
+                    cursor[d] += 1;
+                }
+            }
+        }
+        Self {
+            starts: counts,
+            nets,
+        }
+    }
+
+    /// The routable nets incident to one device, as indices into
+    /// [`Circuit::nets`], ascending and deduplicated.
+    pub fn nets_of(&self, device: DeviceId) -> &[u32] {
+        let d = device.index();
+        &self.nets[self.starts[d] as usize..self.starts[d + 1] as usize]
+    }
+
+    /// Number of devices indexed.
+    pub fn num_devices(&self) -> usize {
+        self.starts.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcases;
+
+    #[test]
+    fn covers_every_routable_pin_exactly_once() {
+        for circuit in testcases::all_testcases() {
+            let index = DeviceNets::new(&circuit);
+            assert_eq!(index.num_devices(), circuit.num_devices());
+            for (ni, net) in circuit.nets().iter().enumerate() {
+                for p in &net.pins {
+                    let listed = index.nets_of(p.device).contains(&(ni as u32));
+                    assert_eq!(
+                        listed,
+                        net.is_routable(),
+                        "{}: net {ni} device {:?}",
+                        circuit.name(),
+                        p.device
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduplicated() {
+        for circuit in testcases::all_testcases() {
+            let index = DeviceNets::new(&circuit);
+            for (id, _) in circuit.device_ids() {
+                let row = index.nets_of(id);
+                for w in row.windows(2) {
+                    assert!(
+                        w[0] < w[1],
+                        "{}: row not strictly ascending",
+                        circuit.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_membership_matches_pin_incidence() {
+        let circuit = testcases::cc_ota();
+        let index = DeviceNets::new(&circuit);
+        for (id, d) in circuit.device_ids() {
+            for &ni in index.nets_of(id) {
+                let net = &circuit.nets()[ni as usize];
+                assert!(
+                    net.pins.iter().any(|p| p.device == id),
+                    "device {} listed on net {ni} without a pin",
+                    d.name
+                );
+            }
+        }
+    }
+}

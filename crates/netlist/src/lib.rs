@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adjacency;
 mod circuit;
 mod constraint;
 mod device;
@@ -38,6 +39,7 @@ mod placement;
 pub mod svg;
 pub mod testcases;
 
+pub use adjacency::DeviceNets;
 pub use circuit::{Circuit, CircuitBuilder, CircuitClass};
 pub use constraint::{
     AlignKind, Alignment, Axis, ConstraintSet, OrderDirection, Ordering, SymmetryGroup,

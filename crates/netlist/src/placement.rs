@@ -68,21 +68,29 @@ impl Placement {
             .nets()
             .iter()
             .filter(|n| n.is_routable())
-            .map(|n| {
-                let mut xmin = f64::INFINITY;
-                let mut xmax = f64::NEG_INFINITY;
-                let mut ymin = f64::INFINITY;
-                let mut ymax = f64::NEG_INFINITY;
-                for p in &n.pins {
-                    let (x, y) = self.pin_position(circuit, p.device, p.pin.index());
-                    xmin = xmin.min(x);
-                    xmax = xmax.max(x);
-                    ymin = ymin.min(y);
-                    ymax = ymax.max(y);
-                }
-                n.weight * ((xmax - xmin) + (ymax - ymin))
-            })
+            .map(|n| self.net_hpwl(circuit, n))
             .sum()
+    }
+
+    /// Weighted half-perimeter wirelength of one net.
+    ///
+    /// [`hpwl`](Self::hpwl) is exactly the sum of this over the routable
+    /// nets in net order, which is what lets incremental engines cache
+    /// per-net values and re-sum them bit-identically after recomputing
+    /// only the nets whose devices moved.
+    pub fn net_hpwl(&self, circuit: &Circuit, net: &crate::Net) -> f64 {
+        let mut xmin = f64::INFINITY;
+        let mut xmax = f64::NEG_INFINITY;
+        let mut ymin = f64::INFINITY;
+        let mut ymax = f64::NEG_INFINITY;
+        for p in &net.pins {
+            let (x, y) = self.pin_position(circuit, p.device, p.pin.index());
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        net.weight * ((xmax - xmin) + (ymax - ymin))
     }
 
     /// Bounding box `(xmin, ymin, xmax, ymax)` of all device outlines.

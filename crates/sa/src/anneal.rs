@@ -14,6 +14,7 @@ use placer_gnn::{CircuitGraph, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::evaluator::MoveEvaluator;
 use crate::island::BlockModel;
 use crate::seqpair::SequencePair;
 
@@ -89,6 +90,19 @@ pub struct SaState {
     pub flips: Vec<(bool, bool)>,
 }
 
+impl SaState {
+    /// Copies another state of the same shape into `self` without
+    /// allocating (the annealer's per-move trial reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on block or device count.
+    pub fn copy_from(&mut self, other: &SaState) {
+        self.seq_pair.copy_from(&other.seq_pair);
+        self.flips.copy_from_slice(&other.flips);
+    }
+}
+
 /// Evaluates the SA cost of a state.
 pub fn evaluate(
     circuit: &Circuit,
@@ -137,17 +151,47 @@ pub struct AnnealResult {
     pub moves: usize,
 }
 
-fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
+/// A reversible record of one [`apply_move`] mutation, letting a rejected
+/// trial roll back in O(1) instead of recopying the committed state.
+#[derive(Debug, Clone, Copy)]
+enum MoveRec {
+    /// Positions swapped in Γ⁺.
+    SwapS1(usize, usize),
+    /// Positions swapped in Γ⁻.
+    SwapS2(usize, usize),
+    /// Positions swapped in both sequences (same two blocks).
+    SwapBoth {
+        /// Swapped positions in Γ⁺.
+        s1: (usize, usize),
+        /// Swapped positions in Γ⁻.
+        s2: (usize, usize),
+    },
+    /// Block removed at `.0` and reinserted at `.1` in Γ⁺.
+    Relocate(usize, usize),
+    /// Device x-flip toggled.
+    FlipX(usize),
+    /// Device y-flip toggled.
+    FlipY(usize),
+}
+
+/// Applies one random move in place and returns its undo record.
+///
+/// This is the annealer's single source of move truth — the RNG draw
+/// pattern here defines the chain's stream, and [`random_move`] is a thin
+/// wrapper that discards the record.
+fn apply_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) -> MoveRec {
     let sp = &mut state.seq_pair;
     let m = sp.s1.len();
     match rng.gen_range(0..5) {
         0 if m >= 2 => {
             let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
             sp.s1.swap(i, j);
+            MoveRec::SwapS1(i, j)
         }
         1 if m >= 2 => {
             let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
             sp.s2.swap(i, j);
+            MoveRec::SwapS2(i, j)
         }
         2 if m >= 2 => {
             // Swap the same two blocks in both sequences.
@@ -162,6 +206,10 @@ fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
                 sp.s2.iter().position(|&d| d == b).expect("present"),
             );
             sp.s2.swap(pa2, pb2);
+            MoveRec::SwapBoth {
+                s1: (pa1, pb1),
+                s2: (pa2, pb2),
+            }
         }
         3 if m >= 2 => {
             // Relocate one block within Γ⁺.
@@ -169,16 +217,45 @@ fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
             let j = rng.gen_range(0..m);
             let d = sp.s1.remove(i);
             sp.s1.insert(j, d);
+            MoveRec::Relocate(i, j)
         }
         _ => {
             let d = rng.gen_range(0..num_devices);
             if rng.gen_bool(0.5) {
                 state.flips[d].0 = !state.flips[d].0;
+                MoveRec::FlipX(d)
             } else {
                 state.flips[d].1 = !state.flips[d].1;
+                MoveRec::FlipY(d)
             }
         }
     }
+}
+
+/// Reverts the mutation recorded by [`apply_move`].
+fn undo_move(state: &mut SaState, rec: MoveRec) {
+    let sp = &mut state.seq_pair;
+    match rec {
+        MoveRec::SwapS1(i, j) => sp.s1.swap(i, j),
+        MoveRec::SwapS2(i, j) => sp.s2.swap(i, j),
+        MoveRec::SwapBoth {
+            s1: (a1, b1),
+            s2: (a2, b2),
+        } => {
+            sp.s1.swap(a1, b1);
+            sp.s2.swap(a2, b2);
+        }
+        MoveRec::Relocate(i, j) => {
+            let d = sp.s1.remove(j);
+            sp.s1.insert(i, d);
+        }
+        MoveRec::FlipX(d) => state.flips[d].0 = !state.flips[d].0,
+        MoveRec::FlipY(d) => state.flips[d].1 = !state.flips[d].1,
+    }
+}
+
+pub(crate) fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
+    let _ = apply_move(state, num_devices, rng);
 }
 
 /// Derives the RNG seed of one chain from the base seed.
@@ -204,25 +281,46 @@ fn chain_seed(seed: u64, chain: usize) -> u64 {
 /// With `config.chains > 1` the independent chains run concurrently (see
 /// [`SaConfig::chains`]); `moves` in the result counts attempts across
 /// *all* chains.
-pub fn anneal(
+pub fn anneal(circuit: &Circuit, config: &SaConfig, perf: Option<PerfCost<'_>>) -> AnnealResult {
+    anneal_multi(circuit, config, perf, anneal_chain)
+}
+
+/// Full-recompute annealer kept as the oracle for the incremental engine.
+///
+/// Runs the exact same chain (identical RNG stream, identical
+/// floating-point evaluation order) but prices every trial move with the
+/// whole-circuit [`evaluate`] instead of [`MoveEvaluator`]. Fixed seeds
+/// produce bit-identical results to [`anneal`]; the property tests and the
+/// `sa_sweep` benchmark lean on that.
+pub fn anneal_reference(
+    circuit: &Circuit,
+    config: &SaConfig,
+    perf: Option<PerfCost<'_>>,
+) -> AnnealResult {
+    anneal_multi(circuit, config, perf, anneal_chain_reference)
+}
+
+/// Multi-chain dispatch shared by [`anneal`] and [`anneal_reference`].
+fn anneal_multi(
     circuit: &Circuit,
     config: &SaConfig,
     mut perf: Option<PerfCost<'_>>,
+    chain: fn(&Circuit, &SaConfig, Option<PerfCost<'_>>, u64) -> AnnealResult,
 ) -> AnnealResult {
     let chains = config.chains.max(1);
     if chains == 1 {
-        return anneal_chain(circuit, config, perf.take(), config.seed);
+        return chain(circuit, config, perf.take(), config.seed);
     }
     // PerfCost borrows the network immutably, so every chain can share it;
     // each chain rebuilds its own CircuitGraph scratch internally.
     let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
-    let results = placer_parallel::par_map(chains, |chain| {
+    let results = placer_parallel::par_map(chains, |index| {
         let chain_perf = perf_parts.map(|(network, weight, scale)| PerfCost {
             network,
             weight,
             scale,
         });
-        anneal_chain(circuit, config, chain_perf, chain_seed(config.seed, chain))
+        chain(circuit, config, chain_perf, chain_seed(config.seed, index))
     });
     // Pick the winner in chain order (strict `<`, so ties break toward the
     // lowest chain index) — deterministic for any thread count.
@@ -239,8 +337,111 @@ pub fn anneal(
     best
 }
 
-/// One annealing chain with an explicit RNG seed.
+/// One annealing chain with an explicit RNG seed, priced incrementally.
+///
+/// Same move/acceptance/RNG structure as [`anneal_chain_reference`], but a
+/// [`MoveEvaluator`] owns all scratch, so the inner loop does O(changed
+/// work) per trial and never allocates.
 fn anneal_chain(
+    circuit: &Circuit,
+    config: &SaConfig,
+    mut perf: Option<PerfCost<'_>>,
+    seed: u64,
+) -> AnnealResult {
+    let n = circuit.num_devices();
+    let model = BlockModel::new(circuit);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = SaState {
+        seq_pair: SequencePair::identity(model.len()),
+        flips: vec![(false, false); n],
+    };
+    // Shuffle the start deterministically.
+    for _ in 0..4 * model.len() {
+        random_move(&mut state, n, &mut rng);
+    }
+
+    let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
+    let perf_weight = perf_parts.map(|(_, weight, _)| weight).unwrap_or(0.0);
+    let mut evaluator = MoveEvaluator::new(
+        circuit,
+        &model,
+        config,
+        &state,
+        perf_parts.map(|(network, _, scale)| (network, scale)),
+    );
+    // `MoveEvaluator` reports the oracle cost (Φ unweighted in the total);
+    // fold the perf weight in exactly where the reference chain does.
+    let with_perf = |mut cost: SaCost| -> SaCost {
+        cost.total += perf_weight * cost.phi;
+        cost
+    };
+
+    let mut cost = with_perf(evaluator.cost());
+
+    // Sample uphill deltas for the initial temperature. The probe drifts
+    // several moves from the committed state without accepting; the
+    // evaluator diffs each trial against the committed packing, so stacked
+    // moves are priced correctly.
+    let mut trial = state.clone();
+    let mut deltas = Vec::new();
+    for _ in 0..30 {
+        random_move(&mut trial, n, &mut rng);
+        let c = with_perf(evaluator.eval_trial(&trial));
+        let d = c.total - cost.total;
+        if d > 0.0 {
+            deltas.push(d);
+        }
+    }
+    let mut temperature = if deltas.is_empty() {
+        cost.total.abs() * 0.05 + 1.0
+    } else {
+        deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
+    };
+
+    let mut best_state = state.clone();
+    let mut best_placement = evaluator.placement().clone();
+    let mut best_cost = cost;
+    let mut moves = 0usize;
+
+    // Re-sync the trial after the probe drift; from here it mirrors the
+    // evaluator's committed state between moves, so a rejected trial rolls
+    // back with an O(1) undo instead of a full state copy.
+    trial.copy_from(&state);
+    for _level in 0..config.temperatures {
+        for _ in 0..config.moves_per_temperature {
+            moves += 1;
+            let rec = apply_move(&mut trial, n, &mut rng);
+            let cand_cost = with_perf(evaluator.eval_trial(&trial));
+            let delta = cand_cost.total - cost.total;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                evaluator.accept();
+                cost = cand_cost;
+                if cost.total < best_cost.total {
+                    best_state.copy_from(&trial);
+                    best_placement
+                        .positions
+                        .copy_from_slice(&evaluator.placement().positions);
+                    best_placement
+                        .flips
+                        .copy_from_slice(&evaluator.placement().flips);
+                    best_cost = cost;
+                }
+            } else {
+                undo_move(&mut trial, rec);
+            }
+        }
+        temperature *= config.cooling;
+    }
+    AnnealResult {
+        state: best_state,
+        placement: best_placement,
+        cost: best_cost,
+        moves,
+    }
+}
+
+/// One annealing chain priced by full recomputation (the seed behavior).
+fn anneal_chain_reference(
     circuit: &Circuit,
     config: &SaConfig,
     mut perf: Option<PerfCost<'_>>,
@@ -449,6 +650,45 @@ mod tests {
         assert_eq!(serial.placement, threaded.placement);
         assert_eq!(serial.state, threaded.state);
         assert_eq!(serial.moves, threaded.moves);
+    }
+
+    #[test]
+    fn incremental_annealer_matches_full_recompute_reference() {
+        // The tentpole claim: switching to the incremental engine changes
+        // wall time, not placements. Same seed → bit-identical results.
+        for circuit in [testcases::adder(), testcases::cc_ota()] {
+            let cfg = SaConfig {
+                chains: 2,
+                ..quick_config()
+            };
+            let fast = anneal(&circuit, &cfg, None);
+            let slow = anneal_reference(&circuit, &cfg, None);
+            assert_eq!(
+                fast.cost.total.to_bits(),
+                slow.cost.total.to_bits(),
+                "{}: cost diverged",
+                circuit.name()
+            );
+            assert_eq!(fast.placement, slow.placement, "{}", circuit.name());
+            assert_eq!(fast.state, slow.state, "{}", circuit.name());
+            assert_eq!(fast.moves, slow.moves, "{}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn incremental_annealer_matches_reference_with_perf_term() {
+        let c = testcases::adder();
+        let network = Network::default_config(3);
+        let perf = || PerfCost {
+            network: &network,
+            weight: 50.0,
+            scale: 20.0,
+        };
+        let fast = anneal(&c, &quick_config(), Some(perf()));
+        let slow = anneal_reference(&c, &quick_config(), Some(perf()));
+        assert_eq!(fast.cost.total.to_bits(), slow.cost.total.to_bits());
+        assert_eq!(fast.cost.phi.to_bits(), slow.cost.phi.to_bits());
+        assert_eq!(fast.placement, slow.placement);
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! Incremental SA move evaluation: amortized O(changed work) per trial.
+//!
+//! The seed annealer re-ran the full cost pipeline on every trial move —
+//! O(n²) sequence-pair packing, a whole-circuit HPWL scan, a fresh
+//! [`Placement`] and (for perf-SA) an allocating GNN forward pass.
+//! [`MoveEvaluator`] owns every buffer that pipeline needs and updates only
+//! what a move invalidates:
+//!
+//! - packing runs the O(n log n) Fenwick path into a reused origin buffer
+//!   ([`SequencePair::pack_dims_with`]);
+//! - block origins are diffed bit-wise against the committed packing; only
+//!   devices of moved blocks (plus devices whose flips changed) are dirty;
+//! - per-net HPWL terms are cached and recomputed for dirty nets only (via
+//!   the [`DeviceNets`] incidence index), then re-summed in net order so
+//!   the total is **bit-identical** to [`Placement::hpwl`] — caches never
+//!   drift;
+//! - per-constraint (alignment / ordering-window) violations are cached the
+//!   same way;
+//! - Φ inference reuses a [`placer_gnn::InferenceScratch`], so perf-SA's
+//!   dominant term stops allocating per move.
+//!
+//! The full-recompute [`crate::evaluate`] stays in-tree as the oracle: a
+//! property test drives random move/accept/reject sequences and asserts
+//! the incremental cost stays bit-identical to it, and
+//! `crates/sa/tests/zero_alloc.rs` pins the no-allocation contract with a
+//! counting global allocator.
+
+use analog_netlist::{AlignKind, Circuit, DeviceNets, OrderDirection, Placement};
+use placer_gnn::{CircuitGraph, InferenceScratch, Network};
+
+use crate::anneal::{SaConfig, SaCost, SaState};
+use crate::island::BlockModel;
+use crate::seqpair::PackScratch;
+
+/// One pin of a net, flattened for the delta-HPWL hot loop: the device
+/// index plus precomputed half-dims and both flip-resolved offsets, laid
+/// out contiguously so recomputing a dirty net never chases a [`Device`]
+/// pointer. `xp_flip`/`yp_flip` are [`analog_netlist::Device::pin_offset_flipped`]'s
+/// flipped branch (`width - xp` / `height - yp`) evaluated once.
+#[derive(Debug, Clone, Copy)]
+struct FlatPin {
+    dev: u32,
+    halfw: f64,
+    halfh: f64,
+    xp: f64,
+    xp_flip: f64,
+    yp: f64,
+    yp_flip: f64,
+}
+
+/// One alignment constraint with the devices' half-heights baked in.
+#[derive(Debug, Clone, Copy)]
+struct FlatAlign {
+    a: u32,
+    b: u32,
+    ha: f64,
+    hb: f64,
+    kind: AlignKind,
+}
+
+/// One ordering-chain window `(predecessor, successor)` with the two
+/// half-extents along the ordering axis baked in.
+#[derive(Debug, Clone, Copy)]
+struct FlatWindow {
+    a: u32,
+    b: u32,
+    ea: f64,
+    eb: f64,
+    direction: OrderDirection,
+}
+
+/// GNN state for the performance term Φ.
+struct PerfEngine<'a> {
+    network: &'a Network,
+    graph: CircuitGraph,
+    scratch: InferenceScratch,
+}
+
+impl std::fmt::Debug for PerfEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfEngine")
+            .field("nodes", &self.graph.num_nodes())
+            .finish()
+    }
+}
+
+/// The incremental cost engine for one annealing chain.
+///
+/// Holds a *committed* evaluation (state caches + [`SaCost`]) and a trial
+/// buffer set. [`eval_trial`](Self::eval_trial) prices any candidate state
+/// against the committed one without touching it;
+/// [`accept`](Self::accept) promotes the last trial by buffer swap. After
+/// construction the trial/accept cycle performs **no heap allocation**.
+///
+/// Costs are bit-identical to the full-recompute oracle
+/// [`crate::evaluate`] (same floating-point evaluation order everywhere),
+/// so switching the annealer to this engine changes wall time, not
+/// placements.
+#[derive(Debug)]
+pub struct MoveEvaluator<'a> {
+    model: &'a BlockModel,
+    hpwl_weight: f64,
+    penalty_weight: f64,
+
+    // Static per-circuit structure.
+    widths: Vec<f64>,
+    heights: Vec<f64>,
+    /// Per-device outline half-dims (exact halves, so the area bounding
+    /// box matches [`Placement::bounding_box`] bit-for-bit).
+    halfw: Vec<f64>,
+    halfh: Vec<f64>,
+    device_nets: DeviceNets,
+    /// Routable net indices in net order (the HPWL sum order).
+    routable: Vec<u32>,
+    /// CSR offsets into `net_pins`, one row per net.
+    net_pin_start: Vec<u32>,
+    net_pins: Vec<FlatPin>,
+    net_weight: Vec<f64>,
+    /// Flattened alignment constraints.
+    aligns: Vec<FlatAlign>,
+    /// Flattened ordering-chain windows.
+    windows: Vec<FlatWindow>,
+    /// Device → alignment-constraint indices.
+    dev_aligns: Vec<Vec<u32>>,
+    /// Device → window indices.
+    dev_windows: Vec<Vec<u32>>,
+
+    // Committed evaluation.
+    /// Committed sequence pair (detects flip-only candidates, whose
+    /// packing is reusable bit-for-bit).
+    c_s1: Vec<usize>,
+    c_s2: Vec<usize>,
+    origins: Vec<(f64, f64)>,
+    placement: Placement,
+    net_vals: Vec<f64>,
+    align_vals: Vec<f64>,
+    window_vals: Vec<f64>,
+    cost: SaCost,
+
+    // Trial buffers.
+    t_s1: Vec<usize>,
+    t_s2: Vec<usize>,
+    t_origins: Vec<(f64, f64)>,
+    t_placement: Placement,
+    t_net_vals: Vec<f64>,
+    t_align_vals: Vec<f64>,
+    t_window_vals: Vec<f64>,
+    t_cost: SaCost,
+
+    // Scratch.
+    pack: PackScratch,
+    dirty: Vec<u32>,
+    net_mark: Vec<u64>,
+    align_mark: Vec<u64>,
+    window_mark: Vec<u64>,
+    epoch: u64,
+
+    perf: Option<PerfEngine<'a>>,
+}
+
+impl<'a> MoveEvaluator<'a> {
+    /// Builds the engine and fully evaluates (commits) `state`.
+    ///
+    /// `perf` is `(network, scale)` for the Φ term; the *weight* of Φ in
+    /// the annealer's acceptance total is applied by the caller, keeping
+    /// [`cost`](Self::cost) comparable with [`crate::evaluate`].
+    pub fn new(
+        circuit: &'a Circuit,
+        model: &'a BlockModel,
+        config: &SaConfig,
+        state: &SaState,
+        perf: Option<(&'a Network, f64)>,
+    ) -> Self {
+        let n = circuit.num_devices();
+        let m = model.len();
+        let widths: Vec<f64> = model.blocks.iter().map(|b| b.width).collect();
+        let heights: Vec<f64> = model.blocks.iter().map(|b| b.height).collect();
+        let routable: Vec<u32> = circuit
+            .nets()
+            .iter()
+            .enumerate()
+            .filter(|(_, net)| net.is_routable())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let halfw: Vec<f64> = circuit.devices().iter().map(|d| d.width / 2.0).collect();
+        let halfh: Vec<f64> = circuit.devices().iter().map(|d| d.height / 2.0).collect();
+        let mut net_pin_start = Vec::with_capacity(circuit.num_nets() + 1);
+        let mut net_pins = Vec::new();
+        let mut net_weight = Vec::with_capacity(circuit.num_nets());
+        net_pin_start.push(0u32);
+        for net in circuit.nets() {
+            for p in &net.pins {
+                let d = circuit.device(p.device);
+                let (xp, yp) = d.pin_offset_flipped(p.pin.index(), false, false);
+                let (xp_flip, yp_flip) = d.pin_offset_flipped(p.pin.index(), true, true);
+                net_pins.push(FlatPin {
+                    dev: p.device.index() as u32,
+                    halfw: d.width / 2.0,
+                    halfh: d.height / 2.0,
+                    xp,
+                    xp_flip,
+                    yp,
+                    yp_flip,
+                });
+            }
+            net_pin_start.push(net_pins.len() as u32);
+            net_weight.push(net.weight);
+        }
+        let aligns: Vec<FlatAlign> = circuit
+            .constraints()
+            .alignments
+            .iter()
+            .map(|a| FlatAlign {
+                a: a.a.index() as u32,
+                b: a.b.index() as u32,
+                ha: circuit.device(a.a).height / 2.0,
+                hb: circuit.device(a.b).height / 2.0,
+                kind: a.kind,
+            })
+            .collect();
+        let mut windows = Vec::new();
+        for o in &circuit.constraints().orderings {
+            for w in o.devices.windows(2) {
+                let da = circuit.device(w[0]);
+                let db = circuit.device(w[1]);
+                let (ea, eb) = match o.direction {
+                    OrderDirection::Horizontal => (da.width / 2.0, db.width / 2.0),
+                    OrderDirection::Vertical => (da.height / 2.0, db.height / 2.0),
+                };
+                windows.push(FlatWindow {
+                    a: w[0].index() as u32,
+                    b: w[1].index() as u32,
+                    ea,
+                    eb,
+                    direction: o.direction,
+                });
+            }
+        }
+        let mut dev_aligns = vec![Vec::new(); n];
+        for (i, a) in aligns.iter().enumerate() {
+            dev_aligns[a.a as usize].push(i as u32);
+            dev_aligns[a.b as usize].push(i as u32);
+        }
+        let mut dev_windows = vec![Vec::new(); n];
+        for (i, w) in windows.iter().enumerate() {
+            dev_windows[w.a as usize].push(i as u32);
+            dev_windows[w.b as usize].push(i as u32);
+        }
+        let perf = perf.map(|(network, scale)| PerfEngine {
+            network,
+            graph: CircuitGraph::new(circuit, &Placement::new(n), scale),
+            scratch: InferenceScratch::new(network, n),
+        });
+        let num_aligns = circuit.constraints().alignments.len();
+        let num_windows = windows.len();
+        let mut engine = Self {
+            model,
+            hpwl_weight: config.hpwl_weight,
+            penalty_weight: config.penalty_weight,
+            widths,
+            heights,
+            halfw,
+            halfh,
+            device_nets: DeviceNets::new(circuit),
+            routable,
+            net_pin_start,
+            net_pins,
+            net_weight,
+            aligns,
+            windows,
+            dev_aligns,
+            dev_windows,
+            c_s1: vec![0; m],
+            c_s2: vec![0; m],
+            origins: Vec::with_capacity(m),
+            placement: Placement::new(n),
+            net_vals: vec![0.0; circuit.num_nets()],
+            align_vals: vec![0.0; num_aligns],
+            window_vals: vec![0.0; num_windows],
+            cost: SaCost {
+                area: 0.0,
+                hpwl: 0.0,
+                violation: 0.0,
+                phi: 0.0,
+                total: 0.0,
+            },
+            t_s1: vec![0; m],
+            t_s2: vec![0; m],
+            t_origins: Vec::with_capacity(m),
+            t_placement: Placement::new(n),
+            t_net_vals: vec![0.0; circuit.num_nets()],
+            t_align_vals: vec![0.0; num_aligns],
+            t_window_vals: vec![0.0; num_windows],
+            t_cost: SaCost {
+                area: 0.0,
+                hpwl: 0.0,
+                violation: 0.0,
+                phi: 0.0,
+                total: 0.0,
+            },
+            pack: PackScratch::new(),
+            dirty: Vec::with_capacity(2 * n),
+            net_mark: vec![0; circuit.num_nets()],
+            align_mark: vec![0; num_aligns],
+            window_mark: vec![0; num_windows],
+            epoch: 0,
+            perf,
+        };
+        engine.reset(state);
+        engine
+    }
+
+    /// Fully re-evaluates `state` and commits it (used at construction and
+    /// whenever the caller replaces the state wholesale).
+    pub fn reset(&mut self, state: &SaState) {
+        self.c_s1.copy_from_slice(&state.seq_pair.s1);
+        self.c_s2.copy_from_slice(&state.seq_pair.s2);
+        state.seq_pair.pack_dims_with(
+            &self.widths,
+            &self.heights,
+            &mut self.pack,
+            &mut self.origins,
+        );
+        for (block, &(bx, by)) in self.model.blocks.iter().zip(&self.origins) {
+            for &(dev, ox, oy) in &block.devices {
+                self.placement.positions[dev.index()] = (bx + ox, by + oy);
+                self.placement.flips[dev.index()] = state.flips[dev.index()];
+            }
+        }
+        for &ni in &self.routable {
+            let s = self.net_pin_start[ni as usize] as usize;
+            let e = self.net_pin_start[ni as usize + 1] as usize;
+            self.net_vals[ni as usize] = flat_net_hpwl(
+                &self.net_pins[s..e],
+                self.net_weight[ni as usize],
+                &self.placement.positions,
+                &self.placement.flips,
+            );
+        }
+        for (i, v) in self.align_vals.iter_mut().enumerate() {
+            *v = flat_align_value(&self.aligns[i], &self.placement.positions);
+        }
+        for (i, v) in self.window_vals.iter_mut().enumerate() {
+            *v = flat_window_value(&self.windows[i], &self.placement.positions);
+        }
+        self.cost = Self::assemble(
+            &self.halfw,
+            &self.halfh,
+            &self.placement,
+            &self.routable,
+            &self.net_vals,
+            &self.align_vals,
+            &self.window_vals,
+            self.hpwl_weight,
+            self.penalty_weight,
+            self.perf.as_mut(),
+        );
+    }
+
+    /// The committed cost breakdown.
+    pub fn cost(&self) -> SaCost {
+        self.cost
+    }
+
+    /// The committed placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Prices a candidate state against the committed one.
+    ///
+    /// The candidate may differ from the committed state by any number of
+    /// moves (the annealer's temperature probe stacks several); cost is
+    /// recomputed only for blocks whose packed origin changed and devices
+    /// whose flips changed. Does not modify the committed evaluation; call
+    /// [`accept`](Self::accept) to promote this trial.
+    pub fn eval_trial(&mut self, trial: &SaState) -> SaCost {
+        // Packing depends only on the sequences, so a flip-only candidate
+        // (the annealer's most common cheap move) reuses the committed
+        // origins bit-for-bit and skips the pack and the block diff.
+        let same_seqs = trial.seq_pair.s1 == self.c_s1 && trial.seq_pair.s2 == self.c_s2;
+        if same_seqs {
+            self.t_origins.clear();
+            self.t_origins.extend_from_slice(&self.origins);
+        } else {
+            trial.seq_pair.pack_dims_with(
+                &self.widths,
+                &self.heights,
+                &mut self.pack,
+                &mut self.t_origins,
+            );
+        }
+        self.t_s1.copy_from_slice(&trial.seq_pair.s1);
+        self.t_s2.copy_from_slice(&trial.seq_pair.s2);
+        self.t_placement
+            .positions
+            .copy_from_slice(&self.placement.positions);
+        self.t_placement
+            .flips
+            .copy_from_slice(&self.placement.flips);
+        self.epoch += 1;
+        self.dirty.clear();
+        if !same_seqs {
+            // Devices of blocks whose packed origin moved (bit-wise diff:
+            // the packing is deterministic, so bit-equal origins imply
+            // bit-equal downstream values).
+            for (b, (block, &(bx, by))) in self.model.blocks.iter().zip(&self.t_origins).enumerate()
+            {
+                let (cx, cy) = self.origins[b];
+                if bx.to_bits() == cx.to_bits() && by.to_bits() == cy.to_bits() {
+                    continue;
+                }
+                for &(dev, ox, oy) in &block.devices {
+                    self.t_placement.positions[dev.index()] = (bx + ox, by + oy);
+                    self.dirty.push(dev.index() as u32);
+                }
+            }
+        }
+        // Devices whose flips changed (pin positions move, outline doesn't).
+        for (d, (&tf, &cf)) in trial.flips.iter().zip(&self.placement.flips).enumerate() {
+            if tf != cf {
+                self.t_placement.flips[d] = tf;
+                self.dirty.push(d as u32);
+            }
+        }
+        if self.dirty.is_empty() {
+            // Candidate is identical to the committed state (the move
+            // repertoire includes self-inverse no-ops); every cache entry
+            // already matches, so the committed cost is the answer.
+            self.t_net_vals.copy_from_slice(&self.net_vals);
+            self.t_align_vals.copy_from_slice(&self.align_vals);
+            self.t_window_vals.copy_from_slice(&self.window_vals);
+            self.t_cost = self.cost;
+            return self.t_cost;
+        }
+        if 2 * self.dirty.len() >= self.t_placement.positions.len() {
+            // Most devices moved (a sequence move reshuffles most of the
+            // packing): a straight sweep over every cache row beats
+            // per-device invalidation marking. Non-routable rows stay at
+            // their initial zeros in both buffer sets, so skipping the
+            // committed-value copies is sound.
+            for &ni in &self.routable {
+                let s = self.net_pin_start[ni as usize] as usize;
+                let e = self.net_pin_start[ni as usize + 1] as usize;
+                self.t_net_vals[ni as usize] = flat_net_hpwl(
+                    &self.net_pins[s..e],
+                    self.net_weight[ni as usize],
+                    &self.t_placement.positions,
+                    &self.t_placement.flips,
+                );
+            }
+            for (i, a) in self.aligns.iter().enumerate() {
+                self.t_align_vals[i] = flat_align_value(a, &self.t_placement.positions);
+            }
+            for (i, w) in self.windows.iter().enumerate() {
+                self.t_window_vals[i] = flat_window_value(w, &self.t_placement.positions);
+            }
+        } else {
+            // Recompute exactly the invalidated cache entries.
+            self.t_net_vals.copy_from_slice(&self.net_vals);
+            self.t_align_vals.copy_from_slice(&self.align_vals);
+            self.t_window_vals.copy_from_slice(&self.window_vals);
+            for i in 0..self.dirty.len() {
+                let d = self.dirty[i] as usize;
+                for &ni in self.device_nets.nets_of(analog_netlist::DeviceId::new(d)) {
+                    if self.net_mark[ni as usize] != self.epoch {
+                        self.net_mark[ni as usize] = self.epoch;
+                        let s = self.net_pin_start[ni as usize] as usize;
+                        let e = self.net_pin_start[ni as usize + 1] as usize;
+                        self.t_net_vals[ni as usize] = flat_net_hpwl(
+                            &self.net_pins[s..e],
+                            self.net_weight[ni as usize],
+                            &self.t_placement.positions,
+                            &self.t_placement.flips,
+                        );
+                    }
+                }
+                for &ai in &self.dev_aligns[d] {
+                    if self.align_mark[ai as usize] != self.epoch {
+                        self.align_mark[ai as usize] = self.epoch;
+                        self.t_align_vals[ai as usize] = flat_align_value(
+                            &self.aligns[ai as usize],
+                            &self.t_placement.positions,
+                        );
+                    }
+                }
+                for &wi in &self.dev_windows[d] {
+                    if self.window_mark[wi as usize] != self.epoch {
+                        self.window_mark[wi as usize] = self.epoch;
+                        self.t_window_vals[wi as usize] = flat_window_value(
+                            &self.windows[wi as usize],
+                            &self.t_placement.positions,
+                        );
+                    }
+                }
+            }
+        }
+        self.t_cost = Self::assemble(
+            &self.halfw,
+            &self.halfh,
+            &self.t_placement,
+            &self.routable,
+            &self.t_net_vals,
+            &self.t_align_vals,
+            &self.t_window_vals,
+            self.hpwl_weight,
+            self.penalty_weight,
+            self.perf.as_mut(),
+        );
+        self.t_cost
+    }
+
+    /// Promotes the trial evaluated by the last [`eval_trial`](Self::eval_trial)
+    /// call to the committed evaluation (O(1) buffer swaps).
+    pub fn accept(&mut self) {
+        std::mem::swap(&mut self.c_s1, &mut self.t_s1);
+        std::mem::swap(&mut self.c_s2, &mut self.t_s2);
+        std::mem::swap(&mut self.origins, &mut self.t_origins);
+        std::mem::swap(&mut self.placement, &mut self.t_placement);
+        std::mem::swap(&mut self.net_vals, &mut self.t_net_vals);
+        std::mem::swap(&mut self.align_vals, &mut self.t_align_vals);
+        std::mem::swap(&mut self.window_vals, &mut self.t_window_vals);
+        self.cost = self.t_cost;
+    }
+
+    /// Assembles a [`SaCost`] from the cache arrays, in the exact
+    /// floating-point order of the full-recompute oracle
+    /// ([`crate::evaluate`]): bounding box over devices in id order, HPWL
+    /// summed over routable nets in net order, violation maxima folded in
+    /// constraint order.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        halfw: &[f64],
+        halfh: &[f64],
+        placement: &Placement,
+        routable: &[u32],
+        net_vals: &[f64],
+        align_vals: &[f64],
+        window_vals: &[f64],
+        hpwl_weight: f64,
+        penalty_weight: f64,
+        perf: Option<&mut PerfEngine<'_>>,
+    ) -> SaCost {
+        // Bounding box over device outlines in id order — the same folds
+        // as [`Placement::bounding_box`], reading precomputed half-dims.
+        let area = if placement.positions.is_empty() {
+            0.0
+        } else {
+            let mut bb = (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+            );
+            for ((&(cx, cy), &hw), &hh) in placement.positions.iter().zip(halfw).zip(halfh) {
+                bb.0 = bb.0.min(cx - hw);
+                bb.1 = bb.1.min(cy - hh);
+                bb.2 = bb.2.max(cx + hw);
+                bb.3 = bb.3.max(cy + hh);
+            }
+            (bb.2 - bb.0) * (bb.3 - bb.1)
+        };
+        let mut hpwl = 0.0;
+        for &ni in routable {
+            hpwl += net_vals[ni as usize];
+        }
+        let mut align_worst: f64 = 0.0;
+        for &v in align_vals {
+            align_worst = align_worst.max(v);
+        }
+        let mut order_worst: f64 = 0.0;
+        for &v in window_vals {
+            order_worst = order_worst.max(v);
+        }
+        let violation = align_worst + order_worst;
+        let phi = match perf {
+            Some(engine) => {
+                engine.graph.update_positions(placement);
+                engine
+                    .network
+                    .predict_with(&engine.graph, &mut engine.scratch)
+            }
+            None => 0.0,
+        };
+        let total = area + hpwl_weight * hpwl + penalty_weight * violation;
+        SaCost {
+            area,
+            hpwl,
+            violation,
+            phi,
+            total,
+        }
+    }
+}
+
+/// One net's weighted HPWL over flattened pins — the arithmetic of
+/// [`Placement::net_hpwl`] term for term (`(cx - w/2) + offset` with the
+/// halves and flip-resolved offsets precomputed, both exact).
+#[inline]
+fn flat_net_hpwl(
+    pins: &[FlatPin],
+    weight: f64,
+    positions: &[(f64, f64)],
+    flips: &[(bool, bool)],
+) -> f64 {
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for p in pins {
+        let (cx, cy) = positions[p.dev as usize];
+        let (fx, fy) = flips[p.dev as usize];
+        let x = cx - p.halfw + if fx { p.xp_flip } else { p.xp };
+        let y = cy - p.halfh + if fy { p.yp_flip } else { p.yp };
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    weight * ((xmax - xmin) + (ymax - ymin))
+}
+
+/// One alignment constraint's violation, exactly as
+/// [`Placement::alignment_violation`] prices it.
+#[inline]
+fn flat_align_value(a: &FlatAlign, positions: &[(f64, f64)]) -> f64 {
+    let (xa, ya) = positions[a.a as usize];
+    let (xb, yb) = positions[a.b as usize];
+    match a.kind {
+        AlignKind::Bottom => ((ya - a.ha) - (yb - a.hb)).abs(),
+        AlignKind::VerticalCenter => (xa - xb).abs(),
+    }
+}
+
+/// One ordering window's clamped gap, exactly as
+/// [`Placement::ordering_violation`] prices it.
+#[inline]
+fn flat_window_value(w: &FlatWindow, positions: &[(f64, f64)]) -> f64 {
+    let (xa, ya) = positions[w.a as usize];
+    let (xb, yb) = positions[w.b as usize];
+    let gap = match w.direction {
+        OrderDirection::Horizontal => (xa + w.ea) - (xb - w.eb),
+        OrderDirection::Vertical => (ya + w.ea) - (yb - w.eb),
+    };
+    gap.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::evaluate;
+    use crate::seqpair::SequencePair;
+    use analog_netlist::testcases;
+    use placer_gnn::Network;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(model_len: usize, n: usize, rng: &mut StdRng) -> SaState {
+        let mut s1: Vec<usize> = (0..model_len).collect();
+        let mut s2: Vec<usize> = (0..model_len).collect();
+        for i in (1..model_len).rev() {
+            let j = rng.gen_range(0..=i);
+            s1.swap(i, j);
+            let k = rng.gen_range(0..=i);
+            s2.swap(i, k);
+        }
+        SaState {
+            seq_pair: SequencePair {
+                s1,
+                s2,
+                flips: vec![(false, false); n],
+            },
+            flips: (0..n)
+                .map(|_| (rng.gen_bool(0.5), rng.gen_bool(0.5)))
+                .collect(),
+        }
+    }
+
+    fn assert_costs_bit_equal(a: SaCost, b: SaCost, context: &str) {
+        assert_eq!(a.area.to_bits(), b.area.to_bits(), "{context}: area");
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits(), "{context}: hpwl");
+        assert_eq!(
+            a.violation.to_bits(),
+            b.violation.to_bits(),
+            "{context}: violation"
+        );
+        assert_eq!(a.phi.to_bits(), b.phi.to_bits(), "{context}: phi");
+        assert_eq!(a.total.to_bits(), b.total.to_bits(), "{context}: total");
+    }
+
+    #[test]
+    fn committed_cost_matches_oracle_at_construction() {
+        for circuit in [testcases::adder(), testcases::cc_ota(), testcases::comp1()] {
+            let model = BlockModel::new(&circuit);
+            let config = SaConfig::default();
+            let mut rng = StdRng::seed_from_u64(3);
+            let state = random_state(model.len(), circuit.num_devices(), &mut rng);
+            let engine = MoveEvaluator::new(&circuit, &model, &config, &state, None);
+            let (oracle_placement, oracle_cost) = evaluate(&circuit, &model, &state, &config, None);
+            assert_costs_bit_equal(engine.cost(), oracle_cost, circuit.name());
+            assert_eq!(engine.placement(), &oracle_placement);
+        }
+    }
+
+    #[test]
+    fn trial_costs_match_oracle_through_accept_reject_sequences() {
+        let circuit = testcases::cc_ota();
+        let model = BlockModel::new(&circuit);
+        let config = SaConfig::default();
+        let n = circuit.num_devices();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut state = random_state(model.len(), n, &mut rng);
+        let mut engine = MoveEvaluator::new(&circuit, &model, &config, &state, None);
+        let mut trial = state.clone();
+        for step in 0..200 {
+            trial.copy_from(&state);
+            crate::anneal::random_move(&mut trial, n, &mut rng);
+            let got = engine.eval_trial(&trial);
+            let (_, want) = evaluate(&circuit, &model, &trial, &config, None);
+            assert_costs_bit_equal(got, want, &format!("step {step}"));
+            if rng.gen_bool(0.5) {
+                engine.accept();
+                std::mem::swap(&mut state, &mut trial);
+            }
+        }
+    }
+
+    #[test]
+    fn perf_phi_matches_oracle() {
+        let circuit = testcases::adder();
+        let model = BlockModel::new(&circuit);
+        let config = SaConfig::default();
+        let n = circuit.num_devices();
+        let network = Network::default_config(9);
+        let scale = 20.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut state = random_state(model.len(), n, &mut rng);
+        let mut engine =
+            MoveEvaluator::new(&circuit, &model, &config, &state, Some((&network, scale)));
+        let mut oracle_graph = CircuitGraph::new(&circuit, &Placement::new(n), scale);
+        let mut trial = state.clone();
+        for step in 0..60 {
+            trial.copy_from(&state);
+            crate::anneal::random_move(&mut trial, n, &mut rng);
+            let got = engine.eval_trial(&trial);
+            let mut perf = (
+                crate::anneal::PerfCost {
+                    network: &network,
+                    weight: 1.0,
+                    scale,
+                },
+                oracle_graph.clone(),
+            );
+            let (_, want) = evaluate(&circuit, &model, &trial, &config, Some(&mut perf));
+            oracle_graph = perf.1;
+            assert_costs_bit_equal(got, want, &format!("step {step}"));
+            if step % 3 == 0 {
+                engine.accept();
+                std::mem::swap(&mut state, &mut trial);
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_unaccepted_trials_stay_consistent() {
+        // The temperature probe evaluates a trial that drifts several moves
+        // away from the committed state without ever accepting.
+        let circuit = testcases::comp1();
+        let model = BlockModel::new(&circuit);
+        let config = SaConfig::default();
+        let n = circuit.num_devices();
+        let mut rng = StdRng::seed_from_u64(17);
+        let state = random_state(model.len(), n, &mut rng);
+        let mut engine = MoveEvaluator::new(&circuit, &model, &config, &state, None);
+        let mut probe = state.clone();
+        for step in 0..30 {
+            crate::anneal::random_move(&mut probe, n, &mut rng);
+            let got = engine.eval_trial(&probe);
+            let (_, want) = evaluate(&circuit, &model, &probe, &config, None);
+            assert_costs_bit_equal(got, want, &format!("probe step {step}"));
+        }
+        // The committed evaluation never moved.
+        let (_, base) = evaluate(&circuit, &model, &state, &config, None);
+        assert_costs_bit_equal(engine.cost(), base, "committed");
+    }
+}

@@ -30,14 +30,18 @@
 #![forbid(unsafe_code)]
 
 mod anneal;
+mod evaluator;
 pub mod island;
 mod pipeline;
 mod proptests;
 mod repair;
 mod seqpair;
 
-pub use anneal::{anneal, evaluate, AnnealResult, PerfCost, SaConfig, SaCost, SaState};
+pub use anneal::{
+    anneal, anneal_reference, evaluate, AnnealResult, PerfCost, SaConfig, SaCost, SaState,
+};
+pub use evaluator::MoveEvaluator;
 pub use island::{Block, BlockModel};
 pub use pipeline::{SaPlacer, SaResult};
 pub use repair::repair_placement;
-pub use seqpair::SequencePair;
+pub use seqpair::{PackScratch, SequencePair};
