@@ -79,6 +79,24 @@ fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
     }
 }
 
+/// Extracts a top-level scalar value (`"key": value`) from the JSON body.
+fn parse_scalar<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    for line in json.lines() {
+        // Top-level scalars only: bench rows live in deeper, brace-prefixed
+        // lines and never start with a quote.
+        let t = line.trim_start();
+        if !t.starts_with('"') {
+            continue;
+        }
+        if let Some(pos) = t.find(&needle) {
+            let rest = &t[pos + needle.len()..];
+            return Some(rest.trim_end().trim_end_matches(',').trim_matches('"'));
+        }
+    }
+    None
+}
+
 /// Extracts `(name, speedup)` pairs from a `BENCH_hotpaths.json` body.
 fn parse_speedups(json: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
@@ -336,9 +354,18 @@ fn main() {
         });
     }
 
+    // Host/config fingerprint: timings are only comparable between runs
+    // that share the build profile and feature set; the thread count and
+    // host matter less (the gate compares machine-relative ratios) but are
+    // recorded so drifts can be explained.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"quick\": {quick},\n  \"threads\": {},\n  \"benches\": [\n",
+        "  \"quick\": {quick},\n  \"os\": \"{}\",\n  \"arch\": \"{}\",\n  \"profile\": \"{}\",\n  \"parallel\": {},\n  \"telemetry\": {},\n  \"threads\": {},\n  \"benches\": [\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        cfg!(feature = "parallel"),
+        cfg!(feature = "telemetry"),
         placer_parallel::max_threads()
     ));
     for (i, r) in rows.iter().enumerate() {
@@ -358,15 +385,46 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
+    // Snapshot the committed baseline *before* writing: with default paths
+    // `--check` would otherwise compare the new file against itself.
+    let baseline_snapshot = check_baseline
+        .as_ref()
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
     std::fs::write(&out_path, &json).expect("write BENCH_hotpaths.json");
     println!("wrote {out_path}");
 
-    if let Some(baseline_path) = check_baseline {
-        let baseline = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    if let Some(baseline) = baseline_snapshot {
         let committed = parse_speedups(&baseline);
         let current = parse_speedups(&json);
         let mut failed = false;
+        // Fingerprint gate: comparing a debug or differently-featured run
+        // against the committed baseline would produce meaningless verdicts,
+        // so mismatches there fail loudly. A thread-count difference only
+        // warns — the checked quantities are per-kernel ratios.
+        for key in ["profile", "parallel", "telemetry"] {
+            let want = parse_scalar(&baseline, key);
+            let got = parse_scalar(&json, key);
+            if want.is_some() && want != got {
+                println!(
+                    "check: FINGERPRINT MISMATCH on {key}: baseline {}, this run {} — \
+                     rebuild to match the baseline or regenerate it",
+                    want.unwrap_or("<missing>"),
+                    got.unwrap_or("<missing>")
+                );
+                failed = true;
+            }
+        }
+        if let (Some(want), Some(got)) = (
+            parse_scalar(&baseline, "threads"),
+            parse_scalar(&json, "threads"),
+        ) {
+            if want != got {
+                println!(
+                    "check: warning: thread count differs (baseline {want}, this run {got}); \
+                     ratios are still comparable"
+                );
+            }
+        }
         for (name, want) in &committed {
             let Some((_, got)) = current.iter().find(|(n, _)| n == name) else {
                 println!("check: kernel {name} missing from current run");

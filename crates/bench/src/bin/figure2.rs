@@ -5,7 +5,35 @@
 
 use analog_netlist::Circuit;
 use eplace::{EPlaceA, PlacerConfig};
+use placer_bench::trace::{require_tracing_or_exit, trace_flag, with_trace};
 use placer_bench::{paper_circuits, print_row};
+
+/// `--trace[=CIRCUIT]`: one circuit (smallest by default), the ablation's
+/// two ePlace-A settings traced into separate files, then exit. The traces
+/// carry per-Nesterov-iteration `gp_iter` events (overflow, HPWL, step, λ).
+fn traced_run(filter: Option<String>) {
+    require_tracing_or_exit();
+    let circuits = paper_circuits();
+    let circuit = match &filter {
+        Some(name) => circuits
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("--trace={name}: no such paper circuit")),
+        None => circuits
+            .iter()
+            .min_by_key(|c| c.num_devices())
+            .expect("paper circuits exist"),
+    };
+    let eta = PlacerConfig::default().global.eta_scale;
+    for (placer, eta) in [("eplace_a", eta), ("eplace_a_noarea", 0.0)] {
+        let seed = PlacerConfig::default().global.seed;
+        let (area, hpwl) = with_trace(circuit.name(), placer, seed, || averaged(circuit, eta));
+        println!(
+            "{} {placer}: area {area:.1}, hpwl {hpwl:.1}",
+            circuit.name()
+        );
+    }
+}
 
 /// 5-seed average with single restarts and structure-preserving DP, so the
 /// GP-level area term is what's actually measured.
@@ -29,6 +57,11 @@ fn averaged(circuit: &Circuit, eta: f64) -> (f64, f64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(filter) = trace_flag(&args) {
+        traced_run(filter);
+        return;
+    }
     let widths = [8usize, 10, 12, 9, 10, 12, 9];
     print_row(
         &[

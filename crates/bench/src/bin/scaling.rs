@@ -12,9 +12,63 @@
 use analog_netlist::testcases::scalable_array;
 use eplace::{EPlaceA, PlacerConfig};
 use placer_bench::print_row;
+use placer_bench::trace::{require_tracing_or_exit, trace_flag, with_trace};
 use placer_sa::{SaConfig, SaPlacer};
 
+/// `--trace`: one mid-size array (4 stages), both placers traced serially,
+/// then exit. `--trace=N` picks the stage count.
+fn traced_run(filter: Option<String>) {
+    require_tracing_or_exit();
+    let stages: usize = match &filter {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("--trace={s}: expected a stage count")),
+        None => 4,
+    };
+    let circuit = scalable_array(stages);
+    let config = PlacerConfig {
+        restarts: 1,
+        preserve_gp: true,
+        ..PlacerConfig::default()
+    };
+    let seed = config.global.seed;
+    let ea = with_trace(circuit.name(), "eplace_a", seed, || {
+        EPlaceA::new(config.clone())
+            .place(&circuit)
+            .expect("ePlace-A failed")
+    });
+    println!(
+        "{} eplace_a: area {:.1}, hpwl {:.1}, {:.2}s",
+        circuit.name(),
+        ea.area,
+        ea.hpwl,
+        ea.gp_seconds + ea.dp_seconds
+    );
+    let sa_cfg = SaConfig {
+        temperatures: 360,
+        moves_per_temperature: 200 * circuit.num_devices(),
+        ..SaConfig::default()
+    };
+    let sa = with_trace(circuit.name(), "sa", sa_cfg.seed, || {
+        SaPlacer::new(sa_cfg.clone())
+            .place(&circuit)
+            .expect("SA failed")
+    });
+    println!(
+        "{} sa: area {:.1}, hpwl {:.1}, {:.2}s",
+        circuit.name(),
+        sa.area,
+        sa.hpwl,
+        sa.anneal_seconds + sa.repair_seconds
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(filter) = trace_flag(&args) {
+        traced_run(filter);
+        return;
+    }
     let widths = [8usize, 8, 10, 10, 9, 10, 10, 9];
     print_row(
         &[

@@ -6,9 +6,58 @@
 //! beats SA on area (≈1.11×) and HPWL (≈1.14×) while \[11\] is *worse* than
 //! SA on quality (≈1.25×/1.24×).
 
-use placer_bench::{geomean_ratio, paper_circuits, print_row, run_eplace_a, run_sa, run_xu19};
+use placer_bench::trace::{require_tracing_or_exit, trace_flag, with_trace};
+use placer_bench::{
+    geomean_ratio, paper_circuits, print_row, run_eplace_a, run_sa, run_xu19, RunMetrics,
+};
+
+/// `--trace[=CIRCUIT]`: run all three placers serially on one circuit
+/// (the smallest by default), each under its own trace sink, and exit.
+fn traced_run(filter: Option<String>) {
+    require_tracing_or_exit();
+    let circuits = paper_circuits();
+    let circuit = match &filter {
+        Some(name) => circuits
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("--trace={name}: no such paper circuit")),
+        None => circuits
+            .iter()
+            .min_by_key(|c| c.num_devices())
+            .expect("paper circuits exist"),
+    };
+    type Runner = fn(&analog_netlist::Circuit) -> RunMetrics;
+    let runs: [(&str, u64, Runner); 3] = [
+        ("sa", placer_sa::SaConfig::default().seed, run_sa),
+        (
+            "xu19",
+            placer_xu19::Xu19GlobalConfig::default().seed,
+            run_xu19,
+        ),
+        (
+            "eplace_a",
+            eplace::PlacerConfig::default().global.seed,
+            run_eplace_a,
+        ),
+    ];
+    for (placer, seed, runner) in runs {
+        let m = with_trace(circuit.name(), placer, seed, || runner(circuit));
+        println!(
+            "{} {placer}: area {:.1}, hpwl {:.1}, {:.2}s",
+            circuit.name(),
+            m.area,
+            m.hpwl,
+            m.seconds
+        );
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(filter) = trace_flag(&args) {
+        traced_run(filter);
+        return;
+    }
     let widths = [8usize, 9, 9, 9, 9, 9, 9, 9, 9, 9];
     print_row(
         &[

@@ -1,0 +1,220 @@
+//! Folds a telemetry JSONL trace (written by `--trace` runs of the bench
+//! binaries) into a human-readable summary: the run manifest, a per-phase
+//! span table, counters, histograms, and first→last convergence lines for
+//! each event kind.
+//!
+//! Usage: `trace_report <trace.jsonl> [more.jsonl ...]`. Exits nonzero on
+//! unreadable files or malformed lines, so CI can use it as a validator.
+
+use std::collections::BTreeMap;
+
+use placer_bench::print_row;
+use placer_bench::trace::{parse_flat_json, JsonValue};
+
+/// Per-field aggregate over all events of one kind.
+#[derive(Debug, Clone, Copy)]
+struct FieldAgg {
+    first: f64,
+    last: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Debug, Default)]
+struct KindAgg {
+    count: u64,
+    fields: BTreeMap<String, FieldAgg>,
+}
+
+fn report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut manifests: Vec<String> = Vec::new();
+    let mut events: BTreeMap<String, KindAgg> = BTreeMap::new();
+    let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut spans: Vec<(String, f64, f64, f64)> = Vec::new(); // name, calls, total_ms, self_ms
+    let mut histograms: Vec<(String, f64, String)> = Vec::new();
+    let mut phases: Vec<(String, f64)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let kv = parse_flat_json(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let get = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let get_num = |key: &str| get(key).and_then(JsonValue::as_num);
+        let get_str = |key: &str| get(key).and_then(JsonValue::as_str).map(str::to_string);
+        let ty = get_str("type").ok_or_else(|| format!("{path}:{}: no type", lineno + 1))?;
+        match ty.as_str() {
+            "manifest" => {
+                let pairs: Vec<String> = kv
+                    .iter()
+                    .filter(|(k, _)| k != "type")
+                    .map(|(k, v)| {
+                        let v = match v {
+                            JsonValue::Num(n) => format!("{n}"),
+                            JsonValue::Str(s) => s.clone(),
+                            JsonValue::Bool(b) => format!("{b}"),
+                            JsonValue::Null => "null".into(),
+                        };
+                        format!("{k}={v}")
+                    })
+                    .collect();
+                manifests.push(pairs.join("  "));
+            }
+            "event" => {
+                let kind = get_str("kind")
+                    .ok_or_else(|| format!("{path}:{}: event without kind", lineno + 1))?;
+                let agg = events.entry(kind).or_default();
+                agg.count += 1;
+                for (k, v) in &kv {
+                    if k == "type" || k == "kind" || k == "t_us" || k == "thread" {
+                        continue;
+                    }
+                    let Some(x) = v.as_num() else { continue };
+                    agg.fields
+                        .entry(k.clone())
+                        .and_modify(|f| {
+                            f.last = x;
+                            f.min = f.min.min(x);
+                            f.max = f.max.max(x);
+                        })
+                        .or_insert(FieldAgg {
+                            first: x,
+                            last: x,
+                            min: x,
+                            max: x,
+                        });
+                }
+            }
+            "counter" => {
+                let name = get_str("name").unwrap_or_default();
+                counters.push((name, get_num("value").unwrap_or(0.0)));
+            }
+            "span" => {
+                spans.push((
+                    get_str("name").unwrap_or_default(),
+                    get_num("calls").unwrap_or(0.0),
+                    get_num("total_ns").unwrap_or(0.0) / 1e6,
+                    get_num("self_ns").unwrap_or(0.0) / 1e6,
+                ));
+            }
+            "histogram" => {
+                let name = get_str("name").unwrap_or_default();
+                let count = get_num("count").unwrap_or(0.0);
+                // Non-empty buckets, rendered as 2^(i-33) range labels.
+                let buckets: Vec<String> = kv
+                    .iter()
+                    .filter_map(|(k, v)| {
+                        let i: i32 = k.strip_prefix('b')?.parse().ok()?;
+                        let n = v.as_num()?;
+                        if i == 0 {
+                            Some(format!("≤0:{n}"))
+                        } else {
+                            Some(format!("2^{}:{n}", i - 33))
+                        }
+                    })
+                    .collect();
+                histograms.push((name, count, buckets.join(" ")));
+            }
+            "phase" => {
+                phases.push((
+                    get_str("name").unwrap_or_default(),
+                    get_num("seconds").unwrap_or(0.0),
+                ));
+            }
+            _ => {} // forward compatibility: unknown line types are skipped
+        }
+    }
+
+    println!("== {path} ==");
+    for m in &manifests {
+        println!("manifest: {m}");
+    }
+    for (name, seconds) in &phases {
+        println!("wall {name}: {seconds:.3}s");
+    }
+
+    // Stats reset on sink install but registry membership persists, so a
+    // multi-trace process reports zero-call spans from earlier traces; they
+    // carry no information.
+    spans.retain(|(_, calls, _, _)| *calls > 0.0);
+    if !spans.is_empty() {
+        println!("\nphase summary (spans):");
+        let widths = [22usize, 10, 12, 12, 11];
+        print_row(
+            &[
+                "span".into(),
+                "calls".into(),
+                "total_ms".into(),
+                "self_ms".into(),
+                "mean_us".into(),
+            ],
+            &widths,
+        );
+        spans.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+        for (name, calls, total_ms, self_ms) in &spans {
+            print_row(
+                &[
+                    name.clone(),
+                    format!("{calls}"),
+                    format!("{total_ms:.3}"),
+                    format!("{self_ms:.3}"),
+                    format!("{:.2}", total_ms / calls.max(1.0) * 1e3),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    counters.retain(|(_, value)| *value > 0.0);
+    if !counters.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in &counters {
+            println!("  {name:<24} {value}");
+        }
+    }
+
+    if !histograms.is_empty() {
+        println!("\nhistograms:");
+        for (name, count, buckets) in &histograms {
+            println!("  {name:<24} n={count}  {buckets}");
+        }
+    }
+
+    if !events.is_empty() {
+        println!("\nevents (first → last over the trace):");
+        for (kind, agg) in &events {
+            println!("  {kind} ×{}", agg.count);
+            for (field, f) in &agg.fields {
+                if agg.count == 1 || (f.first == f.last && f.min == f.max) {
+                    println!("    {field:<18} {: >12.4}", f.last);
+                } else {
+                    println!(
+                        "    {field:<18} {: >12.4} → {: >12.4}   [min {:.4}, max {:.4}]",
+                        f.first, f.last, f.min, f.max
+                    );
+                }
+            }
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_report <trace.jsonl> [more.jsonl ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        if let Err(e) = report(path) {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

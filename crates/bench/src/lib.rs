@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod trace;
+
 use analog_netlist::{testcases, Circuit, Placement};
 use analog_perf::{graph_scale, DatasetOptions, Evaluator, GeneratedDataset};
 use eplace::{EPlaceA, EPlaceAP, PerfConfig, PlacerConfig};

@@ -1,0 +1,298 @@
+//! Convergence-trace capture for the benchmark binaries.
+//!
+//! A traced run installs one JSONL sink per `(circuit, placer)` pair under
+//! [`TRACE_DIR`], stamps it with a run manifest (seed, thread count, feature
+//! flags, build profile), runs the placer, then drains the per-thread event
+//! rings and the counter/span/histogram snapshots into the file. The
+//! `trace_report` binary folds such a file back into a summary table using
+//! [`parse_flat_json`].
+//!
+//! Tracing requires the `telemetry` build feature; without it the binaries
+//! refuse `--trace` with a pointed rebuild hint instead of silently writing
+//! empty files.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use placer_telemetry::Field;
+
+/// Where traced bench runs write their JSONL files.
+pub const TRACE_DIR: &str = "results/traces";
+
+/// True when this binary was built with the `telemetry` feature, i.e. the
+/// instrumentation in the placer crates is compiled in.
+pub fn tracing_compiled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Extracts a `--trace` / `--trace=CIRCUIT` flag from the argument list.
+///
+/// Returns `None` when absent, `Some(None)` for a bare `--trace`, and
+/// `Some(Some(name))` for `--trace=name`.
+pub fn trace_flag(args: &[String]) -> Option<Option<String>> {
+    for a in args {
+        if a == "--trace" {
+            return Some(None);
+        }
+        if let Some(name) = a.strip_prefix("--trace=") {
+            return Some(Some(name.to_string()));
+        }
+    }
+    None
+}
+
+/// Exits with a rebuild hint when `--trace` was requested but the binary
+/// was built without the `telemetry` feature.
+pub fn require_tracing_or_exit() {
+    if !tracing_compiled() {
+        eprintln!(
+            "error: --trace needs instrumentation that is compiled out of this binary.\n\
+             Rebuild with: cargo run --release -p placer-bench --features telemetry --bin <bin> -- --trace"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The trace file path for one `(circuit, placer)` pair.
+pub fn trace_path(circuit: &str, placer: &str) -> PathBuf {
+    Path::new(TRACE_DIR).join(format!("{circuit}_{placer}.jsonl"))
+}
+
+/// Runs `f` with a trace sink installed at `results/traces/<circuit>_<placer>.jsonl`.
+///
+/// Emits the run manifest before `f` and a `{"type":"phase",...}` total
+/// wall-time line plus all stat snapshots after it. Per-phase wall times
+/// live in the span lines (`gp_run`, `dp_run`, `sa_chain`, `sa_repair`,
+/// `xu19_global`, ...) that `flush_stats` writes.
+///
+/// # Panics
+///
+/// Panics if the sink file cannot be created.
+pub fn with_trace<T>(circuit: &str, placer: &str, seed: u64, f: impl FnOnce() -> T) -> T {
+    let path = trace_path(circuit, placer);
+    placer_telemetry::install(&path)
+        .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+    placer_telemetry::manifest(&[
+        ("circuit", Field::S(circuit)),
+        ("placer", Field::S(placer)),
+        ("seed", Field::U(seed)),
+        ("threads", Field::U(placer_parallel::max_threads() as u64)),
+        ("parallel", Field::B(cfg!(feature = "parallel"))),
+        ("telemetry", Field::B(tracing_compiled())),
+        (
+            "profile",
+            Field::S(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("os", Field::S(std::env::consts::OS)),
+        ("arch", Field::S(std::env::consts::ARCH)),
+    ]);
+    let t0 = Instant::now();
+    let out = f();
+    placer_telemetry::emit_meta(
+        "phase",
+        &[
+            ("name", Field::S("total")),
+            ("seconds", Field::F(t0.elapsed().as_secs_f64())),
+        ],
+    );
+    // Worker threads drain their own rings at the end of each chain/run;
+    // this drains the main thread's ring plus the stat registries.
+    placer_telemetry::flush();
+    placer_telemetry::flush_stats();
+    placer_telemetry::uninstall();
+    eprintln!("trace: wrote {}", path.display());
+    out
+}
+
+/// A scalar value in one flat JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (the sink never writes exponents it can't reparse).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (the sink writes NaN/inf samples as null).
+    Null,
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat (non-nested) JSON object line into ordered key/value
+/// pairs. This covers exactly the shape the telemetry sink emits: string
+/// keys, scalar values, no arrays or sub-objects.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some('"') => {}
+            Some(c) => return Err(format!("unexpected character {c:?}")),
+            None => return Err("unterminated object".into()),
+        }
+        if chars.peek() == Some(&'"') {
+            let key = parse_string(&mut chars)?;
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            let value = match chars.peek() {
+                Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+                Some('t') | Some('f') | Some('n') => {
+                    let word: String = chars
+                        .by_ref()
+                        .take_while(|c| c.is_ascii_alphabetic())
+                        .collect();
+                    // take_while consumed the delimiter (',' or '}'); put
+                    // its effect back by handling it here.
+                    let v = match word.as_str() {
+                        "true" => JsonValue::Bool(true),
+                        "false" => JsonValue::Bool(false),
+                        "null" => JsonValue::Null,
+                        w => return Err(format!("bad literal {w:?}")),
+                    };
+                    out.push((key, v));
+                    // The delimiter swallowed by take_while was ',' or '}'.
+                    // Peek at what follows: if the line continues, loop; if
+                    // not, we are done.
+                    if chars.peek().is_none() {
+                        return Ok(out);
+                    }
+                    continue;
+                }
+                _ => {
+                    let mut num = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || "+-.eE".contains(c) {
+                            num.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    JsonValue::Num(
+                        num.parse()
+                            .map_err(|e| format!("bad number {num:?}: {e}"))?,
+                    )
+                }
+            };
+            out.push((key, value));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('r') => s.push('\r'),
+                Some('t') => s.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_flag_variants() {
+        let none: Vec<String> = vec!["--quick".into()];
+        assert_eq!(trace_flag(&none), None);
+        let bare: Vec<String> = vec!["--trace".into()];
+        assert_eq!(trace_flag(&bare), Some(None));
+        let named: Vec<String> = vec!["--trace=cc_ota".into()];
+        assert_eq!(trace_flag(&named), Some(Some("cc_ota".into())));
+    }
+
+    #[test]
+    fn parses_event_line() {
+        let kv = parse_flat_json(r#"{"type":"event","kind":"gp_iter","t_us":42,"overflow":0.75}"#)
+            .unwrap();
+        assert_eq!(kv[0], ("type".into(), JsonValue::Str("event".into())));
+        assert_eq!(kv[1], ("kind".into(), JsonValue::Str("gp_iter".into())));
+        assert_eq!(kv[2].1.as_num(), Some(42.0));
+        assert_eq!(kv[3].1.as_num(), Some(0.75));
+    }
+
+    #[test]
+    fn parses_literals_and_escapes() {
+        let kv = parse_flat_json(
+            r#"{"ok":true,"off":false,"cost":null,"name":"a\"b\\c","neg":-1.5e-3}"#,
+        )
+        .unwrap();
+        assert_eq!(kv[0].1, JsonValue::Bool(true));
+        assert_eq!(kv[1].1, JsonValue::Bool(false));
+        assert_eq!(kv[2].1, JsonValue::Null);
+        assert_eq!(kv[3].1.as_str(), Some("a\"b\\c"));
+        assert_eq!(kv[4].1.as_num(), Some(-1.5e-3));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json(r#"{"k":}"#).is_err());
+        assert!(parse_flat_json(r#"{"k":nope}"#).is_err());
+        assert!(parse_flat_json(r#"{"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn trace_path_shape() {
+        let p = trace_path("cc_ota", "eplace_a");
+        assert!(p.ends_with("cc_ota_eplace_a.jsonl"));
+        assert!(p.starts_with(TRACE_DIR));
+    }
+}

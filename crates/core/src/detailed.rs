@@ -142,6 +142,8 @@ impl DetailedPlacer {
         circuit: &Circuit,
         global: &Placement,
     ) -> Result<(Placement, DetailedStats), DetailedError> {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("dp_run");
+        let _span = SPAN.enter();
         let n = circuit.num_devices();
         assert_eq!(global.len(), n, "global placement size mismatch");
 
@@ -156,17 +158,19 @@ impl DetailedPlacer {
             if rounds > self.config.max_refinement_rounds {
                 return Err(DetailedError::RefinementExhausted);
             }
-            if std::env::var_os("DP_DEBUG").is_some() {
-                eprintln!("dp round {rounds}:");
+            placer_telemetry::vlog!(2, "dp round {rounds}:");
+            if placer_telemetry::verbose(2) {
                 for &(a, b) in planner.x_edges() {
-                    eprintln!(
+                    placer_telemetry::vlog!(
+                        2,
                         "  x {} -> {}",
                         circuit.device(a).name,
                         circuit.device(b).name
                     );
                 }
                 for &(a, b) in planner.y_edges() {
-                    eprintln!(
+                    placer_telemetry::vlog!(
+                        2,
                         "  y {} -> {}",
                         circuit.device(a).name,
                         circuit.device(b).name
@@ -175,6 +179,15 @@ impl DetailedPlacer {
             }
             let solution = self.solve_both_axes(circuit, planner.x_edges(), planner.y_edges())?;
             let overlaps = solution.overlapping_pairs(circuit, 1e-6);
+            placer_telemetry::record(
+                "dp_round",
+                &[
+                    ("round", rounds as f64),
+                    ("sep_edges_x", planner.x_edges().len() as f64),
+                    ("sep_edges_y", planner.y_edges().len() as f64),
+                    ("residual_overlaps", overlaps.len() as f64),
+                ],
+            );
             if overlaps.is_empty() {
                 let hpwl = solution.hpwl(circuit);
                 let area = solution.area(circuit);
@@ -203,15 +216,11 @@ impl DetailedPlacer {
             }
         };
         let sx = solve(SolveAxis::X, seps_x).map_err(|e| {
-            if std::env::var_os("DP_DEBUG").is_some() {
-                eprintln!("x axis failed: {e}");
-            }
+            placer_telemetry::vlog!(1, "dp x axis failed: {e}");
             e
         })?;
         let sy = solve(SolveAxis::Y, seps_y).map_err(|e| {
-            if std::env::var_os("DP_DEBUG").is_some() {
-                eprintln!("y axis failed: {e}");
-            }
+            placer_telemetry::vlog!(1, "dp y axis failed: {e}");
             e
         })?;
         let mut placement = Placement::new(circuit.num_devices());
@@ -429,11 +438,18 @@ impl DetailedPlacer {
         let solution = match model.solve_milp(&cfg.milp) {
             Ok(s) => s,
             Err(e) => {
+                if placer_telemetry::verbose(1) {
+                    if let Ok((total, rows)) = model.diagnose_infeasibility() {
+                        placer_telemetry::vlog!(
+                            1,
+                            "dp axis infeasibility {total:.4}; violated rows: {rows:?}"
+                        );
+                    }
+                }
+                // DP_DUMP names a file to receive the model for offline
+                // inspection; it is a dump facility, not a print gate.
                 if let Some(path) = std::env::var_os("DP_DUMP") {
                     let _ = std::fs::write(path, model.dump());
-                    if let Ok((total, rows)) = model.diagnose_infeasibility() {
-                        eprintln!("infeasibility {total:.4}; violated rows: {rows:?}");
-                    }
                 }
                 return Err(e.into());
             }

@@ -61,6 +61,8 @@ impl GlobalPlacer {
         circuit: &Circuit,
         mut extra: Option<&mut ExtraGradientFn<'_>>,
     ) -> (Placement, GlobalStats) {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("gp_run");
+        let _span = SPAN.enter();
         let n = circuit.num_devices();
         assert!(n > 0, "cannot place an empty circuit");
         let cfg = &self.config;
@@ -143,7 +145,7 @@ impl GlobalPlacer {
                 grad[i] /= q;
                 grad[n + i] /= q;
             }
-            state.step(&grad);
+            let step_len = state.step(&grad);
             clamp_positions(state.reference_mut());
             if cfg.symmetry == SymmetryMode::Hard {
                 let mut pts = to_points(state.reference(), n);
@@ -154,6 +156,23 @@ impl GlobalPlacer {
             if overflow > cfg.overflow_target {
                 lambda *= cfg.lambda_growth;
                 state.notify_objective_change();
+            }
+            if placer_telemetry::active() {
+                // `pts` is the gradient-evaluation point this iteration, so
+                // the exact HPWL here costs one net sweep and no allocation.
+                placer_telemetry::record(
+                    "gp_iter",
+                    &[
+                        ("iter", iter as f64),
+                        ("overflow", overflow),
+                        ("hpwl", exact_hpwl(circuit, &pts)),
+                        ("step", step_len),
+                        ("lambda", lambda),
+                        ("tau", tau),
+                        ("gamma", gamma),
+                        ("safeguard_trips", state.safeguard_trips() as f64),
+                    ],
+                );
             }
             // Anneal the soft symmetry penalty upward so the GP converges
             // to a near-feasible symmetric structure (legalization then
@@ -172,6 +191,19 @@ impl GlobalPlacer {
             project_symmetry(circuit, &mut pts);
         }
         let hpwl = exact_hpwl(circuit, &pts);
+        if placer_telemetry::active() {
+            placer_telemetry::record(
+                "gp_done",
+                &[
+                    ("iterations", iterations as f64),
+                    ("overflow", overflow),
+                    ("hpwl", hpwl),
+                    ("safeguard_trips", state.safeguard_trips() as f64),
+                ],
+            );
+            // Drain this thread's ring outside the iteration loop.
+            placer_telemetry::flush();
+        }
         (
             Placement::from_positions(pts),
             GlobalStats {

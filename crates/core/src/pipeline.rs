@@ -67,6 +67,8 @@ impl EPlaceA {
     /// Propagates [`DetailedError`] from the legalization ILP when every
     /// restart fails; a single successful restart suffices.
     pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("eplace_a_place");
+        let _span = SPAN.enter();
         let mut best: Option<PlacementResult> = None;
         let mut last_err: Option<DetailedError> = None;
         let attempts = self.config.restarts.max(1);
@@ -153,6 +155,9 @@ impl EPlaceAP {
     /// Propagates [`DetailedError`] from the legalization ILP when every
     /// restart fails.
     pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+        static SPAN: placer_telemetry::SpanStat =
+            placer_telemetry::SpanStat::new("eplace_ap_place");
+        let _span = SPAN.enter();
         let mut best: Option<(f64, PlacementResult)> = None;
         let mut last_err: Option<DetailedError> = None;
         let mut total_gp = 0.0;

@@ -96,14 +96,17 @@ impl Trainer {
         samples: &[TrainingSample],
         opts: &TrainOptions,
     ) -> f64 {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("gnn_fit");
+        let _span = SPAN.enter();
         assert!(!samples.is_empty(), "training set must not be empty");
         assert!(opts.batch_size > 0, "batch size must be nonzero");
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut last_epoch_loss = f64::INFINITY;
-        for _ in 0..opts.epochs {
+        for epoch in 0..opts.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
+            let mut grad_sq = 0.0;
             for chunk in order.chunks(opts.batch_size) {
                 let mut acc: Option<crate::network::ParamGrads> = None;
                 for &i in chunk {
@@ -117,10 +120,26 @@ impl Trainer {
                 if let Some(mut a) = acc {
                     a.scale(1.0 / chunk.len() as f64);
                     let flat = a.flatten();
+                    if placer_telemetry::active() {
+                        grad_sq += flat.iter().map(|g| g * g).sum::<f64>();
+                    }
                     self.adam_step(network, &flat, opts.learning_rate);
                 }
             }
             last_epoch_loss = epoch_loss / samples.len() as f64;
+            if placer_telemetry::active() {
+                placer_telemetry::record(
+                    "gnn_epoch",
+                    &[
+                        ("epoch", epoch as f64),
+                        ("loss", last_epoch_loss),
+                        ("grad_norm", grad_sq.sqrt()),
+                    ],
+                );
+            }
+        }
+        if placer_telemetry::active() {
+            placer_telemetry::flush();
         }
         last_epoch_loss
     }

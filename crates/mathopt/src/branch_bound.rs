@@ -3,6 +3,11 @@
 use crate::simplex::solve_lp_with_bounds;
 use crate::{Model, Solution, SolveError};
 
+/// Branch-and-bound nodes popped off the stack across all MILP solves.
+static MILP_NODES: placer_telemetry::Counter = placer_telemetry::Counter::new("milp_nodes");
+/// Nodes discarded by the incumbent bound without (or after) an LP solve.
+static MILP_PRUNED: placer_telemetry::Counter = placer_telemetry::Counter::new("milp_pruned");
+
 const INT_TOL: f64 = 1e-6;
 
 /// Options controlling branch and bound.
@@ -179,19 +184,19 @@ impl Model {
 
         while let Some(node) = stack.pop() {
             nodes += 1;
+            MILP_NODES.add(1);
             if nodes > opts.max_nodes
                 || opts
                     .time_limit
                     .is_some_and(|t| start.elapsed().as_secs_f64() > t)
             {
-                if std::env::var_os("MILP_DEBUG").is_some() {
-                    eprintln!(
-                        "milp: budget exhausted at {nodes} nodes ({}s), stack {}, incumbent {:?}",
-                        start.elapsed().as_secs_f64(),
-                        stack.len(),
-                        incumbent.as_ref().map(|s| s.objective)
-                    );
-                }
+                placer_telemetry::vlog!(
+                    1,
+                    "milp: budget exhausted at {nodes} nodes ({}s), stack {}, incumbent {:?}",
+                    start.elapsed().as_secs_f64(),
+                    stack.len(),
+                    incumbent.as_ref().map(|s| s.objective)
+                );
                 if incumbent.is_none() {
                     // Last resort: one deadline-free dive from this node so
                     // slow machines (or debug builds) still get a feasible
@@ -207,6 +212,7 @@ impl Model {
                 let cutoff =
                     inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
                 if node.parent_bound >= cutoff {
+                    MILP_PRUNED.add(1);
                     continue;
                 }
             }
@@ -229,6 +235,7 @@ impl Model {
                 let cutoff =
                     inc.objective - opts.absolute_gap - opts.relative_gap * inc.objective.abs();
                 if relaxed.objective >= cutoff {
+                    MILP_PRUNED.add(1);
                     continue;
                 }
             }
@@ -301,12 +308,11 @@ impl Model {
             }
         }
 
-        if std::env::var_os("MILP_DEBUG").is_some() {
-            eprintln!(
-                "milp: explored {nodes} nodes, incumbent: {:?}",
-                incumbent.as_ref().map(|s| s.objective)
-            );
-        }
+        placer_telemetry::vlog!(
+            2,
+            "milp: explored {nodes} nodes, incumbent: {:?}",
+            incumbent.as_ref().map(|s| s.objective)
+        );
         match incumbent {
             Some(s) => Ok(s),
             None if root_infeasible => Err(SolveError::Infeasible),

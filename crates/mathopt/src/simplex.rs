@@ -8,6 +8,9 @@
 
 use crate::{ConstraintOp, Model, Solution, SolveError};
 
+/// Simplex pivots across all solves (phase 1 + phase 2 + MILP subproblems).
+static SIMPLEX_PIVOTS: placer_telemetry::Counter = placer_telemetry::Counter::new("simplex_pivots");
+
 const PIVOT_TOL: f64 = 1e-9;
 const COST_TOL: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-7;
@@ -39,6 +42,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, r: usize, c: usize) {
+        SIMPLEX_PIVOTS.add(1);
         let w = self.n + 1;
         let p = self.a[r * w + c];
         debug_assert!(p.abs() > PIVOT_TOL);
@@ -294,9 +298,10 @@ pub(crate) fn solve_lp_with_bounds(
         t.optimize(max_iters)?;
         let infeas = -t.at(m, n); // objective row rhs = −value
         if infeas > FEAS_TOL {
-            if std::env::var_os("MILP_DEBUG").is_some() {
-                eprintln!("simplex: phase-1 infeasibility {infeas:.3e} (m={m}, n={n})");
-            }
+            placer_telemetry::vlog!(
+                2,
+                "simplex: phase-1 infeasibility {infeas:.3e} (m={m}, n={n})"
+            );
             return Err(SolveError::Infeasible);
         }
         // Pivot remaining basic artificials out where possible.

@@ -206,6 +206,8 @@ impl FftPlan {
     }
 
     fn process(&self, data: &mut [Complex], inverse: bool) {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("fft_1d");
+        let _span = SPAN.enter();
         assert_eq!(data.len(), self.n, "buffer length must match the plan");
         for &(i, j) in &self.swaps {
             data.swap(i as usize, j as usize);
@@ -307,6 +309,8 @@ impl Fft2Plan {
     }
 
     fn process(&self, data: &mut [Complex], scratch: &mut [Complex], inverse: bool) {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("fft_2d");
+        let _span = SPAN.enter();
         assert_eq!(
             data.len(),
             self.rows * self.cols,

@@ -46,6 +46,9 @@ pub struct NesterovState {
     /// Gradient norm at the previous step, for the divergence check.
     g_norm_prev: f64,
     iterations: usize,
+    /// Times the divergence safeguard fired (momentum killed, step shrunk)
+    /// — the solver's analogue of a line-search backtracking count.
+    safeguard_trips: usize,
 }
 
 impl NesterovState {
@@ -69,6 +72,7 @@ impl NesterovState {
             shrink: 1.0,
             g_norm_prev: 0.0,
             iterations: 0,
+            safeguard_trips: 0,
         }
     }
 
@@ -97,6 +101,12 @@ impl NesterovState {
     /// Number of completed steps.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Times the divergence safeguard fired since construction (each trip
+    /// kills the momentum and halves the step-shrink factor).
+    pub fn safeguard_trips(&self) -> usize {
+        self.safeguard_trips
     }
 
     /// Resets the momentum (used after large objective reweighting).
@@ -133,6 +143,7 @@ impl NesterovState {
             if g_norm > 2.0 * self.g_norm_prev && self.g_norm_prev > 0.0 {
                 self.a = 1.0;
                 self.shrink = (self.shrink * 0.5).max(1e-3);
+                self.safeguard_trips += 1;
             } else {
                 self.shrink = (self.shrink * 1.1).min(1.0);
             }
@@ -166,19 +177,18 @@ impl NesterovState {
         self.v_prev.copy_from_slice(&self.v);
         self.g_prev.copy_from_slice(grad);
 
-        // u_{k+1} = v_k − α g_k
-        let mut u_next = self.v.clone();
-        for (ui, gi) in u_next.iter_mut().zip(grad) {
-            *ui -= step * gi;
-        }
         // a_{k+1} = (1 + sqrt(4 a_k² + 1)) / 2
         let a_next = (1.0 + (4.0 * self.a * self.a + 1.0).sqrt()) / 2.0;
-        // v_{k+1} = u_{k+1} + (a_k − 1)(u_{k+1} − u_k)/a_{k+1}
         let coeff = (self.a - 1.0) / a_next;
-        for (v, (un, u)) in self.v.iter_mut().zip(u_next.iter().zip(&self.u)) {
-            *v = un + coeff * (un - u);
+        // u_{k+1} = v_k − α g_k, then
+        // v_{k+1} = u_{k+1} + (a_k − 1)(u_{k+1} − u_k)/a_{k+1}.
+        // Each index is independent, so both updates fuse into one in-place
+        // pass — this is a hot path with a zero-allocation contract.
+        for ((v, u), gi) in self.v.iter_mut().zip(&mut self.u).zip(grad) {
+            let un = *v - step * gi;
+            *v = un + coeff * (un - *u);
+            *u = un;
         }
-        self.u = u_next;
         self.a = a_next;
         self.iterations += 1;
         step

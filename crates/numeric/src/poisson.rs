@@ -171,6 +171,8 @@ impl PoissonSolver {
     ///
     /// Panics if `rho` or `out` do not match the solver dimensions.
     pub fn solve_into(&mut self, rho: &Grid, out: &mut Grid) {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("poisson_solve");
+        let _span = SPAN.enter();
         self.check_dims(rho);
         assert_eq!(out.nx(), self.nx, "output grid width mismatch");
         assert_eq!(out.ny(), self.ny, "output grid height mismatch");
@@ -296,6 +298,8 @@ impl PoissonSolver {
     ///
     /// Panics if any grid does not match the solver dimensions.
     pub fn field_into(&self, psi: &Grid, ex: &mut Grid, ey: &mut Grid) {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("poisson_field");
+        let _span = SPAN.enter();
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(psi.nx(), nx, "potential grid width mismatch");
         assert_eq!(psi.ny(), ny, "potential grid height mismatch");

@@ -18,6 +18,15 @@ use crate::evaluator::MoveEvaluator;
 use crate::island::BlockModel;
 use crate::seqpair::SequencePair;
 
+use placer_telemetry::Counter;
+
+// Whole-run work counters, bumped once per chain (not per move).
+static SA_MOVES: Counter = Counter::new("sa_moves");
+static SA_ACCEPTS: Counter = Counter::new("sa_accepts");
+static SA_PACK_SKIPS: Counter = Counter::new("sa_pack_skips");
+static SA_DENSE_SWEEPS: Counter = Counter::new("sa_dense_sweeps");
+static SA_SPARSE_REPRICES: Counter = Counter::new("sa_sparse_reprices");
+
 /// Annealing parameters.
 #[derive(Debug, Clone)]
 pub struct SaConfig {
@@ -348,6 +357,8 @@ fn anneal_chain(
     mut perf: Option<PerfCost<'_>>,
     seed: u64,
 ) -> AnnealResult {
+    static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("sa_chain");
+    let _span = SPAN.enter();
     let n = circuit.num_devices();
     let model = BlockModel::new(circuit);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -407,7 +418,10 @@ fn anneal_chain(
     // evaluator's committed state between moves, so a rejected trial rolls
     // back with an O(1) undo instead of a full state copy.
     trial.copy_from(&state);
-    for _level in 0..config.temperatures {
+    let mut accepts = 0u64;
+    let mut stats_prev = evaluator.stats();
+    for level in 0..config.temperatures {
+        let level_accepts_before = accepts;
         for _ in 0..config.moves_per_temperature {
             moves += 1;
             let rec = apply_move(&mut trial, n, &mut rng);
@@ -415,6 +429,7 @@ fn anneal_chain(
             let delta = cand_cost.total - cost.total;
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
                 evaluator.accept();
+                accepts += 1;
                 cost = cand_cost;
                 if cost.total < best_cost.total {
                     best_state.copy_from(&trial);
@@ -430,7 +445,66 @@ fn anneal_chain(
                 undo_move(&mut trial, rec);
             }
         }
+        if placer_telemetry::active() {
+            // One buffered event per temperature level, outside the move
+            // loop; evaluator counters are emitted as per-level deltas.
+            let stats = evaluator.stats();
+            let level_moves = config.moves_per_temperature.max(1) as f64;
+            placer_telemetry::record(
+                "sa_temp",
+                &[
+                    ("seed", seed as f64),
+                    ("level", level as f64),
+                    ("temperature", temperature),
+                    (
+                        "acceptance",
+                        (accepts - level_accepts_before) as f64 / level_moves,
+                    ),
+                    ("cost", cost.total),
+                    ("best_cost", best_cost.total),
+                    (
+                        "pack_skips",
+                        (stats.pack_skips - stats_prev.pack_skips) as f64,
+                    ),
+                    (
+                        "dense_sweeps",
+                        (stats.dense_sweeps - stats_prev.dense_sweeps) as f64,
+                    ),
+                    (
+                        "sparse_reprices",
+                        (stats.sparse_reprices - stats_prev.sparse_reprices) as f64,
+                    ),
+                    (
+                        "dirty_devices",
+                        (stats.dirty_devices - stats_prev.dirty_devices) as f64,
+                    ),
+                ],
+            );
+            stats_prev = stats;
+        }
         temperature *= config.cooling;
+    }
+    if placer_telemetry::active() {
+        SA_MOVES.add(moves as u64);
+        SA_ACCEPTS.add(accepts);
+        let stats = evaluator.stats();
+        SA_PACK_SKIPS.add(stats.pack_skips);
+        SA_DENSE_SWEEPS.add(stats.dense_sweeps);
+        SA_SPARSE_REPRICES.add(stats.sparse_reprices);
+        placer_telemetry::record(
+            "sa_chain_done",
+            &[
+                ("seed", seed as f64),
+                ("moves", moves as f64),
+                ("accepts", accepts as f64),
+                ("best_cost", best_cost.total),
+                ("best_hpwl", best_cost.hpwl),
+                ("best_area", best_cost.area),
+            ],
+        );
+        // Chains may run on worker threads: drain this thread's ring while
+        // the chain still owns it.
+        placer_telemetry::flush();
     }
     AnnealResult {
         state: best_state,

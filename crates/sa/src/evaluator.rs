@@ -84,6 +84,27 @@ impl std::fmt::Debug for PerfEngine<'_> {
     }
 }
 
+/// Work counters maintained by [`MoveEvaluator::eval_trial`]: how trials
+/// split between the flip-only pack skip, the dense full-sweep reprice, and
+/// the sparse dirty-device path. Plain integer tallies, always on — they
+/// cost a few increments per trial and feed the telemetry layer's
+/// per-temperature events when tracing is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvaluatorStats {
+    /// Trials priced.
+    pub trials: u64,
+    /// Trials whose sequences matched the committed pair (packing reused).
+    pub pack_skips: u64,
+    /// Trials identical to the committed state (no dirty device).
+    pub noop_trials: u64,
+    /// Trials priced by the dense full-cache sweep.
+    pub dense_sweeps: u64,
+    /// Trials priced by sparse per-device invalidation.
+    pub sparse_reprices: u64,
+    /// Total dirty devices across all trials.
+    pub dirty_devices: u64,
+}
+
 /// The incremental cost engine for one annealing chain.
 ///
 /// Holds a *committed* evaluation (state caches + [`SaCost`]) and a trial
@@ -154,6 +175,7 @@ pub struct MoveEvaluator<'a> {
     align_mark: Vec<u64>,
     window_mark: Vec<u64>,
     epoch: u64,
+    stats: EvaluatorStats,
 
     perf: Option<PerfEngine<'a>>,
 }
@@ -304,6 +326,7 @@ impl<'a> MoveEvaluator<'a> {
             align_mark: vec![0; num_aligns],
             window_mark: vec![0; num_windows],
             epoch: 0,
+            stats: EvaluatorStats::default(),
             perf,
         };
         engine.reset(state);
@@ -367,6 +390,11 @@ impl<'a> MoveEvaluator<'a> {
         &self.placement
     }
 
+    /// Work counters accumulated since construction (see [`EvaluatorStats`]).
+    pub fn stats(&self) -> EvaluatorStats {
+        self.stats
+    }
+
     /// Prices a candidate state against the committed one.
     ///
     /// The candidate may differ from the committed state by any number of
@@ -379,6 +407,10 @@ impl<'a> MoveEvaluator<'a> {
         // (the annealer's most common cheap move) reuses the committed
         // origins bit-for-bit and skips the pack and the block diff.
         let same_seqs = trial.seq_pair.s1 == self.c_s1 && trial.seq_pair.s2 == self.c_s2;
+        self.stats.trials += 1;
+        if same_seqs {
+            self.stats.pack_skips += 1;
+        }
         if same_seqs {
             self.t_origins.clear();
             self.t_origins.extend_from_slice(&self.origins);
@@ -423,7 +455,9 @@ impl<'a> MoveEvaluator<'a> {
                 self.dirty.push(d as u32);
             }
         }
+        self.stats.dirty_devices += self.dirty.len() as u64;
         if self.dirty.is_empty() {
+            self.stats.noop_trials += 1;
             // Candidate is identical to the committed state (the move
             // repertoire includes self-inverse no-ops); every cache entry
             // already matches, so the committed cost is the answer.
@@ -434,6 +468,7 @@ impl<'a> MoveEvaluator<'a> {
             return self.t_cost;
         }
         if 2 * self.dirty.len() >= self.t_placement.positions.len() {
+            self.stats.dense_sweeps += 1;
             // Most devices moved (a sequence move reshuffles most of the
             // packing): a straight sweep over every cache row beats
             // per-device invalidation marking. Non-routable rows stay at
@@ -456,6 +491,7 @@ impl<'a> MoveEvaluator<'a> {
                 self.t_window_vals[i] = flat_window_value(w, &self.t_placement.positions);
             }
         } else {
+            self.stats.sparse_reprices += 1;
             // Recompute exactly the invalidated cache entries.
             self.t_net_vals.copy_from_slice(&self.net_vals);
             self.t_align_vals.copy_from_slice(&self.align_vals);

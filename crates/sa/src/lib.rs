@@ -40,7 +40,7 @@ mod seqpair;
 pub use anneal::{
     anneal, anneal_reference, evaluate, AnnealResult, PerfCost, SaConfig, SaCost, SaState,
 };
-pub use evaluator::MoveEvaluator;
+pub use evaluator::{EvaluatorStats, MoveEvaluator};
 pub use island::{Block, BlockModel};
 pub use pipeline::{SaPlacer, SaResult};
 pub use repair::repair_placement;

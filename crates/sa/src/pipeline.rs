@@ -65,6 +65,8 @@ impl SaPlacer {
         annealed: crate::anneal::AnnealResult,
         anneal_seconds: f64,
     ) -> Result<SaResult, SolveError> {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("sa_repair");
+        let _span = SPAN.enter();
         let t1 = Instant::now();
         // The annealed packing is overlap-free but its symmetry is only
         // penalty-tight; one minimal-displacement LP pass snaps the

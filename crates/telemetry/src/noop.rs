@@ -1,0 +1,103 @@
+//! The disabled implementation: every entry point is an inlinable no-op
+//! with the same signatures as `real`, so instrumented crates compile
+//! identically in both feature states and guarded blocks are removed by
+//! dead-code elimination.
+
+use std::io;
+use std::path::Path;
+
+use crate::Field;
+
+/// Constant `false` without the `enabled` feature: `if active() { ... }`
+/// blocks vanish from the build.
+#[inline(always)]
+pub fn active() -> bool {
+    false
+}
+
+#[inline(always)]
+pub fn record(_kind: &'static str, _fields: &[(&'static str, f64)]) {}
+
+pub fn dropped_events() -> u64 {
+    0
+}
+
+/// No-op stand-in for the live counter; see `real::Counter`.
+pub struct Counter(());
+
+impl Counter {
+    pub const fn new(_name: &'static str) -> Self {
+        Counter(())
+    }
+
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stand-in for the live histogram; see `real::Histogram`.
+pub struct Histogram(());
+
+impl Histogram {
+    pub const fn new(_name: &'static str) -> Self {
+        Histogram(())
+    }
+
+    #[inline(always)]
+    pub fn record(&self, _value: f64) {}
+
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stand-in for the live span statistic; see `real::SpanStat`.
+pub struct SpanStat(());
+
+impl SpanStat {
+    pub const fn new(_name: &'static str) -> Self {
+        SpanStat(())
+    }
+
+    #[inline(always)]
+    pub fn enter(&self) -> SpanGuard {
+        SpanGuard(())
+    }
+
+    pub fn calls(&self) -> u64 {
+        0
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized guard; carries no `Drop` impl, so spans cost nothing.
+#[must_use = "a span guard measures the scope it is dropped in"]
+pub struct SpanGuard(());
+
+pub fn install(_path: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+pub fn uninstall() {}
+
+pub fn flush() {}
+
+pub fn flush_stats() {}
+
+pub fn emit_meta(_tag: &str, _fields: &[(&str, Field<'_>)]) {}
+
+pub fn manifest(_fields: &[(&str, Field<'_>)]) {}
+
+pub fn counter_value(_name: &str) -> Option<u64> {
+    None
+}
+
+pub fn span_calls(_name: &str) -> Option<u64> {
+    None
+}

@@ -74,6 +74,8 @@ pub fn run_global_with_extra(
     cfg: &Xu19GlobalConfig,
     mut extra: Option<&mut ExtraGradientFn<'_>>,
 ) -> (Placement, Xu19GlobalStats) {
+    static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_global");
+    let _span = SPAN.enter();
     let n = circuit.num_devices();
     assert!(n > 0, "cannot place an empty circuit");
     let side = (circuit.total_device_area() / cfg.utilization).sqrt();
@@ -111,7 +113,7 @@ pub fn run_global_with_extra(
 
     let mut iterations = 0;
     let mut overflow = 1.0;
-    for _round in 0..cfg.rounds {
+    for round in 0..cfg.rounds {
         let opts = CgOptions {
             max_iters: cfg.cg_iters,
             grad_tol: 1e-5,
@@ -151,11 +153,23 @@ pub fn run_global_with_extra(
         let mut scratch = vec![0.0; 2 * n];
         let (_, of) = bell.evaluate(circuit, &pts, 1.0, &mut scratch);
         overflow = of;
+        placer_telemetry::record(
+            "xu_round",
+            &[
+                ("round", round as f64),
+                ("cg_iters", result.iterations as f64),
+                ("total_iters", iterations as f64),
+                ("overflow", overflow),
+                ("beta", beta),
+                ("value", result.value),
+            ],
+        );
         if overflow < 0.08 {
             break;
         }
         beta *= cfg.beta_growth;
     }
+    placer_telemetry::flush();
 
     let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
     (

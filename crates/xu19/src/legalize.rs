@@ -135,15 +135,22 @@ fn add_axis_constraints(
 
 /// Stage 1: area compaction — minimize the chip extent per axis.
 fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64, LegalizeError> {
+    static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_compact_axis");
+    let _span = SPAN.enter();
     let mut model = Model::new();
     let chip = model.add_var("chip", 0.0, f64::INFINITY, 1.0);
     let _ = add_axis_constraints(&mut model, circuit, axis, seps, chip);
     let sol = model.solve_lp().inspect_err(|_| {
-        if std::env::var_os("LEGALIZE_DEBUG").is_some() {
+        if placer_telemetry::verbose(1) {
             if let Ok((total, rows)) = model.diagnose_infeasibility() {
-                eprintln!("xu19 compact axis {axis}: infeasibility {total:.3}, rows {rows:?}");
-                let d = model.dump();
-                let _ = std::fs::write("/tmp/xu19_model.txt", d);
+                placer_telemetry::vlog!(
+                    1,
+                    "xu19 compact axis {axis}: infeasibility {total:.3}, rows {rows:?}"
+                );
+                if placer_telemetry::verbose(3) {
+                    // Level 3 turns on dump files for offline inspection.
+                    let _ = std::fs::write("/tmp/xu19_model.txt", model.dump());
+                }
             }
         }
     })?;

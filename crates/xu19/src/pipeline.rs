@@ -57,6 +57,8 @@ impl Xu19Placer {
     ///
     /// Propagates [`LegalizeError`] from the LP stages.
     pub fn place(&self, circuit: &Circuit) -> Result<Xu19Result, LegalizeError> {
+        static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_place");
+        let _span = SPAN.enter();
         let t0 = Instant::now();
         let (gp, _) = run_global_with_extra(circuit, &self.global, None);
         let gp_seconds = t0.elapsed().as_secs_f64();

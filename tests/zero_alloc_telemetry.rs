@@ -1,0 +1,187 @@
+//! Verifies that the telemetry layer keeps the engine's zero-allocation
+//! contracts when it is *compiled in and live*: with a sink installed, the
+//! SA move loop and the Nesterov iteration — each wrapped in the same span /
+//! event / counter instrumentation the solvers use — never touch the heap
+//! after warm-up.
+//!
+//! The mirror-image guarantee (instrumentation compiled out entirely) is
+//! covered by the per-crate `zero_alloc` tests, which build without the
+//! feature and must pass unmodified.
+//!
+//! This file must hold exactly one test: other tests running concurrently
+//! in the same binary would bump the counters and produce false failures.
+
+#![cfg(feature = "telemetry")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use analog_netlist::testcases;
+use placer_numeric::NesterovState;
+use placer_sa::{BlockModel, MoveEvaluator, SaConfig, SaState, SequencePair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a side
+// effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+static MOVES: placer_telemetry::Counter = placer_telemetry::Counter::new("test_moves");
+static COSTS: placer_telemetry::Histogram = placer_telemetry::Histogram::new("test_costs");
+static MOVE_SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("test_move");
+static STEP_SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("test_step");
+
+fn random_swap(state: &mut SaState, rng: &mut StdRng) {
+    let m = state.seq_pair.s1.len();
+    let (i, j) = (rng.gen_range(0..m), rng.gen_range(0..m));
+    if rng.gen_bool(0.5) {
+        state.seq_pair.s1.swap(i, j);
+    } else {
+        state.seq_pair.s2.swap(i, j);
+    }
+}
+
+#[test]
+fn hot_loops_stay_zero_alloc_with_live_telemetry() {
+    // Zero-allocation contracts hold on the single-threaded path (thread
+    // spawning itself allocates, unavoidably).
+    placer_parallel::set_max_threads(1);
+
+    let sink = std::env::temp_dir().join(format!(
+        "placer_zero_alloc_telemetry_{}.jsonl",
+        std::process::id()
+    ));
+    placer_telemetry::install(&sink).expect("install sink");
+    assert!(placer_telemetry::active());
+
+    // --- SA move loop under live instrumentation. -----------------------
+    let circuit = testcases::cc_ota();
+    let model = BlockModel::new(&circuit);
+    let config = SaConfig::default();
+    let n = circuit.num_devices();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut state = SaState {
+        seq_pair: SequencePair::identity(model.len()),
+        flips: vec![(false, false); n],
+    };
+    let mut evaluator = MoveEvaluator::new(&circuit, &model, &config, &state, None);
+    let mut cost = evaluator.cost();
+    let mut trial = state.clone();
+
+    // Warm up: ring buffer grows to capacity on the first record, the sink
+    // line buffer on the first flush, evaluator scratch on the first trials.
+    for _ in 0..32 {
+        let _span = MOVE_SPAN.enter();
+        trial.copy_from(&state);
+        random_swap(&mut trial, &mut rng);
+        let c = evaluator.eval_trial(&trial);
+        placer_telemetry::record("test_move", &[("cost", c.total)]);
+        MOVES.add(1);
+        COSTS.record(c.total);
+        if c.total <= cost.total {
+            evaluator.accept();
+            std::mem::swap(&mut state, &mut trial);
+            cost = c;
+        }
+    }
+    placer_telemetry::flush();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..500 {
+        let _span = MOVE_SPAN.enter();
+        trial.copy_from(&state);
+        random_swap(&mut trial, &mut rng);
+        let c = evaluator.eval_trial(&trial);
+        placer_telemetry::record("test_move", &[("cost", c.total)]);
+        MOVES.add(1);
+        COSTS.record(c.total);
+        if c.total <= cost.total {
+            evaluator.accept();
+            std::mem::swap(&mut state, &mut trial);
+            cost = c;
+        }
+    }
+    placer_telemetry::flush();
+    let sa_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    // --- Nesterov iteration under live instrumentation. -----------------
+    // The same per-iteration recording shape `GlobalPlacer` uses: one span,
+    // one multi-field event, one histogram sample per step.
+    let dim = 256;
+    let mut nesterov = NesterovState::new(vec![0.5; dim], 0.1);
+    let mut grad = vec![0.0; dim];
+    for _ in 0..16 {
+        let _span = STEP_SPAN.enter();
+        for (i, (g, r)) in grad.iter_mut().zip(nesterov.reference()).enumerate() {
+            *g = r - 0.25 * (i as f64 / dim as f64);
+        }
+        let step = nesterov.step(&grad);
+        placer_telemetry::record(
+            "test_step",
+            &[("step", step), ("trips", nesterov.safeguard_trips() as f64)],
+        );
+    }
+    placer_telemetry::flush();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        let _span = STEP_SPAN.enter();
+        // Gradient evaluated in place: the iteration itself owns no heap.
+        for (i, (g, r)) in grad.iter_mut().zip(nesterov.reference()).enumerate() {
+            *g = r - 0.25 * (i as f64 / dim as f64);
+        }
+        let step = nesterov.step(&grad);
+        placer_telemetry::record(
+            "test_step",
+            &[("step", step), ("trips", nesterov.safeguard_trips() as f64)],
+        );
+        COSTS.record(step);
+    }
+    placer_telemetry::flush();
+    let nesterov_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    placer_telemetry::flush_stats();
+    placer_telemetry::uninstall();
+    placer_parallel::set_max_threads(0);
+    std::fs::remove_file(&sink).ok();
+
+    assert_eq!(
+        sa_allocs, 0,
+        "SA move loop allocated {sa_allocs} times across 500 instrumented moves"
+    );
+    assert_eq!(
+        nesterov_allocs, 0,
+        "Nesterov loop allocated {nesterov_allocs} times across 200 instrumented steps"
+    );
+    // Sanity: the instrumentation was live, not compiled to no-ops.
+    assert_eq!(MOVES.value(), 532);
+    assert_eq!(COSTS.count(), 732);
+    assert_eq!(MOVE_SPAN.calls(), 532);
+    assert_eq!(STEP_SPAN.calls(), 216);
+}
