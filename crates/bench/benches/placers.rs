@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 use analog_netlist::{testcases, Placement};
 use eplace::{legalize, DetailedConfig, GlobalConfig, GlobalPlacer};
-use placer_gnn::{CircuitGraph, Network};
+use placer_gnn::{CircuitGraph, GradScratch, InferenceScratch, Network};
 use placer_numeric::{Grid, PoissonSolver};
 use placer_sa::{anneal, SaConfig};
 use placer_xu19::{legalize_two_stage, run_global, Xu19GlobalConfig};
@@ -73,12 +73,18 @@ fn bench_gnn(c: &mut Criterion) {
     let placement = Placement::new(circuit.num_devices());
     let graph = CircuitGraph::new(&circuit, &placement, 20.0);
     let network = Network::default_config(7);
+    // The shipping consumer paths: scratch-reusing CSR inference (SA's Φ
+    // re-price) and input-gradient-only backward (AP's Nesterov hook).
+    let n = circuit.num_devices();
+    let mut inference = InferenceScratch::new(&network, n);
+    let mut scratch = GradScratch::new(&network, n);
+    let mut grads = vec![(0.0, 0.0); n];
     let mut group = c.benchmark_group("table7_gnn_terms");
     group.bench_function("phi_inference", |b| {
-        b.iter(|| network.predict(black_box(&graph)))
+        b.iter(|| network.predict_with(black_box(&graph), &mut inference))
     });
     group.bench_function("phi_position_gradient", |b| {
-        b.iter(|| network.position_gradient(black_box(&graph)))
+        b.iter(|| network.position_gradient_with(black_box(&graph), &mut scratch, &mut grads))
     });
     group.finish();
 }

@@ -15,10 +15,13 @@
 
 use std::time::Instant;
 
-use analog_netlist::testcases;
+use analog_netlist::{testcases, Circuit, Placement};
 use eplace::wirelength::{wa_wirelength, wa_wirelength_reference};
 use eplace::DensityGrid;
 use placer_bench::{spiral_positions, synthetic_circuit};
+use placer_gnn::{
+    CircuitGraph, GradScratch, InferenceScratch, Network, TrainOptions, Trainer, TrainingSample,
+};
 use placer_numeric::{Grid, PoissonSolver};
 use placer_sa::{
     anneal, anneal_reference, evaluate, BlockModel, MoveEvaluator, PackScratch, SaConfig, SaState,
@@ -77,6 +80,16 @@ fn random_move(state: &mut SaState, num_devices: usize, rng: &mut StdRng) {
             }
         }
     }
+}
+
+/// A deterministic off-grid placement for GNN feature refreshes.
+fn staggered_placement(circuit: &Circuit) -> Placement {
+    let n = circuit.num_devices();
+    let mut p = Placement::new(n);
+    for i in 0..n {
+        p.positions[i] = (3.0 + 1.7 * i as f64, 2.0 + 0.9 * (i % 5) as f64);
+    }
+    p
 }
 
 /// Extracts a top-level scalar value (`"key": value`) from the JSON body.
@@ -349,6 +362,117 @@ fn main() {
         rows.push(BenchRow {
             name: "sa_chains",
             detail: "cc_ota, 4 chains, 1 thread vs 4 requested threads".to_string(),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- gnn_forward: CSR scratch-reusing inference vs the dense seed. ---
+    // At paper-testcase sizes (≤32 nodes, ≈30% dense Â) both legs are
+    // tanh-bound; 512 nodes (≈2.6% dense) is where the O(n²) adjacency
+    // products the CSR plan eliminates dominate — same scale policy as
+    // `wa_grad`/`sa_pack` above. EXPERIMENTS.md records both sizes.
+    {
+        let circuit = synthetic_circuit(512, 5);
+        let n = circuit.num_devices();
+        let network = Network::default_config(17);
+        let graph = CircuitGraph::new(&circuit, &staggered_placement(&circuit), 20.0);
+        let mut scratch = InferenceScratch::new(&network, n);
+        let calls = if quick { 20 } else { 50 };
+        let after = time_median(samples, || {
+            for _ in 0..calls {
+                std::hint::black_box(network.predict_with(&graph, &mut scratch));
+            }
+        });
+        let before = time_median(samples, || {
+            for _ in 0..calls {
+                std::hint::black_box(network.predict(&graph));
+            }
+        });
+        rows.push(BenchRow {
+            name: "gnn_forward",
+            detail: format!("synthetic, {n} nodes, {calls} inferences"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- gnn_posgrad: input-gradient-only CSR backward vs the full ------
+    // --- dense backward of the seed (which also built ParamGrads it -----
+    // --- immediately threw away).                                   -----
+    {
+        let circuit = synthetic_circuit(512, 5);
+        let n = circuit.num_devices();
+        let network = Network::default_config(17);
+        let graph = CircuitGraph::new(&circuit, &staggered_placement(&circuit), 20.0);
+        let mut scratch = GradScratch::new(&network, n);
+        let mut grads = vec![(0.0, 0.0); n];
+        let calls = if quick { 20 } else { 50 };
+        let after = time_median(samples, || {
+            for _ in 0..calls {
+                std::hint::black_box(network.position_gradient_with(
+                    &graph,
+                    &mut scratch,
+                    &mut grads,
+                ));
+            }
+        });
+        let before = time_median(samples, || {
+            for _ in 0..calls {
+                std::hint::black_box(network.position_gradient_reference(&graph));
+            }
+        });
+        rows.push(BenchRow {
+            name: "gnn_posgrad",
+            detail: format!("synthetic, {n} nodes, {calls} gradient calls"),
+            before_ms: before * 1e3,
+            after_ms: after * 1e3,
+        });
+    }
+
+    // --- gnn_fit: block-deterministic in-place training vs the ----------
+    // --- sequential flattening seed, single-threaded so the ratio -------
+    // --- is purely algorithmic.                                   -------
+    {
+        let circuit = testcases::scf();
+        let samples_set: Vec<TrainingSample> = (0..32)
+            .map(|k| {
+                let mut p = staggered_placement(&circuit);
+                for (i, pos) in p.positions.iter_mut().enumerate() {
+                    pos.0 += (k as f64) * 0.6 + (i % 3) as f64 * 0.2;
+                    pos.1 += (k as f64) * 0.3;
+                }
+                TrainingSample {
+                    graph: CircuitGraph::new(&circuit, &p, 20.0),
+                    label: f64::from(k % 2),
+                }
+            })
+            .collect();
+        let opts = TrainOptions {
+            epochs: if quick { 3 } else { 8 },
+            batch_size: 8,
+            learning_rate: 0.05,
+            seed: 1,
+        };
+        placer_parallel::set_max_threads(1);
+        let fit_samples = if quick { 2 } else { 5 };
+        let after = time_median(fit_samples, || {
+            let mut network = Network::default_config(17);
+            let mut trainer = Trainer::new();
+            std::hint::black_box(trainer.fit(&mut network, &samples_set, &opts));
+        });
+        let before = time_median(fit_samples, || {
+            let mut network = Network::default_config(17);
+            let mut trainer = Trainer::new();
+            std::hint::black_box(trainer.fit_reference(&mut network, &samples_set, &opts));
+        });
+        placer_parallel::set_max_threads(0);
+        rows.push(BenchRow {
+            name: "gnn_fit",
+            detail: format!(
+                "scf, 32 samples x {} epochs, batch 8, 1 thread",
+                opts.epochs
+            ),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
         });

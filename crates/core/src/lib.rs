@@ -54,7 +54,7 @@ pub use config::{DetailedConfig, GlobalConfig, PerfConfig, PlacerConfig, Smoothi
 pub use density::{DensityEval, DensityGrid};
 pub use detailed::{legalize, DetailedError, DetailedPlacer, DetailedStats};
 pub use global::{GlobalPlacer, GlobalStats};
-pub use perf::run_perf_global;
+pub use perf::{run_perf_global, PerfGradHook};
 pub use pipeline::{EPlaceA, EPlaceAP, PlacementResult};
 pub use sepplan::{SepEdge, SeparationPlanner};
 pub use symmetry::{project_symmetry, symmetry_penalty};

@@ -2,61 +2,99 @@
 //!
 //! The only difference from ePlace-A is the extra objective term `α·Φ(G)`;
 //! its gradient `∂Φ/∂v` comes from the GNN's reverse pass
-//! ([`Network::position_gradient`]) — the role TensorFlow's autodiff plays
-//! in the paper.
+//! ([`Network::position_gradient_with`]) — the role TensorFlow's autodiff
+//! plays in the paper. [`PerfGradHook`] owns every buffer that pass needs,
+//! so the per-iteration hook evaluation performs **zero heap allocations**
+//! (enforced by `crates/core/tests/zero_alloc_perf.rs`).
 
 use analog_netlist::{Circuit, Placement};
-use placer_gnn::{CircuitGraph, Network};
+use placer_gnn::{CircuitGraph, GradScratch, Network};
 
 use crate::global::{GlobalPlacer, GlobalStats};
 use crate::{GlobalConfig, PerfConfig};
 
+/// The reusable state of the ePlace-AP gradient hook: the circuit graph
+/// (topology fixed, position features refreshed in place each call), the
+/// GNN gradient scratch, the position-gradient buffer, and the one-time α
+/// normalization.
+///
+/// After construction, [`eval`](Self::eval) is allocation-free: features
+/// update straight from the solver's point slice
+/// ([`CircuitGraph::update_positions_from_slice`]) and the CSR backward
+/// pass writes into owned buffers.
+pub struct PerfGradHook<'a> {
+    network: &'a Network,
+    graph: CircuitGraph,
+    scratch: GradScratch,
+    pos_grad: Vec<(f64, f64)>,
+    alpha_weight: f64,
+    alpha_abs: Option<f64>,
+}
+
+impl<'a> PerfGradHook<'a> {
+    /// Builds the hook state for a circuit. `alpha` is the relative weight
+    /// from Eq. 5; `scale` the feature normalization extent (µm).
+    pub fn new(circuit: &Circuit, network: &'a Network, alpha: f64, scale: f64) -> Self {
+        let n = circuit.num_devices();
+        let graph = CircuitGraph::new(circuit, &Placement::new(n), scale);
+        Self {
+            network,
+            scratch: GradScratch::new(network, n),
+            pos_grad: vec![(0.0, 0.0); n],
+            graph,
+            alpha_weight: alpha,
+            alpha_abs: None,
+        }
+    }
+
+    /// Evaluates the performance term at `pts`: adds `α·∂Φ/∂v` into `grad`
+    /// (solver layout `[x₀…xₙ₋₁, y₀…yₙ₋₁]`) and returns the objective
+    /// contribution `α·Φ`. Allocation-free.
+    ///
+    /// `α` is normalized against the wirelength gradient magnitude on the
+    /// first call so the configured weight acts as a relative one,
+    /// mirroring how the other weights in Eq. 5 are balanced
+    /// (re-normalizing every iteration amplifies a saturated Φ gradient
+    /// into noise — measured to hurt).
+    pub fn eval(&mut self, pts: &[(f64, f64)], grad: &mut [f64]) -> f64 {
+        let n = self.pos_grad.len();
+        self.graph.update_positions_from_slice(pts);
+        let phi =
+            self.network
+                .position_gradient_with(&self.graph, &mut self.scratch, &mut self.pos_grad);
+        let alpha = match self.alpha_abs {
+            Some(a) => a,
+            None => {
+                let g_norm: f64 = grad.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+                let phi_norm: f64 = self
+                    .pos_grad
+                    .iter()
+                    .map(|(gx, gy)| gx.abs() + gy.abs())
+                    .sum::<f64>()
+                    .max(1e-12);
+                let a = self.alpha_weight * g_norm / phi_norm;
+                self.alpha_abs = Some(a);
+                a
+            }
+        };
+        for (i, &(gx, gy)) in self.pos_grad.iter().enumerate() {
+            grad[i] += alpha * gx;
+            grad[n + i] += alpha * gy;
+        }
+        alpha * phi
+    }
+}
+
 /// Runs performance-driven global placement: ePlace-A's engine with the
 /// GNN gradient hook plugged in.
-///
-/// `α` is normalized against the wirelength gradient magnitude on the first
-/// call so `PerfConfig::alpha` acts as a relative weight, mirroring how the
-/// other weights in Eq. 5 are balanced.
 pub fn run_perf_global(
     circuit: &Circuit,
     global_config: &GlobalConfig,
     perf: &PerfConfig,
     network: &Network,
 ) -> (Placement, GlobalStats) {
-    let n = circuit.num_devices();
-    let mut graph: Option<CircuitGraph> = None;
-    let mut alpha_abs: Option<f64> = None;
-    let mut hook = |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 {
-        let placement = Placement::from_positions(pts.to_vec());
-        let g = match graph.as_mut() {
-            Some(g) => {
-                g.update_positions(&placement);
-                g
-            }
-            None => {
-                graph = Some(CircuitGraph::new(circuit, &placement, perf.scale));
-                graph.as_mut().expect("just inserted")
-            }
-        };
-        let (phi, pos_grad) = network.position_gradient(g);
-        // Normalize α once, against the initial wirelength-dominated grad
-        // (re-normalizing every iteration amplifies a saturated Φ gradient
-        // into noise — measured to hurt).
-        let alpha = *alpha_abs.get_or_insert_with(|| {
-            let g_norm: f64 = grad.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
-            let phi_norm: f64 = pos_grad
-                .iter()
-                .map(|(gx, gy)| gx.abs() + gy.abs())
-                .sum::<f64>()
-                .max(1e-12);
-            perf.alpha * g_norm / phi_norm
-        });
-        for (i, &(gx, gy)) in pos_grad.iter().enumerate() {
-            grad[i] += alpha * gx;
-            grad[n + i] += alpha * gy;
-        }
-        alpha * phi
-    };
+    let mut state = PerfGradHook::new(circuit, network, perf.alpha, perf.scale);
+    let mut hook = |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 { state.eval(pts, grad) };
     GlobalPlacer::new(global_config.clone()).run_with_extra(circuit, Some(&mut hook))
 }
 
@@ -94,6 +132,37 @@ mod tests {
         let (p_conv, _) = crate::GlobalPlacer::new(cfg).run(&c);
         for (a, b) in p_perf.positions.iter().zip(&p_conv.positions) {
             assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hook_matches_the_allocating_gradient_path() {
+        // The hook's scratch pipeline must reproduce what a from-scratch
+        // graph build plus the allocating gradient API would compute.
+        let c = testcases::cc_ota();
+        let net = Network::default_config(8);
+        let n = c.num_devices();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 4) as f64 * 2.0 + 0.3, (i / 4) as f64 * 1.8))
+            .collect();
+        let mut hook = PerfGradHook::new(&c, &net, 1.0, 20.0);
+        let mut grad = vec![0.5; 2 * n];
+        let contrib = hook.eval(&pts, &mut grad);
+
+        let placement = Placement::from_positions(pts.clone());
+        let graph = CircuitGraph::new(&c, &placement, 20.0);
+        let (phi, pos_grad) = net.position_gradient(&graph);
+        let g_norm: f64 = (0..2 * n).map(|_| 0.5f64).sum::<f64>().max(1e-12);
+        let phi_norm: f64 = pos_grad
+            .iter()
+            .map(|(gx, gy)| gx.abs() + gy.abs())
+            .sum::<f64>()
+            .max(1e-12);
+        let alpha = 1.0 * g_norm / phi_norm;
+        assert_eq!(contrib.to_bits(), (alpha * phi).to_bits());
+        for (i, &(gx, gy)) in pos_grad.iter().enumerate() {
+            assert_eq!(grad[i].to_bits(), (0.5 + alpha * gx).to_bits(), "x {i}");
+            assert_eq!(grad[n + i].to_bits(), (0.5 + alpha * gy).to_bits(), "y {i}");
         }
     }
 }

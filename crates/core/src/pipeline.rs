@@ -170,7 +170,10 @@ impl EPlaceAP {
         // pool, so a poorly-calibrated model cannot make things worse than
         // plain ePlace-A under the same selection score.
         let alpha_ladder = [1.0, 0.5, 2.0, 0.0];
+        // Scoring graph + inference scratch, shared across restarts (the
+        // topology is fixed; only the position features change).
         let mut graph: Option<placer_gnn::CircuitGraph> = None;
+        let mut scratch = placer_gnn::InferenceScratch::new(&self.network, circuit.num_devices());
         for k in 0..attempts {
             let mut global_cfg = self.config.global.clone();
             global_cfg.seed = self.config.global.seed + k as u64;
@@ -203,7 +206,7 @@ impl EPlaceAP {
                             graph.as_mut().expect("just inserted")
                         }
                     };
-                    let phi = self.network.predict(g);
+                    let phi = self.network.predict_with(g, &mut scratch);
                     let score = dstats.area * dstats.hpwl * (0.3 + phi);
                     let candidate = PlacementResult {
                         placement,

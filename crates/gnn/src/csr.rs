@@ -1,0 +1,172 @@
+//! Compressed-sparse-row adjacency for the message-passing hot path.
+//!
+//! [`crate::CircuitGraph`] prunes rails and caps nets at 16 pins, so the
+//! normalized adjacency `Â` is sparse by construction — a handful of
+//! nonzeros per row regardless of circuit size. The dense `n × n`
+//! [`crate::Matrix`] stays in the graph as the retained reference (the
+//! property tests in `proptests.rs` pin the two against each other), while
+//! every shipping forward/backward pass multiplies through this CSR plan.
+//!
+//! **Bit-identity contract.** [`CsrAdjacency::spmm_into`] accumulates each
+//! output row in ascending column order, exactly the `k` order of
+//! [`crate::Matrix::matmul_into`], and [`from_dense`](CsrAdjacency::from_dense)
+//! stores precisely the entries the dense kernel does not skip
+//! (`value != 0.0`). The sparse product is therefore bit-identical to the
+//! dense one — same partial sums in the same order, zeros skipped on both
+//! sides — not merely close.
+//!
+//! `Â` is symmetric (bit-for-bit: the graph builder writes `(i,j)` and
+//! `(j,i)` through the same accumulation, and `(dᵢ·dⱼ).sqrt()` is
+//! commutative), so the backward pass reuses the same plan for `Âᵀ·B`.
+
+use crate::Matrix;
+
+/// Calls into the sparse matmul kernel (all layers, forward and backward).
+static SPMM_CALLS: placer_telemetry::Counter = placer_telemetry::Counter::new("gnn_spmm");
+/// Nonzeros streamed through the kernel (`nnz` per call, summed).
+static SPMM_NNZ: placer_telemetry::Counter = placer_telemetry::Counter::new("gnn_spmm_nnz");
+
+/// A sparse row-major adjacency plan: row pointers, ascending column
+/// indices, and the normalized weights, built once per circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    n: usize,
+    /// `row_start[i]..row_start[i + 1]` indexes row `i`'s entries.
+    row_start: Vec<u32>,
+    /// Column indices, ascending within each row.
+    col: Vec<u32>,
+    /// Entry values, parallel to `col`.
+    val: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    /// Extracts the sparsity plan of a square dense matrix.
+    ///
+    /// Entries equal to `0.0` are dropped — the same test
+    /// [`Matrix::matmul_into`] uses to skip work — so multiplying through
+    /// the plan reproduces the dense product bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not square.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        assert_eq!(dense.rows(), dense.cols(), "adjacency must be square");
+        let n = dense.rows();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        row_start.push(0u32);
+        for i in 0..n {
+            for j in 0..n {
+                let v = dense.get(i, j);
+                if v != 0.0 {
+                    col.push(j as u32);
+                    val.push(v);
+                }
+            }
+            row_start.push(col.len() as u32);
+        }
+        Self {
+            n,
+            row_start,
+            col,
+            val,
+        }
+    }
+
+    /// Number of rows (= columns).
+    pub fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Sparse–dense product `self × rhs` written into `out`,
+    /// allocation-free and **bit-identical** to
+    /// `dense.matmul_into(rhs, out)` for the dense matrix this plan was
+    /// extracted from (same accumulation order, same zeros skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn spmm_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.n, rhs.rows(), "spmm dimension mismatch");
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.n, rhs.cols()),
+            "spmm output shape mismatch"
+        );
+        SPMM_CALLS.add(1);
+        SPMM_NNZ.add(self.val.len() as u64);
+        let cols = rhs.cols();
+        let rhs_data = rhs.as_slice();
+        let out_data = out.as_mut_slice();
+        out_data.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..self.n {
+            let row = &mut out_data[i * cols..(i + 1) * cols];
+            let s = self.row_start[i] as usize;
+            let e = self.row_start[i + 1] as usize;
+            for (&k, &v) in self.col[s..e].iter().zip(&self.val[s..e]) {
+                let src = &rhs_data[k as usize * cols..(k as usize + 1) * cols];
+                for (o, &r) in row.iter_mut().zip(src) {
+                    *o += v * r;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sparse() -> Matrix {
+        let mut m = Matrix::zeros(4, 4);
+        m.set(0, 0, 0.5);
+        m.set(0, 2, 0.25);
+        m.set(1, 1, 1.0);
+        m.set(2, 0, 0.25);
+        m.set(2, 2, 0.5);
+        m.set(3, 3, 0.125);
+        m
+    }
+
+    #[test]
+    fn from_dense_captures_exact_sparsity() {
+        let m = sample_sparse();
+        let csr = CsrAdjacency::from_dense(&m);
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.nnz(), 6);
+    }
+
+    #[test]
+    fn spmm_matches_dense_bitwise() {
+        let m = sample_sparse();
+        let csr = CsrAdjacency::from_dense(&m);
+        let rhs = Matrix::from_rows(&[
+            &[1.0, -2.0, 3.0],
+            &[0.1, 0.2, 0.3],
+            &[7.0, 1e-3, -4.0],
+            &[0.0, 5.0, 9.0],
+        ]);
+        let mut dense_out = Matrix::zeros(4, 3);
+        let mut csr_out = Matrix::zeros(4, 3);
+        m.matmul_into(&rhs, &mut dense_out);
+        csr.spmm_into(&rhs, &mut csr_out);
+        for (a, b) in dense_out.as_slice().iter().zip(csr_out.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmm_shape_checked() {
+        let csr = CsrAdjacency::from_dense(&sample_sparse());
+        let rhs = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(4, 2);
+        csr.spmm_into(&rhs, &mut out);
+    }
+}

@@ -7,7 +7,7 @@
 
 use analog_netlist::{Circuit, DeviceKind, Placement};
 
-use crate::Matrix;
+use crate::{CsrAdjacency, Matrix};
 
 /// Number of device-kind slots in the one-hot encoding.
 pub const KIND_SLOTS: usize = 6;
@@ -38,12 +38,15 @@ fn kind_slot(kind: DeviceKind) -> usize {
 /// connectivity) plus node features (position-dependent).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CircuitGraph {
-    /// Normalized adjacency `Â`, `n × n`.
+    /// Normalized adjacency `Â`, `n × n` — the retained dense reference;
+    /// the shipping forward/backward passes multiply through [`Self::csr`].
     pub adjacency: Matrix,
     /// Node features, `n × FEATURES`.
     pub features: Matrix,
     /// Position normalization scale (µm) used for the x/y features.
     pub scale: f64,
+    /// Sparse plan of `adjacency`, built once at construction.
+    pub(crate) csr: CsrAdjacency,
 }
 
 impl CircuitGraph {
@@ -102,14 +105,46 @@ impl CircuitGraph {
             }
         }
 
+        let csr = CsrAdjacency::from_dense(&adjacency);
         let mut graph = Self {
             adjacency,
             features: Matrix::zeros(n, FEATURES),
             scale,
+            csr,
         };
         graph.fill_static_features(circuit);
         graph.update_positions(placement);
         graph
+    }
+
+    /// Assembles a graph from an explicit adjacency and feature matrix,
+    /// deriving the CSR plan from the dense matrix.
+    ///
+    /// The backward pass assumes `adjacency` is symmetric (as every
+    /// circuit-derived `Â` is); this constructor exists for tests and
+    /// synthetic-graph experiments that build adjacencies directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjacency` is not square, the row counts disagree,
+    /// `features` is not `n ×`[`FEATURES`], or `scale` is not positive.
+    pub fn from_parts(adjacency: Matrix, features: Matrix, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency not square");
+        assert_eq!(adjacency.rows(), features.rows(), "node count mismatch");
+        assert_eq!(features.cols(), FEATURES, "feature width mismatch");
+        let csr = CsrAdjacency::from_dense(&adjacency);
+        Self {
+            adjacency,
+            features,
+            scale,
+            csr,
+        }
+    }
+
+    /// The sparse message-passing plan of [`Self::adjacency`].
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
     }
 
     fn fill_static_features(&mut self, circuit: &Circuit) {
@@ -140,7 +175,24 @@ impl CircuitGraph {
             self.features.rows(),
             "placement size mismatch"
         );
-        for (i, &(x, y)) in placement.positions.iter().enumerate() {
+        self.update_positions_from_slice(&placement.positions);
+    }
+
+    /// Refreshes the position features straight from a point slice — the
+    /// layout optimizers hand `(x, y)` slices to their gradient hooks, and
+    /// round-tripping through a [`Placement`] would allocate per iteration.
+    /// Same arithmetic as [`update_positions`](Self::update_positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice has the wrong number of devices.
+    pub fn update_positions_from_slice(&mut self, positions: &[(f64, f64)]) {
+        assert_eq!(
+            positions.len(),
+            self.features.rows(),
+            "placement size mismatch"
+        );
+        for (i, &(x, y)) in positions.iter().enumerate() {
             self.features.set(i, FEATURE_X, x / self.scale);
             self.features.set(i, FEATURE_Y, y / self.scale);
         }

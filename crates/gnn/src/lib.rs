@@ -34,14 +34,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod csr;
 mod graph;
 mod matrix;
 mod network;
+#[cfg(test)]
+mod proptests;
 mod train;
 
+pub use csr::CsrAdjacency;
 pub use graph::{
     CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS,
 };
 pub use matrix::Matrix;
-pub use network::{Forward, InferenceScratch, Network, ParamGrads};
+pub use network::{Forward, GradScratch, InferenceScratch, Network, ParamGrads, TrainScratch};
 pub use train::{TrainOptions, Trainer, TrainingSample};

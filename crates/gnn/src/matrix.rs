@@ -149,6 +149,106 @@ impl Matrix {
         }
     }
 
+    /// Transposed product `selfᵀ × rhs` written into a caller-owned matrix.
+    ///
+    /// Allocation-free and bit-identical to
+    /// `self.transpose().matmul(rhs)`: output row `k` accumulates over the
+    /// input rows `i` in ascending order, skipping `self[i][k] == 0.0`
+    /// exactly as [`matmul_into`](Self::matmul_into) skips its zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "atb dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, rhs.cols),
+            "atb output shape mismatch"
+        );
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        for k in 0..self.cols {
+            let row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for i in 0..self.rows {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let src = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in row.iter_mut().zip(src) {
+                    *o += aik * r;
+                }
+            }
+        }
+    }
+
+    /// Product against a transposed right-hand side, `self × rhsᵀ`, written
+    /// into a caller-owned matrix.
+    ///
+    /// Allocation-free and bit-identical to
+    /// `self.matmul(&rhs.transpose())` (same accumulation order, same
+    /// zero-skip on `self`'s entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "abt dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.rows),
+            "abt output shape mismatch"
+        );
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..self.rows {
+            let row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o += aik * rhs.data[j * rhs.cols + k];
+                }
+            }
+        }
+    }
+
+    /// Column-restricted [`matmul_a_bt_into`](Self::matmul_a_bt_into):
+    /// computes only the output columns `cols` (rows of `rhs`), writing
+    /// column `c` of the selection into column `c` of `out`.
+    ///
+    /// Each computed element is bit-identical to the corresponding element
+    /// of the full product — per-element accumulation runs over `k` in the
+    /// same ascending order with the same zero-skip — which is what lets
+    /// the position-gradient backward pass touch only the x/y feature
+    /// columns without perturbing their values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_a_bt_cols_into(&self, rhs: &Matrix, cols: &[usize], out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "abt dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, cols.len()),
+            "abt output shape mismatch"
+        );
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..self.rows {
+            let row = &mut out.data[i * cols.len()..(i + 1) * cols.len()];
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for (o, &j) in row.iter_mut().zip(cols) {
+                    *o += aik * rhs.data[j * rhs.cols + k];
+                }
+            }
+        }
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -306,6 +406,33 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transposed_products_match_allocating_forms_bitwise() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, -2.5], &[0.25, 3.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 4.0]]);
+        let c = Matrix::from_rows(&[&[1.5, 0.5, 2.0], &[-3.0, 0.0, 1.0]]);
+
+        let mut atb = Matrix::zeros(3, 2);
+        a.matmul_at_b_into(&b, &mut atb);
+        let want = a.transpose().matmul(&b);
+        for (x, y) in atb.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let mut abt = Matrix::zeros(2, 2);
+        a.matmul_a_bt_into(&c, &mut abt);
+        let want = a.matmul(&c.transpose());
+        for (x, y) in abt.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // Column-restricted form reproduces the selected columns exactly.
+        let mut sel = Matrix::zeros(2, 1);
+        a.matmul_a_bt_cols_into(&c, &[1], &mut sel);
+        assert_eq!(sel.get(0, 0).to_bits(), want.get(0, 1).to_bits());
+        assert_eq!(sel.get(1, 0).to_bits(), want.get(1, 1).to_bits());
     }
 
     #[test]

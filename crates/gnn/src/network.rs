@@ -41,9 +41,12 @@ pub struct Network {
 }
 
 /// All intermediate activations of one forward pass, kept for backprop.
+///
+/// The input features are **not** cached here — the backward pass borrows
+/// them straight from the graph, so building a `Forward` never clones the
+/// feature matrix.
 #[derive(Debug, Clone)]
 pub struct Forward {
-    x: Matrix,
     ax: Matrix,
     h1: Matrix,
     ah1: Matrix,
@@ -107,6 +110,80 @@ impl InferenceScratch {
     }
 }
 
+/// Caller-owned buffers for the allocation-free position-gradient pass
+/// ([`Network::position_gradient_with`]).
+///
+/// Owns an [`InferenceScratch`] for the forward activations plus the
+/// reverse-pass temporaries of the input-gradient-only backward. The final
+/// layer only materializes the x/y feature columns of `∂Φ/∂X` — everything
+/// the placement gradient actually reads — in the two `n × 2` buffers.
+#[derive(Debug, Clone)]
+pub struct GradScratch {
+    fwd: InferenceScratch,
+    /// Dense-head pre-activation gradients, `dense`.
+    dz3: Vec<f64>,
+    /// Readout gradient, `hidden`.
+    dg: Vec<f64>,
+    /// x/y-restricted `n × 2` product buffers of the input layer.
+    xy_a: Matrix,
+    xy_b: Matrix,
+}
+
+impl GradScratch {
+    /// Allocates scratch for a network and a node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(network: &Network, num_nodes: usize) -> Self {
+        Self {
+            fwd: InferenceScratch::new(network, num_nodes),
+            dz3: vec![0.0; network.dense],
+            dg: vec![0.0; network.hidden],
+            xy_a: Matrix::zeros(num_nodes, 2),
+            xy_b: Matrix::zeros(num_nodes, 2),
+        }
+    }
+
+    /// Number of graph nodes this scratch is sized for.
+    pub fn num_nodes(&self) -> usize {
+        self.fwd.num_nodes()
+    }
+}
+
+/// Caller-owned buffers for the allocation-free training backward pass
+/// ([`Network::loss_gradients_with`]).
+///
+/// The parameter gradients themselves live in a caller-owned
+/// [`ParamGrads`] (see [`ParamGrads::zeros`]); this scratch holds only the
+/// forward activations and the readout gradient the reverse pass threads
+/// through.
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    fwd: InferenceScratch,
+    /// Readout gradient, `hidden`.
+    dg: Vec<f64>,
+}
+
+impl TrainScratch {
+    /// Allocates scratch for a network and a node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(network: &Network, num_nodes: usize) -> Self {
+        Self {
+            fwd: InferenceScratch::new(network, num_nodes),
+            dg: vec![0.0; network.hidden],
+        }
+    }
+
+    /// Number of graph nodes this scratch is sized for.
+    pub fn num_nodes(&self) -> usize {
+        self.fwd.num_nodes()
+    }
+}
+
 /// Gradients with respect to every parameter (same shapes as the network).
 #[derive(Debug, Clone)]
 pub struct ParamGrads {
@@ -163,9 +240,14 @@ impl Network {
     }
 
     /// Runs the forward pass, returning all cached activations.
+    ///
+    /// This is the retained dense reference: every product goes through the
+    /// dense adjacency. The shipping inference path is
+    /// [`predict_with`](Self::predict_with), which multiplies through the
+    /// CSR plan instead (bit-identically).
     pub fn forward(&self, graph: &CircuitGraph) -> Forward {
-        let x = graph.features.clone();
-        let ax = graph.adjacency.matmul(&x);
+        let x = &graph.features;
+        let ax = graph.adjacency.matmul(x);
         let z1 = ax
             .matmul(&self.w1)
             .add(&x.matmul(&self.w2))
@@ -192,7 +274,6 @@ impl Network {
         }
         let phi = 1.0 / (1.0 + (-z4).exp());
         Forward {
-            x,
             ax,
             h1,
             ah1,
@@ -210,10 +291,12 @@ impl Network {
 
     /// Allocation-free forward pass: Φ computed into `scratch`.
     ///
-    /// Performs the arithmetic of [`forward`](Self::forward) in the same
-    /// floating-point order, so the result is bit-identical to
-    /// [`predict`](Self::predict); after `scratch` is warm the call makes
-    /// no heap allocation.
+    /// The message-passing products go through the graph's
+    /// [`CsrAdjacency`](crate::CsrAdjacency) plan, which performs the
+    /// arithmetic of [`forward`](Self::forward) in the same floating-point
+    /// order (see the bit-identity contract in `csr.rs`), so the result is
+    /// bit-identical to [`predict`](Self::predict); after `scratch` is warm
+    /// the call makes no heap allocation.
     ///
     /// # Panics
     ///
@@ -221,7 +304,7 @@ impl Network {
     /// architecture.
     pub fn predict_with(&self, graph: &CircuitGraph, scratch: &mut InferenceScratch) -> f64 {
         let x = &graph.features;
-        graph.adjacency.matmul_into(x, &mut scratch.ax);
+        graph.csr.spmm_into(x, &mut scratch.ax);
         // Layer 1: h1 = tanh((ÂX)W1 + XW2 + b1), summed in the same order
         // as the allocating path's add / add_row_broadcast chain.
         scratch.ax.matmul_into(&self.w1, &mut scratch.t1);
@@ -233,7 +316,7 @@ impl Network {
             }
         }
         // Layer 2: h2 = tanh((ÂH1)W3 + H1W4 + b2).
-        graph.adjacency.matmul_into(&scratch.h1, &mut scratch.ah1);
+        graph.csr.spmm_into(&scratch.h1, &mut scratch.ah1);
         scratch.ah1.matmul_into(&self.w3, &mut scratch.t1);
         scratch.h1.matmul_into(&self.w4, &mut scratch.t2);
         for i in 0..x.rows() {
@@ -271,7 +354,8 @@ impl Network {
     /// Returns parameter gradients and the gradient w.r.t. the input
     /// feature matrix.
     fn backward(&self, graph: &CircuitGraph, fwd: &Forward, dz4: f64) -> (ParamGrads, Matrix) {
-        let n = fwd.x.rows();
+        let x = &graph.features;
+        let n = x.rows();
         // Dense head.
         let mut dw6 = Matrix::zeros(self.dense, 1);
         let mut dh3 = vec![0.0; self.dense];
@@ -313,7 +397,7 @@ impl Network {
         // Layer 1.
         let dz1 = dh1.hadamard(&fwd.h1.map(tanh_prime_from_t));
         let dw1 = fwd.ax.transpose().matmul(&dz1);
-        let dw2 = fwd.x.transpose().matmul(&dz1);
+        let dw2 = x.transpose().matmul(&dz1);
         let db1 = dz1.column_sum();
         let dx = at
             .matmul(&dz1.matmul(&self.w1.transpose()))
@@ -339,6 +423,10 @@ impl Network {
     /// Parameter gradients of the binary cross-entropy loss
     /// `−y ln Φ − (1−y) ln(1−Φ)` for one labeled graph. Returns
     /// `(loss, grads)`.
+    ///
+    /// This is the retained dense allocating reference; the trainer's hot
+    /// loop uses [`loss_gradients_with`](Self::loss_gradients_with), which
+    /// produces bit-identical gradients without allocating.
     pub fn loss_gradients(&self, graph: &CircuitGraph, label: f64) -> (f64, ParamGrads) {
         let fwd = self.forward(graph);
         let eps = 1e-12;
@@ -348,11 +436,108 @@ impl Network {
         (loss, grads)
     }
 
+    /// Allocation-free [`loss_gradients`](Self::loss_gradients): the CSR
+    /// forward pass plus a parameter-gradient backward pass written into
+    /// the caller-owned `grads` (input gradients are skipped — training
+    /// never reads them). Returns the loss.
+    ///
+    /// Every gradient element is computed in the same floating-point order
+    /// as the dense reference, so `grads` is bit-identical to the reference
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` or `grads` is sized for a different node count
+    /// or network architecture.
+    pub fn loss_gradients_with(
+        &self,
+        graph: &CircuitGraph,
+        label: f64,
+        scratch: &mut TrainScratch,
+        grads: &mut ParamGrads,
+    ) -> f64 {
+        let x = &graph.features;
+        let n = x.rows();
+        let phi = self.predict_with(graph, &mut scratch.fwd);
+        let s = &mut scratch.fwd;
+        let eps = 1e-12;
+        let loss = -(label * (phi + eps).ln() + (1.0 - label) * (1.0 - phi + eps).ln());
+        // dL/dz4 = Φ − y for sigmoid + CE; dense head (db3 doubles as dz3).
+        let dz4 = phi - label;
+        grads.b4 = dz4;
+        for j in 0..self.dense {
+            grads.w6.set(j, 0, dz4 * s.h3[j]);
+            let dh3 = dz4 * self.w6.get(j, 0);
+            grads.b3[j] = dh3 * tanh_prime_from_t(s.h3[j]);
+        }
+        scratch.dg.iter_mut().for_each(|v| *v = 0.0);
+        for k in 0..self.hidden {
+            for j in 0..self.dense {
+                grads.w5.set(k, j, s.g[k] * grads.b3[j]);
+                scratch.dg[k] += self.w5.get(k, j) * grads.b3[j];
+            }
+        }
+        // Layer 2: dz2 = (dg/n) ⊙ (1 − h2²), built in t1.
+        for i in 0..n {
+            for k in 0..self.hidden {
+                let v = (scratch.dg[k] / n as f64) * tanh_prime_from_t(s.h2.get(i, k));
+                s.t1.set(i, k, v);
+            }
+        }
+        s.ah1.matmul_at_b_into(&s.t1, &mut grads.w3);
+        s.h1.matmul_at_b_into(&s.t1, &mut grads.w4);
+        grads.b2.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..n {
+            for k in 0..self.hidden {
+                grads.b2[k] += s.t1.get(i, k);
+            }
+        }
+        // dh1 = Âᵀ(dz2·W3ᵀ) + dz2·W4ᵀ; Â is bit-exactly symmetric, so the
+        // forward CSR plan serves the transposed product. ah1 is free as a
+        // target once dw3 is out.
+        s.t1.matmul_a_bt_into(&self.w3, &mut s.t2);
+        graph.csr.spmm_into(&s.t2, &mut s.ah1);
+        s.t1.matmul_a_bt_into(&self.w4, &mut s.t2);
+        // dz1 = dh1 ⊙ (1 − h1²), fused per element in the reference order.
+        for i in 0..n {
+            for k in 0..self.hidden {
+                let dh1 = s.ah1.get(i, k) + s.t2.get(i, k);
+                s.t1.set(i, k, dh1 * tanh_prime_from_t(s.h1.get(i, k)));
+            }
+        }
+        // Layer 1 parameter gradients.
+        s.ax.matmul_at_b_into(&s.t1, &mut grads.w1);
+        x.matmul_at_b_into(&s.t1, &mut grads.w2);
+        grads.b1.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..n {
+            for k in 0..self.hidden {
+                grads.b1[k] += s.t1.get(i, k);
+            }
+        }
+        loss
+    }
+
     /// Gradient of Φ itself with respect to each device's normalized
     /// position: returns `(phi, Vec<(dΦ/dx, dΦ/dy)>)` in **µm⁻¹** units
     /// (the chain rule through the `1/scale` feature normalization is
     /// applied here).
+    ///
+    /// Allocating convenience over
+    /// [`position_gradient_with`](Self::position_gradient_with); the
+    /// optimizer hot loops own a [`GradScratch`] and call that directly.
     pub fn position_gradient(&self, graph: &CircuitGraph) -> (f64, Vec<(f64, f64)>) {
+        let mut scratch = GradScratch::new(self, graph.num_nodes());
+        let mut grads = vec![(0.0, 0.0); graph.num_nodes()];
+        let phi = self.position_gradient_with(graph, &mut scratch, &mut grads);
+        (phi, grads)
+    }
+
+    /// Retained dense reference of
+    /// [`position_gradient`](Self::position_gradient): the full backward
+    /// pass through the dense adjacency, parameter gradients computed and
+    /// thrown away. Kept as the bench "before" leg and the bit-identity
+    /// oracle for the property tests.
+    pub fn position_gradient_reference(&self, graph: &CircuitGraph) -> (f64, Vec<(f64, f64)>) {
         let fwd = self.forward(graph);
         // dΦ/dz4 = Φ(1−Φ).
         let (_, dx) = self.backward(graph, &fwd, fwd.phi * (1.0 - fwd.phi));
@@ -365,6 +550,72 @@ impl Network {
             })
             .collect();
         (fwd.phi, grads)
+    }
+
+    /// Allocation-free position gradient: Φ returned, `∂Φ/∂(x, y)` per
+    /// device (µm⁻¹) written into `grads`.
+    ///
+    /// Runs the CSR forward pass and an **input-gradient-only** reverse
+    /// pass — the `ParamGrads` work of the full backward is skipped, and
+    /// only the x/y feature columns of `∂Φ/∂X` are materialized. Every
+    /// surviving element is computed in the floating-point order of
+    /// [`position_gradient_reference`](Self::position_gradient_reference),
+    /// so Φ and the gradients are bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` or `grads` is sized for a different node count
+    /// or network architecture.
+    pub fn position_gradient_with(
+        &self,
+        graph: &CircuitGraph,
+        scratch: &mut GradScratch,
+        grads: &mut [(f64, f64)],
+    ) -> f64 {
+        let n = graph.features.rows();
+        assert_eq!(grads.len(), n, "gradient slice length mismatch");
+        let phi = self.predict_with(graph, &mut scratch.fwd);
+        let s = &mut scratch.fwd;
+        // dΦ/dz4 = Φ(1−Φ); dense head.
+        let dz4 = phi * (1.0 - phi);
+        for j in 0..self.dense {
+            let dh3 = dz4 * self.w6.get(j, 0);
+            scratch.dz3[j] = dh3 * tanh_prime_from_t(s.h3[j]);
+        }
+        scratch.dg.iter_mut().for_each(|v| *v = 0.0);
+        for k in 0..self.hidden {
+            for j in 0..self.dense {
+                scratch.dg[k] += self.w5.get(k, j) * scratch.dz3[j];
+            }
+        }
+        // Layer 2 → layer 1, input gradients only (no dwᵢ/dbᵢ work).
+        for i in 0..n {
+            for k in 0..self.hidden {
+                let v = (scratch.dg[k] / n as f64) * tanh_prime_from_t(s.h2.get(i, k));
+                s.t1.set(i, k, v);
+            }
+        }
+        s.t1.matmul_a_bt_into(&self.w3, &mut s.t2);
+        graph.csr.spmm_into(&s.t2, &mut s.ah1);
+        s.t1.matmul_a_bt_into(&self.w4, &mut s.t2);
+        for i in 0..n {
+            for k in 0..self.hidden {
+                let dh1 = s.ah1.get(i, k) + s.t2.get(i, k);
+                s.t1.set(i, k, dh1 * tanh_prime_from_t(s.h1.get(i, k)));
+            }
+        }
+        // dx = Âᵀ(dz1·W1ᵀ) + dz1·W2ᵀ restricted to the x/y feature columns
+        // (per-element bit-identical to the corresponding columns of the
+        // full products; each output column accumulates independently).
+        let xy = [FEATURE_X, FEATURE_Y];
+        s.t1.matmul_a_bt_cols_into(&self.w1, &xy, &mut scratch.xy_a);
+        graph.csr.spmm_into(&scratch.xy_a, &mut scratch.xy_b);
+        s.t1.matmul_a_bt_cols_into(&self.w2, &xy, &mut scratch.xy_a);
+        for (i, g) in grads.iter_mut().enumerate() {
+            g.0 = (scratch.xy_b.get(i, 0) + scratch.xy_a.get(i, 0)) / graph.scale;
+            g.1 = (scratch.xy_b.get(i, 1) + scratch.xy_a.get(i, 1)) / graph.scale;
+        }
+        phi
     }
 
     /// Applies a scaled gradient step `p ← p − lr·g` (plain SGD; the Adam
@@ -393,6 +644,43 @@ impl Network {
         self.b4 -= lr * grads.b4;
     }
 
+    /// Visits every `(parameter, gradient)` pair in the flatten order of
+    /// [`params_mut`](Self::params_mut) / [`ParamGrads::flatten`], without
+    /// allocating — the in-place Adam update walks the model through this.
+    pub(crate) fn for_each_param_mut(
+        &mut self,
+        grads: &ParamGrads,
+        mut f: impl FnMut(&mut f64, f64),
+    ) {
+        let mats = [(&mut self.w1, &grads.w1), (&mut self.w2, &grads.w2)];
+        for (m, g) in mats {
+            for (p, gv) in m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                f(p, *gv);
+            }
+        }
+        for (p, gv) in self.b1.iter_mut().zip(&grads.b1) {
+            f(p, *gv);
+        }
+        for (m, g) in [(&mut self.w3, &grads.w3), (&mut self.w4, &grads.w4)] {
+            for (p, gv) in m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                f(p, *gv);
+            }
+        }
+        for (p, gv) in self.b2.iter_mut().zip(&grads.b2) {
+            f(p, *gv);
+        }
+        for (p, gv) in self.w5.as_mut_slice().iter_mut().zip(grads.w5.as_slice()) {
+            f(p, *gv);
+        }
+        for (p, gv) in self.b3.iter_mut().zip(&grads.b3) {
+            f(p, *gv);
+        }
+        for (p, gv) in self.w6.as_mut_slice().iter_mut().zip(grads.w6.as_slice()) {
+            f(p, *gv);
+        }
+        f(&mut self.b4, grads.b4);
+    }
+
     /// Iterator-free flat views used by the Adam trainer.
     pub(crate) fn params_mut(&mut self) -> Vec<&mut f64> {
         let mut out: Vec<&mut f64> = Vec::new();
@@ -411,6 +699,47 @@ impl Network {
 }
 
 impl ParamGrads {
+    /// Zero-valued gradients shaped for a network, for reuse across
+    /// [`Network::loss_gradients_with`] calls.
+    pub fn zeros(network: &Network) -> Self {
+        let (h, d) = (network.hidden, network.dense);
+        Self {
+            w1: Matrix::zeros(FEATURES, h),
+            w2: Matrix::zeros(FEATURES, h),
+            b1: vec![0.0; h],
+            w3: Matrix::zeros(h, h),
+            w4: Matrix::zeros(h, h),
+            b2: vec![0.0; h],
+            w5: Matrix::zeros(h, d),
+            b3: vec![0.0; d],
+            w6: Matrix::zeros(d, 1),
+            b4: 0.0,
+        }
+    }
+
+    /// Resets every gradient to zero in place (mini-batch reuse).
+    pub(crate) fn zero(&mut self) {
+        for m in [
+            &mut self.w1,
+            &mut self.w2,
+            &mut self.w3,
+            &mut self.w4,
+            &mut self.w5,
+            &mut self.w6,
+        ] {
+            m.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
+        }
+        for v in self
+            .b1
+            .iter_mut()
+            .chain(self.b2.iter_mut())
+            .chain(self.b3.iter_mut())
+        {
+            *v = 0.0;
+        }
+        self.b4 = 0.0;
+    }
+
     /// Flattens the gradients in the same order as `Network::params_mut`.
     pub(crate) fn flatten(&self) -> Vec<f64> {
         let mut out: Vec<f64> = Vec::new();
@@ -661,6 +990,100 @@ mod tests {
             let reference = net.predict(&g);
             let fast = net.predict_with(&g, &mut scratch);
             assert_eq!(reference.to_bits(), fast.to_bits(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn position_gradient_with_is_bit_identical_to_reference() {
+        let c = testcases::comp1();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i * 13 % 7) as f64 * 1.3, (i * 5 % 9) as f64 * 0.7);
+        }
+        let mut g = CircuitGraph::new(&c, &p, 12.0);
+        let net = Network::default_config(17);
+        let mut scratch = GradScratch::new(&net, g.num_nodes());
+        assert_eq!(scratch.num_nodes(), g.num_nodes());
+        let mut fast = vec![(0.0, 0.0); g.num_nodes()];
+        for step in 0..3 {
+            p.positions[step] = (p.positions[step].0 + 0.41, p.positions[step].1 - 0.29);
+            g.update_positions(&p);
+            let (phi_ref, grads_ref) = net.position_gradient_reference(&g);
+            let phi = net.position_gradient_with(&g, &mut scratch, &mut fast);
+            assert_eq!(phi_ref.to_bits(), phi.to_bits(), "phi step {step}");
+            for (i, (a, b)) in grads_ref.iter().zip(&fast).enumerate() {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "dx device {i} step {step}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "dy device {i} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_gradients_with_is_bit_identical_to_reference() {
+        let c = testcases::vco1();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i % 6) as f64 * 1.7, (i / 6) as f64 * 2.3);
+        }
+        let g = CircuitGraph::new(&c, &p, 20.0);
+        let net = Network::default_config(9);
+        let mut scratch = TrainScratch::new(&net, g.num_nodes());
+        assert_eq!(scratch.num_nodes(), g.num_nodes());
+        let mut grads = ParamGrads::zeros(&net);
+        for &label in &[0.0, 1.0] {
+            let (loss_ref, grads_ref) = net.loss_gradients(&g, label);
+            let loss = net.loss_gradients_with(&g, label, &mut scratch, &mut grads);
+            assert_eq!(loss_ref.to_bits(), loss.to_bits(), "loss, label {label}");
+            for (i, (a, b)) in grads_ref.flatten().iter().zip(grads.flatten()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad {i}, label {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn position_gradient_matches_finite_differences_on_asymmetric_circuit() {
+        // comp1's connectivity is irregular (no symmetric device pairs line
+        // up), so this exercises gradient flow the cc_ota check cannot.
+        let c = testcases::comp1();
+        let mut p = Placement::new(c.num_devices());
+        for (i, pos) in p.positions.iter_mut().enumerate() {
+            *pos = ((i * 7 % 5) as f64 * 2.1, (i * 3 % 8) as f64 * 1.1);
+        }
+        let scale = 14.0;
+        let mut g = CircuitGraph::new(&c, &p, scale);
+        let net = Network::new(8, 5, 23);
+        let mut scratch = GradScratch::new(&net, g.num_nodes());
+        let mut grads = vec![(0.0, 0.0); g.num_nodes()];
+        net.position_gradient_with(&g, &mut scratch, &mut grads);
+        let eps = 1e-5;
+        for dev in 0..c.num_devices() {
+            let orig = p.positions[dev];
+            for axis in 0..2 {
+                let probe = |s: f64, p: &mut Placement, g: &mut CircuitGraph| {
+                    p.positions[dev] = if axis == 0 {
+                        (orig.0 + s, orig.1)
+                    } else {
+                        (orig.0, orig.1 + s)
+                    };
+                    g.update_positions(p);
+                };
+                probe(eps, &mut p, &mut g);
+                let phi_p = net.predict(&g);
+                probe(-eps, &mut p, &mut g);
+                let phi_m = net.predict(&g);
+                p.positions[dev] = orig;
+                g.update_positions(&p);
+                let numeric = (phi_p - phi_m) / (2.0 * eps);
+                let analytic = if axis == 0 {
+                    grads[dev].0
+                } else {
+                    grads[dev].1
+                };
+                assert!(
+                    (numeric - analytic).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                    "device {dev} axis {axis}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,146 @@
+//! Property-based tests pinning the CSR message-passing engine to the
+//! retained dense reference, bit for bit, over random sparse graphs.
+//!
+//! Strategy inputs are small (seed, node count, sparsity) and the graphs
+//! are materialised with `StdRng` inside each case: a random **bitwise
+//! symmetric** adjacency (the backward pass folds `Âᵀ` into `Â`, which is
+//! only valid because the graph builder produces an exactly symmetric
+//! normalised adjacency — the generator mirrors that contract by writing
+//! the identical f64 to `(i,j)` and `(j,i)`), plus random node features.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrAdjacency;
+use crate::graph::FEATURES;
+use crate::matrix::Matrix;
+use crate::network::{GradScratch, InferenceScratch, TrainScratch};
+use crate::{CircuitGraph, Network};
+
+/// Random bitwise-symmetric `n × n` adjacency with self-loops and roughly
+/// `density` off-diagonal fill, mimicking the normalised Â the graph
+/// builder emits (positive weights, symmetric, nonzero diagonal).
+fn random_symmetric_adjacency(n: usize, density: f64, rng: &mut StdRng) -> Matrix {
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, 0.2 + rng.gen::<f64>());
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < density {
+                let w = 0.05 + rng.gen::<f64>();
+                a.set(i, j, w);
+                a.set(j, i, w);
+            }
+        }
+    }
+    a
+}
+
+fn random_features(n: usize, rng: &mut StdRng) -> Matrix {
+    let mut x = Matrix::zeros(n, FEATURES);
+    for i in 0..n {
+        for c in 0..FEATURES {
+            x.set(i, c, rng.gen::<f64>() * 2.0 - 1.0);
+        }
+    }
+    x
+}
+
+fn random_graph(n: usize, density: f64, seed: u64) -> CircuitGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = random_symmetric_adjacency(n, density, &mut rng);
+    let x = random_features(n, &mut rng);
+    CircuitGraph::from_parts(a, x, 20.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The CSR SpMM kernel reproduces dense `A·B` bit-for-bit on random
+    /// sparse matrices — same per-row accumulation order, same skips.
+    #[test]
+    fn spmm_is_bit_identical_to_dense_matmul(
+        seed in 0u64..1u64 << 48,
+        n in 2usize..24,
+        density_pct in 0usize..=100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_symmetric_adjacency(n, density_pct as f64 / 100.0, &mut rng);
+        let mut b = Matrix::zeros(n, 5);
+        for v in b.as_mut_slice() {
+            *v = rng.gen::<f64>() * 4.0 - 2.0;
+        }
+        let csr = CsrAdjacency::from_dense(&a);
+        let mut dense = Matrix::zeros(n, 5);
+        a.matmul_into(&b, &mut dense);
+        let mut sparse = Matrix::zeros(n, 5);
+        csr.spmm_into(&b, &mut sparse);
+        for (d, s) in dense.as_slice().iter().zip(sparse.as_slice()) {
+            prop_assert_eq!(d.to_bits(), s.to_bits());
+        }
+    }
+
+    /// CSR forward (`predict_with`) ≡ dense forward (`predict`) bitwise on
+    /// random sparse graphs.
+    #[test]
+    fn csr_forward_matches_dense_forward_bitwise(
+        seed in 0u64..1u64 << 48,
+        n in 2usize..16,
+        density_pct in 0usize..=100,
+    ) {
+        let graph = random_graph(n, density_pct as f64 / 100.0, seed);
+        let network = Network::default_config(seed ^ 0x9e37);
+        let dense = network.predict(&graph);
+        let mut scratch = InferenceScratch::new(&network, n);
+        let sparse = network.predict_with(&graph, &mut scratch);
+        prop_assert_eq!(dense.to_bits(), sparse.to_bits());
+    }
+
+    /// CSR input-gradient backward ≡ dense full backward bitwise: same Φ,
+    /// same (x, y) gradient for every node.
+    #[test]
+    fn csr_position_gradient_matches_dense_backward_bitwise(
+        seed in 0u64..1u64 << 48,
+        n in 2usize..16,
+        density_pct in 0usize..=100,
+    ) {
+        let graph = random_graph(n, density_pct as f64 / 100.0, seed);
+        let network = Network::default_config(seed ^ 0x51ed);
+        let (phi_ref, grads_ref) = network.position_gradient_reference(&graph);
+        let mut scratch = GradScratch::new(&network, n);
+        let mut grads = vec![(0.0, 0.0); n];
+        let phi = network.position_gradient_with(&graph, &mut scratch, &mut grads);
+        prop_assert_eq!(phi_ref.to_bits(), phi.to_bits());
+        for (r, g) in grads_ref.iter().zip(&grads) {
+            prop_assert_eq!(r.0.to_bits(), g.0.to_bits());
+            prop_assert_eq!(r.1.to_bits(), g.1.to_bits());
+        }
+    }
+
+    /// CSR parameter-gradient backward ≡ dense reference bitwise: same
+    /// loss, same gradient for every parameter (compared in flatten order).
+    #[test]
+    fn csr_loss_gradients_match_dense_backward_bitwise(
+        seed in 0u64..1u64 << 48,
+        n in 2usize..16,
+        density_pct in 0usize..=100,
+        label_bit in 0usize..=1,
+    ) {
+        let graph = random_graph(n, density_pct as f64 / 100.0, seed);
+        let network = Network::default_config(seed ^ 0xabcd);
+        let label = label_bit as f64;
+        let (loss_ref, grads_ref) = network.loss_gradients(&graph, label);
+        let mut scratch = TrainScratch::new(&network, n);
+        let mut grads = crate::network::ParamGrads::zeros(&network);
+        let loss = network.loss_gradients_with(&graph, label, &mut scratch, &mut grads);
+        prop_assert_eq!(loss_ref.to_bits(), loss.to_bits());
+        let flat_ref = grads_ref.flatten();
+        let flat = grads.flatten();
+        prop_assert_eq!(flat_ref.len(), flat.len());
+        for (r, g) in flat_ref.iter().zip(&flat) {
+            prop_assert_eq!(r.to_bits(), g.to_bits());
+        }
+    }
+}

@@ -1,10 +1,40 @@
 //! Adam trainer for the performance model.
+//!
+//! [`Trainer::fit`] accumulates each mini-batch's gradients data-parallel
+//! over `placer-parallel`: the batch is cut into [`GRAD_BLOCKS`] fixed
+//! blocks (boundaries depend only on the batch size, never on thread
+//! availability), each block sums its samples' [`ParamGrads`] in index
+//! order, and the caller thread reduces the block sums in block order —
+//! so training is **bit-identical for any thread count**, the same
+//! discipline the SA chains follow. The Adam update then walks the
+//! `(parameter, gradient)` pairs in place; no flat gradient vector is
+//! materialized per batch.
+
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{CircuitGraph, Network};
+use crate::network::ParamGrads;
+use crate::{CircuitGraph, Network, TrainScratch};
+
+/// Fixed number of gradient-accumulation blocks per mini-batch. A constant
+/// (not the thread count) so block boundaries — and therefore the
+/// floating-point reduction order — never depend on available parallelism.
+const GRAD_BLOCKS: usize = 8;
+
+/// Reusable per-block worker state for the parallel gradient accumulation.
+struct BlockAcc {
+    /// Forward/backward scratch, rebuilt only when the node count changes.
+    scratch: Option<TrainScratch>,
+    /// Per-sample gradient target (overwritten by each sample).
+    sample: ParamGrads,
+    /// Block-level gradient sum, reduced on the caller thread.
+    acc: ParamGrads,
+    /// Block-level loss sum.
+    loss: f64,
+}
 
 /// One labeled training sample: a circuit graph and whether its FOM fell
 /// below the specification threshold (label 1 = unsatisfactory, as in the
@@ -84,8 +114,43 @@ impl Trainer {
         }
     }
 
+    /// In-place Adam update: walks the `(parameter, gradient)` pairs in
+    /// flatten order, updating moments and parameters without building a
+    /// flat gradient vector. Returns the batch's `Σg²` (accumulated in the
+    /// same order the flattened reference sums it) for the grad-norm
+    /// telemetry.
+    fn adam_step_in_place(&mut self, network: &mut Network, grads: &ParamGrads, lr: f64) -> f64 {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut i = 0usize;
+        let mut grad_sq = 0.0;
+        network.for_each_param_mut(grads, |p, g| {
+            if i == m.len() {
+                // First batch: moments grow to the parameter count.
+                m.push(0.0);
+                v.push(0.0);
+            }
+            grad_sq += g * g;
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+            i += 1;
+        });
+        assert_eq!(i, m.len(), "parameter count changed");
+        grad_sq
+    }
+
     /// Trains the network with mini-batch Adam on cross-entropy loss.
     /// Returns the mean loss of the final epoch.
+    ///
+    /// Gradients are accumulated data-parallel over [`GRAD_BLOCKS`] fixed
+    /// blocks per batch and reduced in block order, so the trained network
+    /// is bit-identical for any thread count (see the module docs).
     ///
     /// # Panics
     ///
@@ -102,29 +167,58 @@ impl Trainer {
         assert!(opts.batch_size > 0, "batch size must be nonzero");
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
+        // Block accumulators and the reduced batch gradient live for the
+        // whole fit; inside the epoch loop the hot path reuses them.
+        let slots: Vec<Mutex<BlockAcc>> = (0..GRAD_BLOCKS)
+            .map(|_| {
+                Mutex::new(BlockAcc {
+                    scratch: None,
+                    sample: ParamGrads::zeros(network),
+                    acc: ParamGrads::zeros(network),
+                    loss: 0.0,
+                })
+            })
+            .collect();
+        let mut total = ParamGrads::zeros(network);
         let mut last_epoch_loss = f64::INFINITY;
         for epoch in 0..opts.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut grad_sq = 0.0;
             for chunk in order.chunks(opts.batch_size) {
-                let mut acc: Option<crate::network::ParamGrads> = None;
-                for &i in chunk {
-                    let (loss, grads) = network.loss_gradients(&samples[i].graph, samples[i].label);
-                    epoch_loss += loss;
-                    match &mut acc {
-                        None => acc = Some(grads),
-                        Some(a) => a.accumulate(&grads),
+                let blocks = placer_parallel::fixed_blocks(chunk.len(), GRAD_BLOCKS);
+                let net_ref: &Network = network;
+                placer_parallel::for_each_block(chunk.len(), GRAD_BLOCKS, |b, range| {
+                    let mut slot = slots[b].lock().expect("unpoisoned block slot");
+                    let slot = &mut *slot;
+                    slot.acc.zero();
+                    slot.loss = 0.0;
+                    for idx in range {
+                        let sample = &samples[chunk[idx]];
+                        let n = sample.graph.num_nodes();
+                        if !matches!(&slot.scratch, Some(s) if s.num_nodes() == n) {
+                            slot.scratch = Some(TrainScratch::new(net_ref, n));
+                        }
+                        let scratch = slot.scratch.as_mut().expect("scratch just ensured");
+                        slot.loss += net_ref.loss_gradients_with(
+                            &sample.graph,
+                            sample.label,
+                            scratch,
+                            &mut slot.sample,
+                        );
+                        slot.acc.accumulate(&slot.sample);
                     }
+                });
+                // In-order reduce on the caller thread: block boundaries and
+                // this loop fix the summation order for every thread count.
+                total.zero();
+                for slot in slots.iter().take(blocks.len()) {
+                    let slot = slot.lock().expect("unpoisoned block slot");
+                    total.accumulate(&slot.acc);
+                    epoch_loss += slot.loss;
                 }
-                if let Some(mut a) = acc {
-                    a.scale(1.0 / chunk.len() as f64);
-                    let flat = a.flatten();
-                    if placer_telemetry::active() {
-                        grad_sq += flat.iter().map(|g| g * g).sum::<f64>();
-                    }
-                    self.adam_step(network, &flat, opts.learning_rate);
-                }
+                total.scale(1.0 / chunk.len() as f64);
+                grad_sq += self.adam_step_in_place(network, &total, opts.learning_rate);
             }
             last_epoch_loss = epoch_loss / samples.len() as f64;
             if placer_telemetry::active() {
@@ -140,6 +234,50 @@ impl Trainer {
         }
         if placer_telemetry::active() {
             placer_telemetry::flush();
+        }
+        last_epoch_loss
+    }
+
+    /// Retained sequential reference of [`fit`](Self::fit): per-sample
+    /// dense-path gradient accumulation in shuffle order and a flattening
+    /// Adam step, exactly the pre-CSR trainer. Kept as the bench "before"
+    /// leg; its per-batch summation order differs from `fit`, so the two
+    /// converge to (slightly) different parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `batch_size` is zero.
+    pub fn fit_reference(
+        &mut self,
+        network: &mut Network,
+        samples: &[TrainingSample],
+        opts: &TrainOptions,
+    ) -> f64 {
+        assert!(!samples.is_empty(), "training set must not be empty");
+        assert!(opts.batch_size > 0, "batch size must be nonzero");
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_epoch_loss = f64::INFINITY;
+        for _epoch in 0..opts.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(opts.batch_size) {
+                let mut acc: Option<ParamGrads> = None;
+                for &i in chunk {
+                    let (loss, grads) = network.loss_gradients(&samples[i].graph, samples[i].label);
+                    epoch_loss += loss;
+                    match &mut acc {
+                        None => acc = Some(grads),
+                        Some(a) => a.accumulate(&grads),
+                    }
+                }
+                if let Some(mut a) = acc {
+                    a.scale(1.0 / chunk.len() as f64);
+                    let flat = a.flatten();
+                    self.adam_step(network, &flat, opts.learning_rate);
+                }
+            }
+            last_epoch_loss = epoch_loss / samples.len() as f64;
         }
         last_epoch_loss
     }
@@ -255,5 +393,76 @@ mod tests {
         let mut net = Network::default_config(1);
         let mut t = Trainer::new();
         let _ = t.fit(&mut net, &[], &TrainOptions::default());
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let train = toy_dataset(60, 11);
+        let opts = TrainOptions {
+            epochs: 5,
+            ..TrainOptions::default()
+        };
+        let run = |threads: usize| {
+            placer_parallel::set_max_threads(threads);
+            let mut net = Network::default_config(5);
+            let mut trainer = Trainer::new();
+            let loss = trainer.fit(&mut net, &train, &opts);
+            placer_parallel::set_max_threads(0);
+            (loss, net.to_text())
+        };
+        let (loss_one, net_one) = run(1);
+        let (loss_many, net_many) = run(4);
+        assert_eq!(loss_one.to_bits(), loss_many.to_bits());
+        assert_eq!(net_one, net_many, "trained parameters diverged");
+    }
+
+    #[test]
+    fn fit_handles_mixed_circuit_sizes() {
+        // Two circuits with different node counts in one batch force the
+        // per-block scratch to resize mid-stream.
+        let small = testcases::cc_ota();
+        let large = testcases::adder();
+        let mut samples = Vec::new();
+        for i in 0..12 {
+            let circuit = if i % 2 == 0 { &small } else { &large };
+            let mut p = Placement::new(circuit.num_devices());
+            for (d, pos) in p.positions.iter_mut().enumerate() {
+                *pos = ((d % 3) as f64 + i as f64 * 0.1, (d / 3) as f64);
+            }
+            samples.push(TrainingSample {
+                graph: CircuitGraph::new(circuit, &p, 10.0),
+                label: (i % 2) as f64,
+            });
+        }
+        let mut net = Network::default_config(2);
+        let mut trainer = Trainer::new();
+        let loss = trainer.fit(
+            &mut net,
+            &samples,
+            &TrainOptions {
+                epochs: 3,
+                batch_size: 4,
+                ..TrainOptions::default()
+            },
+        );
+        assert!(loss.is_finite(), "loss diverged: {loss}");
+    }
+
+    #[test]
+    fn fit_and_reference_both_learn_the_same_data() {
+        // The parallel fit's block-ordered summation differs from the
+        // reference's sample-ordered one, so parameters are not bit-equal —
+        // but both must converge on the separable toy task.
+        let train = toy_dataset(80, 21);
+        let opts = TrainOptions {
+            epochs: 40,
+            ..TrainOptions::default()
+        };
+        let mut net_a = Network::default_config(13);
+        let mut net_b = net_a.clone();
+        let loss_fit = Trainer::new().fit(&mut net_a, &train, &opts);
+        let loss_ref = Trainer::new().fit_reference(&mut net_b, &train, &opts);
+        assert!(loss_fit < 0.4, "parallel fit failed to learn: {loss_fit}");
+        assert!(loss_ref < 0.4, "reference fit failed to learn: {loss_ref}");
     }
 }

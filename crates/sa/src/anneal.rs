@@ -763,6 +763,15 @@ mod tests {
         assert_eq!(fast.cost.total.to_bits(), slow.cost.total.to_bits());
         assert_eq!(fast.cost.phi.to_bits(), slow.cost.phi.to_bits());
         assert_eq!(fast.placement, slow.placement);
+
+        // Re-verify on an asymmetric circuit now that Φ inference runs on
+        // the CSR plan: same contract, different sparsity pattern.
+        let c = testcases::comp1();
+        let fast = anneal(&c, &quick_config(), Some(perf()));
+        let slow = anneal_reference(&c, &quick_config(), Some(perf()));
+        assert_eq!(fast.cost.total.to_bits(), slow.cost.total.to_bits());
+        assert_eq!(fast.cost.phi.to_bits(), slow.cost.phi.to_bits());
+        assert_eq!(fast.placement, slow.placement);
     }
 
     #[test]

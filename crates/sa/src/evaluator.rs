@@ -16,8 +16,10 @@
 //!   drift;
 //! - per-constraint (alignment / ordering-window) violations are cached the
 //!   same way;
-//! - Φ inference reuses a [`placer_gnn::InferenceScratch`], so perf-SA's
-//!   dominant term stops allocating per move.
+//! - Φ inference reuses a [`placer_gnn::InferenceScratch`] and runs both
+//!   Â-products on the graph's CSR plan ([`placer_gnn::CsrAdjacency`]), so
+//!   perf-SA's dominant term stops allocating per move and scales with the
+//!   circuit's nonzeros instead of n².
 //!
 //! The full-recompute [`crate::evaluate`] stays in-tree as the oracle: a
 //! property test drives random move/accept/reject sequences and asserts

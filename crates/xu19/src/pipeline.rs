@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use analog_netlist::{Circuit, Placement};
-use placer_gnn::{CircuitGraph, Network};
+use placer_gnn::Network;
 
 use crate::global::{run_global_with_extra, Xu19GlobalConfig};
 use crate::legalize::{legalize_two_stage, LegalizeError};
@@ -92,38 +92,10 @@ impl Xu19Placer {
         alpha: f64,
         scale: f64,
     ) -> Result<Xu19Result, LegalizeError> {
-        let n = circuit.num_devices();
         let t0 = Instant::now();
-        let mut graph: Option<CircuitGraph> = None;
-        let mut alpha_abs: Option<f64> = None;
-        let mut hook = move |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 {
-            let placement = Placement::from_positions(pts.to_vec());
-            let g = match graph.as_mut() {
-                Some(g) => {
-                    g.update_positions(&placement);
-                    g
-                }
-                None => {
-                    graph = Some(CircuitGraph::new(circuit, &placement, scale));
-                    graph.as_mut().expect("just inserted")
-                }
-            };
-            let (phi, pos_grad) = network.position_gradient(g);
-            let a = *alpha_abs.get_or_insert_with(|| {
-                let g_norm: f64 = grad.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
-                let phi_norm: f64 = pos_grad
-                    .iter()
-                    .map(|(gx, gy)| gx.abs() + gy.abs())
-                    .sum::<f64>()
-                    .max(1e-12);
-                alpha * g_norm / phi_norm
-            });
-            for (i, &(gx, gy)) in pos_grad.iter().enumerate() {
-                grad[i] += a * gx;
-                grad[n + i] += a * gy;
-            }
-            a * phi
-        };
+        // Same zero-allocation gradient hook state ePlace-AP uses.
+        let mut state = eplace::PerfGradHook::new(circuit, network, alpha, scale);
+        let mut hook = move |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 { state.eval(pts, grad) };
         let (gp, _) = run_global_with_extra(circuit, &self.global, Some(&mut hook));
         let gp_seconds = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();

@@ -1,8 +1,8 @@
 //! Verifies that the telemetry layer keeps the engine's zero-allocation
 //! contracts when it is *compiled in and live*: with a sink installed, the
-//! SA move loop and the Nesterov iteration — each wrapped in the same span /
-//! event / counter instrumentation the solvers use — never touch the heap
-//! after warm-up.
+//! SA move loop, the Nesterov iteration, and the GNN CSR gradient hook —
+//! each wrapped in the same span / event / counter instrumentation the
+//! solvers use — never touch the heap after warm-up.
 //!
 //! The mirror-image guarantee (instrumentation compiled out entirely) is
 //! covered by the per-crate `zero_alloc` tests, which build without the
@@ -56,6 +56,7 @@ static MOVES: placer_telemetry::Counter = placer_telemetry::Counter::new("test_m
 static COSTS: placer_telemetry::Histogram = placer_telemetry::Histogram::new("test_costs");
 static MOVE_SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("test_move");
 static STEP_SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("test_step");
+static PHI_SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("test_phi");
 
 fn random_swap(state: &mut SaState, rng: &mut StdRng) {
     let m = state.seq_pair.s1.len();
@@ -166,6 +167,39 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
     placer_telemetry::flush();
     let nesterov_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
 
+    // --- GNN CSR gradient hook under live instrumentation. ---------------
+    // The ePlace-AP performance term: feature refresh, CSR forward, input
+    // gradients — with the `gnn_spmm` counters live and a span + event per
+    // call, matching the per-iteration shape `run_perf_global` produces.
+    let gnn_circuit = testcases::comp1();
+    let gn = gnn_circuit.num_devices();
+    let network = placer_gnn::Network::default_config(5);
+    let mut hook = eplace::PerfGradHook::new(&gnn_circuit, &network, 0.5, 20.0);
+    let mut pts: Vec<(f64, f64)> = (0..gn)
+        .map(|i| (4.0 + 1.3 * i as f64, 3.0 + 0.7 * (i % 4) as f64))
+        .collect();
+    let mut pgrad = vec![0.0f64; 2 * gn];
+    for _ in 0..8 {
+        let _span = PHI_SPAN.enter();
+        let phi = hook.eval(&pts, &mut pgrad);
+        placer_telemetry::record("test_phi", &[("phi", phi)]);
+    }
+    placer_telemetry::flush();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        let _span = PHI_SPAN.enter();
+        for p in pts.iter_mut() {
+            p.0 += 0.05;
+            p.1 -= 0.025;
+        }
+        pgrad.iter_mut().for_each(|g| *g = 0.0);
+        let phi = hook.eval(&pts, &mut pgrad);
+        placer_telemetry::record("test_phi", &[("phi", phi)]);
+    }
+    placer_telemetry::flush();
+    let gnn_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
     placer_telemetry::flush_stats();
     placer_telemetry::uninstall();
     placer_parallel::set_max_threads(0);
@@ -179,9 +213,14 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
         nesterov_allocs, 0,
         "Nesterov loop allocated {nesterov_allocs} times across 200 instrumented steps"
     );
+    assert_eq!(
+        gnn_allocs, 0,
+        "GNN gradient hook allocated {gnn_allocs} times across 200 instrumented calls"
+    );
     // Sanity: the instrumentation was live, not compiled to no-ops.
     assert_eq!(MOVES.value(), 532);
     assert_eq!(COSTS.count(), 732);
     assert_eq!(MOVE_SPAN.calls(), 532);
     assert_eq!(STEP_SPAN.calls(), 216);
+    assert_eq!(PHI_SPAN.calls(), 208);
 }
