@@ -1,0 +1,186 @@
+//! Runs a batch of placement jobs described as JSONL [`JobSpec`]s.
+//!
+//! Reads one JSON object per line from the input file (or stdin when the
+//! path is `-`), fans the jobs out over the worker pool, and prints one
+//! [`JobReport`] JSON object per job, in input order.
+//!
+//! ```text
+//! jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR]
+//!                  [--placements-dir DIR] [--resume]
+//!                  [--cancel-after-checks N] [--expect STATUS]
+//! ```
+//!
+//! - `--checkpoint-dir DIR`: cancelled jobs write `<id>.ckpt` here;
+//!   with `--resume`, jobs whose checkpoint exists continue from it.
+//! - `--placements-dir DIR`: solved jobs write `<id>.place` here.
+//! - `--cancel-after-checks N`: overrides every spec's cancellation point
+//!   (the kill half of a kill-and-resume smoke test).
+//! - `--expect STATUS`: exit nonzero unless every job ends in STATUS
+//!   (`complete`, `exhausted`, `cancelled` or `failed`) with a legal
+//!   placement where one is produced — the CI assertion hook.
+//!
+//! Exit code is `0` on success, `1` on bad usage or unparseable specs,
+//! `2` when `--expect` is violated or any job fails unexpectedly.
+
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use placer_jobs::{parse_jobs, JobEngine, JobStatus};
+
+struct Options {
+    specs_path: String,
+    out: Option<PathBuf>,
+    engine: JobEngine,
+    cancel_after_checks: Option<u64>,
+    expect: Option<JobStatus>,
+}
+
+fn usage() -> &'static str {
+    "usage: jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR] \
+     [--placements-dir DIR] [--resume] [--cancel-after-checks N] [--expect STATUS]"
+}
+
+fn parse_status(s: &str) -> Result<JobStatus, String> {
+    match s {
+        "complete" => Ok(JobStatus::Complete),
+        "exhausted" => Ok(JobStatus::Exhausted),
+        "cancelled" => Ok(JobStatus::Cancelled),
+        "failed" => Ok(JobStatus::Failed),
+        other => Err(format!("unknown status `{other}`")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        specs_path: String::new(),
+        out: None,
+        engine: JobEngine::default(),
+        cancel_after_checks: None,
+        expect: None,
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => opts.out = Some(PathBuf::from(value("--out", &mut it)?)),
+            "--checkpoint-dir" => {
+                opts.engine.checkpoint_dir =
+                    Some(PathBuf::from(value("--checkpoint-dir", &mut it)?));
+            }
+            "--placements-dir" => {
+                opts.engine.placement_dir =
+                    Some(PathBuf::from(value("--placements-dir", &mut it)?));
+            }
+            "--resume" => opts.engine.resume = true,
+            "--cancel-after-checks" => {
+                let v = value("--cancel-after-checks", &mut it)?;
+                opts.cancel_after_checks =
+                    Some(v.parse().map_err(|_| format!("bad check count `{v}`"))?);
+            }
+            "--expect" => opts.expect = Some(parse_status(&value("--expect", &mut it)?)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if opts.specs_path.is_empty() => opts.specs_path = path.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if opts.specs_path.is_empty() {
+        return Err("missing spec file".into());
+    }
+    Ok(opts)
+}
+
+fn read_specs(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("jobs: {e}\n{}", usage());
+            return ExitCode::from(1);
+        }
+    };
+    let mut specs = match read_specs(&opts.specs_path)
+        .and_then(|t| parse_jobs(&t).map_err(|e| format!("{}: {e}", opts.specs_path)))
+    {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("jobs: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(n) = opts.cancel_after_checks {
+        for spec in &mut specs {
+            spec.cancel_after_checks = Some(n);
+        }
+    }
+    for dir in [&opts.engine.checkpoint_dir, &opts.engine.placement_dir]
+        .into_iter()
+        .flatten()
+    {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("jobs: creating {}: {e}", dir.display());
+            return ExitCode::from(1);
+        }
+    }
+
+    let reports = opts.engine.run(&specs);
+    let mut lines = String::new();
+    for report in &reports {
+        lines.push_str(&report.to_line());
+        lines.push('\n');
+    }
+    print!("{lines}");
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("jobs: writing {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+
+    let mut ok = true;
+    for report in &reports {
+        if let Some(expected) = opts.expect {
+            if report.status != expected {
+                eprintln!(
+                    "jobs: job `{}` ended {} (expected {})",
+                    report.id,
+                    report.status.as_str(),
+                    expected.as_str()
+                );
+                ok = false;
+            }
+        } else if report.status == JobStatus::Failed {
+            eprintln!(
+                "jobs: job `{}` failed: {}",
+                report.id,
+                report.error.as_deref().unwrap_or("unknown error")
+            );
+            ok = false;
+        }
+        if report.legal == Some(false) {
+            eprintln!("jobs: job `{}` produced an illegal placement", report.id);
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

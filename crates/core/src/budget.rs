@@ -1,0 +1,202 @@
+//! Cooperative run budgets: deadlines, step limits and cancellation.
+//!
+//! A [`RunBudget`] is a cheap token threaded through the outer loops of all
+//! four placers. It is checked **once per Nesterov iteration / SA
+//! temperature level / CG round — never per move**, so the hot paths keep
+//! their zero-allocation, branch-light shape (`bench_hotpaths --check`
+//! guards this). Three things can happen at a check:
+//!
+//! - [`BudgetStatus::Continue`]: keep optimizing (the common case — one
+//!   relaxed atomic increment plus a few predictable branches).
+//! - [`BudgetStatus::Exhausted`]: the deadline or step budget ran out; the
+//!   placer stops, legalizes its best-so-far state and tags the outcome
+//!   [`Exhausted`](crate::PlaceOutcome::Exhausted).
+//! - [`BudgetStatus::Cancelled`]: somebody called [`RunBudget::cancel`] (or
+//!   a deterministic test trigger fired); the placer captures a
+//!   [`Checkpoint`](crate::Checkpoint) so the run can resume later,
+//!   bit-for-bit equal to the uninterrupted run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a budget check told the placer to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetStatus {
+    /// Keep going.
+    Continue,
+    /// Deadline or step budget ran out: stop and return best-so-far.
+    Exhausted,
+    /// Cooperative cancellation requested: checkpoint and return.
+    Cancelled,
+}
+
+/// A shareable (`&self`-only, `Sync`) run budget.
+///
+/// # Examples
+///
+/// ```
+/// use eplace::{BudgetStatus, RunBudget};
+///
+/// let budget = RunBudget::unlimited();
+/// assert_eq!(budget.check(), BudgetStatus::Continue);
+///
+/// let budget = RunBudget::steps(2);
+/// assert_eq!(budget.check(), BudgetStatus::Continue);
+/// assert_eq!(budget.check(), BudgetStatus::Continue);
+/// assert_eq!(budget.check(), BudgetStatus::Exhausted);
+///
+/// let budget = RunBudget::unlimited();
+/// budget.cancel();
+/// assert_eq!(budget.check(), BudgetStatus::Cancelled);
+/// ```
+#[derive(Debug)]
+pub struct RunBudget {
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    /// Deterministic test trigger: checks numbered above this cancel.
+    cancel_after: AtomicU64,
+    cancelled: AtomicBool,
+    steps: AtomicU64,
+}
+
+impl RunBudget {
+    /// A budget that never expires (checks always continue unless
+    /// [`cancel`](Self::cancel) is called).
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            max_steps: None,
+            cancel_after: AtomicU64::new(u64::MAX),
+            cancelled: AtomicBool::new(false),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// A budget that exhausts `timeout` from now.
+    pub fn deadline(timeout: Duration) -> Self {
+        Self::unlimited().with_deadline(timeout)
+    }
+
+    /// A budget that exhausts after `n` checks pass. Because every placer
+    /// checks at a fixed structural boundary, a step budget is a
+    /// deterministic, wall-clock-free deadline (used heavily by tests).
+    pub fn steps(n: u64) -> Self {
+        Self::unlimited().with_steps(n)
+    }
+
+    /// Adds a wall-clock deadline `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Adds a step budget: the first `n` checks pass, later ones exhaust.
+    #[must_use]
+    pub fn with_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Requests cooperative cancellation: the next check (on any thread
+    /// sharing this budget) reports [`BudgetStatus::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Deterministic cancellation trigger: the first `n` checks *from the
+    /// budget's creation* pass, every later one cancels. Lets tests cancel
+    /// "at iteration k" without wall-clock races.
+    pub fn cancel_after_checks(&self, n: u64) {
+        self.cancel_after.store(n, Ordering::Relaxed);
+    }
+
+    /// Checks the budget. Called once per outer-loop boundary.
+    ///
+    /// Cancellation takes precedence over exhaustion, so a cancelled run
+    /// always yields a resumable checkpoint even when its deadline has also
+    /// passed.
+    pub fn check(&self) -> BudgetStatus {
+        let k = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cancelled.load(Ordering::Relaxed) || k > self.cancel_after.load(Ordering::Relaxed) {
+            return BudgetStatus::Cancelled;
+        }
+        if let Some(max) = self.max_steps {
+            if k > max {
+                return BudgetStatus::Exhausted;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return BudgetStatus::Exhausted;
+            }
+        }
+        BudgetStatus::Continue
+    }
+
+    /// Total checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Time left until the deadline (`None` without one; zero when past).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_continues() {
+        let b = RunBudget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(b.check(), BudgetStatus::Continue);
+        }
+        assert_eq!(b.checks(), 1000);
+    }
+
+    #[test]
+    fn step_budget_exhausts_after_n_checks() {
+        let b = RunBudget::steps(3);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        assert_eq!(b.check(), BudgetStatus::Exhausted);
+        assert_eq!(b.check(), BudgetStatus::Exhausted);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_beats_exhaustion() {
+        let b = RunBudget::steps(0);
+        assert_eq!(b.check(), BudgetStatus::Exhausted);
+        b.cancel();
+        assert_eq!(b.check(), BudgetStatus::Cancelled);
+        assert_eq!(b.check(), BudgetStatus::Cancelled);
+    }
+
+    #[test]
+    fn cancel_after_checks_is_deterministic() {
+        let b = RunBudget::unlimited();
+        b.cancel_after_checks(2);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        assert_eq!(b.check(), BudgetStatus::Cancelled);
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts() {
+        let b = RunBudget::deadline(Duration::from_secs(0));
+        assert_eq!(b.check(), BudgetStatus::Exhausted);
+        assert!(b.remaining().unwrap().is_zero());
+    }
+
+    #[test]
+    fn budgets_are_send_sync() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<RunBudget>();
+    }
+}

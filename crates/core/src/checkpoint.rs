@@ -1,0 +1,532 @@
+//! Serializable placer checkpoints.
+//!
+//! A [`Checkpoint`] captures everything a placer needs to continue a
+//! cancelled run **bit-for-bit**: optimizer state, sequence pair, RNG
+//! state, schedule position. It is a flat, typed key/value bag with a
+//! line-based text codec — floats are stored as IEEE-754 bit patterns
+//! (`f64::to_bits` hex) so encode → decode is an exact roundtrip, which
+//! the resume-equals-uninterrupted guarantee depends on. No external
+//! serialization crates are involved.
+
+use std::fmt;
+
+/// A typed checkpoint value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An unsigned integer (iteration counters, RNG words, lengths).
+    U64(u64),
+    /// A float, compared and serialized by bit pattern.
+    F64(f64),
+    /// A short string (variant tags, placer names).
+    Str(String),
+    /// A vector of unsigned integers.
+    U64s(Vec<u64>),
+    /// A vector of floats (positions, gradients, optimizer vectors).
+    F64s(Vec<f64>),
+    /// A vector of booleans (sequence-pair flips).
+    Bools(Vec<bool>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::U64s(a), Value::U64s(b)) => a == b,
+            (Value::F64s(a), Value::F64s(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (Value::Bools(a), Value::Bools(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Error raised when decoding or interrogating a checkpoint fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// 1-based line of the offending text (0 when the error is not tied
+    /// to a specific line, e.g. a missing field).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CheckpointError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn field(message: impl Into<String>) -> Self {
+        Self::new(0, message)
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "checkpoint line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "checkpoint: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A resumable placer snapshot: which placer wrote it plus an ordered
+/// list of typed fields.
+///
+/// # Examples
+///
+/// ```
+/// use eplace::Checkpoint;
+///
+/// let mut ck = Checkpoint::new("demo");
+/// ck.put_u64("iter", 17);
+/// ck.put_f64("lambda", 0.25);
+/// ck.put_f64s("x", &[1.0, -2.5]);
+/// let text = ck.encode();
+/// let back = Checkpoint::decode(&text).unwrap();
+/// assert_eq!(ck, back);
+/// assert_eq!(back.get_u64("iter").unwrap(), 17);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    placer: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint stamped with the writing placer's name.
+    pub fn new(placer: impl Into<String>) -> Self {
+        Self {
+            placer: placer.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Name of the placer that wrote this checkpoint.
+    pub fn placer(&self) -> &str {
+        &self.placer
+    }
+
+    /// Number of stored fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no fields are stored.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    fn put(&mut self, name: &str, value: Value) {
+        debug_assert!(
+            !self.fields.iter().any(|(n, _)| n == name),
+            "duplicate checkpoint field {name}"
+        );
+        self.fields.push((name.to_string(), value));
+    }
+
+    /// Stores an unsigned integer field.
+    pub fn put_u64(&mut self, name: &str, v: u64) {
+        self.put(name, Value::U64(v));
+    }
+
+    /// Stores a float field (exact bit pattern).
+    pub fn put_f64(&mut self, name: &str, v: f64) {
+        self.put(name, Value::F64(v));
+    }
+
+    /// Stores a string field.
+    pub fn put_str(&mut self, name: &str, v: &str) {
+        self.put(name, Value::Str(v.to_string()));
+    }
+
+    /// Stores a vector of unsigned integers.
+    pub fn put_u64s(&mut self, name: &str, v: &[u64]) {
+        self.put(name, Value::U64s(v.to_vec()));
+    }
+
+    /// Stores a vector of floats (exact bit patterns).
+    pub fn put_f64s(&mut self, name: &str, v: &[f64]) {
+        self.put(name, Value::F64s(v.to_vec()));
+    }
+
+    /// Stores a vector of booleans.
+    pub fn put_bools(&mut self, name: &str, v: &[bool]) {
+        self.put(name, Value::Bools(v.to_vec()));
+    }
+
+    fn get(&self, name: &str) -> Result<&Value, CheckpointError> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| CheckpointError::field(format!("missing field `{name}`")))
+    }
+
+    /// True when the field exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.fields.iter().any(|(n, _)| n == name)
+    }
+
+    /// Reads an unsigned integer field.
+    pub fn get_u64(&self, name: &str) -> Result<u64, CheckpointError> {
+        match self.get(name)? {
+            Value::U64(v) => Ok(*v),
+            other => Err(type_mismatch(name, "u64", other)),
+        }
+    }
+
+    /// Reads a float field.
+    pub fn get_f64(&self, name: &str) -> Result<f64, CheckpointError> {
+        match self.get(name)? {
+            Value::F64(v) => Ok(*v),
+            other => Err(type_mismatch(name, "f64", other)),
+        }
+    }
+
+    /// Reads a float field that may be absent (`None` when missing).
+    pub fn opt_f64(&self, name: &str) -> Result<Option<f64>, CheckpointError> {
+        if !self.has(name) {
+            return Ok(None);
+        }
+        self.get_f64(name).map(Some)
+    }
+
+    /// Reads a string field.
+    pub fn get_str(&self, name: &str) -> Result<&str, CheckpointError> {
+        match self.get(name)? {
+            Value::Str(v) => Ok(v),
+            other => Err(type_mismatch(name, "str", other)),
+        }
+    }
+
+    /// Reads an unsigned-integer-vector field.
+    pub fn get_u64s(&self, name: &str) -> Result<&[u64], CheckpointError> {
+        match self.get(name)? {
+            Value::U64s(v) => Ok(v),
+            other => Err(type_mismatch(name, "u64 vector", other)),
+        }
+    }
+
+    /// Reads a float-vector field.
+    pub fn get_f64s(&self, name: &str) -> Result<&[f64], CheckpointError> {
+        match self.get(name)? {
+            Value::F64s(v) => Ok(v),
+            other => Err(type_mismatch(name, "f64 vector", other)),
+        }
+    }
+
+    /// Reads a boolean-vector field.
+    pub fn get_bools(&self, name: &str) -> Result<&[bool], CheckpointError> {
+        match self.get(name)? {
+            Value::Bools(v) => Ok(v),
+            other => Err(type_mismatch(name, "bool vector", other)),
+        }
+    }
+
+    /// Serializes to the line-based text format (exact roundtrip through
+    /// [`decode`](Self::decode)).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("placer-checkpoint v1 ");
+        out.push_str(&escape(&self.placer));
+        out.push('\n');
+        for (name, value) in &self.fields {
+            match value {
+                Value::U64(v) => {
+                    out.push_str(&format!("u {name} {v}\n"));
+                }
+                Value::F64(v) => {
+                    out.push_str(&format!("f {name} {:016x}\n", v.to_bits()));
+                }
+                Value::Str(v) => {
+                    out.push_str(&format!("s {name} {}\n", escape(v)));
+                }
+                Value::U64s(v) => {
+                    out.push_str(&format!("vu {name} {}", v.len()));
+                    for x in v {
+                        out.push_str(&format!(" {x}"));
+                    }
+                    out.push('\n');
+                }
+                Value::F64s(v) => {
+                    out.push_str(&format!("vf {name} {}", v.len()));
+                    for x in v {
+                        out.push_str(&format!(" {:016x}", x.to_bits()));
+                    }
+                    out.push('\n');
+                }
+                Value::Bools(v) => {
+                    out.push_str(&format!("vb {name} {}", v.len()));
+                    for x in v {
+                        out.push_str(if *x { " 1" } else { " 0" });
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text format produced by [`encode`](Self::encode).
+    pub fn decode(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| CheckpointError::new(1, "empty checkpoint"))?;
+        let mut head = header.split_whitespace();
+        if head.next() != Some("placer-checkpoint") {
+            return Err(CheckpointError::new(
+                1,
+                "missing `placer-checkpoint` header",
+            ));
+        }
+        match head.next() {
+            Some("v1") => {}
+            Some(v) => {
+                return Err(CheckpointError::new(
+                    1,
+                    format!("unsupported version `{v}`"),
+                ));
+            }
+            None => return Err(CheckpointError::new(1, "missing version")),
+        }
+        let placer = unescape(head.next().unwrap_or(""));
+        if placer.is_empty() {
+            return Err(CheckpointError::new(1, "missing placer name"));
+        }
+
+        let mut ck = Checkpoint::new(placer);
+        let mut saw_end = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                saw_end = true;
+                break;
+            }
+            let mut tok = line.split_whitespace();
+            let tag = tok.next().expect("trimmed non-empty line has a token");
+            let name = tok
+                .next()
+                .ok_or_else(|| CheckpointError::new(lineno, "missing field name"))?
+                .to_string();
+            if ck.has(&name) {
+                return Err(CheckpointError::new(
+                    lineno,
+                    format!("duplicate field `{name}`"),
+                ));
+            }
+            let value = match tag {
+                "u" => Value::U64(parse_u64(lineno, &name, tok.next())?),
+                "f" => Value::F64(parse_f64_bits(lineno, &name, tok.next())?),
+                "s" => Value::Str(unescape(tok.next().unwrap_or(""))),
+                "vu" | "vf" | "vb" => {
+                    let len = parse_u64(lineno, &name, tok.next())? as usize;
+                    let toks: Vec<&str> = tok.by_ref().collect();
+                    if toks.len() != len {
+                        return Err(CheckpointError::new(
+                            lineno,
+                            format!(
+                                "field `{name}` declares {len} elements but has {}",
+                                toks.len()
+                            ),
+                        ));
+                    }
+                    match tag {
+                        "vu" => Value::U64s(
+                            toks.iter()
+                                .map(|t| parse_u64(lineno, &name, Some(t)))
+                                .collect::<Result<_, _>>()?,
+                        ),
+                        "vf" => Value::F64s(
+                            toks.iter()
+                                .map(|t| parse_f64_bits(lineno, &name, Some(t)))
+                                .collect::<Result<_, _>>()?,
+                        ),
+                        _ => Value::Bools(
+                            toks.iter()
+                                .map(|t| match *t {
+                                    "0" => Ok(false),
+                                    "1" => Ok(true),
+                                    other => Err(CheckpointError::new(
+                                        lineno,
+                                        format!("field `{name}`: bad bool `{other}`"),
+                                    )),
+                                })
+                                .collect::<Result<_, _>>()?,
+                        ),
+                    }
+                }
+                other => {
+                    return Err(CheckpointError::new(
+                        lineno,
+                        format!("unknown field tag `{other}`"),
+                    ));
+                }
+            };
+            if tag != "vu" && tag != "vf" && tag != "vb" {
+                if let Some(extra) = tok.next() {
+                    return Err(CheckpointError::new(
+                        lineno,
+                        format!("trailing token `{extra}` after field `{name}`"),
+                    ));
+                }
+            }
+            ck.fields.push((name, value));
+        }
+        if !saw_end {
+            return Err(CheckpointError::new(0, "missing `end` terminator"));
+        }
+        Ok(ck)
+    }
+}
+
+fn type_mismatch(name: &str, wanted: &str, got: &Value) -> CheckpointError {
+    let kind = match got {
+        Value::U64(_) => "u64",
+        Value::F64(_) => "f64",
+        Value::Str(_) => "str",
+        Value::U64s(_) => "u64 vector",
+        Value::F64s(_) => "f64 vector",
+        Value::Bools(_) => "bool vector",
+    };
+    CheckpointError::field(format!("field `{name}` is {kind}, expected {wanted}"))
+}
+
+fn parse_u64(line: usize, name: &str, tok: Option<&str>) -> Result<u64, CheckpointError> {
+    let tok =
+        tok.ok_or_else(|| CheckpointError::new(line, format!("field `{name}` missing value")))?;
+    tok.parse()
+        .map_err(|_| CheckpointError::new(line, format!("field `{name}`: bad integer `{tok}`")))
+}
+
+fn parse_f64_bits(line: usize, name: &str, tok: Option<&str>) -> Result<f64, CheckpointError> {
+    let tok =
+        tok.ok_or_else(|| CheckpointError::new(line, format!("field `{name}` missing value")))?;
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::new(line, format!("field `{name}`: bad float bits `{tok}`")))
+}
+
+/// Whitespace-free escaping so names/strings survive `split_whitespace`.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hi = chars.next();
+            let lo = chars.next();
+            if let (Some(hi), Some(lo)) = (hi, lo) {
+                let code = u8::from_str_radix(&format!("{hi}{lo}"), 16);
+                if let Ok(code) = code {
+                    out.push(code as char);
+                    continue;
+                }
+            }
+            out.push('%');
+            if let Some(hi) = hi {
+                out.push(hi);
+            }
+            if let Some(lo) = lo {
+                out.push(lo);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut ck = Checkpoint::new("eplace-a");
+        ck.put_u64("iter", 42);
+        ck.put_f64("lambda", 1.5e-3);
+        ck.put_f64("weird", -f64::NAN);
+        ck.put_str("phase", "global placement");
+        ck.put_u64s("rng", &[1, 2, 3, u64::MAX]);
+        ck.put_f64s("x", &[0.0, -0.0, 1.25, f64::INFINITY]);
+        ck.put_bools("flips", &[true, false, true]);
+        ck
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(ck, back);
+        // NaN and signed zero survive by bit pattern.
+        assert_eq!(
+            back.get_f64("weird").unwrap().to_bits(),
+            (-f64::NAN).to_bits()
+        );
+        let xs = back.get_f64s("x").unwrap();
+        assert_eq!(xs[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn accessors_check_types_and_presence() {
+        let ck = sample();
+        assert!(ck.get_u64("lambda").is_err());
+        assert!(ck.get_f64("missing").is_err());
+        assert_eq!(ck.opt_f64("missing").unwrap(), None);
+        assert_eq!(ck.opt_f64("lambda").unwrap(), Some(1.5e-3));
+        assert_eq!(ck.get_str("phase").unwrap(), "global placement");
+        assert_eq!(ck.placer(), "eplace-a");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_text() {
+        assert!(Checkpoint::decode("").is_err());
+        assert!(Checkpoint::decode("garbage v1 x\nend\n").is_err());
+        assert!(Checkpoint::decode("placer-checkpoint v2 x\nend\n").is_err());
+        assert!(Checkpoint::decode("placer-checkpoint v1 x\n").is_err());
+        assert!(Checkpoint::decode("placer-checkpoint v1 x\nq bad 1\nend\n").is_err());
+        assert!(Checkpoint::decode("placer-checkpoint v1 x\nu iter nope\nend\n").is_err());
+        assert!(Checkpoint::decode("placer-checkpoint v1 x\nvf x 3 0 0\nend\n").is_err());
+        assert!(
+            Checkpoint::decode("placer-checkpoint v1 x\nu a 1\nu a 2\nend\n").is_err(),
+            "duplicate fields must be rejected"
+        );
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let mut ck = Checkpoint::new("name with spaces");
+        ck.put_str("s", "a b%c\td");
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back.placer(), "name with spaces");
+        assert_eq!(back.get_str("s").unwrap(), "a b%c\td");
+    }
+}

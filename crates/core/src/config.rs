@@ -1,6 +1,77 @@
 //! Configuration of the ePlace-A / ePlace-AP pipeline.
+//!
+//! [`PlacerConfig`] carries plain public fields (the paper's Table II
+//! values as defaults) plus a validating [`builder`](PlacerConfig::builder)
+//! that rejects NaN / zero / inverted bounds up front with a
+//! [`ConfigError`] instead of letting a bad knob panic or silently clamp
+//! hundreds of iterations into a run.
 
 use placer_mathopt::MilpOptions;
+use std::fmt;
+
+/// A rejected configuration value.
+///
+/// Shared by every validating builder in the workspace
+/// (`PlacerConfig::builder()` here, `SaConfig::builder()` in `placer-sa`,
+/// `Xu19GlobalConfig::builder()` in `placer-xu19`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"global.utilization"`.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Creates a validation error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks that `v` is a finite, strictly positive float.
+pub fn require_positive(field: &'static str, v: f64) -> Result<(), ConfigError> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(ConfigError::new(
+            field,
+            format!("must be finite and > 0, got {v}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that `v` is a finite, nonnegative float.
+pub fn require_nonnegative(field: &'static str, v: f64) -> Result<(), ConfigError> {
+    if !v.is_finite() || v < 0.0 {
+        return Err(ConfigError::new(
+            field,
+            format!("must be finite and >= 0, got {v}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that `v` lies in the open/closed interval (`lo`, `hi`].
+pub fn require_fraction(field: &'static str, v: f64, lo: f64, hi: f64) -> Result<(), ConfigError> {
+    if !v.is_finite() || v <= lo || v > hi {
+        return Err(ConfigError::new(
+            field,
+            format!("must lie in ({lo}, {hi}], got {v}"),
+        ));
+    }
+    Ok(())
+}
 
 /// How symmetry constraints are treated during **global** placement
 /// (Table I of the paper compares the two).
@@ -134,6 +205,179 @@ impl Default for PlacerConfig {
     }
 }
 
+impl PlacerConfig {
+    /// Starts a validating builder preloaded with the paper's defaults.
+    pub fn builder() -> PlacerConfigBuilder {
+        PlacerConfigBuilder {
+            config: PlacerConfig::default(),
+        }
+    }
+
+    /// Validates every numeric field; [`builder`](Self::builder) calls this
+    /// from `build()`, and hand-assembled configs can call it directly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let g = &self.global;
+        if g.grid < 4 || !g.grid.is_power_of_two() {
+            return Err(ConfigError::new(
+                "global.grid",
+                format!("must be a power of two >= 4, got {}", g.grid),
+            ));
+        }
+        require_fraction("global.utilization", g.utilization, 0.0, 1.0)?;
+        if g.max_iters == 0 {
+            return Err(ConfigError::new("global.max_iters", "must be > 0"));
+        }
+        require_fraction("global.overflow_target", g.overflow_target, 0.0, 1.0)?;
+        require_positive("global.lambda_scale", g.lambda_scale)?;
+        if !g.lambda_growth.is_finite() || g.lambda_growth < 1.0 {
+            return Err(ConfigError::new(
+                "global.lambda_growth",
+                format!("must be finite and >= 1, got {}", g.lambda_growth),
+            ));
+        }
+        require_nonnegative("global.tau_scale", g.tau_scale)?;
+        require_nonnegative("global.eta_scale", g.eta_scale)?;
+        require_positive("global.gamma_bins", g.gamma_bins)?;
+        let d = &self.detailed;
+        require_nonnegative("detailed.mu", d.mu)?;
+        require_fraction("detailed.zeta", d.zeta, 0.0, 1.0)?;
+        require_positive("detailed.grid_step", d.grid_step)?;
+        if d.max_refinement_rounds == 0 {
+            return Err(ConfigError::new(
+                "detailed.max_refinement_rounds",
+                "must be > 0",
+            ));
+        }
+        if self.restarts == 0 {
+            return Err(ConfigError::new("restarts", "must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`PlacerConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use eplace::PlacerConfig;
+///
+/// let config = PlacerConfig::builder()
+///     .restarts(2)
+///     .utilization(0.4)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.restarts, 2);
+///
+/// // NaN / zero / inverted bounds are rejected up front.
+/// assert!(PlacerConfig::builder().utilization(f64::NAN).build().is_err());
+/// assert!(PlacerConfig::builder().restarts(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacerConfigBuilder {
+    config: PlacerConfig,
+}
+
+impl PlacerConfigBuilder {
+    /// Density grid dimension (power of two).
+    pub fn grid(mut self, grid: usize) -> Self {
+        self.config.global.grid = grid;
+        self
+    }
+
+    /// Target region utilization in (0, 1].
+    pub fn utilization(mut self, utilization: f64) -> Self {
+        self.config.global.utilization = utilization;
+        self
+    }
+
+    /// Maximum Nesterov iterations.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.config.global.max_iters = max_iters;
+        self
+    }
+
+    /// Density overflow stopping threshold in (0, 1].
+    pub fn overflow_target(mut self, target: f64) -> Self {
+        self.config.global.overflow_target = target;
+        self
+    }
+
+    /// Symmetry penalty weight (τ scale), >= 0.
+    pub fn tau_scale(mut self, tau_scale: f64) -> Self {
+        self.config.global.tau_scale = tau_scale;
+        self
+    }
+
+    /// Area term weight (η scale), >= 0; 0 ablates the term.
+    pub fn eta_scale(mut self, eta_scale: f64) -> Self {
+        self.config.global.eta_scale = eta_scale;
+        self
+    }
+
+    /// Symmetry handling mode (Table I).
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.config.global.symmetry = mode;
+        self
+    }
+
+    /// HPWL smoothing function.
+    pub fn smoothing(mut self, smoothing: Smoothing) -> Self {
+        self.config.global.smoothing = smoothing;
+        self
+    }
+
+    /// Seed for the deterministic initial spread.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.global.seed = seed;
+        self
+    }
+
+    /// Number of GP+DP restarts (best kept), > 0.
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.config.restarts = restarts;
+        self
+    }
+
+    /// Preserve global-placement structure during legalization.
+    pub fn preserve_gp(mut self, preserve: bool) -> Self {
+        self.config.preserve_gp = preserve;
+        self
+    }
+
+    /// Detailed-stage HPWL-vs-area weight μ, >= 0.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.config.detailed.mu = mu;
+        self
+    }
+
+    /// Detailed-stage chip utilization ζ in (0, 1].
+    pub fn zeta(mut self, zeta: f64) -> Self {
+        self.config.detailed.zeta = zeta;
+        self
+    }
+
+    /// Placement grid pitch in µm, > 0.
+    pub fn grid_step(mut self, step: f64) -> Self {
+        self.config.detailed.grid_step = step;
+        self
+    }
+
+    /// Applies arbitrary edits to the full config (escape hatch for
+    /// fields without a dedicated setter); still validated by `build`.
+    pub fn tweak(mut self, f: impl FnOnce(&mut PlacerConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PlacerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Performance-driven extension parameters (ePlace-AP, Eq. 5).
 #[derive(Debug, Clone)]
 pub struct PerfConfig {
@@ -174,5 +418,46 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn perf_config_validates_scale() {
         let _ = PerfConfig::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn builder_defaults_validate_and_match_table() {
+        let built = PlacerConfig::builder().build().unwrap();
+        let default = PlacerConfig::default();
+        assert_eq!(built.global.grid, default.global.grid);
+        assert_eq!(built.restarts, default.restarts);
+        assert!(default.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(PlacerConfig::builder().grid(33).build().is_err());
+        assert!(PlacerConfig::builder().grid(0).build().is_err());
+        assert!(PlacerConfig::builder().utilization(0.0).build().is_err());
+        assert!(PlacerConfig::builder().utilization(1.5).build().is_err());
+        assert!(PlacerConfig::builder()
+            .utilization(f64::NAN)
+            .build()
+            .is_err());
+        assert!(PlacerConfig::builder().max_iters(0).build().is_err());
+        assert!(PlacerConfig::builder()
+            .overflow_target(-0.1)
+            .build()
+            .is_err());
+        assert!(PlacerConfig::builder().tau_scale(-1.0).build().is_err());
+        assert!(PlacerConfig::builder()
+            .eta_scale(f64::INFINITY)
+            .build()
+            .is_err());
+        assert!(PlacerConfig::builder().restarts(0).build().is_err());
+        assert!(PlacerConfig::builder().zeta(0.0).build().is_err());
+        assert!(PlacerConfig::builder().grid_step(-0.25).build().is_err());
+        assert!(PlacerConfig::builder().mu(f64::NAN).build().is_err());
+        let err = PlacerConfig::builder()
+            .tweak(|c| c.global.lambda_growth = 0.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "global.lambda_growth");
+        assert!(err.to_string().contains("lambda_growth"));
     }
 }

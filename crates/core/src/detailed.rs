@@ -26,35 +26,7 @@ use analog_netlist::{AlignKind, Axis, Circuit, Placement};
 use placer_mathopt::{ConstraintOp, Model, SolveError, VarId};
 
 use crate::sepplan::{SepEdge, SeparationPlanner};
-use crate::DetailedConfig;
-
-/// Error from the detailed placer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DetailedError {
-    /// The underlying ILP failed.
-    Solve(SolveError),
-    /// Residual overlaps survived all refinement rounds.
-    RefinementExhausted,
-}
-
-impl std::fmt::Display for DetailedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DetailedError::Solve(e) => write!(f, "detailed placement ILP failed: {e}"),
-            DetailedError::RefinementExhausted => {
-                f.write_str("refinement rounds exhausted with residual overlap")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DetailedError {}
-
-impl From<SolveError> for DetailedError {
-    fn from(e: SolveError) -> Self {
-        DetailedError::Solve(e)
-    }
-}
+use crate::{DetailedConfig, PlaceError};
 
 /// Statistics of a detailed placement run.
 #[derive(Debug, Clone)]
@@ -95,13 +67,13 @@ impl DetailedPlacer {
     ///
     /// # Errors
     ///
-    /// Returns [`DetailedError`] if the ILP is infeasible/stalls, or
+    /// Returns [`PlaceError`] if the ILP is infeasible/stalls, or
     /// overlaps survive refinement.
     pub fn run(
         &self,
         circuit: &Circuit,
         global: &Placement,
-    ) -> Result<(Placement, DetailedStats), DetailedError> {
+    ) -> Result<(Placement, DetailedStats), PlaceError> {
         let mut best = self.run_once(circuit, global)?;
         // Reassignment passes: shrink the best legal result halfway toward
         // its centroid (reintroducing overlaps while keeping the compact
@@ -133,7 +105,7 @@ impl DetailedPlacer {
         &self,
         circuit: &Circuit,
         global: &Placement,
-    ) -> Result<(Placement, DetailedStats), DetailedError> {
+    ) -> Result<(Placement, DetailedStats), PlaceError> {
         self.run_once(circuit, global)
     }
 
@@ -141,7 +113,7 @@ impl DetailedPlacer {
         &self,
         circuit: &Circuit,
         global: &Placement,
-    ) -> Result<(Placement, DetailedStats), DetailedError> {
+    ) -> Result<(Placement, DetailedStats), PlaceError> {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("dp_run");
         let _span = SPAN.enter();
         let n = circuit.num_devices();
@@ -156,7 +128,7 @@ impl DetailedPlacer {
         loop {
             rounds += 1;
             if rounds > self.config.max_refinement_rounds {
-                return Err(DetailedError::RefinementExhausted);
+                return Err(PlaceError::RefinementExhausted);
             }
             placer_telemetry::vlog!(2, "dp round {rounds}:");
             if placer_telemetry::verbose(2) {
@@ -195,7 +167,7 @@ impl DetailedPlacer {
             }
             // Plan separations for residual overlaps and re-solve.
             if !planner.extend_from(circuit, &solution) {
-                return Err(DetailedError::RefinementExhausted);
+                return Err(PlaceError::RefinementExhausted);
             }
         }
     }
@@ -205,11 +177,11 @@ impl DetailedPlacer {
         circuit: &Circuit,
         seps_x: &[SepEdge],
         seps_y: &[SepEdge],
-    ) -> Result<Placement, DetailedError> {
+    ) -> Result<Placement, PlaceError> {
         // Try a tight chip bound first (fast LPs); relax on infeasibility.
-        let solve = |axis: SolveAxis, seps: &[SepEdge]| -> Result<AxisSolution, DetailedError> {
+        let solve = |axis: SolveAxis, seps: &[SepEdge]| -> Result<AxisSolution, PlaceError> {
             match self.solve_axis(circuit, axis, seps, false) {
-                Err(DetailedError::Solve(SolveError::Infeasible)) => {
+                Err(PlaceError::Solve(SolveError::Infeasible)) => {
                     self.solve_axis(circuit, axis, seps, true)
                 }
                 other => other,
@@ -238,7 +210,7 @@ impl DetailedPlacer {
         axis: SolveAxis,
         seps: &[SepEdge],
         relaxed_ub: bool,
-    ) -> Result<AxisSolution, DetailedError> {
+    ) -> Result<AxisSolution, PlaceError> {
         let cfg = &self.config;
         let n = circuit.num_devices();
         let step = cfg.grid_step;
@@ -479,7 +451,7 @@ pub fn legalize(
     circuit: &Circuit,
     global: &Placement,
     config: &DetailedConfig,
-) -> Result<(Placement, DetailedStats), DetailedError> {
+) -> Result<(Placement, DetailedStats), PlaceError> {
     DetailedPlacer::new(config.clone()).run(circuit, global)
 }
 

@@ -1,0 +1,85 @@
+//! The unified placement error type.
+//!
+//! Historically each pipeline surfaced its own failure enum
+//! (`DetailedError` in this crate, `LegalizeError` in `placer-xu19`, raw
+//! `SolveError` from `placer-mathopt` in the SA pipeline). They all
+//! described the same two failures — the MILP/LP backend gave up, or
+//! refinement ran out of rounds — so the job engine would have needed a
+//! third wrapper enum just to aggregate them. Instead every placer now
+//! returns [`PlaceError`]; the old names survive as deprecated type
+//! aliases so downstream code keeps compiling.
+
+use crate::checkpoint::CheckpointError;
+use placer_mathopt::SolveError;
+use std::fmt;
+
+/// Any failure a placement pipeline can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The underlying MILP/LP solve failed (infeasible, node limit, ...).
+    Solve(SolveError),
+    /// Legalization/refinement exhausted its round budget without reaching
+    /// a legal placement.
+    RefinementExhausted,
+    /// A resume was attempted from a checkpoint this placer cannot use
+    /// (wrong placer, missing fields, circuit size mismatch, corrupt text).
+    BadCheckpoint(CheckpointError),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Solve(e) => write!(f, "solver failure: {e}"),
+            PlaceError::RefinementExhausted => {
+                write!(f, "refinement rounds exhausted without a legal placement")
+            }
+            PlaceError::BadCheckpoint(e) => write!(f, "unusable checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlaceError::Solve(e) => Some(e),
+            PlaceError::RefinementExhausted => None,
+            PlaceError::BadCheckpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for PlaceError {
+    fn from(e: SolveError) -> Self {
+        PlaceError::Solve(e)
+    }
+}
+
+impl From<CheckpointError> for PlaceError {
+    fn from(e: CheckpointError) -> Self {
+        PlaceError::BadCheckpoint(e)
+    }
+}
+
+/// Former name of [`PlaceError`] used by the detailed placer.
+#[deprecated(note = "use `PlaceError`; the per-pipeline error enums were unified")]
+pub type DetailedError = PlaceError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        let e = PlaceError::Solve(SolveError::Infeasible);
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+        assert!(PlaceError::RefinementExhausted.source().is_none());
+        let e = PlaceError::BadCheckpoint(CheckpointError {
+            line: 3,
+            message: "oops".into(),
+        });
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_some());
+    }
+}

@@ -8,9 +8,10 @@
 //! symmetry-feasible set after every step.
 
 use analog_netlist::{Circuit, Placement};
-use placer_numeric::NesterovState;
+use placer_numeric::{NesterovSnapshot, NesterovState};
 
 use crate::area::area_term;
+use crate::budget::{BudgetStatus, RunBudget};
 use crate::density::DensityGrid;
 use crate::symmetry::{project_symmetry, symmetry_penalty};
 use crate::wirelength::{exact_hpwl, smoothed_wirelength};
@@ -27,6 +28,39 @@ pub struct GlobalStats {
     pub hpwl: f64,
     /// Side length of the placement region (µm).
     pub region_side: f64,
+}
+
+/// Resumable snapshot of the global-placement loop, captured at an
+/// iteration boundary (before any of that iteration's work). Everything
+/// not stored here — region geometry, weight normalization, the η
+/// constant — is a deterministic function of circuit + config and is
+/// recomputed on resume, so restarting from a checkpoint continues the
+/// optimization bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpCheckpoint {
+    /// Iteration the loop was about to execute.
+    pub iter: usize,
+    /// Current density weight λ.
+    pub lambda: f64,
+    /// Current symmetry weight τ.
+    pub tau: f64,
+    /// Current WA smoothing parameter γ.
+    pub gamma: f64,
+    /// Overflow of the last evaluated iteration.
+    pub overflow: f64,
+    /// Full optimizer state (positions, velocity, step estimate).
+    pub nesterov: NesterovSnapshot,
+}
+
+/// Outcome of a budgeted global-placement run.
+#[derive(Debug, Clone)]
+pub enum GpRun {
+    /// Converged (overflow target hit or `max_iters` spent).
+    Complete(Placement, GlobalStats),
+    /// Budget expired; best-so-far positions at the interruption boundary.
+    Exhausted(Placement, GlobalStats),
+    /// Cancelled; resume from the checkpoint to finish bit-for-bit.
+    Cancelled(Box<GpCheckpoint>),
 }
 
 /// Extra objective hook: given positions, accumulate an additional gradient
@@ -59,8 +93,38 @@ impl GlobalPlacer {
     pub fn run_with_extra(
         &self,
         circuit: &Circuit,
-        mut extra: Option<&mut ExtraGradientFn<'_>>,
+        extra: Option<&mut ExtraGradientFn<'_>>,
     ) -> (Placement, GlobalStats) {
+        match self.run_budgeted(circuit, extra, None, None) {
+            GpRun::Complete(p, s) => (p, s),
+            // Unreachable without a budget, but harmless to accept.
+            GpRun::Exhausted(p, s) => (p, s),
+            GpRun::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+        }
+    }
+
+    /// Runs global placement under an optional [`RunBudget`], optionally
+    /// resuming from a [`GpCheckpoint`].
+    ///
+    /// With `budget: None` this is exactly [`run_with_extra`]
+    /// (bit-identical; no budget checks are even performed). The budget is
+    /// checked once per Nesterov iteration, at the iteration boundary —
+    /// which is also the checkpoint boundary, so a cancelled run's
+    /// checkpoint resumes with no recomputed or skipped work.
+    ///
+    /// [`run_with_extra`]: Self::run_with_extra
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no devices, or if `resume` carries
+    /// optimizer vectors sized for a different circuit.
+    pub fn run_budgeted(
+        &self,
+        circuit: &Circuit,
+        mut extra: Option<&mut ExtraGradientFn<'_>>,
+        budget: Option<&RunBudget>,
+        resume: Option<&GpCheckpoint>,
+    ) -> GpRun {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("gp_run");
         let _span = SPAN.enter();
         let n = circuit.num_devices();
@@ -115,13 +179,59 @@ impl GlobalPlacer {
         let eta = cfg.eta_scale * wl_norm / l1(&g_area);
 
         // --- Nesterov loop. -------------------------------------------------
-        let mut state = NesterovState::new(v0, bin_x * 0.25);
-        state.set_max_step(side * 0.1);
+        // On resume, every value above (region, grid, η, normalization
+        // inputs) was recomputed deterministically; only the loop-carried
+        // state comes from the checkpoint.
+        let mut state;
+        let mut overflow;
+        let mut iterations;
+        let start_iter;
+        match resume {
+            Some(ck) => {
+                assert_eq!(
+                    ck.nesterov.u.len(),
+                    2 * n,
+                    "checkpoint optimizer state sized for a different circuit"
+                );
+                state = NesterovState::restore(ck.nesterov.clone());
+                lambda = ck.lambda;
+                tau = ck.tau;
+                gamma = ck.gamma;
+                overflow = ck.overflow;
+                iterations = ck.iter;
+                start_iter = ck.iter;
+            }
+            None => {
+                state = NesterovState::new(v0, bin_x * 0.25);
+                state.set_max_step(side * 0.1);
+                overflow = eval0.overflow;
+                iterations = 0;
+                start_iter = 0;
+            }
+        }
         let mut grad = vec![0.0; 2 * n];
-        let mut overflow = eval0.overflow;
-        let mut iterations = 0;
         let gamma_min = 0.25 * bin_x;
-        for iter in 0..cfg.max_iters {
+        let mut exhausted = false;
+        for iter in start_iter..cfg.max_iters {
+            if let Some(b) = budget {
+                match b.check() {
+                    BudgetStatus::Continue => {}
+                    BudgetStatus::Exhausted => {
+                        exhausted = true;
+                        break;
+                    }
+                    BudgetStatus::Cancelled => {
+                        return GpRun::Cancelled(Box::new(GpCheckpoint {
+                            iter,
+                            lambda,
+                            tau,
+                            gamma,
+                            overflow,
+                            nesterov: state.snapshot(),
+                        }));
+                    }
+                }
+            }
             iterations = iter + 1;
             let pts = to_points(state.reference(), n);
             grad.iter_mut().for_each(|g| *g = 0.0);
@@ -204,15 +314,18 @@ impl GlobalPlacer {
             // Drain this thread's ring outside the iteration loop.
             placer_telemetry::flush();
         }
-        (
-            Placement::from_positions(pts),
-            GlobalStats {
-                iterations,
-                overflow,
-                hpwl,
-                region_side: side,
-            },
-        )
+        let placement = Placement::from_positions(pts);
+        let stats = GlobalStats {
+            iterations,
+            overflow,
+            hpwl,
+            region_side: side,
+        };
+        if exhausted {
+            GpRun::Exhausted(placement, stats)
+        } else {
+            GpRun::Complete(placement, stats)
+        }
     }
 }
 
@@ -316,6 +429,82 @@ mod tests {
         let a = run(&c, GlobalConfig::default()).0;
         let b = run(&c, GlobalConfig::default()).0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let c = testcases::cc_ota();
+        let placer = GlobalPlacer::new(GlobalConfig::default());
+        let (a, sa) = placer.run(&c);
+        let budget = RunBudget::unlimited();
+        let GpRun::Complete(b, sb) = placer.run_budgeted(&c, None, Some(&budget), None) else {
+            panic!("unlimited budget must complete");
+        };
+        assert_eq!(a, b);
+        assert_eq!(sa.hpwl.to_bits(), sb.hpwl.to_bits());
+        assert_eq!(sa.iterations, sb.iterations);
+    }
+
+    #[test]
+    fn cancel_then_resume_is_bit_identical() {
+        let c = testcases::cc_ota();
+        let placer = GlobalPlacer::new(GlobalConfig {
+            max_iters: 120,
+            ..GlobalConfig::default()
+        });
+        let (baseline, base_stats) = placer.run(&c);
+        // The run converges after 60-odd iterations, so stay below that.
+        for cancel_at in [0, 1, 7, 45] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let GpRun::Cancelled(ck) = placer.run_budgeted(&c, None, Some(&budget), None) else {
+                panic!("expected cancellation at check {cancel_at}");
+            };
+            assert_eq!(ck.iter as u64, cancel_at);
+            let resume_budget = RunBudget::unlimited();
+            let GpRun::Complete(p, s) =
+                placer.run_budgeted(&c, None, Some(&resume_budget), Some(&ck))
+            else {
+                panic!("resume must complete");
+            };
+            assert_eq!(p, baseline, "resume from iter {cancel_at} diverged");
+            assert_eq!(s.hpwl.to_bits(), base_stats.hpwl.to_bits());
+            assert_eq!(s.iterations, base_stats.iterations);
+        }
+    }
+
+    #[test]
+    fn repeated_cancellation_still_converges_exactly() {
+        let c = testcases::adder();
+        let placer = GlobalPlacer::new(GlobalConfig {
+            max_iters: 100,
+            ..GlobalConfig::default()
+        });
+        let (baseline, _) = placer.run(&c);
+        // Interrupt every 9 iterations until the run completes.
+        let mut checkpoint: Option<GpCheckpoint> = None;
+        let final_placement = loop {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(9);
+            match placer.run_budgeted(&c, None, Some(&budget), checkpoint.as_ref()) {
+                GpRun::Complete(p, _) => break p,
+                GpRun::Cancelled(ck) => checkpoint = Some(*ck),
+                GpRun::Exhausted(..) => panic!("no deadline set"),
+            }
+        };
+        assert_eq!(final_placement, baseline);
+    }
+
+    #[test]
+    fn exhaustion_stops_at_the_step_budget() {
+        let c = testcases::cc_ota();
+        let placer = GlobalPlacer::new(GlobalConfig::default());
+        let budget = RunBudget::steps(5);
+        let GpRun::Exhausted(p, s) = placer.run_budgeted(&c, None, Some(&budget), None) else {
+            panic!("step budget must exhaust");
+        };
+        assert_eq!(s.iterations, 5);
+        assert_eq!(p.len(), c.num_devices());
     }
 
     #[test]

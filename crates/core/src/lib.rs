@@ -20,7 +20,7 @@
 //! use analog_netlist::testcases;
 //! use eplace::{EPlaceA, PlacerConfig};
 //!
-//! # fn main() -> Result<(), eplace::DetailedError> {
+//! # fn main() -> Result<(), eplace::PlaceError> {
 //! let circuit = testcases::cc_ota();
 //! let result = EPlaceA::new(PlacerConfig::default()).place(&circuit)?;
 //! println!(
@@ -38,23 +38,36 @@
 #![forbid(unsafe_code)]
 
 mod area;
+mod budget;
+mod checkpoint;
 mod config;
 mod density;
 mod detailed;
+mod error;
 mod global;
 mod perf;
 mod pipeline;
+mod placer;
 mod proptests;
 pub mod sepplan;
 mod symmetry;
 pub mod wirelength;
 
 pub use area::{area_term, exact_area};
-pub use config::{DetailedConfig, GlobalConfig, PerfConfig, PlacerConfig, Smoothing, SymmetryMode};
+pub use budget::{BudgetStatus, RunBudget};
+pub use checkpoint::{Checkpoint, CheckpointError, Value as CheckpointValue};
+pub use config::{
+    require_fraction, require_nonnegative, require_positive, ConfigError, DetailedConfig,
+    GlobalConfig, PerfConfig, PlacerConfig, PlacerConfigBuilder, Smoothing, SymmetryMode,
+};
 pub use density::{DensityEval, DensityGrid};
-pub use detailed::{legalize, DetailedError, DetailedPlacer, DetailedStats};
-pub use global::{GlobalPlacer, GlobalStats};
+pub use detailed::{legalize, DetailedPlacer, DetailedStats};
+#[allow(deprecated)]
+pub use error::DetailedError;
+pub use error::PlaceError;
+pub use global::{GlobalPlacer, GlobalStats, GpCheckpoint, GpRun};
 pub use perf::{run_perf_global, PerfGradHook};
 pub use pipeline::{EPlaceA, EPlaceAP, PlacementResult};
+pub use placer::{expect_placer, PlaceOutcome, PlaceSolution, Placer};
 pub use sepplan::{SepEdge, SeparationPlanner};
 pub use symmetry::{project_symmetry, symmetry_penalty};

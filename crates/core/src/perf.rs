@@ -83,6 +83,20 @@ impl<'a> PerfGradHook<'a> {
         }
         alpha * phi
     }
+
+    /// The lazily-normalized absolute α (`None` before the first
+    /// [`eval`](Self::eval)). Checkpointed by ePlace-AP: the normalization
+    /// happens on the run's *first* iteration, so a resumed segment must
+    /// inherit it rather than re-normalize at its own first call.
+    pub fn alpha_abs(&self) -> Option<f64> {
+        self.alpha_abs
+    }
+
+    /// Restores the absolute α from a checkpoint (see
+    /// [`alpha_abs`](Self::alpha_abs)).
+    pub fn set_alpha_abs(&mut self, alpha_abs: Option<f64>) {
+        self.alpha_abs = alpha_abs;
+    }
 }
 
 /// Runs performance-driven global placement: ePlace-A's engine with the

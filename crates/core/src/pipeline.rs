@@ -1,14 +1,26 @@
 //! End-to-end placement pipelines: ePlace-A and ePlace-AP.
+//!
+//! Both pipelines expose two fronts:
+//!
+//! - the legacy inherent `place(&circuit)`, which runs to completion and
+//!   is kept bit-identical to its pre-budget behavior, and
+//! - the [`Placer`] trait (`place(&circuit, &RunBudget)` /
+//!   `resume(&circuit, &Checkpoint, &RunBudget)`), which adds deadlines,
+//!   cooperative cancellation and exact resume on top of the same engine.
+//!
+//! Both fronts share one engine per pipeline, so the unlimited-budget
+//! trait path and the legacy path execute the same instructions.
 
 use std::time::Instant;
 
 use analog_netlist::{Circuit, Placement};
 use placer_gnn::Network;
 
-use crate::detailed::{legalize, DetailedError};
-use crate::global::GlobalPlacer;
-use crate::perf::run_perf_global;
-use crate::{PerfConfig, PlacerConfig};
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::detailed::legalize;
+use crate::global::{GlobalPlacer, GpCheckpoint, GpRun};
+use crate::placer::{expect_placer, PlaceOutcome, PlaceSolution, Placer};
+use crate::{PerfConfig, PerfGradHook, PlaceError, PlacerConfig, RunBudget};
 
 /// The result of a full placement run.
 #[derive(Debug, Clone)]
@@ -27,6 +39,151 @@ pub struct PlacementResult {
     pub gp_iterations: usize,
 }
 
+impl PlacementResult {
+    fn into_solution(self) -> PlaceSolution {
+        PlaceSolution {
+            placement: self.placement,
+            hpwl: self.hpwl,
+            area: self.area,
+            stage1_seconds: self.gp_seconds,
+            stage2_seconds: self.dp_seconds,
+            iterations: self.gp_iterations,
+        }
+    }
+}
+
+/// Internal outcome of a budgeted pipeline engine.
+enum EngineRun {
+    Done(PlacementResult),
+    Exhausted(PlacementResult),
+    Cancelled(Checkpoint),
+}
+
+impl EngineRun {
+    fn into_outcome(self) -> PlaceOutcome {
+        match self {
+            EngineRun::Done(r) => PlaceOutcome::Complete(r.into_solution()),
+            EngineRun::Exhausted(r) => PlaceOutcome::Exhausted(r.into_solution()),
+            EngineRun::Cancelled(ck) => PlaceOutcome::Cancelled(ck),
+        }
+    }
+}
+
+fn bad_checkpoint(message: String) -> PlaceError {
+    PlaceError::BadCheckpoint(CheckpointError { line: 0, message })
+}
+
+fn check_n(ck: &Checkpoint, circuit: &Circuit) -> Result<usize, PlaceError> {
+    let n = circuit.num_devices();
+    let stored = ck.get_u64("n")? as usize;
+    if stored != n {
+        return Err(bad_checkpoint(format!(
+            "checkpoint is for a {stored}-device circuit, got {n} devices"
+        )));
+    }
+    Ok(n)
+}
+
+fn put_placement(ck: &mut Checkpoint, prefix: &str, p: &Placement) {
+    let xs: Vec<f64> = p.positions.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = p.positions.iter().map(|&(_, y)| y).collect();
+    let fx: Vec<bool> = p.flips.iter().map(|&(fx, _)| fx).collect();
+    let fy: Vec<bool> = p.flips.iter().map(|&(_, fy)| fy).collect();
+    ck.put_f64s(&format!("{prefix}x"), &xs);
+    ck.put_f64s(&format!("{prefix}y"), &ys);
+    ck.put_bools(&format!("{prefix}fx"), &fx);
+    ck.put_bools(&format!("{prefix}fy"), &fy);
+}
+
+fn get_placement(ck: &Checkpoint, prefix: &str, n: usize) -> Result<Placement, PlaceError> {
+    let xs = ck.get_f64s(&format!("{prefix}x"))?;
+    let ys = ck.get_f64s(&format!("{prefix}y"))?;
+    let fx = ck.get_bools(&format!("{prefix}fx"))?;
+    let fy = ck.get_bools(&format!("{prefix}fy"))?;
+    if xs.len() != n || ys.len() != n || fx.len() != n || fy.len() != n {
+        return Err(bad_checkpoint(format!(
+            "placement `{prefix}*` sized for a different circuit"
+        )));
+    }
+    Ok(Placement {
+        positions: xs.iter().zip(ys).map(|(&x, &y)| (x, y)).collect(),
+        flips: fx.iter().zip(fy).map(|(&a, &b)| (a, b)).collect(),
+    })
+}
+
+fn put_result(ck: &mut Checkpoint, prefix: &str, r: &PlacementResult) {
+    put_placement(ck, prefix, &r.placement);
+    ck.put_f64(&format!("{prefix}hpwl"), r.hpwl);
+    ck.put_f64(&format!("{prefix}area"), r.area);
+    ck.put_f64(&format!("{prefix}gp_seconds"), r.gp_seconds);
+    ck.put_f64(&format!("{prefix}dp_seconds"), r.dp_seconds);
+    ck.put_u64(&format!("{prefix}gp_iterations"), r.gp_iterations as u64);
+}
+
+fn get_result(ck: &Checkpoint, prefix: &str, n: usize) -> Result<PlacementResult, PlaceError> {
+    Ok(PlacementResult {
+        placement: get_placement(ck, prefix, n)?,
+        hpwl: ck.get_f64(&format!("{prefix}hpwl"))?,
+        area: ck.get_f64(&format!("{prefix}area"))?,
+        gp_seconds: ck.get_f64(&format!("{prefix}gp_seconds"))?,
+        dp_seconds: ck.get_f64(&format!("{prefix}dp_seconds"))?,
+        gp_iterations: ck.get_u64(&format!("{prefix}gp_iterations"))? as usize,
+    })
+}
+
+fn put_gp(ck: &mut Checkpoint, gp: &GpCheckpoint) {
+    ck.put_u64("gp_iter", gp.iter as u64);
+    ck.put_f64("gp_lambda", gp.lambda);
+    ck.put_f64("gp_tau", gp.tau);
+    ck.put_f64("gp_gamma", gp.gamma);
+    ck.put_f64("gp_overflow", gp.overflow);
+    let s = &gp.nesterov;
+    ck.put_f64s("gp_u", &s.u);
+    ck.put_f64s("gp_v", &s.v);
+    ck.put_f64s("gp_v_prev", &s.v_prev);
+    ck.put_f64s("gp_g_prev", &s.g_prev);
+    ck.put_f64("gp_a", s.a);
+    ck.put_f64("gp_initial_step", s.initial_step);
+    ck.put_f64("gp_max_step", s.max_step);
+    ck.put_f64("gp_shrink", s.shrink);
+    ck.put_f64("gp_g_norm_prev", s.g_norm_prev);
+    ck.put_u64("gp_iterations", s.iterations as u64);
+    ck.put_u64("gp_safeguard_trips", s.safeguard_trips as u64);
+}
+
+fn get_gp(ck: &Checkpoint, n: usize) -> Result<GpCheckpoint, PlaceError> {
+    let snapshot = placer_numeric::NesterovSnapshot {
+        u: ck.get_f64s("gp_u")?.to_vec(),
+        v: ck.get_f64s("gp_v")?.to_vec(),
+        v_prev: ck.get_f64s("gp_v_prev")?.to_vec(),
+        g_prev: ck.get_f64s("gp_g_prev")?.to_vec(),
+        a: ck.get_f64("gp_a")?,
+        initial_step: ck.get_f64("gp_initial_step")?,
+        max_step: ck.get_f64("gp_max_step")?,
+        shrink: ck.get_f64("gp_shrink")?,
+        g_norm_prev: ck.get_f64("gp_g_norm_prev")?,
+        iterations: ck.get_u64("gp_iterations")? as usize,
+        safeguard_trips: ck.get_u64("gp_safeguard_trips")? as usize,
+    };
+    if snapshot.u.len() != 2 * n
+        || snapshot.v.len() != 2 * n
+        || snapshot.v_prev.len() != 2 * n
+        || snapshot.g_prev.len() != 2 * n
+    {
+        return Err(bad_checkpoint(
+            "optimizer vectors sized for a different circuit".to_string(),
+        ));
+    }
+    Ok(GpCheckpoint {
+        iter: ck.get_u64("gp_iter")? as usize,
+        lambda: ck.get_f64("gp_lambda")?,
+        tau: ck.get_f64("gp_tau")?,
+        gamma: ck.get_f64("gp_gamma")?,
+        overflow: ck.get_f64("gp_overflow")?,
+        nesterov: snapshot,
+    })
+}
+
 /// The ePlace-A analog placer (conventional, performance-oblivious).
 ///
 /// # Examples
@@ -35,7 +192,7 @@ pub struct PlacementResult {
 /// use analog_netlist::testcases;
 /// use eplace::{EPlaceA, PlacerConfig};
 ///
-/// # fn main() -> Result<(), eplace::DetailedError> {
+/// # fn main() -> Result<(), eplace::PlaceError> {
 /// let circuit = testcases::adder();
 /// let placer = EPlaceA::new(PlacerConfig::default());
 /// let result = placer.place(&circuit)?;
@@ -64,25 +221,95 @@ impl EPlaceA {
     ///
     /// # Errors
     ///
-    /// Propagates [`DetailedError`] from the legalization ILP when every
+    /// Propagates [`PlaceError`] from the legalization ILP when every
     /// restart fails; a single successful restart suffices.
-    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, PlaceError> {
+        match self.run_engine(circuit, None, None)? {
+            EngineRun::Done(r) => Ok(r),
+            _ => unreachable!("no budget: engine can only complete"),
+        }
+    }
+
+    fn run_engine(
+        &self,
+        circuit: &Circuit,
+        budget: Option<&RunBudget>,
+        resume: Option<&Checkpoint>,
+    ) -> Result<EngineRun, PlaceError> {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("eplace_a_place");
         let _span = SPAN.enter();
+        let n = circuit.num_devices();
         let mut best: Option<PlacementResult> = None;
-        let mut last_err: Option<DetailedError> = None;
+        let mut last_err: Option<PlaceError> = None;
         let attempts = self.config.restarts.max(1);
         // Restarts vary both the seed and the GP region utilization — the
         // best region density is circuit-dependent.
         let util_ladder = [1.0, 1.0, 1.0, 1.5];
-        for k in 0..attempts {
+        let mut start_k = 0usize;
+        let mut gp_resume: Option<GpCheckpoint> = None;
+        if let Some(ck) = resume {
+            expect_placer(ck, "eplace-a")?;
+            check_n(ck, circuit)?;
+            start_k = ck.get_u64("attempt")? as usize;
+            if ck.get_u64("has_best")? == 1 {
+                best = Some(get_result(ck, "best_", n)?);
+            }
+            gp_resume = Some(get_gp(ck, n)?);
+        }
+        for k in start_k..attempts {
             let mut global_cfg = self.config.global.clone();
             global_cfg.seed = self.config.global.seed + k as u64;
             global_cfg.utilization =
                 (global_cfg.utilization * util_ladder[k % util_ladder.len()]).min(0.8);
             let t0 = Instant::now();
-            let (gp, stats) = GlobalPlacer::new(global_cfg).run(circuit);
+            let gp_ck = gp_resume.take();
+            let run =
+                GlobalPlacer::new(global_cfg).run_budgeted(circuit, None, budget, gp_ck.as_ref());
             let gp_seconds = t0.elapsed().as_secs_f64();
+            let (gp, stats, gp_exhausted) = match run {
+                GpRun::Cancelled(gpck) => {
+                    let mut out = Checkpoint::new("eplace-a");
+                    out.put_u64("n", n as u64);
+                    out.put_u64("attempt", k as u64);
+                    match &best {
+                        Some(b) => {
+                            out.put_u64("has_best", 1);
+                            put_result(&mut out, "best_", b);
+                        }
+                        None => out.put_u64("has_best", 0),
+                    }
+                    put_gp(&mut out, &gpck);
+                    return Ok(EngineRun::Cancelled(out));
+                }
+                GpRun::Complete(gp, stats) => (gp, stats, false),
+                GpRun::Exhausted(gp, stats) => (gp, stats, true),
+            };
+            if gp_exhausted {
+                // Deadline hit mid-attempt. If an earlier attempt already
+                // produced a legal best, return it without burning more
+                // time legalizing the interrupted (inferior) state;
+                // otherwise legalize the partial GP so the caller still
+                // gets a legal placement.
+                if let Some(b) = best {
+                    return Ok(EngineRun::Exhausted(b));
+                }
+                let t1 = Instant::now();
+                let dp_result = if self.config.preserve_gp {
+                    crate::DetailedPlacer::new(self.config.detailed.clone())
+                        .run_preserving(circuit, &gp)
+                } else {
+                    legalize(circuit, &gp, &self.config.detailed)
+                };
+                let (placement, dstats) = dp_result?;
+                return Ok(EngineRun::Exhausted(PlacementResult {
+                    placement,
+                    hpwl: dstats.hpwl,
+                    area: dstats.area,
+                    gp_seconds,
+                    dp_seconds: t1.elapsed().as_secs_f64(),
+                    gp_iterations: stats.iterations,
+                }));
+            }
             let t1 = Instant::now();
             let dp_result = if self.config.preserve_gp {
                 crate::DetailedPlacer::new(self.config.detailed.clone())
@@ -115,7 +342,7 @@ impl EPlaceA {
             }
         }
         match best {
-            Some(result) => Ok(result),
+            Some(result) => Ok(EngineRun::Done(result)),
             None => Err(last_err.expect("at least one attempt ran")),
         }
     }
@@ -123,6 +350,27 @@ impl EPlaceA {
     /// Runs only global placement (for Table IV's shared-GP comparison).
     pub fn global_only(&self, circuit: &Circuit) -> Placement {
         GlobalPlacer::new(self.config.global.clone()).run(circuit).0
+    }
+}
+
+impl Placer for EPlaceA {
+    fn name(&self) -> &'static str {
+        "eplace-a"
+    }
+
+    fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self.run_engine(circuit, Some(budget), None)?.into_outcome())
+    }
+
+    fn resume(
+        &self,
+        circuit: &Circuit,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(circuit, Some(budget), Some(checkpoint))?
+            .into_outcome())
     }
 }
 
@@ -152,14 +400,27 @@ impl EPlaceAP {
     ///
     /// # Errors
     ///
-    /// Propagates [`DetailedError`] from the legalization ILP when every
+    /// Propagates [`PlaceError`] from the legalization ILP when every
     /// restart fails.
-    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, DetailedError> {
+    pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, PlaceError> {
+        match self.run_engine(circuit, None, None)? {
+            EngineRun::Done(r) => Ok(r),
+            _ => unreachable!("no budget: engine can only complete"),
+        }
+    }
+
+    fn run_engine(
+        &self,
+        circuit: &Circuit,
+        budget: Option<&RunBudget>,
+        resume: Option<&Checkpoint>,
+    ) -> Result<EngineRun, PlaceError> {
         static SPAN: placer_telemetry::SpanStat =
             placer_telemetry::SpanStat::new("eplace_ap_place");
         let _span = SPAN.enter();
+        let n = circuit.num_devices();
         let mut best: Option<(f64, PlacementResult)> = None;
-        let mut last_err: Option<DetailedError> = None;
+        let mut last_err: Option<PlaceError> = None;
         let mut total_gp = 0.0;
         let mut total_dp = 0.0;
         let attempts = self.config.restarts.max(1);
@@ -174,7 +435,22 @@ impl EPlaceAP {
         // topology is fixed; only the position features change).
         let mut graph: Option<placer_gnn::CircuitGraph> = None;
         let mut scratch = placer_gnn::InferenceScratch::new(&self.network, circuit.num_devices());
-        for k in 0..attempts {
+        let mut start_k = 0usize;
+        let mut gp_resume: Option<GpCheckpoint> = None;
+        let mut alpha_resume: Option<Option<f64>> = None;
+        if let Some(ck) = resume {
+            expect_placer(ck, "eplace-ap")?;
+            check_n(ck, circuit)?;
+            start_k = ck.get_u64("attempt")? as usize;
+            if ck.get_u64("has_best")? == 1 {
+                best = Some((ck.get_f64("best_score")?, get_result(ck, "best_", n)?));
+            }
+            total_gp = ck.get_f64("total_gp")?;
+            total_dp = ck.get_f64("total_dp")?;
+            gp_resume = Some(get_gp(ck, n)?);
+            alpha_resume = Some(ck.opt_f64("ap_alpha_abs")?);
+        }
+        for k in start_k..attempts {
             let mut global_cfg = self.config.global.clone();
             global_cfg.seed = self.config.global.seed + k as u64;
             global_cfg.utilization =
@@ -182,8 +458,68 @@ impl EPlaceAP {
             let mut perf_cfg = self.perf.clone();
             perf_cfg.alpha *= alpha_ladder[k % alpha_ladder.len()];
             let t0 = Instant::now();
-            let (gp, stats) = run_perf_global(circuit, &global_cfg, &perf_cfg, &self.network);
+            // The GNN hook state is per-attempt (α re-normalizes on the
+            // attempt's first gradient call); a resumed attempt inherits
+            // the interrupted attempt's normalization from the checkpoint
+            // so its stream continues exactly.
+            let mut hook_state =
+                PerfGradHook::new(circuit, &self.network, perf_cfg.alpha, perf_cfg.scale);
+            if let Some(alpha_abs) = alpha_resume.take() {
+                hook_state.set_alpha_abs(alpha_abs);
+            }
+            let mut hook =
+                |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 { hook_state.eval(pts, grad) };
+            let gp_ck = gp_resume.take();
+            let run = GlobalPlacer::new(global_cfg).run_budgeted(
+                circuit,
+                Some(&mut hook),
+                budget,
+                gp_ck.as_ref(),
+            );
             total_gp += t0.elapsed().as_secs_f64();
+            let (gp, stats, gp_exhausted) = match run {
+                GpRun::Cancelled(gpck) => {
+                    let mut out = Checkpoint::new("eplace-ap");
+                    out.put_u64("n", n as u64);
+                    out.put_u64("attempt", k as u64);
+                    match &best {
+                        Some((score, b)) => {
+                            out.put_u64("has_best", 1);
+                            out.put_f64("best_score", *score);
+                            put_result(&mut out, "best_", b);
+                        }
+                        None => out.put_u64("has_best", 0),
+                    }
+                    out.put_f64("total_gp", total_gp);
+                    out.put_f64("total_dp", total_dp);
+                    if let Some(alpha_abs) = hook_state.alpha_abs() {
+                        out.put_f64("ap_alpha_abs", alpha_abs);
+                    }
+                    put_gp(&mut out, &gpck);
+                    return Ok(EngineRun::Cancelled(out));
+                }
+                GpRun::Complete(gp, stats) => (gp, stats, false),
+                GpRun::Exhausted(gp, stats) => (gp, stats, true),
+            };
+            if gp_exhausted {
+                if let Some((_, mut b)) = best {
+                    b.gp_seconds = total_gp;
+                    b.dp_seconds = total_dp;
+                    return Ok(EngineRun::Exhausted(b));
+                }
+                let t1 = Instant::now();
+                let dp = crate::DetailedPlacer::new(self.config.detailed.clone());
+                let (placement, dstats) = dp.run_preserving(circuit, &gp)?;
+                total_dp += t1.elapsed().as_secs_f64();
+                return Ok(EngineRun::Exhausted(PlacementResult {
+                    placement,
+                    hpwl: dstats.hpwl,
+                    area: dstats.area,
+                    gp_seconds: total_gp,
+                    dp_seconds: total_dp,
+                    gp_iterations: stats.iterations,
+                }));
+            }
             let t1 = Instant::now();
             // Structure-preserving legalization: the GNN guidance lives in
             // the GP's relative ordering, which the reassignment passes of
@@ -231,10 +567,31 @@ impl EPlaceAP {
             Some((_, mut result)) => {
                 result.gp_seconds = total_gp;
                 result.dp_seconds = total_dp;
-                Ok(result)
+                Ok(EngineRun::Done(result))
             }
             None => Err(last_err.expect("at least one attempt ran")),
         }
+    }
+}
+
+impl Placer for EPlaceAP {
+    fn name(&self) -> &'static str {
+        "eplace-ap"
+    }
+
+    fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self.run_engine(circuit, Some(budget), None)?.into_outcome())
+    }
+
+    fn resume(
+        &self,
+        circuit: &Circuit,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(circuit, Some(budget), Some(checkpoint))?
+            .into_outcome())
     }
 }
 
@@ -266,5 +623,108 @@ mod tests {
         let placer = EPlaceAP::new(PlacerConfig::default(), PerfConfig::new(0.5, 20.0), network);
         let result = placer.place(&circuit).unwrap();
         assert!(result.placement.is_legal(&circuit, 1e-6));
+    }
+
+    fn small_config() -> PlacerConfig {
+        PlacerConfig::builder()
+            .restarts(2)
+            .max_iters(80)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trait_place_with_unlimited_budget_matches_legacy() {
+        let circuit = testcases::adder();
+        let placer = EPlaceA::new(small_config());
+        let legacy = placer.place(&circuit).unwrap();
+        let outcome = Placer::place(&placer, &circuit, &RunBudget::unlimited()).unwrap();
+        let sol = outcome.solution().expect("unlimited budget completes");
+        assert!(outcome.is_complete());
+        assert_eq!(sol.placement, legacy.placement);
+        assert_eq!(sol.hpwl.to_bits(), legacy.hpwl.to_bits());
+    }
+
+    #[test]
+    fn eplace_a_cancel_resume_is_bit_identical() {
+        let circuit = testcases::adder();
+        let placer = EPlaceA::new(small_config());
+        let legacy = placer.place(&circuit).unwrap();
+        // Cancel inside the second attempt's GP as well as the first's.
+        for cancel_at in [3, 95] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+            let ck = outcome.checkpoint().expect("cancelled").clone();
+            // Roundtrip through the text codec like the job engine does.
+            let ck = Checkpoint::decode(&ck.encode()).unwrap();
+            let resumed = placer
+                .resume(&circuit, &ck, &RunBudget::unlimited())
+                .unwrap();
+            let sol = resumed.solution().expect("resume completes");
+            assert!(resumed.is_complete());
+            assert_eq!(
+                sol.placement, legacy.placement,
+                "resume after cancel at check {cancel_at} diverged"
+            );
+            assert_eq!(sol.hpwl.to_bits(), legacy.hpwl.to_bits());
+        }
+    }
+
+    #[test]
+    fn eplace_ap_cancel_resume_is_bit_identical() {
+        let circuit = testcases::adder();
+        let network = Network::default_config(2);
+        let placer = EPlaceAP::new(small_config(), PerfConfig::new(0.5, 20.0), network);
+        let legacy = placer.place(&circuit).unwrap();
+        for cancel_at in [0, 11, 90] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+            let ck = outcome.checkpoint().expect("cancelled").clone();
+            let ck = Checkpoint::decode(&ck.encode()).unwrap();
+            let resumed = placer
+                .resume(&circuit, &ck, &RunBudget::unlimited())
+                .unwrap();
+            let sol = resumed.solution().expect("resume completes");
+            assert_eq!(
+                sol.placement, legacy.placement,
+                "resume after cancel at check {cancel_at} diverged"
+            );
+            assert_eq!(sol.hpwl.to_bits(), legacy.hpwl.to_bits());
+        }
+    }
+
+    #[test]
+    fn exhausted_runs_return_legal_placements() {
+        let circuit = testcases::adder();
+        let placer = EPlaceA::new(small_config());
+        // Exhaust mid-first-attempt (forces partial-GP legalization) and
+        // mid-second-attempt (returns the first attempt's best).
+        for steps in [4, 95] {
+            let outcome = Placer::place(&placer, &circuit, &RunBudget::steps(steps)).unwrap();
+            assert!(outcome.is_exhausted(), "steps {steps}");
+            let sol = outcome.solution().unwrap();
+            assert!(
+                sol.placement.is_legal(&circuit, 1e-6),
+                "exhausted placement at {steps} steps must stay legal"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let circuit = testcases::adder();
+        let placer = EPlaceA::new(small_config());
+        let budget = RunBudget::unlimited();
+        budget.cancel_after_checks(2);
+        let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+        let ck = outcome.checkpoint().unwrap();
+        let network = Network::default_config(2);
+        let ap = EPlaceAP::new(small_config(), PerfConfig::new(0.5, 20.0), network);
+        let err = ap
+            .resume(&circuit, ck, &RunBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::BadCheckpoint(_)));
     }
 }

@@ -1,0 +1,144 @@
+//! The unified placement front door: one trait, one outcome type.
+//!
+//! Every pipeline in the workspace — `EPlaceA`, `EPlaceAP` (this crate),
+//! `SaPlacer` (`placer-sa`) and `Xu19Placer` (`placer-xu19`) — implements
+//! [`Placer`], so job engines and benchmarks can hold a
+//! `&dyn Placer` and not care which algorithm is behind it. The trait
+//! methods take a [`RunBudget`](crate::RunBudget) and return a
+//! [`PlaceOutcome`]:
+//!
+//! - [`Complete`](PlaceOutcome::Complete): the algorithm ran to its
+//!   natural convergence. With an unlimited budget this is bit-identical
+//!   to the pipeline's legacy entry point.
+//! - [`Exhausted`](PlaceOutcome::Exhausted): the budget expired; the
+//!   solution is the best-so-far state, **legalized** — callers can always
+//!   tape it out, it is just potentially worse than a full run.
+//! - [`Cancelled`](PlaceOutcome::Cancelled): cooperative cancellation hit
+//!   first; the payload is a [`Checkpoint`](crate::Checkpoint) from which
+//!   [`Placer::resume`] reproduces the uninterrupted run bit-for-bit.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::PlaceError;
+use crate::RunBudget;
+use analog_netlist::{Circuit, Placement};
+
+/// A finished (complete or best-so-far) legalized placement plus its
+/// quality metrics and timing breakdown.
+#[derive(Debug, Clone)]
+pub struct PlaceSolution {
+    /// The legalized placement.
+    pub placement: Placement,
+    /// Half-perimeter wirelength of `placement`.
+    pub hpwl: f64,
+    /// Bounding-box area of `placement`.
+    pub area: f64,
+    /// Seconds spent in stage 1 (global placement / annealing).
+    pub stage1_seconds: f64,
+    /// Seconds spent in stage 2 (legalization / repair).
+    pub stage2_seconds: f64,
+    /// Optimizer iterations (Nesterov/CG iterations or SA moves).
+    pub iterations: usize,
+}
+
+/// What a budgeted placement run produced.
+#[derive(Debug, Clone)]
+pub enum PlaceOutcome {
+    /// Ran to natural convergence.
+    Complete(PlaceSolution),
+    /// Budget expired; best-so-far, still legalized.
+    Exhausted(PlaceSolution),
+    /// Cancelled; resume from the checkpoint to finish the run.
+    Cancelled(Checkpoint),
+}
+
+impl PlaceOutcome {
+    /// The solution, if the run produced one (complete or exhausted).
+    pub fn solution(&self) -> Option<&PlaceSolution> {
+        match self {
+            PlaceOutcome::Complete(s) | PlaceOutcome::Exhausted(s) => Some(s),
+            PlaceOutcome::Cancelled(_) => None,
+        }
+    }
+
+    /// The checkpoint, if the run was cancelled.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        match self {
+            PlaceOutcome::Cancelled(ck) => Some(ck),
+            _ => None,
+        }
+    }
+
+    /// True for [`PlaceOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, PlaceOutcome::Complete(_))
+    }
+
+    /// True for [`PlaceOutcome::Exhausted`].
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, PlaceOutcome::Exhausted(_))
+    }
+
+    /// True for [`PlaceOutcome::Cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, PlaceOutcome::Cancelled(_))
+    }
+
+    /// Short status tag (`"complete"` / `"exhausted"` / `"cancelled"`)
+    /// for logs and job reports.
+    pub fn status(&self) -> &'static str {
+        match self {
+            PlaceOutcome::Complete(_) => "complete",
+            PlaceOutcome::Exhausted(_) => "exhausted",
+            PlaceOutcome::Cancelled(_) => "cancelled",
+        }
+    }
+}
+
+/// A budgeted, cancellable, resumable placement algorithm.
+///
+/// Implementations must uphold three contracts:
+///
+/// 1. **Unlimited budget ≡ legacy run.** With
+///    [`RunBudget::unlimited`](crate::RunBudget::unlimited) and no
+///    cancellation, the returned solution is bit-identical to the
+///    pipeline's original entry point for the same config and seed.
+/// 2. **Exhausted is legal.** When the budget expires the placer
+///    legalizes its best-so-far state before returning, so the
+///    placement in [`PlaceOutcome::Exhausted`] satisfies the same
+///    legality invariants as a complete run.
+/// 3. **Resume is exact.** `place` until cancelled, then `resume` from
+///    the returned checkpoint (any number of times, at any boundary),
+///    yields the same final placement — bit-for-bit — as a single
+///    uninterrupted `place`.
+pub trait Placer: Sync {
+    /// Stable machine-readable identifier (`"eplace-a"`, `"sa"`, ...);
+    /// stamped into checkpoints and job reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs placement under `budget`.
+    fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError>;
+
+    /// Continues a cancelled run from `checkpoint` under a fresh budget.
+    fn resume(
+        &self,
+        circuit: &Circuit,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError>;
+}
+
+/// Verifies a checkpoint was written by `expected` before a resume
+/// touches any of its fields; shared by all four [`Placer`]
+/// implementations (including the ones in `placer-sa` / `placer-xu19`).
+pub fn expect_placer(ck: &Checkpoint, expected: &str) -> Result<(), PlaceError> {
+    if ck.placer() != expected {
+        return Err(PlaceError::BadCheckpoint(crate::CheckpointError {
+            line: 0,
+            message: format!(
+                "checkpoint written by `{}`, cannot resume with `{expected}`",
+                ck.placer()
+            ),
+        }));
+    }
+    Ok(())
+}

@@ -161,6 +161,31 @@ impl Trainer {
         samples: &[TrainingSample],
         opts: &TrainOptions,
     ) -> f64 {
+        self.fit_interruptible(network, samples, opts, &mut |_| false)
+    }
+
+    /// [`fit`](Self::fit) with a cooperative stop hook, polled once per
+    /// epoch (never inside the batch loop) with the index of the epoch
+    /// about to run. Returning `true` stops training at that boundary, so
+    /// a run stopped before epoch `k` leaves the network bit-identical to
+    /// a fresh `fit` with `opts.epochs == k`. This is how the job engine's
+    /// `RunBudget`-style cancellation reaches training without this
+    /// crate depending on the placer stack (the budget lives above us in
+    /// the dependency DAG; callers adapt it to a closure).
+    ///
+    /// Returns the mean loss of the last *finished* epoch (infinity when
+    /// stopped before the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `batch_size` is zero.
+    pub fn fit_interruptible(
+        &mut self,
+        network: &mut Network,
+        samples: &[TrainingSample],
+        opts: &TrainOptions,
+        should_stop: &mut dyn FnMut(usize) -> bool,
+    ) -> f64 {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("gnn_fit");
         let _span = SPAN.enter();
         assert!(!samples.is_empty(), "training set must not be empty");
@@ -182,6 +207,9 @@ impl Trainer {
         let mut total = ParamGrads::zeros(network);
         let mut last_epoch_loss = f64::INFINITY;
         for epoch in 0..opts.epochs {
+            if should_stop(epoch) {
+                break;
+            }
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut grad_sq = 0.0;
@@ -446,6 +474,47 @@ mod tests {
             },
         );
         assert!(loss.is_finite(), "loss diverged: {loss}");
+    }
+
+    #[test]
+    fn interrupted_fit_matches_shorter_fit_bit_for_bit() {
+        let train = toy_dataset(40, 17);
+        let full_opts = TrainOptions {
+            epochs: 12,
+            ..TrainOptions::default()
+        };
+        for stop_at in [0usize, 1, 5] {
+            let mut net_stopped = Network::default_config(4);
+            let mut stopped_loss = Trainer::new().fit_interruptible(
+                &mut net_stopped,
+                &train,
+                &full_opts,
+                &mut |epoch| epoch >= stop_at,
+            );
+            let mut net_short = Network::default_config(4);
+            let short_loss = Trainer::new().fit(
+                &mut net_short,
+                &train,
+                &TrainOptions {
+                    epochs: stop_at,
+                    ..full_opts.clone()
+                },
+            );
+            if stop_at == 0 {
+                assert!(stopped_loss.is_infinite() && short_loss.is_infinite());
+                stopped_loss = short_loss;
+            }
+            assert_eq!(
+                stopped_loss.to_bits(),
+                short_loss.to_bits(),
+                "stop_at={stop_at}"
+            );
+            assert_eq!(
+                net_stopped.to_text(),
+                net_short.to_text(),
+                "stop_at={stop_at}: parameters diverged"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The job engine: runs [`JobSpec`]s on the worker pool, one budgeted
+//! placement per job, with retry-with-seed-rotation and checkpoint/resume.
+//!
+//! Independent jobs fan out over `placer_parallel::par_map`, so reports
+//! come back in spec order regardless of thread count. Each job builds its
+//! placer from the spec's `(placer, profile, seed)` triple through
+//! [`make_placer`], runs it under a [`RunBudget`], and folds the
+//! [`PlaceOutcome`] into a [`JobReport`]:
+//!
+//! - `Complete` / `Exhausted` → metrics plus a legality verdict (an
+//!   exhausted run is still legalized, so `legal` should always be true);
+//! - `Cancelled` → the checkpoint text is written to
+//!   `<checkpoint_dir>/<id>.ckpt`; rerunning the same spec with
+//!   [`JobEngine::resume`] enabled picks it up and finishes the run
+//!   bit-for-bit equal to an uninterrupted one;
+//! - `Err(PlaceError)` → retried up to `max_retries` times, each attempt
+//!   with the seed rotated by one.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use analog_netlist::{parser::write_placement, testcases, Circuit};
+use eplace::{
+    Checkpoint, EPlaceA, EPlaceAP, PerfConfig, PlaceOutcome, Placer, PlacerConfig, RunBudget,
+};
+use placer_gnn::Network;
+use placer_sa::{SaConfig, SaPlacer};
+use placer_telemetry::{Counter, Histogram};
+use placer_xu19::{Xu19GlobalConfig, Xu19Placer};
+
+use crate::spec::{JobReport, JobSpec, JobStatus, Profile};
+
+static JOBS_COMPLETED: Counter = Counter::new("jobs_completed");
+static JOBS_EXHAUSTED: Counter = Counter::new("jobs_exhausted");
+static JOBS_CANCELLED: Counter = Counter::new("jobs_cancelled");
+static JOBS_FAILED: Counter = Counter::new("jobs_failed");
+static JOBS_RETRIED: Counter = Counter::new("jobs_retried");
+static DEADLINE_SLACK_MS: Histogram = Histogram::new("job_deadline_slack_ms");
+
+/// Seed used by the ePlace-AP feature network (its weights are part of the
+/// objective, not of the run's random stream, so it does not rotate).
+const AP_NETWORK_SEED: u64 = 2;
+
+/// Builds the placer a spec names.
+///
+/// With `seed: None` every config keeps its `Default` values, so an
+/// unbudgeted job is bit-identical to the pipeline's legacy entry point;
+/// `Some(seed)` overrides only the seed. Returns the placer and the seed it
+/// will actually run with (used for retry rotation and the report).
+///
+/// # Errors
+///
+/// Returns a message for unknown placer names or config validation
+/// failures.
+pub fn make_placer(
+    name: &str,
+    profile: Profile,
+    seed: Option<u64>,
+) -> Result<(Box<dyn Placer>, u64), String> {
+    let small = profile == Profile::Small;
+    match name {
+        "eplace-a" | "eplace-ap" => {
+            let mut b = PlacerConfig::builder();
+            if small {
+                b = b.restarts(2).max_iters(80);
+            }
+            if let Some(s) = seed {
+                b = b.seed(s);
+            }
+            let cfg = b.build().map_err(|e| e.to_string())?;
+            let effective = cfg.global.seed;
+            let placer: Box<dyn Placer> = if name == "eplace-a" {
+                Box::new(EPlaceA::new(cfg))
+            } else {
+                Box::new(EPlaceAP::new(
+                    cfg,
+                    PerfConfig::new(0.5, 20.0),
+                    Network::default_config(AP_NETWORK_SEED),
+                ))
+            };
+            Ok((placer, effective))
+        }
+        "sa" => {
+            let mut b = SaConfig::builder();
+            if small {
+                b = b.temperatures(20).moves_per_level(40);
+            }
+            if let Some(s) = seed {
+                b = b.seed(s);
+            }
+            let cfg = b.build().map_err(|e| e.to_string())?;
+            let effective = cfg.seed;
+            Ok((Box::new(SaPlacer::new(cfg)), effective))
+        }
+        "xu19" => {
+            let mut b = Xu19GlobalConfig::builder();
+            if small {
+                b = b.rounds(4);
+            }
+            if let Some(s) = seed {
+                b = b.seed(s);
+            }
+            let cfg = b.build().map_err(|e| e.to_string())?;
+            let effective = cfg.seed;
+            Ok((Box::new(Xu19Placer::new(cfg)), effective))
+        }
+        other => Err(format!(
+            "unknown placer `{other}` (expected eplace-a, eplace-ap, sa, or xu19)"
+        )),
+    }
+}
+
+fn make_budget(spec: &JobSpec) -> RunBudget {
+    let mut budget = RunBudget::unlimited();
+    if let Some(ms) = spec.deadline_ms {
+        budget = budget.with_deadline(Duration::from_secs_f64(ms / 1000.0));
+    }
+    if let Some(n) = spec.step_limit {
+        budget = budget.with_steps(n);
+    }
+    if let Some(n) = spec.cancel_after_checks {
+        budget.cancel_after_checks(n);
+    }
+    budget
+}
+
+/// A placer factory for one retry attempt: `None` means "use the placer's
+/// default seed" (only ever the first attempt of a spec without a seed).
+pub type PlacerFactory<'a> = dyn Fn(Option<u64>) -> Result<(Box<dyn Placer>, u64), String> + 'a;
+
+/// Runs batches of [`JobSpec`]s and folds outcomes into [`JobReport`]s.
+#[derive(Debug, Clone, Default)]
+pub struct JobEngine {
+    /// Where `<id>.ckpt` files are written on cancellation (and read back
+    /// when [`resume`](Self::resume) is set). `None` disables persistence:
+    /// cancelled jobs then report without a checkpoint path.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Where `<id>.place` placement files are written for solved jobs.
+    pub placement_dir: Option<PathBuf>,
+    /// When true, a job whose `<id>.ckpt` exists resumes from it instead
+    /// of starting fresh.
+    pub resume: bool,
+}
+
+impl JobEngine {
+    /// Runs every spec (concurrently when the `parallel` feature is on)
+    /// and returns one report per spec, in order.
+    pub fn run(&self, specs: &[JobSpec]) -> Vec<JobReport> {
+        placer_parallel::par_map(specs.len(), |i| self.run_job(&specs[i]))
+    }
+
+    /// Runs one job to a terminal report. Never panics: unknown circuits,
+    /// bad configs, placer errors and I/O failures all become `failed`
+    /// reports.
+    pub fn run_job(&self, spec: &JobSpec) -> JobReport {
+        self.run_job_with(spec, &|attempt_seed| {
+            make_placer(&spec.placer, spec.profile, attempt_seed)
+        })
+    }
+
+    /// [`run_job`](Self::run_job) with an injectable placer factory
+    /// (`attempt_seed` is `None` only for a first attempt without a spec
+    /// seed). Lets tests drive the retry path with deterministic failures.
+    pub fn run_job_with(&self, spec: &JobSpec, factory: &PlacerFactory<'_>) -> JobReport {
+        let mut report = JobReport {
+            id: spec.id.clone(),
+            circuit: spec.circuit.clone(),
+            placer: spec.placer.clone(),
+            status: JobStatus::Failed,
+            seed: 0,
+            retries: 0,
+            wall_ms: 0.0,
+            deadline_slack_ms: None,
+            hpwl: None,
+            area: None,
+            legal: None,
+            iterations: None,
+            checkpoint: None,
+            error: None,
+        };
+        let Some(circuit) = testcases::testcase_by_name(&spec.circuit) else {
+            report.error = Some(format!("unknown circuit `{}`", spec.circuit));
+            JOBS_FAILED.add(1);
+            return report;
+        };
+        let resume_ck = match self.load_checkpoint(spec) {
+            Ok(ck) => ck,
+            Err(message) => {
+                report.error = Some(message);
+                JOBS_FAILED.add(1);
+                return report;
+            }
+        };
+
+        let mut base_seed = None;
+        for attempt in 0..=spec.max_retries {
+            let seed_arg = match (spec.seed, base_seed) {
+                (Some(s), _) => Some(s + u64::from(attempt)),
+                (None, None) => None, // first attempt: placer defaults
+                (None, Some(base)) => Some(base + u64::from(attempt)),
+            };
+            let (placer, effective_seed) = match factory(seed_arg) {
+                Ok(built) => built,
+                Err(message) => {
+                    // Config/name errors are deterministic: retrying cannot help.
+                    report.error = Some(message);
+                    JOBS_FAILED.add(1);
+                    return report;
+                }
+            };
+            base_seed.get_or_insert(effective_seed);
+            report.seed = effective_seed;
+            report.retries = attempt;
+
+            let budget = make_budget(spec);
+            let start = Instant::now();
+            let result = match &resume_ck {
+                Some(ck) => placer.resume(&circuit, ck, &budget),
+                None => placer.place(&circuit, &budget),
+            };
+            report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            match result {
+                Ok(outcome) => {
+                    self.finish(spec, &circuit, outcome, &mut report);
+                    return report;
+                }
+                Err(e) => {
+                    report.error = Some(e.to_string());
+                    // A checkpoint pins config and RNG state, so seed
+                    // rotation cannot apply to a resumed run.
+                    if resume_ck.is_some() || attempt == spec.max_retries {
+                        break;
+                    }
+                    JOBS_RETRIED.add(1);
+                }
+            }
+        }
+        JOBS_FAILED.add(1);
+        report
+    }
+
+    fn checkpoint_path(&self, spec: &JobSpec) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.ckpt", spec.id)))
+    }
+
+    fn load_checkpoint(&self, spec: &JobSpec) -> Result<Option<Checkpoint>, String> {
+        if !self.resume {
+            return Ok(None);
+        }
+        let Some(path) = self.checkpoint_path(spec) else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Checkpoint::decode(&text)
+            .map(Some)
+            .map_err(|e| format!("decoding {}: {e}", path.display()))
+    }
+
+    fn finish(
+        &self,
+        spec: &JobSpec,
+        circuit: &Circuit,
+        outcome: PlaceOutcome,
+        report: &mut JobReport,
+    ) {
+        if let Some(deadline) = spec.deadline_ms {
+            let slack = deadline - report.wall_ms;
+            report.deadline_slack_ms = Some(slack);
+            DEADLINE_SLACK_MS.record(slack);
+        }
+        let (status, payload) = match outcome {
+            PlaceOutcome::Complete(sol) => (JobStatus::Complete, Ok(sol)),
+            PlaceOutcome::Exhausted(sol) => (JobStatus::Exhausted, Ok(sol)),
+            PlaceOutcome::Cancelled(ck) => (JobStatus::Cancelled, Err(ck)),
+        };
+        match payload {
+            Ok(sol) => {
+                report.status = status;
+                if status == JobStatus::Complete {
+                    JOBS_COMPLETED.add(1);
+                } else {
+                    JOBS_EXHAUSTED.add(1);
+                }
+                report.hpwl = Some(sol.hpwl);
+                report.area = Some(sol.area);
+                report.legal = Some(sol.placement.is_legal(circuit, 1e-6));
+                report.iterations = Some(sol.iterations as u64);
+                if let Some(dir) = &self.placement_dir {
+                    let path = dir.join(format!("{}.place", spec.id));
+                    let text = write_placement(circuit, &sol.placement);
+                    if let Err(e) = std::fs::write(&path, text) {
+                        report.error = Some(format!("writing {}: {e}", path.display()));
+                    }
+                }
+                // A solved job invalidates any stale checkpoint.
+                if let Some(path) = self.checkpoint_path(spec) {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            Err(ck) => {
+                JOBS_CANCELLED.add(1);
+                report.status = JobStatus::Cancelled;
+                if let Some(path) = self.checkpoint_path(spec) {
+                    match std::fs::write(&path, ck.encode()) {
+                        Ok(()) => report.checkpoint = Some(path.display().to_string()),
+                        Err(e) => {
+                            report.error = Some(format!("writing {}: {e}", path.display()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("placer-jobs-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        dir
+    }
+
+    fn small_sa_spec(id: &str) -> JobSpec {
+        let mut spec = JobSpec::new(id, "adder", "sa");
+        spec.profile = Profile::Small;
+        spec
+    }
+
+    #[test]
+    fn unbudgeted_job_matches_the_legacy_pipeline_bit_for_bit() {
+        let spec = small_sa_spec("legacy");
+        let report = JobEngine::default().run_job(&spec);
+        assert_eq!(report.status, JobStatus::Complete);
+        assert_eq!(report.legal, Some(true));
+
+        let cfg = SaConfig::builder()
+            .temperatures(20)
+            .moves_per_level(40)
+            .build()
+            .unwrap();
+        let circuit = testcases::adder();
+        let legacy = SaPlacer::new(cfg).place(&circuit).unwrap();
+        assert_eq!(report.hpwl.unwrap().to_bits(), legacy.hpwl.to_bits());
+        assert_eq!(report.area.unwrap().to_bits(), legacy.area.to_bits());
+        assert_eq!(report.seed, 7, "default SA seed is reported");
+    }
+
+    #[test]
+    fn step_budget_expiry_reports_exhausted_but_legal() {
+        let mut spec = JobSpec::new("tight", "adder", "xu19");
+        spec.step_limit = Some(1);
+        let report = JobEngine::default().run_job(&spec);
+        assert_eq!(report.status, JobStatus::Exhausted);
+        assert_eq!(report.legal, Some(true));
+        assert!(report.hpwl.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cancel_then_resume_through_checkpoint_files_is_bit_identical() {
+        let dir = tempdir("resume");
+        let mut spec = small_sa_spec("ckpt");
+        let reference = JobEngine::default().run_job(&spec);
+
+        spec.cancel_after_checks = Some(3);
+        let engine = JobEngine {
+            checkpoint_dir: Some(dir.clone()),
+            ..JobEngine::default()
+        };
+        let cancelled = engine.run_job(&spec);
+        assert_eq!(cancelled.status, JobStatus::Cancelled);
+        let ckpt = cancelled.checkpoint.expect("checkpoint path reported");
+        assert!(Path::new(&ckpt).exists());
+
+        spec.cancel_after_checks = None;
+        let resumer = JobEngine {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..JobEngine::default()
+        };
+        let resumed = resumer.run_job(&spec);
+        assert_eq!(resumed.status, JobStatus::Complete);
+        assert_eq!(
+            resumed.hpwl.unwrap().to_bits(),
+            reference.hpwl.unwrap().to_bits()
+        );
+        assert!(
+            !Path::new(&ckpt).exists(),
+            "solved job removes its checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_attempts_retry_with_rotated_seeds() {
+        struct FailingPlacer;
+        impl Placer for FailingPlacer {
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+            fn place(
+                &self,
+                _circuit: &Circuit,
+                _budget: &RunBudget,
+            ) -> Result<PlaceOutcome, eplace::PlaceError> {
+                Err(eplace::PlaceError::RefinementExhausted)
+            }
+            fn resume(
+                &self,
+                _circuit: &Circuit,
+                _checkpoint: &Checkpoint,
+                _budget: &RunBudget,
+            ) -> Result<PlaceOutcome, eplace::PlaceError> {
+                Err(eplace::PlaceError::RefinementExhausted)
+            }
+        }
+
+        let seeds = std::sync::Mutex::new(Vec::new());
+        let mut spec = small_sa_spec("retry");
+        spec.max_retries = 2;
+        let report = JobEngine::default().run_job_with(&spec, &|seed| {
+            seeds.lock().unwrap().push(seed);
+            let effective = seed.unwrap_or(7);
+            if effective < 9 {
+                Ok((Box::new(FailingPlacer), effective))
+            } else {
+                make_placer("sa", Profile::Small, seed)
+            }
+        });
+        // First attempt uses defaults, later ones rotate from the
+        // effective seed the first attempt reported.
+        assert_eq!(*seeds.lock().unwrap(), vec![None, Some(8), Some(9)]);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.status, JobStatus::Complete);
+        assert_eq!(report.seed, 9);
+    }
+
+    #[test]
+    fn exhausted_retries_are_not_retried_and_failures_cap_out() {
+        let mut spec = small_sa_spec("cap");
+        spec.placer = "no-such-placer".into();
+        let report = JobEngine::default().run_job(&spec);
+        assert_eq!(report.status, JobStatus::Failed);
+        assert!(report.error.unwrap().contains("unknown placer"));
+
+        let mut spec = JobSpec::new("ghost", "no_such_circuit", "sa");
+        spec.max_retries = 3;
+        let report = JobEngine::default().run_job(&spec);
+        assert_eq!(report.status, JobStatus::Failed);
+        assert_eq!(report.retries, 0, "unknown circuit fails without retry");
+    }
+
+    #[test]
+    fn batches_report_in_spec_order() {
+        let specs = vec![
+            {
+                let mut s = JobSpec::new("b1", "adder", "xu19");
+                s.step_limit = Some(1);
+                s
+            },
+            JobSpec::new("b2", "definitely_missing", "sa"),
+        ];
+        let reports = JobEngine::default().run(&specs);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].id, "b1");
+        assert_eq!(reports[0].status, JobStatus::Exhausted);
+        assert_eq!(reports[1].id, "b2");
+        assert_eq!(reports[1].status, JobStatus::Failed);
+    }
+}

@@ -1,0 +1,273 @@
+//! Minimal flat-JSON codec for the JSONL job protocol.
+//!
+//! The job protocol only ever exchanges one-level objects whose values are
+//! strings, numbers, booleans or `null`, so this hand-rolled parser (the
+//! build environment has no serde) rejects nested containers outright.
+
+use std::fmt::Write as _;
+
+/// A JSON scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// A number (parsed as `f64`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Re-borrow the slice to copy a full UTF-8 scalar.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err("truncated \\u escape".into());
+            };
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| "non-hex digit in \\u escape".to_string())?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'{') | Some(b'[') => Err("nested containers are not supported".into()),
+            Some(_) => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad number `{text}`"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object into its key/value pairs, in source order.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input, nested containers,
+/// or trailing garbage.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.ws();
+    if !p.eat(b'}') {
+        loop {
+            p.ws();
+            let key = p.string()?;
+            p.ws();
+            p.expect(b':')?;
+            p.ws();
+            let val = p.value()?;
+            out.push((key, val));
+            p.ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(out)
+}
+
+/// JSON-escapes a string (without the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number for JSON output (`null` when non-finite).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let kv =
+            parse_object(r#"{"id": "j1", "deadline_ms": 250.5, "ok": true, "x": null}"#).unwrap();
+        assert_eq!(kv[0], ("id".into(), Json::Str("j1".into())));
+        assert_eq!(kv[1], ("deadline_ms".into(), Json::Num(250.5)));
+        assert_eq!(kv[2], ("ok".into(), Json::Bool(true)));
+        assert_eq!(kv[3], ("x".into(), Json::Null));
+        assert!(parse_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn handles_escapes_and_unicode() {
+        let kv = parse_object(r#"{"s": "a\"b\\c\ndµ😀"}"#).unwrap();
+        assert_eq!(kv[0].1, Json::Str("a\"b\\c\ndµ😀".into()));
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object(r#"{"a": 1"#).is_err());
+        assert!(parse_object(r#"{"a": [1]}"#).is_err());
+        assert!(parse_object(r#"{"a": {"b": 1}}"#).is_err());
+        assert!(parse_object(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_object(r#"{"a": bogus}"#).is_err());
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(f64::NAN), "null");
+        let kv = parse_object(&format!(r#"{{"v": {}}}"#, number(1e-9))).unwrap();
+        assert_eq!(kv[0].1, Json::Num(1e-9));
+    }
+}

@@ -1,0 +1,405 @@
+//! The JSONL job protocol: [`JobSpec`] in, [`JobReport`] out.
+//!
+//! One JSON object per line. Input:
+//!
+//! ```text
+//! {"id": "ota-fast", "circuit": "cc_ota", "placer": "eplace-a", "deadline_ms": 2000}
+//! {"id": "ota-sa", "circuit": "cc_ota", "placer": "sa", "seed": 11, "max_retries": 2}
+//! ```
+//!
+//! Output (one report per job, same order):
+//!
+//! ```text
+//! {"id": "ota-fast", "circuit": "cc_ota", "placer": "eplace-a", "status": "exhausted", ...}
+//! ```
+
+use crate::json::{escape, number, parse_object, Json};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced when reading a JSONL job file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which configuration profile a job runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// The paper's Table II settings (each placer's `Default` config).
+    #[default]
+    Default,
+    /// Reduced iteration counts for smoke tests and CI.
+    Small,
+}
+
+impl Profile {
+    /// The wire name (`"default"` / `"small"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Default => "default",
+            Profile::Small => "small",
+        }
+    }
+}
+
+/// One placement job: which circuit, which placer, and its budget/retry
+/// policy. Parsed from a JSONL line by [`parse_jobs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job identifier; names the checkpoint/placement files.
+    pub id: String,
+    /// Testcase name resolved via `analog_netlist::testcases`.
+    pub circuit: String,
+    /// Placer name: `eplace-a`, `eplace-ap`, `sa`, or `xu19`.
+    pub placer: String,
+    /// Configuration profile.
+    pub profile: Profile,
+    /// Wall-clock deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<f64>,
+    /// Deterministic budget: at most this many budget checks pass.
+    pub step_limit: Option<u64>,
+    /// Seed override (`None` = the placer's default seed).
+    pub seed: Option<u64>,
+    /// How many times to retry a *failed* run with a rotated seed.
+    pub max_retries: u32,
+    /// Deterministic cancellation trigger for tests/CI: cancel the run
+    /// after this many budget checks.
+    pub cancel_after_checks: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with no deadline, no retries and default profile/seed.
+    pub fn new(
+        id: impl Into<String>,
+        circuit: impl Into<String>,
+        placer: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            circuit: circuit.into(),
+            placer: placer.into(),
+            profile: Profile::Default,
+            deadline_ms: None,
+            step_limit: None,
+            seed: None,
+            max_retries: 0,
+            cancel_after_checks: None,
+        }
+    }
+
+    /// Serializes the spec as one JSONL line (inverse of [`parse_jobs`]).
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            r#"{{"id": "{}", "circuit": "{}", "placer": "{}""#,
+            escape(&self.id),
+            escape(&self.circuit),
+            escape(&self.placer)
+        );
+        if self.profile != Profile::Default {
+            let _ = write!(out, r#", "profile": "{}""#, self.profile.as_str());
+        }
+        if let Some(d) = self.deadline_ms {
+            let _ = write!(out, r#", "deadline_ms": {}"#, number(d));
+        }
+        if let Some(s) = self.step_limit {
+            let _ = write!(out, r#", "step_limit": {s}"#);
+        }
+        if let Some(s) = self.seed {
+            let _ = write!(out, r#", "seed": {s}"#);
+        }
+        if self.max_retries != 0 {
+            let _ = write!(out, r#", "max_retries": {}"#, self.max_retries);
+        }
+        if let Some(n) = self.cancel_after_checks {
+            let _ = write!(out, r#", "cancel_after_checks": {n}"#);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn spec_err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn as_str(line: usize, key: &str, v: &Json) -> Result<String, SpecError> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(spec_err(
+            line,
+            format!("`{key}` must be a string, got {other:?}"),
+        )),
+    }
+}
+
+fn as_u64(line: usize, key: &str, v: &Json) -> Result<u64, SpecError> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Ok(*n as u64),
+        other => Err(spec_err(
+            line,
+            format!("`{key}` must be a non-negative integer, got {other:?}"),
+        )),
+    }
+}
+
+/// Parses a JSONL job file. Blank lines and `#` comment lines are skipped.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the line for malformed JSON, unknown or
+/// repeated keys, missing required fields, or invalid values.
+pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, SpecError> {
+    let mut jobs = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let pairs = parse_object(line).map_err(|m| spec_err(lineno, m))?;
+        let mut id = None;
+        let mut circuit = None;
+        let mut placer = None;
+        let mut spec = JobSpec::new("", "", "");
+        for (key, value) in &pairs {
+            match key.as_str() {
+                "id" => id = Some(as_str(lineno, key, value)?),
+                "circuit" => circuit = Some(as_str(lineno, key, value)?),
+                "placer" => placer = Some(as_str(lineno, key, value)?),
+                "profile" => {
+                    spec.profile = match as_str(lineno, key, value)?.as_str() {
+                        "default" => Profile::Default,
+                        "small" => Profile::Small,
+                        other => {
+                            return Err(spec_err(lineno, format!("unknown profile `{other}`")))
+                        }
+                    }
+                }
+                "deadline_ms" => match value {
+                    Json::Num(n) if n.is_finite() && *n > 0.0 => spec.deadline_ms = Some(*n),
+                    other => {
+                        return Err(spec_err(
+                            lineno,
+                            format!("`deadline_ms` must be a positive number, got {other:?}"),
+                        ))
+                    }
+                },
+                "step_limit" => spec.step_limit = Some(as_u64(lineno, key, value)?),
+                "seed" => spec.seed = Some(as_u64(lineno, key, value)?),
+                "max_retries" => {
+                    let n = as_u64(lineno, key, value)?;
+                    spec.max_retries = u32::try_from(n)
+                        .map_err(|_| spec_err(lineno, "`max_retries` is out of range"))?;
+                }
+                "cancel_after_checks" => {
+                    spec.cancel_after_checks = Some(as_u64(lineno, key, value)?)
+                }
+                other => return Err(spec_err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+        spec.id = id.ok_or_else(|| spec_err(lineno, "missing required key `id`"))?;
+        spec.circuit = circuit.ok_or_else(|| spec_err(lineno, "missing required key `circuit`"))?;
+        spec.placer = placer.ok_or_else(|| spec_err(lineno, "missing required key `placer`"))?;
+        if spec.id.is_empty()
+            || !spec
+                .id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+        {
+            return Err(spec_err(
+                lineno,
+                format!("`id` `{}` must be non-empty [A-Za-z0-9._-]", spec.id),
+            ));
+        }
+        if !seen_ids.insert(spec.id.clone()) {
+            return Err(spec_err(lineno, format!("duplicate job id `{}`", spec.id)));
+        }
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The placer ran to natural convergence.
+    Complete,
+    /// The budget expired; the solution is legal best-so-far.
+    Exhausted,
+    /// Cancelled; a checkpoint was captured for resume.
+    Cancelled,
+    /// Every attempt returned an error.
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire name (`"complete"` / `"exhausted"` / ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Complete => "complete",
+            JobStatus::Exhausted => "exhausted",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What one job produced; serialized as one JSONL line by
+/// [`JobReport::to_line`].
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The spec's job id.
+    pub id: String,
+    /// The spec's circuit name.
+    pub circuit: String,
+    /// The spec's placer name.
+    pub placer: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Seed the final attempt ran with.
+    pub seed: u64,
+    /// Failed attempts that were retried before the final one.
+    pub retries: u32,
+    /// Wall-clock time of the final attempt (ms).
+    pub wall_ms: f64,
+    /// `deadline_ms - wall_ms` when the spec had a deadline.
+    pub deadline_slack_ms: Option<f64>,
+    /// HPWL of the solution (complete/exhausted only).
+    pub hpwl: Option<f64>,
+    /// Bounding-box area of the solution (complete/exhausted only).
+    pub area: Option<f64>,
+    /// Whether the solution passed the legality check.
+    pub legal: Option<bool>,
+    /// Optimizer iterations of the solution.
+    pub iterations: Option<u64>,
+    /// Path of the checkpoint file written on cancellation.
+    pub checkpoint: Option<String>,
+    /// Error message of the last attempt (failed only).
+    pub error: Option<String>,
+}
+
+impl JobReport {
+    /// Serializes the report as one JSONL line.
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            r#"{{"id": "{}", "circuit": "{}", "placer": "{}", "status": "{}", "seed": {}, "retries": {}, "wall_ms": {}"#,
+            escape(&self.id),
+            escape(&self.circuit),
+            escape(&self.placer),
+            self.status.as_str(),
+            self.seed,
+            self.retries,
+            number(self.wall_ms),
+        );
+        if let Some(s) = self.deadline_slack_ms {
+            let _ = write!(out, r#", "deadline_slack_ms": {}"#, number(s));
+        }
+        if let Some(h) = self.hpwl {
+            let _ = write!(out, r#", "hpwl": {}"#, number(h));
+        }
+        if let Some(a) = self.area {
+            let _ = write!(out, r#", "area": {}"#, number(a));
+        }
+        if let Some(l) = self.legal {
+            let _ = write!(out, r#", "legal": {l}"#);
+        }
+        if let Some(i) = self.iterations {
+            let _ = write!(out, r#", "iterations": {i}"#);
+        }
+        if let Some(c) = &self.checkpoint {
+            let _ = write!(out, r#", "checkpoint": "{}""#, escape(c));
+        }
+        if let Some(e) = &self.error {
+            let _ = write!(out, r#", "error": "{}""#, escape(e));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_through_jsonl() {
+        let mut spec = JobSpec::new("ota-1", "cc_ota", "sa");
+        spec.profile = Profile::Small;
+        spec.deadline_ms = Some(2000.0);
+        spec.seed = Some(11);
+        spec.max_retries = 2;
+        let text = format!("# jobs\n\n{}\n", spec.to_line());
+        let parsed = parse_jobs(&text).unwrap();
+        assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn rejects_bad_specs_with_line_numbers() {
+        let e = parse_jobs("{\"id\": \"a\"}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("circuit"), "{}", e.message);
+
+        let e = parse_jobs(
+            "\n{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\", \"nope\": 1}",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown key"), "{}", e.message);
+
+        let e = parse_jobs("{\"id\": \"a/b\", \"circuit\": \"adder\", \"placer\": \"sa\"}")
+            .unwrap_err();
+        assert!(e.message.contains("A-Za-z0-9"), "{}", e.message);
+
+        let two = "{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\"}\n";
+        let e = parse_jobs(&format!("{two}{two}")).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+
+        let e = parse_jobs(
+            "{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\", \"deadline_ms\": -3}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("deadline_ms"), "{}", e.message);
+    }
+
+    #[test]
+    fn reports_serialize_to_parseable_json() {
+        let r = JobReport {
+            id: "j1".into(),
+            circuit: "adder".into(),
+            placer: "xu19".into(),
+            status: JobStatus::Exhausted,
+            seed: 1,
+            retries: 0,
+            wall_ms: 12.5,
+            deadline_slack_ms: Some(-2.5),
+            hpwl: Some(42.0),
+            area: Some(10.0),
+            legal: Some(true),
+            iterations: Some(120),
+            checkpoint: None,
+            error: None,
+        };
+        let kv = crate::json::parse_object(&r.to_line()).unwrap();
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+        assert_eq!(get("status"), Some(Json::Str("exhausted".into())));
+        assert_eq!(get("deadline_slack_ms"), Some(Json::Num(-2.5)));
+        assert_eq!(get("legal"), Some(Json::Bool(true)));
+        assert_eq!(get("checkpoint"), None);
+    }
+}

@@ -53,31 +53,145 @@ impl fmt::Display for BuildCircuitError {
 
 impl Error for BuildCircuitError {}
 
-/// Error produced when parsing a netlist or constraint file.
+/// What went wrong on one line of a netlist, constraint, or placement file.
+///
+/// Every variant names the offending token, so callers can react
+/// programmatically instead of string-matching a message.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseNetlistError {
-    /// 1-based line number where the error occurred.
-    pub line: usize,
-    /// Description of the problem.
-    pub message: String,
+pub enum ParseErrorKind {
+    /// A card or directive has too few fields.
+    MissingFields {
+        /// The card or directive that is short.
+        card: &'static str,
+        /// Human description of the required fields.
+        expected: &'static str,
+    },
+    /// A placement line has the wrong number of fields.
+    WrongFieldCount {
+        /// How many fields the format requires.
+        expected: usize,
+        /// How many fields the line actually has.
+        got: usize,
+    },
+    /// A SPICE card starts with a letter no known device type claims.
+    UnknownCard(char),
+    /// A constraint directive is not one of the known keywords.
+    UnknownDirective(String),
+    /// An enumerated keyword (circuit class, MOS model, axis, ...) is not
+    /// one of its allowed values.
+    UnknownKeyword {
+        /// Which keyword slot was being parsed.
+        what: &'static str,
+        /// The token that did not match.
+        token: String,
+    },
+    /// A trailing token on a card is not a recognized parameter.
+    UnexpectedToken {
+        /// The card carrying the stray token.
+        card: &'static str,
+        /// The token itself.
+        token: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// Which field was being parsed.
+        what: &'static str,
+        /// The token that is not a number.
+        token: String,
+    },
+    /// Reference to a device that does not exist in the circuit.
+    UnknownDevice(String),
+    /// Reference to a net that does not exist in the circuit.
+    UnknownNet(String),
+    /// `sympair`/`symself` references a group never declared by `symgroup`.
+    UnknownSymmetryGroup(String),
+    /// A device never received a position in a placement file.
+    MissingPlacementDevice(String),
+    /// The deck ended before its mandatory `.end` card.
+    TruncatedDeck,
+    /// The parsed input failed circuit validation.
+    Build(BuildCircuitError),
 }
 
-impl ParseNetlistError {
-    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
-        Self {
-            line,
-            message: message.into(),
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::MissingFields { card, expected } => {
+                write!(f, "`{card}` needs {expected}")
+            }
+            ParseErrorKind::WrongFieldCount { expected, got } => {
+                write!(f, "expected {expected} fields, got {got}")
+            }
+            ParseErrorKind::UnknownCard(c) => write!(f, "unknown card starting with `{c}`"),
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ParseErrorKind::UnknownKeyword { what, token } => {
+                write!(f, "unknown {what} `{token}`")
+            }
+            ParseErrorKind::UnexpectedToken { card, token } => {
+                write!(f, "unexpected token `{token}` on `{card}` card")
+            }
+            ParseErrorKind::BadNumber { what, token } => write!(f, "bad {what} `{token}`"),
+            ParseErrorKind::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            ParseErrorKind::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            ParseErrorKind::UnknownSymmetryGroup(g) => {
+                write!(f, "unknown symmetry group `{g}`")
+            }
+            ParseErrorKind::MissingPlacementDevice(d) => {
+                write!(f, "device `{d}` missing from placement")
+            }
+            ParseErrorKind::TruncatedDeck => write!(f, "deck ended before `.end`"),
+            ParseErrorKind::Build(e) => e.fmt(f),
         }
     }
 }
 
-impl fmt::Display for ParseNetlistError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+/// Error produced when parsing a netlist, constraint, or placement file.
+///
+/// Carries the 1-based line number plus a structured [`ParseErrorKind`];
+/// line 0 means the error concerns the input as a whole (for example a
+/// validation failure after every line parsed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number where the error occurred (0 = whole input).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, kind: ParseErrorKind) -> Self {
+        Self { line, kind }
     }
 }
 
-impl Error for ParseNetlistError {}
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            self.kind.fmt(f)
+        } else {
+            write!(f, "line {}: {}", self.line, self.kind)
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseError {
+    fn from(e: BuildCircuitError) -> Self {
+        ParseError::new(0, ParseErrorKind::Build(e))
+    }
+}
+
+/// Former name of [`ParseError`], kept for downstream source compatibility.
+#[deprecated(note = "use `ParseError`; parse failures now carry a structured `ParseErrorKind`")]
+pub type ParseNetlistError = ParseError;
 
 #[cfg(test)]
 mod tests {
@@ -87,14 +201,26 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let e = BuildCircuitError::DuplicateDevice("M1".into());
         assert_eq!(e.to_string(), "duplicate device name `M1`");
-        let p = ParseNetlistError::new(3, "unknown card");
-        assert_eq!(p.to_string(), "line 3: unknown card");
+        let p = ParseError::new(3, ParseErrorKind::UnknownDirective("frobnicate".into()));
+        assert_eq!(p.to_string(), "line 3: unknown directive `frobnicate`");
+        let whole = ParseError::from(BuildCircuitError::DuplicateNet("vdd".into()));
+        assert_eq!(whole.to_string(), "duplicate net name `vdd`");
+    }
+
+    #[test]
+    fn build_errors_surface_as_sources() {
+        let p = ParseError::from(BuildCircuitError::SelfPairedDevice("M2".into()));
+        let src = std::error::Error::source(&p).expect("build error is the source");
+        assert_eq!(
+            src.to_string(),
+            "device `M2` is symmetry-paired with itself"
+        );
     }
 
     #[test]
     fn errors_are_send_sync() {
         fn assert_traits<T: std::error::Error + Send + Sync>() {}
         assert_traits::<BuildCircuitError>();
-        assert_traits::<ParseNetlistError>();
+        assert_traits::<ParseError>();
     }
 }

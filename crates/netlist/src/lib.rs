@@ -45,7 +45,9 @@ pub use constraint::{
     AlignKind, Alignment, Axis, ConstraintSet, OrderDirection, Ordering, SymmetryGroup,
 };
 pub use device::{Device, DeviceKind, ElectricalParams, Pin};
-pub use error::{BuildCircuitError, ParseNetlistError};
+#[allow(deprecated)]
+pub use error::ParseNetlistError;
+pub use error::{BuildCircuitError, ParseError, ParseErrorKind};
 pub use ids::{DeviceId, NetId, PinIndex};
 pub use net::{Net, PinRef};
 pub use placement::Placement;

@@ -16,9 +16,10 @@
 //! .end
 //! ```
 //!
-//! Device footprints are derived from the electrical card (MOS W/L, C/R/L
-//! value) with 12 nm-class heuristics, so parsed circuits are immediately
-//! placeable.
+//! The `.end` card is mandatory; a deck without one is reported as
+//! truncated. Device footprints are derived from the electrical card
+//! (MOS W/L, C/R/L value) with 12 nm-class heuristics, so parsed circuits
+//! are immediately placeable.
 //!
 //! # Constraint format
 //!
@@ -38,7 +39,7 @@ use std::fmt::Write as _;
 
 use crate::{
     AlignKind, Axis, Circuit, CircuitBuilder, CircuitClass, Device, DeviceKind, ElectricalParams,
-    OrderDirection, ParseNetlistError, Pin,
+    OrderDirection, ParseError, ParseErrorKind, Pin,
 };
 
 /// Parses an engineering-notation value such as `100f`, `10k`, `1.5meg`.
@@ -129,13 +130,22 @@ fn ind_footprint(henries: f64) -> (f64, f64) {
     (side, side)
 }
 
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError::new(line, kind)
+}
+
+fn missing(line: usize, card: &'static str, expected: &'static str) -> ParseError {
+    err(line, ParseErrorKind::MissingFields { card, expected })
+}
+
 /// Parses a flat SPICE-like netlist into a [`Circuit`].
 ///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] on unknown cards, malformed values, or when
-/// the resulting circuit fails validation.
-pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
+/// Returns [`ParseError`] on unknown cards, malformed values, truncated
+/// decks (no `.end`), or when the resulting circuit fails validation; the
+/// error's [`ParseErrorKind`] names the offending token.
+pub fn parse_spice(text: &str) -> Result<Circuit, ParseError> {
     let mut title = String::from("untitled");
     let mut class = CircuitClass::Ota;
     // Collect devices first; builder created after we know title/class.
@@ -148,18 +158,22 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
         electrical: ElectricalParams,
     }
     let mut raws: Vec<RawDev> = Vec::new();
+    let mut saw_end = false;
+    let mut last_line = 0;
 
     for (lineno, raw_line) in text.lines().enumerate() {
         let line = raw_line.trim();
         let lineno = lineno + 1;
+        last_line = lineno;
         if line.is_empty() || line.starts_with('*') || line.starts_with(';') {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let head = tokens.next().expect("non-empty line has a token");
+        let Some(head) = tokens.next() else { continue };
         let rest: Vec<&str> = tokens.collect();
         let lower = head.to_ascii_lowercase();
         if lower == ".end" {
+            saw_end = true;
             break;
         }
         if lower == ".title" {
@@ -169,7 +183,7 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
         if lower == ".class" {
             let c = rest
                 .first()
-                .ok_or_else(|| ParseNetlistError::new(lineno, "missing class name"))?;
+                .ok_or_else(|| missing(lineno, ".class", "a class name"))?;
             class = match c.to_ascii_lowercase().as_str() {
                 "ota" => CircuitClass::Ota,
                 "comparator" => CircuitClass::Comparator,
@@ -178,9 +192,12 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
                 "vga" => CircuitClass::Vga,
                 "scf" => CircuitClass::Scf,
                 other => {
-                    return Err(ParseNetlistError::new(
+                    return Err(err(
                         lineno,
-                        format!("unknown circuit class `{other}`"),
+                        ParseErrorKind::UnknownKeyword {
+                            what: "circuit class",
+                            token: other.to_string(),
+                        },
                     ))
                 }
             };
@@ -189,23 +206,25 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
         if lower.starts_with('.') {
             continue; // ignore other dot-cards
         }
-        let first = lower.chars().next().expect("non-empty token");
+        let Some(first) = lower.chars().next() else {
+            continue;
+        };
         match first {
             'm' => {
                 if rest.len() < 5 {
-                    return Err(ParseNetlistError::new(
-                        lineno,
-                        "MOS card needs 4 nets and a model",
-                    ));
+                    return Err(missing(lineno, "MOS", "4 nets and a model"));
                 }
                 let model = rest[4].to_ascii_lowercase();
                 let kind = match model.as_str() {
                     "nmos" => DeviceKind::Nmos,
                     "pmos" => DeviceKind::Pmos,
                     other => {
-                        return Err(ParseNetlistError::new(
+                        return Err(err(
                             lineno,
-                            format!("unknown MOS model `{other}`"),
+                            ParseErrorKind::UnknownKeyword {
+                                what: "MOS model",
+                                token: other.to_string(),
+                            },
                         ))
                     }
                 };
@@ -215,18 +234,33 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
                     match kv(t) {
                         Some((k, v)) if k.eq_ignore_ascii_case("w") => {
                             w = parse_si_value(v).ok_or_else(|| {
-                                ParseNetlistError::new(lineno, format!("bad width `{v}`"))
+                                err(
+                                    lineno,
+                                    ParseErrorKind::BadNumber {
+                                        what: "width",
+                                        token: v.to_string(),
+                                    },
+                                )
                             })?;
                         }
                         Some((k, v)) if k.eq_ignore_ascii_case("l") => {
                             l = parse_si_value(v).ok_or_else(|| {
-                                ParseNetlistError::new(lineno, format!("bad length `{v}`"))
+                                err(
+                                    lineno,
+                                    ParseErrorKind::BadNumber {
+                                        what: "length",
+                                        token: v.to_string(),
+                                    },
+                                )
                             })?;
                         }
                         _ => {
-                            return Err(ParseNetlistError::new(
+                            return Err(err(
                                 lineno,
-                                format!("unexpected token `{t}` on MOS card"),
+                                ParseErrorKind::UnexpectedToken {
+                                    card: "MOS",
+                                    token: t.to_string(),
+                                },
                             ))
                         }
                     }
@@ -242,13 +276,16 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
             }
             'c' | 'r' | 'l' => {
                 if rest.len() < 3 {
-                    return Err(ParseNetlistError::new(
-                        lineno,
-                        "passive card needs 2 nets and a value",
-                    ));
+                    return Err(missing(lineno, "passive", "2 nets and a value"));
                 }
                 let value = parse_si_value(rest[2]).ok_or_else(|| {
-                    ParseNetlistError::new(lineno, format!("bad value `{}`", rest[2]))
+                    err(
+                        lineno,
+                        ParseErrorKind::BadNumber {
+                            what: "value",
+                            token: rest[2].to_string(),
+                        },
+                    )
                 })?;
                 let (kind, footprint, electrical) = match first {
                     'c' => (
@@ -278,7 +315,7 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
             }
             'd' => {
                 if rest.len() < 2 {
-                    return Err(ParseNetlistError::new(lineno, "diode card needs 2 nets"));
+                    return Err(missing(lineno, "diode", "2 nets"));
                 }
                 raws.push(RawDev {
                     name: head.to_string(),
@@ -290,12 +327,12 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
                 });
             }
             other => {
-                return Err(ParseNetlistError::new(
-                    lineno,
-                    format!("unknown card starting with `{other}`"),
-                ));
+                return Err(err(lineno, ParseErrorKind::UnknownCard(other)));
             }
         }
+    }
+    if !saw_end {
+        return Err(err(last_line + 1, ParseErrorKind::TruncatedDeck));
     }
 
     let mut b = CircuitBuilder::new(title, class);
@@ -312,8 +349,7 @@ pub fn parse_spice(text: &str) -> Result<Circuit, ParseNetlistError> {
         }
         b.device(device);
     }
-    b.build()
-        .map_err(|e| ParseNetlistError::new(0, e.to_string()))
+    b.build().map_err(ParseError::from)
 }
 
 /// Writes a circuit back to the SPICE dialect accepted by [`parse_spice`].
@@ -385,9 +421,9 @@ pub fn write_spice(circuit: &Circuit) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] on unknown directives or references to
-/// missing devices/nets.
-pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseNetlistError> {
+/// Returns [`ParseError`] on unknown directives or references to missing
+/// devices, nets, or symmetry groups; failures leave the circuit untouched.
+pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseError> {
     use std::collections::HashMap;
     let mut groups: HashMap<String, usize> = HashMap::new();
     // Work on a cloned constraint set so failures leave the circuit untouched.
@@ -404,23 +440,31 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
         let dev = |name: &str| {
             circuit
                 .find_device(name)
-                .ok_or_else(|| ParseNetlistError::new(lineno, format!("unknown device `{name}`")))
+                .ok_or_else(|| err(lineno, ParseErrorKind::UnknownDevice(name.to_string())))
         };
-        match tokens[0] {
+        let net = |name: &str| {
+            circuit
+                .find_net(name)
+                .ok_or_else(|| err(lineno, ParseErrorKind::UnknownNet(name.to_string())))
+        };
+        let Some(&directive) = tokens.first() else {
+            continue;
+        };
+        match directive {
             "symgroup" => {
                 if tokens.len() != 3 {
-                    return Err(ParseNetlistError::new(
-                        lineno,
-                        "symgroup needs name and axis",
-                    ));
+                    return Err(missing(lineno, "symgroup", "a name and an axis"));
                 }
                 let axis = match tokens[2] {
                     "vertical" => Axis::Vertical,
                     "horizontal" => Axis::Horizontal,
                     other => {
-                        return Err(ParseNetlistError::new(
+                        return Err(err(
                             lineno,
-                            format!("unknown axis `{other}`"),
+                            ParseErrorKind::UnknownKeyword {
+                                what: "axis",
+                                token: other.to_string(),
+                            },
                         ))
                     }
                 };
@@ -428,42 +472,47 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
                     .push(crate::SymmetryGroup::new(tokens[1], axis));
                 groups.insert(tokens[1].to_string(), cons.symmetry_groups.len() - 1);
             }
-            "sympair" | "symself" => {
+            "sympair" => {
+                if tokens.len() != 4 {
+                    return Err(missing(lineno, "sympair", "a group and two devices"));
+                }
                 let gi = *groups.get(tokens[1]).ok_or_else(|| {
-                    ParseNetlistError::new(
+                    err(
                         lineno,
-                        format!("unknown symmetry group `{}`", tokens[1]),
+                        ParseErrorKind::UnknownSymmetryGroup(tokens[1].to_string()),
                     )
                 })?;
-                if tokens[0] == "sympair" {
-                    if tokens.len() != 4 {
-                        return Err(ParseNetlistError::new(lineno, "sympair needs two devices"));
-                    }
-                    let a = dev(tokens[2])?;
-                    let b = dev(tokens[3])?;
-                    cons.symmetry_groups[gi].pairs.push((a, b));
-                } else {
-                    if tokens.len() != 3 {
-                        return Err(ParseNetlistError::new(lineno, "symself needs one device"));
-                    }
-                    let a = dev(tokens[2])?;
-                    cons.symmetry_groups[gi].self_symmetric.push(a);
+                let a = dev(tokens[2])?;
+                let b = dev(tokens[3])?;
+                cons.symmetry_groups[gi].pairs.push((a, b));
+            }
+            "symself" => {
+                if tokens.len() != 3 {
+                    return Err(missing(lineno, "symself", "a group and one device"));
                 }
+                let gi = *groups.get(tokens[1]).ok_or_else(|| {
+                    err(
+                        lineno,
+                        ParseErrorKind::UnknownSymmetryGroup(tokens[1].to_string()),
+                    )
+                })?;
+                let a = dev(tokens[2])?;
+                cons.symmetry_groups[gi].self_symmetric.push(a);
             }
             "align" => {
                 if tokens.len() != 4 {
-                    return Err(ParseNetlistError::new(
-                        lineno,
-                        "align needs kind and two devices",
-                    ));
+                    return Err(missing(lineno, "align", "a kind and two devices"));
                 }
                 let kind = match tokens[1] {
                     "bottom" => AlignKind::Bottom,
                     "vcenter" => AlignKind::VerticalCenter,
                     other => {
-                        return Err(ParseNetlistError::new(
+                        return Err(err(
                             lineno,
-                            format!("unknown alignment `{other}`"),
+                            ParseErrorKind::UnknownKeyword {
+                                what: "alignment",
+                                token: other.to_string(),
+                            },
                         ))
                     }
                 };
@@ -475,18 +524,22 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
             }
             "order" => {
                 if tokens.len() < 4 {
-                    return Err(ParseNetlistError::new(
+                    return Err(missing(
                         lineno,
-                        "order needs a direction and at least two devices",
+                        "order",
+                        "a direction and at least two devices",
                     ));
                 }
                 let direction = match tokens[1] {
                     "horizontal" | "h" => OrderDirection::Horizontal,
                     "vertical" | "v" => OrderDirection::Vertical,
                     other => {
-                        return Err(ParseNetlistError::new(
+                        return Err(err(
                             lineno,
-                            format!("unknown direction `{other}`"),
+                            ParseErrorKind::UnknownKeyword {
+                                what: "direction",
+                                token: other.to_string(),
+                            },
                         ))
                     }
                 };
@@ -497,27 +550,32 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
                 cons.orderings.push(crate::Ordering { direction, devices });
             }
             "critical" => {
-                let id = circuit.find_net(tokens[1]).ok_or_else(|| {
-                    ParseNetlistError::new(lineno, format!("unknown net `{}`", tokens[1]))
-                })?;
+                if tokens.len() != 2 {
+                    return Err(missing(lineno, "critical", "a net name"));
+                }
+                let id = net(tokens[1])?;
                 net_updates.push((id, true, None));
             }
             "weight" => {
                 if tokens.len() != 3 {
-                    return Err(ParseNetlistError::new(lineno, "weight needs net and value"));
+                    return Err(missing(lineno, "weight", "a net and a value"));
                 }
-                let id = circuit.find_net(tokens[1]).ok_or_else(|| {
-                    ParseNetlistError::new(lineno, format!("unknown net `{}`", tokens[1]))
-                })?;
+                let id = net(tokens[1])?;
                 let w = tokens[2].parse::<f64>().map_err(|_| {
-                    ParseNetlistError::new(lineno, format!("bad weight `{}`", tokens[2]))
+                    err(
+                        lineno,
+                        ParseErrorKind::BadNumber {
+                            what: "weight",
+                            token: tokens[2].to_string(),
+                        },
+                    )
                 })?;
                 net_updates.push((id, false, Some(w)));
             }
             other => {
-                return Err(ParseNetlistError::new(
+                return Err(err(
                     lineno,
-                    format!("unknown directive `{other}`"),
+                    ParseErrorKind::UnknownDirective(other.to_string()),
                 ));
             }
         }
@@ -547,9 +605,7 @@ pub fn parse_constraints(circuit: &mut Circuit, text: &str) -> Result<(), ParseN
         for o in &cons.orderings {
             b.order(o.direction, o.devices.clone());
         }
-        let mut rebuilt = b
-            .build()
-            .map_err(|e| ParseNetlistError::new(0, e.to_string()))?;
+        let mut rebuilt = b.build().map_err(ParseError::from)?;
         for (i, net) in circuit.nets().iter().enumerate() {
             let id = crate::NetId::new(i);
             rebuilt.set_net_critical(id, net.critical);
@@ -660,12 +716,9 @@ pub fn write_placement(circuit: &Circuit, placement: &crate::Placement) -> Strin
 ///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] on unknown devices, malformed numbers, or
-/// missing devices.
-pub fn parse_placement(
-    circuit: &Circuit,
-    text: &str,
-) -> Result<crate::Placement, ParseNetlistError> {
+/// Returns [`ParseError`] on unknown devices, malformed numbers, or devices
+/// missing from the file.
+pub fn parse_placement(circuit: &Circuit, text: &str) -> Result<crate::Placement, ParseError> {
     let mut placement = crate::Placement::new(circuit.num_devices());
     let mut seen = vec![false; circuit.num_devices()];
     for (lineno, raw_line) in text.lines().enumerate() {
@@ -676,17 +729,35 @@ pub fn parse_placement(
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens.len() != 5 {
-            return Err(ParseNetlistError::new(lineno, "expected 5 fields"));
+            return Err(err(
+                lineno,
+                ParseErrorKind::WrongFieldCount {
+                    expected: 5,
+                    got: tokens.len(),
+                },
+            ));
         }
-        let id = circuit.find_device(tokens[0]).ok_or_else(|| {
-            ParseNetlistError::new(lineno, format!("unknown device `{}`", tokens[0]))
+        let id = circuit
+            .find_device(tokens[0])
+            .ok_or_else(|| err(lineno, ParseErrorKind::UnknownDevice(tokens[0].to_string())))?;
+        let x: f64 = tokens[1].parse().map_err(|_| {
+            err(
+                lineno,
+                ParseErrorKind::BadNumber {
+                    what: "x coordinate",
+                    token: tokens[1].to_string(),
+                },
+            )
         })?;
-        let x: f64 = tokens[1]
-            .parse()
-            .map_err(|_| ParseNetlistError::new(lineno, "bad x coordinate"))?;
-        let y: f64 = tokens[2]
-            .parse()
-            .map_err(|_| ParseNetlistError::new(lineno, "bad y coordinate"))?;
+        let y: f64 = tokens[2].parse().map_err(|_| {
+            err(
+                lineno,
+                ParseErrorKind::BadNumber {
+                    what: "y coordinate",
+                    token: tokens[2].to_string(),
+                },
+            )
+        })?;
         let fx = tokens[3] == "1";
         let fy = tokens[4] == "1";
         placement.set_position(id, (x, y));
@@ -694,12 +765,9 @@ pub fn parse_placement(
         seen[id.index()] = true;
     }
     if let Some(missing) = seen.iter().position(|s| !s) {
-        return Err(ParseNetlistError::new(
+        return Err(err(
             0,
-            format!(
-                "device `{}` missing from placement",
-                circuit.devices()[missing].name
-            ),
+            ParseErrorKind::MissingPlacementDevice(circuit.devices()[missing].name.clone()),
         ));
     }
     Ok(placement)
@@ -768,10 +836,70 @@ R1 outp vdd 10k
 
     #[test]
     fn rejects_unknown_cards() {
-        let err = parse_spice("X1 a b c sub").unwrap_err();
-        assert_eq!(err.line, 1);
-        let err = parse_spice("M1 a b c").unwrap_err();
-        assert!(err.message.contains("MOS"));
+        let e = parse_spice("X1 a b c sub\n.end\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, ParseErrorKind::UnknownCard('x'));
+        let e = parse_spice("Q9 a b c\n.end\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownCard('q'));
+    }
+
+    #[test]
+    fn rejects_short_device_cards() {
+        // Cards cut off mid-way, as in a truncated upload.
+        let e = parse_spice("M1 a b c\n.end\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::MissingFields { card: "MOS", .. }
+        ));
+        let e = parse_spice("C1 a\n.end\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::MissingFields {
+                card: "passive",
+                ..
+            }
+        ));
+        let e = parse_spice("D1 a\n.end\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::MissingFields { card: "diode", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_decks() {
+        // A deck that simply stops without `.end` is reported as truncated,
+        // with the line number pointing just past the last line read.
+        let e = parse_spice(".title t\nM1 a b c d nmos\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TruncatedDeck);
+        assert_eq!(e.line, 3);
+        assert_eq!(
+            parse_spice("").unwrap_err().kind,
+            ParseErrorKind::TruncatedDeck
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_models_and_bad_numbers() {
+        let e = parse_spice("M1 a b c d bjt\n.end\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::UnknownKeyword {
+                what: "MOS model",
+                ..
+            }
+        ));
+        let e = parse_spice("M1 a b c d nmos W=oops\n.end\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::BadNumber { what: "width", .. }
+        ));
+        let e = parse_spice("R1 a b banana\n.end\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::BadNumber { what: "value", .. }
+        ));
     }
 
     #[test]
@@ -808,6 +936,55 @@ weight outn 2.0
     }
 
     #[test]
+    fn dangling_symmetry_refs_are_structured_errors() {
+        let mut c = parse_spice(NETLIST).unwrap();
+        // Group never declared.
+        let e = parse_constraints(&mut c, "sympair nope M1 M2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, ParseErrorKind::UnknownSymmetryGroup("nope".into()));
+        // Group exists but a paired device does not.
+        let e = parse_constraints(&mut c, "symgroup g1 vertical\nsympair g1 M1 M99").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.kind, ParseErrorKind::UnknownDevice("M99".into()));
+        // Failed parses leave the circuit untouched.
+        assert!(c.constraints().symmetry_groups.is_empty());
+    }
+
+    #[test]
+    fn short_directives_error_instead_of_panicking() {
+        // These directives used to index `tokens[1]` before checking arity.
+        let mut c = parse_spice(NETLIST).unwrap();
+        for (text, card) in [
+            ("sympair", "sympair"),
+            ("symself", "symself"),
+            ("critical", "critical"),
+            ("weight outp", "weight"),
+            ("symgroup g1", "symgroup"),
+        ] {
+            let e = parse_constraints(&mut c, text).unwrap_err();
+            assert_eq!(e.line, 1, "{text}");
+            assert!(
+                matches!(e.kind, ParseErrorKind::MissingFields { card: got, .. } if got == card),
+                "{text}: {:?}",
+                e.kind
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_errors_reference_lines() {
+        let mut c = parse_spice(NETLIST).unwrap();
+        let e = parse_constraints(&mut c, "sympair nope M1 M2").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_constraints(&mut c, "\nalign bottom M1 M99").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_constraints(&mut c, "critical no_such_net").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownNet("no_such_net".into()));
+        let e = parse_constraints(&mut c, "conjure M1").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownDirective("conjure".into()));
+    }
+
+    #[test]
     fn placement_roundtrip() {
         let c = parse_spice(NETLIST).unwrap();
         let mut p = crate::Placement::new(c.num_devices());
@@ -826,18 +1003,25 @@ weight outn 2.0
     #[test]
     fn placement_parser_rejects_missing_devices() {
         let c = parse_spice(NETLIST).unwrap();
-        let err = parse_placement(&c, "M1 0 0 0 0").unwrap_err();
-        assert!(err.message.contains("missing"));
-        let err = parse_placement(&c, "M9 0 0 0 0").unwrap_err();
-        assert!(err.message.contains("unknown"));
-    }
-
-    #[test]
-    fn constraint_errors_reference_lines() {
-        let mut c = parse_spice(NETLIST).unwrap();
-        let err = parse_constraints(&mut c, "sympair nope M1 M2").unwrap_err();
-        assert_eq!(err.line, 1);
-        let err = parse_constraints(&mut c, "\nalign bottom M1 M99").unwrap_err();
-        assert_eq!(err.line, 2);
+        let e = parse_placement(&c, "M1 0 0 0 0").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MissingPlacementDevice("M2".into()));
+        let e = parse_placement(&c, "M9 0 0 0 0").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownDevice("M9".into()));
+        let e = parse_placement(&c, "M1 0 0 0").unwrap_err();
+        assert_eq!(
+            e.kind,
+            ParseErrorKind::WrongFieldCount {
+                expected: 5,
+                got: 4
+            }
+        );
+        let e = parse_placement(&c, "M1 zero 0 0 0").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::BadNumber {
+                what: "x coordinate",
+                ..
+            }
+        ));
     }
 }

@@ -40,5 +40,5 @@ pub use complex::Complex;
 pub use dct::{dct_ii_naive, dct_iii_naive, DctPlan};
 pub use fft::{dft_naive, fft, fft2, ifft, ifft2, is_power_of_two, Fft2Plan, FftPlan};
 pub use grid::Grid;
-pub use nesterov::NesterovState;
+pub use nesterov::{NesterovSnapshot, NesterovState};
 pub use poisson::PoissonSolver;

@@ -51,6 +51,37 @@ pub struct NesterovState {
     safeguard_trips: usize,
 }
 
+/// A self-contained capture of a [`NesterovState`], produced by
+/// [`NesterovState::snapshot`] and consumed by [`NesterovState::restore`].
+///
+/// Fields are public so callers can serialize them (the placement job
+/// engine stores `f64`s as raw bit patterns to guarantee exact roundtrips).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NesterovSnapshot {
+    /// Major solution u_k.
+    pub u: Vec<f64>,
+    /// Reference solution v_k.
+    pub v: Vec<f64>,
+    /// Previous reference point.
+    pub v_prev: Vec<f64>,
+    /// Gradient at the previous reference point.
+    pub g_prev: Vec<f64>,
+    /// Momentum parameter a_k.
+    pub a: f64,
+    /// Fallback / initial step length.
+    pub initial_step: f64,
+    /// Upper bound on the step length.
+    pub max_step: f64,
+    /// Adaptive safety factor on the Lipschitz estimate.
+    pub shrink: f64,
+    /// Gradient norm at the previous step.
+    pub g_norm_prev: f64,
+    /// Completed step count.
+    pub iterations: usize,
+    /// Times the divergence safeguard fired.
+    pub safeguard_trips: usize,
+}
+
 impl NesterovState {
     /// Starts a run from `v0` with the given initial step length.
     ///
@@ -119,6 +150,55 @@ impl NesterovState {
     /// the step-shrinking safeguard does not misfire.
     pub fn notify_objective_change(&mut self) {
         self.g_norm_prev = 0.0;
+    }
+
+    /// Captures the complete optimizer state so a run can be checkpointed.
+    ///
+    /// Restoring the snapshot with [`restore`](Self::restore) and continuing
+    /// to feed the same gradients reproduces the uninterrupted trajectory
+    /// bit-for-bit: every field that influences [`step`](Self::step) is
+    /// included.
+    pub fn snapshot(&self) -> NesterovSnapshot {
+        NesterovSnapshot {
+            u: self.u.clone(),
+            v: self.v.clone(),
+            v_prev: self.v_prev.clone(),
+            g_prev: self.g_prev.clone(),
+            a: self.a,
+            initial_step: self.initial_step,
+            max_step: self.max_step,
+            shrink: self.shrink,
+            g_norm_prev: self.g_norm_prev,
+            iterations: self.iterations,
+            safeguard_trips: self.safeguard_trips,
+        }
+    }
+
+    /// Rebuilds an optimizer from a [`snapshot`](Self::snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's vectors are empty or have mismatched lengths.
+    pub fn restore(snap: NesterovSnapshot) -> Self {
+        let n = snap.u.len();
+        assert!(n > 0, "cannot restore an empty snapshot");
+        assert!(
+            snap.v.len() == n && snap.v_prev.len() == n && snap.g_prev.len() == n,
+            "snapshot vector lengths disagree"
+        );
+        Self {
+            u: snap.u,
+            v: snap.v,
+            v_prev: snap.v_prev,
+            g_prev: snap.g_prev,
+            a: snap.a,
+            initial_step: snap.initial_step,
+            max_step: snap.max_step,
+            shrink: snap.shrink,
+            g_norm_prev: snap.g_norm_prev,
+            iterations: snap.iterations,
+            safeguard_trips: snap.safeguard_trips,
+        }
     }
 
     /// Performs one accelerated step given the gradient at

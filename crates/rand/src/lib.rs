@@ -33,6 +33,18 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl StdRng {
+    /// Exports the raw xoshiro256++ state so a stream can be checkpointed
+    /// and later continued exactly where it left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`state`](Self::state) snapshot; the
+    /// resulting stream continues bit-for-bit from the capture point.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     fn next_raw(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])

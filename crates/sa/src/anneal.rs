@@ -10,6 +10,7 @@
 //! practical budgets, no optimality claim.
 
 use analog_netlist::{Circuit, Placement};
+use eplace::{BudgetStatus, ConfigError, RunBudget};
 use placer_gnn::{CircuitGraph, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +63,100 @@ impl Default for SaConfig {
             seed: 7,
             chains: 1,
         }
+    }
+}
+
+impl SaConfig {
+    /// Starts a validating builder seeded with [`SaConfig::default`].
+    pub fn builder() -> SaConfigBuilder {
+        SaConfigBuilder {
+            config: SaConfig::default(),
+        }
+    }
+
+    /// Checks every field; [`SaConfigBuilder::build`] calls this, and
+    /// hand-rolled configs can too.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.temperatures == 0 {
+            return Err(ConfigError::new("sa.temperatures", "must be > 0"));
+        }
+        if self.moves_per_temperature == 0 {
+            return Err(ConfigError::new("sa.moves_per_temperature", "must be > 0"));
+        }
+        if !(self.cooling > 0.0 && self.cooling < 1.0) {
+            return Err(ConfigError::new(
+                "sa.cooling",
+                format!("must lie in (0, 1), got {}", self.cooling),
+            ));
+        }
+        eplace::require_nonnegative("sa.hpwl_weight", self.hpwl_weight)?;
+        eplace::require_nonnegative("sa.penalty_weight", self.penalty_weight)?;
+        if self.chains == 0 {
+            return Err(ConfigError::new("sa.chains", "must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`SaConfig`]; see [`SaConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SaConfigBuilder {
+    config: SaConfig,
+}
+
+impl SaConfigBuilder {
+    /// Sets the number of temperature levels.
+    pub fn temperatures(mut self, temperatures: usize) -> Self {
+        self.config.temperatures = temperatures;
+        self
+    }
+
+    /// Sets the moves attempted per temperature level.
+    pub fn moves_per_temperature(mut self, moves: usize) -> Self {
+        self.config.moves_per_temperature = moves;
+        self
+    }
+
+    /// Alias for [`SaConfigBuilder::moves_per_temperature`] — "level" and
+    /// "temperature" name the same cooling step.
+    pub fn moves_per_level(self, moves: usize) -> Self {
+        self.moves_per_temperature(moves)
+    }
+
+    /// Sets the geometric cooling factor (must end up in `(0, 1)`).
+    pub fn cooling(mut self, cooling: f64) -> Self {
+        self.config.cooling = cooling;
+        self
+    }
+
+    /// Sets the HPWL weight in the cost.
+    pub fn hpwl_weight(mut self, weight: f64) -> Self {
+        self.config.hpwl_weight = weight;
+        self
+    }
+
+    /// Sets the constraint-violation penalty weight.
+    pub fn penalty_weight(mut self, weight: f64) -> Self {
+        self.config.penalty_weight = weight;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of independent annealing chains.
+    pub fn chains(mut self, chains: usize) -> Self {
+        self.config.chains = chains;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    pub fn build(self) -> Result<SaConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -282,6 +377,95 @@ fn chain_seed(seed: u64, chain: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A paused annealing chain, frozen at a temperature-level boundary.
+///
+/// At a level boundary the trial state equals the committed state, so one
+/// [`SaState`] plus the RNG words and the running scalars reproduce the
+/// chain exactly: resume rebuilds the [`MoveEvaluator`] from `state`
+/// (packing is a pure function of the state, so the rebuilt committed
+/// caches are bitwise identical) and replays the remaining levels on the
+/// restored RNG stream.
+#[derive(Debug, Clone)]
+pub struct ChainCheckpoint {
+    /// The next temperature level to run.
+    pub level: usize,
+    /// Temperature at that level.
+    pub temperature: f64,
+    /// Committed annealing state.
+    pub state: SaState,
+    /// Cost of `state` (restored bit-for-bit, never recomputed).
+    pub cost: SaCost,
+    /// Best state seen so far.
+    pub best_state: SaState,
+    /// Cost of `best_state`.
+    pub best_cost: SaCost,
+    /// Moves attempted so far.
+    pub moves: usize,
+    /// Moves accepted so far.
+    pub accepts: u64,
+    /// xoshiro256++ RNG words at the boundary.
+    pub rng: [u64; 4],
+}
+
+/// One chain's slot in an [`SaCheckpoint`].
+#[derive(Debug, Clone)]
+pub enum ChainEntry {
+    /// The chain finished (all levels, or its budget expired) before the
+    /// run as a whole was cancelled; its result rides along so resume can
+    /// still pick the winner across every chain.
+    Done {
+        /// Best state the finished chain found.
+        state: SaState,
+        /// Its cost.
+        cost: SaCost,
+        /// Moves the chain attempted.
+        moves: usize,
+        /// Whether the chain stopped on budget exhaustion.
+        exhausted: bool,
+    },
+    /// The chain was cancelled mid-run and resumes from here.
+    Pending(ChainCheckpoint),
+}
+
+/// A cancelled multi-chain annealing run: one entry per chain.
+#[derive(Debug, Clone)]
+pub struct SaCheckpoint {
+    /// Per-chain progress, indexed by chain number.
+    pub chains: Vec<ChainEntry>,
+}
+
+/// What a budgeted annealing run produced.
+#[derive(Debug, Clone)]
+pub enum AnnealRun {
+    /// Every chain ran all its temperature levels.
+    Complete(AnnealResult),
+    /// The budget expired; best-so-far across chains (states are packings,
+    /// so the placement is overlap-free and symmetric like any SA output).
+    Exhausted(AnnealResult),
+    /// Cancelled; feed the checkpoint back to [`anneal_budgeted`] to
+    /// finish the run bit-for-bit.
+    Cancelled(SaCheckpoint),
+}
+
+/// How one chain segment ended (crate-internal).
+enum ChainRun {
+    /// Chain finished its levels (or exhausted its budget).
+    Done {
+        result: AnnealResult,
+        exhausted: bool,
+    },
+    Cancelled(ChainCheckpoint),
+}
+
+type ChainFn = fn(
+    &Circuit,
+    &SaConfig,
+    Option<PerfCost<'_>>,
+    u64,
+    Option<&RunBudget>,
+    Option<&ChainCheckpoint>,
+) -> ChainRun;
+
 /// Runs simulated annealing over the circuit's symmetry-island blocks.
 ///
 /// The perf term (when provided) is *inferred* each evaluation, matching
@@ -291,7 +475,27 @@ fn chain_seed(seed: u64, chain: usize) -> u64 {
 /// [`SaConfig::chains`]); `moves` in the result counts attempts across
 /// *all* chains.
 pub fn anneal(circuit: &Circuit, config: &SaConfig, perf: Option<PerfCost<'_>>) -> AnnealResult {
-    anneal_multi(circuit, config, perf, anneal_chain)
+    match anneal_multi(circuit, config, perf, None, None, anneal_chain) {
+        AnnealRun::Complete(r) => r,
+        // Unreachable without a budget, but harmless to define.
+        AnnealRun::Exhausted(r) => r,
+        AnnealRun::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+    }
+}
+
+/// [`anneal`] under a [`RunBudget`], optionally resuming a cancelled run.
+///
+/// The budget is checked once per temperature level per chain — the same
+/// granularity the checkpoints are cut at — never per move. With an
+/// unlimited budget and no resume this is bit-identical to [`anneal`].
+pub fn anneal_budgeted(
+    circuit: &Circuit,
+    config: &SaConfig,
+    perf: Option<PerfCost<'_>>,
+    budget: &RunBudget,
+    resume: Option<&SaCheckpoint>,
+) -> AnnealRun {
+    anneal_multi(circuit, config, perf, Some(budget), resume, anneal_chain)
 }
 
 /// Full-recompute annealer kept as the oracle for the incremental engine.
@@ -306,44 +510,148 @@ pub fn anneal_reference(
     config: &SaConfig,
     perf: Option<PerfCost<'_>>,
 ) -> AnnealResult {
-    anneal_multi(circuit, config, perf, anneal_chain_reference)
+    match anneal_multi(circuit, config, perf, None, None, anneal_chain_reference) {
+        AnnealRun::Complete(r) => r,
+        AnnealRun::Exhausted(r) => r,
+        AnnealRun::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+    }
 }
 
-/// Multi-chain dispatch shared by [`anneal`] and [`anneal_reference`].
+/// [`anneal_reference`] under a [`RunBudget`] — the budgeted oracle.
+///
+/// Checkpoints are interchangeable with [`anneal_budgeted`]'s: a chain
+/// frozen by one engine resumes bit-identically on the other, because both
+/// store only the committed state and the RNG words.
+pub fn anneal_reference_budgeted(
+    circuit: &Circuit,
+    config: &SaConfig,
+    perf: Option<PerfCost<'_>>,
+    budget: &RunBudget,
+    resume: Option<&SaCheckpoint>,
+) -> AnnealRun {
+    anneal_multi(
+        circuit,
+        config,
+        perf,
+        Some(budget),
+        resume,
+        anneal_chain_reference,
+    )
+}
+
+/// Multi-chain dispatch shared by the budgeted and legacy entry points.
 fn anneal_multi(
     circuit: &Circuit,
     config: &SaConfig,
     mut perf: Option<PerfCost<'_>>,
-    chain: fn(&Circuit, &SaConfig, Option<PerfCost<'_>>, u64) -> AnnealResult,
-) -> AnnealResult {
+    budget: Option<&RunBudget>,
+    resume: Option<&SaCheckpoint>,
+    chain: ChainFn,
+) -> AnnealRun {
     let chains = config.chains.max(1);
-    if chains == 1 {
-        return chain(circuit, config, perf.take(), config.seed);
+    if let Some(ck) = resume {
+        assert_eq!(
+            ck.chains.len(),
+            chains,
+            "checkpoint has {} chains, config wants {chains}",
+            ck.chains.len()
+        );
     }
     // PerfCost borrows the network immutably, so every chain can share it;
     // each chain rebuilds its own CircuitGraph scratch internally.
     let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
-    let results = placer_parallel::par_map(chains, |index| {
+    let run_one = |index: usize| -> ChainRun {
         let chain_perf = perf_parts.map(|(network, weight, scale)| PerfCost {
             network,
             weight,
             scale,
         });
-        chain(circuit, config, chain_perf, chain_seed(config.seed, index))
-    });
+        match resume.map(|ck| &ck.chains[index]) {
+            Some(ChainEntry::Done {
+                state,
+                cost,
+                moves,
+                exhausted,
+            }) => {
+                // Finished before the cancellation: rebuild its placement
+                // (a pure function of the state) and pass it through.
+                let model = BlockModel::new(circuit);
+                let placement = evaluate(circuit, &model, state, config, None).0;
+                ChainRun::Done {
+                    result: AnnealResult {
+                        state: state.clone(),
+                        placement,
+                        cost: *cost,
+                        moves: *moves,
+                    },
+                    exhausted: *exhausted,
+                }
+            }
+            Some(ChainEntry::Pending(ck)) => chain(
+                circuit,
+                config,
+                chain_perf,
+                chain_seed(config.seed, index),
+                budget,
+                Some(ck),
+            ),
+            None => chain(
+                circuit,
+                config,
+                chain_perf,
+                chain_seed(config.seed, index),
+                budget,
+                None,
+            ),
+        }
+    };
+    let outcomes = if chains == 1 {
+        vec![run_one(0)]
+    } else {
+        placer_parallel::par_map(chains, run_one)
+    };
+
+    if outcomes.iter().any(|o| matches!(o, ChainRun::Cancelled(_))) {
+        let entries = outcomes
+            .into_iter()
+            .map(|o| match o {
+                ChainRun::Done { result, exhausted } => ChainEntry::Done {
+                    state: result.state,
+                    cost: result.cost,
+                    moves: result.moves,
+                    exhausted,
+                },
+                ChainRun::Cancelled(ck) => ChainEntry::Pending(ck),
+            })
+            .collect();
+        return AnnealRun::Cancelled(SaCheckpoint { chains: entries });
+    }
+
     // Pick the winner in chain order (strict `<`, so ties break toward the
     // lowest chain index) — deterministic for any thread count.
     let mut total_moves = 0;
+    let mut any_exhausted = false;
     let mut best: Option<AnnealResult> = None;
-    for r in results {
-        total_moves += r.moves;
-        if best.as_ref().is_none_or(|b| r.cost.total < b.cost.total) {
-            best = Some(r);
+    for o in outcomes {
+        let ChainRun::Done { result, exhausted } = o else {
+            unreachable!("cancelled runs returned above");
+        };
+        total_moves += result.moves;
+        any_exhausted |= exhausted;
+        if best
+            .as_ref()
+            .is_none_or(|b| result.cost.total < b.cost.total)
+        {
+            best = Some(result);
         }
     }
     let mut best = best.expect("at least one chain ran");
     best.moves = total_moves;
-    best
+    if any_exhausted {
+        AnnealRun::Exhausted(best)
+    } else {
+        AnnealRun::Complete(best)
+    }
 }
 
 /// One annealing chain with an explicit RNG seed, priced incrementally.
@@ -356,19 +664,35 @@ fn anneal_chain(
     config: &SaConfig,
     mut perf: Option<PerfCost<'_>>,
     seed: u64,
-) -> AnnealResult {
+    budget: Option<&RunBudget>,
+    resume: Option<&ChainCheckpoint>,
+) -> ChainRun {
     static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("sa_chain");
     let _span = SPAN.enter();
     let n = circuit.num_devices();
     let model = BlockModel::new(circuit);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut state = SaState {
-        seq_pair: SequencePair::identity(model.len()),
-        flips: vec![(false, false); n],
-    };
-    // Shuffle the start deterministically.
-    for _ in 0..4 * model.len() {
-        random_move(&mut state, n, &mut rng);
+
+    // Committed state + RNG: fresh deterministic shuffle, or the exact
+    // words frozen at the checkpoint's level boundary.
+    let mut rng;
+    let state;
+    match resume {
+        Some(ck) => {
+            rng = StdRng::from_state(ck.rng);
+            state = ck.state.clone();
+        }
+        None => {
+            rng = StdRng::seed_from_u64(seed);
+            let mut fresh = SaState {
+                seq_pair: SequencePair::identity(model.len()),
+                flips: vec![(false, false); n],
+            };
+            // Shuffle the start deterministically.
+            for _ in 0..4 * model.len() {
+                random_move(&mut fresh, n, &mut rng);
+            }
+            state = fresh;
+        }
     }
 
     let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
@@ -387,40 +711,94 @@ fn anneal_chain(
         cost
     };
 
-    let mut cost = with_perf(evaluator.cost());
-
-    // Sample uphill deltas for the initial temperature. The probe drifts
-    // several moves from the committed state without accepting; the
-    // evaluator diffs each trial against the committed packing, so stacked
-    // moves are priced correctly.
     let mut trial = state.clone();
-    let mut deltas = Vec::new();
-    for _ in 0..30 {
-        random_move(&mut trial, n, &mut rng);
-        let c = with_perf(evaluator.eval_trial(&trial));
-        let d = c.total - cost.total;
-        if d > 0.0 {
-            deltas.push(d);
+    let mut cost;
+    let mut temperature;
+    let mut best_state;
+    let mut best_placement;
+    let mut best_cost;
+    let mut moves;
+    let mut accepts;
+    let start_level;
+    match resume {
+        Some(ck) => {
+            // Scalars come back bit-for-bit from the checkpoint; only the
+            // best placement is rebuilt (packing is a pure function of the
+            // state, so the rebuild is bitwise exact). The init shuffle and
+            // temperature probe already happened before the boundary —
+            // their RNG draws live inside `ck.rng`.
+            cost = ck.cost;
+            temperature = ck.temperature;
+            best_state = ck.best_state.clone();
+            best_placement = evaluate(circuit, &model, &best_state, config, None).0;
+            best_cost = ck.best_cost;
+            moves = ck.moves;
+            accepts = ck.accepts;
+            start_level = ck.level;
+        }
+        None => {
+            cost = with_perf(evaluator.cost());
+
+            // Sample uphill deltas for the initial temperature. The probe
+            // drifts several moves from the committed state without
+            // accepting; the evaluator diffs each trial against the
+            // committed packing, so stacked moves are priced correctly.
+            let mut deltas = Vec::new();
+            for _ in 0..30 {
+                random_move(&mut trial, n, &mut rng);
+                let c = with_perf(evaluator.eval_trial(&trial));
+                let d = c.total - cost.total;
+                if d > 0.0 {
+                    deltas.push(d);
+                }
+            }
+            temperature = if deltas.is_empty() {
+                cost.total.abs() * 0.05 + 1.0
+            } else {
+                deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
+            };
+
+            best_state = state.clone();
+            best_placement = evaluator.placement().clone();
+            best_cost = cost;
+            moves = 0usize;
+
+            // Re-sync the trial after the probe drift; from here it
+            // mirrors the evaluator's committed state between moves, so a
+            // rejected trial rolls back with an O(1) undo instead of a
+            // full state copy.
+            trial.copy_from(&state);
+            accepts = 0u64;
+            start_level = 0;
         }
     }
-    let mut temperature = if deltas.is_empty() {
-        cost.total.abs() * 0.05 + 1.0
-    } else {
-        deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
-    };
-
-    let mut best_state = state.clone();
-    let mut best_placement = evaluator.placement().clone();
-    let mut best_cost = cost;
-    let mut moves = 0usize;
-
-    // Re-sync the trial after the probe drift; from here it mirrors the
-    // evaluator's committed state between moves, so a rejected trial rolls
-    // back with an O(1) undo instead of a full state copy.
-    trial.copy_from(&state);
-    let mut accepts = 0u64;
+    let mut exhausted = false;
     let mut stats_prev = evaluator.stats();
-    for level in 0..config.temperatures {
+    for level in start_level..config.temperatures {
+        // Budget granularity == checkpoint granularity: one check per
+        // temperature level, at the boundary where trial == committed.
+        if let Some(b) = budget {
+            match b.check() {
+                BudgetStatus::Continue => {}
+                BudgetStatus::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
+                BudgetStatus::Cancelled => {
+                    return ChainRun::Cancelled(ChainCheckpoint {
+                        level,
+                        temperature,
+                        state: trial.clone(),
+                        cost,
+                        best_state,
+                        best_cost,
+                        moves,
+                        accepts,
+                        rng: rng.state(),
+                    });
+                }
+            }
+        }
         let level_accepts_before = accepts;
         for _ in 0..config.moves_per_temperature {
             moves += 1;
@@ -506,11 +884,14 @@ fn anneal_chain(
         // the chain still owns it.
         placer_telemetry::flush();
     }
-    AnnealResult {
-        state: best_state,
-        placement: best_placement,
-        cost: best_cost,
-        moves,
+    ChainRun::Done {
+        result: AnnealResult {
+            state: best_state,
+            placement: best_placement,
+            cost: best_cost,
+            moves,
+        },
+        exhausted,
     }
 }
 
@@ -520,18 +901,11 @@ fn anneal_chain_reference(
     config: &SaConfig,
     mut perf: Option<PerfCost<'_>>,
     seed: u64,
-) -> AnnealResult {
+    budget: Option<&RunBudget>,
+    resume: Option<&ChainCheckpoint>,
+) -> ChainRun {
     let n = circuit.num_devices();
     let model = BlockModel::new(circuit);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut state = SaState {
-        seq_pair: SequencePair::identity(model.len()),
-        flips: vec![(false, false); n],
-    };
-    // Shuffle the start deterministically.
-    for _ in 0..4 * model.len() {
-        random_move(&mut state, n, &mut rng);
-    }
 
     let mut perf_state = perf.take().map(|p| {
         let graph = CircuitGraph::new(circuit, &Placement::new(n), p.scale);
@@ -546,33 +920,100 @@ fn anneal_chain_reference(
         (placement, cost)
     };
 
-    let (mut placement, mut cost) = cost_of(&state, &mut perf_state);
-
-    // Sample uphill deltas for the initial temperature.
-    let mut deltas = Vec::new();
-    {
-        let mut probe = state.clone();
-        for _ in 0..30 {
-            random_move(&mut probe, n, &mut rng);
-            let (_, c) = cost_of(&probe, &mut perf_state);
-            let d = c.total - cost.total;
-            if d > 0.0 {
-                deltas.push(d);
+    let mut rng;
+    let mut state;
+    let mut placement;
+    let mut cost;
+    let mut temperature;
+    let mut best_state;
+    let mut best_placement;
+    let mut best_cost;
+    let mut moves;
+    let mut accepts;
+    let start_level;
+    match resume {
+        Some(ck) => {
+            // Same restore discipline as the incremental chain: scalars
+            // come back bit-for-bit, placements are rebuilt from states.
+            rng = StdRng::from_state(ck.rng);
+            state = ck.state.clone();
+            placement = cost_of(&state, &mut perf_state).0;
+            cost = ck.cost;
+            temperature = ck.temperature;
+            best_state = ck.best_state.clone();
+            best_placement = cost_of(&best_state, &mut perf_state).0;
+            best_cost = ck.best_cost;
+            moves = ck.moves;
+            accepts = ck.accepts;
+            start_level = ck.level;
+        }
+        None => {
+            rng = StdRng::seed_from_u64(seed);
+            state = SaState {
+                seq_pair: SequencePair::identity(model.len()),
+                flips: vec![(false, false); n],
+            };
+            // Shuffle the start deterministically.
+            for _ in 0..4 * model.len() {
+                random_move(&mut state, n, &mut rng);
             }
+
+            let (p0, c0) = cost_of(&state, &mut perf_state);
+            placement = p0;
+            cost = c0;
+
+            // Sample uphill deltas for the initial temperature.
+            let mut deltas = Vec::new();
+            {
+                let mut probe = state.clone();
+                for _ in 0..30 {
+                    random_move(&mut probe, n, &mut rng);
+                    let (_, c) = cost_of(&probe, &mut perf_state);
+                    let d = c.total - cost.total;
+                    if d > 0.0 {
+                        deltas.push(d);
+                    }
+                }
+            }
+            temperature = if deltas.is_empty() {
+                cost.total.abs() * 0.05 + 1.0
+            } else {
+                deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
+            };
+
+            best_state = state.clone();
+            best_placement = placement.clone();
+            best_cost = cost;
+            moves = 0usize;
+            accepts = 0u64;
+            start_level = 0;
         }
     }
-    let mut temperature = if deltas.is_empty() {
-        cost.total.abs() * 0.05 + 1.0
-    } else {
-        deltas.iter().sum::<f64>() / deltas.len() as f64 * 2.0
-    };
 
-    let mut best_state = state.clone();
-    let mut best_placement = placement.clone();
-    let mut best_cost = cost;
-    let mut moves = 0usize;
-
-    for _level in 0..config.temperatures {
+    let mut exhausted = false;
+    for level in start_level..config.temperatures {
+        if let Some(b) = budget {
+            match b.check() {
+                BudgetStatus::Continue => {}
+                BudgetStatus::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
+                BudgetStatus::Cancelled => {
+                    return ChainRun::Cancelled(ChainCheckpoint {
+                        level,
+                        temperature,
+                        state: state.clone(),
+                        cost,
+                        best_state,
+                        best_cost,
+                        moves,
+                        accepts,
+                        rng: rng.state(),
+                    });
+                }
+            }
+        }
         for _ in 0..config.moves_per_temperature {
             moves += 1;
             let mut candidate = state.clone();
@@ -583,6 +1024,7 @@ fn anneal_chain_reference(
                 state = candidate;
                 placement = cand_placement;
                 cost = cand_cost;
+                accepts += 1;
                 if cost.total < best_cost.total {
                     best_state = state.clone();
                     best_placement = placement.clone();
@@ -593,11 +1035,14 @@ fn anneal_chain_reference(
         temperature *= config.cooling;
     }
     let _ = placement;
-    AnnealResult {
-        state: best_state,
-        placement: best_placement,
-        cost: best_cost,
-        moves,
+    ChainRun::Done {
+        result: AnnealResult {
+            state: best_state,
+            placement: best_placement,
+            cost: best_cost,
+            moves,
+        },
+        exhausted,
     }
 }
 
@@ -772,6 +1217,108 @@ mod tests {
         assert_eq!(fast.cost.total.to_bits(), slow.cost.total.to_bits());
         assert_eq!(fast.cost.phi.to_bits(), slow.cost.phi.to_bits());
         assert_eq!(fast.placement, slow.placement);
+    }
+
+    #[test]
+    fn budgeted_with_unlimited_budget_matches_legacy() {
+        let c = testcases::cc_ota();
+        let cfg = quick_config();
+        let legacy = anneal(&c, &cfg, None);
+        let AnnealRun::Complete(budgeted) =
+            anneal_budgeted(&c, &cfg, None, &RunBudget::unlimited(), None)
+        else {
+            panic!("unlimited budget must complete");
+        };
+        assert_eq!(legacy.cost.total.to_bits(), budgeted.cost.total.to_bits());
+        assert_eq!(legacy.placement, budgeted.placement);
+        assert_eq!(legacy.state, budgeted.state);
+        assert_eq!(legacy.moves, budgeted.moves);
+    }
+
+    #[test]
+    fn reference_engine_resumes_incremental_checkpoints() {
+        // The two engines share the checkpoint format: freeze the fast
+        // chain, thaw it on the oracle, and land on the same placement the
+        // uninterrupted fast run reaches.
+        let c = testcases::adder();
+        let cfg = quick_config();
+        let reference = anneal(&c, &cfg, None);
+
+        let budget = RunBudget::unlimited();
+        budget.cancel_after_checks(11);
+        let AnnealRun::Cancelled(ck) = anneal_budgeted(&c, &cfg, None, &budget, None) else {
+            panic!("expected cancellation at check 11");
+        };
+        let AnnealRun::Complete(resumed) =
+            anneal_reference_budgeted(&c, &cfg, None, &RunBudget::unlimited(), Some(&ck))
+        else {
+            panic!("resume must complete");
+        };
+        assert_eq!(reference.cost.total.to_bits(), resumed.cost.total.to_bits());
+        assert_eq!(reference.placement, resumed.placement);
+        assert_eq!(reference.state, resumed.state);
+        assert_eq!(reference.moves, resumed.moves);
+    }
+
+    #[test]
+    fn repeated_cancellation_still_converges_exactly() {
+        let c = testcases::adder();
+        let cfg = quick_config();
+        let reference = anneal(&c, &cfg, None);
+
+        let mut resume: Option<SaCheckpoint> = None;
+        let mut final_result = None;
+        for _ in 0..64 {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(4);
+            match anneal_budgeted(&c, &cfg, None, &budget, resume.as_ref()) {
+                AnnealRun::Cancelled(ck) => resume = Some(ck),
+                AnnealRun::Complete(r) => {
+                    final_result = Some(r);
+                    break;
+                }
+                AnnealRun::Exhausted(_) => panic!("no step budget set"),
+            }
+        }
+        let r = final_result.expect("run must converge within the interrupt loop");
+        assert_eq!(reference.cost.total.to_bits(), r.cost.total.to_bits());
+        assert_eq!(reference.placement, r.placement);
+        assert_eq!(reference.moves, r.moves);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_best_so_far() {
+        let c = testcases::adder();
+        let cfg = quick_config();
+        let AnnealRun::Exhausted(r) = anneal_budgeted(&c, &cfg, None, &RunBudget::steps(5), None)
+        else {
+            panic!("a 5-level budget cannot finish 30 levels");
+        };
+        // States are packings: even an early stop is overlap-free.
+        assert!(r.placement.overlapping_pairs(&c, 1e-9).is_empty());
+        assert!(r.cost.total.is_finite());
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = SaConfig::builder()
+            .temperatures(50)
+            .moves_per_level(80)
+            .cooling(0.9)
+            .seed(11)
+            .chains(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.temperatures, 50);
+        assert_eq!(cfg.moves_per_temperature, 80);
+        assert_eq!(cfg.chains, 2);
+
+        assert!(SaConfig::builder().cooling(1.0).build().is_err());
+        assert!(SaConfig::builder().cooling(f64::NAN).build().is_err());
+        assert!(SaConfig::builder().temperatures(0).build().is_err());
+        assert!(SaConfig::builder().moves_per_level(0).build().is_err());
+        assert!(SaConfig::builder().hpwl_weight(-1.0).build().is_err());
+        assert!(SaConfig::builder().chains(0).build().is_err());
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! use analog_netlist::testcases;
 //! use placer_sa::{SaConfig, SaPlacer};
 //!
-//! # fn main() -> Result<(), placer_xu19::LegalizeError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = testcases::adder();
-//! let config = SaConfig { temperatures: 15, moves_per_temperature: 25, ..SaConfig::default() };
+//! let config = SaConfig::builder().temperatures(15).moves_per_level(25).build()?;
 //! let result = SaPlacer::new(config).place(&circuit)?;
 //! println!("area {:.1} µm² after {} moves", result.area, result.moves);
 //! # Ok(())
@@ -38,7 +38,9 @@ mod repair;
 mod seqpair;
 
 pub use anneal::{
-    anneal, anneal_reference, evaluate, AnnealResult, PerfCost, SaConfig, SaCost, SaState,
+    anneal, anneal_budgeted, anneal_reference, anneal_reference_budgeted, evaluate, AnnealResult,
+    AnnealRun, ChainCheckpoint, ChainEntry, PerfCost, SaCheckpoint, SaConfig, SaConfigBuilder,
+    SaCost, SaState,
 };
 pub use evaluator::{EvaluatorStats, MoveEvaluator};
 pub use island::{Block, BlockModel};

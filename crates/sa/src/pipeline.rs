@@ -6,11 +6,19 @@
 use std::time::Instant;
 
 use analog_netlist::{Circuit, Placement};
+use eplace::{
+    expect_placer, Checkpoint, CheckpointError, PlaceError, PlaceOutcome, PlaceSolution, Placer,
+    RunBudget,
+};
 use placer_gnn::Network;
-use placer_mathopt::SolveError;
 
-use crate::anneal::{anneal, PerfCost, SaConfig};
+use crate::anneal::{
+    anneal, anneal_budgeted, AnnealRun, ChainCheckpoint, ChainEntry, PerfCost, SaCheckpoint,
+    SaConfig, SaCost, SaState,
+};
+use crate::island::BlockModel;
 use crate::repair::repair_placement;
+use crate::seqpair::SequencePair;
 
 /// Result of a full SA placement run.
 #[derive(Debug, Clone)]
@@ -31,6 +39,21 @@ pub struct SaResult {
     pub phi: f64,
 }
 
+impl SaResult {
+    /// Converts into the unified [`PlaceSolution`] (annealing is stage 1,
+    /// LP repair is stage 2, moves are the iteration count).
+    pub fn into_solution(self) -> PlaceSolution {
+        PlaceSolution {
+            placement: self.placement,
+            hpwl: self.hpwl,
+            area: self.area,
+            stage1_seconds: self.anneal_seconds,
+            stage2_seconds: self.repair_seconds,
+            iterations: self.moves,
+        }
+    }
+}
+
 /// The simulated-annealing analog placer baseline.
 ///
 /// # Examples
@@ -39,7 +62,7 @@ pub struct SaResult {
 /// use analog_netlist::testcases;
 /// use placer_sa::{SaConfig, SaPlacer};
 ///
-/// # fn main() -> Result<(), placer_mathopt::SolveError> {
+/// # fn main() -> Result<(), eplace::PlaceError> {
 /// let circuit = testcases::adder();
 /// let config = SaConfig { temperatures: 20, moves_per_temperature: 30, ..SaConfig::default() };
 /// let result = SaPlacer::new(config).place(&circuit)?;
@@ -64,7 +87,7 @@ impl SaPlacer {
         circuit: &Circuit,
         annealed: crate::anneal::AnnealResult,
         anneal_seconds: f64,
-    ) -> Result<SaResult, SolveError> {
+    ) -> Result<SaResult, PlaceError> {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("sa_repair");
         let _span = SPAN.enter();
         let t1 = Instant::now();
@@ -91,7 +114,7 @@ impl SaPlacer {
     /// # Errors
     ///
     /// Propagates the LP solver error from the repair pass.
-    pub fn place(&self, circuit: &Circuit) -> Result<SaResult, SolveError> {
+    pub fn place(&self, circuit: &Circuit) -> Result<SaResult, PlaceError> {
         let t0 = Instant::now();
         let annealed = anneal(circuit, &self.config, None);
         let anneal_seconds = t0.elapsed().as_secs_f64();
@@ -110,7 +133,7 @@ impl SaPlacer {
         network: &Network,
         weight: f64,
         scale: f64,
-    ) -> Result<SaResult, SolveError> {
+    ) -> Result<SaResult, PlaceError> {
         let t0 = Instant::now();
         let annealed = anneal(
             circuit,
@@ -124,6 +147,243 @@ impl SaPlacer {
         let anneal_seconds = t0.elapsed().as_secs_f64();
         self.finish(circuit, annealed, anneal_seconds)
     }
+
+    fn run_engine(
+        &self,
+        circuit: &Circuit,
+        budget: &RunBudget,
+        resume: Option<&SaCheckpoint>,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        let t0 = Instant::now();
+        let run = anneal_budgeted(circuit, &self.config, None, budget, resume);
+        let anneal_seconds = t0.elapsed().as_secs_f64();
+        match run {
+            AnnealRun::Complete(annealed) => {
+                let result = self.finish(circuit, annealed, anneal_seconds)?;
+                Ok(PlaceOutcome::Complete(result.into_solution()))
+            }
+            AnnealRun::Exhausted(annealed) => {
+                // Best-so-far is still a packed floorplan; the same LP
+                // repair pass legalizes it, so Exhausted upholds the
+                // trait's "always legal" contract.
+                let result = self.finish(circuit, annealed, anneal_seconds)?;
+                Ok(PlaceOutcome::Exhausted(result.into_solution()))
+            }
+            AnnealRun::Cancelled(sack) => {
+                Ok(PlaceOutcome::Cancelled(encode_checkpoint(circuit, &sack)))
+            }
+        }
+    }
+}
+
+impl Placer for SaPlacer {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
+        self.run_engine(circuit, budget, None)
+    }
+
+    fn resume(
+        &self,
+        circuit: &Circuit,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        expect_placer(checkpoint, self.name())?;
+        let sack = decode_checkpoint(checkpoint, circuit, &self.config)?;
+        self.run_engine(circuit, budget, Some(&sack))
+    }
+}
+
+fn bad_checkpoint(message: String) -> PlaceError {
+    PlaceError::BadCheckpoint(CheckpointError { line: 0, message })
+}
+
+fn put_state(ck: &mut Checkpoint, prefix: &str, state: &SaState) {
+    let s1: Vec<u64> = state.seq_pair.s1.iter().map(|&d| d as u64).collect();
+    let s2: Vec<u64> = state.seq_pair.s2.iter().map(|&d| d as u64).collect();
+    let bfx: Vec<bool> = state.seq_pair.flips.iter().map(|f| f.0).collect();
+    let bfy: Vec<bool> = state.seq_pair.flips.iter().map(|f| f.1).collect();
+    let fx: Vec<bool> = state.flips.iter().map(|f| f.0).collect();
+    let fy: Vec<bool> = state.flips.iter().map(|f| f.1).collect();
+    ck.put_u64s(&format!("{prefix}s1"), &s1);
+    ck.put_u64s(&format!("{prefix}s2"), &s2);
+    ck.put_bools(&format!("{prefix}bfx"), &bfx);
+    ck.put_bools(&format!("{prefix}bfy"), &bfy);
+    ck.put_bools(&format!("{prefix}fx"), &fx);
+    ck.put_bools(&format!("{prefix}fy"), &fy);
+}
+
+fn get_state(
+    ck: &Checkpoint,
+    prefix: &str,
+    blocks: usize,
+    n: usize,
+) -> Result<SaState, PlaceError> {
+    let s1 = ck.get_u64s(&format!("{prefix}s1"))?;
+    let s2 = ck.get_u64s(&format!("{prefix}s2"))?;
+    let bfx = ck.get_bools(&format!("{prefix}bfx"))?;
+    let bfy = ck.get_bools(&format!("{prefix}bfy"))?;
+    let fx = ck.get_bools(&format!("{prefix}fx"))?;
+    let fy = ck.get_bools(&format!("{prefix}fy"))?;
+    if s1.len() != blocks || s2.len() != blocks || bfx.len() != blocks || bfy.len() != blocks {
+        return Err(bad_checkpoint(format!(
+            "`{prefix}` sequence pair sized for {} blocks, circuit has {blocks}",
+            s1.len()
+        )));
+    }
+    if fx.len() != n || fy.len() != n {
+        return Err(bad_checkpoint(format!(
+            "`{prefix}` flips sized for {} devices, circuit has {n}",
+            fx.len()
+        )));
+    }
+    for seq in [&s1, &s2] {
+        let mut seen = vec![false; blocks];
+        for &d in seq.iter() {
+            let d = d as usize;
+            if d >= blocks || seen[d] {
+                return Err(bad_checkpoint(format!(
+                    "`{prefix}` sequence is not a permutation of 0..{blocks}"
+                )));
+            }
+            seen[d] = true;
+        }
+    }
+    Ok(SaState {
+        seq_pair: SequencePair {
+            s1: s1.iter().map(|&d| d as usize).collect(),
+            s2: s2.iter().map(|&d| d as usize).collect(),
+            flips: bfx.iter().copied().zip(bfy.iter().copied()).collect(),
+        },
+        flips: fx.iter().copied().zip(fy.iter().copied()).collect(),
+    })
+}
+
+fn put_cost(ck: &mut Checkpoint, prefix: &str, cost: &SaCost) {
+    ck.put_f64(&format!("{prefix}area"), cost.area);
+    ck.put_f64(&format!("{prefix}hpwl"), cost.hpwl);
+    ck.put_f64(&format!("{prefix}violation"), cost.violation);
+    ck.put_f64(&format!("{prefix}phi"), cost.phi);
+    ck.put_f64(&format!("{prefix}total"), cost.total);
+}
+
+fn get_cost(ck: &Checkpoint, prefix: &str) -> Result<SaCost, PlaceError> {
+    Ok(SaCost {
+        area: ck.get_f64(&format!("{prefix}area"))?,
+        hpwl: ck.get_f64(&format!("{prefix}hpwl"))?,
+        violation: ck.get_f64(&format!("{prefix}violation"))?,
+        phi: ck.get_f64(&format!("{prefix}phi"))?,
+        total: ck.get_f64(&format!("{prefix}total"))?,
+    })
+}
+
+/// Serializes a cancelled annealing run into the portable checkpoint
+/// format (one `c{i}_`-prefixed field group per chain).
+fn encode_checkpoint(circuit: &Circuit, sack: &SaCheckpoint) -> Checkpoint {
+    let mut ck = Checkpoint::new("sa");
+    ck.put_u64("n", circuit.num_devices() as u64);
+    ck.put_u64("chains", sack.chains.len() as u64);
+    for (i, entry) in sack.chains.iter().enumerate() {
+        let p = format!("c{i}_");
+        match entry {
+            ChainEntry::Done {
+                state,
+                cost,
+                moves,
+                exhausted,
+            } => {
+                ck.put_str(&format!("{p}kind"), "done");
+                put_state(&mut ck, &p, state);
+                put_cost(&mut ck, &format!("{p}cost_"), cost);
+                ck.put_u64(&format!("{p}moves"), *moves as u64);
+                ck.put_u64(&format!("{p}exhausted"), u64::from(*exhausted));
+            }
+            ChainEntry::Pending(c) => {
+                ck.put_str(&format!("{p}kind"), "pending");
+                ck.put_u64(&format!("{p}level"), c.level as u64);
+                ck.put_f64(&format!("{p}temperature"), c.temperature);
+                put_state(&mut ck, &p, &c.state);
+                put_cost(&mut ck, &format!("{p}cost_"), &c.cost);
+                put_state(&mut ck, &format!("{p}best_"), &c.best_state);
+                put_cost(&mut ck, &format!("{p}best_cost_"), &c.best_cost);
+                ck.put_u64(&format!("{p}moves"), c.moves as u64);
+                ck.put_u64(&format!("{p}accepts"), c.accepts);
+                ck.put_u64s(&format!("{p}rng"), &c.rng);
+            }
+        }
+    }
+    ck
+}
+
+fn decode_checkpoint(
+    ck: &Checkpoint,
+    circuit: &Circuit,
+    config: &SaConfig,
+) -> Result<SaCheckpoint, PlaceError> {
+    let n = circuit.num_devices();
+    let stored_n = ck.get_u64("n")? as usize;
+    if stored_n != n {
+        return Err(bad_checkpoint(format!(
+            "checkpoint is for a {stored_n}-device circuit, got {n} devices"
+        )));
+    }
+    let chains = ck.get_u64("chains")? as usize;
+    if chains != config.chains.max(1) {
+        return Err(bad_checkpoint(format!(
+            "checkpoint has {chains} chains, config wants {}",
+            config.chains.max(1)
+        )));
+    }
+    let blocks = BlockModel::new(circuit).len();
+    let mut entries = Vec::with_capacity(chains);
+    for i in 0..chains {
+        let p = format!("c{i}_");
+        let kind = ck.get_str(&format!("{p}kind"))?;
+        match kind {
+            "done" => entries.push(ChainEntry::Done {
+                state: get_state(ck, &p, blocks, n)?,
+                cost: get_cost(ck, &format!("{p}cost_"))?,
+                moves: ck.get_u64(&format!("{p}moves"))? as usize,
+                exhausted: ck.get_u64(&format!("{p}exhausted"))? != 0,
+            }),
+            "pending" => {
+                let rng_words = ck.get_u64s(&format!("{p}rng"))?;
+                if rng_words.len() != 4 {
+                    return Err(bad_checkpoint(format!(
+                        "`{p}rng` holds {} words, expected 4",
+                        rng_words.len()
+                    )));
+                }
+                let level = ck.get_u64(&format!("{p}level"))? as usize;
+                if level >= config.temperatures {
+                    return Err(bad_checkpoint(format!(
+                        "`{p}level` {level} out of range for {} temperatures",
+                        config.temperatures
+                    )));
+                }
+                entries.push(ChainEntry::Pending(ChainCheckpoint {
+                    level,
+                    temperature: ck.get_f64(&format!("{p}temperature"))?,
+                    state: get_state(ck, &p, blocks, n)?,
+                    cost: get_cost(ck, &format!("{p}cost_"))?,
+                    best_state: get_state(ck, &format!("{p}best_"), blocks, n)?,
+                    best_cost: get_cost(ck, &format!("{p}best_cost_"))?,
+                    moves: ck.get_u64(&format!("{p}moves"))? as usize,
+                    accepts: ck.get_u64(&format!("{p}accepts"))?,
+                    rng: [rng_words[0], rng_words[1], rng_words[2], rng_words[3]],
+                }))
+            }
+            other => {
+                return Err(bad_checkpoint(format!(
+                    "`{p}kind` is `{other}`, expected `done` or `pending`"
+                )))
+            }
+        }
+    }
+    Ok(SaCheckpoint { chains: entries })
 }
 
 #[cfg(test)]
@@ -186,5 +446,103 @@ mod tests {
         .unwrap();
         let score = |r: &SaResult| r.area + r.hpwl;
         assert!(score(&long) < score(&short) * 1.25);
+    }
+
+    #[test]
+    fn trait_place_with_unlimited_budget_matches_legacy() {
+        let circuit = testcases::cc_ota();
+        let placer = quick();
+        let legacy = placer.place(&circuit).unwrap();
+        let outcome = Placer::place(&placer, &circuit, &RunBudget::unlimited()).unwrap();
+        let solution = outcome.solution().expect("complete");
+        assert!(outcome.is_complete());
+        assert_eq!(legacy.placement, solution.placement);
+        assert_eq!(legacy.hpwl.to_bits(), solution.hpwl.to_bits());
+        assert_eq!(legacy.moves, solution.iterations);
+    }
+
+    #[test]
+    fn cancel_resume_roundtrips_through_the_text_codec() {
+        let circuit = testcases::adder();
+        let placer = quick();
+        let reference = Placer::place(&placer, &circuit, &RunBudget::unlimited()).unwrap();
+
+        for cancel_at in [0u64, 4, 20] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+            let ck = outcome.checkpoint().expect("cancelled");
+            // Through the codec, like the jobs engine does on disk.
+            let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+            let resumed = placer
+                .resume(&circuit, &decoded, &RunBudget::unlimited())
+                .unwrap();
+            let a = reference.solution().unwrap();
+            let b = resumed.solution().expect("complete after resume");
+            assert_eq!(a.placement, b.placement, "cancel_at={cancel_at}");
+            assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+            assert_eq!(a.iterations, b.iterations, "moves must match");
+        }
+    }
+
+    #[test]
+    fn multi_chain_cancel_resume_is_bit_identical() {
+        let circuit = testcases::adder();
+        let placer = SaPlacer::new(SaConfig {
+            temperatures: 20,
+            moves_per_temperature: 30,
+            chains: 3,
+            ..SaConfig::default()
+        });
+        let reference = Placer::place(&placer, &circuit, &RunBudget::unlimited()).unwrap();
+
+        let budget = RunBudget::unlimited();
+        budget.cancel_after_checks(8);
+        let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+        let ck = outcome.checkpoint().expect("cancelled");
+        let resumed = placer
+            .resume(&circuit, ck, &RunBudget::unlimited())
+            .unwrap();
+        let a = reference.solution().unwrap();
+        let b = resumed.solution().expect("complete");
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn exhausted_runs_return_legal_placements() {
+        let circuit = testcases::cc_ota();
+        let placer = quick();
+        for steps in [1u64, 10] {
+            let outcome = Placer::place(&placer, &circuit, &RunBudget::steps(steps)).unwrap();
+            assert!(outcome.is_exhausted(), "steps={steps}");
+            let s = outcome.solution().unwrap();
+            assert!(
+                s.placement.is_legal(&circuit, 1e-6),
+                "steps={steps}: exhausted placement must stay legal"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configs() {
+        let circuit = testcases::adder();
+        let placer = SaPlacer::new(SaConfig {
+            temperatures: 20,
+            moves_per_temperature: 30,
+            chains: 2,
+            ..SaConfig::default()
+        });
+        let budget = RunBudget::unlimited();
+        budget.cancel_after_checks(3);
+        let outcome = Placer::place(&placer, &circuit, &budget).unwrap();
+        let ck = outcome.checkpoint().expect("cancelled");
+        // A single-chain placer cannot consume a two-chain checkpoint.
+        let other = quick();
+        let err = other
+            .resume(&circuit, ck, &RunBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::BadCheckpoint(_)));
     }
 }

@@ -7,7 +7,7 @@ use placer_numeric::{minimize_cg, CgOptions};
 
 use crate::bell::BellDensity;
 use crate::lse::lse_wirelength;
-use eplace::symmetry_penalty;
+use eplace::{symmetry_penalty, BudgetStatus, ConfigError, RunBudget};
 
 /// Configuration of the baseline's global placement.
 #[derive(Debug, Clone)]
@@ -45,6 +45,101 @@ impl Default for Xu19GlobalConfig {
     }
 }
 
+impl Xu19GlobalConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> Xu19GlobalConfigBuilder {
+        Xu19GlobalConfigBuilder {
+            config: Xu19GlobalConfig::default(),
+        }
+    }
+
+    /// Checks every field; [`Xu19GlobalConfigBuilder::build`] calls this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bins < 2 {
+            return Err(ConfigError::new("xu19.bins", "must be >= 2"));
+        }
+        eplace::require_fraction("xu19.utilization", self.utilization, 0.0, 1.0)?;
+        eplace::require_positive("xu19.gamma_bins", self.gamma_bins)?;
+        if !self.beta_growth.is_finite() || self.beta_growth < 1.0 {
+            return Err(ConfigError::new(
+                "xu19.beta_growth",
+                format!("must be finite and >= 1, got {}", self.beta_growth),
+            ));
+        }
+        if self.rounds == 0 {
+            return Err(ConfigError::new("xu19.rounds", "must be > 0"));
+        }
+        if self.cg_iters == 0 {
+            return Err(ConfigError::new("xu19.cg_iters", "must be > 0"));
+        }
+        eplace::require_nonnegative("xu19.tau_scale", self.tau_scale)?;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`Xu19GlobalConfig`]; see
+/// [`Xu19GlobalConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct Xu19GlobalConfigBuilder {
+    config: Xu19GlobalConfig,
+}
+
+impl Xu19GlobalConfigBuilder {
+    /// Sets the bin grid dimension per axis.
+    pub fn bins(mut self, bins: usize) -> Self {
+        self.config.bins = bins;
+        self
+    }
+
+    /// Sets the region utilization target (must end up in `(0, 1]`).
+    pub fn utilization(mut self, utilization: f64) -> Self {
+        self.config.utilization = utilization;
+        self
+    }
+
+    /// Sets the LSE smoothing γ as a multiple of the bin size.
+    pub fn gamma_bins(mut self, gamma_bins: f64) -> Self {
+        self.config.gamma_bins = gamma_bins;
+        self
+    }
+
+    /// Sets the density weight multiplier per outer round.
+    pub fn beta_growth(mut self, beta_growth: f64) -> Self {
+        self.config.beta_growth = beta_growth;
+        self
+    }
+
+    /// Sets the number of outer rounds.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.config.rounds = rounds;
+        self
+    }
+
+    /// Sets the CG iterations per round.
+    pub fn cg_iters(mut self, cg_iters: usize) -> Self {
+        self.config.cg_iters = cg_iters;
+        self
+    }
+
+    /// Sets the symmetry penalty scale.
+    pub fn tau_scale(mut self, tau_scale: f64) -> Self {
+        self.config.tau_scale = tau_scale;
+        self
+    }
+
+    /// Sets the deterministic seed for the initial spread.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    pub fn build(self) -> Result<Xu19GlobalConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Statistics of a baseline global placement run.
 #[derive(Debug, Clone)]
 pub struct Xu19GlobalStats {
@@ -68,12 +163,57 @@ pub fn run_global(circuit: &Circuit, cfg: &Xu19GlobalConfig) -> (Placement, Xu19
 /// Extra gradient hook type (used by the Perf* extension of Table V/VII).
 pub type ExtraGradientFn<'a> = dyn FnMut(&[(f64, f64)], &mut [f64]) -> f64 + 'a;
 
+/// A baseline global placement frozen at an outer-round boundary.
+///
+/// The normalization pass (spiral spread, gradient-derived `tau`) is a pure
+/// function of circuit and config, so only the evolving quantities are
+/// stored; [`run_global_budgeted`] recomputes the rest deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xu19Checkpoint {
+    /// The next outer round to run.
+    pub round: usize,
+    /// Flat coordinates (`x[0..n]`, `y[n..2n]`) at the boundary.
+    pub x: Vec<f64>,
+    /// Density weight at the boundary.
+    pub beta: f64,
+    /// CG iterations spent so far.
+    pub iterations: usize,
+    /// Density overflow after the last finished round.
+    pub overflow: f64,
+}
+
+/// What a budgeted baseline global placement produced.
+#[derive(Debug, Clone)]
+pub enum Xu19Run {
+    /// Ran to convergence (overflow target or round limit).
+    Complete(Placement, Xu19GlobalStats),
+    /// Budget expired; coordinates as of the last finished round.
+    Exhausted(Placement, Xu19GlobalStats),
+    /// Cancelled at a round boundary; resume to finish bit-for-bit.
+    Cancelled(Box<Xu19Checkpoint>),
+}
+
 /// Runs global placement with an optional extra gradient (Perf* variant).
 pub fn run_global_with_extra(
     circuit: &Circuit,
     cfg: &Xu19GlobalConfig,
-    mut extra: Option<&mut ExtraGradientFn<'_>>,
+    extra: Option<&mut ExtraGradientFn<'_>>,
 ) -> (Placement, Xu19GlobalStats) {
+    match run_global_budgeted(circuit, cfg, extra, None, None) {
+        Xu19Run::Complete(p, s) | Xu19Run::Exhausted(p, s) => (p, s),
+        Xu19Run::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+    }
+}
+
+/// [`run_global_with_extra`] under a [`RunBudget`], checked once per outer
+/// round (the checkpoint granularity), optionally resuming a cancelled run.
+pub fn run_global_budgeted(
+    circuit: &Circuit,
+    cfg: &Xu19GlobalConfig,
+    mut extra: Option<&mut ExtraGradientFn<'_>>,
+    budget: Option<&RunBudget>,
+    resume: Option<&Xu19Checkpoint>,
+) -> Xu19Run {
     static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_global");
     let _span = SPAN.enter();
     let n = circuit.num_devices();
@@ -113,7 +253,39 @@ pub fn run_global_with_extra(
 
     let mut iterations = 0;
     let mut overflow = 1.0;
-    for round in 0..cfg.rounds {
+    let start_round = match resume {
+        Some(ck) => {
+            assert_eq!(ck.x.len(), 2 * n, "checkpoint sized for another circuit");
+            x.copy_from_slice(&ck.x);
+            beta = ck.beta;
+            iterations = ck.iterations;
+            overflow = ck.overflow;
+            ck.round
+        }
+        None => 0,
+    };
+    let mut exhausted = false;
+    for round in start_round..cfg.rounds {
+        // Budget granularity == checkpoint granularity: one check per
+        // outer round, never inside the CG solve.
+        if let Some(b) = budget {
+            match b.check() {
+                BudgetStatus::Continue => {}
+                BudgetStatus::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
+                BudgetStatus::Cancelled => {
+                    return Xu19Run::Cancelled(Box::new(Xu19Checkpoint {
+                        round,
+                        x,
+                        beta,
+                        iterations,
+                        overflow,
+                    }));
+                }
+            }
+        }
         let opts = CgOptions {
             max_iters: cfg.cg_iters,
             grad_tol: 1e-5,
@@ -172,14 +344,17 @@ pub fn run_global_with_extra(
     placer_telemetry::flush();
 
     let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
-    (
-        Placement::from_positions(pts),
-        Xu19GlobalStats {
-            iterations,
-            overflow,
-            region_side: side,
-        },
-    )
+    let placement = Placement::from_positions(pts);
+    let stats = Xu19GlobalStats {
+        iterations,
+        overflow,
+        region_side: side,
+    };
+    if exhausted {
+        Xu19Run::Exhausted(placement, stats)
+    } else {
+        Xu19Run::Complete(placement, stats)
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +388,88 @@ mod tests {
         let a = run_global(&c, &Xu19GlobalConfig::default()).0;
         let b = run_global(&c, &Xu19GlobalConfig::default()).0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let c = testcases::cc_ota();
+        let cfg = Xu19GlobalConfig::default();
+        let (a, stats_a) = run_global(&c, &cfg);
+        let Xu19Run::Complete(b, stats_b) =
+            run_global_budgeted(&c, &cfg, None, Some(&RunBudget::unlimited()), None)
+        else {
+            panic!("unlimited budget must complete");
+        };
+        assert_eq!(a, b);
+        assert_eq!(stats_a.iterations, stats_b.iterations);
+        assert_eq!(stats_a.overflow.to_bits(), stats_b.overflow.to_bits());
+    }
+
+    #[test]
+    fn cancel_then_resume_is_bit_identical() {
+        let c = testcases::cc_ota();
+        let cfg = Xu19GlobalConfig::default();
+        let (reference, ref_stats) = run_global(&c, &cfg);
+
+        for cancel_at in [0u64, 1, 3] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let Xu19Run::Cancelled(ck) = run_global_budgeted(&c, &cfg, None, Some(&budget), None)
+            else {
+                panic!("expected cancellation at check {cancel_at}");
+            };
+            let Xu19Run::Complete(resumed, stats) =
+                run_global_budgeted(&c, &cfg, None, Some(&RunBudget::unlimited()), Some(&ck))
+            else {
+                panic!("resume must complete");
+            };
+            assert_eq!(reference, resumed, "cancel_at={cancel_at}");
+            assert_eq!(ref_stats.iterations, stats.iterations);
+            assert_eq!(ref_stats.overflow.to_bits(), stats.overflow.to_bits());
+        }
+    }
+
+    #[test]
+    fn exhaustion_stops_at_the_round_budget() {
+        let c = testcases::cc_ota();
+        let cfg = Xu19GlobalConfig::default();
+        let Xu19Run::Exhausted(p, stats) =
+            run_global_budgeted(&c, &cfg, None, Some(&RunBudget::steps(2)), None)
+        else {
+            panic!("a 2-round budget cannot finish 8 rounds");
+        };
+        assert_eq!(p.positions.len(), c.num_devices());
+        // Two finished rounds cap the iteration count at 2 CG solves.
+        assert!(stats.iterations <= 2 * cfg.cg_iters);
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = Xu19GlobalConfig::builder()
+            .bins(16)
+            .utilization(0.5)
+            .rounds(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.bins, 16);
+        assert_eq!(cfg.rounds, 4);
+
+        assert!(Xu19GlobalConfig::builder().bins(1).build().is_err());
+        assert!(Xu19GlobalConfig::builder()
+            .utilization(0.0)
+            .build()
+            .is_err());
+        assert!(Xu19GlobalConfig::builder()
+            .utilization(f64::NAN)
+            .build()
+            .is_err());
+        assert!(Xu19GlobalConfig::builder()
+            .beta_growth(0.5)
+            .build()
+            .is_err());
+        assert!(Xu19GlobalConfig::builder().rounds(0).build().is_err());
+        assert!(Xu19GlobalConfig::builder().cg_iters(0).build().is_err());
+        assert!(Xu19GlobalConfig::builder().tau_scale(-1.0).build().is_err());
     }
 }

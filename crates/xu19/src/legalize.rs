@@ -5,36 +5,12 @@
 //! names flipping as one of ePlace-A's advantages (Table IV).
 
 use analog_netlist::{AlignKind, Axis, Circuit, DeviceId, Placement};
-use eplace::{SepEdge, SeparationPlanner};
+use eplace::{PlaceError, SepEdge, SeparationPlanner};
 use placer_mathopt::{ConstraintOp, Model, SolveError, VarId};
 
-/// Error from the baseline legalizer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LegalizeError {
-    /// An LP stage failed.
-    Solve(SolveError),
-    /// Residual overlap survived the refinement rounds.
-    RefinementExhausted,
-}
-
-impl std::fmt::Display for LegalizeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LegalizeError::Solve(e) => write!(f, "legalization LP failed: {e}"),
-            LegalizeError::RefinementExhausted => {
-                f.write_str("legalization refinement exhausted with residual overlap")
-            }
-        }
-    }
-}
-
-impl std::error::Error for LegalizeError {}
-
-impl From<SolveError> for LegalizeError {
-    fn from(e: SolveError) -> Self {
-        LegalizeError::Solve(e)
-    }
-}
+/// Former name of the unified placement error.
+#[deprecated(note = "use `eplace::PlaceError`; the per-pipeline error enums were unified")]
+pub type LegalizeError = PlaceError;
 
 /// Statistics from the two LP stages.
 #[derive(Debug, Clone)]
@@ -134,7 +110,7 @@ fn add_axis_constraints(
 }
 
 /// Stage 1: area compaction — minimize the chip extent per axis.
-fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64, LegalizeError> {
+fn compact_axis(circuit: &Circuit, axis: usize, seps: &[SepEdge]) -> Result<f64, PlaceError> {
     static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_compact_axis");
     let _span = SPAN.enter();
     let mut model = Model::new();
@@ -163,7 +139,7 @@ fn wirelength_axis(
     axis: usize,
     seps: &[SepEdge],
     chip_extent: f64,
-) -> Result<Vec<f64>, LegalizeError> {
+) -> Result<Vec<f64>, PlaceError> {
     let mut model = Model::new();
     let chip = model.add_var("chip", 0.0, chip_extent, 0.0);
     let xs = add_axis_constraints(&mut model, circuit, axis, seps, chip);
@@ -193,18 +169,18 @@ fn wirelength_axis(
 ///
 /// # Errors
 ///
-/// Returns [`LegalizeError`] when an LP stage fails or refinement exhausts.
+/// Returns [`PlaceError`] when an LP stage fails or refinement exhausts.
 pub fn legalize_two_stage(
     circuit: &Circuit,
     global: &Placement,
-) -> Result<(Placement, LegalizeStats), LegalizeError> {
+) -> Result<(Placement, LegalizeStats), PlaceError> {
     // [11] freezes the relative order of *every* pair from global placement
     // (constraint-graph legalization). On rare inputs that full graph
     // contradicts the symmetry/ordering equalities through a chain the
     // planner's pairwise reasoning cannot see; fall back to the incremental
     // (overlapping-pairs-only) graph in that case.
     match legalize_with(circuit, global, true) {
-        Err(LegalizeError::Solve(SolveError::Infeasible)) => legalize_with(circuit, global, false),
+        Err(PlaceError::Solve(SolveError::Infeasible)) => legalize_with(circuit, global, false),
         other => other,
     }
 }
@@ -213,7 +189,7 @@ fn legalize_with(
     circuit: &Circuit,
     global: &Placement,
     all_pairs: bool,
-) -> Result<(Placement, LegalizeStats), LegalizeError> {
+) -> Result<(Placement, LegalizeStats), PlaceError> {
     let mut planner = SeparationPlanner::new(circuit);
     if all_pairs {
         planner.extend_all_pairs(circuit, global);
@@ -224,7 +200,7 @@ fn legalize_with(
     loop {
         rounds += 1;
         if rounds > 12 {
-            return Err(LegalizeError::RefinementExhausted);
+            return Err(PlaceError::RefinementExhausted);
         }
         // Stage 1 per axis.
         let wx = compact_axis(circuit, 0, planner.x_edges())?;
@@ -251,7 +227,7 @@ fn legalize_with(
             ));
         }
         if !planner.extend_from(circuit, &placement) {
-            return Err(LegalizeError::RefinementExhausted);
+            return Err(PlaceError::RefinementExhausted);
         }
     }
 }

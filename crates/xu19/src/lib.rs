@@ -22,7 +22,7 @@
 //! use analog_netlist::testcases;
 //! use placer_xu19::Xu19Placer;
 //!
-//! # fn main() -> Result<(), placer_xu19::LegalizeError> {
+//! # fn main() -> Result<(), eplace::PlaceError> {
 //! let circuit = testcases::cc_ota();
 //! let result = Xu19Placer::default().place(&circuit)?;
 //! println!("area {:.1} µm², HPWL {:.1} µm", result.area, result.hpwl);
@@ -40,7 +40,12 @@ mod lse;
 mod pipeline;
 
 pub use bell::{bell_kernel, BellDensity};
-pub use global::{run_global, run_global_with_extra, Xu19GlobalConfig, Xu19GlobalStats};
-pub use legalize::{legalize_two_stage, LegalizeError, LegalizeStats};
+pub use global::{
+    run_global, run_global_budgeted, run_global_with_extra, Xu19Checkpoint, Xu19GlobalConfig,
+    Xu19GlobalConfigBuilder, Xu19GlobalStats, Xu19Run,
+};
+#[allow(deprecated)]
+pub use legalize::LegalizeError;
+pub use legalize::{legalize_two_stage, LegalizeStats};
 pub use lse::{lse_spread_with_grad, lse_wirelength};
 pub use pipeline::{Xu19Placer, Xu19Result};

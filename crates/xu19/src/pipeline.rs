@@ -4,10 +4,16 @@
 use std::time::Instant;
 
 use analog_netlist::{Circuit, Placement};
+use eplace::{
+    expect_placer, Checkpoint, CheckpointError, PlaceError, PlaceOutcome, PlaceSolution, Placer,
+    RunBudget,
+};
 use placer_gnn::Network;
 
-use crate::global::{run_global_with_extra, Xu19GlobalConfig};
-use crate::legalize::{legalize_two_stage, LegalizeError};
+use crate::global::{
+    run_global_budgeted, run_global_with_extra, Xu19Checkpoint, Xu19GlobalConfig, Xu19Run,
+};
+use crate::legalize::legalize_two_stage;
 
 /// Result of a baseline placement run.
 #[derive(Debug, Clone)]
@@ -24,6 +30,21 @@ pub struct Xu19Result {
     pub dp_seconds: f64,
 }
 
+impl Xu19Result {
+    /// Converts into the unified [`PlaceSolution`] (global placement is
+    /// stage 1, LP legalization is stage 2).
+    pub fn into_solution(self, iterations: usize) -> PlaceSolution {
+        PlaceSolution {
+            placement: self.placement,
+            hpwl: self.hpwl,
+            area: self.area,
+            stage1_seconds: self.gp_seconds,
+            stage2_seconds: self.dp_seconds,
+            iterations,
+        }
+    }
+}
+
 /// The ISPD'19 analytical analog placer (our reimplementation of \[11\]).
 ///
 /// # Examples
@@ -32,7 +53,7 @@ pub struct Xu19Result {
 /// use analog_netlist::testcases;
 /// use placer_xu19::Xu19Placer;
 ///
-/// # fn main() -> Result<(), placer_xu19::LegalizeError> {
+/// # fn main() -> Result<(), eplace::PlaceError> {
 /// let circuit = testcases::adder();
 /// let result = Xu19Placer::default().place(&circuit)?;
 /// assert!(result.placement.overlapping_pairs(&circuit, 1e-6).is_empty());
@@ -55,8 +76,8 @@ impl Xu19Placer {
     ///
     /// # Errors
     ///
-    /// Propagates [`LegalizeError`] from the LP stages.
-    pub fn place(&self, circuit: &Circuit) -> Result<Xu19Result, LegalizeError> {
+    /// Propagates [`PlaceError`] from the LP stages.
+    pub fn place(&self, circuit: &Circuit) -> Result<Xu19Result, PlaceError> {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("xu19_place");
         let _span = SPAN.enter();
         let t0 = Instant::now();
@@ -84,14 +105,14 @@ impl Xu19Placer {
     ///
     /// # Errors
     ///
-    /// Propagates [`LegalizeError`] from the LP stages.
+    /// Propagates [`PlaceError`] from the LP stages.
     pub fn place_perf(
         &self,
         circuit: &Circuit,
         network: &Network,
         alpha: f64,
         scale: f64,
-    ) -> Result<Xu19Result, LegalizeError> {
+    ) -> Result<Xu19Result, PlaceError> {
         let t0 = Instant::now();
         // Same zero-allocation gradient hook state ePlace-AP uses.
         let mut state = eplace::PerfGradHook::new(circuit, network, alpha, scale);
@@ -109,6 +130,126 @@ impl Xu19Placer {
             dp_seconds,
         })
     }
+
+    fn legalize_outcome(
+        &self,
+        circuit: &Circuit,
+        gp: Placement,
+        iterations: usize,
+        gp_seconds: f64,
+    ) -> Result<PlaceSolution, PlaceError> {
+        let t1 = Instant::now();
+        let (placement, stats) = legalize_two_stage(circuit, &gp)?;
+        let dp_seconds = t1.elapsed().as_secs_f64();
+        Ok(Xu19Result {
+            placement,
+            hpwl: stats.hpwl,
+            area: stats.area,
+            gp_seconds,
+            dp_seconds,
+        }
+        .into_solution(iterations))
+    }
+
+    fn run_engine(
+        &self,
+        circuit: &Circuit,
+        budget: &RunBudget,
+        resume: Option<&Xu19Checkpoint>,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        let t0 = Instant::now();
+        let run = run_global_budgeted(circuit, &self.global, None, Some(budget), resume);
+        let gp_seconds = t0.elapsed().as_secs_f64();
+        match run {
+            Xu19Run::Complete(gp, stats) => Ok(PlaceOutcome::Complete(self.legalize_outcome(
+                circuit,
+                gp,
+                stats.iterations,
+                gp_seconds,
+            )?)),
+            // The expired run's coordinates still legalize: the same LP
+            // stages that finish a full run also repair a partial one.
+            Xu19Run::Exhausted(gp, stats) => Ok(PlaceOutcome::Exhausted(self.legalize_outcome(
+                circuit,
+                gp,
+                stats.iterations,
+                gp_seconds,
+            )?)),
+            Xu19Run::Cancelled(ck) => Ok(PlaceOutcome::Cancelled(encode_checkpoint(circuit, &ck))),
+        }
+    }
+}
+
+impl Placer for Xu19Placer {
+    fn name(&self) -> &'static str {
+        "xu19"
+    }
+
+    fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
+        self.run_engine(circuit, budget, None)
+    }
+
+    fn resume(
+        &self,
+        circuit: &Circuit,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        expect_placer(checkpoint, self.name())?;
+        let ck = decode_checkpoint(checkpoint, circuit, &self.global)?;
+        self.run_engine(circuit, budget, Some(&ck))
+    }
+}
+
+fn bad_checkpoint(message: String) -> PlaceError {
+    PlaceError::BadCheckpoint(CheckpointError { line: 0, message })
+}
+
+fn encode_checkpoint(circuit: &Circuit, ck: &Xu19Checkpoint) -> Checkpoint {
+    let mut out = Checkpoint::new("xu19");
+    out.put_u64("n", circuit.num_devices() as u64);
+    out.put_u64("round", ck.round as u64);
+    out.put_f64("beta", ck.beta);
+    out.put_u64("iterations", ck.iterations as u64);
+    out.put_f64("overflow", ck.overflow);
+    out.put_f64s("x", &ck.x);
+    out
+}
+
+fn decode_checkpoint(
+    ck: &Checkpoint,
+    circuit: &Circuit,
+    cfg: &Xu19GlobalConfig,
+) -> Result<Xu19Checkpoint, PlaceError> {
+    let n = circuit.num_devices();
+    let stored_n = ck.get_u64("n")? as usize;
+    if stored_n != n {
+        return Err(bad_checkpoint(format!(
+            "checkpoint is for a {stored_n}-device circuit, got {n} devices"
+        )));
+    }
+    let x = ck.get_f64s("x")?;
+    if x.len() != 2 * n {
+        return Err(bad_checkpoint(format!(
+            "`x` holds {} coordinates, expected {}",
+            x.len(),
+            2 * n
+        )));
+    }
+    let round = ck.get_u64("round")? as usize;
+    if round >= cfg.rounds {
+        return Err(bad_checkpoint(format!(
+            "`round` {round} out of range for {} rounds",
+            cfg.rounds
+        )));
+    }
+    Ok(Xu19Checkpoint {
+        round,
+        x: x.to_vec(),
+        beta: ck.get_f64("beta")?,
+        iterations: ck.get_u64("iterations")? as usize,
+        overflow: ck.get_f64("overflow")?,
+    })
 }
 
 #[cfg(test)]
@@ -134,5 +275,68 @@ mod tests {
             .place_perf(&c, &network, 0.5, 20.0)
             .unwrap();
         assert!(r.placement.overlapping_pairs(&c, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn trait_place_with_unlimited_budget_matches_legacy() {
+        let c = testcases::cc_ota();
+        let placer = Xu19Placer::default();
+        let legacy = placer.place(&c).unwrap();
+        let outcome = Placer::place(&placer, &c, &RunBudget::unlimited()).unwrap();
+        assert!(outcome.is_complete());
+        let s = outcome.solution().unwrap();
+        assert_eq!(legacy.placement, s.placement);
+        assert_eq!(legacy.hpwl.to_bits(), s.hpwl.to_bits());
+        assert_eq!(legacy.area.to_bits(), s.area.to_bits());
+    }
+
+    #[test]
+    fn cancel_resume_roundtrips_through_the_text_codec() {
+        let c = testcases::cc_ota();
+        let placer = Xu19Placer::default();
+        let reference = Placer::place(&placer, &c, &RunBudget::unlimited()).unwrap();
+
+        for cancel_at in [0u64, 2] {
+            let budget = RunBudget::unlimited();
+            budget.cancel_after_checks(cancel_at);
+            let outcome = Placer::place(&placer, &c, &budget).unwrap();
+            let ck = outcome.checkpoint().expect("cancelled");
+            let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+            let resumed = placer
+                .resume(&c, &decoded, &RunBudget::unlimited())
+                .unwrap();
+            let a = reference.solution().unwrap();
+            let b = resumed.solution().expect("complete after resume");
+            assert_eq!(a.placement, b.placement, "cancel_at={cancel_at}");
+            assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+
+    #[test]
+    fn exhausted_runs_return_legal_placements() {
+        let c = testcases::cc_ota();
+        let placer = Xu19Placer::default();
+        for steps in [1u64, 2] {
+            let outcome = Placer::place(&placer, &c, &RunBudget::steps(steps)).unwrap();
+            assert!(outcome.is_exhausted(), "steps={steps}");
+            let s = outcome.solution().unwrap();
+            assert!(
+                s.placement.is_legal(&c, 1e-6),
+                "steps={steps}: exhausted placement must stay legal"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let c = testcases::adder();
+        let placer = Xu19Placer::default();
+        let mut foreign = Checkpoint::new("sa");
+        foreign.put_u64("n", c.num_devices() as u64);
+        let err = placer
+            .resume(&c, &foreign, &RunBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::BadCheckpoint(_)));
     }
 }
