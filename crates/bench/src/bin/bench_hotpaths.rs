@@ -12,6 +12,13 @@
 //! directory) and exits nonzero if any kernel's speedup fell to less than
 //! half its committed value — speedups are machine-relative ratios, so the
 //! gate ports across hardware where absolute times would not.
+//!
+//! The SIMD-dispatched kernels additionally get one lane per instruction
+//! set the host supports (`wa_grad/scalar`, `wa_grad/avx2`, ...): the seed
+//! reference pinned to the scalar backend vs the shipping path forced to
+//! that ISA. `--check` skips lanes the host cannot measure and, when the
+//! baseline was produced under a different `PLACER_SIMD` selection (e.g.
+//! the forced-scalar CI lane), gates only the per-ISA rows.
 
 use std::time::Instant;
 
@@ -137,7 +144,7 @@ fn parse_speedups(json: &str) -> Vec<(String, f64)> {
 }
 
 struct BenchRow {
-    name: &'static str,
+    name: String,
     detail: String,
     before_ms: f64,
     after_ms: f64,
@@ -192,7 +199,7 @@ fn main() {
             std::hint::black_box(solver.solve_reference(&rho));
         });
         rows.push(BenchRow {
-            name: "poisson_solve",
+            name: "poisson_solve".to_string(),
             detail: format!("{GRID}x{GRID} grid"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -212,7 +219,7 @@ fn main() {
             std::hint::black_box(grid.evaluate_reference(&circuit, &positions));
         });
         rows.push(BenchRow {
-            name: "density_eval",
+            name: "density_eval".to_string(),
             detail: format!("{GRID}x{GRID} grid, 1500 devices"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -235,7 +242,7 @@ fn main() {
             ));
         });
         rows.push(BenchRow {
-            name: "wa_grad",
+            name: "wa_grad".to_string(),
             detail: "4096 devices".to_string(),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -262,7 +269,7 @@ fn main() {
             std::hint::black_box(sp.pack_dims_reference(&widths, &heights));
         });
         rows.push(BenchRow {
-            name: "sa_pack",
+            name: "sa_pack".to_string(),
             detail: format!("{n} blocks, one packing"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -304,7 +311,7 @@ fn main() {
             }
         });
         rows.push(BenchRow {
-            name: "sa_move",
+            name: "sa_move".to_string(),
             detail: format!("cc_ota, {moves} trial moves"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -332,7 +339,7 @@ fn main() {
         });
         placer_parallel::set_max_threads(0);
         rows.push(BenchRow {
-            name: "sa_sweep",
+            name: "sa_sweep".to_string(),
             detail: "cc_ota, 4 chains x 19200 moves (full recompute vs incremental)".to_string(),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -360,7 +367,7 @@ fn main() {
         });
         placer_parallel::set_max_threads(0);
         rows.push(BenchRow {
-            name: "sa_chains",
+            name: "sa_chains".to_string(),
             detail: "cc_ota, 4 chains, 1 thread vs 4 requested threads".to_string(),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -390,7 +397,7 @@ fn main() {
             }
         });
         rows.push(BenchRow {
-            name: "gnn_forward",
+            name: "gnn_forward".to_string(),
             detail: format!("synthetic, {n} nodes, {calls} inferences"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -423,7 +430,7 @@ fn main() {
             }
         });
         rows.push(BenchRow {
-            name: "gnn_posgrad",
+            name: "gnn_posgrad".to_string(),
             detail: format!("synthetic, {n} nodes, {calls} gradient calls"),
             before_ms: before * 1e3,
             after_ms: after * 1e3,
@@ -468,7 +475,7 @@ fn main() {
         });
         placer_parallel::set_max_threads(0);
         rows.push(BenchRow {
-            name: "gnn_fit",
+            name: "gnn_fit".to_string(),
             detail: format!(
                 "scf, 32 samples x {} epochs, batch 8, 1 thread",
                 opts.epochs
@@ -478,19 +485,129 @@ fn main() {
         });
     }
 
+    // --- Per-ISA lanes: the SIMD-dispatched kernels measured under each --
+    // --- backend this host supports. "Before" is the seed reference ------
+    // --- pinned to the scalar backend (the density reference shares the --
+    // --- dispatched row kernels, so the pin matters there); "after" is ---
+    // --- the shipping path forced to the lane's ISA. ---------------------
+    {
+        use placer_simd::Backend;
+
+        // Same workloads as the unsuffixed rows above, rebuilt here so the
+        // lanes stay meaningful if those rows ever change scale.
+        let wa_circuit = synthetic_circuit(4096, 3);
+        let wa_side = (wa_circuit.total_device_area() / 0.5).sqrt();
+        let wa_positions = spiral_positions(&wa_circuit, wa_side);
+        let wa_gamma = wa_side * 0.02;
+        let mut wa_grad_buf = vec![0.0; 2 * wa_circuit.num_devices()];
+
+        let d_circuit = synthetic_circuit(1500, 11);
+        let d_side = (d_circuit.total_device_area() / 0.5).sqrt();
+        let d_positions = spiral_positions(&d_circuit, d_side);
+        let mut d_grid = DensityGrid::new((0.0, 0.0), (d_side, d_side), GRID);
+
+        let sa_circuit = testcases::cc_ota();
+        let sa_model = BlockModel::new(&sa_circuit);
+        let sa_cfg = SaConfig::default();
+        let sa_n = sa_circuit.num_devices();
+        let mut sa_rng = StdRng::seed_from_u64(7);
+        let mut sa_state = SaState {
+            seq_pair: SequencePair::identity(sa_model.len()),
+            flips: vec![(false, false); sa_n],
+        };
+        for _ in 0..4 * sa_model.len() {
+            random_move(&mut sa_state, sa_n, &mut sa_rng);
+        }
+        let mut sa_eval = MoveEvaluator::new(&sa_circuit, &sa_model, &sa_cfg, &sa_state, None);
+        let mut sa_trial = sa_state.clone();
+        let sa_moves = 1000;
+
+        // Reference legs once, pinned to scalar: the "before" column is the
+        // seed cost, identical for every lane of the same kernel.
+        placer_simd::force(Some(Backend::Scalar));
+        let wa_before = time_median(samples, || {
+            std::hint::black_box(wa_wirelength_reference(
+                &wa_circuit,
+                &wa_positions,
+                wa_gamma,
+                &mut wa_grad_buf,
+            ));
+        });
+        let d_before = time_median(samples, || {
+            std::hint::black_box(d_grid.evaluate_reference(&d_circuit, &d_positions));
+        });
+        let sa_before = time_median(samples, || {
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..sa_moves {
+                sa_trial.copy_from(&sa_state);
+                random_move(&mut sa_trial, sa_n, &mut rng);
+                std::hint::black_box(evaluate(&sa_circuit, &sa_model, &sa_trial, &sa_cfg, None));
+            }
+        });
+
+        for isa in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
+            if isa > placer_simd::detected() {
+                continue;
+            }
+            placer_simd::force(Some(isa));
+            let wa_after = time_median(samples, || {
+                std::hint::black_box(wa_wirelength(
+                    &wa_circuit,
+                    &wa_positions,
+                    wa_gamma,
+                    &mut wa_grad_buf,
+                ));
+            });
+            rows.push(BenchRow {
+                name: format!("wa_grad/{}", isa.name()),
+                detail: "4096 devices, seed reference vs dispatched".to_string(),
+                before_ms: wa_before * 1e3,
+                after_ms: wa_after * 1e3,
+            });
+            let d_after = time_median(samples, || {
+                std::hint::black_box(d_grid.evaluate(&d_circuit, &d_positions));
+            });
+            rows.push(BenchRow {
+                name: format!("density_eval/{}", isa.name()),
+                detail: format!("{GRID}x{GRID} grid, 1500 devices, seed reference vs dispatched"),
+                before_ms: d_before * 1e3,
+                after_ms: d_after * 1e3,
+            });
+            let sa_after = time_median(samples, || {
+                let mut rng = StdRng::seed_from_u64(99);
+                for _ in 0..sa_moves {
+                    sa_trial.copy_from(&sa_state);
+                    random_move(&mut sa_trial, sa_n, &mut rng);
+                    std::hint::black_box(sa_eval.eval_trial(&sa_trial));
+                }
+            });
+            rows.push(BenchRow {
+                name: format!("sa_move/{}", isa.name()),
+                detail: format!("cc_ota, {sa_moves} trial moves, oracle vs dispatched"),
+                before_ms: sa_before * 1e3,
+                after_ms: sa_after * 1e3,
+            });
+        }
+        // Back to env/CPUID resolution so the fingerprint below records the
+        // backend a normal run of this build would use.
+        placer_simd::force(None);
+    }
+
     // Host/config fingerprint: timings are only comparable between runs
     // that share the build profile and feature set; the thread count and
     // host matter less (the gate compares machine-relative ratios) but are
     // recorded so drifts can be explained.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"quick\": {quick},\n  \"os\": \"{}\",\n  \"arch\": \"{}\",\n  \"profile\": \"{}\",\n  \"parallel\": {},\n  \"telemetry\": {},\n  \"threads\": {},\n  \"benches\": [\n",
+        "  \"quick\": {quick},\n  \"os\": \"{}\",\n  \"arch\": \"{}\",\n  \"profile\": \"{}\",\n  \"parallel\": {},\n  \"telemetry\": {},\n  \"threads\": {},\n  \"simd_detected\": \"{}\",\n  \"simd_selected\": \"{}\",\n  \"benches\": [\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
         if cfg!(debug_assertions) { "debug" } else { "release" },
         cfg!(feature = "parallel"),
         cfg!(feature = "telemetry"),
-        placer_parallel::max_threads()
+        placer_parallel::max_threads(),
+        placer_simd::detected().name(),
+        placer_simd::selected().name()
     ));
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.before_ms / r.after_ms;
@@ -504,7 +621,7 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
         println!(
-            "{:<16} {:<44} before {:>9.3} ms   after {:>9.3} ms   {:>5.2}x",
+            "{:<20} {:<44} before {:>9.3} ms   after {:>9.3} ms   {:>5.2}x",
             r.name, r.detail, r.before_ms, r.after_ms, speedup
         );
     }
@@ -549,7 +666,39 @@ fn main() {
                 );
             }
         }
+        // A per-ISA lane (`wa_grad/avx2`, ...) only gates on hosts that can
+        // measure it; unsuffixed rows only gate when both runs dispatched
+        // to the same SIMD backend — a forced-scalar lane would otherwise
+        // "regress" every kernel whose committed speedup includes SIMD.
+        let detected = placer_simd::detected();
+        let baseline_simd = parse_scalar(&baseline, "simd_selected");
+        let current_simd = parse_scalar(&json, "simd_selected");
+        let simd_mismatch = baseline_simd.is_some() && baseline_simd != current_simd;
+        if simd_mismatch {
+            println!(
+                "check: note: SIMD backend differs (baseline {}, this run {}); \
+                 gating only the matching per-ISA lanes",
+                baseline_simd.unwrap_or("<missing>"),
+                current_simd.unwrap_or("<missing>")
+            );
+        }
         for (name, want) in &committed {
+            if let Some((_, isa)) = name.split_once('/') {
+                let measurable = match placer_simd::Backend::parse(isa) {
+                    Some(b) => b <= detected,
+                    None => false,
+                };
+                if !measurable {
+                    println!(
+                        "check: skipping {name} (host supports up to {})",
+                        detected.name()
+                    );
+                    continue;
+                }
+            } else if simd_mismatch {
+                println!("check: skipping {name} (SIMD backend differs from baseline)");
+                continue;
+            }
             let Some((_, got)) = current.iter().find(|(n, _)| n == name) else {
                 println!("check: kernel {name} missing from current run");
                 failed = true;

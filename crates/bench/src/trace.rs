@@ -77,6 +77,7 @@ pub fn with_trace<T>(circuit: &str, placer: &str, seed: u64, f: impl FnOnce() ->
         ("placer", Field::S(placer)),
         ("seed", Field::U(seed)),
         ("threads", Field::U(placer_parallel::max_threads() as u64)),
+        ("simd", Field::S(placer_simd::selected().name())),
         ("parallel", Field::B(cfg!(feature = "parallel"))),
         ("telemetry", Field::B(tracing_compiled())),
         (

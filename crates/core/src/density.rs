@@ -60,14 +60,15 @@ fn scatter_one(
     let bx1 = clampi(((x1 / bin.0).ceil() as isize) - 1);
     let by0 = clampi((y0 / bin.1).floor() as isize);
     let by1 = clampi(((y1 / bin.1).ceil() as isize) - 1);
+    // Rows are contiguous in the row-major grid, so each y-slab hands one
+    // row slice to the dispatched kernel (bit-exact under every backend:
+    // the per-cell charge is a pure elementwise map).
+    let data = grid.as_mut_slice();
     for by in by0..=by1 {
         let cell_y0 = by as f64 * bin.1;
         let oy = (y1.min(cell_y0 + bin.1) - y0.max(cell_y0)).max(0.0);
-        for bx in bx0..=bx1 {
-            let cell_x0 = bx as f64 * bin.0;
-            let ox = (x1.min(cell_x0 + bin.0) - x0.max(cell_x0)).max(0.0);
-            grid.add(bx, by, ox * oy / bin_area);
-        }
+        let row = &mut data[by * dim + bx0..=by * dim + bx1];
+        placer_simd::scatter_row(row, bx0, bin.0, x0, x1, oy, bin_area);
     }
     (bx0 as u32, bx1 as u32, by0 as u32, by1 as u32)
 }
@@ -93,16 +94,27 @@ fn gather_one(
     let y1 = cy + height / 2.0 - origin.1;
     let mut fx = 0.0;
     let mut fy = 0.0;
+    // The force accumulators thread across rows (seed order); within a row
+    // the dispatched kernel may re-associate the sum (bounded-ULP under
+    // SIMD backends, seed-exact under scalar).
+    let dim = ex.nx();
+    let (exs, eys) = (ex.as_slice(), ey.as_slice());
     for by in by0 as usize..=by1 as usize {
         let cell_y0 = by as f64 * bin.1;
         let oy = (y1.min(cell_y0 + bin.1) - y0.max(cell_y0)).max(0.0);
-        for bx in bx0 as usize..=bx1 as usize {
-            let cell_x0 = bx as f64 * bin.0;
-            let ox = (x1.min(cell_x0 + bin.0) - x0.max(cell_x0)).max(0.0);
-            let q = ox * oy / bin_area;
-            fx += q * ex.get(bx, by);
-            fy += q * ey.get(bx, by);
-        }
+        let r = by * dim + bx0 as usize..=by * dim + bx1 as usize;
+        placer_simd::gather_row(
+            &exs[r.clone()],
+            &eys[r],
+            bx0 as usize,
+            bin.0,
+            x0,
+            x1,
+            oy,
+            bin_area,
+            &mut fx,
+            &mut fy,
+        );
     }
     (fx, fy)
 }

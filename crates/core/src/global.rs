@@ -237,9 +237,7 @@ impl GlobalPlacer {
             grad.iter_mut().for_each(|g| *g = 0.0);
             smoothed_wirelength(circuit, &pts, gamma, &mut grad, cfg.smoothing);
             let eval = density.evaluate(circuit, &pts);
-            for (g, dg) in grad.iter_mut().zip(&eval.grad) {
-                *g += lambda * dg;
-            }
+            placer_simd::axpy(&mut grad, lambda, &eval.grad);
             symmetry_penalty(circuit, &pts, tau, &mut grad);
             if eta > 0.0 {
                 area_term(circuit, &pts, gamma, eta, &mut grad);

@@ -6,6 +6,32 @@
 
 use analog_netlist::Circuit;
 
+/// Flat per-block staging for the batched spread accumulation: every
+/// multi-pin net in a net block contributes its pin coordinates and
+/// stabilized exponent arguments to these arrays, so the exponentials run
+/// as a handful of long [`placer_simd::exp_slice`] sweeps instead of one
+/// tiny kernel call per 2–10-pin analog net (per-net dispatch overhead
+/// dwarfed the work). Each block call owns its own scratch, so parallel
+/// blocks stay independent.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Pin x/y coordinates, concatenated in net order.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Exponent arguments, overwritten in place with their exponentials:
+    /// `e^{(x−xmax)/γ}` (max side) and `e^{(xmin−x)/γ}` (min side).
+    ep_x: Vec<f64>,
+    em_x: Vec<f64>,
+    ep_y: Vec<f64>,
+    em_y: Vec<f64>,
+    /// Flat-array start offset of each staged net, plus a final sentinel.
+    starts: Vec<u32>,
+    /// Net index (into `circuit.nets()`) of each staged net.
+    nets: Vec<u32>,
+    /// Per-net coordinate extremes `(xmin, xmax, ymin, ymax)`.
+    ext: Vec<(f64, f64, f64, f64)>,
+}
+
 /// One axis of WA smoothing over a coordinate set: returns the smoothed
 /// spread and fills `grads` (∂WA/∂xᵢ aligned with `coords`).
 ///
@@ -150,11 +176,11 @@ fn net_blocks(n_nets: usize, n_devices: usize) -> usize {
 /// Accumulates one contiguous net range: adds each net's weighted spread
 /// gradient into `grad` (assumed zeroed) and returns the range's smoothed
 /// wirelength.
-fn accumulate_nets(
+fn accumulate_nets<F: FnMut(&[f64], f64, &mut [f64]) -> f64>(
     circuit: &Circuit,
     positions: &[(f64, f64)],
     gamma: f64,
-    spread: fn(&[f64], f64, &mut [f64]) -> f64,
+    mut spread: F,
     range: std::ops::Range<usize>,
     grad: &mut [f64],
 ) -> f64 {
@@ -190,6 +216,204 @@ fn accumulate_nets(
     total
 }
 
+/// Accumulates one net range with batched exponentials, owning the flat
+/// staging scratch for that range (each parallel block carries its own, so
+/// blocks stay independent).
+///
+/// Four phases per block: (1) gather every multi-pin net's pin coordinates
+/// into flat arrays; (2) per net, fold the coordinate extremes and write
+/// the stabilized exponent arguments `(x−xmax)/γ` / `(xmin−x)/γ` — the
+/// seed's exact expressions; (3) exponentiate all four argument arrays
+/// with [`placer_simd::exp_slice`], the only dispatched step — one long
+/// sweep per array instead of a kernel call per tiny net; (4) per net,
+/// accumulate the weight sums, value and gradient in the seed's op order,
+/// reusing the stored exponentials for the gradient (same expressions on
+/// the same inputs, so the reuse is bit-identical to the seed's
+/// recomputation — and halves the exp count).
+///
+/// Under the forced-scalar backend every phase is bit-identical to the
+/// seed accumulation ([`accumulate_nets`] over [`wa_spread_with_grad`] /
+/// [`lse_spread_with_grad`]): the gather, folds, sums and scatter are the
+/// same scalar sequences per accumulator, and scalar `exp_slice` is
+/// `f64::exp` per element in order. Under AVX2/AVX-512 only the
+/// exponentials differ (≤ 2-ULP vector polynomial), so results are
+/// bounded-ULP (see the contract table in `placer_simd`).
+fn accumulate_nets_simd(
+    circuit: &Circuit,
+    positions: &[(f64, f64)],
+    gamma: f64,
+    smoothing: crate::Smoothing,
+    range: std::ops::Range<usize>,
+    grad: &mut [f64],
+) -> f64 {
+    let n = circuit.num_devices();
+    let nets = circuit.nets();
+    let mut sc = BatchScratch::default();
+
+    // Phase 1: gather pin coordinates of every multi-pin net in the range.
+    for ni in range {
+        let net = &nets[ni];
+        if net.pins.len() < 2 {
+            continue;
+        }
+        sc.starts.push(sc.xs.len() as u32);
+        sc.nets.push(ni as u32);
+        for p in &net.pins {
+            let d = circuit.device(p.device);
+            let (cx, cy) = positions[p.device.index()];
+            let (ox, oy) = d.pins[p.pin.index()].offset;
+            sc.xs.push(cx - d.width / 2.0 + ox);
+            sc.ys.push(cy - d.height / 2.0 + oy);
+        }
+    }
+    sc.starts.push(sc.xs.len() as u32);
+    let m = sc.xs.len();
+    sc.ep_x.resize(m, 0.0);
+    sc.em_x.resize(m, 0.0);
+    sc.ep_y.resize(m, 0.0);
+    sc.em_y.resize(m, 0.0);
+
+    // Phase 2: per-net extremes (the seed's separate max/min folds, fused
+    // — per-accumulator sequences unchanged) and exponent arguments.
+    for k in 0..sc.nets.len() {
+        let (s, e) = (sc.starts[k] as usize, sc.starts[k + 1] as usize);
+        let mut xmax = f64::NEG_INFINITY;
+        let mut xmin = f64::INFINITY;
+        let mut ymax = f64::NEG_INFINITY;
+        let mut ymin = f64::INFINITY;
+        for j in s..e {
+            xmax = xmax.max(sc.xs[j]);
+            xmin = xmin.min(sc.xs[j]);
+            ymax = ymax.max(sc.ys[j]);
+            ymin = ymin.min(sc.ys[j]);
+        }
+        sc.ext.push((xmin, xmax, ymin, ymax));
+        for j in s..e {
+            sc.ep_x[j] = (sc.xs[j] - xmax) / gamma;
+            sc.em_x[j] = (xmin - sc.xs[j]) / gamma;
+            sc.ep_y[j] = (sc.ys[j] - ymax) / gamma;
+            sc.em_y[j] = (ymin - sc.ys[j]) / gamma;
+        }
+    }
+
+    // Phase 3: one vectorized exponential sweep per argument array — the
+    // block's entire exp workload, batched so the SIMD lanes stay full.
+    placer_simd::exp_slice(&mut sc.ep_x);
+    placer_simd::exp_slice(&mut sc.em_x);
+    placer_simd::exp_slice(&mut sc.ep_y);
+    placer_simd::exp_slice(&mut sc.em_y);
+
+    // Phase 4: per-net sums, value and gradient scatter, in net order.
+    let mut total = 0.0;
+    for k in 0..sc.nets.len() {
+        let net = &nets[sc.nets[k] as usize];
+        let (s, e) = (sc.starts[k] as usize, sc.starts[k + 1] as usize);
+        let (xmin, xmax, ymin, ymax) = sc.ext[k];
+        let (wx, wy) = match smoothing {
+            crate::Smoothing::Wa => {
+                let wx = wa_finish(
+                    &sc.xs[s..e],
+                    &sc.ep_x[s..e],
+                    &sc.em_x[s..e],
+                    gamma,
+                    net,
+                    &mut grad[..n],
+                );
+                let wy = wa_finish(
+                    &sc.ys[s..e],
+                    &sc.ep_y[s..e],
+                    &sc.em_y[s..e],
+                    gamma,
+                    net,
+                    &mut grad[n..],
+                );
+                (wx, wy)
+            }
+            crate::Smoothing::Lse => {
+                let wx = lse_finish(
+                    &sc.ep_x[s..e],
+                    &sc.em_x[s..e],
+                    gamma,
+                    xmin,
+                    xmax,
+                    net,
+                    &mut grad[..n],
+                );
+                let wy = lse_finish(
+                    &sc.ep_y[s..e],
+                    &sc.em_y[s..e],
+                    gamma,
+                    ymin,
+                    ymax,
+                    net,
+                    &mut grad[n..],
+                );
+                (wx, wy)
+            }
+        };
+        total += net.weight * (wx + wy);
+    }
+    total
+}
+
+/// One axis of the WA finish for one net: weight sums, value and gradient
+/// scatter from the stored exponentials — the seed's accumulation and
+/// gradient passes, op for op (the `x`/`y` halves of `grad` are disjoint,
+/// so scattering the axes in separate calls keeps every accumulator's
+/// add sequence identical to the seed's fused scatter loop).
+fn wa_finish(
+    coords: &[f64],
+    ep: &[f64],
+    em: &[f64],
+    gamma: f64,
+    net: &analog_netlist::Net,
+    grad_axis: &mut [f64],
+) -> f64 {
+    let mut s1 = 0.0;
+    let mut s1x = 0.0;
+    let mut s2 = 0.0;
+    let mut s2x = 0.0;
+    for j in 0..coords.len() {
+        let x = coords[j];
+        s1 += ep[j];
+        s1x += x * ep[j];
+        s2 += em[j];
+        s2x += x * em[j];
+    }
+    let wa_max = s1x / s1;
+    let wa_min = s2x / s2;
+    for (j, p) in net.pins.iter().enumerate() {
+        let x = coords[j];
+        let dmax = ep[j] / s1 * (1.0 + (x - wa_max) / gamma);
+        let dmin = em[j] / s2 * (1.0 - (x - wa_min) / gamma);
+        grad_axis[p.device.index()] += net.weight * (dmax - dmin);
+    }
+    wa_max - wa_min
+}
+
+/// One axis of the LSE finish for one net (see [`wa_finish`]).
+fn lse_finish(
+    ep: &[f64],
+    em: &[f64],
+    gamma: f64,
+    xmin: f64,
+    xmax: f64,
+    net: &analog_netlist::Net,
+    grad_axis: &mut [f64],
+) -> f64 {
+    let mut s_max = 0.0;
+    let mut s_min = 0.0;
+    for j in 0..ep.len() {
+        s_max += ep[j];
+        s_min += em[j];
+    }
+    let value = xmax + gamma * s_max.ln() - xmin + gamma * s_min.ln();
+    for (j, p) in net.pins.iter().enumerate() {
+        grad_axis[p.device.index()] += net.weight * (ep[j] / s_max - em[j] / s_min);
+    }
+    value
+}
+
 /// Smoothed total wirelength with a selectable smoother.
 ///
 /// Large circuits decompose into fixed net blocks: each block accumulates
@@ -212,14 +436,10 @@ pub fn smoothed_wirelength(
     assert_eq!(positions.len(), n, "positions length mismatch");
     assert_eq!(grad.len(), 2 * n, "gradient length mismatch");
     grad.iter_mut().for_each(|g| *g = 0.0);
-    let spread = match smoothing {
-        crate::Smoothing::Wa => wa_spread_with_grad,
-        crate::Smoothing::Lse => lse_spread_with_grad,
-    };
     let n_nets = circuit.nets().len();
     let blocks = placer_parallel::fixed_blocks(n_nets, net_blocks(n_nets, n));
     if blocks.len() <= 1 {
-        return accumulate_nets(circuit, positions, gamma, spread, 0..n_nets, grad);
+        return accumulate_nets_simd(circuit, positions, gamma, smoothing, 0..n_nets, grad);
     }
     if placer_parallel::max_threads() <= 1 {
         // Same partial-buffer structure as the threaded path so the
@@ -228,7 +448,7 @@ pub fn smoothed_wirelength(
         let mut total = 0.0;
         for r in blocks {
             partial.iter_mut().for_each(|p| *p = 0.0);
-            total += accumulate_nets(circuit, positions, gamma, spread, r, &mut partial);
+            total += accumulate_nets_simd(circuit, positions, gamma, smoothing, r, &mut partial);
             for (g, &p) in grad.iter_mut().zip(&partial) {
                 *g += p;
             }
@@ -237,11 +457,11 @@ pub fn smoothed_wirelength(
     }
     let parts = placer_parallel::par_map(blocks.len(), |b| {
         let mut partial = vec![0.0; 2 * n];
-        let t = accumulate_nets(
+        let t = accumulate_nets_simd(
             circuit,
             positions,
             gamma,
-            spread,
+            smoothing,
             blocks[b].clone(),
             &mut partial,
         );
@@ -377,6 +597,52 @@ mod tests {
             (smooth - exact).abs() / exact < 0.02,
             "smooth {smooth} vs exact {exact}"
         );
+    }
+
+    #[test]
+    fn simd_wirelength_tracks_seed_reference() {
+        // The dispatched path re-associates lane sums and uses the vector
+        // exp, so it is bounded-ULP (not bit-exact) against the seed
+        // single-pass accumulation under SIMD backends — and bit-identical
+        // under PLACER_SIMD=scalar, which the forced-scalar CI lane pins.
+        let c = testcases::cc_ota();
+        let n = c.num_devices();
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 4) as f64 * 4.0, (i / 4) as f64 * 3.0))
+            .collect();
+        for gamma in [0.1, 1.0, 8.0] {
+            let mut grad = vec![0.0; 2 * n];
+            let mut grad_ref = vec![0.0; 2 * n];
+            let w = wa_wirelength(&c, &positions, gamma, &mut grad);
+            let w_ref = wa_wirelength_reference(&c, &positions, gamma, &mut grad_ref);
+            assert!(
+                (w - w_ref).abs() <= 1e-9 * w_ref.abs(),
+                "gamma {gamma}: simd {w} vs reference {w_ref}"
+            );
+            for (i, (g, gr)) in grad.iter().zip(&grad_ref).enumerate() {
+                assert!((g - gr).abs() < 1e-9, "grad[{i}]: {g} vs {gr}");
+            }
+
+            let mut grad_lse = vec![0.0; 2 * n];
+            let mut grad_lse_ref = vec![0.0; 2 * n];
+            let l =
+                smoothed_wirelength(&c, &positions, gamma, &mut grad_lse, crate::Smoothing::Lse);
+            let l_ref = accumulate_nets(
+                &c,
+                &positions,
+                gamma,
+                lse_spread_with_grad,
+                0..c.nets().len(),
+                &mut grad_lse_ref,
+            );
+            assert!(
+                (l - l_ref).abs() <= 1e-9 * l_ref.abs(),
+                "gamma {gamma}: lse simd {l} vs reference {l_ref}"
+            );
+            for (i, (g, gr)) in grad_lse.iter().zip(&grad_lse_ref).enumerate() {
+                assert!((g - gr).abs() < 1e-9, "lse grad[{i}]: {g} vs {gr}");
+            }
+        }
     }
 
     #[test]

@@ -111,9 +111,9 @@ impl CsrAdjacency {
             let e = self.row_start[i + 1] as usize;
             for (&k, &v) in self.col[s..e].iter().zip(&self.val[s..e]) {
                 let src = &rhs_data[k as usize * cols..(k as usize + 1) * cols];
-                for (o, &r) in row.iter_mut().zip(src) {
-                    *o += v * r;
-                }
+                // Elementwise multiply-add (no FMA, no re-association), so
+                // the SIMD dispatch preserves the bit-identity contract.
+                placer_simd::axpy(row, v, src);
             }
         }
     }

@@ -137,14 +137,16 @@ impl Matrix {
         );
         out.data.iter_mut().for_each(|v| *v = 0.0);
         for i in 0..self.rows {
+            let row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let aik = self.data[i * self.cols + k];
                 if aik == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out.data[i * rhs.cols + j] += aik * rhs.data[k * rhs.cols + j];
-                }
+                let src = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                // Elementwise multiply-add keeps this bit-identical to the
+                // scalar loop under every SIMD backend.
+                placer_simd::axpy(row, aik, src);
             }
         }
     }
@@ -175,9 +177,7 @@ impl Matrix {
                     continue;
                 }
                 let src = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in row.iter_mut().zip(src) {
-                    *o += aik * r;
-                }
+                placer_simd::axpy(row, aik, src);
             }
         }
     }

@@ -168,6 +168,7 @@ impl JobEngine {
             placer: spec.placer.clone(),
             status: JobStatus::Failed,
             seed: 0,
+            simd: placer_simd::selected().name(),
             retries: 0,
             wall_ms: 0.0,
             deadline_slack_ms: None,

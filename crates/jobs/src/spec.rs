@@ -274,6 +274,9 @@ pub struct JobReport {
     pub status: JobStatus,
     /// Seed the final attempt ran with.
     pub seed: u64,
+    /// SIMD backend the placer kernels dispatched to (`scalar` / `avx2` /
+    /// `avx512`, after any `PLACER_SIMD` override).
+    pub simd: &'static str,
     /// Failed attempts that were retried before the final one.
     pub retries: u32,
     /// Wall-clock time of the final attempt (ms).
@@ -298,12 +301,13 @@ impl JobReport {
     /// Serializes the report as one JSONL line.
     pub fn to_line(&self) -> String {
         let mut out = format!(
-            r#"{{"id": "{}", "circuit": "{}", "placer": "{}", "status": "{}", "seed": {}, "retries": {}, "wall_ms": {}"#,
+            r#"{{"id": "{}", "circuit": "{}", "placer": "{}", "status": "{}", "seed": {}, "simd": "{}", "retries": {}, "wall_ms": {}"#,
             escape(&self.id),
             escape(&self.circuit),
             escape(&self.placer),
             self.status.as_str(),
             self.seed,
+            self.simd,
             self.retries,
             number(self.wall_ms),
         );
@@ -385,6 +389,7 @@ mod tests {
             placer: "xu19".into(),
             status: JobStatus::Exhausted,
             seed: 1,
+            simd: "scalar",
             retries: 0,
             wall_ms: 12.5,
             deadline_slack_ms: Some(-2.5),

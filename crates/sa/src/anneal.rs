@@ -605,8 +605,19 @@ fn anneal_multi(
             ),
         }
     };
-    let outcomes = if chains == 1 {
-        vec![run_one(0)]
+    // Thread fan-out only pays once each chain carries real work: below
+    // this many device-moves per chain (schedule length × moves × devices),
+    // spawn/join overhead exceeds the chain runtime and the bench showed a
+    // net regression (sa_chains 0.92× at ~44k device-moves). Chains are
+    // fully independent and each owns its RNG stream, so serial and
+    // threaded execution are bit-identical — the threshold only moves the
+    // crossover point.
+    const CHAIN_WORK_THRESHOLD: u64 = 500_000;
+    let chain_work = config.temperatures as u64
+        * config.moves_per_temperature as u64
+        * circuit.num_devices().max(1) as u64;
+    let outcomes = if chains == 1 || chain_work < CHAIN_WORK_THRESHOLD {
+        (0..chains).map(run_one).collect()
     } else {
         placer_parallel::par_map(chains, run_one)
     };

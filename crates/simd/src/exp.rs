@@ -1,0 +1,118 @@
+//! Vectorized `exp` for f64 lanes (Cephes `expd`-style).
+//!
+//! Range reduction `x = n·ln2 + r` with a Cody–Waite split of ln2, a
+//! degree-(2,3) rational approximation of `expm1(r)/r` on the reduced
+//! interval, and exponent reconstruction through the IEEE bit pattern.
+//! Accuracy is ≤ 2 ULP of `f64::exp` over the full finite range (the
+//! proptests pin a relative error of 1e-15); inputs below the underflow
+//! threshold flush to `0.0` and above the overflow threshold saturate to
+//! `+inf`, matching `f64::exp`'s limits.
+//!
+//! The scalar backends never call this — they use `f64::exp` so the
+//! forced-scalar lane stays bit-identical to the pre-SIMD seed paths.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// log2(e), for `n = round(x / ln 2)`.
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+/// High part of ln 2 (Cody–Waite).
+const C1: f64 = 6.931_457_519_531_25e-1;
+/// Low part of ln 2 (Cody–Waite).
+const C2: f64 = 1.428_606_820_309_417_2e-6;
+/// Above this, `exp` overflows to `+inf`.
+const MAX_X: f64 = 709.437;
+/// Below this, `exp` underflows to `0.0` (the subnormal tail is flushed —
+/// WA/LSE weights that small contribute nothing to the sums).
+const MIN_X: f64 = -708.396_418_532_264_1;
+
+const P0: f64 = 1.261_771_930_748_105_9e-4;
+const P1: f64 = 3.029_944_077_074_419_6e-2;
+const P2: f64 = 9.999_999_999_999_999e-1;
+const Q0: f64 = 3.001_985_051_386_644_6e-6;
+const Q1: f64 = 2.524_483_403_496_841e-3;
+const Q2: f64 = 2.272_655_482_081_550_3e-1;
+const Q3: f64 = 2.0;
+
+/// 4-lane `exp`.
+///
+/// # Safety
+///
+/// Requires AVX2 + FMA (callers are themselves `#[target_feature]`
+/// functions guarded by dispatch).
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn exp_pd_avx2(x: __m256d) -> __m256d {
+    let n = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(_mm256_mul_pd(
+        x,
+        _mm256_set1_pd(LOG2E),
+    ));
+    // r = x - n*C1 - n*C2 (two-step Cody–Waite).
+    let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(C1), x);
+    let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(C2), r);
+    let rr = _mm256_mul_pd(r, r);
+    // p = r · P(r²)
+    let p = _mm256_fmadd_pd(_mm256_set1_pd(P0), rr, _mm256_set1_pd(P1));
+    let p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(P2));
+    let p = _mm256_mul_pd(p, r);
+    // q = Q(r²)
+    let q = _mm256_fmadd_pd(_mm256_set1_pd(Q0), rr, _mm256_set1_pd(Q1));
+    let q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(Q2));
+    let q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(Q3));
+    // expm1(r) = 2·p/(q − p); exp(r) = 1 + expm1(r).
+    let e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+    let e = _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), _mm256_set1_pd(1.0));
+    // Scale by 2^n through the exponent bits.
+    let n_i32 = _mm256_cvtpd_epi32(n);
+    let n_i64 = _mm256_cvtepi32_epi64(n_i32);
+    let pow2 = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(
+        n_i64,
+        _mm256_set1_epi64x(1023),
+    )));
+    let y = _mm256_mul_pd(e, pow2);
+    // Saturate the extremes.
+    let y = _mm256_blendv_pd(
+        y,
+        _mm256_set1_pd(f64::INFINITY),
+        _mm256_cmp_pd::<_CMP_GT_OQ>(x, _mm256_set1_pd(MAX_X)),
+    );
+    _mm256_blendv_pd(
+        y,
+        _mm256_setzero_pd(),
+        _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_set1_pd(MIN_X)),
+    )
+}
+
+/// 8-lane `exp`.
+///
+/// # Safety
+///
+/// Requires AVX-512F.
+#[target_feature(enable = "avx512f")]
+pub(crate) unsafe fn exp_pd_avx512(x: __m512d) -> __m512d {
+    let n = _mm512_roundscale_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+        _mm512_mul_pd(x, _mm512_set1_pd(LOG2E)),
+    );
+    let r = _mm512_fnmadd_pd(n, _mm512_set1_pd(C1), x);
+    let r = _mm512_fnmadd_pd(n, _mm512_set1_pd(C2), r);
+    let rr = _mm512_mul_pd(r, r);
+    let p = _mm512_fmadd_pd(_mm512_set1_pd(P0), rr, _mm512_set1_pd(P1));
+    let p = _mm512_fmadd_pd(p, rr, _mm512_set1_pd(P2));
+    let p = _mm512_mul_pd(p, r);
+    let q = _mm512_fmadd_pd(_mm512_set1_pd(Q0), rr, _mm512_set1_pd(Q1));
+    let q = _mm512_fmadd_pd(q, rr, _mm512_set1_pd(Q2));
+    let q = _mm512_fmadd_pd(q, rr, _mm512_set1_pd(Q3));
+    let e = _mm512_div_pd(p, _mm512_sub_pd(q, p));
+    let e = _mm512_fmadd_pd(e, _mm512_set1_pd(2.0), _mm512_set1_pd(1.0));
+    let n_i32 = _mm512_cvtpd_epi32(n);
+    let n_i64 = _mm512_cvtepi32_epi64(n_i32);
+    let pow2 = _mm512_castsi512_pd(_mm512_slli_epi64::<52>(_mm512_add_epi64(
+        n_i64,
+        _mm512_set1_epi64(1023),
+    )));
+    let y = _mm512_mul_pd(e, pow2);
+    let over = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(x, _mm512_set1_pd(MAX_X));
+    let under = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(x, _mm512_set1_pd(MIN_X));
+    let y = _mm512_mask_blend_pd(over, y, _mm512_set1_pd(f64::INFINITY));
+    _mm512_mask_blend_pd(under, y, _mm512_setzero_pd())
+}

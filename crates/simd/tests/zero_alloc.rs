@@ -1,0 +1,128 @@
+//! Verifies the SIMD kernels' zero-allocation contract with a counting
+//! global allocator: once dispatch has resolved (the first `selected()`
+//! call may read `PLACER_SIMD` from the environment, which allocates),
+//! every kernel in the crate runs entirely on caller-provided buffers.
+//!
+//! This file must hold exactly one test: other tests running concurrently
+//! in the same binary would bump the counters and produce false failures.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use placer_simd::{DeviceArrays, PinArrays};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a side
+// effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn kernels_allocate_nothing_after_dispatch_resolves() {
+    // Resolve dispatch (may read the environment) and build every input
+    // buffer before the measured window.
+    let backend = placer_simd::selected();
+    let n = 37; // odd on purpose: exercises every SIMD tail
+    let coords: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 20.0).collect();
+    let mut ep = vec![0.0; n];
+    let mut em = vec![0.0; n];
+    let mut grads = vec![0.0; n];
+    let mut acc: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let mut row = vec![0.0; n];
+    let ex: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    let ey: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+    let nd = 9;
+    let pos_x: Vec<f64> = (0..nd).map(|i| i as f64 * 3.0).collect();
+    let pos_y: Vec<f64> = (0..nd).map(|i| i as f64 * 2.0).collect();
+    let flip_x: Vec<f64> = (0..nd).map(|i| (i % 2) as f64).collect();
+    let flip_y: Vec<f64> = (0..nd).map(|i| (i % 3 == 0) as u8 as f64).collect();
+    let halfw_d: Vec<f64> = (0..nd).map(|i| 0.5 + i as f64 * 0.1).collect();
+    let halfh_d: Vec<f64> = (0..nd).map(|i| 0.4 + i as f64 * 0.1).collect();
+    let dev: Vec<u32> = (0..n).map(|i| (i % nd) as u32).collect();
+    let halfw: Vec<f64> = (0..n).map(|i| 0.5 + (i % 4) as f64 * 0.25).collect();
+    let halfh: Vec<f64> = (0..n).map(|i| 0.3 + (i % 3) as f64 * 0.25).collect();
+    let offx: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.1).collect();
+    let offx_flip: Vec<f64> = offx.iter().map(|o| 1.0 - o).collect();
+    let offy: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.1).collect();
+    let offy_flip: Vec<f64> = offy.iter().map(|o| 0.8 - o).collect();
+    let mut out_x = vec![0.0; n];
+    let mut out_y = vec![0.0; n];
+    let pins = PinArrays {
+        dev: &dev,
+        halfw: &halfw,
+        halfh: &halfh,
+        offx: &offx,
+        offx_flip: &offx_flip,
+        offy: &offy,
+        offy_flip: &offy_flip,
+    };
+    let devs = DeviceArrays {
+        pos_x: &pos_x,
+        pos_y: &pos_y,
+        flip_x: &flip_x,
+        flip_y: &flip_y,
+    };
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut sink = 0.0;
+    for _ in 0..50 {
+        let (xmin, xmax) = placer_simd::min_max(&coords);
+        let (s1, s1x, s2, s2x) =
+            placer_simd::wa_exp_sums(&coords, 1.3, xmax, xmin, &mut ep, &mut em);
+        placer_simd::wa_grad_finish(
+            &coords,
+            &ep,
+            &em,
+            1.3,
+            s1x / s1,
+            s2x / s2,
+            s1,
+            s2,
+            &mut grads,
+        );
+        placer_simd::lse_grad_finish(&ep, &em, s1, s2, &mut grads);
+        placer_simd::exp_slice(&mut ep);
+        placer_simd::axpy(&mut acc, 0.5, &xs);
+        let bb = placer_simd::bbox(&pos_x, &pos_y, &halfw_d, &halfh_d);
+        placer_simd::scatter_row(&mut row, 3, 0.8, 1.0, 7.5, 0.6, 0.64);
+        let (mut fx, mut fy) = (0.0, 0.0);
+        placer_simd::gather_row(&ex, &ey, 3, 0.8, 1.0, 7.5, 0.6, 0.64, &mut fx, &mut fy);
+        placer_simd::pin_coords(&pins, &devs, &mut out_x, &mut out_y);
+        sink += s1 + bb.2 + fx + fy + out_x[n - 1] + grads[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(sink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "kernels allocated {} times across 50 sweeps on backend {}",
+        after - before,
+        backend.name()
+    );
+}
