@@ -1,0 +1,324 @@
+//! Runs a batched placer sweep: one circuit expanded over seed ×
+//! utilization variants, the full placer portfolio raced per variant on a
+//! shared artifact cache, one JSONL report row per racer.
+//!
+//! ```text
+//! sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI]
+//!       [--utils U,...] [--profile default|small]
+//!       [--rounds N] [--round-checks N] [--kill-ratio X] [--min-survivors N]
+//!       [--threads N] [--serial] [--out REPORTS.jsonl] [--pareto]
+//!       [--stable] [--expect-killed N] [--expect-pareto N]
+//!       [--expect-hit-rate PCT]
+//! ```
+//!
+//! - `--seeds` takes a comma list (`1,2,7`) or an inclusive range
+//!   (`1-64`); `--utils` a comma list of densities in `(0, 1]`.
+//! - `--rounds`/`--round-checks`/`--kill-ratio`/`--min-survivors` tune
+//!   the racing policy (see `placer_sweep::RaceConfig`).
+//! - `--threads N` pins the worker pool; `--serial` pins the serial
+//!   reference backend regardless of pool size.
+//! - `--stable` runs the whole sweep twice — serial on one thread, then
+//!   parallel on four — and fails unless reports (modulo wall-clock) and
+//!   the Pareto front are identical: the racing determinism contract.
+//! - `--expect-killed N` / `--expect-pareto N` / `--expect-hit-rate PCT`
+//!   are the CI assertion hooks: at least N racers killed by the
+//!   tournament, at least N Pareto points, cache hit rate above PCT
+//!   percent.
+//!
+//! Exit code is `0` on success, `1` on bad usage, `2` when an assertion
+//! (`--stable` or any `--expect-*`) is violated.
+
+use std::process::ExitCode;
+
+use placer_jobs::Profile;
+use placer_sweep::{ParallelBackend, SerialBackend, SweepConfig, SweepEngine, SweepResult};
+
+struct Options {
+    config: SweepConfig,
+    threads: Option<usize>,
+    serial: bool,
+    out: Option<String>,
+    pareto: bool,
+    stable: bool,
+    expect_killed: Option<usize>,
+    expect_pareto: Option<usize>,
+    expect_hit_rate: Option<f64>,
+}
+
+fn usage() -> &'static str {
+    "usage: sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI] \
+     [--utils U,...] [--profile default|small] [--rounds N] [--round-checks N] \
+     [--kill-ratio X] [--min-survivors N] [--threads N] [--serial] \
+     [--out FILE] [--pareto] [--stable] [--expect-killed N] \
+     [--expect-pareto N] [--expect-hit-rate PCT]"
+}
+
+fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
+    if let Some((lo, hi)) = text.split_once('-') {
+        let lo: u64 = lo.trim().parse().map_err(|_| format!("bad seed `{lo}`"))?;
+        let hi: u64 = hi.trim().parse().map_err(|_| format!("bad seed `{hi}`"))?;
+        if lo > hi {
+            return Err(format!("empty seed range `{text}`"));
+        }
+        return Ok((lo..=hi).collect());
+    }
+    text.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad seed `{}`", s.trim()))
+        })
+        .collect()
+}
+
+fn parse_utils(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad utilization `{}`", s.trim()))
+        })
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        config: SweepConfig::default(),
+        threads: None,
+        serial: false,
+        out: None,
+        pareto: false,
+        stable: false,
+        expect_killed: None,
+        expect_pareto: None,
+        expect_hit_rate: None,
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit" => opts.config.circuit = value("--circuit", &mut it)?,
+            "--placers" => {
+                opts.config.placers = value("--placers", &mut it)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--seeds" => opts.config.seeds = parse_seeds(&value("--seeds", &mut it)?)?,
+            "--utils" => opts.config.utilizations = parse_utils(&value("--utils", &mut it)?)?,
+            "--profile" => {
+                opts.config.profile = match value("--profile", &mut it)?.as_str() {
+                    "default" => Profile::Default,
+                    "small" => Profile::Small,
+                    other => return Err(format!("unknown profile `{other}`")),
+                };
+            }
+            "--rounds" => {
+                let v = value("--rounds", &mut it)?;
+                opts.config.race.rounds = v.parse().map_err(|_| format!("bad rounds `{v}`"))?;
+            }
+            "--round-checks" => {
+                let v = value("--round-checks", &mut it)?;
+                opts.config.race.round_checks =
+                    v.parse().map_err(|_| format!("bad round checks `{v}`"))?;
+            }
+            "--kill-ratio" => {
+                let v = value("--kill-ratio", &mut it)?;
+                opts.config.race.kill_ratio =
+                    v.parse().map_err(|_| format!("bad kill ratio `{v}`"))?;
+            }
+            "--min-survivors" => {
+                let v = value("--min-survivors", &mut it)?;
+                opts.config.race.min_survivors =
+                    v.parse().map_err(|_| format!("bad survivor count `{v}`"))?;
+            }
+            "--threads" => {
+                let v = value("--threads", &mut it)?;
+                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
+            }
+            "--serial" => opts.serial = true,
+            "--out" => opts.out = Some(value("--out", &mut it)?),
+            "--pareto" => opts.pareto = true,
+            "--stable" => opts.stable = true,
+            "--expect-killed" => {
+                let v = value("--expect-killed", &mut it)?;
+                opts.expect_killed = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?);
+            }
+            "--expect-pareto" => {
+                let v = value("--expect-pareto", &mut it)?;
+                opts.expect_pareto = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?);
+            }
+            "--expect-hit-rate" => {
+                let v = value("--expect-hit-rate", &mut it)?;
+                opts.expect_hit_rate = Some(v.parse().map_err(|_| format!("bad percent `{v}`"))?);
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Zeroes every `"wall_ms"` value so timing-only differences cannot fail
+/// the `--stable` byte comparison.
+fn normalize_wall_ms(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("\"wall_ms\": ") {
+            let value_start = pos + "\"wall_ms\": ".len();
+            out.push_str(&rest[..value_start]);
+            out.push('0');
+            let tail = &rest[value_start..];
+            let value_len = tail.find([',', '}']).unwrap_or(tail.len());
+            rest = &tail[value_len..];
+        }
+        out.push_str(rest);
+        out.push('\n');
+    }
+    out
+}
+
+/// The Pareto front in a canonical text form (for `--pareto` output and
+/// the `--stable` comparison).
+fn pareto_lines(result: &SweepResult) -> String {
+    let mut out = String::new();
+    for p in &result.pareto {
+        out.push_str(&format!(
+            "pareto: variant={} placer={} hpwl={:.6} area={:.6} fom={:.6}\n",
+            p.variant,
+            p.placer,
+            p.hpwl,
+            p.area,
+            p.fom()
+        ));
+    }
+    out
+}
+
+fn run_once(config: &SweepConfig, serial: bool) -> Result<SweepResult, String> {
+    let mut engine = SweepEngine::new(config.clone());
+    if serial {
+        engine = engine.with_backend(Box::new(SerialBackend));
+    }
+    engine.run()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("sweep: {e}\n{}", usage());
+            return ExitCode::from(1);
+        }
+    };
+
+    let result = if opts.stable {
+        // The determinism contract, exercised end to end: a serial
+        // single-threaded sweep and a parallel four-threaded one must
+        // produce identical reports (modulo wall-clock) and an identical
+        // Pareto front.
+        placer_parallel::set_max_threads(1);
+        let serial = run_once(&opts.config, true);
+        let parallel = serial.as_ref().ok().map(|_| {
+            placer_parallel::set_max_threads(4);
+            SweepEngine::new(opts.config.clone())
+                .with_backend(Box::new(ParallelBackend))
+                .run()
+        });
+        placer_parallel::set_max_threads(opts.threads.unwrap_or(0));
+        match (serial, parallel) {
+            (Ok(a), Some(Ok(b))) => {
+                let left = normalize_wall_ms(&a.to_jsonl());
+                let right = normalize_wall_ms(&b.to_jsonl());
+                if left != right || pareto_lines(&a) != pareto_lines(&b) {
+                    eprintln!(
+                        "sweep: --stable violated: 1-thread serial and 4-thread parallel \
+                         runs disagree"
+                    );
+                    for (l, r) in left.lines().zip(right.lines()) {
+                        if l != r {
+                            eprintln!("sweep:   serial:   {l}");
+                            eprintln!("sweep:   parallel: {r}");
+                        }
+                    }
+                    return ExitCode::from(2);
+                }
+                println!("stable: serial(1) and parallel(4) runs identical");
+                a
+            }
+            (Err(e), _) | (_, Some(Err(e))) => {
+                eprintln!("sweep: {e}");
+                return ExitCode::from(1);
+            }
+            (_, None) => unreachable!("parallel leg runs when serial leg succeeded"),
+        }
+    } else {
+        if let Some(n) = opts.threads {
+            placer_parallel::set_max_threads(n);
+        }
+        match run_once(&opts.config, opts.serial) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+
+    let lines = result.to_jsonl();
+    print!("{lines}");
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("sweep: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if opts.pareto {
+        print!("{}", pareto_lines(&result));
+    }
+    println!(
+        "sweep: {} variants on {}, backend {}, {} killed, {} pareto points, \
+         cache {}/{} ({:.1}% hits)",
+        result.variants.len(),
+        opts.config.circuit,
+        result.backend,
+        result.killed(),
+        result.pareto.len(),
+        result.cache_hits,
+        result.cache_hits + result.cache_misses,
+        100.0 * result.cache_hit_rate()
+    );
+
+    let mut ok = true;
+    if let Some(want) = opts.expect_killed {
+        let got = result.killed();
+        if got < want {
+            eprintln!("sweep: expected at least {want} killed racers, got {got}");
+            ok = false;
+        }
+    }
+    if let Some(want) = opts.expect_pareto {
+        let got = result.pareto.len();
+        if got < want {
+            eprintln!("sweep: expected at least {want} Pareto points, got {got}");
+            ok = false;
+        }
+    }
+    if let Some(want) = opts.expect_hit_rate {
+        let got = 100.0 * result.cache_hit_rate();
+        if got <= want {
+            eprintln!("sweep: expected cache hit rate above {want}%, got {got:.1}%");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -121,9 +121,25 @@ impl GlobalPlacer {
     pub fn run_budgeted(
         &self,
         circuit: &Circuit,
+        extra: Option<&mut ExtraGradientFn<'_>>,
+        budget: Option<&RunBudget>,
+        resume: Option<&GpCheckpoint>,
+    ) -> GpRun {
+        self.run_budgeted_with(circuit, extra, budget, resume, None)
+    }
+
+    /// [`run_budgeted`](Self::run_budgeted) with optional pre-built shared
+    /// artifacts: when `artifacts` is given, the density grid (DCT plans +
+    /// Poisson eigenvalue tables) is cloned from the circuit's cached
+    /// template instead of planned from scratch. Grid construction is
+    /// deterministic, so results are bit-identical either way.
+    pub fn run_budgeted_with(
+        &self,
+        circuit: &Circuit,
         mut extra: Option<&mut ExtraGradientFn<'_>>,
         budget: Option<&RunBudget>,
         resume: Option<&GpCheckpoint>,
+        artifacts: Option<&crate::CircuitArtifacts>,
     ) -> GpRun {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("gp_run");
         let _span = SPAN.enter();
@@ -134,7 +150,10 @@ impl GlobalPlacer {
         let side = (total_area / cfg.utilization).sqrt();
         // Utilization enters through the region side above; see
         // `DensityGrid::new` on why it takes no target parameter.
-        let mut density = DensityGrid::new((0.0, 0.0), (side, side), cfg.grid);
+        let mut density = match artifacts {
+            Some(a) => a.density_grid((0.0, 0.0), (side, side), cfg.grid),
+            None => DensityGrid::new((0.0, 0.0), (side, side), cfg.grid),
+        };
         let (bin_x, _) = density.bin_size();
 
         // Deterministic golden-angle spiral seed around the region center.

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod area;
+mod artifacts;
 mod budget;
 mod checkpoint;
 mod config;
@@ -54,6 +55,7 @@ mod symmetry;
 pub mod wirelength;
 
 pub use area::{area_term, exact_area};
+pub use artifacts::{circuit_content_hash, ArtifactCache, CircuitArtifacts};
 pub use budget::{BudgetStatus, RunBudget};
 pub use checkpoint::{Checkpoint, CheckpointError, Value as CheckpointValue};
 pub use config::{
@@ -68,6 +70,6 @@ pub use error::PlaceError;
 pub use global::{GlobalPlacer, GlobalStats, GpCheckpoint, GpRun};
 pub use perf::{run_perf_global, PerfGradHook};
 pub use pipeline::{EPlaceA, EPlaceAP, PlacementResult};
-pub use placer::{expect_placer, PlaceOutcome, PlaceSolution, Placer};
+pub use placer::{expect_placer, PlaceOutcome, PlaceSolution, Placer, RaceProbe};
 pub use sepplan::{SepEdge, SeparationPlanner};
 pub use symmetry::{project_symmetry, symmetry_penalty};

@@ -37,6 +37,25 @@ impl<'a> PerfGradHook<'a> {
     pub fn new(circuit: &Circuit, network: &'a Network, alpha: f64, scale: f64) -> Self {
         let n = circuit.num_devices();
         let graph = CircuitGraph::new(circuit, &Placement::new(n), scale);
+        Self::from_graph(graph, network, alpha, n)
+    }
+
+    /// Builds the hook from a pre-built shared [`GraphTopology`] — the
+    /// amortized path: the adjacency/CSR plan is stamped out of the
+    /// topology instead of rebuilt from the circuit. Bit-identical to
+    /// [`new`](Self::new) (see [`CircuitGraph::from_topology`]).
+    pub fn with_topology(
+        topology: &placer_gnn::GraphTopology,
+        network: &'a Network,
+        alpha: f64,
+        scale: f64,
+    ) -> Self {
+        let n = topology.num_nodes();
+        let graph = CircuitGraph::from_topology(topology, &vec![(0.0, 0.0); n], scale);
+        Self::from_graph(graph, network, alpha, n)
+    }
+
+    fn from_graph(graph: CircuitGraph, network: &'a Network, alpha: f64, n: usize) -> Self {
         Self {
             network,
             scratch: GradScratch::new(network, n),

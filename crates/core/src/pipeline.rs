@@ -184,6 +184,37 @@ fn get_gp(ck: &Checkpoint, n: usize) -> Result<GpCheckpoint, PlaceError> {
     })
 }
 
+/// Best-so-far probe shared by both pipelines' checkpoints: prefer the
+/// completed-attempt metrics (`best_*`), else score the in-flight Nesterov
+/// iterate (`gp_u`, solver layout `[x…, y…]`) with the exact HPWL/area
+/// the restart ladder itself ranks by. Pure function of the checkpoint
+/// text, as the racing contract requires.
+fn probe_engine_checkpoint(
+    circuit: &Circuit,
+    ck: &Checkpoint,
+    placer: &str,
+) -> Option<crate::RaceProbe> {
+    if ck.placer() != placer {
+        return None;
+    }
+    if ck.get_u64("has_best").ok()? == 1 {
+        return Some(crate::RaceProbe {
+            hpwl: ck.get_f64("best_hpwl").ok()?,
+            area: ck.get_f64("best_area").ok()?,
+        });
+    }
+    let n = circuit.num_devices();
+    let u = ck.get_f64s("gp_u").ok()?;
+    if u.len() != 2 * n {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = (0..n).map(|i| (u[i], u[n + i])).collect();
+    Some(crate::RaceProbe {
+        hpwl: crate::wirelength::exact_hpwl(circuit, &pts),
+        area: crate::exact_area(circuit, &pts),
+    })
+}
+
 /// The ePlace-A analog placer (conventional, performance-oblivious).
 ///
 /// # Examples
@@ -224,7 +255,7 @@ impl EPlaceA {
     /// Propagates [`PlaceError`] from the legalization ILP when every
     /// restart fails; a single successful restart suffices.
     pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, PlaceError> {
-        match self.run_engine(circuit, None, None)? {
+        match self.run_engine(circuit, None, None, None)? {
             EngineRun::Done(r) => Ok(r),
             _ => unreachable!("no budget: engine can only complete"),
         }
@@ -235,6 +266,7 @@ impl EPlaceA {
         circuit: &Circuit,
         budget: Option<&RunBudget>,
         resume: Option<&Checkpoint>,
+        artifacts: Option<&crate::CircuitArtifacts>,
     ) -> Result<EngineRun, PlaceError> {
         static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("eplace_a_place");
         let _span = SPAN.enter();
@@ -263,8 +295,13 @@ impl EPlaceA {
                 (global_cfg.utilization * util_ladder[k % util_ladder.len()]).min(0.8);
             let t0 = Instant::now();
             let gp_ck = gp_resume.take();
-            let run =
-                GlobalPlacer::new(global_cfg).run_budgeted(circuit, None, budget, gp_ck.as_ref());
+            let run = GlobalPlacer::new(global_cfg).run_budgeted_with(
+                circuit,
+                None,
+                budget,
+                gp_ck.as_ref(),
+                artifacts,
+            );
             let gp_seconds = t0.elapsed().as_secs_f64();
             let (gp, stats, gp_exhausted) = match run {
                 GpRun::Cancelled(gpck) => {
@@ -359,7 +396,9 @@ impl Placer for EPlaceA {
     }
 
     fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
-        Ok(self.run_engine(circuit, Some(budget), None)?.into_outcome())
+        Ok(self
+            .run_engine(circuit, Some(budget), None, None)?
+            .into_outcome())
     }
 
     fn resume(
@@ -369,8 +408,38 @@ impl Placer for EPlaceA {
         budget: &RunBudget,
     ) -> Result<PlaceOutcome, PlaceError> {
         Ok(self
-            .run_engine(circuit, Some(budget), Some(checkpoint))?
+            .run_engine(circuit, Some(budget), Some(checkpoint), None)?
             .into_outcome())
+    }
+
+    fn place_artifacts(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(artifacts.circuit(), Some(budget), None, Some(artifacts))?
+            .into_outcome())
+    }
+
+    fn resume_artifacts(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(
+                artifacts.circuit(),
+                Some(budget),
+                Some(checkpoint),
+                Some(artifacts),
+            )?
+            .into_outcome())
+    }
+
+    fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<crate::RaceProbe> {
+        probe_engine_checkpoint(circuit, checkpoint, "eplace-a")
     }
 }
 
@@ -403,7 +472,7 @@ impl EPlaceAP {
     /// Propagates [`PlaceError`] from the legalization ILP when every
     /// restart fails.
     pub fn place(&self, circuit: &Circuit) -> Result<PlacementResult, PlaceError> {
-        match self.run_engine(circuit, None, None)? {
+        match self.run_engine(circuit, None, None, None)? {
             EngineRun::Done(r) => Ok(r),
             _ => unreachable!("no budget: engine can only complete"),
         }
@@ -414,6 +483,7 @@ impl EPlaceAP {
         circuit: &Circuit,
         budget: Option<&RunBudget>,
         resume: Option<&Checkpoint>,
+        artifacts: Option<&crate::CircuitArtifacts>,
     ) -> Result<EngineRun, PlaceError> {
         static SPAN: placer_telemetry::SpanStat =
             placer_telemetry::SpanStat::new("eplace_ap_place");
@@ -462,19 +532,27 @@ impl EPlaceAP {
             // attempt's first gradient call); a resumed attempt inherits
             // the interrupted attempt's normalization from the checkpoint
             // so its stream continues exactly.
-            let mut hook_state =
-                PerfGradHook::new(circuit, &self.network, perf_cfg.alpha, perf_cfg.scale);
+            let mut hook_state = match artifacts {
+                Some(a) => PerfGradHook::with_topology(
+                    &a.topology(),
+                    &self.network,
+                    perf_cfg.alpha,
+                    perf_cfg.scale,
+                ),
+                None => PerfGradHook::new(circuit, &self.network, perf_cfg.alpha, perf_cfg.scale),
+            };
             if let Some(alpha_abs) = alpha_resume.take() {
                 hook_state.set_alpha_abs(alpha_abs);
             }
             let mut hook =
                 |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 { hook_state.eval(pts, grad) };
             let gp_ck = gp_resume.take();
-            let run = GlobalPlacer::new(global_cfg).run_budgeted(
+            let run = GlobalPlacer::new(global_cfg).run_budgeted_with(
                 circuit,
                 Some(&mut hook),
                 budget,
                 gp_ck.as_ref(),
+                artifacts,
             );
             total_gp += t0.elapsed().as_secs_f64();
             let (gp, stats, gp_exhausted) = match run {
@@ -534,11 +612,18 @@ impl EPlaceAP {
                             g
                         }
                         None => {
-                            graph = Some(placer_gnn::CircuitGraph::new(
-                                circuit,
-                                &placement,
-                                self.perf.scale,
-                            ));
+                            graph = Some(match artifacts {
+                                Some(a) => placer_gnn::CircuitGraph::from_topology(
+                                    &a.topology(),
+                                    &placement.positions,
+                                    self.perf.scale,
+                                ),
+                                None => placer_gnn::CircuitGraph::new(
+                                    circuit,
+                                    &placement,
+                                    self.perf.scale,
+                                ),
+                            });
                             graph.as_mut().expect("just inserted")
                         }
                     };
@@ -580,7 +665,9 @@ impl Placer for EPlaceAP {
     }
 
     fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
-        Ok(self.run_engine(circuit, Some(budget), None)?.into_outcome())
+        Ok(self
+            .run_engine(circuit, Some(budget), None, None)?
+            .into_outcome())
     }
 
     fn resume(
@@ -590,8 +677,38 @@ impl Placer for EPlaceAP {
         budget: &RunBudget,
     ) -> Result<PlaceOutcome, PlaceError> {
         Ok(self
-            .run_engine(circuit, Some(budget), Some(checkpoint))?
+            .run_engine(circuit, Some(budget), Some(checkpoint), None)?
             .into_outcome())
+    }
+
+    fn place_artifacts(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(artifacts.circuit(), Some(budget), None, Some(artifacts))?
+            .into_outcome())
+    }
+
+    fn resume_artifacts(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        Ok(self
+            .run_engine(
+                artifacts.circuit(),
+                Some(budget),
+                Some(checkpoint),
+                Some(artifacts),
+            )?
+            .into_outcome())
+    }
+
+    fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<crate::RaceProbe> {
+        probe_engine_checkpoint(circuit, checkpoint, "eplace-ap")
     }
 }
 

@@ -17,10 +17,29 @@
 //!   first; the payload is a [`Checkpoint`](crate::Checkpoint) from which
 //!   [`Placer::resume`] reproduces the uninterrupted run bit-for-bit.
 
+use crate::artifacts::CircuitArtifacts;
 use crate::checkpoint::Checkpoint;
 use crate::error::PlaceError;
 use crate::RunBudget;
 use analog_netlist::{Circuit, Placement};
+
+/// A deterministic best-so-far quality estimate read from a checkpoint,
+/// used by portfolio racing to compare paused runs without resuming them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceProbe {
+    /// Best-so-far half-perimeter wirelength.
+    pub hpwl: f64,
+    /// Best-so-far bounding-box area.
+    pub area: f64,
+}
+
+impl RaceProbe {
+    /// The scalar figure of merit the tournament compares: `hpwl × area`
+    /// (the same product the restart ladders in this workspace rank by).
+    pub fn fom(&self) -> f64 {
+        self.hpwl * self.area
+    }
+}
 
 /// A finished (complete or best-so-far) legalized placement plus its
 /// quality metrics and timing breakdown.
@@ -125,6 +144,46 @@ pub trait Placer: Sync {
         checkpoint: &Checkpoint,
         budget: &RunBudget,
     ) -> Result<PlaceOutcome, PlaceError>;
+
+    /// Runs placement against pre-built shared artifacts.
+    ///
+    /// Must be bit-identical to [`place`](Self::place) on
+    /// `artifacts.circuit()` — the artifacts carry exactly the state the
+    /// cold path would rebuild. The default implementation simply delegates
+    /// (correct, but amortizes nothing); implementations override it to
+    /// reuse the shared plans.
+    fn place_artifacts(
+        &self,
+        artifacts: &CircuitArtifacts,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        self.place(artifacts.circuit(), budget)
+    }
+
+    /// Continues a cancelled run from `checkpoint` against pre-built shared
+    /// artifacts; same contract as [`place_artifacts`](Self::place_artifacts)
+    /// relative to [`resume`](Self::resume).
+    fn resume_artifacts(
+        &self,
+        artifacts: &CircuitArtifacts,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        self.resume(artifacts.circuit(), checkpoint, budget)
+    }
+
+    /// Reads a deterministic best-so-far quality estimate out of one of
+    /// this placer's checkpoints, without resuming it.
+    ///
+    /// Returns `None` when the checkpoint carries no comparable state yet
+    /// (or the placer does not support probing); the tournament scheduler
+    /// then treats the run as not-yet-rankable and keeps it alive. The
+    /// probe must be a pure function of the checkpoint text so racing
+    /// decisions are identical across thread counts.
+    fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<RaceProbe> {
+        let _ = (circuit, checkpoint);
+        None
+    }
 }
 
 /// Verifies a checkpoint was written by `expected` before a resume

@@ -34,39 +34,30 @@ fn kind_slot(kind: DeviceKind) -> usize {
     }
 }
 
-/// A circuit graph ready for GNN inference: normalized adjacency (fixed by
-/// connectivity) plus node features (position-dependent).
+/// The placement-independent part of a [`CircuitGraph`]: normalized
+/// adjacency, its CSR plan, and the static feature columns (kind one-hot,
+/// log-area, criticality — everything except x/y).
+///
+/// Building this is the `O(n² · pins)` part of graph construction
+/// (adjacency accumulation, symmetric normalization, CSR extraction).
+/// A sweep engine builds one topology per circuit, wraps it in an `Arc`,
+/// and stamps out per-run [`CircuitGraph`]s with
+/// [`CircuitGraph::from_topology`] — a pair of matrix clones (memcpy)
+/// plus a position refresh. The stamped graph is bit-identical to one
+/// built cold with [`CircuitGraph::new`], which routes through this type.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CircuitGraph {
-    /// Normalized adjacency `Â`, `n × n` — the retained dense reference;
-    /// the shipping forward/backward passes multiply through [`Self::csr`].
+pub struct GraphTopology {
+    /// Normalized adjacency `Â`, `n × n`.
     pub adjacency: Matrix,
-    /// Node features, `n × FEATURES`.
-    pub features: Matrix,
-    /// Position normalization scale (µm) used for the x/y features.
-    pub scale: f64,
-    /// Sparse plan of `adjacency`, built once at construction.
+    /// Node features with x/y columns left at zero.
+    pub base_features: Matrix,
+    /// Sparse plan of `adjacency`.
     pub(crate) csr: CsrAdjacency,
 }
 
-impl CircuitGraph {
-    /// Builds the graph for a circuit and placement.
-    ///
-    /// `scale` normalizes coordinates into roughly `[0, 1]`; pass the
-    /// placement region extent. The adjacency depends only on connectivity,
-    /// so [`update_positions`](Self::update_positions) can cheaply refresh
-    /// the features as devices move.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `scale` is not positive or the placement size mismatches.
-    pub fn new(circuit: &Circuit, placement: &Placement, scale: f64) -> Self {
-        assert!(scale > 0.0, "scale must be positive");
-        assert_eq!(
-            placement.len(),
-            circuit.num_devices(),
-            "placement size mismatch"
-        );
+impl GraphTopology {
+    /// Builds the connectivity plan for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
         let n = circuit.num_devices();
         // Raw adjacency with self-loops.
         let mut a = Matrix::identity(n);
@@ -106,14 +97,97 @@ impl CircuitGraph {
         }
 
         let csr = CsrAdjacency::from_dense(&adjacency);
-        let mut graph = Self {
+        let mut base_features = Matrix::zeros(n, FEATURES);
+        for (i, d) in circuit.devices().iter().enumerate() {
+            base_features.set(i, kind_slot(d.kind), 1.0);
+            base_features.set(i, FEATURE_AREA, (1.0 + d.area()).ln());
+            let critical = if d.pins.is_empty() {
+                0.0
+            } else {
+                d.pins
+                    .iter()
+                    .filter(|p| circuit.net(p.net).critical)
+                    .count() as f64
+                    / d.pins.len() as f64
+            };
+            base_features.set(i, FEATURE_CRITICAL, critical);
+        }
+        Self {
             adjacency,
-            features: Matrix::zeros(n, FEATURES),
-            scale,
+            base_features,
             csr,
+        }
+    }
+
+    /// The sparse message-passing plan of [`Self::adjacency`].
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.base_features.rows()
+    }
+}
+
+/// A circuit graph ready for GNN inference: normalized adjacency (fixed by
+/// connectivity) plus node features (position-dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitGraph {
+    /// Normalized adjacency `Â`, `n × n` — the retained dense reference;
+    /// the shipping forward/backward passes multiply through [`Self::csr`].
+    pub adjacency: Matrix,
+    /// Node features, `n × FEATURES`.
+    pub features: Matrix,
+    /// Position normalization scale (µm) used for the x/y features.
+    pub scale: f64,
+    /// Sparse plan of `adjacency`, built once at construction.
+    pub(crate) csr: CsrAdjacency,
+}
+
+impl CircuitGraph {
+    /// Builds the graph for a circuit and placement.
+    ///
+    /// `scale` normalizes coordinates into roughly `[0, 1]`; pass the
+    /// placement region extent. The adjacency depends only on connectivity,
+    /// so [`update_positions`](Self::update_positions) can cheaply refresh
+    /// the features as devices move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive or the placement size mismatches.
+    pub fn new(circuit: &Circuit, placement: &Placement, scale: f64) -> Self {
+        assert_eq!(
+            placement.len(),
+            circuit.num_devices(),
+            "placement size mismatch"
+        );
+        Self::from_topology(&GraphTopology::new(circuit), &placement.positions, scale)
+    }
+
+    /// Stamps a graph out of a pre-built [`GraphTopology`] — the amortized
+    /// construction path. Clones the adjacency/CSR/static features (memcpy)
+    /// and refreshes the x/y columns from `positions`; bit-identical to
+    /// [`Self::new`] on the same circuit because `new` routes through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive or the position count mismatches
+    /// the topology's node count.
+    pub fn from_topology(topology: &GraphTopology, positions: &[(f64, f64)], scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert_eq!(
+            positions.len(),
+            topology.num_nodes(),
+            "placement size mismatch"
+        );
+        let mut graph = Self {
+            adjacency: topology.adjacency.clone(),
+            features: topology.base_features.clone(),
+            scale,
+            csr: topology.csr.clone(),
         };
-        graph.fill_static_features(circuit);
-        graph.update_positions(placement);
+        graph.update_positions_from_slice(positions);
         graph
     }
 
@@ -145,23 +219,6 @@ impl CircuitGraph {
     /// The sparse message-passing plan of [`Self::adjacency`].
     pub fn csr(&self) -> &CsrAdjacency {
         &self.csr
-    }
-
-    fn fill_static_features(&mut self, circuit: &Circuit) {
-        for (i, d) in circuit.devices().iter().enumerate() {
-            self.features.set(i, kind_slot(d.kind), 1.0);
-            self.features.set(i, FEATURE_AREA, (1.0 + d.area()).ln());
-            let critical = if d.pins.is_empty() {
-                0.0
-            } else {
-                d.pins
-                    .iter()
-                    .filter(|p| circuit.net(p.net).critical)
-                    .count() as f64
-                    / d.pins.len() as f64
-            };
-            self.features.set(i, FEATURE_CRITICAL, critical);
-        }
     }
 
     /// Refreshes the position features from a placement.
@@ -237,6 +294,20 @@ mod tests {
             let sum: f64 = (0..n).map(|j| g.adjacency.get(i, j)).sum();
             assert!(sum <= 2.0, "row {i} sum {sum}");
             assert!(sum > 0.0);
+        }
+    }
+
+    #[test]
+    fn from_topology_matches_cold_build() {
+        for c in [testcases::cc_ota(), testcases::comp1(), testcases::vco1()] {
+            let mut p = Placement::new(c.num_devices());
+            for (i, pos) in p.positions.iter_mut().enumerate() {
+                *pos = (1.5 * i as f64, 0.75 * i as f64);
+            }
+            let cold = CircuitGraph::new(&c, &p, 10.0);
+            let topo = GraphTopology::new(&c);
+            let warm = CircuitGraph::from_topology(&topo, &p.positions, 10.0);
+            assert_eq!(cold, warm);
         }
     }
 

@@ -44,7 +44,8 @@ mod train;
 
 pub use csr::CsrAdjacency;
 pub use graph::{
-    CircuitGraph, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y, KIND_SLOTS,
+    CircuitGraph, GraphTopology, FEATURES, FEATURE_AREA, FEATURE_CRITICAL, FEATURE_X, FEATURE_Y,
+    KIND_SLOTS,
 };
 pub use matrix::Matrix;
 pub use network::{Forward, GradScratch, InferenceScratch, Network, ParamGrads, TrainScratch};

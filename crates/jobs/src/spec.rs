@@ -244,6 +244,9 @@ pub enum JobStatus {
     Exhausted,
     /// Cancelled; a checkpoint was captured for resume.
     Cancelled,
+    /// Killed by a portfolio race: another placer dominated its
+    /// best-so-far figure of merit, so the run was cancelled for good.
+    Killed,
     /// Every attempt returned an error.
     Failed,
 }
@@ -255,6 +258,7 @@ impl JobStatus {
             JobStatus::Complete => "complete",
             JobStatus::Exhausted => "exhausted",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::Killed => "killed",
             JobStatus::Failed => "failed",
         }
     }
@@ -291,6 +295,10 @@ pub struct JobReport {
     pub legal: Option<bool>,
     /// Optimizer iterations of the solution.
     pub iterations: Option<u64>,
+    /// Racing figure of merit (`hpwl * area`), reported by sweep runs
+    /// only; plain job batches leave it unset so their lines are
+    /// byte-identical to the pre-sweep protocol.
+    pub fom: Option<f64>,
     /// Path of the checkpoint file written on cancellation.
     pub checkpoint: Option<String>,
     /// Error message of the last attempt (failed only).
@@ -325,6 +333,9 @@ impl JobReport {
         }
         if let Some(i) = self.iterations {
             let _ = write!(out, r#", "iterations": {i}"#);
+        }
+        if let Some(f) = self.fom {
+            let _ = write!(out, r#", "fom": {}"#, number(f));
         }
         if let Some(c) = &self.checkpoint {
             let _ = write!(out, r#", "checkpoint": "{}""#, escape(c));
@@ -397,6 +408,7 @@ mod tests {
             area: Some(10.0),
             legal: Some(true),
             iterations: Some(120),
+            fom: None,
             checkpoint: None,
             error: None,
         };

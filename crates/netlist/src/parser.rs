@@ -672,10 +672,22 @@ pub fn write_constraints(circuit: &Circuit) -> String {
             .collect();
         let _ = writeln!(out, "order {} {}", dir, names.join(" "));
     }
-    for n in circuit.nets() {
+    // Per-net attributes are order-free booleans/scalars; emit them sorted
+    // by net name so the text is canonical regardless of the net discovery
+    // order (a deck written, reparsed and rewritten is byte-identical —
+    // the artifact cache's content hash relies on this).
+    let mut attrs: Vec<&crate::Net> = circuit
+        .nets()
+        .iter()
+        .filter(|n| n.critical || n.weight != 1.0)
+        .collect();
+    attrs.sort_by(|a, b| a.name.cmp(&b.name));
+    for n in &attrs {
         if n.critical {
             let _ = writeln!(out, "critical {}", n.name);
         }
+    }
+    for n in &attrs {
         if n.weight != 1.0 {
             let _ = writeln!(out, "weight {} {}", n.name, n.weight);
         }

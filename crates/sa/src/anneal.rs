@@ -15,9 +15,10 @@ use placer_gnn::{CircuitGraph, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::evaluator::MoveEvaluator;
+use crate::evaluator::{EvalTables, MoveEvaluator};
 use crate::island::BlockModel;
 use crate::seqpair::SequencePair;
+use crate::shared::SaShared;
 
 use placer_telemetry::Counter;
 
@@ -464,6 +465,7 @@ type ChainFn = fn(
     u64,
     Option<&RunBudget>,
     Option<&ChainCheckpoint>,
+    Option<&SaShared>,
 ) -> ChainRun;
 
 /// Runs simulated annealing over the circuit's symmetry-island blocks.
@@ -475,7 +477,7 @@ type ChainFn = fn(
 /// [`SaConfig::chains`]); `moves` in the result counts attempts across
 /// *all* chains.
 pub fn anneal(circuit: &Circuit, config: &SaConfig, perf: Option<PerfCost<'_>>) -> AnnealResult {
-    match anneal_multi(circuit, config, perf, None, None, anneal_chain) {
+    match anneal_multi(circuit, config, perf, None, None, None, anneal_chain) {
         AnnealRun::Complete(r) => r,
         // Unreachable without a budget, but harmless to define.
         AnnealRun::Exhausted(r) => r,
@@ -495,7 +497,32 @@ pub fn anneal_budgeted(
     budget: &RunBudget,
     resume: Option<&SaCheckpoint>,
 ) -> AnnealRun {
-    anneal_multi(circuit, config, perf, Some(budget), resume, anneal_chain)
+    anneal_budgeted_with(circuit, config, perf, budget, resume, None)
+}
+
+/// [`anneal_budgeted`] over optional pre-built shared artifacts — the
+/// amortized path for batched sweeps. With `shared` present the chains use
+/// its [`BlockModel`]/[`EvalTables`](crate::EvalTables) instead of
+/// rebuilding them; both are pure functions of the circuit, so the run is
+/// bit-identical to [`anneal_budgeted`] (`shared` must have been built for
+/// this circuit).
+pub fn anneal_budgeted_with(
+    circuit: &Circuit,
+    config: &SaConfig,
+    perf: Option<PerfCost<'_>>,
+    budget: &RunBudget,
+    resume: Option<&SaCheckpoint>,
+    shared: Option<&SaShared>,
+) -> AnnealRun {
+    anneal_multi(
+        circuit,
+        config,
+        perf,
+        Some(budget),
+        resume,
+        shared,
+        anneal_chain,
+    )
 }
 
 /// Full-recompute annealer kept as the oracle for the incremental engine.
@@ -510,7 +537,15 @@ pub fn anneal_reference(
     config: &SaConfig,
     perf: Option<PerfCost<'_>>,
 ) -> AnnealResult {
-    match anneal_multi(circuit, config, perf, None, None, anneal_chain_reference) {
+    match anneal_multi(
+        circuit,
+        config,
+        perf,
+        None,
+        None,
+        None,
+        anneal_chain_reference,
+    ) {
         AnnealRun::Complete(r) => r,
         AnnealRun::Exhausted(r) => r,
         AnnealRun::Cancelled(_) => unreachable!("no budget, cannot cancel"),
@@ -535,6 +570,7 @@ pub fn anneal_reference_budgeted(
         perf,
         Some(budget),
         resume,
+        None,
         anneal_chain_reference,
     )
 }
@@ -546,6 +582,7 @@ fn anneal_multi(
     mut perf: Option<PerfCost<'_>>,
     budget: Option<&RunBudget>,
     resume: Option<&SaCheckpoint>,
+    shared: Option<&SaShared>,
     chain: ChainFn,
 ) -> AnnealRun {
     let chains = config.chains.max(1);
@@ -575,8 +612,15 @@ fn anneal_multi(
             }) => {
                 // Finished before the cancellation: rebuild its placement
                 // (a pure function of the state) and pass it through.
-                let model = BlockModel::new(circuit);
-                let placement = evaluate(circuit, &model, state, config, None).0;
+                let owned;
+                let model = match shared {
+                    Some(s) => &*s.model,
+                    None => {
+                        owned = BlockModel::new(circuit);
+                        &owned
+                    }
+                };
+                let placement = evaluate(circuit, model, state, config, None).0;
                 ChainRun::Done {
                     result: AnnealResult {
                         state: state.clone(),
@@ -594,6 +638,7 @@ fn anneal_multi(
                 chain_seed(config.seed, index),
                 budget,
                 Some(ck),
+                shared,
             ),
             None => chain(
                 circuit,
@@ -602,6 +647,7 @@ fn anneal_multi(
                 chain_seed(config.seed, index),
                 budget,
                 None,
+                shared,
             ),
         }
     };
@@ -677,11 +723,19 @@ fn anneal_chain(
     seed: u64,
     budget: Option<&RunBudget>,
     resume: Option<&ChainCheckpoint>,
+    shared: Option<&SaShared>,
 ) -> ChainRun {
     static SPAN: placer_telemetry::SpanStat = placer_telemetry::SpanStat::new("sa_chain");
     let _span = SPAN.enter();
     let n = circuit.num_devices();
-    let model = BlockModel::new(circuit);
+    let owned_model;
+    let model: &BlockModel = match shared {
+        Some(s) => &s.model,
+        None => {
+            owned_model = BlockModel::new(circuit);
+            &owned_model
+        }
+    };
 
     // Committed state + RNG: fresh deterministic shuffle, or the exact
     // words frozen at the checkpoint's level boundary.
@@ -708,12 +762,17 @@ fn anneal_chain(
 
     let perf_parts = perf.take().map(|p| (p.network, p.weight, p.scale));
     let perf_weight = perf_parts.map(|(_, weight, _)| weight).unwrap_or(0.0);
-    let mut evaluator = MoveEvaluator::new(
+    let tables = match shared {
+        Some(s) => std::sync::Arc::clone(&s.tables),
+        None => std::sync::Arc::new(EvalTables::new(circuit, model)),
+    };
+    let mut evaluator = MoveEvaluator::with_tables(
         circuit,
-        &model,
+        model,
         config,
         &state,
         perf_parts.map(|(network, _, scale)| (network, scale)),
+        tables,
     );
     // `MoveEvaluator` reports the oracle cost (Φ unweighted in the total);
     // fold the perf weight in exactly where the reference chain does.
@@ -741,7 +800,7 @@ fn anneal_chain(
             cost = ck.cost;
             temperature = ck.temperature;
             best_state = ck.best_state.clone();
-            best_placement = evaluate(circuit, &model, &best_state, config, None).0;
+            best_placement = evaluate(circuit, model, &best_state, config, None).0;
             best_cost = ck.best_cost;
             moves = ck.moves;
             accepts = ck.accepts;
@@ -914,9 +973,17 @@ fn anneal_chain_reference(
     seed: u64,
     budget: Option<&RunBudget>,
     resume: Option<&ChainCheckpoint>,
+    shared: Option<&SaShared>,
 ) -> ChainRun {
     let n = circuit.num_devices();
-    let model = BlockModel::new(circuit);
+    let owned_model;
+    let model: &BlockModel = match shared {
+        Some(s) => &s.model,
+        None => {
+            owned_model = BlockModel::new(circuit);
+            &owned_model
+        }
+    };
 
     let mut perf_state = perf.take().map(|p| {
         let graph = CircuitGraph::new(circuit, &Placement::new(n), p.scale);
@@ -926,7 +993,7 @@ fn anneal_chain_reference(
     let cost_of = |state: &SaState,
                    perf_state: &mut Option<(PerfCost<'_>, CircuitGraph)>|
      -> (Placement, SaCost) {
-        let (placement, mut cost) = evaluate(circuit, &model, state, config, perf_state.as_mut());
+        let (placement, mut cost) = evaluate(circuit, model, state, config, perf_state.as_mut());
         cost.total += perf_weight * cost.phi;
         (placement, cost)
     };

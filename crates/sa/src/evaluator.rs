@@ -108,25 +108,18 @@ pub struct EvaluatorStats {
     pub dirty_devices: u64,
 }
 
-/// The incremental cost engine for one annealing chain.
+/// The immutable per-circuit structure the move evaluator reads: packed
+/// block dims, device outline half-dims, the device→net incidence index,
+/// the flattened pin/constraint structure-of-arrays. Everything here is a
+/// pure function of `(circuit, model)` — independent of the SA config,
+/// seed, and chain — so one instance, wrapped in an `Arc`, serves every
+/// chain and every variant of a circuit (the batched-sweep amortization).
 ///
-/// Holds a *committed* evaluation (state caches + [`SaCost`]) and a trial
-/// buffer set. [`eval_trial`](Self::eval_trial) prices any candidate state
-/// against the committed one without touching it;
-/// [`accept`](Self::accept) promotes the last trial by buffer swap. After
-/// construction the trial/accept cycle performs **no heap allocation**.
-///
-/// Costs are bit-identical to the full-recompute oracle
-/// [`crate::evaluate`] (same floating-point evaluation order everywhere),
-/// so switching the annealer to this engine changes wall time, not
-/// placements.
+/// Shared tables change where the bytes live, not what they are:
+/// evaluators constructed over a shared instance price moves bit-identically
+/// to cold-built ones.
 #[derive(Debug)]
-pub struct MoveEvaluator<'a> {
-    model: &'a BlockModel,
-    hpwl_weight: f64,
-    penalty_weight: f64,
-
-    // Static per-circuit structure.
+pub struct EvalTables {
     widths: Vec<f64>,
     heights: Vec<f64>,
     /// Per-device outline half-dims (exact halves, so the area bounding
@@ -160,6 +153,138 @@ pub struct MoveEvaluator<'a> {
     dev_aligns: Vec<Vec<u32>>,
     /// Device → window indices.
     dev_windows: Vec<Vec<u32>>,
+}
+
+impl EvalTables {
+    /// Builds the shared tables for a circuit and its block model.
+    pub fn new(circuit: &Circuit, model: &BlockModel) -> Self {
+        let n = circuit.num_devices();
+        let widths: Vec<f64> = model.blocks.iter().map(|b| b.width).collect();
+        let heights: Vec<f64> = model.blocks.iter().map(|b| b.height).collect();
+        let routable: Vec<u32> = circuit
+            .nets()
+            .iter()
+            .enumerate()
+            .filter(|(_, net)| net.is_routable())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let halfw: Vec<f64> = circuit.devices().iter().map(|d| d.width / 2.0).collect();
+        let halfh: Vec<f64> = circuit.devices().iter().map(|d| d.height / 2.0).collect();
+        let mut net_pin_start = Vec::with_capacity(circuit.num_nets() + 1);
+        let mut pin_dev = Vec::new();
+        let mut pin_halfw = Vec::new();
+        let mut pin_halfh = Vec::new();
+        let mut pin_offx = Vec::new();
+        let mut pin_offx_flip = Vec::new();
+        let mut pin_offy = Vec::new();
+        let mut pin_offy_flip = Vec::new();
+        let mut net_weight = Vec::with_capacity(circuit.num_nets());
+        net_pin_start.push(0u32);
+        for net in circuit.nets() {
+            for p in &net.pins {
+                let d = circuit.device(p.device);
+                let (xp, yp) = d.pin_offset_flipped(p.pin.index(), false, false);
+                let (xp_flip, yp_flip) = d.pin_offset_flipped(p.pin.index(), true, true);
+                pin_dev.push(p.device.index() as u32);
+                pin_halfw.push(d.width / 2.0);
+                pin_halfh.push(d.height / 2.0);
+                pin_offx.push(xp);
+                pin_offx_flip.push(xp_flip);
+                pin_offy.push(yp);
+                pin_offy_flip.push(yp_flip);
+            }
+            net_pin_start.push(pin_dev.len() as u32);
+            net_weight.push(net.weight);
+        }
+        let aligns: Vec<FlatAlign> = circuit
+            .constraints()
+            .alignments
+            .iter()
+            .map(|a| FlatAlign {
+                a: a.a.index() as u32,
+                b: a.b.index() as u32,
+                ha: circuit.device(a.a).height / 2.0,
+                hb: circuit.device(a.b).height / 2.0,
+                kind: a.kind,
+            })
+            .collect();
+        let mut windows = Vec::new();
+        for o in &circuit.constraints().orderings {
+            for w in o.devices.windows(2) {
+                let da = circuit.device(w[0]);
+                let db = circuit.device(w[1]);
+                let (ea, eb) = match o.direction {
+                    OrderDirection::Horizontal => (da.width / 2.0, db.width / 2.0),
+                    OrderDirection::Vertical => (da.height / 2.0, db.height / 2.0),
+                };
+                windows.push(FlatWindow {
+                    a: w[0].index() as u32,
+                    b: w[1].index() as u32,
+                    ea,
+                    eb,
+                    direction: o.direction,
+                });
+            }
+        }
+        let mut dev_aligns = vec![Vec::new(); n];
+        for (i, a) in aligns.iter().enumerate() {
+            dev_aligns[a.a as usize].push(i as u32);
+            dev_aligns[a.b as usize].push(i as u32);
+        }
+        let mut dev_windows = vec![Vec::new(); n];
+        for (i, w) in windows.iter().enumerate() {
+            dev_windows[w.a as usize].push(i as u32);
+            dev_windows[w.b as usize].push(i as u32);
+        }
+        Self {
+            widths,
+            heights,
+            halfw,
+            halfh,
+            device_nets: DeviceNets::new(circuit),
+            routable,
+            net_pin_start,
+            pin_dev,
+            pin_halfw,
+            pin_halfh,
+            pin_offx,
+            pin_offx_flip,
+            pin_offy,
+            pin_offy_flip,
+            net_weight,
+            aligns,
+            windows,
+            dev_aligns,
+            dev_windows,
+        }
+    }
+
+    /// Total flattened pins.
+    fn num_pins(&self) -> usize {
+        self.pin_dev.len()
+    }
+}
+
+/// The incremental cost engine for one annealing chain.
+///
+/// Holds a *committed* evaluation (state caches + [`SaCost`]) and a trial
+/// buffer set. [`eval_trial`](Self::eval_trial) prices any candidate state
+/// against the committed one without touching it;
+/// [`accept`](Self::accept) promotes the last trial by buffer swap. After
+/// construction the trial/accept cycle performs **no heap allocation**.
+///
+/// Costs are bit-identical to the full-recompute oracle
+/// [`crate::evaluate`] (same floating-point evaluation order everywhere),
+/// so switching the annealer to this engine changes wall time, not
+/// placements.
+#[derive(Debug)]
+pub struct MoveEvaluator<'a> {
+    model: &'a BlockModel,
+    hpwl_weight: f64,
+    penalty_weight: f64,
+
+    /// Static per-circuit structure, shareable across chains and variants.
+    tables: std::sync::Arc<EvalTables>,
 
     // Committed evaluation.
     /// Committed sequence pair (detects flip-only candidates, whose
@@ -223,116 +348,37 @@ impl<'a> MoveEvaluator<'a> {
         state: &SaState,
         perf: Option<(&'a Network, f64)>,
     ) -> Self {
+        let tables = std::sync::Arc::new(EvalTables::new(circuit, model));
+        Self::with_tables(circuit, model, config, state, perf, tables)
+    }
+
+    /// [`new`](Self::new) over pre-built shared tables — the amortized
+    /// construction path for batched sweeps. `tables` must have been built
+    /// for this `(circuit, model)` pair; prices moves bit-identically to a
+    /// cold-built evaluator (the tables are exactly what `new` computes).
+    pub fn with_tables(
+        circuit: &'a Circuit,
+        model: &'a BlockModel,
+        config: &SaConfig,
+        state: &SaState,
+        perf: Option<(&'a Network, f64)>,
+        tables: std::sync::Arc<EvalTables>,
+    ) -> Self {
         let n = circuit.num_devices();
         let m = model.len();
-        let widths: Vec<f64> = model.blocks.iter().map(|b| b.width).collect();
-        let heights: Vec<f64> = model.blocks.iter().map(|b| b.height).collect();
-        let routable: Vec<u32> = circuit
-            .nets()
-            .iter()
-            .enumerate()
-            .filter(|(_, net)| net.is_routable())
-            .map(|(i, _)| i as u32)
-            .collect();
-        let halfw: Vec<f64> = circuit.devices().iter().map(|d| d.width / 2.0).collect();
-        let halfh: Vec<f64> = circuit.devices().iter().map(|d| d.height / 2.0).collect();
-        let mut net_pin_start = Vec::with_capacity(circuit.num_nets() + 1);
-        let mut pin_dev = Vec::new();
-        let mut pin_halfw = Vec::new();
-        let mut pin_halfh = Vec::new();
-        let mut pin_offx = Vec::new();
-        let mut pin_offx_flip = Vec::new();
-        let mut pin_offy = Vec::new();
-        let mut pin_offy_flip = Vec::new();
-        let mut net_weight = Vec::with_capacity(circuit.num_nets());
-        net_pin_start.push(0u32);
-        for net in circuit.nets() {
-            for p in &net.pins {
-                let d = circuit.device(p.device);
-                let (xp, yp) = d.pin_offset_flipped(p.pin.index(), false, false);
-                let (xp_flip, yp_flip) = d.pin_offset_flipped(p.pin.index(), true, true);
-                pin_dev.push(p.device.index() as u32);
-                pin_halfw.push(d.width / 2.0);
-                pin_halfh.push(d.height / 2.0);
-                pin_offx.push(xp);
-                pin_offx_flip.push(xp_flip);
-                pin_offy.push(yp);
-                pin_offy_flip.push(yp_flip);
-            }
-            net_pin_start.push(pin_dev.len() as u32);
-            net_weight.push(net.weight);
-        }
-        let num_pins = pin_dev.len();
-        let aligns: Vec<FlatAlign> = circuit
-            .constraints()
-            .alignments
-            .iter()
-            .map(|a| FlatAlign {
-                a: a.a.index() as u32,
-                b: a.b.index() as u32,
-                ha: circuit.device(a.a).height / 2.0,
-                hb: circuit.device(a.b).height / 2.0,
-                kind: a.kind,
-            })
-            .collect();
-        let mut windows = Vec::new();
-        for o in &circuit.constraints().orderings {
-            for w in o.devices.windows(2) {
-                let da = circuit.device(w[0]);
-                let db = circuit.device(w[1]);
-                let (ea, eb) = match o.direction {
-                    OrderDirection::Horizontal => (da.width / 2.0, db.width / 2.0),
-                    OrderDirection::Vertical => (da.height / 2.0, db.height / 2.0),
-                };
-                windows.push(FlatWindow {
-                    a: w[0].index() as u32,
-                    b: w[1].index() as u32,
-                    ea,
-                    eb,
-                    direction: o.direction,
-                });
-            }
-        }
-        let mut dev_aligns = vec![Vec::new(); n];
-        for (i, a) in aligns.iter().enumerate() {
-            dev_aligns[a.a as usize].push(i as u32);
-            dev_aligns[a.b as usize].push(i as u32);
-        }
-        let mut dev_windows = vec![Vec::new(); n];
-        for (i, w) in windows.iter().enumerate() {
-            dev_windows[w.a as usize].push(i as u32);
-            dev_windows[w.b as usize].push(i as u32);
-        }
+        let num_pins = tables.num_pins();
         let perf = perf.map(|(network, scale)| PerfEngine {
             network,
             graph: CircuitGraph::new(circuit, &Placement::new(n), scale),
             scratch: InferenceScratch::new(network, n),
         });
-        let num_aligns = circuit.constraints().alignments.len();
-        let num_windows = windows.len();
+        let num_aligns = tables.aligns.len();
+        let num_windows = tables.windows.len();
         let mut engine = Self {
             model,
             hpwl_weight: config.hpwl_weight,
             penalty_weight: config.penalty_weight,
-            widths,
-            heights,
-            halfw,
-            halfh,
-            device_nets: DeviceNets::new(circuit),
-            routable,
-            net_pin_start,
-            pin_dev,
-            pin_halfw,
-            pin_halfh,
-            pin_offx,
-            pin_offx_flip,
-            pin_offy,
-            pin_offy_flip,
-            net_weight,
-            aligns,
-            windows,
-            dev_aligns,
-            dev_windows,
+            tables,
             c_s1: vec![0; m],
             c_s2: vec![0; m],
             origins: Vec::with_capacity(m),
@@ -390,8 +436,8 @@ impl<'a> MoveEvaluator<'a> {
         self.c_s1.copy_from_slice(&state.seq_pair.s1);
         self.c_s2.copy_from_slice(&state.seq_pair.s2);
         state.seq_pair.pack_dims_with(
-            &self.widths,
-            &self.heights,
+            &self.tables.widths,
+            &self.tables.heights,
             &mut self.pack,
             &mut self.origins,
         );
@@ -409,13 +455,13 @@ impl<'a> MoveEvaluator<'a> {
         }
         sweep_all_nets(
             PinArrays {
-                dev: &self.pin_dev,
-                halfw: &self.pin_halfw,
-                halfh: &self.pin_halfh,
-                offx: &self.pin_offx,
-                offx_flip: &self.pin_offx_flip,
-                offy: &self.pin_offy,
-                offy_flip: &self.pin_offy_flip,
+                dev: &self.tables.pin_dev,
+                halfw: &self.tables.pin_halfw,
+                halfh: &self.tables.pin_halfh,
+                offx: &self.tables.pin_offx,
+                offx_flip: &self.tables.pin_offx_flip,
+                offy: &self.tables.pin_offy,
+                offy_flip: &self.tables.pin_offy_flip,
             },
             DeviceArrays {
                 pos_x: &self.pos_x,
@@ -425,24 +471,24 @@ impl<'a> MoveEvaluator<'a> {
             },
             &mut self.pin_x,
             &mut self.pin_y,
-            &self.routable,
-            &self.net_pin_start,
-            &self.net_weight,
+            &self.tables.routable,
+            &self.tables.net_pin_start,
+            &self.tables.net_weight,
             &mut self.net_vals,
         );
         for (i, v) in self.align_vals.iter_mut().enumerate() {
-            *v = flat_align_value(&self.aligns[i], &self.placement.positions);
+            *v = flat_align_value(&self.tables.aligns[i], &self.placement.positions);
         }
         for (i, v) in self.window_vals.iter_mut().enumerate() {
-            *v = flat_window_value(&self.windows[i], &self.placement.positions);
+            *v = flat_window_value(&self.tables.windows[i], &self.placement.positions);
         }
         self.cost = Self::assemble(
-            &self.halfw,
-            &self.halfh,
+            &self.tables.halfw,
+            &self.tables.halfh,
             &self.pos_x,
             &self.pos_y,
             &self.placement,
-            &self.routable,
+            &self.tables.routable,
             &self.net_vals,
             &self.align_vals,
             &self.window_vals,
@@ -488,8 +534,8 @@ impl<'a> MoveEvaluator<'a> {
             self.t_origins.extend_from_slice(&self.origins);
         } else {
             trial.seq_pair.pack_dims_with(
-                &self.widths,
-                &self.heights,
+                &self.tables.widths,
+                &self.tables.heights,
                 &mut self.pack,
                 &mut self.t_origins,
             );
@@ -559,13 +605,13 @@ impl<'a> MoveEvaluator<'a> {
             // pin coordinate, then each net folds its contiguous range.
             sweep_all_nets(
                 PinArrays {
-                    dev: &self.pin_dev,
-                    halfw: &self.pin_halfw,
-                    halfh: &self.pin_halfh,
-                    offx: &self.pin_offx,
-                    offx_flip: &self.pin_offx_flip,
-                    offy: &self.pin_offy,
-                    offy_flip: &self.pin_offy_flip,
+                    dev: &self.tables.pin_dev,
+                    halfw: &self.tables.pin_halfw,
+                    halfh: &self.tables.pin_halfh,
+                    offx: &self.tables.pin_offx,
+                    offx_flip: &self.tables.pin_offx_flip,
+                    offy: &self.tables.pin_offy,
+                    offy_flip: &self.tables.pin_offy_flip,
                 },
                 DeviceArrays {
                     pos_x: &self.t_pos_x,
@@ -575,15 +621,15 @@ impl<'a> MoveEvaluator<'a> {
                 },
                 &mut self.pin_x,
                 &mut self.pin_y,
-                &self.routable,
-                &self.net_pin_start,
-                &self.net_weight,
+                &self.tables.routable,
+                &self.tables.net_pin_start,
+                &self.tables.net_weight,
                 &mut self.t_net_vals,
             );
-            for (i, a) in self.aligns.iter().enumerate() {
+            for (i, a) in self.tables.aligns.iter().enumerate() {
                 self.t_align_vals[i] = flat_align_value(a, &self.t_placement.positions);
             }
-            for (i, w) in self.windows.iter().enumerate() {
+            for (i, w) in self.tables.windows.iter().enumerate() {
                 self.t_window_vals[i] = flat_window_value(w, &self.t_placement.positions);
             }
         } else {
@@ -594,43 +640,47 @@ impl<'a> MoveEvaluator<'a> {
             self.t_window_vals.copy_from_slice(&self.window_vals);
             for i in 0..self.dirty.len() {
                 let d = self.dirty[i] as usize;
-                for &ni in self.device_nets.nets_of(analog_netlist::DeviceId::new(d)) {
+                for &ni in self
+                    .tables
+                    .device_nets
+                    .nets_of(analog_netlist::DeviceId::new(d))
+                {
                     if self.net_mark[ni as usize] != self.epoch {
                         self.net_mark[ni as usize] = self.epoch;
-                        let s = self.net_pin_start[ni as usize] as usize;
-                        let e = self.net_pin_start[ni as usize + 1] as usize;
+                        let s = self.tables.net_pin_start[ni as usize] as usize;
+                        let e = self.tables.net_pin_start[ni as usize + 1] as usize;
                         self.t_net_vals[ni as usize] = net_hpwl_sparse(
-                            &self.pin_dev[s..e],
-                            &self.pin_halfw[s..e],
-                            &self.pin_halfh[s..e],
-                            &self.pin_offx[s..e],
-                            &self.pin_offx_flip[s..e],
-                            &self.pin_offy[s..e],
-                            &self.pin_offy_flip[s..e],
+                            &self.tables.pin_dev[s..e],
+                            &self.tables.pin_halfw[s..e],
+                            &self.tables.pin_halfh[s..e],
+                            &self.tables.pin_offx[s..e],
+                            &self.tables.pin_offx_flip[s..e],
+                            &self.tables.pin_offy[s..e],
+                            &self.tables.pin_offy_flip[s..e],
                             &DeviceArrays {
                                 pos_x: &self.t_pos_x,
                                 pos_y: &self.t_pos_y,
                                 flip_x: &self.t_flip_x,
                                 flip_y: &self.t_flip_y,
                             },
-                            self.net_weight[ni as usize],
+                            self.tables.net_weight[ni as usize],
                         );
                     }
                 }
-                for &ai in &self.dev_aligns[d] {
+                for &ai in &self.tables.dev_aligns[d] {
                     if self.align_mark[ai as usize] != self.epoch {
                         self.align_mark[ai as usize] = self.epoch;
                         self.t_align_vals[ai as usize] = flat_align_value(
-                            &self.aligns[ai as usize],
+                            &self.tables.aligns[ai as usize],
                             &self.t_placement.positions,
                         );
                     }
                 }
-                for &wi in &self.dev_windows[d] {
+                for &wi in &self.tables.dev_windows[d] {
                     if self.window_mark[wi as usize] != self.epoch {
                         self.window_mark[wi as usize] = self.epoch;
                         self.t_window_vals[wi as usize] = flat_window_value(
-                            &self.windows[wi as usize],
+                            &self.tables.windows[wi as usize],
                             &self.t_placement.positions,
                         );
                     }
@@ -638,12 +688,12 @@ impl<'a> MoveEvaluator<'a> {
             }
         }
         self.t_cost = Self::assemble(
-            &self.halfw,
-            &self.halfh,
+            &self.tables.halfw,
+            &self.tables.halfh,
             &self.t_pos_x,
             &self.t_pos_y,
             &self.t_placement,
-            &self.routable,
+            &self.tables.routable,
             &self.t_net_vals,
             &self.t_align_vals,
             &self.t_window_vals,

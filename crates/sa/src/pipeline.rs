@@ -13,12 +13,13 @@ use eplace::{
 use placer_gnn::Network;
 
 use crate::anneal::{
-    anneal, anneal_budgeted, AnnealRun, ChainCheckpoint, ChainEntry, PerfCost, SaCheckpoint,
+    anneal, anneal_budgeted_with, AnnealRun, ChainCheckpoint, ChainEntry, PerfCost, SaCheckpoint,
     SaConfig, SaCost, SaState,
 };
 use crate::island::BlockModel;
 use crate::repair::repair_placement;
 use crate::seqpair::SequencePair;
+use crate::shared::SaShared;
 
 /// Result of a full SA placement run.
 #[derive(Debug, Clone)]
@@ -153,9 +154,10 @@ impl SaPlacer {
         circuit: &Circuit,
         budget: &RunBudget,
         resume: Option<&SaCheckpoint>,
+        shared: Option<&SaShared>,
     ) -> Result<PlaceOutcome, PlaceError> {
         let t0 = Instant::now();
-        let run = anneal_budgeted(circuit, &self.config, None, budget, resume);
+        let run = anneal_budgeted_with(circuit, &self.config, None, budget, resume, shared);
         let anneal_seconds = t0.elapsed().as_secs_f64();
         match run {
             AnnealRun::Complete(annealed) => {
@@ -182,7 +184,7 @@ impl Placer for SaPlacer {
     }
 
     fn place(&self, circuit: &Circuit, budget: &RunBudget) -> Result<PlaceOutcome, PlaceError> {
-        self.run_engine(circuit, budget, None)
+        self.run_engine(circuit, budget, None, None)
     }
 
     fn resume(
@@ -192,9 +194,62 @@ impl Placer for SaPlacer {
         budget: &RunBudget,
     ) -> Result<PlaceOutcome, PlaceError> {
         expect_placer(checkpoint, self.name())?;
-        let sack = decode_checkpoint(checkpoint, circuit, &self.config)?;
-        self.run_engine(circuit, budget, Some(&sack))
+        let sack = decode_checkpoint(checkpoint, circuit, &self.config, None)?;
+        self.run_engine(circuit, budget, Some(&sack), None)
     }
+
+    fn place_artifacts(
+        &self,
+        artifacts: &eplace::CircuitArtifacts,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        let shared = artifacts.ext_or_build(SaShared::new);
+        self.run_engine(artifacts.circuit(), budget, None, Some(&shared))
+    }
+
+    fn resume_artifacts(
+        &self,
+        artifacts: &eplace::CircuitArtifacts,
+        checkpoint: &Checkpoint,
+        budget: &RunBudget,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        expect_placer(checkpoint, self.name())?;
+        let shared = artifacts.ext_or_build(SaShared::new);
+        let sack = decode_checkpoint(checkpoint, artifacts.circuit(), &self.config, Some(&shared))?;
+        self.run_engine(artifacts.circuit(), budget, Some(&sack), Some(&shared))
+    }
+
+    fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<eplace::RaceProbe> {
+        probe_checkpoint(circuit, checkpoint)
+    }
+}
+
+/// Best-so-far quality frozen in an SA checkpoint: scan every chain's
+/// committed (`done`) or best-pending cost group and report the lowest
+/// total. Pure function of the checkpoint text — no annealing state is
+/// touched, so racing probes stay bit-identical across thread counts.
+fn probe_checkpoint(circuit: &Circuit, ck: &Checkpoint) -> Option<eplace::RaceProbe> {
+    if ck.placer() != "sa" || ck.get_u64("n").ok()? as usize != circuit.num_devices() {
+        return None;
+    }
+    let chains = ck.get_u64("chains").ok()? as usize;
+    let mut best: Option<(f64, eplace::RaceProbe)> = None;
+    for i in 0..chains {
+        let p = format!("c{i}_");
+        let cost_prefix = match ck.get_str(&format!("{p}kind")).ok()? {
+            "done" => format!("{p}cost_"),
+            _ => format!("{p}best_cost_"),
+        };
+        let total = ck.get_f64(&format!("{cost_prefix}total")).ok()?;
+        let probe = eplace::RaceProbe {
+            hpwl: ck.get_f64(&format!("{cost_prefix}hpwl")).ok()?,
+            area: ck.get_f64(&format!("{cost_prefix}area")).ok()?,
+        };
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, probe));
+        }
+    }
+    best.map(|(_, probe)| probe)
 }
 
 fn bad_checkpoint(message: String) -> PlaceError {
@@ -322,6 +377,7 @@ fn decode_checkpoint(
     ck: &Checkpoint,
     circuit: &Circuit,
     config: &SaConfig,
+    shared: Option<&SaShared>,
 ) -> Result<SaCheckpoint, PlaceError> {
     let n = circuit.num_devices();
     let stored_n = ck.get_u64("n")? as usize;
@@ -337,7 +393,10 @@ fn decode_checkpoint(
             config.chains.max(1)
         )));
     }
-    let blocks = BlockModel::new(circuit).len();
+    let blocks = match shared {
+        Some(s) => s.model.len(),
+        None => BlockModel::new(circuit).len(),
+    };
     let mut entries = Vec::with_capacity(chains);
     for i in 0..chains {
         let p = format!("c{i}_");

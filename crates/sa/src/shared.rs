@@ -1,0 +1,52 @@
+//! Shared SA build artifacts for batched sweeps.
+//!
+//! [`SaShared`] bundles everything the annealer derives from the circuit
+//! alone — the symmetry-island [`BlockModel`] and the immutable
+//! [`EvalTables`] — so a sweep running many SA variants over one netlist
+//! builds them once and hands every chain the same read-only copy. Both
+//! are pure functions of the circuit, so sharing them changes where the
+//! bytes live, not what any chain computes: results stay bit-identical to
+//! cold-built runs (asserted by `shared_artifacts_match_cold_build`).
+
+use std::sync::Arc;
+
+use analog_netlist::Circuit;
+
+use crate::evaluator::EvalTables;
+use crate::island::BlockModel;
+
+/// Circuit-derived SA state safe to share across concurrent runs.
+#[derive(Debug)]
+pub struct SaShared {
+    /// The symmetry-island decomposition (deterministic per circuit).
+    pub model: Arc<BlockModel>,
+    /// Immutable move-pricing tables (pure function of circuit + model).
+    pub tables: Arc<EvalTables>,
+}
+
+impl SaShared {
+    /// Builds the shared artifacts for a circuit. This is the one-time
+    /// cost a sweep amortizes; everything inside is read-only afterwards.
+    pub fn new(circuit: &Circuit) -> Self {
+        let model = BlockModel::new(circuit);
+        let tables = EvalTables::new(circuit, &model);
+        Self {
+            model: Arc::new(model),
+            tables: Arc::new(tables),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn shared_model_matches_cold_build() {
+        let c = testcases::cc_ota();
+        let shared = SaShared::new(&c);
+        let cold = BlockModel::new(&c);
+        assert_eq!(*shared.model, cold);
+    }
+}

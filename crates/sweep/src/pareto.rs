@@ -1,0 +1,92 @@
+//! Pareto front over `(HPWL, area)` for sweep reporting.
+
+/// One non-dominated sweep outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Variant index the point came from.
+    pub variant: usize,
+    /// Placer that produced it.
+    pub placer: String,
+    /// Exact HPWL (µm).
+    pub hpwl: f64,
+    /// Bounding-box area (µm²).
+    pub area: f64,
+}
+
+impl ParetoPoint {
+    /// The racing figure of merit (`hpwl × area`).
+    pub fn fom(&self) -> f64 {
+        self.hpwl * self.area
+    }
+}
+
+/// Filters `points` down to the non-dominated set, sorted by
+/// `(hpwl, area, variant, placer)` — a deterministic order for any input
+/// permutation. A point is dominated when another is no worse on both
+/// axes and strictly better on at least one.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                q.hpwl <= p.hpwl && q.area <= p.area && (q.hpwl < p.hpwl || q.area < p.area)
+            })
+        })
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        a.hpwl
+            .total_cmp(&b.hpwl)
+            .then(a.area.total_cmp(&b.area))
+            .then(a.variant.cmp(&b.variant))
+            .then(a.placer.cmp(&b.placer))
+    });
+    // Identical (hpwl, area) pairs survive domination together; keep one
+    // representative per coordinate so the front stays a set of points.
+    front.dedup_by(|a, b| a.hpwl == b.hpwl && a.area == b.area);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(variant: usize, hpwl: f64, area: f64) -> ParetoPoint {
+        ParetoPoint {
+            variant,
+            placer: "sa".into(),
+            hpwl,
+            area,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let points = vec![pt(0, 10.0, 5.0), pt(1, 12.0, 6.0), pt(2, 8.0, 9.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].variant, 2); // hpwl-sorted
+        assert_eq!(front[1].variant, 0);
+    }
+
+    #[test]
+    fn front_is_permutation_invariant() {
+        let a = vec![
+            pt(0, 3.0, 7.0),
+            pt(1, 5.0, 5.0),
+            pt(2, 7.0, 3.0),
+            pt(3, 6.0, 6.0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(pareto_front(&a), pareto_front(&b));
+    }
+
+    #[test]
+    fn duplicate_coordinates_keep_one_representative() {
+        let points = vec![pt(1, 4.0, 4.0), pt(0, 4.0, 4.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].variant, 0, "lowest variant wins the tie");
+    }
+}

@@ -1,0 +1,159 @@
+//! Sweep configuration and variant expansion.
+//!
+//! A [`SweepConfig`] names one circuit and the axes to sweep: seeds,
+//! utilization targets, and the placer portfolio raced per variant.
+//! [`SweepConfig::variants`] expands the cross product deterministically
+//! (seed-major, utilization-minor), so variant indices — and everything
+//! keyed on them, like job ids — are stable across runs and thread counts.
+
+use placer_jobs::Profile;
+
+use crate::race::RaceConfig;
+
+/// One point of the sweep: a `(seed, utilization)` pair. Every variant
+/// races the full placer portfolio on the shared artifacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variant {
+    /// Index in expansion order (stable; names the JSONL rows).
+    pub index: usize,
+    /// Seed handed to each racer's config.
+    pub seed: u64,
+    /// Density utilization override (`None` = each placer's default).
+    /// Applies to the placers with a utilization knob (ePlace-A/AP, Xu19);
+    /// SA packs exactly and ignores it.
+    pub utilization: Option<f64>,
+}
+
+impl Variant {
+    /// The id prefix for this variant's job reports:
+    /// `<circuit>-s<seed>[-u<percent>]`.
+    pub fn id_prefix(&self, circuit: &str) -> String {
+        match self.utilization {
+            Some(u) => format!("{circuit}-s{}-u{}", self.seed, (u * 100.0).round() as u64),
+            None => format!("{circuit}-s{}", self.seed),
+        }
+    }
+}
+
+/// The full sweep request: circuit, axes, portfolio and racing policy.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Testcase name resolved via `analog_netlist::testcases` (or a key
+    /// previously primed into the shared [`eplace::ArtifactCache`]).
+    pub circuit: String,
+    /// The placer portfolio raced on every variant (wire names as
+    /// accepted by [`placer_jobs::make_placer`]).
+    pub placers: Vec<String>,
+    /// Seed axis; one group of racers per seed (× utilization).
+    pub seeds: Vec<u64>,
+    /// Utilization axis; empty means "default utilization only".
+    pub utilizations: Vec<f64>,
+    /// Configuration profile for every racer.
+    pub profile: Profile,
+    /// The racing policy (rounds, quota, kill threshold).
+    pub race: RaceConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            circuit: "cc_ota".into(),
+            placers: vec![
+                "eplace-a".into(),
+                "eplace-ap".into(),
+                "sa".into(),
+                "xu19".into(),
+            ],
+            seeds: vec![1],
+            utilizations: Vec::new(),
+            profile: Profile::Small,
+            race: RaceConfig::default(),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Expands the sweep axes into the variant list, seed-major.
+    pub fn variants(&self) -> Vec<Variant> {
+        let utils: Vec<Option<f64>> = if self.utilizations.is_empty() {
+            vec![None]
+        } else {
+            self.utilizations.iter().copied().map(Some).collect()
+        };
+        let mut out = Vec::with_capacity(self.seeds.len() * utils.len());
+        for &seed in &self.seeds {
+            for &utilization in &utils {
+                out.push(Variant {
+                    index: out.len(),
+                    seed,
+                    utilization,
+                });
+            }
+        }
+        out
+    }
+
+    /// Validates the axes: at least one placer and one seed, utilizations
+    /// inside `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.placers.is_empty() {
+            return Err("`placers` must name at least one placer".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("`seeds` must hold at least one seed".into());
+        }
+        for &u in &self.utilizations {
+            if !(u > 0.0 && u <= 1.0) {
+                return Err(format!("utilization {u} outside (0, 1]"));
+            }
+        }
+        self.race.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_seed_major_and_indexed() {
+        let cfg = SweepConfig {
+            seeds: vec![3, 5],
+            utilizations: vec![0.4, 0.5],
+            ..SweepConfig::default()
+        };
+        let v = cfg.variants();
+        assert_eq!(v.len(), 4);
+        assert_eq!((v[0].seed, v[0].utilization), (3, Some(0.4)));
+        assert_eq!((v[1].seed, v[1].utilization), (3, Some(0.5)));
+        assert_eq!((v[2].seed, v[2].utilization), (5, Some(0.4)));
+        assert_eq!((v[3].seed, v[3].utilization), (5, Some(0.5)));
+        assert!(v.iter().enumerate().all(|(i, v)| v.index == i));
+        assert_eq!(v[1].id_prefix("ota"), "ota-s3-u50");
+    }
+
+    #[test]
+    fn empty_utilization_axis_means_defaults() {
+        let cfg = SweepConfig::default();
+        let v = cfg.variants();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].utilization, None);
+        assert_eq!(v[0].id_prefix("ota"), "ota-s1");
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        let mut cfg = SweepConfig::default();
+        cfg.placers.clear();
+        assert!(cfg.validate().is_err());
+        let cfg = SweepConfig {
+            utilizations: vec![1.5],
+            ..SweepConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("utilization"));
+    }
+}

@@ -199,6 +199,29 @@ impl Placer for Xu19Placer {
         let ck = decode_checkpoint(checkpoint, circuit, &self.global)?;
         self.run_engine(circuit, budget, Some(&ck))
     }
+
+    // `place_artifacts`/`resume_artifacts` keep the trait defaults: the
+    // Xu19 global pass derives only cheap per-run state (bell grids, LSE
+    // scratch) from the circuit, so the shared parsed circuit is the whole
+    // artifact win here.
+
+    fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<eplace::RaceProbe> {
+        // Best-so-far quality from the frozen solver coordinates — a pure
+        // function of the checkpoint text (racing determinism contract).
+        if checkpoint.placer() != "xu19" {
+            return None;
+        }
+        let n = circuit.num_devices();
+        let x = checkpoint.get_f64s("x").ok()?;
+        if x.len() != 2 * n {
+            return None;
+        }
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
+        Some(eplace::RaceProbe {
+            hpwl: eplace::wirelength::exact_hpwl(circuit, &pts),
+            area: eplace::exact_area(circuit, &pts),
+        })
+    }
 }
 
 fn bad_checkpoint(message: String) -> PlaceError {
