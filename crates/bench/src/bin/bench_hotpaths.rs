@@ -165,7 +165,15 @@ fn time_median<F: FnMut()>(samples: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let t0 = Instant::now();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, ledger_flag) = match placer_bench::trace::take_ledger_flag(&raw_args) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("bench_hotpaths: {e}");
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick")
         || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
     let check_baseline = args.iter().find_map(|a| {
@@ -688,6 +696,32 @@ fn main() {
         .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
     std::fs::write(&out_path, &json).expect("write BENCH_hotpaths.json");
     println!("wrote {out_path}");
+
+    // Run-ledger record: one line per invocation with the per-lane
+    // speedups, so regressions are visible in history without diffing the
+    // snapshot files by hand.
+    {
+        use placer_obs::ledger::{LedgerRecord, RunLedger};
+
+        let ledger = RunLedger::from_flag(ledger_flag.as_deref());
+        let mut record = LedgerRecord::new("bench_hotpaths");
+        record
+            .flag("quick", quick)
+            .str_field("out", &out_path)
+            .str_field("simd_detected", placer_simd::detected().name())
+            .str_field("simd_selected", placer_simd::selected().name())
+            .uint("threads", placer_parallel::max_threads() as u64)
+            .uint("lanes", rows.len() as u64)
+            .uint("lanes_skipped", skipped.len() as u64)
+            .num("wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+        for r in &rows {
+            record.num(&format!("speedup.{}", r.name), r.before_ms / r.after_ms);
+        }
+        record.metrics(&placer_obs::metrics::MetricsSnapshot::capture());
+        if let Err(e) = ledger.append(&record) {
+            eprintln!("bench_hotpaths: appending run ledger: {e}");
+        }
+    }
 
     if let Some(baseline) = baseline_snapshot {
         let committed = parse_speedups(&baseline);

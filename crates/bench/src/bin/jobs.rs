@@ -8,6 +8,8 @@
 //! jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR]
 //!                  [--placements-dir DIR] [--resume]
 //!                  [--cancel-after-checks N] [--expect STATUS]
+//!                  [--progress[=human|jsonl]] [--trace[=FILE]]
+//!                  [--ledger none|PATH]
 //! ```
 //!
 //! - `--checkpoint-dir DIR`: cancelled jobs write `<id>.ckpt` here;
@@ -18,6 +20,12 @@
 //! - `--expect STATUS`: exit nonzero unless every job ends in STATUS
 //!   (`complete`, `exhausted`, `cancelled` or `failed`) with a legal
 //!   placement where one is produced — the CI assertion hook.
+//! - `--progress[=human|jsonl]`: stream per-job status lines to stderr
+//!   while the batch runs (needs a `--features telemetry` build).
+//! - `--trace[=FILE]`: capture a telemetry trace of the whole batch
+//!   (default `results/traces/jobs.jsonl`).
+//! - `--ledger none|PATH`: where to append the run-ledger record
+//!   (default `results/ledger.jsonl`; `none` disables).
 //!
 //! Exit code is `0` on success, `1` on bad usage or unparseable specs,
 //! `2` when `--expect` is violated or any job fails unexpectedly.
@@ -25,8 +33,16 @@
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use placer_bench::trace::{
+    finish_batch_trace, install_batch_trace, parse_progress_mode, require_progress_or_exit,
+    require_tracing_or_exit, TRACE_DIR,
+};
 use placer_jobs::{parse_jobs, JobEngine, JobStatus};
+use placer_obs::ledger::{LedgerRecord, RunLedger};
+use placer_obs::metrics::MetricsSnapshot;
+use placer_obs::progress::{self, ProgressMode};
 
 struct Options {
     specs_path: String,
@@ -34,11 +50,15 @@ struct Options {
     engine: JobEngine,
     cancel_after_checks: Option<u64>,
     expect: Option<JobStatus>,
+    progress: Option<ProgressMode>,
+    trace: Option<Option<String>>,
+    ledger: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR] \
-     [--placements-dir DIR] [--resume] [--cancel-after-checks N] [--expect STATUS]"
+     [--placements-dir DIR] [--resume] [--cancel-after-checks N] [--expect STATUS] \
+     [--progress[=human|jsonl]] [--trace[=FILE]] [--ledger none|PATH]"
 }
 
 fn parse_status(s: &str) -> Result<JobStatus, String> {
@@ -58,6 +78,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         engine: JobEngine::default(),
         cancel_after_checks: None,
         expect: None,
+        progress: None,
+        trace: None,
+        ledger: None,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -83,6 +106,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(v.parse().map_err(|_| format!("bad check count `{v}`"))?);
             }
             "--expect" => opts.expect = Some(parse_status(&value("--expect", &mut it)?)?),
+            "--progress" => opts.progress = Some(parse_progress_mode(None)?),
+            "--trace" => opts.trace = Some(None),
+            "--ledger" => opts.ledger = Some(value("--ledger", &mut it)?),
+            flag if flag.starts_with("--progress=") => {
+                opts.progress = Some(parse_progress_mode(flag.strip_prefix("--progress="))?);
+            }
+            flag if flag.starts_with("--trace=") => {
+                opts.trace = Some(flag.strip_prefix("--trace=").map(str::to_string));
+            }
+            flag if flag.starts_with("--ledger=") => {
+                opts.ledger = flag.strip_prefix("--ledger=").map(str::to_string);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path if opts.specs_path.is_empty() => opts.specs_path = path.to_string(),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -139,7 +174,38 @@ fn main() -> ExitCode {
         }
     }
 
+    if opts.progress.is_some() {
+        require_progress_or_exit();
+    }
+    let trace_path = opts.trace.as_ref().map(|p| {
+        require_tracing_or_exit();
+        PathBuf::from(
+            p.clone()
+                .unwrap_or_else(|| format!("{TRACE_DIR}/jobs.jsonl")),
+        )
+    });
+    let t0 = Instant::now();
+    // Trace sink first (its install resets the stat registries), progress
+    // observer second so the counters keep accumulating across both.
+    if let Some(path) = &trace_path {
+        install_batch_trace("jobs", path);
+    }
+    if let Some(mode) = opts.progress {
+        if let Err(e) = progress::install(mode) {
+            eprintln!("jobs: installing progress reporter: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
     let reports = opts.engine.run(&specs);
+
+    progress::uninstall();
+    let metrics = MetricsSnapshot::capture();
+    if let Some(path) = &trace_path {
+        finish_batch_trace(path, t0);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
     let mut lines = String::new();
     for report in &reports {
         lines.push_str(&report.to_line());
@@ -151,6 +217,31 @@ fn main() -> ExitCode {
             eprintln!("jobs: writing {}: {e}", path.display());
             return ExitCode::from(1);
         }
+    }
+
+    let ledger = RunLedger::from_flag(opts.ledger.as_deref());
+    let mut record = LedgerRecord::new("jobs");
+    record
+        .str_field("specs", &opts.specs_path)
+        .uint("jobs", reports.len() as u64)
+        .num("wall_ms", wall_ms)
+        .str_field("simd", placer_simd::selected().name())
+        .uint("threads", placer_parallel::max_threads() as u64)
+        .flag("resume", opts.engine.resume)
+        .uint("progress_dropped", progress::dropped());
+    for (key, status) in [
+        ("complete", JobStatus::Complete),
+        ("exhausted", JobStatus::Exhausted),
+        ("cancelled", JobStatus::Cancelled),
+        ("killed", JobStatus::Killed),
+        ("failed", JobStatus::Failed),
+    ] {
+        let n = reports.iter().filter(|r| r.status == status).count();
+        record.uint(key, n as u64);
+    }
+    record.metrics(&metrics);
+    if let Err(e) = ledger.append(&record) {
+        eprintln!("jobs: appending run ledger: {e}");
     }
 
     let mut ok = true;

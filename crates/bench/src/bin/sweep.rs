@@ -8,7 +8,8 @@
 //!       [--rounds N] [--round-checks N] [--kill-ratio X] [--min-survivors N]
 //!       [--threads N] [--serial] [--out REPORTS.jsonl] [--pareto]
 //!       [--stable] [--expect-killed N] [--expect-pareto N]
-//!       [--expect-hit-rate PCT]
+//!       [--expect-hit-rate PCT] [--progress[=human|jsonl]]
+//!       [--trace[=FILE]] [--ledger none|PATH]
 //! ```
 //!
 //! - `--seeds` takes a comma list (`1,2,7`) or an inclusive range
@@ -24,14 +25,32 @@
 //!   are the CI assertion hooks: at least N racers killed by the
 //!   tournament, at least N Pareto points, cache hit rate above PCT
 //!   percent.
+//! - `--progress[=human|jsonl]` streams per-variant status lines to
+//!   stderr (needs a `--features telemetry` build); `--trace[=FILE]`
+//!   captures a telemetry trace of the sweep (default
+//!   `results/traces/sweep.jsonl`); `--ledger none|PATH` controls the
+//!   run-ledger append (default `results/ledger.jsonl`).
+//!
+//! Stdout carries only report JSONL (and `--pareto` lines); the human
+//! summary goes through `vlog!` (set `PLACER_VERBOSE=1`).
 //!
 //! Exit code is `0` on success, `1` on bad usage, `2` when an assertion
 //! (`--stable` or any `--expect-*`) is violated.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use placer_bench::trace::{
+    finish_batch_trace, install_batch_trace, parse_progress_mode, require_progress_or_exit,
+    require_tracing_or_exit, TRACE_DIR,
+};
 use placer_jobs::Profile;
+use placer_obs::ledger::{LedgerRecord, RunLedger};
+use placer_obs::metrics::MetricsSnapshot;
+use placer_obs::progress::{self, ProgressMode};
 use placer_sweep::{ParallelBackend, SerialBackend, SweepConfig, SweepEngine, SweepResult};
+use placer_telemetry::vlog;
 
 struct Options {
     config: SweepConfig,
@@ -43,6 +62,9 @@ struct Options {
     expect_killed: Option<usize>,
     expect_pareto: Option<usize>,
     expect_hit_rate: Option<f64>,
+    progress: Option<ProgressMode>,
+    trace: Option<Option<String>>,
+    ledger: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -50,7 +72,8 @@ fn usage() -> &'static str {
      [--utils U,...] [--profile default|small] [--rounds N] [--round-checks N] \
      [--kill-ratio X] [--min-survivors N] [--threads N] [--serial] \
      [--out FILE] [--pareto] [--stable] [--expect-killed N] \
-     [--expect-pareto N] [--expect-hit-rate PCT]"
+     [--expect-pareto N] [--expect-hit-rate PCT] [--progress[=human|jsonl]] \
+     [--trace[=FILE]] [--ledger none|PATH]"
 }
 
 fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
@@ -92,6 +115,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         expect_killed: None,
         expect_pareto: None,
         expect_hit_rate: None,
+        progress: None,
+        trace: None,
+        ledger: None,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -156,6 +182,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value("--expect-hit-rate", &mut it)?;
                 opts.expect_hit_rate = Some(v.parse().map_err(|_| format!("bad percent `{v}`"))?);
             }
+            "--progress" => opts.progress = Some(parse_progress_mode(None)?),
+            "--trace" => opts.trace = Some(None),
+            "--ledger" => opts.ledger = Some(value("--ledger", &mut it)?),
+            flag if flag.starts_with("--progress=") => {
+                opts.progress = Some(parse_progress_mode(flag.strip_prefix("--progress="))?);
+            }
+            flag if flag.starts_with("--trace=") => {
+                opts.trace = Some(flag.strip_prefix("--trace=").map(str::to_string));
+            }
+            flag if flag.starts_with("--ledger=") => {
+                opts.ledger = flag.strip_prefix("--ledger=").map(str::to_string);
+            }
             flag => return Err(format!("unknown argument `{flag}`")),
         }
     }
@@ -217,6 +255,29 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.progress.is_some() {
+        require_progress_or_exit();
+    }
+    let trace_path = opts.trace.as_ref().map(|p| {
+        require_tracing_or_exit();
+        PathBuf::from(
+            p.clone()
+                .unwrap_or_else(|| format!("{TRACE_DIR}/sweep.jsonl")),
+        )
+    });
+    let t0 = Instant::now();
+    // Trace sink first (its install resets the stat registries), progress
+    // observer second so the counters keep accumulating across both.
+    if let Some(path) = &trace_path {
+        install_batch_trace("sweep", path);
+    }
+    if let Some(mode) = opts.progress {
+        if let Err(e) = progress::install(mode) {
+            eprintln!("sweep: installing progress reporter: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
     let result = if opts.stable {
         // The determinism contract, exercised end to end: a serial
         // single-threaded sweep and a parallel four-threaded one must
@@ -248,7 +309,7 @@ fn main() -> ExitCode {
                     }
                     return ExitCode::from(2);
                 }
-                println!("stable: serial(1) and parallel(4) runs identical");
+                vlog!(1, "stable: serial(1) and parallel(4) runs identical");
                 a
             }
             (Err(e), _) | (_, Some(Err(e))) => {
@@ -270,6 +331,13 @@ fn main() -> ExitCode {
         }
     };
 
+    progress::uninstall();
+    let metrics = MetricsSnapshot::capture();
+    if let Some(path) = &trace_path {
+        finish_batch_trace(path, t0);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
     let lines = result.to_jsonl();
     print!("{lines}");
     if let Some(path) = &opts.out {
@@ -281,7 +349,11 @@ fn main() -> ExitCode {
     if opts.pareto {
         print!("{}", pareto_lines(&result));
     }
-    println!(
+    // The human summary stays off stdout (reports only) and off the
+    // `--progress` stderr stream: verbosity-gated like every other
+    // diagnostic line.
+    vlog!(
+        1,
         "sweep: {} variants on {}, backend {}, {} killed, {} pareto points, \
          cache {}/{} ({:.1}% hits)",
         result.variants.len(),
@@ -293,6 +365,31 @@ fn main() -> ExitCode {
         result.cache_hits + result.cache_misses,
         100.0 * result.cache_hit_rate()
     );
+
+    let ledger = RunLedger::from_flag(opts.ledger.as_deref());
+    let mut record = LedgerRecord::new("sweep");
+    record
+        .str_field("circuit", &opts.config.circuit)
+        .uint("variants", result.variants.len() as u64)
+        .uint(
+            "racers",
+            result.variants.iter().map(|v| v.reports.len() as u64).sum(),
+        )
+        .uint("killed", result.killed() as u64)
+        .uint("pareto", result.pareto.len() as u64)
+        .uint("cache_hits", result.cache_hits)
+        .uint("cache_misses", result.cache_misses)
+        .num("cache_hit_rate", result.cache_hit_rate())
+        .str_field("backend", result.backend)
+        .num("wall_ms", wall_ms)
+        .str_field("simd", placer_simd::selected().name())
+        .uint("threads", placer_parallel::max_threads() as u64)
+        .flag("stable", opts.stable)
+        .uint("progress_dropped", progress::dropped());
+    record.metrics(&metrics);
+    if let Err(e) = ledger.append(&record) {
+        eprintln!("sweep: appending run ledger: {e}");
+    }
 
     let mut ok = true;
     if let Some(want) = opts.expect_killed {

@@ -3,6 +3,11 @@
 //! span table, counters, histograms, and first→last convergence lines for
 //! each event kind.
 //!
+//! Also understands the other JSONL the harness emits: job/sweep report
+//! rows (typeless lines with `id` + `status`, including the sweep racing
+//! `killed` status and its optional `fom` field), `--progress=jsonl`
+//! streams, and run-ledger records — so any produced file validates.
+//!
 //! Usage: `trace_report <trace.jsonl> [more.jsonl ...]`. Exits nonzero on
 //! unreadable files or malformed lines, so CI can use it as a validator.
 
@@ -34,6 +39,10 @@ fn report(path: &str) -> Result<(), String> {
     let mut spans: Vec<(String, f64, f64, f64)> = Vec::new(); // name, calls, total_ms, self_ms
     let mut histograms: Vec<(String, f64, String)> = Vec::new();
     let mut phases: Vec<(String, f64)> = Vec::new();
+    let mut report_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut report_foms: Vec<f64> = Vec::new();
+    let mut progress_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut ledgers: Vec<String> = Vec::new();
 
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -43,7 +52,18 @@ fn report(path: &str) -> Result<(), String> {
         let get = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| v);
         let get_num = |key: &str| get(key).and_then(JsonValue::as_num);
         let get_str = |key: &str| get(key).and_then(JsonValue::as_str).map(str::to_string);
-        let ty = get_str("type").ok_or_else(|| format!("{path}:{}: no type", lineno + 1))?;
+        let Some(ty) = get_str("type") else {
+            // Job/sweep report rows carry no `type` tag (the pre-sweep
+            // protocol froze their shape): recognize them by id + status.
+            let (Some(_), Some(status)) = (get_str("id"), get_str("status")) else {
+                return Err(format!("{path}:{}: no type", lineno + 1));
+            };
+            *report_counts.entry(status).or_insert(0) += 1;
+            if let Some(fom) = get_num("fom") {
+                report_foms.push(fom);
+            }
+            continue;
+        };
         match ty.as_str() {
             "manifest" => {
                 let pairs: Vec<String> = kv
@@ -122,6 +142,25 @@ fn report(path: &str) -> Result<(), String> {
                     get_num("seconds").unwrap_or(0.0),
                 ));
             }
+            "progress" => {
+                let phase = get_str("phase").unwrap_or_default();
+                *progress_counts.entry(phase).or_insert(0) += 1;
+            }
+            "ledger" => {
+                let mut parts: Vec<String> = Vec::new();
+                for key in ["cmd", "git", "ts_ms", "wall_ms", "jobs", "variants"] {
+                    if let Some(v) = get(key) {
+                        let v = match v {
+                            JsonValue::Num(n) => format!("{n}"),
+                            JsonValue::Str(s) => s.clone(),
+                            JsonValue::Bool(b) => format!("{b}"),
+                            JsonValue::Null => "null".into(),
+                        };
+                        parts.push(format!("{key}={v}"));
+                    }
+                }
+                ledgers.push(parts.join("  "));
+            }
             _ => {} // forward compatibility: unknown line types are skipped
         }
     }
@@ -130,8 +169,38 @@ fn report(path: &str) -> Result<(), String> {
     for m in &manifests {
         println!("manifest: {m}");
     }
+    for l in &ledgers {
+        println!("ledger: {l}");
+    }
     for (name, seconds) in &phases {
         println!("wall {name}: {seconds:.3}s");
+    }
+
+    if !report_counts.is_empty() {
+        let total: u64 = report_counts.values().sum();
+        let by_status: Vec<String> = report_counts
+            .iter()
+            .map(|(status, n)| format!("{status} {n}"))
+            .collect();
+        print!("report rows: {total} ({})", by_status.join(", "));
+        if !report_foms.is_empty() {
+            let best = report_foms.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = report_foms.iter().sum::<f64>() / report_foms.len() as f64;
+            print!(
+                "  fom best={best:.6} mean={mean:.6} over {}",
+                report_foms.len()
+            );
+        }
+        println!();
+    }
+
+    if !progress_counts.is_empty() {
+        let total: u64 = progress_counts.values().sum();
+        let by_phase: Vec<String> = progress_counts
+            .iter()
+            .map(|(phase, n)| format!("{phase} {n}"))
+            .collect();
+        println!("progress events: {total} ({})", by_phase.join(", "));
     }
 
     // Stats reset on sink install but registry membership persists, so a

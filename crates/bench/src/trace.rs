@@ -14,7 +14,10 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use placer_obs::progress::ProgressMode;
 use placer_telemetry::Field;
+
+pub use placer_obs::json::{parse_flat_json, JsonValue};
 
 /// Where traced bench runs write their JSONL files.
 pub const TRACE_DIR: &str = "results/traces";
@@ -51,6 +54,57 @@ pub fn require_tracing_or_exit() {
         );
         std::process::exit(2);
     }
+}
+
+/// Exits with a rebuild hint when `--progress` was requested but the live
+/// progress machinery is compiled out of this binary.
+pub fn require_progress_or_exit() {
+    if !placer_obs::progress_compiled() {
+        eprintln!(
+            "error: --progress needs instrumentation that is compiled out of this binary.\n\
+             Rebuild with: cargo run --release -p placer-bench --features telemetry --bin <bin> -- --progress"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Parses a `--progress` / `--progress=jsonl|human` argument value.
+///
+/// `None` (a bare `--progress`) defaults to human-readable lines.
+///
+/// # Errors
+///
+/// Returns a message for unknown mode names.
+pub fn parse_progress_mode(value: Option<&str>) -> Result<ProgressMode, String> {
+    match value {
+        None => Ok(ProgressMode::Human),
+        Some(v) => ProgressMode::parse(v).ok_or_else(|| format!("unknown progress mode `{v}`")),
+    }
+}
+
+/// Extracts `--ledger VALUE` / `--ledger=VALUE` from an argument list,
+/// returning the remaining arguments and the flag value (for binaries with
+/// positional-scan argument handling; flag-matching binaries parse it
+/// directly).
+///
+/// # Errors
+///
+/// Returns a message when `--ledger` has no value.
+pub fn take_ledger_flag(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut ledger = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--ledger" {
+            let v = it.next().ok_or("`--ledger` needs a value")?;
+            ledger = Some(v.clone());
+        } else if let Some(v) = a.strip_prefix("--ledger=") {
+            ledger = Some(v.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, ledger))
 }
 
 /// The trace file path for one `(circuit, placer)` pair.
@@ -105,144 +159,53 @@ pub fn with_trace<T>(circuit: &str, placer: &str, seed: u64, f: impl FnOnce() ->
     placer_telemetry::flush();
     placer_telemetry::flush_stats();
     placer_telemetry::uninstall();
-    eprintln!("trace: wrote {}", path.display());
+    placer_telemetry::vlog!(1, "trace: wrote {}", path.display());
     out
 }
 
-/// A scalar value in one flat JSONL line.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// A JSON number (the sink never writes exponents it can't reparse).
-    Num(f64),
-    /// A JSON string, unescaped.
-    Str(String),
-    /// `true` / `false`.
-    Bool(bool),
-    /// `null` (the sink writes NaN/inf samples as null).
-    Null,
-}
-
-impl JsonValue {
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one flat (non-nested) JSON object line into ordered key/value
-/// pairs. This covers exactly the shape the telemetry sink emits: string
-/// keys, scalar values, no arrays or sub-objects.
+/// Installs a trace sink for a whole batch binary run (the `jobs` / `sweep`
+/// equivalent of the per-`(circuit, placer)` [`with_trace`]), stamping a
+/// command-level manifest. Close it with [`finish_batch_trace`].
 ///
-/// # Errors
+/// # Panics
 ///
-/// Returns a description of the first malformed token.
-pub fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
-    let mut chars = line.trim().chars().peekable();
-    let mut out = Vec::new();
-    if chars.next() != Some('{') {
-        return Err("expected '{'".into());
-    }
-    loop {
-        match chars.peek() {
-            Some('}') => {
-                chars.next();
-                break;
-            }
-            Some(',') => {
-                chars.next();
-            }
-            Some('"') => {}
-            Some(c) => return Err(format!("unexpected character {c:?}")),
-            None => return Err("unterminated object".into()),
-        }
-        if chars.peek() == Some(&'"') {
-            let key = parse_string(&mut chars)?;
-            if chars.next() != Some(':') {
-                return Err(format!("expected ':' after key {key:?}"));
-            }
-            let value = match chars.peek() {
-                Some('"') => JsonValue::Str(parse_string(&mut chars)?),
-                Some('t') | Some('f') | Some('n') => {
-                    let word: String = chars
-                        .by_ref()
-                        .take_while(|c| c.is_ascii_alphabetic())
-                        .collect();
-                    // take_while consumed the delimiter (',' or '}'); put
-                    // its effect back by handling it here.
-                    let v = match word.as_str() {
-                        "true" => JsonValue::Bool(true),
-                        "false" => JsonValue::Bool(false),
-                        "null" => JsonValue::Null,
-                        w => return Err(format!("bad literal {w:?}")),
-                    };
-                    out.push((key, v));
-                    // The delimiter swallowed by take_while was ',' or '}'.
-                    // Peek at what follows: if the line continues, loop; if
-                    // not, we are done.
-                    if chars.peek().is_none() {
-                        return Ok(out);
-                    }
-                    continue;
-                }
-                _ => {
-                    let mut num = String::new();
-                    while let Some(&c) = chars.peek() {
-                        if c.is_ascii_digit() || "+-.eE".contains(c) {
-                            num.push(c);
-                            chars.next();
-                        } else {
-                            break;
-                        }
-                    }
-                    JsonValue::Num(
-                        num.parse()
-                            .map_err(|e| format!("bad number {num:?}: {e}"))?,
-                    )
-                }
-            };
-            out.push((key, value));
-        }
-    }
-    Ok(out)
+/// Panics if the sink file cannot be created.
+pub fn install_batch_trace(cmd: &str, path: &Path) {
+    placer_telemetry::install(path)
+        .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+    placer_telemetry::manifest(&[
+        ("cmd", Field::S(cmd)),
+        ("threads", Field::U(placer_parallel::max_threads() as u64)),
+        ("simd", Field::S(placer_simd::selected().name())),
+        ("parallel", Field::B(cfg!(feature = "parallel"))),
+        ("telemetry", Field::B(tracing_compiled())),
+        (
+            "profile",
+            Field::S(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("os", Field::S(std::env::consts::OS)),
+        ("arch", Field::S(std::env::consts::ARCH)),
+    ]);
 }
 
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
-    if chars.next() != Some('"') {
-        return Err("expected '\"'".into());
-    }
-    let mut s = String::new();
-    loop {
-        match chars.next() {
-            None => return Err("unterminated string".into()),
-            Some('"') => return Ok(s),
-            Some('\\') => match chars.next() {
-                Some('"') => s.push('"'),
-                Some('\\') => s.push('\\'),
-                Some('n') => s.push('\n'),
-                Some('r') => s.push('\r'),
-                Some('t') => s.push('\t'),
-                Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let code =
-                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
-                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                }
-                other => return Err(format!("bad escape {other:?}")),
-            },
-            Some(c) => s.push(c),
-        }
-    }
+/// Emits the total-wall phase line, drains every ring and stat registry,
+/// and uninstalls the sink installed by [`install_batch_trace`].
+pub fn finish_batch_trace(path: &Path, t0: Instant) {
+    placer_telemetry::emit_meta(
+        "phase",
+        &[
+            ("name", Field::S("total")),
+            ("seconds", Field::F(t0.elapsed().as_secs_f64())),
+        ],
+    );
+    placer_telemetry::flush();
+    placer_telemetry::flush_stats();
+    placer_telemetry::uninstall();
+    placer_telemetry::vlog!(1, "trace: wrote {}", path.display());
 }
 
 #[cfg(test)]
@@ -259,6 +222,8 @@ mod tests {
         assert_eq!(trace_flag(&named), Some(Some("cc_ota".into())));
     }
 
+    // The parser lives in placer-obs now; this pins the re-export shape
+    // the trace tooling depends on (full coverage is in `placer_obs::json`).
     #[test]
     fn parses_event_line() {
         let kv = parse_flat_json(r#"{"type":"event","kind":"gp_iter","t_us":42,"overflow":0.75}"#)
@@ -270,24 +235,23 @@ mod tests {
     }
 
     #[test]
-    fn parses_literals_and_escapes() {
-        let kv = parse_flat_json(
-            r#"{"ok":true,"off":false,"cost":null,"name":"a\"b\\c","neg":-1.5e-3}"#,
-        )
-        .unwrap();
-        assert_eq!(kv[0].1, JsonValue::Bool(true));
-        assert_eq!(kv[1].1, JsonValue::Bool(false));
-        assert_eq!(kv[2].1, JsonValue::Null);
-        assert_eq!(kv[3].1.as_str(), Some("a\"b\\c"));
-        assert_eq!(kv[4].1.as_num(), Some(-1.5e-3));
+    fn ledger_flag_extraction() {
+        let args: Vec<String> = vec!["--quick".into(), "--ledger".into(), "none".into()];
+        let (rest, ledger) = take_ledger_flag(&args).unwrap();
+        assert_eq!(rest, vec!["--quick".to_string()]);
+        assert_eq!(ledger.as_deref(), Some("none"));
+        let eq: Vec<String> = vec!["--ledger=results/l.jsonl".into(), "out.json".into()];
+        let (rest, ledger) = take_ledger_flag(&eq).unwrap();
+        assert_eq!(rest, vec!["out.json".to_string()]);
+        assert_eq!(ledger.as_deref(), Some("results/l.jsonl"));
+        assert!(take_ledger_flag(&["--ledger".to_string()]).is_err());
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        assert!(parse_flat_json("not json").is_err());
-        assert!(parse_flat_json(r#"{"k":}"#).is_err());
-        assert!(parse_flat_json(r#"{"k":nope}"#).is_err());
-        assert!(parse_flat_json(r#"{"unterminated"#).is_err());
+    fn progress_mode_parsing() {
+        assert_eq!(parse_progress_mode(None), Ok(ProgressMode::Human));
+        assert_eq!(parse_progress_mode(Some("jsonl")), Ok(ProgressMode::Jsonl));
+        assert!(parse_progress_mode(Some("xml")).is_err());
     }
 
     #[test]

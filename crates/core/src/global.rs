@@ -291,6 +291,7 @@ impl GlobalPlacer {
                     "gp_iter",
                     &[
                         ("iter", iter as f64),
+                        ("max_iters", cfg.max_iters as f64),
                         ("overflow", overflow),
                         ("hpwl", exact_hpwl(circuit, &pts)),
                         ("step", step_len),

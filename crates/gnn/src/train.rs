@@ -254,6 +254,7 @@ impl Trainer {
                     "gnn_epoch",
                     &[
                         ("epoch", epoch as f64),
+                        ("epochs", opts.epochs as f64),
                         ("loss", last_epoch_loss),
                         ("grad_norm", grad_sq.sqrt()),
                     ],

@@ -194,6 +194,22 @@ impl JobEngine {
     /// (`attempt_seed` is `None` only for a first attempt without a spec
     /// seed). Lets tests drive the retry path with deterministic failures.
     pub fn run_job_with(&self, spec: &JobSpec, factory: &PlacerFactory<'_>) -> JobReport {
+        // Tag this worker thread for the live progress stream: solver loop
+        // events recorded inside pick up the job id, deadline slack, and
+        // ETA; the terminal status line is emitted from the final report.
+        // Observation only — reports are unchanged.
+        let _scope = placer_obs::progress::job_scope(&spec.id, spec.deadline_ms);
+        let report = self.run_job_inner(spec, factory);
+        placer_obs::progress::job_done(
+            &report.id,
+            report.status.as_str(),
+            report.wall_ms,
+            report.hpwl,
+        );
+        report
+    }
+
+    fn run_job_inner(&self, spec: &JobSpec, factory: &PlacerFactory<'_>) -> JobReport {
         let mut report = JobReport {
             id: spec.id.clone(),
             circuit: spec.circuit.clone(),

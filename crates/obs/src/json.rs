@@ -1,0 +1,243 @@
+//! Flat JSONL parsing and serialization helpers.
+//!
+//! Every file the observability stack reads or writes — traces, job
+//! reports, progress streams, the run ledger, metrics snapshots — is one
+//! flat (non-nested) JSON object per line: string keys, scalar values, no
+//! arrays or sub-objects. [`parse_flat_json`] covers exactly that shape,
+//! so the report tools need no external JSON dependency.
+
+use std::fmt::Write as FmtWrite;
+
+/// A scalar value in one flat JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (the sinks never write exponents they can't reparse).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (the sinks write NaN/inf samples as null).
+    Null,
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat (non-nested) JSON object line into ordered key/value
+/// pairs. This covers the shapes the harness emits — string keys, scalar
+/// values, optional spacing after `:` and `,` (job report rows use
+/// `"key": value`), no arrays or sub-objects.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+                skip_ws(&mut chars);
+            }
+            Some('"') => {}
+            Some(c) => return Err(format!("unexpected character {c:?}")),
+            None => return Err("unterminated object".into()),
+        }
+        if chars.peek() == Some(&'"') {
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+                Some('t') | Some('f') | Some('n') => {
+                    let word: String = chars
+                        .by_ref()
+                        .take_while(|c| c.is_ascii_alphabetic())
+                        .collect();
+                    // take_while consumed the delimiter (',' or '}'); put
+                    // its effect back by handling it here.
+                    let v = match word.as_str() {
+                        "true" => JsonValue::Bool(true),
+                        "false" => JsonValue::Bool(false),
+                        "null" => JsonValue::Null,
+                        w => return Err(format!("bad literal {w:?}")),
+                    };
+                    out.push((key, v));
+                    // The delimiter swallowed by take_while was ',' or '}'.
+                    // Peek at what follows: if the line continues, loop; if
+                    // not, we are done.
+                    if chars.peek().is_none() {
+                        return Ok(out);
+                    }
+                    continue;
+                }
+                _ => {
+                    let mut num = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || "+-.eE".contains(c) {
+                            num.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    JsonValue::Num(
+                        num.parse()
+                            .map_err(|e| format!("bad number {num:?}: {e}"))?,
+                    )
+                }
+            };
+            out.push((key, value));
+        }
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('r') => s.push('\r'),
+                Some('t') => s.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+        }
+    }
+}
+
+/// Appends `s` to `line` with JSON string escaping (no surrounding
+/// quotes).
+pub fn push_escaped(line: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            '\r' => line.push_str("\\r"),
+            '\t' => line.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(line, "\\u{:04x}", c as u32);
+            }
+            c => line.push(c),
+        }
+    }
+}
+
+/// Appends `value` as a JSON number, or `null` when non-finite.
+pub fn push_f64(line: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(line, "{value}");
+    } else {
+        line.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_event_line() {
+        let kv = parse_flat_json(r#"{"type":"event","kind":"gp_iter","t_us":42,"overflow":0.75}"#)
+            .unwrap();
+        assert_eq!(kv[0], ("type".into(), JsonValue::Str("event".into())));
+        assert_eq!(kv[1], ("kind".into(), JsonValue::Str("gp_iter".into())));
+        assert_eq!(kv[2].1.as_num(), Some(42.0));
+        assert_eq!(kv[3].1.as_num(), Some(0.75));
+    }
+
+    #[test]
+    fn parses_literals_and_escapes() {
+        let kv = parse_flat_json(
+            r#"{"ok":true,"off":false,"cost":null,"name":"a\"b\\c","neg":-1.5e-3}"#,
+        )
+        .unwrap();
+        assert_eq!(kv[0].1, JsonValue::Bool(true));
+        assert_eq!(kv[1].1, JsonValue::Bool(false));
+        assert_eq!(kv[2].1, JsonValue::Null);
+        assert_eq!(kv[3].1.as_str(), Some("a\"b\\c"));
+        assert_eq!(kv[4].1.as_num(), Some(-1.5e-3));
+    }
+
+    // Job report rows (`JobReport::to_line`) and pretty-printed tool
+    // output space their separators; the parser must accept both shapes.
+    #[test]
+    fn parses_spaced_report_row() {
+        let kv = parse_flat_json(
+            r#"{"id": "a1", "status": "complete", "wall_ms": 13.05, "legal": true, "fom": null}"#,
+        )
+        .unwrap();
+        assert_eq!(kv[0].1.as_str(), Some("a1"));
+        assert_eq!(kv[1].1.as_str(), Some("complete"));
+        assert_eq!(kv[2].1.as_num(), Some(13.05));
+        assert_eq!(kv[3].1, JsonValue::Bool(true));
+        assert_eq!(kv[4].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json(r#"{"k":}"#).is_err());
+        assert!(parse_flat_json(r#"{"k":nope}"#).is_err());
+        assert!(parse_flat_json(r#"{"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let mut line = String::from("{\"k\":\"");
+        push_escaped(&mut line, "a\"b\\c\nd\te");
+        line.push_str("\"}");
+        let kv = parse_flat_json(&line).unwrap();
+        assert_eq!(kv[0].1.as_str(), Some("a\"b\\c\nd\te"));
+    }
+}

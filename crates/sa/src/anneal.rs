@@ -903,6 +903,7 @@ fn anneal_chain(
                 &[
                     ("seed", seed as f64),
                     ("level", level as f64),
+                    ("levels", config.temperatures as f64),
                     ("temperature", temperature),
                     (
                         "acceptance",

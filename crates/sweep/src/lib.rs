@@ -162,8 +162,13 @@ impl SweepEngine {
                 Err(message) => build_errors.push((slot, name.clone(), message)),
             }
         }
-        let raced = race(&artifacts, &racers, &self.config.race);
         let id_prefix = variant.id_prefix(&self.config.circuit);
+        // Racers within one race run on this thread, so one variant-level
+        // scope labels every solver progress event with the variant id.
+        let raced = {
+            let _scope = placer_obs::progress::job_scope(&id_prefix, None);
+            race(&artifacts, &racers, &self.config.race)
+        };
         let simd = placer_simd::selected().name();
 
         let mut reports: Vec<Option<JobReport>> = vec![None; self.config.placers.len()];
@@ -200,6 +205,14 @@ impl SweepEngine {
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect();
+        for report in &reports {
+            placer_obs::progress::job_done(
+                &report.id,
+                report.status.as_str(),
+                report.wall_ms,
+                report.hpwl,
+            );
+        }
         let winner = pick_winner(&reports);
         VariantResult {
             variant: *variant,

@@ -60,6 +60,23 @@ pub enum Field<'a> {
     S(&'a str),
 }
 
+/// Number of buckets in every [`Histogram`] (and in the `b<i>` keys of
+/// serialized histogram lines).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// `[lower, upper)` value bounds of histogram bucket `i`, matching the
+/// exponent-derived bucketing: bucket `i` in `1..=63` covers
+/// `[2^(i-33), 2^(i-32))`; bucket 0 collects non-positive and non-finite
+/// samples and reports `(-inf, 0)`. Shared by both feature states so
+/// report tooling can interpret buckets without a live registry.
+pub fn histogram_bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        return (f64::NEG_INFINITY, 0.0);
+    }
+    let i = i.min(HISTOGRAM_BUCKETS - 1) as i32;
+    (2f64.powi(i - 33), 2f64.powi(i - 32))
+}
+
 // u8::MAX marks "not yet initialised from PLACER_VERBOSE".
 static VERBOSITY: AtomicU8 = AtomicU8::new(u8::MAX);
 

@@ -22,6 +22,29 @@ pub fn dropped_events() -> u64 {
     0
 }
 
+/// Signature stand-in for `real::Observer`; never invoked in this build.
+pub type Observer = fn(kind: &'static str, t_us: u64, fields: &[(&'static str, f64)]);
+
+#[inline(always)]
+pub fn install_observer(_f: Observer) {}
+
+#[inline(always)]
+pub fn uninstall_observer() {}
+
+#[inline(always)]
+pub fn now_us() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub fn visit_counters(_f: &mut dyn FnMut(&'static str, u64)) {}
+
+#[inline(always)]
+pub fn visit_spans(_f: &mut dyn FnMut(&'static str, u64, u64, u64)) {}
+
+#[inline(always)]
+pub fn visit_histograms(_f: &mut dyn FnMut(&'static str, u64, &[u64; 64])) {}
+
 /// No-op stand-in for the live counter; see `real::Counter`.
 pub struct Counter(());
 

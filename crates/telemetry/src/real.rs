@@ -21,6 +21,10 @@ pub const RING_CAPACITY: usize = 8192;
 const MAX_SPAN_DEPTH: usize = 64;
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+// True only while a JSONL sink is installed; `ACTIVE` is the union of sink
+// and observer presence. Ring buffering is pointless without a sink to
+// drain into, so `record` gates the buffering half on this flag alone.
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
@@ -30,15 +34,59 @@ static SESSION: AtomicU64 = AtomicU64::new(0);
 
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
-/// True while a sink is installed. Constant `false` when the `enabled`
-/// feature is off, so guarded blocks vanish from the build.
+/// An out-of-band tap on the event stream: called synchronously from
+/// [`record`] with the event kind, timestamp, and field slice. Must be
+/// cheap, allocation-free, and non-blocking — it runs on the recording
+/// thread (a solver loop boundary).
+pub type Observer = fn(kind: &'static str, t_us: u64, fields: &[(&'static str, f64)]);
+
+// Stored as a raw address because there is no atomic fn-pointer cell; zero
+// means "no observer installed".
+static OBSERVER: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn observer_fn() -> Option<Observer> {
+    let raw = OBSERVER.load(Ordering::Acquire);
+    if raw == 0 {
+        None
+    } else {
+        // SAFETY: the only non-zero stores come from `install_observer`,
+        // which writes the address of a valid `Observer` fn pointer.
+        Some(unsafe { std::mem::transmute::<usize, Observer>(raw as usize) })
+    }
+}
+
+/// True while a sink or observer is installed. Constant `false` when the
+/// `enabled` feature is off, so guarded blocks vanish from the build.
 #[inline(always)]
 pub fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
 }
 
-fn now_us() -> u64 {
+/// Microseconds since the process-wide telemetry epoch (pinned on first
+/// use). Shared by the sink and any installed observer so their
+/// timestamps are directly comparable.
+pub fn now_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Installs `f` as the event observer (replacing any previous one) and
+/// activates recording. When no sink is live the registered stats are
+/// reset, so counters/histograms/spans are per-run just as with
+/// [`install`]; when a sink is already tracing, its stats are left alone.
+pub fn install_observer(f: Observer) {
+    let _ = now_us(); // pin the epoch before the first event
+    if !SINK_ACTIVE.load(Ordering::SeqCst) {
+        reset_stats();
+    }
+    OBSERVER.store(f as usize as u64, Ordering::Release);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Removes the observer; recording stays active only if a sink remains.
+pub fn uninstall_observer() {
+    OBSERVER.store(0, Ordering::Release);
+    ACTIVE.store(SINK_ACTIVE.load(Ordering::SeqCst), Ordering::SeqCst);
 }
 
 #[derive(Clone, Copy)]
@@ -83,6 +131,12 @@ pub fn record(kind: &'static str, fields: &[(&'static str, f64)]) {
 
 fn record_slow(kind: &'static str, fields: &[(&'static str, f64)]) {
     let t_us = now_us();
+    if let Some(observe) = observer_fn() {
+        observe(kind, t_us, fields);
+    }
+    if !SINK_ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
     RING.with(|ring| {
         let mut ring = ring.borrow_mut();
         let session = SESSION.load(Ordering::Relaxed);
@@ -407,15 +461,18 @@ pub fn install(path: &Path) -> io::Result<()> {
         line: String::with_capacity(1024),
     });
     drop(guard);
+    SINK_ACTIVE.store(true, Ordering::SeqCst);
     ACTIVE.store(true, Ordering::SeqCst);
     Ok(())
 }
 
-/// Deactivates recording and closes the sink, flushing buffered bytes.
-/// Pending ring events are *not* drained — call [`flush`] (per recording
-/// thread) and [`flush_stats`] first.
+/// Deactivates sink recording and closes the sink, flushing buffered
+/// bytes. Pending ring events are *not* drained — call [`flush`] (per
+/// recording thread) and [`flush_stats`] first. An installed observer
+/// keeps recording active.
 pub fn uninstall() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    SINK_ACTIVE.store(false, Ordering::SeqCst);
+    ACTIVE.store(OBSERVER.load(Ordering::Acquire) != 0, Ordering::SeqCst);
     let mut guard = SINK.lock().unwrap();
     if let Some(mut sink) = guard.take() {
         let _ = sink.out.flush();
@@ -612,6 +669,52 @@ pub fn counter_value(name: &str) -> Option<u64> {
     None
 }
 
+/// Calls `f` once per registered counter with `(name, value)`. Walks the
+/// intrusive registry without allocating; order is registration order
+/// (newest first).
+pub fn visit_counters(f: &mut dyn FnMut(&'static str, u64)) {
+    let mut p = COUNTERS.load(Ordering::Acquire);
+    while !p.is_null() {
+        // SAFETY: registry nodes are `&'static`; pointers never dangle.
+        let c = unsafe { &*p };
+        f(c.name, c.value());
+        p = c.next.load(Ordering::Acquire);
+    }
+}
+
+/// Calls `f` once per registered span with `(name, calls, total_ns,
+/// self_ns)`.
+pub fn visit_spans(f: &mut dyn FnMut(&'static str, u64, u64, u64)) {
+    let mut p = SPANS.load(Ordering::Acquire);
+    while !p.is_null() {
+        // SAFETY: registry nodes are `&'static`; pointers never dangle.
+        let s = unsafe { &*p };
+        f(
+            s.name,
+            s.calls(),
+            s.total_ns(),
+            s.self_ns.load(Ordering::Relaxed),
+        );
+        p = s.next.load(Ordering::Acquire);
+    }
+}
+
+/// Calls `f` once per registered histogram with `(name, count, buckets)`;
+/// the bucket array is a relaxed snapshot copied out of the atomics.
+pub fn visit_histograms(f: &mut dyn FnMut(&'static str, u64, &[u64; 64])) {
+    let mut p = HISTOGRAMS.load(Ordering::Acquire);
+    while !p.is_null() {
+        // SAFETY: registry nodes are `&'static`; pointers never dangle.
+        let h = unsafe { &*p };
+        let mut buckets = [0u64; 64];
+        for (dst, src) in buckets.iter_mut().zip(h.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        f(h.name, h.count(), &buckets);
+        p = h.next.load(Ordering::Acquire);
+    }
+}
+
 /// Looks up a registered span's call count by name (test/debug aid).
 pub fn span_calls(name: &str) -> Option<u64> {
     let mut p = SPANS.load(Ordering::Acquire);
@@ -715,6 +818,41 @@ mod tests {
         assert!(text2.contains("\"name\":\"test_count\",\"value\":1"));
         // Stale events from the first session never leak into the second.
         assert!(!text2.contains("\"kind\":\"iter\""));
+
+        // Observer-only recording: the tap sees events synchronously,
+        // stats accumulate (reset at observer install), and no sink is
+        // needed.
+        static OBSERVED_ITERS: AtomicU64 = AtomicU64::new(0);
+        fn tap(kind: &'static str, _t_us: u64, fields: &[(&'static str, f64)]) {
+            if kind == "iter" && !fields.is_empty() {
+                OBSERVED_ITERS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        install_observer(tap);
+        assert!(active());
+        record("iter", &[("i", 2.0)]);
+        COUNT.add(2);
+        assert_eq!(COUNT.value(), 2, "observer install resets stats");
+        assert_eq!(OBSERVED_ITERS.load(Ordering::Relaxed), 1);
+        let mut seen = None;
+        visit_counters(&mut |name, value| {
+            if name == "test_count" {
+                seen = Some(value);
+            }
+        });
+        assert_eq!(seen, Some(2));
+        let mut hist_seen = false;
+        visit_histograms(&mut |name, _count, buckets| {
+            if name == "test_hist" {
+                hist_seen = true;
+                assert_eq!(buckets.len(), 64);
+            }
+        });
+        assert!(hist_seen);
+        uninstall_observer();
+        assert!(!active());
+        record("iter", &[("i", 3.0)]);
+        assert_eq!(OBSERVED_ITERS.load(Ordering::Relaxed), 1);
     }
 
     #[test]

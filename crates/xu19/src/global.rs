@@ -329,6 +329,7 @@ pub fn run_global_budgeted(
             "xu_round",
             &[
                 ("round", round as f64),
+                ("rounds", cfg.rounds as f64),
                 ("cg_iters", result.iterations as f64),
                 ("total_iters", iterations as f64),
                 ("overflow", overflow),

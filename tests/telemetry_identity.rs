@@ -6,23 +6,63 @@
 //! Built with the `telemetry` feature this compares live-traced against
 //! untraced runs; without it both runs are untraced and the test still
 //! pins run-to-run determinism.
+//!
+//! The traced leg carries the full observability stack, not just the file
+//! sink: a live JSONL [`placer_obs::progress`] sink taps the same events
+//! through the observer hook, and a [`MetricsSnapshot`] is captured while
+//! the stats registries are hot. Neither may perturb a single output bit.
 
 use analog_netlist::{testcases, Placement};
 use eplace::{run_perf_global, GlobalPlacer, PlacerConfig};
 use placer_gnn::Network;
+use placer_obs::metrics::MetricsSnapshot;
+use placer_obs::progress::{self, ProgressMode};
 use placer_sa::{anneal, AnnealResult, PerfCost, SaConfig};
 
 fn with_sink<T>(name: &str, f: impl FnOnce() -> T) -> T {
-    let path = std::env::temp_dir().join(format!(
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
         "placer_identity_{}_{name}.jsonl",
         std::process::id()
     ));
+    let progress_path = dir.join(format!(
+        "placer_identity_{}_{name}_progress.jsonl",
+        std::process::id()
+    ));
     placer_telemetry::install(&path).expect("install sink");
-    let out = f();
+    progress::install_to_file(&progress_path, ProgressMode::Jsonl).expect("install progress");
+    let out = {
+        let _scope = progress::job_scope(name, Some(60_000.0));
+        f()
+    };
+    // Snapshot while counters and spans are still hot: capture must be a
+    // pure read, so taking it mid-run cannot influence the comparison.
+    let snapshot = MetricsSnapshot::capture();
+    let json = snapshot.to_flat_json();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "snapshot JSON malformed"
+    );
     placer_telemetry::flush();
     placer_telemetry::flush_stats();
+    progress::uninstall();
     placer_telemetry::uninstall();
+    if placer_obs::progress_compiled() {
+        let stream = std::fs::read_to_string(&progress_path).expect("read progress stream");
+        for line in stream.lines() {
+            let kv = placer_obs::json::parse_flat_json(line)
+                .unwrap_or_else(|e| panic!("progress line {line:?}: {e}"));
+            assert_eq!(
+                kv.iter()
+                    .find(|(k, _)| k == "type")
+                    .and_then(|(_, v)| v.as_str()),
+                Some("progress"),
+                "progress stream emitted a non-progress line"
+            );
+        }
+    }
     std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&progress_path).ok();
     out
 }
 

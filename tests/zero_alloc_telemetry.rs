@@ -4,6 +4,12 @@
 //! each wrapped in the same span / event / counter instrumentation the
 //! solvers use — never touch the heap after warm-up.
 //!
+//! A live [`placer_obs::progress`] sink is installed for the whole run, so
+//! the counting allocator also covers the observer tap (mapped `gp_iter`
+//! events flow through it from the measured loops) and the reporter
+//! thread's steady-state drain, which runs concurrently on the same
+//! global allocator.
+//!
 //! The mirror-image guarantee (instrumentation compiled out entirely) is
 //! covered by the per-crate `zero_alloc` tests, which build without the
 //! feature and must pass unmodified.
@@ -18,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use analog_netlist::testcases;
 use placer_numeric::NesterovState;
+use placer_obs::progress::{self, ProgressMode};
 use placer_sa::{BlockModel, MoveEvaluator, SaConfig, SaState, SequencePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,8 +85,17 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
         "placer_zero_alloc_telemetry_{}.jsonl",
         std::process::id()
     ));
+    let progress_path = std::env::temp_dir().join(format!(
+        "placer_zero_alloc_progress_{}.jsonl",
+        std::process::id()
+    ));
+    // Trace sink first (install resets the stat registries), then the
+    // progress observer — the order the bench binaries use.
     placer_telemetry::install(&sink).expect("install sink");
+    progress::install_to_file(&progress_path, ProgressMode::Jsonl).expect("install progress");
     assert!(placer_telemetry::active());
+    assert!(progress::installed());
+    let _job = progress::job_scope("zero-alloc", Some(60_000.0));
 
     // --- SA move loop under live instrumentation. -----------------------
     let circuit = testcases::cc_ota();
@@ -104,6 +120,17 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
         let c = evaluator.eval_trial(&trial);
         placer_telemetry::record("test_move", &[("cost", c.total)]);
         MOVES.add(1);
+        // The exact shape GlobalPlacer emits: the progress observer maps
+        // `gp_iter` onto a slot, so the tap itself runs under the
+        // allocator watch (rate-limited, try-lock push — never blocking).
+        placer_telemetry::record(
+            "gp_iter",
+            &[
+                ("iter", MOVES.value() as f64),
+                ("max_iters", 532.0),
+                ("hpwl", c.total),
+            ],
+        );
         COSTS.record(c.total);
         if c.total <= cost.total {
             evaluator.accept();
@@ -121,6 +148,17 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
         let c = evaluator.eval_trial(&trial);
         placer_telemetry::record("test_move", &[("cost", c.total)]);
         MOVES.add(1);
+        // The exact shape GlobalPlacer emits: the progress observer maps
+        // `gp_iter` onto a slot, so the tap itself runs under the
+        // allocator watch (rate-limited, try-lock push — never blocking).
+        placer_telemetry::record(
+            "gp_iter",
+            &[
+                ("iter", MOVES.value() as f64),
+                ("max_iters", 532.0),
+                ("hpwl", c.total),
+            ],
+        );
         COSTS.record(c.total);
         if c.total <= cost.total {
             evaluator.accept();
@@ -200,10 +238,25 @@ fn hot_loops_stay_zero_alloc_with_live_telemetry() {
     placer_telemetry::flush();
     let gnn_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
 
+    progress::job_done("zero-alloc", "complete", 1.0, Some(cost.total));
     placer_telemetry::flush_stats();
+    progress::uninstall();
     placer_telemetry::uninstall();
     placer_parallel::set_max_threads(0);
+
+    // The reporter drained at least the unthrottled events: the first
+    // gp_iter after install and the terminal job_done line.
+    let stream = std::fs::read_to_string(&progress_path).expect("read progress stream");
+    assert!(
+        stream.contains("\"phase\":\"gp_iter\""),
+        "progress stream missing gp_iter events:\n{stream}"
+    );
+    assert!(
+        stream.contains("\"phase\":\"job_done\"") && stream.contains("\"job\":\"zero-alloc\""),
+        "progress stream missing terminal job_done line:\n{stream}"
+    );
     std::fs::remove_file(&sink).ok();
+    std::fs::remove_file(&progress_path).ok();
 
     assert_eq!(
         sa_allocs, 0,
