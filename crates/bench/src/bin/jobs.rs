@@ -8,6 +8,7 @@
 //! jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR]
 //!                  [--placements-dir DIR] [--resume]
 //!                  [--cancel-after-checks N] [--expect STATUS]
+//!                  [--eco-threshold F]
 //!                  [--progress[=human|jsonl]] [--trace[=FILE]]
 //!                  [--ledger none|PATH]
 //! ```
@@ -20,6 +21,9 @@
 //! - `--expect STATUS`: exit nonzero unless every job ends in STATUS
 //!   (`complete`, `exhausted`, `cancelled` or `failed`) with a legal
 //!   placement where one is produced — the CI assertion hook.
+//! - `--eco-threshold F`: dirtied-device fraction above which ECO jobs
+//!   (specs with an `eco` deck) fall back to cold re-placement. `0`
+//!   forces the fallback for any non-empty delta — the determinism check.
 //! - `--progress[=human|jsonl]`: stream per-job status lines to stderr
 //!   while the batch runs (needs a `--features telemetry` build).
 //! - `--trace[=FILE]`: capture a telemetry trace of the whole batch
@@ -58,7 +62,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR] \
      [--placements-dir DIR] [--resume] [--cancel-after-checks N] [--expect STATUS] \
-     [--progress[=human|jsonl]] [--trace[=FILE]] [--ledger none|PATH]"
+     [--eco-threshold F] [--progress[=human|jsonl]] [--trace[=FILE]] [--ledger none|PATH]"
 }
 
 fn parse_status(s: &str) -> Result<JobStatus, String> {
@@ -106,6 +110,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(v.parse().map_err(|_| format!("bad check count `{v}`"))?);
             }
             "--expect" => opts.expect = Some(parse_status(&value("--expect", &mut it)?)?),
+            "--eco-threshold" => {
+                let v = value("--eco-threshold", &mut it)?;
+                let t: f64 = v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(format!("`--eco-threshold` must lie in [0, 1], got {v}"));
+                }
+                opts.engine.eco.dirty_threshold = t;
+            }
             "--progress" => opts.progress = Some(parse_progress_mode(None)?),
             "--trace" => opts.trace = Some(None),
             "--ledger" => opts.ledger = Some(value("--ledger", &mut it)?),
@@ -237,6 +249,10 @@ fn main() -> ExitCode {
         ("failed", JobStatus::Failed),
     ] {
         let n = reports.iter().filter(|r| r.status == status).count();
+        record.uint(key, n as u64);
+    }
+    for (key, mode) in [("eco_fast", "fast"), ("eco_fallback", "fallback")] {
+        let n = reports.iter().filter(|r| r.eco == Some(mode)).count();
         record.uint(key, n as u64);
     }
     record.metrics(&metrics);

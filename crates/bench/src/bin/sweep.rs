@@ -1,10 +1,12 @@
 //! Runs a batched placer sweep: one circuit expanded over seed ×
-//! utilization variants, the full placer portfolio raced per variant on a
-//! shared artifact cache, one JSONL report row per racer.
+//! utilization × aspect × relaxation variants, the full placer portfolio
+//! raced per variant on a shared artifact cache, one JSONL report row per
+//! racer.
 //!
 //! ```text
 //! sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI]
-//!       [--utils U,...] [--profile default|small]
+//!       [--utils U,...] [--aspects A,...] [--relax R,...]
+//!       [--profile default|small]
 //!       [--rounds N] [--round-checks N] [--kill-ratio X] [--min-survivors N]
 //!       [--threads N] [--serial] [--out REPORTS.jsonl] [--pareto]
 //!       [--stable] [--expect-killed N] [--expect-pareto N]
@@ -13,7 +15,10 @@
 //! ```
 //!
 //! - `--seeds` takes a comma list (`1,2,7`) or an inclusive range
-//!   (`1-64`); `--utils` a comma list of densities in `(0, 1]`.
+//!   (`1-64`); `--utils` a comma list of densities in `(0, 1]`;
+//!   `--aspects` a comma list of region W/H ratios (finite, positive);
+//!   `--relax` a comma list of constraint relaxations in `[0, 1)` (each
+//!   scales the symmetry penalty by `1 - relax`).
 //! - `--rounds`/`--round-checks`/`--kill-ratio`/`--min-survivors` tune
 //!   the racing policy (see `placer_sweep::RaceConfig`).
 //! - `--threads N` pins the worker pool; `--serial` pins the serial
@@ -69,7 +74,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI] \
-     [--utils U,...] [--profile default|small] [--rounds N] [--round-checks N] \
+     [--utils U,...] [--aspects A,...] [--relax R,...] \
+     [--profile default|small] [--rounds N] [--round-checks N] \
      [--kill-ratio X] [--min-survivors N] [--threads N] [--serial] \
      [--out FILE] [--pareto] [--stable] [--expect-killed N] \
      [--expect-pareto N] [--expect-hit-rate PCT] [--progress[=human|jsonl]] \
@@ -94,12 +100,12 @@ fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
         .collect()
 }
 
-fn parse_utils(text: &str) -> Result<Vec<f64>, String> {
+fn parse_floats(text: &str, what: &str) -> Result<Vec<f64>, String> {
     text.split(',')
         .map(|s| {
             s.trim()
                 .parse()
-                .map_err(|_| format!("bad utilization `{}`", s.trim()))
+                .map_err(|_| format!("bad {what} `{}`", s.trim()))
         })
         .collect()
 }
@@ -135,7 +141,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .collect();
             }
             "--seeds" => opts.config.seeds = parse_seeds(&value("--seeds", &mut it)?)?,
-            "--utils" => opts.config.utilizations = parse_utils(&value("--utils", &mut it)?)?,
+            "--utils" => {
+                opts.config.utilizations =
+                    parse_floats(&value("--utils", &mut it)?, "utilization")?;
+            }
+            "--aspects" => {
+                opts.config.aspects = parse_floats(&value("--aspects", &mut it)?, "aspect")?;
+            }
+            "--relax" => {
+                opts.config.relaxations = parse_floats(&value("--relax", &mut it)?, "relaxation")?;
+            }
             "--profile" => {
                 opts.config.profile = match value("--profile", &mut it)?.as_str() {
                     "default" => Profile::Default,

@@ -40,7 +40,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use analog_netlist::{parser, Circuit, DeviceNets, ParseError};
+use analog_netlist::{parser, AppliedDelta, Circuit, DeviceNets, ParseError};
 use placer_gnn::GraphTopology;
 use placer_telemetry::Counter;
 
@@ -137,6 +137,52 @@ impl CircuitArtifacts {
             device_nets,
             topology,
             density_templates: Mutex::new(HashMap::new()),
+            ext: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Patches the bundle for an applied [`analog_netlist::NetlistDelta`]
+    /// instead of rebuilding it — the incremental ECO path.
+    ///
+    /// What survives depends on what the delta touched:
+    ///
+    /// - **device→net index**: shared untouched when membership did not
+    ///   change, row-spliced ([`DeviceNets::spliced`]) for adds and pin
+    ///   rewires, rebuilt only when a device was removed (ids shift);
+    /// - **GNN topology**: shared untouched for pure attribute edits,
+    ///   feature-row patched ([`GraphTopology::patched_features`]) for
+    ///   resizes/criticality flips, rebuilt when connectivity changed;
+    /// - **density templates**: cloned wholesale — they depend only on
+    ///   region geometry, so an unchanged region keeps its DCT plans;
+    /// - **extension state**: dropped (placer crates own its rebuild).
+    ///
+    /// Every retained structure is bit-identical to what
+    /// [`CircuitArtifacts::build`] would derive from the edited circuit
+    /// (property-tested over random delta sequences).
+    pub fn patched(&self, applied: &AppliedDelta) -> Arc<Self> {
+        let circuit = applied.circuit.clone();
+        let content_hash = circuit_content_hash(&circuit);
+        let device_nets = if !applied.membership_changed {
+            Arc::clone(&self.device_nets)
+        } else if applied.removed_devices {
+            Arc::new(DeviceNets::new(&circuit))
+        } else {
+            Arc::new(self.device_nets.spliced(&circuit, &applied.dirty))
+        };
+        let topology = if applied.membership_changed {
+            Arc::new(GraphTopology::new(&circuit))
+        } else if applied.features_changed {
+            Arc::new(self.topology.patched_features(&circuit, &applied.dirty))
+        } else {
+            Arc::clone(&self.topology)
+        };
+        let density_templates = Mutex::new(lock(&self.density_templates).clone());
+        Arc::new(Self {
+            circuit: Arc::new(circuit),
+            content_hash,
+            device_nets,
+            topology,
+            density_templates,
             ext: Mutex::new(HashMap::new()),
         })
     }

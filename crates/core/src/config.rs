@@ -101,6 +101,11 @@ pub struct GlobalConfig {
     pub grid: usize,
     /// Target utilization of the placement region (device area / region area).
     pub utilization: f64,
+    /// Placement-region aspect ratio (width / height). The region area is
+    /// fixed by `utilization`; the aspect splits it as
+    /// `W = side·√aspect`, `H = side/√aspect`. `1.0` (the default) is the
+    /// square region and is bit-identical to the pre-aspect behavior.
+    pub aspect: f64,
     /// Maximum Nesterov iterations.
     pub max_iters: usize,
     /// Stop when density overflow falls below this fraction.
@@ -129,6 +134,7 @@ impl Default for GlobalConfig {
         Self {
             grid: 32,
             utilization: 0.35,
+            aspect: 1.0,
             max_iters: 500,
             overflow_target: 0.08,
             lambda_scale: 1.0,
@@ -224,6 +230,7 @@ impl PlacerConfig {
             ));
         }
         require_fraction("global.utilization", g.utilization, 0.0, 1.0)?;
+        require_positive("global.aspect", g.aspect)?;
         if g.max_iters == 0 {
             return Err(ConfigError::new("global.max_iters", "must be > 0"));
         }
@@ -283,6 +290,12 @@ impl PlacerConfigBuilder {
     /// Density grid dimension (power of two).
     pub fn grid(mut self, grid: usize) -> Self {
         self.config.global.grid = grid;
+        self
+    }
+
+    /// Placement-region aspect ratio (width / height), `> 0`.
+    pub fn aspect(mut self, aspect: f64) -> Self {
+        self.config.global.aspect = aspect;
         self
     }
 

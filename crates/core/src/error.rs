@@ -24,6 +24,10 @@ pub enum PlaceError {
     /// A resume was attempted from a checkpoint this placer cannot use
     /// (wrong placer, missing fields, circuit size mismatch, corrupt text).
     BadCheckpoint(CheckpointError),
+    /// An ECO delta failed to apply (unknown device/net, invalid edit,
+    /// or the edited circuit failed validation). Carries the rendered
+    /// [`analog_netlist::ParseError`] message.
+    Delta(String),
 }
 
 impl fmt::Display for PlaceError {
@@ -34,6 +38,7 @@ impl fmt::Display for PlaceError {
                 write!(f, "refinement rounds exhausted without a legal placement")
             }
             PlaceError::BadCheckpoint(e) => write!(f, "unusable checkpoint: {e}"),
+            PlaceError::Delta(msg) => write!(f, "ECO delta failed to apply: {msg}"),
         }
     }
 }
@@ -44,6 +49,7 @@ impl std::error::Error for PlaceError {
             PlaceError::Solve(e) => Some(e),
             PlaceError::RefinementExhausted => None,
             PlaceError::BadCheckpoint(e) => Some(e),
+            PlaceError::Delta(_) => None,
         }
     }
 }
@@ -57,6 +63,12 @@ impl From<SolveError> for PlaceError {
 impl From<CheckpointError> for PlaceError {
     fn from(e: CheckpointError) -> Self {
         PlaceError::BadCheckpoint(e)
+    }
+}
+
+impl From<analog_netlist::ParseError> for PlaceError {
+    fn from(e: analog_netlist::ParseError) -> Self {
+        PlaceError::Delta(e.to_string())
     }
 }
 

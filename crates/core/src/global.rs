@@ -148,11 +148,14 @@ impl GlobalPlacer {
         let cfg = &self.config;
         let total_area = circuit.total_device_area();
         let side = (total_area / cfg.utilization).sqrt();
+        // The aspect splits the fixed region area into W×H; √1 = 1 makes
+        // the default square region bit-identical to the pre-aspect path.
+        let (side_x, side_y) = (side * cfg.aspect.sqrt(), side / cfg.aspect.sqrt());
         // Utilization enters through the region side above; see
         // `DensityGrid::new` on why it takes no target parameter.
         let mut density = match artifacts {
-            Some(a) => a.density_grid((0.0, 0.0), (side, side), cfg.grid),
-            None => DensityGrid::new((0.0, 0.0), (side, side), cfg.grid),
+            Some(a) => a.density_grid((0.0, 0.0), (side_x, side_y), cfg.grid),
+            None => DensityGrid::new((0.0, 0.0), (side_x, side_y), cfg.grid),
         };
         let (bin_x, _) = density.bin_size();
 
@@ -160,17 +163,18 @@ impl GlobalPlacer {
         let mut v0 = vec![0.0; 2 * n];
         let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
         for i in 0..n {
-            let r = side * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+            let rx = side_x * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+            let ry = side_y * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
             let theta = golden * (i as f64 + cfg.seed as f64);
-            v0[i] = side / 2.0 + r * theta.cos();
-            v0[n + i] = side / 2.0 + r * theta.sin();
+            v0[i] = side_x / 2.0 + rx * theta.cos();
+            v0[n + i] = side_y / 2.0 + ry * theta.sin();
         }
         let clamp_positions = |v: &mut [f64]| {
             for (i, d) in circuit.devices().iter().enumerate() {
-                let hw = (d.width / 2.0).min(side / 2.0);
-                let hh = (d.height / 2.0).min(side / 2.0);
-                v[i] = v[i].clamp(hw, side - hw);
-                v[n + i] = v[n + i].clamp(hh, side - hh);
+                let hw = (d.width / 2.0).min(side_x / 2.0);
+                let hh = (d.height / 2.0).min(side_y / 2.0);
+                v[i] = v[i].clamp(hw, side_x - hw);
+                v[n + i] = v[n + i].clamp(hh, side_y - hh);
             }
         };
         clamp_positions(&mut v0);

@@ -44,6 +44,7 @@ mod checkpoint;
 mod config;
 mod density;
 mod detailed;
+pub mod eco;
 mod error;
 mod global;
 mod perf;
@@ -64,6 +65,7 @@ pub use config::{
 };
 pub use density::{DensityEval, DensityGrid};
 pub use detailed::{legalize, DetailedPlacer, DetailedStats};
+pub use eco::{EcoConfig, EcoOutcome, EcoReplace};
 #[allow(deprecated)]
 pub use error::DetailedError;
 pub use error::PlaceError;

@@ -184,6 +184,80 @@ fn get_gp(ck: &Checkpoint, n: usize) -> Result<GpCheckpoint, PlaceError> {
     })
 }
 
+/// Warm trust-region refinement shared by both pipelines' `eco_refine`:
+/// fabricates a [`GpCheckpoint`] whose Nesterov state sits at the warm
+/// coordinates with a fresh (tight) step budget, then resumes the global
+/// placer for the last [`EcoConfig::refine_iters`](crate::EcoConfig)
+/// iterations of its schedule. The small `max_step` cap keeps the solver
+/// from tearing up the warm layout: devices move at most a couple percent
+/// of the region per iteration, and the convergence check exits as soon
+/// as the (already near-legal) density overflow is under target.
+fn warm_gp_refine(
+    config: &PlacerConfig,
+    artifacts: &crate::CircuitArtifacts,
+    warm: &Placement,
+    eco: &crate::EcoConfig,
+    hook: Option<&mut crate::global::ExtraGradientFn<'_>>,
+) -> (Placement, usize) {
+    let cfg = &config.global;
+    let circuit = artifacts.circuit();
+    let n = circuit.num_devices();
+    let side = (circuit.total_device_area() / cfg.utilization).sqrt();
+    let (side_x, side_y) = (side * cfg.aspect.sqrt(), side / cfg.aspect.sqrt());
+    let density = artifacts.density_grid((0.0, 0.0), (side_x, side_y), cfg.grid);
+    let (bin_x, _) = density.bin_size();
+    let mut u = vec![0.0; 2 * n];
+    for (i, d) in circuit.devices().iter().enumerate() {
+        let hw = (d.width / 2.0).min(side_x / 2.0);
+        let hh = (d.height / 2.0).min(side_y / 2.0);
+        u[i] = warm.positions[i].0.clamp(hw, side_x - hw);
+        u[n + i] = warm.positions[i].1.clamp(hh, side_y - hh);
+    }
+    let start_iter = cfg.max_iters.saturating_sub(eco.refine_iters.max(1));
+    let ck = GpCheckpoint {
+        iter: start_iter,
+        // Conservative re-seeded weights: the schedule's λ/τ normalization
+        // lives in the cold path's initial-gradient ratio, which a warm
+        // resume cannot reproduce; unit weights with a tight step cap keep
+        // the refinement a gentle polish (region repair restores exact
+        // legality afterwards regardless).
+        lambda: 1.0,
+        tau: 1.0,
+        gamma: 0.25 * bin_x,
+        overflow: 1.0,
+        nesterov: placer_numeric::NesterovSnapshot {
+            u: u.clone(),
+            v: u.clone(),
+            v_prev: vec![0.0; 2 * n],
+            g_prev: vec![0.0; 2 * n],
+            a: 1.0,
+            initial_step: bin_x * 0.05,
+            max_step: side * 0.02,
+            shrink: 1.0,
+            g_norm_prev: 0.0,
+            iterations: 0,
+            safeguard_trips: 0,
+        },
+    };
+    let run = GlobalPlacer::new(cfg.clone()).run_budgeted_with(
+        circuit,
+        hook,
+        None,
+        Some(&ck),
+        Some(artifacts),
+    );
+    match run {
+        GpRun::Complete(mut p, stats) | GpRun::Exhausted(mut p, stats) => {
+            // The GP does not model flips; keep the warm flip states so
+            // pinned devices' pins stay where the previous solution put
+            // them.
+            p.flips = warm.flips.clone();
+            (p, stats.iterations.saturating_sub(start_iter))
+        }
+        GpRun::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+    }
+}
+
 /// Best-so-far probe shared by both pipelines' checkpoints: prefer the
 /// completed-attempt metrics (`best_*`), else score the in-flight Nesterov
 /// iterate (`gp_u`, solver layout `[x…, y…]`) with the exact HPWL/area
@@ -436,6 +510,22 @@ impl Placer for EPlaceA {
                 Some(artifacts),
             )?
             .into_outcome())
+    }
+
+    fn eco_refine(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        warm: &Placement,
+        _dirty: &[bool],
+        eco: &crate::EcoConfig,
+    ) -> Result<Option<(Placement, usize)>, PlaceError> {
+        Ok(Some(warm_gp_refine(
+            &self.config,
+            artifacts,
+            warm,
+            eco,
+            None,
+        )))
     }
 
     fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<crate::RaceProbe> {
@@ -707,6 +797,31 @@ impl Placer for EPlaceAP {
             .into_outcome())
     }
 
+    fn eco_refine(
+        &self,
+        artifacts: &crate::CircuitArtifacts,
+        warm: &Placement,
+        _dirty: &[bool],
+        eco: &crate::EcoConfig,
+    ) -> Result<Option<(Placement, usize)>, PlaceError> {
+        // The GNN term rides along through the same hook as a cold run,
+        // evaluated on the patched topology.
+        let mut hook_state = PerfGradHook::with_topology(
+            &artifacts.topology(),
+            &self.network,
+            self.perf.alpha,
+            self.perf.scale,
+        );
+        let mut hook = |pts: &[(f64, f64)], grad: &mut [f64]| -> f64 { hook_state.eval(pts, grad) };
+        Ok(Some(warm_gp_refine(
+            &self.config,
+            artifacts,
+            warm,
+            eco,
+            Some(&mut hook),
+        )))
+    }
+
     fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<crate::RaceProbe> {
         probe_engine_checkpoint(circuit, checkpoint, "eplace-ap")
     }
@@ -827,6 +942,47 @@ mod tests {
                 "exhausted placement at {steps} steps must stay legal"
             );
         }
+    }
+
+    #[test]
+    fn eco_replace_fast_path_is_legal_and_fallback_matches_cold() {
+        let circuit = testcases::cc_ota();
+        let placer = EPlaceA::new(small_config());
+        let artifacts = crate::CircuitArtifacts::build(circuit.clone());
+        let cold = placer.place(&circuit).unwrap();
+        let warm = crate::eco::warm_checkpoint(&circuit, &cold.placement);
+        let delta = analog_netlist::NetlistDelta::parse("resize RB 18k\n").unwrap();
+
+        // Fast path: one dirty device out of 13 stays under the threshold.
+        let rep = placer
+            .replace(
+                &artifacts,
+                &delta,
+                &warm,
+                &RunBudget::unlimited(),
+                &crate::EcoConfig::default(),
+            )
+            .unwrap();
+        assert!(rep.outcome.is_fast());
+        assert!(rep.dirty_fraction > 0.0 && rep.dirty_fraction < 0.25);
+        let sol = rep.outcome.solution().unwrap();
+        assert!(sol.placement.is_legal(rep.artifacts.circuit(), 1e-6));
+
+        // Forced fallback is bit-identical to a cold run on the edited
+        // circuit.
+        let eco0 = crate::EcoConfig {
+            dirty_threshold: 0.0,
+            ..Default::default()
+        };
+        let rep2 = placer
+            .replace(&artifacts, &delta, &warm, &RunBudget::unlimited(), &eco0)
+            .unwrap();
+        assert!(!rep2.outcome.is_fast());
+        let applied = delta.apply(&circuit).unwrap();
+        let cold_edit = placer.place(&applied.circuit).unwrap();
+        let fb = rep2.outcome.solution().unwrap();
+        assert_eq!(fb.placement, cold_edit.placement);
+        assert_eq!(fb.hpwl.to_bits(), cold_edit.hpwl.to_bits());
     }
 
     #[test]

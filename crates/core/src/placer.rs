@@ -19,9 +19,11 @@
 
 use crate::artifacts::CircuitArtifacts;
 use crate::checkpoint::Checkpoint;
+use crate::eco::{self, EcoConfig, EcoOutcome, EcoReplace};
 use crate::error::PlaceError;
 use crate::RunBudget;
-use analog_netlist::{Circuit, Placement};
+use analog_netlist::{Circuit, NetlistDelta, Placement};
+use std::time::Instant;
 
 /// A deterministic best-so-far quality estimate read from a checkpoint,
 /// used by portfolio racing to compare paused runs without resuming them.
@@ -170,6 +172,97 @@ pub trait Placer: Sync {
         budget: &RunBudget,
     ) -> Result<PlaceOutcome, PlaceError> {
         self.resume(artifacts.circuit(), checkpoint, budget)
+    }
+
+    /// Incrementally re-places after an ECO delta.
+    ///
+    /// The default implementation is the full engine; pipelines customize
+    /// it through [`eco_refine`](Self::eco_refine) rather than overriding
+    /// this method:
+    ///
+    /// 1. apply `delta` and **patch** `artifacts` (no rebuild);
+    /// 2. if the delta dirtied more than
+    ///    [`EcoConfig::dirty_threshold`] of the devices, fall back to a
+    ///    cold [`place_artifacts`](Self::place_artifacts) on the patched
+    ///    bundle — bit-identical to placing the edited circuit from
+    ///    scratch ([`EcoOutcome::FellBack`]);
+    /// 3. otherwise map `warm_start` (an `"eco-warm"` checkpoint from
+    ///    [`eco::warm_checkpoint`]) onto the edited circuit, run the
+    ///    placer's short warm refinement, and re-legalize only the
+    ///    affected region ([`EcoOutcome::Fast`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::Delta`] when the delta fails to apply,
+    /// [`PlaceError::BadCheckpoint`] when `warm_start` is not a usable
+    /// warm carrier, or any error the fallback / refinement surfaces.
+    fn replace(
+        &self,
+        artifacts: &CircuitArtifacts,
+        delta: &NetlistDelta,
+        warm_start: &Checkpoint,
+        budget: &RunBudget,
+        eco: &EcoConfig,
+    ) -> Result<EcoReplace, PlaceError> {
+        let (patched, applied) = eco::prepare(artifacts, delta)?;
+        let dirty_fraction = applied.dirty_fraction();
+        if dirty_fraction > eco.dirty_threshold {
+            let outcome = self.place_artifacts(&patched, budget)?;
+            return Ok(EcoReplace {
+                artifacts: patched,
+                dirty_fraction,
+                outcome: EcoOutcome::FellBack(outcome),
+            });
+        }
+        let t0 = Instant::now();
+        let warm = eco::warm_placement(artifacts.circuit(), patched.circuit(), warm_start)?;
+        let refined = self.eco_refine(&patched, &warm, &applied.dirty, eco)?;
+        let (stage1, iterations) = match refined {
+            Some((p, it)) => (p, it),
+            None => (warm.clone(), 0),
+        };
+        let stage1_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let region = eco::region_mask(patched.circuit(), &warm, &applied.dirty, eco.margin);
+        let placement =
+            eco::finish_region(patched.circuit(), &stage1, &warm, &region, eco.pin_cost)?;
+        let solution = eco::fast_solution(
+            patched.circuit(),
+            placement,
+            stage1_seconds,
+            t1.elapsed().as_secs_f64(),
+            iterations,
+        );
+        Ok(EcoReplace {
+            artifacts: patched,
+            dirty_fraction,
+            outcome: EcoOutcome::Fast(solution),
+        })
+    }
+
+    /// Warm refinement hook of the ECO fast path: starting from the warm
+    /// placement (already mapped onto the edited circuit behind
+    /// `artifacts`), run a short placer-specific trust-region schedule
+    /// and return the refined coordinates plus the iterations spent.
+    ///
+    /// The default returns `Ok(None)`: the engine then legalizes straight
+    /// from the warm state, which is correct (region repair restores
+    /// exact legality) but skips quality recovery. Pipelines override
+    /// this with a warm-started, budget-capped run of their own
+    /// optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their optimizer's failures unchanged.
+    fn eco_refine(
+        &self,
+        artifacts: &CircuitArtifacts,
+        warm: &Placement,
+        dirty: &[bool],
+        eco: &EcoConfig,
+    ) -> Result<Option<(Placement, usize)>, PlaceError> {
+        let _ = (artifacts, warm, dirty, eco);
+        Ok(None)
     }
 
     /// Reads a deterministic best-so-far quality estimate out of one of

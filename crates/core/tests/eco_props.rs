@@ -1,0 +1,105 @@
+//! Property tests for the incremental ECO artifact patch:
+//! [`CircuitArtifacts::patched`] must be indistinguishable from a cold
+//! [`CircuitArtifacts::build`] of the edited circuit — bit-for-bit, for
+//! arbitrary sequences of delta operations chained patch-on-patch.
+
+use analog_netlist::{testcases, Circuit, NetlistDelta};
+use eplace::{circuit_content_hash, eco, CircuitArtifacts};
+use proptest::prelude::*;
+
+/// One randomly-parameterized deck line against the current circuit.
+///
+/// `op` selects the directive, `a`/`b` pick devices/nets by index and `v`
+/// scales values — all taken modulo the live circuit so every generated
+/// deck applies cleanly. `added` tracks delta-created caps so `remove`
+/// only ever targets one of them (removing original devices can strand a
+/// symmetry partner, which is a constraint-validity question, not an
+/// artifact-patching one).
+fn deck_line(
+    circuit: &Circuit,
+    added: &mut Vec<String>,
+    op: usize,
+    a: usize,
+    b: usize,
+    v: usize,
+) -> String {
+    let devices = circuit.devices();
+    let nets = circuit.nets();
+    let dev = |i: usize| devices[i % devices.len()].name.clone();
+    let routable: Vec<&str> = nets
+        .iter()
+        .filter(|n| n.is_routable())
+        .map(|n| n.name.as_str())
+        .collect();
+    let net = |i: usize| routable[i % routable.len()].to_string();
+    match op {
+        // Resize exercises the feature-patch path (topology rows).
+        0 => format!("resize {} {}\n", dev(a), 1.0 + (v % 7) as f64 * 0.5),
+        // Add exercises membership splicing without id shifts.
+        1 => {
+            let name = format!("CK{}", added.len());
+            let line = format!("add {name} cap 10f {} {}\n", net(a), net(b));
+            added.push(name);
+            line
+        }
+        // Remove (of a delta-added device) exercises the full-rebuild path.
+        2 => match added.pop() {
+            Some(name) => format!("remove {name}\n"),
+            None => format!("weight {} 2.5\n", net(a)),
+        },
+        3 => format!("weight {} {}\n", net(a), 0.5 + (v % 5) as f64),
+        // Criticality flips dirty the static feature columns.
+        4 => format!(
+            "critical {} {}\n",
+            net(a),
+            if v.is_multiple_of(2) { "on" } else { "off" }
+        ),
+        _ => format!("unconstrain {}\n", dev(a)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The patch contract: after every step of a random delta sequence —
+    /// applied patch-on-patch, never from scratch — the patched bundle's
+    /// content hash, device→net CSR index and GNN topology (adjacency,
+    /// CSR plan, static features) are bit-identical to a cold build of
+    /// the same edited circuit.
+    #[test]
+    fn patched_artifacts_match_cold_builds_over_delta_sequences(
+        ops in proptest::collection::vec((0usize..6, 0usize..64, 0usize..64, 0usize..16), 1..6),
+    ) {
+        let mut artifacts = CircuitArtifacts::build(testcases::cc_ota());
+        let mut added = Vec::new();
+        for (op, a, b, v) in ops {
+            let deck = deck_line(artifacts.circuit(), &mut added, op, a, b, v);
+            let delta = NetlistDelta::parse(&deck).expect("generated decks parse");
+            let (patched, _applied) = eco::prepare(&artifacts, &delta).expect("generated decks apply");
+            let cold = CircuitArtifacts::build(patched.circuit().clone());
+
+            prop_assert_eq!(
+                patched.content_hash(),
+                cold.content_hash(),
+                "content hash diverged after `{}`", deck.trim()
+            );
+            prop_assert_eq!(
+                patched.content_hash(),
+                circuit_content_hash(patched.circuit()),
+                "patched hash must be the edited circuit's hash"
+            );
+            prop_assert_eq!(
+                &*patched.device_nets(),
+                &*cold.device_nets(),
+                "device->net index diverged after `{}`", deck.trim()
+            );
+            prop_assert_eq!(
+                &*patched.topology(),
+                &*cold.topology(),
+                "GNN topology diverged after `{}`", deck.trim()
+            );
+            // Chain: the next edit patches the already-patched bundle.
+            artifacts = patched;
+        }
+    }
+}

@@ -34,6 +34,25 @@ fn kind_slot(kind: DeviceKind) -> usize {
     }
 }
 
+/// Writes device `i`'s static feature columns (kind one-hot, log-area,
+/// criticality) — shared by the cold topology build and the incremental
+/// [`GraphTopology::patched_features`] path so the two stay bit-exact.
+fn static_feature_row(features: &mut Matrix, circuit: &Circuit, i: usize) {
+    let d = &circuit.devices()[i];
+    features.set(i, kind_slot(d.kind), 1.0);
+    features.set(i, FEATURE_AREA, (1.0 + d.area()).ln());
+    let critical = if d.pins.is_empty() {
+        0.0
+    } else {
+        d.pins
+            .iter()
+            .filter(|p| circuit.net(p.net).critical)
+            .count() as f64
+            / d.pins.len() as f64
+    };
+    features.set(i, FEATURE_CRITICAL, critical);
+}
+
 /// The placement-independent part of a [`CircuitGraph`]: normalized
 /// adjacency, its CSR plan, and the static feature columns (kind one-hot,
 /// log-area, criticality — everything except x/y).
@@ -98,25 +117,47 @@ impl GraphTopology {
 
         let csr = CsrAdjacency::from_dense(&adjacency);
         let mut base_features = Matrix::zeros(n, FEATURES);
-        for (i, d) in circuit.devices().iter().enumerate() {
-            base_features.set(i, kind_slot(d.kind), 1.0);
-            base_features.set(i, FEATURE_AREA, (1.0 + d.area()).ln());
-            let critical = if d.pins.is_empty() {
-                0.0
-            } else {
-                d.pins
-                    .iter()
-                    .filter(|p| circuit.net(p.net).critical)
-                    .count() as f64
-                    / d.pins.len() as f64
-            };
-            base_features.set(i, FEATURE_CRITICAL, critical);
+        for i in 0..n {
+            static_feature_row(&mut base_features, circuit, i);
         }
         Self {
             adjacency,
             base_features,
             csr,
         }
+    }
+
+    /// Builds a topology for an edited circuit whose **connectivity is
+    /// unchanged** (same devices, same net membership) by cloning the
+    /// adjacency/CSR and re-deriving only the static feature rows of
+    /// `dirty` devices — the incremental path for resizes and critical-
+    /// net toggles. Bit-identical to [`GraphTopology::new`] on the
+    /// edited circuit because feature rows are per-device pure functions
+    /// and the adjacency inputs did not change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edited circuit's device count differs (connectivity
+    /// edits must rebuild instead).
+    pub fn patched_features(&self, circuit: &Circuit, dirty: &[bool]) -> Self {
+        assert_eq!(
+            circuit.num_devices(),
+            self.num_nodes(),
+            "patched_features requires an unchanged device census"
+        );
+        let mut out = self.clone();
+        for (i, &is_dirty) in dirty.iter().enumerate() {
+            if is_dirty {
+                // Zero the one-hot slots first: the device kind cannot
+                // change today, but a stale slot must not survive if it
+                // ever does.
+                for k in 0..KIND_SLOTS {
+                    out.base_features.set(i, k, 0.0);
+                }
+                static_feature_row(&mut out.base_features, circuit, i);
+            }
+        }
+        out
     }
 
     /// The sparse message-passing plan of [`Self::adjacency`].
@@ -309,6 +350,18 @@ mod tests {
             let warm = CircuitGraph::from_topology(&topo, &p.positions, 10.0);
             assert_eq!(cold, warm);
         }
+    }
+
+    #[test]
+    fn patched_features_matches_cold_build() {
+        let c = testcases::cc_ota();
+        let base = GraphTopology::new(&c);
+        let delta =
+            analog_netlist::NetlistDelta::parse("resize RB 18k\ncritical vbias on\n").unwrap();
+        let applied = delta.apply(&c).unwrap();
+        assert!(!applied.membership_changed);
+        let patched = base.patched_features(&applied.circuit, &applied.dirty);
+        assert_eq!(patched, GraphTopology::new(&applied.circuit));
     }
 
     #[test]

@@ -19,9 +19,13 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use analog_netlist::{parser::write_placement, testcases, Circuit};
+use analog_netlist::{
+    parser::{parse_placement, write_placement},
+    testcases, Circuit, NetlistDelta,
+};
 use eplace::{
-    Checkpoint, EPlaceA, EPlaceAP, PerfConfig, PlaceOutcome, Placer, PlacerConfig, RunBudget,
+    Checkpoint, EPlaceA, EPlaceAP, EcoConfig, EcoOutcome, PerfConfig, PlaceOutcome, Placer,
+    PlacerConfig, RunBudget,
 };
 use placer_gnn::Network;
 use placer_sa::{SaConfig, SaPlacer};
@@ -35,6 +39,8 @@ static JOBS_EXHAUSTED: Counter = Counter::new("jobs_exhausted");
 static JOBS_CANCELLED: Counter = Counter::new("jobs_cancelled");
 static JOBS_FAILED: Counter = Counter::new("jobs_failed");
 static JOBS_RETRIED: Counter = Counter::new("jobs_retried");
+static JOBS_ECO_FAST: Counter = Counter::new("jobs_eco_fast");
+static JOBS_ECO_FALLBACK: Counter = Counter::new("jobs_eco_fallback");
 static DEADLINE_SLACK_MS: Histogram = Histogram::new("job_deadline_slack_ms");
 
 /// Seed used by the ePlace-AP feature network (its weights are part of the
@@ -75,6 +81,67 @@ pub fn make_placer_with(
     seed: Option<u64>,
     utilization: Option<f64>,
 ) -> Result<(Box<dyn Placer>, u64), String> {
+    make_placer_variant(
+        name,
+        profile,
+        seed,
+        VariantOverrides {
+            utilization,
+            ..VariantOverrides::default()
+        },
+    )
+}
+
+/// Per-variant config overrides the sweep engine layers on top of a
+/// profile. `None` means "keep the profile's value"; the zero-override
+/// default is bit-identical to [`make_placer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VariantOverrides {
+    /// Density utilization target (analytical placers; SA ignores it).
+    pub utilization: Option<f64>,
+    /// Region aspect ratio W/H (analytical placers; SA packs freely and
+    /// ignores it). Must be finite and positive.
+    pub aspect: Option<f64>,
+    /// Constraint relaxation in `[0, 1)`: scales the symmetry penalty
+    /// (`tau_scale` for ePlace-A/AP and Xu19, `penalty_weight` for SA)
+    /// by `1 - relax`. `0` keeps the constraints at full strength.
+    pub relax: Option<f64>,
+}
+
+impl VariantOverrides {
+    fn validate(&self) -> Result<(), String> {
+        if let Some(a) = self.aspect {
+            if !a.is_finite() || a <= 0.0 {
+                return Err(format!("aspect must be finite and > 0, got {a}"));
+            }
+        }
+        if let Some(r) = self.relax {
+            if !r.is_finite() || !(0.0..1.0).contains(&r) {
+                return Err(format!("relax must lie in [0, 1), got {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn relax_factor(&self) -> f64 {
+        1.0 - self.relax.unwrap_or(0.0)
+    }
+}
+
+/// [`make_placer_with`] extended with the full sweep-axis override set
+/// (utilization, aspect ratio, constraint relaxation).
+///
+/// # Errors
+///
+/// Returns a message for unknown placer names, config validation
+/// failures, or out-of-range overrides.
+pub fn make_placer_variant(
+    name: &str,
+    profile: Profile,
+    seed: Option<u64>,
+    overrides: VariantOverrides,
+) -> Result<(Box<dyn Placer>, u64), String> {
+    overrides.validate()?;
     let small = profile == Profile::Small;
     match name {
         "eplace-a" | "eplace-ap" => {
@@ -85,10 +152,14 @@ pub fn make_placer_with(
             if let Some(s) = seed {
                 b = b.seed(s);
             }
-            if let Some(u) = utilization {
+            if let Some(u) = overrides.utilization {
                 b = b.utilization(u);
             }
-            let cfg = b.build().map_err(|e| e.to_string())?;
+            if let Some(a) = overrides.aspect {
+                b = b.aspect(a);
+            }
+            let mut cfg = b.build().map_err(|e| e.to_string())?;
+            cfg.global.tau_scale *= overrides.relax_factor();
             let effective = cfg.global.seed;
             let placer: Box<dyn Placer> = if name == "eplace-a" {
                 Box::new(EPlaceA::new(cfg))
@@ -109,7 +180,8 @@ pub fn make_placer_with(
             if let Some(s) = seed {
                 b = b.seed(s);
             }
-            let cfg = b.build().map_err(|e| e.to_string())?;
+            let mut cfg = b.build().map_err(|e| e.to_string())?;
+            cfg.penalty_weight *= overrides.relax_factor();
             let effective = cfg.seed;
             Ok((Box::new(SaPlacer::new(cfg)), effective))
         }
@@ -121,10 +193,14 @@ pub fn make_placer_with(
             if let Some(s) = seed {
                 b = b.seed(s);
             }
-            if let Some(u) = utilization {
+            if let Some(u) = overrides.utilization {
                 b = b.utilization(u);
             }
-            let cfg = b.build().map_err(|e| e.to_string())?;
+            if let Some(a) = overrides.aspect {
+                b = b.aspect(a);
+            }
+            let mut cfg = b.build().map_err(|e| e.to_string())?;
+            cfg.tau_scale *= overrides.relax_factor();
             let effective = cfg.seed;
             Ok((Box::new(Xu19Placer::new(cfg)), effective))
         }
@@ -172,6 +248,10 @@ pub struct JobEngine {
     /// artifacts are pure functions of the circuit. Cloning the engine
     /// shares the cache.
     pub cache: std::sync::Arc<eplace::ArtifactCache>,
+    /// Incremental re-placement knobs for ECO jobs (specs with an `eco`
+    /// deck). `eco.dirty_threshold = 0` forces every non-empty delta onto
+    /// the cold fallback path — the CI determinism check.
+    pub eco: EcoConfig,
 }
 
 impl JobEngine {
@@ -226,6 +306,8 @@ impl JobEngine {
             iterations: None,
             fom: None,
             checkpoint: None,
+            eco: None,
+            dirty_fraction: None,
             error: None,
         };
         let Some(artifacts) = self
@@ -236,6 +318,10 @@ impl JobEngine {
             JOBS_FAILED.add(1);
             return report;
         };
+        if spec.eco.is_some() {
+            self.run_eco_job(spec, &artifacts, factory, &mut report);
+            return report;
+        }
         let circuit = artifacts.circuit();
         let resume_ck = match self.load_checkpoint(spec) {
             Ok(ck) => ck,
@@ -291,6 +377,82 @@ impl JobEngine {
         }
         JOBS_FAILED.add(1);
         report
+    }
+
+    /// Runs an ECO job: parse the delta deck, map the warm `.place` file
+    /// onto the base circuit, and hand both to
+    /// [`Placer::replace`](eplace::Placer::replace). No retry seed
+    /// rotation — an ECO run is deterministic given deck + warm start, so
+    /// a failure is terminal. Legality is checked against the **patched**
+    /// circuit, and the result `.place` (when a placement dir is set)
+    /// reflects the edited netlist.
+    fn run_eco_job(
+        &self,
+        spec: &JobSpec,
+        artifacts: &eplace::CircuitArtifacts,
+        factory: &PlacerFactory<'_>,
+        report: &mut JobReport,
+    ) {
+        let loaded = (|| -> Result<(NetlistDelta, analog_netlist::Placement), String> {
+            let deck_path = spec.eco.as_deref().expect("eco branch");
+            let warm_path = spec
+                .warm_start
+                .as_deref()
+                .ok_or_else(|| "`eco` requires `warm_start`".to_string())?;
+            let deck = std::fs::read_to_string(deck_path)
+                .map_err(|e| format!("reading {deck_path}: {e}"))?;
+            let delta =
+                NetlistDelta::parse(&deck).map_err(|e| format!("parsing {deck_path}: {e}"))?;
+            let warm_text = std::fs::read_to_string(warm_path)
+                .map_err(|e| format!("reading {warm_path}: {e}"))?;
+            let warm = parse_placement(artifacts.circuit(), &warm_text)
+                .map_err(|e| format!("parsing {warm_path}: {e}"))?;
+            Ok((delta, warm))
+        })();
+        let (delta, warm) = match loaded {
+            Ok(pair) => pair,
+            Err(message) => {
+                report.error = Some(message);
+                JOBS_FAILED.add(1);
+                return;
+            }
+        };
+        let (placer, effective_seed) = match factory(spec.seed) {
+            Ok(built) => built,
+            Err(message) => {
+                report.error = Some(message);
+                JOBS_FAILED.add(1);
+                return;
+            }
+        };
+        report.seed = effective_seed;
+        let warm_ck = eplace::eco::warm_checkpoint(artifacts.circuit(), &warm);
+        let budget = make_budget(spec);
+        let start = Instant::now();
+        let result = placer.replace(artifacts, &delta, &warm_ck, &budget, &self.eco);
+        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok(eco) => {
+                report.eco = Some(eco.outcome.status());
+                report.dirty_fraction = Some(eco.dirty_fraction);
+                let patched = eco.artifacts;
+                let outcome = match eco.outcome {
+                    EcoOutcome::Fast(sol) => {
+                        JOBS_ECO_FAST.add(1);
+                        PlaceOutcome::Complete(sol)
+                    }
+                    EcoOutcome::FellBack(outcome) => {
+                        JOBS_ECO_FALLBACK.add(1);
+                        outcome
+                    }
+                };
+                self.finish(spec, patched.circuit(), outcome, report);
+            }
+            Err(e) => {
+                report.error = Some(e.to_string());
+                JOBS_FAILED.add(1);
+            }
+        }
     }
 
     fn checkpoint_path(&self, spec: &JobSpec) -> Option<PathBuf> {
@@ -548,6 +710,73 @@ mod tests {
             assert_eq!(report.iterations, Some(sol.iterations as u64));
             assert_eq!(report.seed, seed, "{placer_name}");
         }
+    }
+
+    #[test]
+    fn eco_jobs_run_fast_and_fall_back_deterministically() {
+        let dir = tempdir("eco");
+        let engine = JobEngine {
+            placement_dir: Some(dir.clone()),
+            ..JobEngine::default()
+        };
+        // Cold job produces the warm-start .place file.
+        let mut cold = JobSpec::new("cold", "cc_ota", "eplace-a");
+        cold.profile = Profile::Small;
+        let cold_report = engine.run_job(&cold);
+        assert_eq!(cold_report.status, JobStatus::Complete);
+        let warm_path = dir.join("cold.place");
+        assert!(warm_path.exists());
+        let deck_path = dir.join("edit.eco");
+        std::fs::write(&deck_path, "resize RB 18k\n").unwrap();
+
+        // Single-device resize stays under the dirty threshold: fast path.
+        let mut eco = JobSpec::new("eco-fast", "cc_ota", "eplace-a");
+        eco.profile = Profile::Small;
+        eco.eco = Some(deck_path.display().to_string());
+        eco.warm_start = Some(warm_path.display().to_string());
+        let fast = engine.run_job(&eco);
+        assert_eq!(fast.status, JobStatus::Complete, "{:?}", fast.error);
+        assert_eq!(fast.eco, Some("fast"));
+        assert_eq!(fast.legal, Some(true));
+        let frac = fast.dirty_fraction.unwrap();
+        assert!(frac > 0.0 && frac < 0.25, "dirty_fraction {frac}");
+        assert!(dir.join("eco-fast.place").exists());
+
+        // Threshold 0 forces the fallback, which must be bit-identical to
+        // cold-placing the edited circuit.
+        let strict = JobEngine {
+            eco: EcoConfig {
+                dirty_threshold: 0.0,
+                ..EcoConfig::default()
+            },
+            ..engine.clone()
+        };
+        let mut fallback_spec = eco.clone();
+        fallback_spec.id = "eco-fallback".into();
+        let fb = strict.run_job(&fallback_spec);
+        assert_eq!(fb.status, JobStatus::Complete, "{:?}", fb.error);
+        assert_eq!(fb.eco, Some("fallback"));
+        assert_eq!(fb.legal, Some(true));
+        let circuit = testcases::cc_ota();
+        let delta = NetlistDelta::parse("resize RB 18k\n").unwrap();
+        let edited = delta.apply(&circuit).unwrap().circuit;
+        let (placer, _) = make_placer("eplace-a", Profile::Small, None).unwrap();
+        let reference = placer.place(&edited, &RunBudget::unlimited()).unwrap();
+        let sol = reference.solution().unwrap();
+        assert_eq!(fb.hpwl.unwrap().to_bits(), sol.hpwl.to_bits());
+        assert_eq!(fb.area.unwrap().to_bits(), sol.area.to_bits());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn eco_jobs_with_missing_inputs_fail_cleanly() {
+        let mut spec = JobSpec::new("ghost-eco", "adder", "sa");
+        spec.profile = Profile::Small;
+        spec.eco = Some("/nonexistent/edit.eco".into());
+        spec.warm_start = Some("/nonexistent/warm.place".into());
+        let report = JobEngine::default().run_job(&spec);
+        assert_eq!(report.status, JobStatus::Failed);
+        assert!(report.error.unwrap().contains("edit.eco"));
     }
 
     #[test]

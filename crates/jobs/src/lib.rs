@@ -37,5 +37,7 @@ mod engine;
 pub mod json;
 pub mod spec;
 
-pub use engine::{make_placer, make_placer_with, JobEngine, PlacerFactory};
+pub use engine::{
+    make_placer, make_placer_variant, make_placer_with, JobEngine, PlacerFactory, VariantOverrides,
+};
 pub use spec::{parse_jobs, JobReport, JobSpec, JobStatus, Profile, SpecError};

@@ -77,6 +77,14 @@ pub struct JobSpec {
     /// Deterministic cancellation trigger for tests/CI: cancel the run
     /// after this many budget checks.
     pub cancel_after_checks: Option<u64>,
+    /// Path of an `.eco` delta deck: the job re-places incrementally via
+    /// [`Placer::replace`](eplace::Placer::replace) instead of placing
+    /// from scratch. Requires `warm_start`.
+    pub eco: Option<String>,
+    /// Path of the `.place` file the ECO fast path warm-starts from
+    /// (written by a previous run of the same circuit). Required when
+    /// `eco` is set, ignored otherwise.
+    pub warm_start: Option<String>,
 }
 
 impl JobSpec {
@@ -96,6 +104,8 @@ impl JobSpec {
             seed: None,
             max_retries: 0,
             cancel_after_checks: None,
+            eco: None,
+            warm_start: None,
         }
     }
 
@@ -124,6 +134,12 @@ impl JobSpec {
         }
         if let Some(n) = self.cancel_after_checks {
             let _ = write!(out, r#", "cancel_after_checks": {n}"#);
+        }
+        if let Some(p) = &self.eco {
+            let _ = write!(out, r#", "eco": "{}""#, escape(p));
+        }
+        if let Some(p) = &self.warm_start {
+            let _ = write!(out, r#", "warm_start": "{}""#, escape(p));
         }
         out.push('}');
         out
@@ -210,6 +226,8 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, SpecError> {
                 "cancel_after_checks" => {
                     spec.cancel_after_checks = Some(as_u64(lineno, key, value)?)
                 }
+                "eco" => spec.eco = Some(as_str(lineno, key, value)?),
+                "warm_start" => spec.warm_start = Some(as_str(lineno, key, value)?),
                 other => return Err(spec_err(lineno, format!("unknown key `{other}`"))),
             }
         }
@@ -229,6 +247,18 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, SpecError> {
         }
         if !seen_ids.insert(spec.id.clone()) {
             return Err(spec_err(lineno, format!("duplicate job id `{}`", spec.id)));
+        }
+        if spec.eco.is_some() && spec.warm_start.is_none() {
+            return Err(spec_err(
+                lineno,
+                "`eco` requires `warm_start` (the .place file to warm-start from)",
+            ));
+        }
+        if spec.warm_start.is_some() && spec.eco.is_none() {
+            return Err(spec_err(
+                lineno,
+                "`warm_start` is only meaningful with `eco`",
+            ));
         }
         jobs.push(spec);
     }
@@ -301,6 +331,12 @@ pub struct JobReport {
     pub fom: Option<f64>,
     /// Path of the checkpoint file written on cancellation.
     pub checkpoint: Option<String>,
+    /// How an ECO job was answered: `"fast"` (incremental re-place) or
+    /// `"fallback"` (delta too large, cold re-place). Unset for plain
+    /// jobs, so their lines are byte-identical to the pre-ECO protocol.
+    pub eco: Option<&'static str>,
+    /// Fraction of devices the ECO delta dirtied (ECO jobs only).
+    pub dirty_fraction: Option<f64>,
     /// Error message of the last attempt (failed only).
     pub error: Option<String>,
 }
@@ -340,6 +376,12 @@ impl JobReport {
         if let Some(c) = &self.checkpoint {
             let _ = write!(out, r#", "checkpoint": "{}""#, escape(c));
         }
+        if let Some(m) = self.eco {
+            let _ = write!(out, r#", "eco": "{m}""#);
+        }
+        if let Some(d) = self.dirty_fraction {
+            let _ = write!(out, r#", "dirty_fraction": {}"#, number(d));
+        }
         if let Some(e) = &self.error {
             let _ = write!(out, r#", "error": "{}""#, escape(e));
         }
@@ -359,9 +401,26 @@ mod tests {
         spec.deadline_ms = Some(2000.0);
         spec.seed = Some(11);
         spec.max_retries = 2;
+        spec.eco = Some("decks/edit.eco".into());
+        spec.warm_start = Some("out/ota-1.place".into());
         let text = format!("# jobs\n\n{}\n", spec.to_line());
         let parsed = parse_jobs(&text).unwrap();
         assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn eco_requires_a_warm_start_and_vice_versa() {
+        let e = parse_jobs(
+            "{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\", \"eco\": \"d.eco\"}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("warm_start"), "{}", e.message);
+
+        let e = parse_jobs(
+            "{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\", \"warm_start\": \"a.place\"}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("eco"), "{}", e.message);
     }
 
     #[test]
@@ -410,6 +469,8 @@ mod tests {
             iterations: Some(120),
             fom: None,
             checkpoint: None,
+            eco: None,
+            dirty_fraction: None,
             error: None,
         };
         let kv = crate::json::parse_object(&r.to_line()).unwrap();

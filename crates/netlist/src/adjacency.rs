@@ -76,6 +76,52 @@ impl DeviceNets {
         }
     }
 
+    /// Builds the index for an edited circuit by splicing rows: clean
+    /// devices copy their row from `self`, dirty devices (and any new
+    /// devices appended past `self.num_devices()`) get freshly derived
+    /// rows. Bit-identical to [`DeviceNets::new`] on the edited circuit
+    /// as long as clean devices' routable-net incidence is unchanged —
+    /// which the [`crate::NetlistDelta`] applier guarantees by keeping
+    /// net ids stable and marking every device on a membership-touched
+    /// net dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edited circuit has fewer devices than `self`
+    /// (removals shift ids; callers must rebuild instead).
+    pub fn spliced(&self, circuit: &Circuit, dirty: &[bool]) -> Self {
+        let n_old = self.num_devices();
+        let n = circuit.num_devices();
+        assert!(
+            n >= n_old,
+            "spliced: device removed ({n} < {n_old}); rebuild instead"
+        );
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut nets: Vec<u32> = Vec::with_capacity(self.nets.len());
+        starts.push(0u32);
+        let mut fresh_row: Vec<u32> = Vec::new();
+        for d in 0..n {
+            if d < n_old && !dirty.get(d).copied().unwrap_or(false) {
+                nets.extend_from_slice(self.nets_of(DeviceId::new(d)));
+            } else {
+                // Re-derive the row from the device's pins: ascending,
+                // deduplicated, routable nets only — the same contract
+                // the two-pass builder produces.
+                fresh_row.clear();
+                for p in &circuit.device(DeviceId::new(d)).pins {
+                    let ni = p.net.index() as u32;
+                    if circuit.nets()[ni as usize].is_routable() && !fresh_row.contains(&ni) {
+                        fresh_row.push(ni);
+                    }
+                }
+                fresh_row.sort_unstable();
+                nets.extend_from_slice(&fresh_row);
+            }
+            starts.push(nets.len() as u32);
+        }
+        Self { starts, nets }
+    }
+
     /// The routable nets incident to one device, as indices into
     /// [`Circuit::nets`], ascending and deduplicated.
     pub fn nets_of(&self, device: DeviceId) -> &[u32] {
@@ -129,6 +175,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spliced_matches_cold_build_after_edits() {
+        let circuit = testcases::cc_ota();
+        let base = DeviceNets::new(&circuit);
+        let delta =
+            crate::NetlistDelta::parse("attach MT tap vbias\nadd CX cap 10f outp vss\n").unwrap();
+        let applied = delta.apply(&circuit).unwrap();
+        let spliced = base.spliced(&applied.circuit, &applied.dirty);
+        assert_eq!(spliced, DeviceNets::new(&applied.circuit));
     }
 
     #[test]

@@ -1,0 +1,833 @@
+//! Netlist deltas: the ECO (engineering change order) edit model.
+//!
+//! An ECO deck is a small script of edits against an existing circuit —
+//! resize a device, add or remove one, rewire a pin, tweak a net
+//! attribute or drop a constraint. [`NetlistDelta::parse`] reads the
+//! deck and [`NetlistDelta::apply`] replays it onto a [`Circuit`],
+//! producing the edited circuit **plus** the bookkeeping incremental
+//! placement needs: which devices are dirtied, whether net membership
+//! changed (the CSR adjacency must be spliced or rebuilt), and whether
+//! any device was removed (ids shift, so derived structures rebuild).
+//!
+//! The deck grammar, one directive per line (`#` comments allowed):
+//!
+//! ```text
+//! resize   <device> <value>          # MOS: gate W in µm; C/R/L: SI value
+//! add      <name> nmos|pmos <W> <d> <g> <s> <b>
+//! add      <name> cap|res|ind <value> <plus> <minus>
+//! add      <name> diode <plus> <minus>
+//! remove   <device>
+//! attach   <device> <pin> <net>      # add a pin wired to <net>
+//! detach   <device> <net>            # drop the device's pins on <net>
+//! weight   <net> <value>
+//! critical <net> on|off
+//! unconstrain <device>               # drop constraints mentioning it
+//! ```
+//!
+//! Devices created by `add` use the same footprint and electrical
+//! heuristics as the SPICE parser, so an applied delta round-trips
+//! through [`parser::write_spice`] exactly like a parsed deck would.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::parser::{cap_footprint, ind_footprint, mos_footprint, parse_si_value, res_footprint};
+use crate::{Circuit, CircuitBuilder, Device, DeviceId, DeviceKind, ElectricalParams, NetId, Pin};
+
+/// One edit directive from an ECO deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoOp {
+    /// Re-derive a device's footprint/electrical card from a new value
+    /// (gate width in µm for MOS devices, the SI component value for
+    /// passives). Pin offsets scale with the footprint.
+    Resize {
+        /// Device instance name.
+        device: String,
+        /// New size value (µm of gate width, or F/Ω/H).
+        value: f64,
+    },
+    /// Add a new device wired to the named nets (created on demand).
+    AddDevice {
+        /// Instance name (must not collide).
+        name: String,
+        /// Device kind.
+        kind: DeviceKind,
+        /// Size value (gate W in µm, or the SI component value; diodes
+        /// have no value and store 0).
+        value: f64,
+        /// Net names, one per pin in kind order.
+        nets: Vec<String>,
+    },
+    /// Remove a device; constraints mentioning it are dropped.
+    RemoveDevice {
+        /// Device instance name.
+        device: String,
+    },
+    /// Add a pin to an existing device, wired to a (possibly new) net.
+    AttachPin {
+        /// Device instance name.
+        device: String,
+        /// Name for the new pin.
+        pin: String,
+        /// Net the pin connects to.
+        net: String,
+    },
+    /// Remove all of a device's pins on the named net.
+    DetachPin {
+        /// Device instance name.
+        device: String,
+        /// Net whose pins are dropped.
+        net: String,
+    },
+    /// Set a net's wirelength weight.
+    SetWeight {
+        /// Net name.
+        net: String,
+        /// New weight.
+        weight: f64,
+    },
+    /// Set or clear a net's performance-critical flag.
+    SetCritical {
+        /// Net name.
+        net: String,
+        /// New flag value.
+        critical: bool,
+    },
+    /// Drop every constraint (symmetry, alignment, ordering) that
+    /// mentions the device.
+    Unconstrain {
+        /// Device instance name.
+        device: String,
+    },
+}
+
+/// A parsed ECO deck: an ordered list of edits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetlistDelta {
+    ops: Vec<(usize, EcoOp)>,
+}
+
+/// The result of applying a [`NetlistDelta`] to a circuit: the edited
+/// circuit plus the dirty bookkeeping incremental placement consumes.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The edited circuit.
+    pub circuit: Circuit,
+    /// Per-device (new-circuit ids) flag: `true` if the edit touched
+    /// the device directly or through a shared net or constraint.
+    pub dirty: Vec<bool>,
+    /// Whether any device was removed (device ids shifted; derived
+    /// structures keyed by device index must fully rebuild).
+    pub removed_devices: bool,
+    /// Whether net membership changed (attach/detach/add/remove):
+    /// adjacency structures need a row splice or rebuild.
+    pub membership_changed: bool,
+    /// Whether per-device features changed without membership changes
+    /// (resize, critical toggles): feature rows need re-derivation.
+    pub features_changed: bool,
+}
+
+impl AppliedDelta {
+    /// Number of dirtied devices.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Dirtied fraction of the edited circuit, in `[0, 1]`.
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.dirty.is_empty() {
+            return 0.0;
+        }
+        self.dirty_count() as f64 / self.dirty.len() as f64
+    }
+
+    /// Dirty device ids in the edited circuit.
+    pub fn dirty_devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| DeviceId::new(i))
+    }
+}
+
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError::new(line, kind)
+}
+
+fn missing(line: usize, card: &'static str, expected: &'static str) -> ParseError {
+    err(line, ParseErrorKind::MissingFields { card, expected })
+}
+
+fn bad_number(line: usize, what: &'static str, token: &str) -> ParseError {
+    err(
+        line,
+        ParseErrorKind::BadNumber {
+            what,
+            token: token.to_string(),
+        },
+    )
+}
+
+fn number(line: usize, what: &'static str, token: &str) -> Result<f64, ParseError> {
+    parse_si_value(token).ok_or_else(|| bad_number(line, what, token))
+}
+
+impl NetlistDelta {
+    /// Parses an ECO deck.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on unknown directives, wrong arity, or
+    /// malformed values. Name resolution happens at [`Self::apply`]
+    /// time, against the circuit the delta is applied to.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut ops = Vec::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let directive = tokens[0];
+            let op = match directive {
+                "resize" => {
+                    if tokens.len() != 3 {
+                        return Err(missing(lineno, "resize", "a device and a value"));
+                    }
+                    EcoOp::Resize {
+                        device: tokens[1].to_string(),
+                        value: number(lineno, "size", tokens[2])?,
+                    }
+                }
+                "add" => {
+                    if tokens.len() < 3 {
+                        return Err(missing(lineno, "add", "a name, a kind and nets"));
+                    }
+                    let name = tokens[1].to_string();
+                    let (kind, value, nets) = match tokens[2] {
+                        "nmos" | "pmos" => {
+                            if tokens.len() != 8 {
+                                return Err(missing(lineno, "add", "a gate width and 4 nets"));
+                            }
+                            let kind = if tokens[2] == "nmos" {
+                                DeviceKind::Nmos
+                            } else {
+                                DeviceKind::Pmos
+                            };
+                            (kind, number(lineno, "width", tokens[3])?, &tokens[4..8])
+                        }
+                        "cap" | "res" | "ind" => {
+                            if tokens.len() != 6 {
+                                return Err(missing(lineno, "add", "a value and 2 nets"));
+                            }
+                            let kind = match tokens[2] {
+                                "cap" => DeviceKind::Capacitor,
+                                "res" => DeviceKind::Resistor,
+                                _ => DeviceKind::Inductor,
+                            };
+                            (kind, number(lineno, "value", tokens[3])?, &tokens[3..5])
+                        }
+                        "diode" => {
+                            if tokens.len() != 5 {
+                                return Err(missing(lineno, "add", "2 nets"));
+                            }
+                            (DeviceKind::Diode, 0.0, &tokens[3..5])
+                        }
+                        other => {
+                            return Err(err(
+                                lineno,
+                                ParseErrorKind::UnknownKeyword {
+                                    what: "device kind",
+                                    token: other.to_string(),
+                                },
+                            ))
+                        }
+                    };
+                    // Passive net slice above starts at the value token
+                    // for the arity check; fix it up here.
+                    let nets: Vec<String> = match kind {
+                        DeviceKind::Capacitor | DeviceKind::Resistor | DeviceKind::Inductor => {
+                            tokens[4..6].iter().map(|s| s.to_string()).collect()
+                        }
+                        _ => nets.iter().map(|s| s.to_string()).collect(),
+                    };
+                    EcoOp::AddDevice {
+                        name,
+                        kind,
+                        value,
+                        nets,
+                    }
+                }
+                "remove" => {
+                    if tokens.len() != 2 {
+                        return Err(missing(lineno, "remove", "a device"));
+                    }
+                    EcoOp::RemoveDevice {
+                        device: tokens[1].to_string(),
+                    }
+                }
+                "attach" => {
+                    if tokens.len() != 4 {
+                        return Err(missing(lineno, "attach", "a device, a pin and a net"));
+                    }
+                    EcoOp::AttachPin {
+                        device: tokens[1].to_string(),
+                        pin: tokens[2].to_string(),
+                        net: tokens[3].to_string(),
+                    }
+                }
+                "detach" => {
+                    if tokens.len() != 3 {
+                        return Err(missing(lineno, "detach", "a device and a net"));
+                    }
+                    EcoOp::DetachPin {
+                        device: tokens[1].to_string(),
+                        net: tokens[2].to_string(),
+                    }
+                }
+                "weight" => {
+                    if tokens.len() != 3 {
+                        return Err(missing(lineno, "weight", "a net and a value"));
+                    }
+                    EcoOp::SetWeight {
+                        net: tokens[1].to_string(),
+                        weight: tokens[2]
+                            .parse::<f64>()
+                            .map_err(|_| bad_number(lineno, "weight", tokens[2]))?,
+                    }
+                }
+                "critical" => {
+                    if tokens.len() != 3 {
+                        return Err(missing(lineno, "critical", "a net and on|off"));
+                    }
+                    let critical = match tokens[2] {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                ParseErrorKind::UnknownKeyword {
+                                    what: "critical flag",
+                                    token: other.to_string(),
+                                },
+                            ))
+                        }
+                    };
+                    EcoOp::SetCritical {
+                        net: tokens[1].to_string(),
+                        critical,
+                    }
+                }
+                "unconstrain" => {
+                    if tokens.len() != 2 {
+                        return Err(missing(lineno, "unconstrain", "a device"));
+                    }
+                    EcoOp::Unconstrain {
+                        device: tokens[1].to_string(),
+                    }
+                }
+                other => {
+                    return Err(err(
+                        lineno,
+                        ParseErrorKind::UnknownDirective(other.to_string()),
+                    ))
+                }
+            };
+            ops.push((lineno, op));
+        }
+        Ok(Self { ops })
+    }
+
+    /// Builds a delta directly from ops (line numbers synthesized).
+    pub fn from_ops(ops: Vec<EcoOp>) -> Self {
+        Self {
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| (i + 1, op))
+                .collect(),
+        }
+    }
+
+    /// The edits, in deck order.
+    pub fn ops(&self) -> impl Iterator<Item = &EcoOp> {
+        self.ops.iter().map(|(_, op)| op)
+    }
+
+    /// Whether the deck holds no edits.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of edits.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Applies the delta to a circuit, rebuilding it through
+    /// [`CircuitBuilder`] so all structural invariants are re-validated.
+    ///
+    /// Net order is preserved (old nets keep their ids; new nets are
+    /// appended), and so is device order apart from removals, so
+    /// derived structures can be patched rather than rebuilt when
+    /// [`AppliedDelta::membership_changed`] is false.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] (with the offending deck line) when an op
+    /// references an unknown device or net, resizes a diode, or the
+    /// edited circuit fails validation.
+    pub fn apply(&self, circuit: &Circuit) -> Result<AppliedDelta, ParseError> {
+        let n_old = circuit.num_devices();
+        // Resolve device-referencing ops against the old circuit.
+        let find_dev = |line: usize, name: &str| {
+            circuit
+                .find_device(name)
+                .ok_or_else(|| err(line, ParseErrorKind::UnknownDevice(name.to_string())))
+        };
+        let find_net = |line: usize, name: &str| {
+            circuit
+                .find_net(name)
+                .ok_or_else(|| err(line, ParseErrorKind::UnknownNet(name.to_string())))
+        };
+
+        let mut removed: HashSet<usize> = HashSet::new();
+        let mut unconstrained: HashSet<usize> = HashSet::new();
+        for (line, op) in &self.ops {
+            match op {
+                EcoOp::RemoveDevice { device } => {
+                    removed.insert(find_dev(*line, device)?.index());
+                }
+                EcoOp::Unconstrain { device } => {
+                    unconstrained.insert(find_dev(*line, device)?.index());
+                }
+                _ => {}
+            }
+        }
+        let live_dev = |line: usize, name: &str| -> Result<DeviceId, ParseError> {
+            let id = find_dev(line, name)?;
+            if removed.contains(&id.index()) {
+                return Err(err(line, ParseErrorKind::UnknownDevice(name.to_string())));
+            }
+            Ok(id)
+        };
+
+        let mut resized: HashMap<usize, (usize, f64)> = HashMap::new();
+        let mut attaches: Vec<(usize, String, String)> = Vec::new(); // (old id, pin, net)
+        let mut detaches: Vec<(usize, usize, NetId)> = Vec::new(); // (line, old id, net)
+        let mut adds: Vec<(usize, &EcoOp)> = Vec::new();
+        let mut net_sets: Vec<(usize, &EcoOp)> = Vec::new();
+        // Nets whose membership an op touches, by old-circuit id; used
+        // for dirty propagation below.
+        let mut touched_nets: BTreeSet<usize> = BTreeSet::new();
+        for (line, op) in &self.ops {
+            match op {
+                EcoOp::Resize { device, value } => {
+                    let id = live_dev(*line, device)?;
+                    if circuit.device(id).kind == DeviceKind::Diode {
+                        return Err(err(
+                            *line,
+                            ParseErrorKind::UnknownKeyword {
+                                what: "resizable device",
+                                token: device.clone(),
+                            },
+                        ));
+                    }
+                    resized.insert(id.index(), (*line, *value));
+                }
+                EcoOp::AttachPin { device, pin, net } => {
+                    let id = live_dev(*line, device)?;
+                    if let Some(nid) = circuit.find_net(net) {
+                        touched_nets.insert(nid.index());
+                    }
+                    attaches.push((id.index(), pin.clone(), net.clone()));
+                }
+                EcoOp::DetachPin { device, net } => {
+                    let id = live_dev(*line, device)?;
+                    let nid = find_net(*line, net)?;
+                    touched_nets.insert(nid.index());
+                    detaches.push((*line, id.index(), nid));
+                }
+                EcoOp::AddDevice { nets, .. } => {
+                    for net in nets {
+                        if let Some(nid) = circuit.find_net(net) {
+                            touched_nets.insert(nid.index());
+                        }
+                    }
+                    adds.push((*line, op));
+                }
+                EcoOp::SetWeight { .. } | EcoOp::SetCritical { .. } => net_sets.push((*line, op)),
+                EcoOp::RemoveDevice { device } => {
+                    let id = find_dev(*line, device)?;
+                    for pin in &circuit.device(id).pins {
+                        touched_nets.insert(pin.net.index());
+                    }
+                }
+                EcoOp::Unconstrain { .. } => {}
+            }
+        }
+
+        // Rebuild: nets first, in old order (ids stay stable; orphaned
+        // nets are kept so clean adjacency rows survive unchanged).
+        let mut b = CircuitBuilder::new(circuit.name().to_string(), circuit.class());
+        for net in circuit.nets() {
+            b.net(net.name.clone());
+        }
+        let mut id_map: Vec<Option<DeviceId>> = vec![None; n_old];
+        for (old_id, d) in circuit.device_ids() {
+            let old_idx = old_id.index();
+            if removed.contains(&old_idx) {
+                continue;
+            }
+            let mut dev = d.clone();
+            if let Some(&(line, value)) = resized.get(&old_idx) {
+                dev = resize_device(line, dev, value)?;
+            }
+            for &(line, idx, nid) in &detaches {
+                if idx != old_idx {
+                    continue;
+                }
+                let before = dev.pins.len();
+                dev.pins.retain(|p| p.net != nid);
+                if dev.pins.len() == before {
+                    return Err(err(
+                        line,
+                        ParseErrorKind::UnknownNet(circuit.net(nid).name.clone()),
+                    ));
+                }
+            }
+            for (idx, pin, net) in &attaches {
+                if *idx != old_idx {
+                    continue;
+                }
+                let nid = b.net(net.clone());
+                dev.pins.push(Pin::new(
+                    pin.clone(),
+                    nid,
+                    (dev.width * 0.5, dev.height * 0.9),
+                ));
+            }
+            id_map[old_idx] = Some(b.device(dev));
+        }
+        let mut added_ids = Vec::new();
+        for (_, op) in &adds {
+            let EcoOp::AddDevice {
+                name,
+                kind,
+                value,
+                nets,
+            } = op
+            else {
+                unreachable!("adds holds AddDevice ops only");
+            };
+            let (footprint, electrical, pin_names): ((f64, f64), _, &[&str]) = match kind {
+                DeviceKind::Nmos | DeviceKind::Pmos => (
+                    mos_footprint(*value, 0.012),
+                    ElectricalParams::mos(*value, 0.012),
+                    &["d", "g", "s", "b"],
+                ),
+                DeviceKind::Capacitor => (
+                    cap_footprint(*value),
+                    ElectricalParams::capacitor(*value),
+                    &["plus", "minus"],
+                ),
+                DeviceKind::Resistor => (
+                    res_footprint(*value),
+                    ElectricalParams::resistor(*value),
+                    &["plus", "minus"],
+                ),
+                DeviceKind::Inductor => (
+                    ind_footprint(*value),
+                    ElectricalParams::inductor(*value),
+                    &["plus", "minus"],
+                ),
+                DeviceKind::Diode => ((0.5, 0.5), ElectricalParams::default(), &["plus", "minus"]),
+            };
+            let (w, h) = footprint;
+            let mut device = Device::new(name.clone(), *kind, w, h).with_electrical(electrical);
+            let n = nets.len() as f64;
+            for (i, (net_name, pin_name)) in nets.iter().zip(pin_names.iter()).enumerate() {
+                let net = b.net(net_name.clone());
+                let frac = (i as f64 + 0.5) / n;
+                device
+                    .pins
+                    .push(Pin::new(*pin_name, net, (w * frac, h * 0.9)));
+            }
+            added_ids.push(b.device(device));
+        }
+
+        // Constraints: drop anything touching a removed or unconstrained
+        // device, remap the rest. Ordering chains keep their surviving
+        // members as long as two remain.
+        let gone =
+            |id: DeviceId| removed.contains(&id.index()) || unconstrained.contains(&id.index());
+        let remap = |id: DeviceId| id_map[id.index()].expect("constraint device survives");
+        let cons = circuit.constraints();
+        let mut constraint_dropped: Vec<DeviceId> = Vec::new();
+        for g in &cons.symmetry_groups {
+            for &(x, y) in &g.pairs {
+                if gone(x) || gone(y) {
+                    constraint_dropped.extend([x, y]);
+                    continue;
+                }
+                b.symmetry_pair(&g.name, remap(x), remap(y));
+            }
+            for &s in &g.self_symmetric {
+                if gone(s) {
+                    constraint_dropped.push(s);
+                    continue;
+                }
+                b.symmetry_self(&g.name, remap(s));
+            }
+        }
+        for a in &cons.alignments {
+            if gone(a.a) || gone(a.b) {
+                constraint_dropped.extend([a.a, a.b]);
+                continue;
+            }
+            b.align(a.kind, remap(a.a), remap(a.b));
+        }
+        for o in &cons.orderings {
+            if o.devices.iter().any(|&d| gone(d)) {
+                constraint_dropped.extend(o.devices.iter().copied());
+            }
+            let kept: Vec<DeviceId> = o
+                .devices
+                .iter()
+                .filter(|&&d| !gone(d))
+                .map(|&d| remap(d))
+                .collect();
+            if kept.len() >= 2 {
+                b.order(o.direction, kept);
+            }
+        }
+
+        let mut rebuilt = b.build().map_err(ParseError::from)?;
+        // Net attributes carry over by index (old nets kept their ids).
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let id = NetId::new(i);
+            rebuilt.set_net_critical(id, net.critical);
+            rebuilt.set_net_weight(id, net.weight);
+        }
+        let mut attr_nets: BTreeSet<usize> = BTreeSet::new();
+        for (line, op) in &net_sets {
+            match op {
+                EcoOp::SetWeight { net, weight } => {
+                    let id = rebuilt
+                        .find_net(net)
+                        .ok_or_else(|| err(*line, ParseErrorKind::UnknownNet(net.clone())))?;
+                    rebuilt.set_net_weight(id, *weight);
+                    attr_nets.insert(id.index());
+                }
+                EcoOp::SetCritical { net, critical } => {
+                    let id = rebuilt
+                        .find_net(net)
+                        .ok_or_else(|| err(*line, ParseErrorKind::UnknownNet(net.clone())))?;
+                    rebuilt.set_net_critical(id, *critical);
+                    attr_nets.insert(id.index());
+                }
+                _ => unreachable!("net_sets holds net-attribute ops only"),
+            }
+        }
+
+        // Dirty propagation, on new-circuit ids: directly edited devices,
+        // devices on membership- or attribute-touched nets, and devices
+        // whose constraints were dropped.
+        let n_new = rebuilt.num_devices();
+        let mut dirty = vec![false; n_new];
+        let mark_old = |dirty: &mut Vec<bool>, old: DeviceId| {
+            if let Some(new_id) = id_map[old.index()] {
+                dirty[new_id.index()] = true;
+            }
+        };
+        for &idx in resized.keys() {
+            mark_old(&mut dirty, DeviceId::new(idx));
+        }
+        for (idx, _, _) in &attaches {
+            mark_old(&mut dirty, DeviceId::new(*idx));
+        }
+        for &(_, idx, _) in &detaches {
+            mark_old(&mut dirty, DeviceId::new(idx));
+        }
+        for &id in &added_ids {
+            dirty[id.index()] = true;
+        }
+        for old in constraint_dropped {
+            mark_old(&mut dirty, old);
+        }
+        for &idx in &unconstrained {
+            mark_old(&mut dirty, DeviceId::new(idx));
+        }
+        // Old-circuit membership of touched nets (covers neighbors of
+        // removed devices and detached pins).
+        for &ni in &touched_nets {
+            for pin in &circuit.net(NetId::new(ni)).pins {
+                mark_old(&mut dirty, pin.device);
+            }
+        }
+        // New-circuit membership of touched + attribute nets (covers
+        // attach targets, freshly created nets, criticality flips).
+        for (i, net) in rebuilt.nets().iter().enumerate() {
+            let touched = (i < circuit.num_nets() && touched_nets.contains(&i))
+                || i >= circuit.num_nets()
+                || attr_nets.contains(&i);
+            if touched {
+                for pin in &net.pins {
+                    dirty[pin.device.index()] = true;
+                }
+            }
+        }
+
+        let removed_devices = !removed.is_empty();
+        let membership_changed =
+            removed_devices || !adds.is_empty() || !attaches.is_empty() || !detaches.is_empty();
+        let features_changed = !resized.is_empty()
+            || net_sets
+                .iter()
+                .any(|(_, op)| matches!(op, EcoOp::SetCritical { .. }));
+        Ok(AppliedDelta {
+            circuit: rebuilt,
+            dirty,
+            removed_devices,
+            membership_changed,
+            features_changed,
+        })
+    }
+}
+
+/// Re-derives a device's footprint, electrical card and pin offsets for
+/// a new size value, parser-heuristic style. Pin offsets scale with the
+/// footprint so edge/top pin layouts survive.
+fn resize_device(line: usize, dev: Device, value: f64) -> Result<Device, ParseError> {
+    let (footprint, electrical) = match dev.kind {
+        DeviceKind::Nmos | DeviceKind::Pmos => (
+            mos_footprint(value, 0.012),
+            ElectricalParams::mos(value, 0.012),
+        ),
+        DeviceKind::Capacitor => (cap_footprint(value), ElectricalParams::capacitor(value)),
+        DeviceKind::Resistor => (res_footprint(value), ElectricalParams::resistor(value)),
+        DeviceKind::Inductor => (ind_footprint(value), ElectricalParams::inductor(value)),
+        DeviceKind::Diode => {
+            return Err(err(
+                line,
+                ParseErrorKind::UnknownKeyword {
+                    what: "resizable device",
+                    token: dev.name,
+                },
+            ))
+        }
+    };
+    let (w, h) = footprint;
+    let (old_w, old_h) = (dev.width, dev.height);
+    let mut out = Device::new(dev.name, dev.kind, w, h).with_electrical(electrical);
+    let (sx, sy) = (out.width / old_w, out.height / old_h);
+    out.pins = dev
+        .pins
+        .into_iter()
+        .map(|p| Pin::new(p.name, p.net, (p.offset.0 * sx, p.offset.1 * sy)))
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcases;
+
+    #[test]
+    fn parse_roundtrip_ops() {
+        let deck = "\
+# a comment
+resize RB 18k
+add MX nmos 2.0 outp vbias vss vss
+add CX cap 10f outp vss
+remove CB
+attach MT tap vbias
+detach MT vss
+weight outp 2.5
+critical tail on
+unconstrain MT
+";
+        let delta = NetlistDelta::parse(deck).unwrap();
+        assert_eq!(delta.len(), 9);
+        assert!(matches!(
+            delta.ops().next().unwrap(),
+            EcoOp::Resize { device, .. } if device == "RB"
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_directive() {
+        let e = NetlistDelta::parse("grow M1 2.0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownDirective(_)));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn resize_marks_only_the_device_dirty() {
+        let circuit = testcases::cc_ota();
+        let delta = NetlistDelta::parse("resize RB 18k\n").unwrap();
+        let applied = delta.apply(&circuit).unwrap();
+        assert_eq!(applied.dirty_count(), 1);
+        assert!(!applied.membership_changed);
+        assert!(applied.features_changed);
+        assert!(!applied.removed_devices);
+        let id = applied.circuit.find_device("RB").unwrap();
+        assert!(applied.dirty[id.index()]);
+        // The resistor grew: 18 squares of poly vs 12.
+        assert!(applied.circuit.device(id).height > circuit.device(id).height);
+        // Same device/net census otherwise.
+        assert_eq!(applied.circuit.num_devices(), circuit.num_devices());
+        assert_eq!(applied.circuit.num_nets(), circuit.num_nets());
+    }
+
+    #[test]
+    fn remove_dirties_net_neighbors_and_drops_constraints() {
+        let circuit = testcases::cc_ota();
+        let delta = NetlistDelta::parse("remove MT\n").unwrap();
+        let applied = delta.apply(&circuit).unwrap();
+        assert!(applied.removed_devices);
+        assert!(applied.membership_changed);
+        assert_eq!(applied.circuit.num_devices(), circuit.num_devices() - 1);
+        assert!(applied.circuit.find_device("MT").is_none());
+        // MT was self-symmetric in "core": the group survives without it.
+        for g in &applied.circuit.constraints().symmetry_groups {
+            assert!(g.self_symmetric.is_empty() || g.name != "core");
+        }
+        // Devices sharing MT's nets (tail, vbias, vss) are dirtied.
+        let mina = applied.circuit.find_device("MINA").unwrap();
+        assert!(applied.dirty[mina.index()]);
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_validated() {
+        let circuit = testcases::cc_ota();
+        let delta = NetlistDelta::parse("resize CB 30f\ncritical vbias on\n").unwrap();
+        let a = delta.apply(&circuit).unwrap();
+        let b = delta.apply(&circuit).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+        let e = NetlistDelta::parse("resize NOPE 1.0\n")
+            .unwrap()
+            .apply(&circuit)
+            .unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownDevice(_)));
+    }
+
+    #[test]
+    fn unchanged_devices_are_bit_identical_after_apply() {
+        let circuit = testcases::cc_ota();
+        let delta = NetlistDelta::parse("resize RB 18k\n").unwrap();
+        let applied = delta.apply(&circuit).unwrap();
+        for (id, d) in circuit.device_ids() {
+            if d.name == "RB" {
+                continue;
+            }
+            assert_eq!(applied.circuit.device(id), d, "{} changed", d.name);
+        }
+        for (old, new) in circuit.nets().iter().zip(applied.circuit.nets()) {
+            assert_eq!(old, new);
+        }
+    }
+}

@@ -30,6 +30,7 @@
 mod adjacency;
 mod circuit;
 mod constraint;
+mod delta;
 mod device;
 mod error;
 mod ids;
@@ -44,6 +45,7 @@ pub use circuit::{Circuit, CircuitBuilder, CircuitClass};
 pub use constraint::{
     AlignKind, Alignment, Axis, ConstraintSet, OrderDirection, Ordering, SymmetryGroup,
 };
+pub use delta::{AppliedDelta, EcoOp, NetlistDelta};
 pub use device::{Device, DeviceKind, ElectricalParams, Pin};
 #[allow(deprecated)]
 pub use error::ParseNetlistError;

@@ -100,7 +100,7 @@ fn kv(token: &str) -> Option<(&str, &str)> {
 
 /// Footprint heuristic for a MOS device with the given gate W/L in µm:
 /// wide transistors are folded into multiple fingers, giving a squarish cell.
-fn mos_footprint(w_um: f64, _l_um: f64) -> (f64, f64) {
+pub(crate) fn mos_footprint(w_um: f64, _l_um: f64) -> (f64, f64) {
     let fingers = (w_um / 2.0).ceil().max(1.0);
     let finger_w = w_um / fingers;
     let width = 0.4 + 0.25 * fingers;
@@ -109,14 +109,14 @@ fn mos_footprint(w_um: f64, _l_um: f64) -> (f64, f64) {
 }
 
 /// Footprint heuristic for a capacitor: MOM cap at ~2 fF/µm².
-fn cap_footprint(farads: f64) -> (f64, f64) {
+pub(crate) fn cap_footprint(farads: f64) -> (f64, f64) {
     let area = (farads / 2.0e-15).max(0.25);
     let side = area.sqrt();
     (side, side)
 }
 
 /// Footprint heuristic for a resistor: poly at ~1 kΩ per square, 0.4 µm wide.
-fn res_footprint(ohms: f64) -> (f64, f64) {
+pub(crate) fn res_footprint(ohms: f64) -> (f64, f64) {
     let squares = (ohms / 1000.0).max(0.5);
     (
         0.4 + 0.1 * squares.min(20.0),
@@ -125,7 +125,7 @@ fn res_footprint(ohms: f64) -> (f64, f64) {
 }
 
 /// Footprint heuristic for an inductor: spiral, area grows with value.
-fn ind_footprint(henries: f64) -> (f64, f64) {
+pub(crate) fn ind_footprint(henries: f64) -> (f64, f64) {
     let side = (henries / 1.0e-9).sqrt().clamp(2.0, 30.0);
     (side, side)
 }

@@ -1,0 +1,231 @@
+//! Warm-start ECO refinement for the SA placer.
+//!
+//! The annealer's state is a sequence pair over symmetry-island blocks,
+//! not coordinates, so a warm placement cannot be resumed directly: it is
+//! first mapped back into the representation with the classic
+//! geometry → sequence-pair construction (Γ⁺ orders blocks by `x − y`,
+//! Γ⁻ by `x + y`; a block left of another precedes it in both sequences,
+//! a block below another follows in Γ⁺ and precedes in Γ⁻). A short
+//! deterministic greedy polish then explores only moves touching blocks
+//! that contain delta-dirtied devices — adjacent transpositions in either
+//! sequence plus per-device flip toggles — accepting strict improvements
+//! under the full [`evaluate`] oracle. No RNG is drawn, so the fast path
+//! is reproducible without carrying annealing chain state.
+//!
+//! The packed result lives in the packer's lower-left frame; it is
+//! translated back onto the warm frame (mean displacement over all
+//! devices) before the trait engine blends it region-wise and runs the
+//! LP repair that restores exact legality.
+
+use analog_netlist::{Circuit, Placement};
+
+use crate::anneal::{evaluate, SaConfig, SaState};
+use crate::island::BlockModel;
+use crate::seqpair::SequencePair;
+
+/// Sorts block indices by `key`, ties broken by block index (stable).
+fn argsort_by_key(keys: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+    order
+}
+
+/// Reconstructs an annealing state from a warm placement: sequence pair
+/// from block-center geometry, flips copied per device.
+pub fn warm_state(model: &BlockModel, warm: &Placement) -> SaState {
+    let centers: Vec<(f64, f64)> = model
+        .blocks
+        .iter()
+        .map(|b| {
+            let n = b.devices.len().max(1) as f64;
+            let (sx, sy) = b.devices.iter().fold((0.0, 0.0), |(sx, sy), &(d, _, _)| {
+                let (x, y) = warm.positions[d.index()];
+                (sx + x, sy + y)
+            });
+            (sx / n, sy / n)
+        })
+        .collect();
+    let diag_up: Vec<f64> = centers.iter().map(|&(x, y)| x - y).collect();
+    let diag_dn: Vec<f64> = centers.iter().map(|&(x, y)| x + y).collect();
+    SaState {
+        seq_pair: SequencePair {
+            s1: argsort_by_key(&diag_up),
+            s2: argsort_by_key(&diag_dn),
+            flips: vec![(false, false); model.len()],
+        },
+        flips: warm.flips.clone(),
+    }
+}
+
+/// Block indices whose islands contain at least one dirtied device.
+pub fn dirty_blocks(model: &BlockModel, dirty: &[bool]) -> Vec<usize> {
+    model
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.devices.iter().any(|&(d, _, _)| dirty[d.index()]))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One candidate polish move, applied to a trial copy of the state.
+enum PolishMove {
+    /// Swap positions `(p, p+1)` in Γ⁺.
+    SwapS1(usize),
+    /// Swap positions `(p, p+1)` in Γ⁻.
+    SwapS2(usize),
+    /// Toggle device `d`'s x-flip.
+    FlipX(usize),
+    /// Toggle device `d`'s y-flip.
+    FlipY(usize),
+}
+
+fn apply(state: &mut SaState, mv: &PolishMove) {
+    match *mv {
+        PolishMove::SwapS1(p) => state.seq_pair.s1.swap(p, p + 1),
+        PolishMove::SwapS2(p) => state.seq_pair.s2.swap(p, p + 1),
+        PolishMove::FlipX(d) => state.flips[d].0 = !state.flips[d].0,
+        PolishMove::FlipY(d) => state.flips[d].1 = !state.flips[d].1,
+    }
+}
+
+/// Candidate moves touching `block`: adjacent transpositions around its
+/// current slot in each sequence, plus flip toggles for its devices.
+fn candidates(state: &SaState, model: &BlockModel, block: usize) -> Vec<PolishMove> {
+    let mut moves = Vec::new();
+    let m = state.seq_pair.s1.len();
+    let p1 = state.seq_pair.s1.iter().position(|&b| b == block);
+    let p2 = state.seq_pair.s2.iter().position(|&b| b == block);
+    if let Some(p) = p1 {
+        if p > 0 {
+            moves.push(PolishMove::SwapS1(p - 1));
+        }
+        if p + 1 < m {
+            moves.push(PolishMove::SwapS1(p));
+        }
+    }
+    if let Some(p) = p2 {
+        if p > 0 {
+            moves.push(PolishMove::SwapS2(p - 1));
+        }
+        if p + 1 < m {
+            moves.push(PolishMove::SwapS2(p));
+        }
+    }
+    for &(d, _, _) in &model.blocks[block].devices {
+        moves.push(PolishMove::FlipX(d.index()));
+        moves.push(PolishMove::FlipY(d.index()));
+    }
+    moves
+}
+
+/// Greedy dirty-scoped polish: up to `passes` sweeps over the dirty
+/// blocks' candidate moves, keeping strict cost improvements. Returns the
+/// polished packing translated onto the warm frame, plus moves attempted.
+pub fn polish(
+    circuit: &Circuit,
+    model: &BlockModel,
+    config: &SaConfig,
+    warm: &Placement,
+    dirty: &[bool],
+    passes: usize,
+) -> (Placement, usize) {
+    let mut best = warm_state(model, warm);
+    let (mut best_place, mut best_cost) = evaluate(circuit, model, &best, config, None);
+    let scope = dirty_blocks(model, dirty);
+    let mut moves = 0usize;
+    for _ in 0..passes.max(1) {
+        let mut improved = false;
+        for &block in &scope {
+            for mv in candidates(&best, model, block) {
+                let mut trial = best.clone();
+                apply(&mut trial, &mv);
+                let (place, cost) = evaluate(circuit, model, &trial, config, None);
+                moves += 1;
+                if cost.total < best_cost.total {
+                    best = trial;
+                    best_place = place;
+                    best_cost = cost;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // Re-anchor the packed (lower-left) frame onto the warm coordinates:
+    // the mean displacement is the least-squares optimal translation.
+    let n = circuit.num_devices();
+    if n > 0 {
+        let (mut dx, mut dy) = (0.0, 0.0);
+        for i in 0..n {
+            dx += warm.positions[i].0 - best_place.positions[i].0;
+            dy += warm.positions[i].1 - best_place.positions[i].1;
+        }
+        dx /= n as f64;
+        dy /= n as f64;
+        for p in &mut best_place.positions {
+            p.0 += dx;
+            p.1 += dy;
+        }
+    }
+    (best_place, moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog_netlist::testcases;
+
+    #[test]
+    fn warm_state_preserves_left_right_order() {
+        let circuit = testcases::adder();
+        let model = BlockModel::new(&circuit);
+        // Blocks spread along a row: block i strictly left of block i+1.
+        let origins: Vec<(f64, f64)> = (0..model.len()).map(|i| (i as f64 * 50.0, 0.0)).collect();
+        let flips = vec![(false, false); circuit.num_devices()];
+        let warm = model.expand(&circuit, &origins, &flips);
+        let state = warm_state(&model, &warm);
+        // A pure row ordering maps to identical Γ⁺ and Γ⁻ sequences.
+        assert_eq!(state.seq_pair.s1, state.seq_pair.s2);
+        for w in state.seq_pair.s1.windows(2) {
+            let cx = |b: usize| {
+                let blk = &model.blocks[b];
+                blk.devices
+                    .iter()
+                    .map(|&(d, _, _)| warm.positions[d.index()].0)
+                    .sum::<f64>()
+                    / blk.devices.len() as f64
+            };
+            assert!(cx(w[0]) < cx(w[1]));
+        }
+    }
+
+    #[test]
+    fn polish_never_worsens_the_reconstructed_cost() {
+        let circuit = testcases::cc_ota();
+        let model = BlockModel::new(&circuit);
+        let config = SaConfig::default();
+        let origins: Vec<(f64, f64)> = (0..model.len())
+            .map(|i| ((i % 3) as f64 * 40.0, (i / 3) as f64 * 40.0))
+            .collect();
+        let flips = vec![(false, false); circuit.num_devices()];
+        let warm = model.expand(&circuit, &origins, &flips);
+        let base_state = warm_state(&model, &warm);
+        let (_, base_cost) = evaluate(&circuit, &model, &base_state, &config, None);
+        let mut dirty = vec![false; circuit.num_devices()];
+        dirty[0] = true;
+        let (polished, moves) = polish(&circuit, &model, &config, &warm, &dirty, 4);
+        assert!(moves > 0, "dirty scope must generate candidate moves");
+        // The polished packing (before re-anchoring, cost is translation
+        // invariant for area/violation and HPWL) is no worse than the
+        // straight reconstruction.
+        let hpwl = polished.hpwl(&circuit);
+        let area = polished.area(&circuit);
+        let violation =
+            polished.alignment_violation(&circuit) + polished.ordering_violation(&circuit);
+        let total = area + config.hpwl_weight * hpwl + config.penalty_weight * violation;
+        assert!(total <= base_cost.total + 1e-9);
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod anneal;
+pub mod eco;
 mod evaluator;
 pub mod island;
 mod pipeline;

@@ -222,6 +222,29 @@ impl Placer for SaPlacer {
     fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<eplace::RaceProbe> {
         probe_checkpoint(circuit, checkpoint)
     }
+
+    fn eco_refine(
+        &self,
+        artifacts: &eplace::CircuitArtifacts,
+        warm: &Placement,
+        dirty: &[bool],
+        eco: &eplace::EcoConfig,
+    ) -> Result<Option<(Placement, usize)>, PlaceError> {
+        // The annealer cannot resume from coordinates, so the warm
+        // placement is mapped back into a sequence pair and polished with
+        // a deterministic greedy sweep scoped to the dirtied blocks; the
+        // engine's region repair restores exact legality afterwards.
+        let shared = artifacts.ext_or_build(SaShared::new);
+        let (placement, moves) = crate::eco::polish(
+            artifacts.circuit(),
+            &shared.model,
+            &self.config,
+            warm,
+            dirty,
+            eco.refine_iters,
+        );
+        Ok(Some((placement, moves)))
+    }
 }
 
 /// Best-so-far quality frozen in an SA checkpoint: scan every chain's
@@ -582,6 +605,28 @@ mod tests {
                 "steps={steps}: exhausted placement must stay legal"
             );
         }
+    }
+
+    #[test]
+    fn eco_replace_fast_path_is_legal() {
+        let circuit = testcases::cc_ota();
+        let placer = quick();
+        let cold = placer.place(&circuit).unwrap();
+        let artifacts = eplace::CircuitArtifacts::build(circuit.clone());
+        let warm = eplace::eco::warm_checkpoint(&circuit, &cold.placement);
+        let delta = analog_netlist::NetlistDelta::parse("resize RB 18k\n").unwrap();
+        let rep = placer
+            .replace(
+                &artifacts,
+                &delta,
+                &warm,
+                &RunBudget::unlimited(),
+                &eplace::EcoConfig::default(),
+            )
+            .unwrap();
+        assert!(rep.outcome.is_fast());
+        let sol = rep.outcome.solution().unwrap();
+        assert!(sol.placement.is_legal(rep.artifacts.circuit(), 1e-6));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! # placer-sweep
 //!
 //! Batched sweep / Monte-Carlo engine over the DATE'22 placer suite:
-//! expand one circuit into many variants (seed × utilization × placer
-//! portfolio), execute them on a shared compiled-artifact cache, and race
-//! the portfolio per variant so dominated placers die early.
+//! expand one circuit into many variants (seed × utilization × aspect ×
+//! relaxation × placer portfolio), execute them on a shared
+//! compiled-artifact cache, and race the portfolio per variant so
+//! dominated placers die early.
 //!
 //! The two pillars:
 //!
@@ -47,7 +48,7 @@ use std::sync::Arc;
 
 use analog_netlist::testcases;
 use eplace::ArtifactCache;
-use placer_jobs::{make_placer_with, JobReport, JobStatus};
+use placer_jobs::{make_placer_variant, JobReport, JobStatus};
 use placer_telemetry::Counter;
 
 pub use backend::{auto_backend, ParallelBackend, SerialBackend, SweepBackend};
@@ -145,11 +146,11 @@ impl SweepEngine {
         let mut racers = Vec::new();
         let mut build_errors: Vec<(usize, String, String)> = Vec::new();
         for (slot, name) in self.config.placers.iter().enumerate() {
-            match make_placer_with(
+            match make_placer_variant(
                 name,
                 self.config.profile,
                 Some(variant.seed),
-                variant.utilization,
+                variant.overrides(),
             ) {
                 Ok((placer, seed)) => {
                     slots.push(slot);
@@ -198,6 +199,8 @@ impl SweepEngine {
                 iterations: None,
                 fom: None,
                 checkpoint: None,
+                eco: None,
+                dirty_fraction: None,
                 error: Some(message),
             });
         }
@@ -259,6 +262,8 @@ fn fold_report(
         iterations: None,
         fom: outcome.fom(),
         checkpoint: None,
+        eco: None,
+        dirty_fraction: None,
         error: None,
     };
     match &outcome.end {

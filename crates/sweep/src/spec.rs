@@ -1,17 +1,18 @@
 //! Sweep configuration and variant expansion.
 //!
 //! A [`SweepConfig`] names one circuit and the axes to sweep: seeds,
-//! utilization targets, and the placer portfolio raced per variant.
-//! [`SweepConfig::variants`] expands the cross product deterministically
-//! (seed-major, utilization-minor), so variant indices — and everything
+//! utilization targets, region aspect ratios, constraint relaxations, and
+//! the placer portfolio raced per variant. [`SweepConfig::variants`]
+//! expands the cross product deterministically (seed-major, then
+//! utilization, aspect, relaxation), so variant indices — and everything
 //! keyed on them, like job ids — are stable across runs and thread counts.
 
-use placer_jobs::Profile;
+use placer_jobs::{Profile, VariantOverrides};
 
 use crate::race::RaceConfig;
 
-/// One point of the sweep: a `(seed, utilization)` pair. Every variant
-/// races the full placer portfolio on the shared artifacts.
+/// One point of the sweep: a `(seed, utilization, aspect, relax)` tuple.
+/// Every variant races the full placer portfolio on the shared artifacts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Variant {
     /// Index in expansion order (stable; names the JSONL rows).
@@ -22,15 +23,37 @@ pub struct Variant {
     /// Applies to the placers with a utilization knob (ePlace-A/AP, Xu19);
     /// SA packs exactly and ignores it.
     pub utilization: Option<f64>,
+    /// Region aspect ratio W/H override (`None` = square). Analytical
+    /// placers only; SA packs freely and ignores it.
+    pub aspect: Option<f64>,
+    /// Constraint relaxation in `[0, 1)` (`None` = full-strength
+    /// constraints): scales each placer's symmetry penalty by `1 - relax`.
+    pub relax: Option<f64>,
 }
 
 impl Variant {
     /// The id prefix for this variant's job reports:
-    /// `<circuit>-s<seed>[-u<percent>]`.
+    /// `<circuit>-s<seed>[-u<percent>][-a<percent>][-r<percent>]`.
     pub fn id_prefix(&self, circuit: &str) -> String {
-        match self.utilization {
-            Some(u) => format!("{circuit}-s{}-u{}", self.seed, (u * 100.0).round() as u64),
-            None => format!("{circuit}-s{}", self.seed),
+        let mut id = format!("{circuit}-s{}", self.seed);
+        for (tag, value) in [
+            ("u", self.utilization),
+            ("a", self.aspect),
+            ("r", self.relax),
+        ] {
+            if let Some(v) = value {
+                id.push_str(&format!("-{tag}{}", (v * 100.0).round() as u64));
+            }
+        }
+        id
+    }
+
+    /// The config overrides this variant layers on each racer.
+    pub fn overrides(&self) -> VariantOverrides {
+        VariantOverrides {
+            utilization: self.utilization,
+            aspect: self.aspect,
+            relax: self.relax,
         }
     }
 }
@@ -48,6 +71,11 @@ pub struct SweepConfig {
     pub seeds: Vec<u64>,
     /// Utilization axis; empty means "default utilization only".
     pub utilizations: Vec<f64>,
+    /// Region aspect-ratio axis (W/H); empty means "square region only".
+    pub aspects: Vec<f64>,
+    /// Constraint-relaxation axis in `[0, 1)`; empty means "full-strength
+    /// constraints only".
+    pub relaxations: Vec<f64>,
     /// Configuration profile for every racer.
     pub profile: Profile,
     /// The racing policy (rounds, quota, kill threshold).
@@ -66,6 +94,8 @@ impl Default for SweepConfig {
             ],
             seeds: vec![1],
             utilizations: Vec::new(),
+            aspects: Vec::new(),
+            relaxations: Vec::new(),
             profile: Profile::Small,
             race: RaceConfig::default(),
         }
@@ -73,28 +103,43 @@ impl Default for SweepConfig {
 }
 
 impl SweepConfig {
-    /// Expands the sweep axes into the variant list, seed-major.
+    /// Expands the sweep axes into the variant list: seed-major, then
+    /// utilization, aspect, relaxation. Empty axes contribute a single
+    /// `None` ("keep the default") point each.
     pub fn variants(&self) -> Vec<Variant> {
-        let utils: Vec<Option<f64>> = if self.utilizations.is_empty() {
-            vec![None]
-        } else {
-            self.utilizations.iter().copied().map(Some).collect()
+        let axis = |values: &[f64]| -> Vec<Option<f64>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
         };
-        let mut out = Vec::with_capacity(self.seeds.len() * utils.len());
+        let utils = axis(&self.utilizations);
+        let aspects = axis(&self.aspects);
+        let relaxes = axis(&self.relaxations);
+        let mut out =
+            Vec::with_capacity(self.seeds.len() * utils.len() * aspects.len() * relaxes.len());
         for &seed in &self.seeds {
             for &utilization in &utils {
-                out.push(Variant {
-                    index: out.len(),
-                    seed,
-                    utilization,
-                });
+                for &aspect in &aspects {
+                    for &relax in &relaxes {
+                        out.push(Variant {
+                            index: out.len(),
+                            seed,
+                            utilization,
+                            aspect,
+                            relax,
+                        });
+                    }
+                }
             }
         }
         out
     }
 
     /// Validates the axes: at least one placer and one seed, utilizations
-    /// inside `(0, 1]`.
+    /// inside `(0, 1]`, aspects finite and positive, relaxations in
+    /// `[0, 1)`.
     ///
     /// # Errors
     ///
@@ -109,6 +154,16 @@ impl SweepConfig {
         for &u in &self.utilizations {
             if !(u > 0.0 && u <= 1.0) {
                 return Err(format!("utilization {u} outside (0, 1]"));
+            }
+        }
+        for &a in &self.aspects {
+            if !a.is_finite() || a <= 0.0 {
+                return Err(format!("aspect {a} must be finite and > 0"));
+            }
+        }
+        for &r in &self.relaxations {
+            if !r.is_finite() || !(0.0..1.0).contains(&r) {
+                return Err(format!("relaxation {r} outside [0, 1)"));
             }
         }
         self.race.validate()
@@ -142,7 +197,34 @@ mod tests {
         let v = cfg.variants();
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].utilization, None);
+        assert_eq!(v[0].aspect, None);
+        assert_eq!(v[0].relax, None);
         assert_eq!(v[0].id_prefix("ota"), "ota-s1");
+    }
+
+    #[test]
+    fn aspect_and_relax_axes_expand_stably() {
+        let cfg = SweepConfig {
+            seeds: vec![3],
+            utilizations: vec![0.4],
+            aspects: vec![1.0, 2.0],
+            relaxations: vec![0.0, 0.5],
+            ..SweepConfig::default()
+        };
+        let v = cfg.variants();
+        assert_eq!(v.len(), 4);
+        // Aspect-major over relax, both under the single (seed, util).
+        assert_eq!((v[0].aspect, v[0].relax), (Some(1.0), Some(0.0)));
+        assert_eq!((v[1].aspect, v[1].relax), (Some(1.0), Some(0.5)));
+        assert_eq!((v[2].aspect, v[2].relax), (Some(2.0), Some(0.0)));
+        assert_eq!((v[3].aspect, v[3].relax), (Some(2.0), Some(0.5)));
+        assert!(v.iter().enumerate().all(|(i, v)| v.index == i));
+        assert_eq!(v[3].id_prefix("ota"), "ota-s3-u40-a200-r50");
+        let o = v[3].overrides();
+        assert_eq!(
+            (o.utilization, o.aspect, o.relax),
+            (Some(0.4), Some(2.0), Some(0.5))
+        );
     }
 
     #[test]
@@ -155,5 +237,15 @@ mod tests {
             ..SweepConfig::default()
         };
         assert!(cfg.validate().unwrap_err().contains("utilization"));
+        let cfg = SweepConfig {
+            aspects: vec![-1.0],
+            ..SweepConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("aspect"));
+        let cfg = SweepConfig {
+            relaxations: vec![1.0],
+            ..SweepConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("relaxation"));
     }
 }

@@ -171,3 +171,80 @@ fn racing_is_bit_identical_across_thread_counts() {
     );
     assert_eq!(serial.pareto, parallel.pareto);
 }
+
+/// Zeroes `"wall_ms"` values so timing-only differences cannot fail a
+/// byte comparison between two sweep runs.
+fn normalize_wall_ms(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .map(|line| {
+            let mut out = String::new();
+            let mut rest = line;
+            while let Some(pos) = rest.find("\"wall_ms\": ") {
+                let start = pos + "\"wall_ms\": ".len();
+                out.push_str(&rest[..start]);
+                out.push('0');
+                let tail = &rest[start..];
+                rest = &tail[tail.find([',', '}']).unwrap_or(tail.len())..];
+            }
+            out + rest + "\n"
+        })
+        .collect()
+}
+
+/// The aspect/relax axes preserve both determinism contracts: a serial
+/// one-worker sweep and a parallel four-worker sweep over the expanded
+/// variant grid agree byte-for-byte, and the neutral point of each axis
+/// (aspect 1.0, relax 0.0) reports figures bit-identical to a sweep that
+/// never mentions the axes.
+#[test]
+fn aspect_and_relax_axes_stay_deterministic() {
+    let base = SweepConfig {
+        circuit: "cc_ota".into(),
+        placers: vec!["eplace-a".into(), "sa".into(), "xu19".into()],
+        seeds: vec![1],
+        ..SweepConfig::default()
+    };
+    let config = SweepConfig {
+        aspects: vec![1.0, 2.0],
+        relaxations: vec![0.0, 0.3],
+        ..base.clone()
+    };
+
+    placer_parallel::set_max_threads(1);
+    let serial = SweepEngine::new(config.clone())
+        .with_backend(Box::new(SerialBackend))
+        .run()
+        .expect("serial sweep succeeds");
+    placer_parallel::set_max_threads(4);
+    let parallel = SweepEngine::new(config)
+        .with_backend(Box::new(ParallelBackend))
+        .run()
+        .expect("parallel sweep succeeds");
+    placer_parallel::set_max_threads(0);
+
+    assert_eq!(serial.variants.len(), 4, "2 aspects × 2 relaxations");
+    assert_eq!(
+        normalize_wall_ms(&serial.to_jsonl()),
+        normalize_wall_ms(&parallel.to_jsonl()),
+        "axis expansion must not depend on the worker-pool size"
+    );
+    assert_eq!(serial.pareto, parallel.pareto);
+
+    // Variant 0 is (aspect 1.0, relax 0.0): the neutral overrides must be
+    // bit-identical to the axis-free baseline (√1 = 1 and ×1.0 scaling
+    // are exact), so turning the axes on cannot perturb existing sweeps.
+    let baseline = SweepEngine::new(base).run().expect("baseline succeeds");
+    let neutral = &serial.variants[0];
+    assert_eq!(
+        (neutral.variant.aspect, neutral.variant.relax),
+        (Some(1.0), Some(0.0))
+    );
+    for (a, b) in neutral.reports.iter().zip(&baseline.variants[0].reports) {
+        assert_eq!(a.placer, b.placer);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.hpwl.map(f64::to_bits), b.hpwl.map(f64::to_bits));
+        assert_eq!(a.area.map(f64::to_bits), b.area.map(f64::to_bits));
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

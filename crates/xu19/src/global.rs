@@ -16,6 +16,9 @@ pub struct Xu19GlobalConfig {
     pub bins: usize,
     /// Region utilization target.
     pub utilization: f64,
+    /// Region aspect ratio W/H. W = side·√aspect, H = side/√aspect; 1.0 is
+    /// the square region and is bit-identical to the pre-aspect behavior.
+    pub aspect: f64,
     /// LSE smoothing γ as a multiple of the bin size.
     pub gamma_bins: f64,
     /// Density weight multiplier per outer round.
@@ -35,6 +38,7 @@ impl Default for Xu19GlobalConfig {
         Self {
             bins: 24,
             utilization: 0.35,
+            aspect: 1.0,
             gamma_bins: 2.0,
             beta_growth: 2.0,
             rounds: 8,
@@ -59,6 +63,7 @@ impl Xu19GlobalConfig {
             return Err(ConfigError::new("xu19.bins", "must be >= 2"));
         }
         eplace::require_fraction("xu19.utilization", self.utilization, 0.0, 1.0)?;
+        eplace::require_positive("xu19.aspect", self.aspect)?;
         eplace::require_positive("xu19.gamma_bins", self.gamma_bins)?;
         if !self.beta_growth.is_finite() || self.beta_growth < 1.0 {
             return Err(ConfigError::new(
@@ -94,6 +99,12 @@ impl Xu19GlobalConfigBuilder {
     /// Sets the region utilization target (must end up in `(0, 1]`).
     pub fn utilization(mut self, utilization: f64) -> Self {
         self.config.utilization = utilization;
+        self
+    }
+
+    /// Sets the region aspect ratio W/H (must end up finite and positive).
+    pub fn aspect(mut self, aspect: f64) -> Self {
+        self.config.aspect = aspect;
         self
     }
 
@@ -219,9 +230,10 @@ pub fn run_global_budgeted(
     let n = circuit.num_devices();
     assert!(n > 0, "cannot place an empty circuit");
     let side = (circuit.total_device_area() / cfg.utilization).sqrt();
+    let (side_x, side_y) = (side * cfg.aspect.sqrt(), side / cfg.aspect.sqrt());
     let bell = BellDensity::new(
         (0.0, 0.0),
-        (side, side),
+        (side_x, side_y),
         cfg.bins,
         cfg.bins,
         cfg.utilization,
@@ -232,10 +244,11 @@ pub fn run_global_budgeted(
     let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
     let mut x = vec![0.0; 2 * n];
     for i in 0..n {
-        let r = side * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+        let rx = side_x * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
+        let ry = side_y * 0.18 * ((i as f64 + 0.5) / n as f64).sqrt();
         let theta = golden * (i as f64 + cfg.seed as f64);
-        x[i] = side / 2.0 + r * theta.cos();
-        x[n + i] = side / 2.0 + r * theta.sin();
+        x[i] = side_x / 2.0 + rx * theta.cos();
+        x[n + i] = side_y / 2.0 + ry * theta.sin();
     }
 
     // Normalize weights from initial gradients.
@@ -316,10 +329,10 @@ pub fn run_global_budgeted(
         iterations += result.iterations;
         // Clamp into the region.
         for (i, d) in circuit.devices().iter().enumerate() {
-            let hw = (d.width / 2.0).min(side / 2.0);
-            let hh = (d.height / 2.0).min(side / 2.0);
-            x[i] = x[i].clamp(hw, side - hw);
-            x[n + i] = x[n + i].clamp(hh, side - hh);
+            let hw = (d.width / 2.0).min(side_x / 2.0);
+            let hh = (d.height / 2.0).min(side_y / 2.0);
+            x[i] = x[i].clamp(hw, side_x - hw);
+            x[n + i] = x[n + i].clamp(hh, side_y - hh);
         }
         let pts: Vec<(f64, f64)> = (0..n).map(|i| (x[i], x[n + i])).collect();
         let mut scratch = vec![0.0; 2 * n];

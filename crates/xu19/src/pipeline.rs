@@ -205,6 +205,43 @@ impl Placer for Xu19Placer {
     // scratch) from the circuit, so the shared parsed circuit is the whole
     // artifact win here.
 
+    fn eco_refine(
+        &self,
+        artifacts: &eplace::CircuitArtifacts,
+        warm: &Placement,
+        _dirty: &[bool],
+        _eco: &eplace::EcoConfig,
+    ) -> Result<Option<(Placement, usize)>, PlaceError> {
+        // Warm CG: resume the outer loop at its final round with the warm
+        // coordinates as the frozen iterate. One round of CG polishes the
+        // edit's surroundings; the ECO engine's region repair afterwards
+        // pins everything outside the edit region, which realizes the
+        // frozen-coordinate contract exactly.
+        let circuit = artifacts.circuit();
+        let n = circuit.num_devices();
+        let mut x = vec![0.0; 2 * n];
+        for (i, &(px, py)) in warm.positions.iter().enumerate() {
+            x[i] = px;
+            x[n + i] = py;
+        }
+        let ck = Xu19Checkpoint {
+            round: self.global.rounds.saturating_sub(1),
+            x,
+            beta: 1.0,
+            iterations: 0,
+            overflow: 1.0,
+        };
+        let run = run_global_budgeted(circuit, &self.global, None, None, Some(&ck));
+        match run {
+            Xu19Run::Complete(mut p, stats) | Xu19Run::Exhausted(mut p, stats) => {
+                // The CG stage does not model flips; keep the warm states.
+                p.flips = warm.flips.clone();
+                Ok(Some((p, stats.iterations)))
+            }
+            Xu19Run::Cancelled(_) => unreachable!("no budget, cannot cancel"),
+        }
+    }
+
     fn probe(&self, circuit: &Circuit, checkpoint: &Checkpoint) -> Option<eplace::RaceProbe> {
         // Best-so-far quality from the frozen solver coordinates — a pure
         // function of the checkpoint text (racing determinism contract).
@@ -349,6 +386,28 @@ mod tests {
                 "steps={steps}: exhausted placement must stay legal"
             );
         }
+    }
+
+    #[test]
+    fn eco_replace_fast_path_is_legal() {
+        let c = testcases::cc_ota();
+        let placer = Xu19Placer::default();
+        let cold = placer.place(&c).unwrap();
+        let artifacts = eplace::CircuitArtifacts::build(c.clone());
+        let warm = eplace::eco::warm_checkpoint(&c, &cold.placement);
+        let delta = analog_netlist::NetlistDelta::parse("resize RB 18k\n").unwrap();
+        let rep = placer
+            .replace(
+                &artifacts,
+                &delta,
+                &warm,
+                &RunBudget::unlimited(),
+                &eplace::EcoConfig::default(),
+            )
+            .unwrap();
+        assert!(rep.outcome.is_fast());
+        let sol = rep.outcome.solution().unwrap();
+        assert!(sol.placement.is_legal(rep.artifacts.circuit(), 1e-6));
     }
 
     #[test]
