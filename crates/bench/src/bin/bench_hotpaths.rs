@@ -25,6 +25,7 @@ use std::time::Instant;
 use analog_netlist::{testcases, Circuit, Placement};
 use eplace::wirelength::{wa_wirelength, wa_wirelength_reference};
 use eplace::DensityGrid;
+use placer_bench::cli::CommonOpts;
 use placer_bench::{spiral_positions, synthetic_circuit};
 use placer_gnn::{
     CircuitGraph, GradScratch, InferenceScratch, Network, TrainOptions, Trainer, TrainingSample,
@@ -164,29 +165,63 @@ fn time_median<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
+fn parse_args(
+    args: &[String],
+) -> Result<(bool, Option<String>, Option<String>, CommonOpts), String> {
+    let mut quick = false;
+    let mut check_baseline = None;
+    let mut positional_out = None;
+    let mut common = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if common.take(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check_baseline = Some("BENCH_hotpaths.json".to_string()),
+            flag if flag.starts_with("--check=") => {
+                check_baseline = flag.strip_prefix("--check=").map(str::to_string);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if positional_out.is_none() => positional_out = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    // The kernel timing loops have no job scope or trace manifest to
+    // stream, so the observability flags that need one are refused rather
+    // than silently ignored.
+    if common.eco_threshold.is_some() {
+        return Err("`--eco-threshold` does not apply to kernel benchmarks".into());
+    }
+    if common.progress.is_some() || common.trace.is_some() {
+        return Err("`--progress`/`--trace` do not apply to kernel benchmarks".into());
+    }
+    Ok((quick, check_baseline, positional_out, common))
+}
+
 fn main() {
     let t0 = Instant::now();
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, ledger_flag) = match placer_bench::trace::take_ledger_flag(&raw_args) {
-        Ok(split) => split,
+    let (mut quick, check_baseline, positional_out, common) = match parse_args(&raw_args) {
+        Ok(parsed) => parsed,
         Err(e) => {
-            eprintln!("bench_hotpaths: {e}");
+            eprintln!(
+                "bench_hotpaths: {e}\nusage: bench_hotpaths [OUT.json] [--quick] \
+                 [--check[=BASELINE]] [--out FILE] [--threads N] [--ledger none|PATH]"
+            );
             std::process::exit(2);
         }
     };
-    let quick = args.iter().any(|a| a == "--quick")
-        || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
-    let check_baseline = args.iter().find_map(|a| {
-        if a == "--check" {
-            Some("BENCH_hotpaths.json".to_string())
-        } else {
-            a.strip_prefix("--check=").map(str::to_string)
-        }
-    });
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+    quick = quick || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+    common.apply_threads();
+    // `--out` and the historical positional spelling name the same file;
+    // the flag wins when both are given.
+    let out_path = common
+        .out
+        .as_ref()
+        .map(|p| p.display().to_string())
+        .or(positional_out)
         .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
     let samples = if quick { 3 } else { 15 };
     let mut rows = Vec::new();
@@ -783,7 +818,7 @@ fn main() {
     {
         use placer_obs::ledger::{LedgerRecord, RunLedger};
 
-        let ledger = RunLedger::from_flag(ledger_flag.as_deref());
+        let ledger = RunLedger::from_flag(common.ledger.as_deref());
         let mut record = LedgerRecord::new("bench_hotpaths");
         record
             .flag("quick", quick)

@@ -5,10 +5,9 @@
 //! [`JobReport`] JSON object per job, in input order.
 //!
 //! ```text
-//! jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR]
-//!                  [--placements-dir DIR] [--resume]
-//!                  [--cancel-after-checks N] [--expect STATUS]
-//!                  [--eco-threshold F]
+//! jobs SPECS.jsonl [--checkpoint-dir DIR] [--placements-dir DIR]
+//!                  [--resume] [--cancel-after-checks N] [--expect STATUS]
+//!                  [--out REPORTS.jsonl] [--threads N] [--eco-threshold F]
 //!                  [--progress[=human|jsonl]] [--trace[=FILE]]
 //!                  [--ledger none|PATH]
 //! ```
@@ -19,17 +18,10 @@
 //! - `--cancel-after-checks N`: overrides every spec's cancellation point
 //!   (the kill half of a kill-and-resume smoke test).
 //! - `--expect STATUS`: exit nonzero unless every job ends in STATUS
-//!   (`complete`, `exhausted`, `cancelled` or `failed`) with a legal
-//!   placement where one is produced — the CI assertion hook.
-//! - `--eco-threshold F`: dirtied-device fraction above which ECO jobs
-//!   (specs with an `eco` deck) fall back to cold re-placement. `0`
-//!   forces the fallback for any non-empty delta — the determinism check.
-//! - `--progress[=human|jsonl]`: stream per-job status lines to stderr
-//!   while the batch runs (needs a `--features telemetry` build).
-//! - `--trace[=FILE]`: capture a telemetry trace of the whole batch
-//!   (default `results/traces/jobs.jsonl`).
-//! - `--ledger none|PATH`: where to append the run-ledger record
-//!   (default `results/ledger.jsonl`; `none` disables).
+//!   with a legal placement where one is produced — the CI assertion hook.
+//! - The shared flags (`--out`, `--threads`, `--eco-threshold`,
+//!   `--progress`, `--trace`, `--ledger`) are documented in
+//!   [`placer_bench::cli`]; they spell the same on every batch binary.
 //!
 //! Exit code is `0` on success, `1` on bad usage or unparseable specs,
 //! `2` when `--expect` is violated or any job fails unexpectedly.
@@ -37,64 +29,41 @@
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
-use placer_bench::trace::{
-    finish_batch_trace, install_batch_trace, parse_progress_mode, require_progress_or_exit,
-    require_tracing_or_exit, TRACE_DIR,
-};
+use placer_bench::cli::{parse_status, value, CommonOpts, ObsSession, COMMON_USAGE};
 use placer_jobs::{parse_jobs, JobEngine, JobStatus};
 use placer_obs::ledger::{LedgerRecord, RunLedger};
-use placer_obs::metrics::MetricsSnapshot;
-use placer_obs::progress::{self, ProgressMode};
+use placer_obs::progress;
 
 struct Options {
     specs_path: String,
-    out: Option<PathBuf>,
     engine: JobEngine,
     cancel_after_checks: Option<u64>,
     expect: Option<JobStatus>,
-    progress: Option<ProgressMode>,
-    trace: Option<Option<String>>,
-    ledger: Option<String>,
+    common: CommonOpts,
 }
 
-fn usage() -> &'static str {
-    "usage: jobs SPECS.jsonl [--out REPORTS.jsonl] [--checkpoint-dir DIR] \
-     [--placements-dir DIR] [--resume] [--cancel-after-checks N] [--expect STATUS] \
-     [--eco-threshold F] [--progress[=human|jsonl]] [--trace[=FILE]] [--ledger none|PATH]"
-}
-
-fn parse_status(s: &str) -> Result<JobStatus, String> {
-    match s {
-        "complete" => Ok(JobStatus::Complete),
-        "exhausted" => Ok(JobStatus::Exhausted),
-        "cancelled" => Ok(JobStatus::Cancelled),
-        "failed" => Ok(JobStatus::Failed),
-        other => Err(format!("unknown status `{other}`")),
-    }
+fn usage() -> String {
+    format!(
+        "usage: jobs SPECS.jsonl [--checkpoint-dir DIR] [--placements-dir DIR] \
+         [--resume] [--cancel-after-checks N] [--expect STATUS] {COMMON_USAGE}"
+    )
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         specs_path: String::new(),
-        out: None,
         engine: JobEngine::default(),
         cancel_after_checks: None,
         expect: None,
-        progress: None,
-        trace: None,
-        ledger: None,
+        common: CommonOpts::default(),
     };
     let mut it = args.iter();
-    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("`{flag}` needs a value"))
-    };
     while let Some(arg) = it.next() {
+        if opts.common.take(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--out" => opts.out = Some(PathBuf::from(value("--out", &mut it)?)),
             "--checkpoint-dir" => {
                 opts.engine.checkpoint_dir =
                     Some(PathBuf::from(value("--checkpoint-dir", &mut it)?));
@@ -110,26 +79,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(v.parse().map_err(|_| format!("bad check count `{v}`"))?);
             }
             "--expect" => opts.expect = Some(parse_status(&value("--expect", &mut it)?)?),
-            "--eco-threshold" => {
-                let v = value("--eco-threshold", &mut it)?;
-                let t: f64 = v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
-                if !(0.0..=1.0).contains(&t) {
-                    return Err(format!("`--eco-threshold` must lie in [0, 1], got {v}"));
-                }
-                opts.engine.eco.dirty_threshold = t;
-            }
-            "--progress" => opts.progress = Some(parse_progress_mode(None)?),
-            "--trace" => opts.trace = Some(None),
-            "--ledger" => opts.ledger = Some(value("--ledger", &mut it)?),
-            flag if flag.starts_with("--progress=") => {
-                opts.progress = Some(parse_progress_mode(flag.strip_prefix("--progress="))?);
-            }
-            flag if flag.starts_with("--trace=") => {
-                opts.trace = Some(flag.strip_prefix("--trace=").map(str::to_string));
-            }
-            flag if flag.starts_with("--ledger=") => {
-                opts.ledger = flag.strip_prefix("--ledger=").map(str::to_string);
-            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path if opts.specs_path.is_empty() => opts.specs_path = path.to_string(),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -137,6 +86,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.specs_path.is_empty() {
         return Err("missing spec file".into());
+    }
+    if let Some(t) = opts.common.eco_threshold {
+        opts.engine.eco.dirty_threshold = t;
     }
     Ok(opts)
 }
@@ -186,37 +138,18 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.progress.is_some() {
-        require_progress_or_exit();
-    }
-    let trace_path = opts.trace.as_ref().map(|p| {
-        require_tracing_or_exit();
-        PathBuf::from(
-            p.clone()
-                .unwrap_or_else(|| format!("{TRACE_DIR}/jobs.jsonl")),
-        )
-    });
-    let t0 = Instant::now();
-    // Trace sink first (its install resets the stat registries), progress
-    // observer second so the counters keep accumulating across both.
-    if let Some(path) = &trace_path {
-        install_batch_trace("jobs", path);
-    }
-    if let Some(mode) = opts.progress {
-        if let Err(e) = progress::install(mode) {
-            eprintln!("jobs: installing progress reporter: {e}");
+    opts.common.apply_threads();
+    let session = match ObsSession::start("jobs", &opts.common) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("jobs: {e}");
             return ExitCode::from(1);
         }
-    }
+    };
 
     let reports = opts.engine.run(&specs);
 
-    progress::uninstall();
-    let metrics = MetricsSnapshot::capture();
-    if let Some(path) = &trace_path {
-        finish_batch_trace(path, t0);
-    }
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (metrics, wall_ms) = session.finish();
 
     let mut lines = String::new();
     for report in &reports {
@@ -224,14 +157,12 @@ fn main() -> ExitCode {
         lines.push('\n');
     }
     print!("{lines}");
-    if let Some(path) = &opts.out {
-        if let Err(e) = std::fs::write(path, &lines) {
-            eprintln!("jobs: writing {}: {e}", path.display());
-            return ExitCode::from(1);
-        }
+    if let Err(e) = opts.common.write_out(&lines) {
+        eprintln!("jobs: {e}");
+        return ExitCode::from(1);
     }
 
-    let ledger = RunLedger::from_flag(opts.ledger.as_deref());
+    let ledger = RunLedger::from_flag(opts.common.ledger.as_deref());
     let mut record = LedgerRecord::new("jobs");
     record
         .str_field("specs", &opts.specs_path)

@@ -8,9 +8,9 @@
 //!       [--utils U,...] [--aspects A,...] [--relax R,...]
 //!       [--profile default|small]
 //!       [--rounds N] [--round-checks N] [--kill-ratio X] [--min-survivors N]
-//!       [--threads N] [--serial] [--out REPORTS.jsonl] [--pareto]
-//!       [--stable] [--expect-killed N] [--expect-pareto N]
-//!       [--expect-hit-rate PCT] [--progress[=human|jsonl]]
+//!       [--serial] [--pareto] [--stable] [--expect-killed N]
+//!       [--expect-pareto N] [--expect-hit-rate PCT]
+//!       [--out REPORTS.jsonl] [--threads N] [--progress[=human|jsonl]]
 //!       [--trace[=FILE]] [--ledger none|PATH]
 //! ```
 //!
@@ -21,8 +21,8 @@
 //!   scales the symmetry penalty by `1 - relax`).
 //! - `--rounds`/`--round-checks`/`--kill-ratio`/`--min-survivors` tune
 //!   the racing policy (see `placer_sweep::RaceConfig`).
-//! - `--threads N` pins the worker pool; `--serial` pins the serial
-//!   reference backend regardless of pool size.
+//! - `--serial` pins the serial reference backend regardless of pool
+//!   size.
 //! - `--stable` runs the whole sweep twice — serial on one thread, then
 //!   parallel on four — and fails unless reports (modulo wall-clock) and
 //!   the Pareto front are identical: the racing determinism contract.
@@ -30,11 +30,9 @@
 //!   are the CI assertion hooks: at least N racers killed by the
 //!   tournament, at least N Pareto points, cache hit rate above PCT
 //!   percent.
-//! - `--progress[=human|jsonl]` streams per-variant status lines to
-//!   stderr (needs a `--features telemetry` build); `--trace[=FILE]`
-//!   captures a telemetry trace of the sweep (default
-//!   `results/traces/sweep.jsonl`); `--ledger none|PATH` controls the
-//!   run-ledger append (default `results/ledger.jsonl`).
+//! - The shared flags (`--out`, `--threads`, `--progress`, `--trace`,
+//!   `--ledger`) are documented in [`placer_bench::cli`]; they spell the
+//!   same on every batch binary.
 //!
 //! Stdout carries only report JSONL (and `--pareto` lines); the human
 //! summary goes through `vlog!` (set `PLACER_VERBOSE=1`).
@@ -42,96 +40,52 @@
 //! Exit code is `0` on success, `1` on bad usage, `2` when an assertion
 //! (`--stable` or any `--expect-*`) is violated.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
-use placer_bench::trace::{
-    finish_batch_trace, install_batch_trace, parse_progress_mode, require_progress_or_exit,
-    require_tracing_or_exit, TRACE_DIR,
-};
-use placer_jobs::Profile;
+use placer_bench::cli::{parse_floats, parse_seeds, value, CommonOpts, ObsSession, COMMON_USAGE};
+use placer_jobs::{normalize_timing, Profile};
 use placer_obs::ledger::{LedgerRecord, RunLedger};
-use placer_obs::metrics::MetricsSnapshot;
-use placer_obs::progress::{self, ProgressMode};
+use placer_obs::progress;
 use placer_sweep::{ParallelBackend, SerialBackend, SweepConfig, SweepEngine, SweepResult};
 use placer_telemetry::vlog;
 
 struct Options {
     config: SweepConfig,
-    threads: Option<usize>,
     serial: bool,
-    out: Option<String>,
     pareto: bool,
     stable: bool,
     expect_killed: Option<usize>,
     expect_pareto: Option<usize>,
     expect_hit_rate: Option<f64>,
-    progress: Option<ProgressMode>,
-    trace: Option<Option<String>>,
-    ledger: Option<String>,
+    common: CommonOpts,
 }
 
-fn usage() -> &'static str {
-    "usage: sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI] \
-     [--utils U,...] [--aspects A,...] [--relax R,...] \
-     [--profile default|small] [--rounds N] [--round-checks N] \
-     [--kill-ratio X] [--min-survivors N] [--threads N] [--serial] \
-     [--out FILE] [--pareto] [--stable] [--expect-killed N] \
-     [--expect-pareto N] [--expect-hit-rate PCT] [--progress[=human|jsonl]] \
-     [--trace[=FILE]] [--ledger none|PATH]"
-}
-
-fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
-    if let Some((lo, hi)) = text.split_once('-') {
-        let lo: u64 = lo.trim().parse().map_err(|_| format!("bad seed `{lo}`"))?;
-        let hi: u64 = hi.trim().parse().map_err(|_| format!("bad seed `{hi}`"))?;
-        if lo > hi {
-            return Err(format!("empty seed range `{text}`"));
-        }
-        return Ok((lo..=hi).collect());
-    }
-    text.split(',')
-        .map(|s| {
-            s.trim()
-                .parse()
-                .map_err(|_| format!("bad seed `{}`", s.trim()))
-        })
-        .collect()
-}
-
-fn parse_floats(text: &str, what: &str) -> Result<Vec<f64>, String> {
-    text.split(',')
-        .map(|s| {
-            s.trim()
-                .parse()
-                .map_err(|_| format!("bad {what} `{}`", s.trim()))
-        })
-        .collect()
+fn usage() -> String {
+    format!(
+        "usage: sweep [--circuit NAME] [--placers A,B,...] [--seeds LIST|LO-HI] \
+         [--utils U,...] [--aspects A,...] [--relax R,...] \
+         [--profile default|small] [--rounds N] [--round-checks N] \
+         [--kill-ratio X] [--min-survivors N] [--serial] [--pareto] [--stable] \
+         [--expect-killed N] [--expect-pareto N] [--expect-hit-rate PCT] {COMMON_USAGE}"
+    )
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         config: SweepConfig::default(),
-        threads: None,
         serial: false,
-        out: None,
         pareto: false,
         stable: false,
         expect_killed: None,
         expect_pareto: None,
         expect_hit_rate: None,
-        progress: None,
-        trace: None,
-        ledger: None,
+        common: CommonOpts::default(),
     };
     let mut it = args.iter();
-    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("`{flag}` needs a value"))
-    };
     while let Some(arg) = it.next() {
+        if opts.common.take(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--circuit" => opts.config.circuit = value("--circuit", &mut it)?,
             "--placers" => {
@@ -177,12 +131,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.config.race.min_survivors =
                     v.parse().map_err(|_| format!("bad survivor count `{v}`"))?;
             }
-            "--threads" => {
-                let v = value("--threads", &mut it)?;
-                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
-            }
             "--serial" => opts.serial = true,
-            "--out" => opts.out = Some(value("--out", &mut it)?),
             "--pareto" => opts.pareto = true,
             "--stable" => opts.stable = true,
             "--expect-killed" => {
@@ -197,42 +146,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value("--expect-hit-rate", &mut it)?;
                 opts.expect_hit_rate = Some(v.parse().map_err(|_| format!("bad percent `{v}`"))?);
             }
-            "--progress" => opts.progress = Some(parse_progress_mode(None)?),
-            "--trace" => opts.trace = Some(None),
-            "--ledger" => opts.ledger = Some(value("--ledger", &mut it)?),
-            flag if flag.starts_with("--progress=") => {
-                opts.progress = Some(parse_progress_mode(flag.strip_prefix("--progress="))?);
-            }
-            flag if flag.starts_with("--trace=") => {
-                opts.trace = Some(flag.strip_prefix("--trace=").map(str::to_string));
-            }
-            flag if flag.starts_with("--ledger=") => {
-                opts.ledger = flag.strip_prefix("--ledger=").map(str::to_string);
-            }
             flag => return Err(format!("unknown argument `{flag}`")),
         }
     }
-    Ok(opts)
-}
-
-/// Zeroes every `"wall_ms"` value so timing-only differences cannot fail
-/// the `--stable` byte comparison.
-fn normalize_wall_ms(jsonl: &str) -> String {
-    let mut out = String::with_capacity(jsonl.len());
-    for line in jsonl.lines() {
-        let mut rest = line;
-        while let Some(pos) = rest.find("\"wall_ms\": ") {
-            let value_start = pos + "\"wall_ms\": ".len();
-            out.push_str(&rest[..value_start]);
-            out.push('0');
-            let tail = &rest[value_start..];
-            let value_len = tail.find([',', '}']).unwrap_or(tail.len());
-            rest = &tail[value_len..];
-        }
-        out.push_str(rest);
-        out.push('\n');
+    if opts.common.eco_threshold.is_some() {
+        return Err(
+            "`--eco-threshold` does not apply to sweeps (ECO decks ride on job specs)".into(),
+        );
     }
-    out
+    Ok(opts)
 }
 
 /// The Pareto front in a canonical text form (for `--pareto` output and
@@ -270,28 +192,13 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.progress.is_some() {
-        require_progress_or_exit();
-    }
-    let trace_path = opts.trace.as_ref().map(|p| {
-        require_tracing_or_exit();
-        PathBuf::from(
-            p.clone()
-                .unwrap_or_else(|| format!("{TRACE_DIR}/sweep.jsonl")),
-        )
-    });
-    let t0 = Instant::now();
-    // Trace sink first (its install resets the stat registries), progress
-    // observer second so the counters keep accumulating across both.
-    if let Some(path) = &trace_path {
-        install_batch_trace("sweep", path);
-    }
-    if let Some(mode) = opts.progress {
-        if let Err(e) = progress::install(mode) {
-            eprintln!("sweep: installing progress reporter: {e}");
+    let session = match ObsSession::start("sweep", &opts.common) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("sweep: {e}");
             return ExitCode::from(1);
         }
-    }
+    };
 
     let result = if opts.stable {
         // The determinism contract, exercised end to end: a serial
@@ -306,11 +213,11 @@ fn main() -> ExitCode {
                 .with_backend(Box::new(ParallelBackend))
                 .run()
         });
-        placer_parallel::set_max_threads(opts.threads.unwrap_or(0));
+        placer_parallel::set_max_threads(opts.common.threads.unwrap_or(0));
         match (serial, parallel) {
             (Ok(a), Some(Ok(b))) => {
-                let left = normalize_wall_ms(&a.to_jsonl());
-                let right = normalize_wall_ms(&b.to_jsonl());
+                let left = normalize_timing(&a.to_jsonl());
+                let right = normalize_timing(&b.to_jsonl());
                 if left != right || pareto_lines(&a) != pareto_lines(&b) {
                     eprintln!(
                         "sweep: --stable violated: 1-thread serial and 4-thread parallel \
@@ -334,9 +241,7 @@ fn main() -> ExitCode {
             (_, None) => unreachable!("parallel leg runs when serial leg succeeded"),
         }
     } else {
-        if let Some(n) = opts.threads {
-            placer_parallel::set_max_threads(n);
-        }
+        opts.common.apply_threads();
         match run_once(&opts.config, opts.serial) {
             Ok(result) => result,
             Err(e) => {
@@ -346,20 +251,13 @@ fn main() -> ExitCode {
         }
     };
 
-    progress::uninstall();
-    let metrics = MetricsSnapshot::capture();
-    if let Some(path) = &trace_path {
-        finish_batch_trace(path, t0);
-    }
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (metrics, wall_ms) = session.finish();
 
     let lines = result.to_jsonl();
     print!("{lines}");
-    if let Some(path) = &opts.out {
-        if let Err(e) = std::fs::write(path, &lines) {
-            eprintln!("sweep: writing {path}: {e}");
-            return ExitCode::from(1);
-        }
+    if let Err(e) = opts.common.write_out(&lines) {
+        eprintln!("sweep: {e}");
+        return ExitCode::from(1);
     }
     if opts.pareto {
         print!("{}", pareto_lines(&result));
@@ -381,7 +279,7 @@ fn main() -> ExitCode {
         100.0 * result.cache_hit_rate()
     );
 
-    let ledger = RunLedger::from_flag(opts.ledger.as_deref());
+    let ledger = RunLedger::from_flag(opts.common.ledger.as_deref());
     let mut record = LedgerRecord::new("sweep");
     record
         .str_field("circuit", &opts.config.circuit)

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod trace;
 
 use analog_netlist::{testcases, Circuit, Placement};

@@ -82,31 +82,6 @@ pub fn parse_progress_mode(value: Option<&str>) -> Result<ProgressMode, String> 
     }
 }
 
-/// Extracts `--ledger VALUE` / `--ledger=VALUE` from an argument list,
-/// returning the remaining arguments and the flag value (for binaries with
-/// positional-scan argument handling; flag-matching binaries parse it
-/// directly).
-///
-/// # Errors
-///
-/// Returns a message when `--ledger` has no value.
-pub fn take_ledger_flag(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut ledger = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--ledger" {
-            let v = it.next().ok_or("`--ledger` needs a value")?;
-            ledger = Some(v.clone());
-        } else if let Some(v) = a.strip_prefix("--ledger=") {
-            ledger = Some(v.to_string());
-        } else {
-            rest.push(a.clone());
-        }
-    }
-    Ok((rest, ledger))
-}
-
 /// The trace file path for one `(circuit, placer)` pair.
 pub fn trace_path(circuit: &str, placer: &str) -> PathBuf {
     Path::new(TRACE_DIR).join(format!("{circuit}_{placer}.jsonl"))
@@ -232,19 +207,6 @@ mod tests {
         assert_eq!(kv[1], ("kind".into(), JsonValue::Str("gp_iter".into())));
         assert_eq!(kv[2].1.as_num(), Some(42.0));
         assert_eq!(kv[3].1.as_num(), Some(0.75));
-    }
-
-    #[test]
-    fn ledger_flag_extraction() {
-        let args: Vec<String> = vec!["--quick".into(), "--ledger".into(), "none".into()];
-        let (rest, ledger) = take_ledger_flag(&args).unwrap();
-        assert_eq!(rest, vec!["--quick".to_string()]);
-        assert_eq!(ledger.as_deref(), Some("none"));
-        let eq: Vec<String> = vec!["--ledger=results/l.jsonl".into(), "out.json".into()];
-        let (rest, ledger) = take_ledger_flag(&eq).unwrap();
-        assert_eq!(rest, vec!["out.json".to_string()]);
-        assert_eq!(ledger.as_deref(), Some("results/l.jsonl"));
-        assert!(take_ledger_flag(&["--ledger".to_string()]).is_err());
     }
 
     #[test]

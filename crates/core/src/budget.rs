@@ -17,7 +17,57 @@
 //!   bit-for-bit equal to the uninterrupted run.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shareable cancellation handle that outlives the [`RunBudget`] it is
+/// attached to.
+///
+/// [`RunBudget::cancel`] requires a reference to the budget itself, which
+/// only the thread running the placer holds. A scheduler that wants to
+/// preempt a running job from *outside* — the placement daemon's
+/// fair-share preemption under overload — clones a `CancelFlag`, attaches
+/// it with [`RunBudget::with_cancel_flag`], and trips it from any thread.
+/// The next budget check reports [`BudgetStatus::Cancelled`] and the
+/// placer checkpoints exactly as if `cancel` had been called.
+///
+/// # Examples
+///
+/// ```
+/// use eplace::{BudgetStatus, CancelFlag, RunBudget};
+///
+/// let flag = CancelFlag::new();
+/// let budget = RunBudget::unlimited().with_cancel_flag(&flag);
+/// assert_eq!(budget.check(), BudgetStatus::Continue);
+/// flag.cancel(); // from any thread
+/// assert_eq!(budget.check(), BudgetStatus::Cancelled);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag: every budget it is attached to cancels at its next
+    /// check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clears the flag so the handle can arm a later run (a preempted job
+    /// being resumed reuses its slot's flag).
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
 
 /// What a budget check told the placer to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +106,8 @@ pub struct RunBudget {
     /// Deterministic test trigger: checks numbered above this cancel.
     cancel_after: AtomicU64,
     cancelled: AtomicBool,
+    /// External preemption handle, shared with a scheduler.
+    external: Option<CancelFlag>,
     steps: AtomicU64,
 }
 
@@ -68,6 +120,7 @@ impl RunBudget {
             max_steps: None,
             cancel_after: AtomicU64::new(u64::MAX),
             cancelled: AtomicBool::new(false),
+            external: None,
             steps: AtomicU64::new(0),
         }
     }
@@ -98,6 +151,14 @@ impl RunBudget {
         self
     }
 
+    /// Attaches an external [`CancelFlag`]: once the flag trips, the next
+    /// check cancels, exactly like [`cancel`](Self::cancel).
+    #[must_use]
+    pub fn with_cancel_flag(mut self, flag: &CancelFlag) -> Self {
+        self.external = Some(flag.clone());
+        self
+    }
+
     /// Requests cooperative cancellation: the next check (on any thread
     /// sharing this budget) reports [`BudgetStatus::Cancelled`].
     pub fn cancel(&self) {
@@ -118,7 +179,10 @@ impl RunBudget {
     /// passed.
     pub fn check(&self) -> BudgetStatus {
         let k = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.cancelled.load(Ordering::Relaxed) || k > self.cancel_after.load(Ordering::Relaxed) {
+        if self.cancelled.load(Ordering::Relaxed)
+            || k > self.cancel_after.load(Ordering::Relaxed)
+            || self.external.as_ref().is_some_and(CancelFlag::is_cancelled)
+        {
             return BudgetStatus::Cancelled;
         }
         if let Some(max) = self.max_steps {
@@ -198,5 +262,20 @@ mod tests {
     fn budgets_are_send_sync() {
         fn assert_traits<T: Send + Sync>() {}
         assert_traits::<RunBudget>();
+        assert_traits::<CancelFlag>();
+    }
+
+    #[test]
+    fn external_flag_cancels_and_resets() {
+        let flag = CancelFlag::new();
+        let b = RunBudget::unlimited().with_cancel_flag(&flag);
+        assert_eq!(b.check(), BudgetStatus::Continue);
+        flag.cancel();
+        assert!(flag.is_cancelled());
+        assert_eq!(b.check(), BudgetStatus::Cancelled);
+        // A rearm applies to a later budget sharing the same flag.
+        flag.reset();
+        let b2 = RunBudget::unlimited().with_cancel_flag(&flag);
+        assert_eq!(b2.check(), BudgetStatus::Continue);
     }
 }

@@ -6,8 +6,9 @@
 //! described the same two failures — the MILP/LP backend gave up, or
 //! refinement ran out of rounds — so the job engine would have needed a
 //! third wrapper enum just to aggregate them. Instead every placer now
-//! returns [`PlaceError`]; the old names survive as deprecated type
-//! aliases so downstream code keeps compiling.
+//! returns [`PlaceError`]. (The deprecated per-pipeline aliases that
+//! bridged the migration were removed once every in-tree caller had
+//! switched; see CHANGELOG.md.)
 
 use crate::checkpoint::CheckpointError;
 use placer_mathopt::SolveError;
@@ -71,10 +72,6 @@ impl From<analog_netlist::ParseError> for PlaceError {
         PlaceError::Delta(e.to_string())
     }
 }
-
-/// Former name of [`PlaceError`] used by the detailed placer.
-#[deprecated(note = "use `PlaceError`; the per-pipeline error enums were unified")]
-pub type DetailedError = PlaceError;
 
 #[cfg(test)]
 mod tests {

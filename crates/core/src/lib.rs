@@ -57,7 +57,7 @@ pub mod wirelength;
 
 pub use area::{area_term, exact_area};
 pub use artifacts::{circuit_content_hash, ArtifactCache, CircuitArtifacts};
-pub use budget::{BudgetStatus, RunBudget};
+pub use budget::{BudgetStatus, CancelFlag, RunBudget};
 pub use checkpoint::{Checkpoint, CheckpointError, Value as CheckpointValue};
 pub use config::{
     require_fraction, require_nonnegative, require_positive, ConfigError, DetailedConfig,
@@ -66,8 +66,6 @@ pub use config::{
 pub use density::{DensityEval, DensityGrid};
 pub use detailed::{legalize, DetailedPlacer, DetailedStats};
 pub use eco::{EcoConfig, EcoOutcome, EcoReplace};
-#[allow(deprecated)]
-pub use error::DetailedError;
 pub use error::PlaceError;
 pub use global::{GlobalPlacer, GlobalStats, GpCheckpoint, GpRun};
 pub use perf::{run_perf_global, PerfGradHook};

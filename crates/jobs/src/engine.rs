@@ -24,8 +24,8 @@ use analog_netlist::{
     testcases, Circuit, NetlistDelta,
 };
 use eplace::{
-    Checkpoint, EPlaceA, EPlaceAP, EcoConfig, EcoOutcome, PerfConfig, PlaceOutcome, Placer,
-    PlacerConfig, RunBudget,
+    CancelFlag, Checkpoint, EPlaceA, EPlaceAP, EcoConfig, EcoOutcome, PerfConfig, PlaceOutcome,
+    Placer, PlacerConfig, RunBudget,
 };
 use placer_gnn::Network;
 use placer_sa::{SaConfig, SaPlacer};
@@ -210,7 +210,7 @@ pub fn make_placer_variant(
     }
 }
 
-fn make_budget(spec: &JobSpec) -> RunBudget {
+fn make_budget(spec: &JobSpec, preempt: Option<&CancelFlag>) -> RunBudget {
     let mut budget = RunBudget::unlimited();
     if let Some(ms) = spec.deadline_ms {
         budget = budget.with_deadline(Duration::from_secs_f64(ms / 1000.0));
@@ -220,6 +220,9 @@ fn make_budget(spec: &JobSpec) -> RunBudget {
     }
     if let Some(n) = spec.cancel_after_checks {
         budget.cancel_after_checks(n);
+    }
+    if let Some(flag) = preempt {
+        budget = budget.with_cancel_flag(flag);
     }
     budget
 }
@@ -252,6 +255,13 @@ pub struct JobEngine {
     /// deck). `eco.dirty_threshold = 0` forces every non-empty delta onto
     /// the cold fallback path — the CI determinism check.
     pub eco: EcoConfig,
+    /// External preemption handle attached to every budget this engine
+    /// builds. A scheduler clones the engine per worker slot with the
+    /// slot's [`CancelFlag`]; tripping the flag cancels the running job at
+    /// its next budget check, it checkpoints, and a later resume (with
+    /// [`resume`](Self::resume) set) finishes bit-identically — the same
+    /// contract as an in-band `cancel_after_checks`.
+    pub preempt: Option<CancelFlag>,
 }
 
 impl JobEngine {
@@ -352,7 +362,7 @@ impl JobEngine {
             report.seed = effective_seed;
             report.retries = attempt;
 
-            let budget = make_budget(spec);
+            let budget = make_budget(spec, self.preempt.as_ref());
             let start = Instant::now();
             let result = match &resume_ck {
                 Some(ck) => placer.resume_artifacts(&artifacts, ck, &budget),
@@ -427,7 +437,7 @@ impl JobEngine {
         };
         report.seed = effective_seed;
         let warm_ck = eplace::eco::warm_checkpoint(artifacts.circuit(), &warm);
-        let budget = make_budget(spec);
+        let budget = make_budget(spec, self.preempt.as_ref());
         let start = Instant::now();
         let result = placer.replace(artifacts, &delta, &warm_ck, &budget, &self.eco);
         report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -613,6 +623,47 @@ mod tests {
             !Path::new(&ckpt).exists(),
             "solved job removes its checkpoint"
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn external_preemption_resumes_bit_identically() {
+        let dir = tempdir("preempt");
+        let spec = small_sa_spec("preempt");
+        let reference = JobEngine::default().run_job(&spec);
+
+        // Trip the slot's flag up front: the run cancels at its first
+        // budget check — the deterministic stand-in for a scheduler
+        // preempting mid-run.
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let engine = JobEngine {
+            checkpoint_dir: Some(dir.clone()),
+            preempt: Some(flag.clone()),
+            ..JobEngine::default()
+        };
+        let preempted = engine.run_job(&spec);
+        assert_eq!(preempted.status, JobStatus::Cancelled);
+        assert!(preempted.checkpoint.is_some());
+
+        flag.reset();
+        let resumer = JobEngine {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            preempt: Some(flag),
+            ..JobEngine::default()
+        };
+        let resumed = resumer.run_job(&spec);
+        assert_eq!(resumed.status, JobStatus::Complete);
+        assert_eq!(
+            resumed.hpwl.unwrap().to_bits(),
+            reference.hpwl.unwrap().to_bits()
+        );
+        assert_eq!(resumed.to_line(), {
+            let mut r = reference.clone();
+            r.wall_ms = resumed.wall_ms;
+            r.to_line()
+        });
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -40,4 +40,7 @@ pub mod spec;
 pub use engine::{
     make_placer, make_placer_variant, make_placer_with, JobEngine, PlacerFactory, VariantOverrides,
 };
-pub use spec::{parse_jobs, JobReport, JobSpec, JobStatus, Profile, SpecError};
+pub use spec::{
+    check_protocol_version, normalize_timing, parse_jobs, spec_from_pairs, JobReport, JobSpec,
+    JobStatus, Profile, SpecError, PROTOCOL_VERSION,
+};

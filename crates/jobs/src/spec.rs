@@ -17,6 +17,31 @@ use crate::json::{escape, number, parse_object, Json};
 use std::fmt;
 use std::fmt::Write as _;
 
+/// Version of the JSONL wire protocol this build speaks.
+///
+/// Every line this crate emits — specs, reports, and the daemon frames
+/// built on them — carries a leading `"v"` field with this value. Parsers
+/// accept lines without a `v` field and treat them as version 1 (the
+/// protocol was identical before it was versioned), and reject *future*
+/// versions with a structured [`SpecError`] instead of tripping over an
+/// unknown key.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Validates a `v` field against [`PROTOCOL_VERSION`].
+///
+/// Shared by the spec parser and the daemon's frame parser so both sides
+/// reject future versions with the same message shape.
+pub fn check_protocol_version(line: usize, value: &Json) -> Result<u64, SpecError> {
+    let v = as_u64(line, "v", value)?;
+    if v == 0 || v > PROTOCOL_VERSION {
+        return Err(spec_err(
+            line,
+            format!("unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"),
+        ));
+    }
+    Ok(v)
+}
+
 /// Error produced when reading a JSONL job file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecError {
@@ -112,7 +137,7 @@ impl JobSpec {
     /// Serializes the spec as one JSONL line (inverse of [`parse_jobs`]).
     pub fn to_line(&self) -> String {
         let mut out = format!(
-            r#"{{"id": "{}", "circuit": "{}", "placer": "{}""#,
+            r#"{{"v": {PROTOCOL_VERSION}, "id": "{}", "circuit": "{}", "placer": "{}""#,
             escape(&self.id),
             escape(&self.circuit),
             escape(&self.placer)
@@ -189,80 +214,89 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, SpecError> {
             continue;
         }
         let pairs = parse_object(line).map_err(|m| spec_err(lineno, m))?;
-        let mut id = None;
-        let mut circuit = None;
-        let mut placer = None;
-        let mut spec = JobSpec::new("", "", "");
-        for (key, value) in &pairs {
-            match key.as_str() {
-                "id" => id = Some(as_str(lineno, key, value)?),
-                "circuit" => circuit = Some(as_str(lineno, key, value)?),
-                "placer" => placer = Some(as_str(lineno, key, value)?),
-                "profile" => {
-                    spec.profile = match as_str(lineno, key, value)?.as_str() {
-                        "default" => Profile::Default,
-                        "small" => Profile::Small,
-                        other => {
-                            return Err(spec_err(lineno, format!("unknown profile `{other}`")))
-                        }
-                    }
-                }
-                "deadline_ms" => match value {
-                    Json::Num(n) if n.is_finite() && *n > 0.0 => spec.deadline_ms = Some(*n),
-                    other => {
-                        return Err(spec_err(
-                            lineno,
-                            format!("`deadline_ms` must be a positive number, got {other:?}"),
-                        ))
-                    }
-                },
-                "step_limit" => spec.step_limit = Some(as_u64(lineno, key, value)?),
-                "seed" => spec.seed = Some(as_u64(lineno, key, value)?),
-                "max_retries" => {
-                    let n = as_u64(lineno, key, value)?;
-                    spec.max_retries = u32::try_from(n)
-                        .map_err(|_| spec_err(lineno, "`max_retries` is out of range"))?;
-                }
-                "cancel_after_checks" => {
-                    spec.cancel_after_checks = Some(as_u64(lineno, key, value)?)
-                }
-                "eco" => spec.eco = Some(as_str(lineno, key, value)?),
-                "warm_start" => spec.warm_start = Some(as_str(lineno, key, value)?),
-                other => return Err(spec_err(lineno, format!("unknown key `{other}`"))),
-            }
-        }
-        spec.id = id.ok_or_else(|| spec_err(lineno, "missing required key `id`"))?;
-        spec.circuit = circuit.ok_or_else(|| spec_err(lineno, "missing required key `circuit`"))?;
-        spec.placer = placer.ok_or_else(|| spec_err(lineno, "missing required key `placer`"))?;
-        if spec.id.is_empty()
-            || !spec
-                .id
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
-        {
-            return Err(spec_err(
-                lineno,
-                format!("`id` `{}` must be non-empty [A-Za-z0-9._-]", spec.id),
-            ));
-        }
+        let spec = spec_from_pairs(lineno, &pairs)?;
         if !seen_ids.insert(spec.id.clone()) {
             return Err(spec_err(lineno, format!("duplicate job id `{}`", spec.id)));
-        }
-        if spec.eco.is_some() && spec.warm_start.is_none() {
-            return Err(spec_err(
-                lineno,
-                "`eco` requires `warm_start` (the .place file to warm-start from)",
-            ));
-        }
-        if spec.warm_start.is_some() && spec.eco.is_none() {
-            return Err(spec_err(
-                lineno,
-                "`warm_start` is only meaningful with `eco`",
-            ));
         }
         jobs.push(spec);
     }
     Ok(jobs)
+}
+
+/// Builds one [`JobSpec`] from an already-parsed flat JSON object.
+///
+/// This is the per-line half of [`parse_jobs`] (which adds the
+/// cross-line duplicate-id check); the daemon's `submit` frames reuse it
+/// after stripping their frame-level keys.
+pub fn spec_from_pairs(lineno: usize, pairs: &[(String, Json)]) -> Result<JobSpec, SpecError> {
+    let mut id = None;
+    let mut circuit = None;
+    let mut placer = None;
+    let mut spec = JobSpec::new("", "", "");
+    for (key, value) in pairs {
+        match key.as_str() {
+            "v" => {
+                check_protocol_version(lineno, value)?;
+            }
+            "id" => id = Some(as_str(lineno, key, value)?),
+            "circuit" => circuit = Some(as_str(lineno, key, value)?),
+            "placer" => placer = Some(as_str(lineno, key, value)?),
+            "profile" => {
+                spec.profile = match as_str(lineno, key, value)?.as_str() {
+                    "default" => Profile::Default,
+                    "small" => Profile::Small,
+                    other => return Err(spec_err(lineno, format!("unknown profile `{other}`"))),
+                }
+            }
+            "deadline_ms" => match value {
+                Json::Num(n) if n.is_finite() && *n > 0.0 => spec.deadline_ms = Some(*n),
+                other => {
+                    return Err(spec_err(
+                        lineno,
+                        format!("`deadline_ms` must be a positive number, got {other:?}"),
+                    ))
+                }
+            },
+            "step_limit" => spec.step_limit = Some(as_u64(lineno, key, value)?),
+            "seed" => spec.seed = Some(as_u64(lineno, key, value)?),
+            "max_retries" => {
+                let n = as_u64(lineno, key, value)?;
+                spec.max_retries = u32::try_from(n)
+                    .map_err(|_| spec_err(lineno, "`max_retries` is out of range"))?;
+            }
+            "cancel_after_checks" => spec.cancel_after_checks = Some(as_u64(lineno, key, value)?),
+            "eco" => spec.eco = Some(as_str(lineno, key, value)?),
+            "warm_start" => spec.warm_start = Some(as_str(lineno, key, value)?),
+            other => return Err(spec_err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+    spec.id = id.ok_or_else(|| spec_err(lineno, "missing required key `id`"))?;
+    spec.circuit = circuit.ok_or_else(|| spec_err(lineno, "missing required key `circuit`"))?;
+    spec.placer = placer.ok_or_else(|| spec_err(lineno, "missing required key `placer`"))?;
+    if spec.id.is_empty()
+        || !spec
+            .id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+    {
+        return Err(spec_err(
+            lineno,
+            format!("`id` `{}` must be non-empty [A-Za-z0-9._-]", spec.id),
+        ));
+    }
+    if spec.eco.is_some() && spec.warm_start.is_none() {
+        return Err(spec_err(
+            lineno,
+            "`eco` requires `warm_start` (the .place file to warm-start from)",
+        ));
+    }
+    if spec.warm_start.is_some() && spec.eco.is_none() {
+        return Err(spec_err(
+            lineno,
+            "`warm_start` is only meaningful with `eco`",
+        ));
+    }
+    Ok(spec)
 }
 
 /// Terminal state of a job.
@@ -292,6 +326,49 @@ impl JobStatus {
             JobStatus::Failed => "failed",
         }
     }
+
+    /// Inverse of [`as_str`](Self::as_str): `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "complete" => JobStatus::Complete,
+            "exhausted" => JobStatus::Exhausted,
+            "cancelled" => JobStatus::Cancelled,
+            "killed" => JobStatus::Killed,
+            "failed" => JobStatus::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// Zeroes the timing fields (`wall_ms`, `deadline_slack_ms`) of every
+/// report line so two runs of the same specs can be compared
+/// byte-for-byte: all other report fields are deterministic, wall-clock
+/// measurements are not. Used by the sweep binary's `--stable` mode, the
+/// daemon integration tests, and the CI byte-identity checks.
+pub fn normalize_timing(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        let mut rest = line;
+        loop {
+            let wall = rest.find("\"wall_ms\": ");
+            let slack = rest.find("\"deadline_slack_ms\": ");
+            let (pos, keylen) = match (wall, slack) {
+                (Some(w), Some(s)) if w < s => (w, "\"wall_ms\": ".len()),
+                (_, Some(s)) => (s, "\"deadline_slack_ms\": ".len()),
+                (Some(w), None) => (w, "\"wall_ms\": ".len()),
+                (None, None) => break,
+            };
+            let value_start = pos + keylen;
+            out.push_str(&rest[..value_start]);
+            out.push('0');
+            let tail = &rest[value_start..];
+            let value_len = tail.find([',', '}']).unwrap_or(tail.len());
+            rest = &tail[value_len..];
+        }
+        out.push_str(rest);
+        out.push('\n');
+    }
+    out
 }
 
 /// What one job produced; serialized as one JSONL line by
@@ -345,7 +422,7 @@ impl JobReport {
     /// Serializes the report as one JSONL line.
     pub fn to_line(&self) -> String {
         let mut out = format!(
-            r#"{{"id": "{}", "circuit": "{}", "placer": "{}", "status": "{}", "seed": {}, "simd": "{}", "retries": {}, "wall_ms": {}"#,
+            r#"{{"v": {PROTOCOL_VERSION}, "id": "{}", "circuit": "{}", "placer": "{}", "status": "{}", "seed": {}, "simd": "{}", "retries": {}, "wall_ms": {}"#,
             escape(&self.id),
             escape(&self.circuit),
             escape(&self.placer),
@@ -406,6 +483,62 @@ mod tests {
         let text = format!("# jobs\n\n{}\n", spec.to_line());
         let parsed = parse_jobs(&text).unwrap();
         assert_eq!(parsed, vec![spec]);
+    }
+
+    #[test]
+    fn versioned_and_legacy_lines_both_parse() {
+        // Emitted lines carry the current version up front.
+        let spec = JobSpec::new("a", "adder", "sa");
+        assert!(spec
+            .to_line()
+            .starts_with(&format!("{{\"v\": {PROTOCOL_VERSION}, ")));
+        // Legacy unversioned lines default to version 1.
+        let legacy = parse_jobs("{\"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\"}");
+        assert_eq!(legacy.unwrap(), vec![spec.clone()]);
+        // An explicit current version parses identically.
+        let versioned =
+            parse_jobs("{\"v\": 1, \"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\"}");
+        assert_eq!(versioned.unwrap(), vec![spec]);
+    }
+
+    #[test]
+    fn future_versions_are_rejected_structurally() {
+        let e =
+            parse_jobs("{\"v\": 99, \"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\"}")
+                .unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(
+            e.message.contains("unsupported protocol version 99"),
+            "{}",
+            e.message
+        );
+        let e = parse_jobs("{\"v\": 0, \"id\": \"a\", \"circuit\": \"adder\", \"placer\": \"sa\"}")
+            .unwrap_err();
+        assert!(e.message.contains("unsupported"), "{}", e.message);
+    }
+
+    #[test]
+    fn status_names_roundtrip() {
+        for s in [
+            JobStatus::Complete,
+            JobStatus::Exhausted,
+            JobStatus::Cancelled,
+            JobStatus::Killed,
+            JobStatus::Failed,
+        ] {
+            assert_eq!(JobStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobStatus::parse("nope"), None);
+    }
+
+    #[test]
+    fn normalize_timing_zeroes_both_clock_fields() {
+        let line =
+            r#"{"v": 1, "id": "a", "wall_ms": 12.75, "deadline_slack_ms": -3.5, "hpwl": 42}"#;
+        assert_eq!(
+            normalize_timing(line),
+            "{\"v\": 1, \"id\": \"a\", \"wall_ms\": 0, \"deadline_slack_ms\": 0, \"hpwl\": 42}\n"
+        );
     }
 
     #[test]

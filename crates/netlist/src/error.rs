@@ -189,10 +189,6 @@ impl From<BuildCircuitError> for ParseError {
     }
 }
 
-/// Former name of [`ParseError`], kept for downstream source compatibility.
-#[deprecated(note = "use `ParseError`; parse failures now carry a structured `ParseErrorKind`")]
-pub type ParseNetlistError = ParseError;
-
 #[cfg(test)]
 mod tests {
     use super::*;

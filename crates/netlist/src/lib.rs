@@ -47,8 +47,6 @@ pub use constraint::{
 };
 pub use delta::{AppliedDelta, EcoOp, NetlistDelta};
 pub use device::{Device, DeviceKind, ElectricalParams, Pin};
-#[allow(deprecated)]
-pub use error::ParseNetlistError;
 pub use error::{BuildCircuitError, ParseError, ParseErrorKind};
 pub use ids::{DeviceId, NetId, PinIndex};
 pub use net::{Net, PinRef};

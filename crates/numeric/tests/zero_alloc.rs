@@ -3,13 +3,32 @@
 //!
 //! This file must hold exactly one test: other tests running concurrently
 //! in the same binary would bump the counters and produce false failures.
+//!
+//! Only allocations made *by the test thread* are counted. The libtest
+//! harness's main thread lazily allocates an mpsc receiver context the
+//! first time it blocks waiting for the test result, and on a loaded (or
+//! single-core) machine that first block can land inside the measurement
+//! window — a process-wide counter flakes on harness noise the solver
+//! cannot control. The opt-in flag is a `const`-initialized thread-local,
+//! so reading it from inside the allocator never itself allocates.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use placer_numeric::{Grid, PoissonSolver};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static COUNTED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_this_thread() {
+    if COUNTED.try_with(|c| c.get()).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 struct CountingAllocator;
 
@@ -17,17 +36,17 @@ struct CountingAllocator;
 // effect only.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_this_thread();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_this_thread();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_this_thread();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -44,6 +63,7 @@ fn solve_into_allocates_nothing_after_warm_up() {
     // The zero-allocation contract holds on the single-threaded path
     // (thread spawning itself allocates, unavoidably).
     placer_parallel::set_max_threads(1);
+    COUNTED.with(|c| c.set(true));
 
     let n = 64;
     let mut solver = PoissonSolver::new(n, n, 1.0, 1.0);

@@ -62,7 +62,8 @@ pub const RING_CAPACITY: usize = 1024;
 pub const MIN_EVENT_INTERVAL_US: u64 = 20_000;
 
 pub use imp::{
-    dropped, install, install_to_file, installed, job_done, job_scope, uninstall, JobScope,
+    dropped, install, install_silent, install_to_file, installed, job_done, job_scope, subscribe,
+    uninstall, JobScope, ProgressSubscription,
 };
 
 #[cfg(feature = "enabled")]
@@ -289,6 +290,11 @@ mod imp {
     enum Output {
         Stderr,
         File(File),
+        /// Fan-out-only sink: the reporter drains the ring for
+        /// subscribers without writing anywhere itself (the daemon's
+        /// mode — each connection gets its own subscription instead of a
+        /// process-wide stream).
+        Null,
     }
 
     impl Output {
@@ -300,8 +306,157 @@ mod imp {
                 Output::File(f) => {
                     let _ = f.write_all(line.as_bytes());
                 }
+                Output::Null => {}
             }
         }
+    }
+
+    // ---- per-connection fan-out -------------------------------------
+    //
+    // Subscribers receive the JSONL rendering of every event whose job
+    // label is in their watch set (an empty set means "everything").
+    // Registration is rare and guarded by a mutex; the reporter checks a
+    // single atomic before doing any fan-out work, so the no-subscriber
+    // path (every CLI run, the zero-alloc telemetry test) is unchanged.
+
+    struct Subscriber {
+        id: u64,
+        jobs: std::sync::Arc<Mutex<std::collections::HashSet<String>>>,
+        tx: std::sync::mpsc::Sender<String>,
+    }
+
+    static SUBSCRIBERS: Mutex<Vec<Subscriber>> = Mutex::new(Vec::new());
+    static SUBSCRIBER_COUNT: AtomicU64 = AtomicU64::new(0);
+    static NEXT_SUBSCRIBER: AtomicU64 = AtomicU64::new(1);
+
+    /// A live progress feed for one consumer (one daemon connection).
+    ///
+    /// Receives the JSONL line of every event whose job label is in the
+    /// watch set ([`watch`](Self::watch)); an empty set receives every
+    /// event. Unregisters on drop. Lines only flow while a sink is
+    /// installed ([`install`], [`install_to_file`] or — the daemon's
+    /// choice — [`install_silent`]), because the reporter thread is what
+    /// drains the ring.
+    pub struct ProgressSubscription {
+        id: u64,
+        jobs: std::sync::Arc<Mutex<std::collections::HashSet<String>>>,
+        // Behind a lock so the subscription is `Sync`: the daemon shares
+        // it between a connection handler (watch) and a forwarder thread
+        // (recv).
+        rx: Mutex<std::sync::mpsc::Receiver<String>>,
+    }
+
+    impl ProgressSubscription {
+        /// Adds a job id to the watch set. Events for unwatched jobs are
+        /// filtered out at the fan-out point, not delivered and dropped.
+        pub fn watch(&self, job_id: &str) {
+            self.jobs.lock().unwrap().insert(job_id.to_string());
+        }
+
+        /// Blocks up to `timeout` for the next line (without its trailing
+        /// newline). `None` on timeout or after [`uninstall`] tore the
+        /// fan-out down.
+        pub fn recv_timeout(&self, timeout: Duration) -> Option<String> {
+            self.rx.lock().unwrap().recv_timeout(timeout).ok()
+        }
+
+        /// Drains every line already queued, without blocking.
+        pub fn drain(&self) -> Vec<String> {
+            self.rx.lock().unwrap().try_iter().collect()
+        }
+    }
+
+    impl Drop for ProgressSubscription {
+        fn drop(&mut self) {
+            let mut subs = SUBSCRIBERS.lock().unwrap();
+            subs.retain(|s| s.id != self.id);
+            SUBSCRIBER_COUNT.store(subs.len() as u64, Ordering::Release);
+        }
+    }
+
+    /// Registers a progress subscriber; see [`ProgressSubscription`].
+    pub fn subscribe() -> ProgressSubscription {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let jobs = std::sync::Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let id = NEXT_SUBSCRIBER.fetch_add(1, Ordering::Relaxed);
+        let mut subs = SUBSCRIBERS.lock().unwrap();
+        subs.push(Subscriber {
+            id,
+            jobs: jobs.clone(),
+            tx,
+        });
+        SUBSCRIBER_COUNT.store(subs.len() as u64, Ordering::Release);
+        drop(subs);
+        ProgressSubscription {
+            id,
+            jobs,
+            rx: Mutex::new(rx),
+        }
+    }
+
+    /// Sends `slot` to every subscriber watching its label. Runs on the
+    /// reporter thread, only when at least one subscriber exists.
+    fn fan_out(slot: &Slot, line: &mut String) {
+        let label = slot_str(&slot.label, slot.label_len);
+        let mut rendered = false;
+        let subs = SUBSCRIBERS.lock().unwrap();
+        for sub in subs.iter() {
+            {
+                let jobs = sub.jobs.lock().unwrap();
+                if !jobs.is_empty() && !jobs.contains(label) {
+                    continue;
+                }
+            }
+            if !rendered {
+                format_jsonl(slot, line);
+                rendered = true;
+            }
+            // Trailing newline stripped: the consumer frames lines itself.
+            let _ = sub.tx.send(line.trim_end().to_string());
+        }
+    }
+
+    /// Renders one slot as a flat JSONL progress frame
+    /// (`{"type":"progress","v":1,...}`), shared by the stream writer and
+    /// the subscriber fan-out. `v` matches `placer_jobs::PROTOCOL_VERSION`
+    /// (hardcoded here — the dependency points the other way).
+    fn format_jsonl(slot: &Slot, line: &mut String) {
+        line.clear();
+        let label = slot_str(&slot.label, slot.label_len);
+        let status = slot_str(&slot.status, slot.status_len);
+        let _ = write!(
+            line,
+            "{{\"type\":\"progress\",\"v\":1,\"t_us\":{}",
+            slot.t_us
+        );
+        line.push_str(",\"phase\":\"");
+        push_escaped(line, slot.phase);
+        line.push('"');
+        if !label.is_empty() {
+            line.push_str(",\"job\":\"");
+            push_escaped(line, label);
+            line.push('"');
+        }
+        if !status.is_empty() {
+            line.push_str(",\"status\":\"");
+            push_escaped(line, status);
+            line.push('"');
+        }
+        for (key, value) in [
+            ("iter", slot.iter),
+            ("total", slot.total),
+            ("cost", slot.cost),
+            ("hpwl", slot.hpwl),
+            ("wall_ms", slot.wall_ms),
+            ("slack_ms", slot.slack_ms),
+            ("eta_ms", slot.eta_ms),
+        ] {
+            if value.is_finite() {
+                let _ = write!(line, ",\"{key}\":");
+                push_f64(line, value);
+            }
+        }
+        line.push_str("}\n");
     }
 
     fn emit(slot: &Slot, mode: ProgressMode, line: &mut String, out: &mut Output) {
@@ -310,35 +465,7 @@ mod imp {
         let status = slot_str(&slot.status, slot.status_len);
         match mode {
             ProgressMode::Jsonl => {
-                let _ = write!(line, "{{\"type\":\"progress\",\"t_us\":{}", slot.t_us);
-                line.push_str(",\"phase\":\"");
-                push_escaped(line, slot.phase);
-                line.push('"');
-                if !label.is_empty() {
-                    line.push_str(",\"job\":\"");
-                    push_escaped(line, label);
-                    line.push('"');
-                }
-                if !status.is_empty() {
-                    line.push_str(",\"status\":\"");
-                    push_escaped(line, status);
-                    line.push('"');
-                }
-                for (key, value) in [
-                    ("iter", slot.iter),
-                    ("total", slot.total),
-                    ("cost", slot.cost),
-                    ("hpwl", slot.hpwl),
-                    ("wall_ms", slot.wall_ms),
-                    ("slack_ms", slot.slack_ms),
-                    ("eta_ms", slot.eta_ms),
-                ] {
-                    if value.is_finite() {
-                        let _ = write!(line, ",\"{key}\":");
-                        push_f64(line, value);
-                    }
-                }
-                line.push_str("}\n");
+                format_jsonl(slot, line);
             }
             ProgressMode::Human => {
                 line.push_str("[placer] ");
@@ -391,8 +518,12 @@ mod imp {
                 scratch.extend_from_slice(&ring.slots[..len]);
                 ring.len = 0;
             }
+            let subscribed = SUBSCRIBER_COUNT.load(Ordering::Acquire) > 0;
             for slot in &scratch {
                 emit(slot, mode, &mut line, &mut out);
+                if subscribed {
+                    fan_out(slot, &mut line);
+                }
             }
             if let Output::File(f) = &mut out {
                 let _ = f.flush();
@@ -431,6 +562,17 @@ mod imp {
     /// Fails only if the reporter thread cannot be spawned.
     pub fn install(mode: ProgressMode) -> io::Result<()> {
         install_inner(mode, Output::Stderr)
+    }
+
+    /// Installs a fan-out-only sink: the reporter thread runs (so
+    /// [`subscribe`]rs receive events) but no process-wide stream is
+    /// written. The daemon's mode.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the reporter thread cannot be spawned.
+    pub fn install_silent() -> io::Result<()> {
+        install_inner(ProgressMode::Jsonl, Output::Null)
     }
 
     /// Like [`install`], but writing to a file (parents created).
@@ -493,6 +635,36 @@ mod imp {
     /// [`crate::progress_compiled`] first to give users a rebuild hint.
     pub fn install(_mode: ProgressMode) -> io::Result<()> {
         Ok(())
+    }
+
+    /// No-op without the `enabled` feature.
+    pub fn install_silent() -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Inert subscription; never yields a line without the `enabled`
+    /// feature. Daemons gate streaming on [`crate::progress_compiled`]
+    /// and answer stream requests with a structured "unavailable" error.
+    pub struct ProgressSubscription(());
+
+    impl ProgressSubscription {
+        /// No-op without the `enabled` feature.
+        pub fn watch(&self, _job_id: &str) {}
+
+        /// Always `None` without the `enabled` feature.
+        pub fn recv_timeout(&self, _timeout: std::time::Duration) -> Option<String> {
+            None
+        }
+
+        /// Always empty without the `enabled` feature.
+        pub fn drain(&self) -> Vec<String> {
+            Vec::new()
+        }
+    }
+
+    /// Returns an inert subscription without the `enabled` feature.
+    pub fn subscribe() -> ProgressSubscription {
+        ProgressSubscription(())
     }
 
     /// See [`install`].
@@ -608,5 +780,45 @@ mod tests {
         std::fs::remove_file(&path2).ok();
         assert!(text2.contains("[placer] unit-b: sa_temp 3/9"), "{text2}");
         assert!(text2.contains("cost=7.2500"), "{text2}");
+
+        // Fan-out: a silent sink delivers filtered frames to subscribers
+        // without writing a process-wide stream anywhere.
+        install_silent().unwrap();
+        let all = subscribe();
+        let only_c = subscribe();
+        only_c.watch("unit-c");
+        {
+            let _scope = job_scope("unit-c", None);
+            job_done("unit-c", "complete", 1.0, Some(9.0));
+        }
+        {
+            let _scope = job_scope("unit-d", None);
+            job_done("unit-d", "complete", 2.0, None);
+        }
+        // Collect until both terminal frames arrive (the reporter drains
+        // every 25ms); cap the wait so a regression fails, not hangs.
+        let mut seen = Vec::new();
+        for _ in 0..200 {
+            seen.extend(all.drain());
+            if seen.iter().filter(|l| l.contains("job_done")).count() >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        uninstall();
+        seen.extend(all.drain());
+        let done: Vec<&String> = seen.iter().filter(|l| l.contains("job_done")).collect();
+        assert_eq!(done.len(), 2, "unfiltered subscriber sees both: {seen:?}");
+        for line in &seen {
+            let kv = parse_flat_json(line).unwrap();
+            assert_eq!(kv[0].1, JsonValue::Str("progress".into()));
+            assert_eq!(kv[1].0, "v", "frames are versioned: {line}");
+            assert_eq!(kv[1].1, JsonValue::Num(1.0));
+        }
+        let filtered = only_c.drain();
+        assert!(!filtered.is_empty(), "watched job streamed");
+        for line in &filtered {
+            assert!(line.contains("\"job\":\"unit-c\""), "filter leak: {line}");
+        }
     }
 }

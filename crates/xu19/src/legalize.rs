@@ -8,10 +8,6 @@ use analog_netlist::{AlignKind, Axis, Circuit, DeviceId, Placement};
 use eplace::{PlaceError, SepEdge, SeparationPlanner};
 use placer_mathopt::{ConstraintOp, Model, SolveError, VarId};
 
-/// Former name of the unified placement error.
-#[deprecated(note = "use `eplace::PlaceError`; the per-pipeline error enums were unified")]
-pub type LegalizeError = PlaceError;
-
 /// Statistics from the two LP stages.
 #[derive(Debug, Clone)]
 pub struct LegalizeStats {

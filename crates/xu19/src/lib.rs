@@ -44,8 +44,6 @@ pub use global::{
     run_global, run_global_budgeted, run_global_with_extra, Xu19Checkpoint, Xu19GlobalConfig,
     Xu19GlobalConfigBuilder, Xu19GlobalStats, Xu19Run,
 };
-#[allow(deprecated)]
-pub use legalize::LegalizeError;
 pub use legalize::{legalize_two_stage, LegalizeStats};
 pub use lse::{lse_spread_with_grad, lse_wirelength};
 pub use pipeline::{Xu19Placer, Xu19Result};
